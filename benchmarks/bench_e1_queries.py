@@ -1,0 +1,39 @@
+"""E1 — the multi-model query workload (Q1-Q10).
+
+Per-query pytest-benchmark timings on the unified engine, plus the full
+unified / no-index / polyglot comparison table.
+"""
+
+import pytest
+from conftest import BENCH_CONFIG, record_table
+
+from repro.core.experiments import experiment_e1_queries
+from repro.core.workloads import QUERIES
+
+
+@pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.query_id)
+def bench_query_unified(benchmark, query, bench_dataset, bench_unified):
+    """Latency of one benchmark query on the unified engine (indexed)."""
+    params = query.params(bench_dataset)
+    result = benchmark(lambda: bench_unified.query(query.text, params))
+    assert result  # every query is non-vacuous at this scale
+
+
+@pytest.mark.parametrize("query", QUERIES[:5], ids=lambda q: q.query_id)
+def bench_query_polyglot(benchmark, query, bench_dataset, bench_polyglot):
+    """Latency of the first five queries on the polyglot baseline."""
+    params = query.params(bench_dataset)
+    result = benchmark(lambda: bench_polyglot.query(query.text, params))
+    assert result
+
+
+def bench_e1_comparison_table(benchmark):
+    """Regenerate and print the E1 table: unified vs no-index vs polyglot."""
+    table = benchmark.pedantic(
+        lambda: experiment_e1_queries(BENCH_CONFIG), rounds=1, iterations=1,
+    )
+    record_table(table)
+    by_id = {r["query"]: r for r in table.to_records()}
+    # Ablation shape: indexes must clearly win the indexed join queries.
+    assert by_id["Q2"]["unified"] < by_id["Q2"]["unified_noidx"]
+    assert by_id["Q4"]["unified"] < by_id["Q4"]["unified_noidx"]

@@ -1,0 +1,33 @@
+"""E2 — schema evolution vs history-query usability."""
+
+from conftest import record_table
+
+from repro.core.experiments import experiment_e2_evolution
+from repro.datagen.config import GeneratorConfig
+from repro.datagen.generator import DatasetGenerator
+from repro.schema.evolution import random_evolution_chain
+from repro.schema.registry import migrate_documents
+from repro.schema.shapes import orders_shape
+from repro.util.rng import DeterministicRng
+
+
+def bench_e2_migration(benchmark):
+    """Time migrating the SF=0.1 order corpus through an 8-op chain."""
+    dataset = DatasetGenerator(GeneratorConfig(seed=42, scale_factor=0.1)).generate()
+    ops = random_evolution_chain(orders_shape(), 8, DeterministicRng(7))
+    migrated = benchmark(lambda: migrate_documents(dataset.orders, ops))
+    assert len(migrated) == len(dataset.orders)
+
+
+def bench_e2_usability_table(benchmark):
+    """Regenerate and print the E2 table: usability per chain length."""
+    table = benchmark.pedantic(
+        lambda: experiment_e2_evolution(chain_lengths=[1, 2, 4, 8, 16], trials=5),
+        rounds=1, iterations=1,
+    )
+    record_table(table)
+    records = table.to_records()
+    additive = [r["usability"] for r in records if r["mode"] == "additive"]
+    mixed = {r["chain_length"]: r["usability"] for r in records if r["mode"] == "mixed"}
+    assert all(u == 1.0 for u in additive)
+    assert mixed[16] < 1.0

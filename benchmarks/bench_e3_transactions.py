@@ -1,0 +1,66 @@
+"""E3 — multi-model ACID: anomaly matrix and throughput per isolation."""
+
+import pytest
+from conftest import BENCH_CONFIG, record_table
+
+from repro.core.experiments import experiment_e3_anomalies, experiment_e3_throughput
+from repro.core.workloads import TRANSACTION_BY_ID
+from repro.engine.transactions import IsolationLevel
+from repro.util.rng import DeterministicRng
+
+
+@pytest.mark.parametrize(
+    "isolation",
+    [IsolationLevel.READ_COMMITTED, IsolationLevel.SNAPSHOT, IsolationLevel.SERIALIZABLE],
+    ids=lambda lvl: lvl.value,
+)
+def bench_t2_order_update(benchmark, isolation, bench_dataset):
+    """The paper's order-update transaction (JSON + KV + XML) per isolation."""
+    from repro.datagen.load import load_dataset
+    from repro.drivers.unified import UnifiedDriver
+
+    driver = UnifiedDriver(isolation=isolation)
+    load_dataset(driver, bench_dataset, with_indexes=False)
+    t2 = TRANSACTION_BY_ID["T2"]
+    rng = DeterministicRng(123)
+    counter = {"n": 0}
+
+    def one_txn():
+        counter["n"] += 1
+        driver.run_transaction(t2.make(bench_dataset, rng, counter["n"]))
+
+    benchmark(one_txn)
+
+
+def bench_e3a_anomaly_table(benchmark):
+    """Regenerate and print the anomaly matrix (the isolation ladder)."""
+    table = benchmark.pedantic(experiment_e3_anomalies, rounds=1, iterations=1)
+    record_table(table)
+    records = table.to_records()
+    assert all(r["serializable"] == "no" for r in records)
+    assert all(r["read_uncommitted"] == "yes" for r in records)
+
+
+def bench_e3b_throughput_table(benchmark):
+    """Regenerate and print T1-T4 throughput per isolation level."""
+    table = benchmark.pedantic(
+        lambda: experiment_e3_throughput(BENCH_CONFIG), rounds=1, iterations=1,
+    )
+    record_table(table)
+    assert all(r["committed"] > 0 for r in table.to_records())
+
+
+def bench_e3c_contention_table(benchmark):
+    """Regenerate and print the contended-update behaviour table."""
+    from repro.core.experiments import experiment_e3_contention
+
+    table = benchmark.pedantic(
+        lambda: experiment_e3_contention(batches=20, txns_per_batch=3),
+        rounds=1, iterations=1,
+    )
+    record_table(table)
+    rows = {r["isolation"]: r for r in table.to_records()}
+    # RC loses updates silently; SI and serializable never do.
+    assert rows["read_committed"]["lost_updates"] > 0
+    assert rows["snapshot"]["lost_updates"] == 0
+    assert rows["serializable"]["lost_updates"] == 0

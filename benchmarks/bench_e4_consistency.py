@@ -1,0 +1,29 @@
+"""E4 — eventual consistency: staleness, PBS curve, read-your-writes."""
+
+from conftest import record_table
+
+from repro.consistency.metrics import staleness_distribution
+from repro.consistency.replication import ReplicationConfig
+from repro.core.experiments import experiment_e4_consistency
+
+
+def bench_e4_staleness_run(benchmark):
+    """Time one 2000-op mixed workload against the replicated store."""
+    config = ReplicationConfig(base_lag=4, jitter=2)
+    stats = benchmark(lambda: staleness_distribution(config))
+    assert stats.reads > 0
+
+
+def bench_e4_consistency_table(benchmark):
+    """Regenerate and print the lag/loss sweep table."""
+    table = benchmark.pedantic(
+        lambda: experiment_e4_consistency(
+            lags=[1, 4, 16, 64], loss_probabilities=[0.0, 0.1]
+        ),
+        rounds=1, iterations=1,
+    )
+    record_table(table)
+    clean = {r["base_lag"]: r for r in table.to_records() if r["loss"] == 0.0}
+    # Shape: staleness strictly worsens as replication lag grows.
+    assert clean[64]["fresh_reads"] < clean[1]["fresh_reads"]
+    assert clean[64]["t_99pct_fresh"] > clean[1]["t_99pct_fresh"]

@@ -1,0 +1,51 @@
+"""E5 — model conversions against gold standards."""
+
+import pytest
+from conftest import record_table
+
+from repro.conversion.json_kv import document_to_kv_pairs, kv_pairs_to_document
+from repro.conversion.json_xml import order_to_invoice
+from repro.conversion.relational_json import documents_to_order_rows
+from repro.core.experiments import experiment_e5_conversion
+
+
+@pytest.fixture(scope="module")
+def orders_and_customers(bench_dataset):
+    customers = {c["id"]: c for c in bench_dataset.customers}
+    return bench_dataset.orders, customers
+
+
+def bench_order_shredding(benchmark, orders_and_customers):
+    """JSON -> relational shredding throughput over the order corpus."""
+    orders, _ = orders_and_customers
+    rows = benchmark(lambda: [documents_to_order_rows(o) for o in orders])
+    assert len(rows) == len(orders)
+
+
+def bench_order_to_invoice(benchmark, orders_and_customers):
+    """JSON -> XML invoice derivation throughput."""
+    orders, customers = orders_and_customers
+    invoices = benchmark(
+        lambda: [order_to_invoice(o, customers[o["customer_id"]]) for o in orders]
+    )
+    assert len(invoices) == len(orders)
+
+
+def bench_kv_flatten_roundtrip(benchmark, orders_and_customers):
+    """JSON -> KV -> JSON flatten/unflatten throughput."""
+    orders, _ = orders_and_customers
+
+    def roundtrip():
+        return [kv_pairs_to_document(document_to_kv_pairs(o)) for o in orders]
+
+    out = benchmark(roundtrip)
+    assert out == orders
+
+
+def bench_e5_gold_standard_table(benchmark):
+    """Regenerate and print the E5 table: accuracy per conversion task."""
+    table = benchmark.pedantic(
+        lambda: experiment_e5_conversion(scale_factor=0.2), rounds=1, iterations=1,
+    )
+    record_table(table)
+    assert all(r["accuracy"] == 1.0 for r in table.to_records())

@@ -1,0 +1,34 @@
+"""E6 — crash atomicity: unified WAL vs polyglot per-store commits."""
+
+from conftest import record_table
+
+from repro.core.experiments import experiment_e6_atomicity
+from repro.datagen.config import GeneratorConfig
+from repro.datagen.generator import DatasetGenerator
+from repro.datagen.load import load_dataset
+from repro.drivers.unified import UnifiedDriver
+
+
+def bench_crash_recovery(benchmark):
+    """Time a full crash + WAL replay of an SF=0.05 database."""
+    dataset = DatasetGenerator(GeneratorConfig(seed=42, scale_factor=0.05)).generate()
+    driver = UnifiedDriver()
+    load_dataset(driver, dataset, with_indexes=False)
+    expected = driver.stats()
+
+    def crash_and_recover():
+        return driver.db.crash()
+
+    recovered = benchmark(crash_and_recover)
+    assert recovered.stats() == expected
+
+
+def bench_e6_atomicity_table(benchmark):
+    """Regenerate and print the fracture-rate table."""
+    table = benchmark.pedantic(
+        lambda: experiment_e6_atomicity(trials=20), rounds=1, iterations=1,
+    )
+    record_table(table)
+    records = {r["architecture"]: r for r in table.to_records()}
+    assert records["unified (single WAL)"]["fractured_states"] == 0
+    assert records["polyglot (commit per store)"]["fractured_states"] > 0

@@ -1,0 +1,86 @@
+"""Extension ablations: E7 index backends, E8 quorum/sessions, E9
+migration strategies, and the YCSB single-model baseline suite."""
+
+import pytest
+from conftest import record_table
+
+from repro.core.experiments_ext import (
+    experiment_e7_index_backends,
+    experiment_e8_sessions,
+    experiment_e9_migration_strategies,
+    experiment_ycsb,
+)
+from repro.core.ycsb import YcsbRunner
+from repro.drivers.unified import UnifiedDriver
+from repro.engine.btree import BPlusTree
+
+
+def bench_btree_insert_10k(benchmark):
+    """Raw B+tree build: 10k keys."""
+
+    def build():
+        tree = BPlusTree(order=32)
+        for i in range(10_000):
+            tree.insert(i, i)
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree) == 10_000
+
+
+def bench_e7_index_backend_table(benchmark):
+    """Regenerate and print the index-backend ablation table."""
+    table = benchmark.pedantic(
+        lambda: experiment_e7_index_backends(sizes=[1_000, 10_000, 50_000],
+                                             churn=2_000),
+        rounds=1, iterations=1,
+    )
+    record_table(table)
+    rows = [r for r in table.to_records() if r["records"] == 50_000]
+    by_backend = {r["backend"]: r for r in rows}
+    # At 50k records the B+tree's O(log n) maintenance beats the flat list.
+    assert by_backend["btree"]["churn_ms"] < by_backend["sorted-list"]["churn_ms"]
+
+
+def bench_e8_sessions_table(benchmark):
+    """Regenerate and print the quorum/session-guarantee table."""
+    table = benchmark.pedantic(
+        lambda: experiment_e8_sessions(lags=[2, 8, 32]), rounds=1, iterations=1,
+    )
+    record_table(table)
+    for row in table.to_records():
+        assert row["R=1_fresh"] <= row["R=N_fresh"] + 0.05
+        assert row["fallback@2xlag"] <= row["fallback@1_tick"]
+
+
+def bench_e9_migration_table(benchmark):
+    """Regenerate and print the eager-vs-lazy migration table."""
+    table = benchmark.pedantic(
+        lambda: experiment_e9_migration_strategies(scale_factor=0.1, reads=200),
+        rounds=1, iterations=1,
+    )
+    record_table(table)
+    rows = {r["strategy"]: r for r in table.to_records()}
+    assert rows["eager"]["upfront_ms"] > 0
+    assert rows["lazy+repair"]["first_reads_ms"] > rows["lazy+repair"]["second_reads_ms"]
+
+
+def bench_ycsb_table(benchmark):
+    """Regenerate and print the YCSB A-F baseline table."""
+    table = benchmark.pedantic(
+        lambda: experiment_ycsb(record_count=1_000, operations=500),
+        rounds=1, iterations=1,
+    )
+    record_table(table)
+    assert len(table.rows) == 6
+
+
+@pytest.mark.parametrize("workload", ["A", "C", "F"])
+def bench_ycsb_workload_unified(benchmark, workload):
+    """Micro-benchmark: one YCSB op batch on the unified engine."""
+    runner = YcsbRunner(UnifiedDriver(), record_count=500, seed=9)
+    runner.load()
+    result = benchmark.pedantic(
+        lambda: runner.run(workload, operations=200), rounds=3, iterations=1,
+    )
+    assert result.operations == 200

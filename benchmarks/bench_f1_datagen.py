@@ -1,0 +1,38 @@
+"""F1 — Figure 1 reproduction: the multi-model dataset.
+
+Regenerates the per-model entity-count table at two scale factors and
+benchmarks raw generation throughput.
+"""
+
+from conftest import record_table
+
+from repro.core.experiments import experiment_f1_datagen, experiment_f1_graph_shape
+from repro.datagen.config import GeneratorConfig
+from repro.datagen.generator import DatasetGenerator
+
+
+def bench_f1_dataset_generation(benchmark):
+    """Time one full SF=0.1 dataset generation (all five models)."""
+    config = GeneratorConfig(seed=42, scale_factor=0.1)
+    dataset = benchmark(lambda: DatasetGenerator(config).generate())
+    assert dataset.verify_integrity() == []
+
+
+def bench_f1_table(benchmark):
+    """Regenerate and print the Figure 1 table (entity counts per model)."""
+    table = benchmark.pedantic(
+        lambda: experiment_f1_datagen(scale_factors=[0.1, 1.0]),
+        rounds=1, iterations=1,
+    )
+    record_table(table)
+    assert all(r["integrity_ok"] for r in table.to_records())
+
+
+def bench_f1b_graph_shape_table(benchmark):
+    """Regenerate and print the social-graph shape companion table."""
+    table = benchmark.pedantic(
+        lambda: experiment_f1_graph_shape(scale_factor=0.5), rounds=1, iterations=1,
+    )
+    record_table(table)
+    metrics = {r["metric"]: r["value"] for r in table.to_records()}
+    assert metrics["max_degree"] > metrics["median_degree"]

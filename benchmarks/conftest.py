@@ -1,0 +1,62 @@
+"""Shared state for the benchmark harness.
+
+Every ``bench_*`` module regenerates one experiment table from DESIGN.md's
+per-experiment index and prints it (run with ``-s`` to see the tables
+inline; they are also collected into ``bench_report.txt`` in the working
+directory at the end of the session).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import BenchmarkConfig
+from repro.datagen.config import GeneratorConfig
+from repro.datagen.generator import Dataset, DatasetGenerator
+from repro.datagen.load import load_dataset
+from repro.drivers.polyglot import PolyglotDriver
+from repro.drivers.unified import UnifiedDriver
+
+# The benchmark-scale configuration: larger than the test fixtures,
+# small enough that the full harness finishes in a couple of minutes.
+BENCH_CONFIG = BenchmarkConfig(
+    generator=GeneratorConfig(seed=42, scale_factor=0.1),
+    repetitions=3,
+    warmup_repetitions=1,
+    transaction_count=100,
+)
+
+_collected_tables: list[str] = []
+
+
+def record_table(table) -> str:
+    """Render, remember, and return one experiment table."""
+    rendered = table.render()
+    _collected_tables.append(rendered)
+    print("\n" + rendered)
+    return rendered
+
+
+@pytest.fixture(scope="session")
+def bench_dataset() -> Dataset:
+    return DatasetGenerator(BENCH_CONFIG.generator).generate()
+
+
+@pytest.fixture(scope="session")
+def bench_unified(bench_dataset) -> UnifiedDriver:
+    driver = UnifiedDriver()
+    load_dataset(driver, bench_dataset)
+    return driver
+
+
+@pytest.fixture(scope="session")
+def bench_polyglot(bench_dataset) -> PolyglotDriver:
+    driver = PolyglotDriver()
+    load_dataset(driver, bench_dataset)
+    return driver
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _collected_tables:
+        with open("bench_report.txt", "w") as handle:
+            handle.write("\n\n".join(_collected_tables) + "\n")

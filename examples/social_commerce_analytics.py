@@ -1,0 +1,100 @@
+"""Social-commerce analytics: the workload the paper's intro motivates.
+
+Answers three product questions against the multi-model store, then runs
+PageRank on the social graph to find influencers and cross-references
+their purchases — relational + JSON + KV + graph in one script.
+
+Run:  python examples/social_commerce_analytics.py
+"""
+
+from repro import DatasetGenerator, GeneratorConfig, UnifiedDriver, load_dataset
+from repro.models.graph.algorithms import pagerank
+from repro.models.graph.property_graph import PropertyGraph
+
+
+def build_social_graph(driver: UnifiedDriver) -> PropertyGraph:
+    """Export the engine's committed social graph into the value layer
+    so whole-graph algorithms (PageRank) can run over it."""
+    graph = PropertyGraph("social")
+    with driver.db.transaction() as tx:
+        for vertex in tx.graph_vertices("social"):
+            graph.add_vertex(vertex.id, vertex.label, **vertex.properties)
+        for edge in tx.graph_edges("social"):
+            graph.add_edge(edge.src, edge.dst, edge.label, **edge.properties)
+    return graph
+
+
+def main() -> None:
+    dataset = DatasetGenerator(GeneratorConfig(seed=11, scale_factor=0.2)).generate()
+    driver = UnifiedDriver()
+    load_dataset(driver, dataset)
+
+    # Q: which product categories earn the best ratings?
+    print("category ratings (JSON products joined with KV feedback):")
+    for row in driver.query(
+        """
+        FOR p IN products
+          FOR fb IN KV("feedback", CONCAT(p._id, "/"))
+            COLLECT category = p.category
+              AGGREGATE n = COUNT(1), avg_rating = AVG(fb.value.rating)
+            SORT avg_rating DESC
+            RETURN {category, n, avg_rating: ROUND(avg_rating, 2)}
+        """
+    ):
+        print(f"  {row['category']:<12} n={row['n']:<5} avg={row['avg_rating']}")
+
+    # Q: top spenders with their relational profile.
+    print("\ntop spenders (JSON orders joined back to relational customers):")
+    for row in driver.query(
+        """
+        FOR o IN orders
+          COLLECT cid = o.customer_id AGGREGATE spend = SUM(o.total_price)
+          SORT spend DESC
+          LIMIT 5
+          LET c = DOCUMENT("customers", cid)
+          RETURN {name: CONCAT(c.first_name, " ", c.last_name),
+                  country: c.country, spend: ROUND(spend, 2)}
+        """
+    ):
+        print(f"  {row['name']:<20} {row['country']:<12} {row['spend']:>10}")
+
+    # Q: social influencers and what they buy.
+    graph = build_social_graph(driver)
+    ranks = pagerank(graph, edge_label="knows")
+    influencers = sorted(ranks, key=lambda v: ranks[v], reverse=True)[:3]
+    print("\ntop-3 social influencers (PageRank over the knows graph):")
+    for vid in influencers:
+        purchases = driver.query(
+            """
+            FOR o IN orders
+              FILTER o.customer_id == @cid
+              FOR it IN o.items
+                RETURN DISTINCT it.product_id
+            """,
+            {"cid": vid},
+        )
+        name = graph.vertex(vid).properties.get("name", "?")
+        print(f"  {name:<20} rank={ranks[vid]:.4f} distinct products bought: "
+              f"{len(purchases)}")
+
+    # Q: does an influencer's neighbourhood buy the same things?
+    seed_customer = influencers[0]
+    overlap = driver.query(
+        """
+        LET mine = [FOR o IN orders FILTER o.customer_id == @cid
+                      FOR it IN o.items RETURN DISTINCT it.product_id]
+        FOR friend IN TRAVERSE("social", @cid, 1, 1, "knows")
+          FOR o IN orders
+            FILTER o.customer_id == friend._id
+            FOR it IN o.items
+              FILTER it.product_id IN mine
+              RETURN DISTINCT {friend: friend.name, product: it.product_id}
+        """,
+        {"cid": seed_customer},
+    )
+    print(f"\nfriends of the top influencer who bought the same products: "
+          f"{len(overlap)} (friend, product) pairs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim so editable installs work offline with old setuptools."""
+
+from setuptools import setup
+
+setup()

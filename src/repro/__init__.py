@@ -1,0 +1,55 @@
+"""UDBMS-benchmark: a benchmark suite for multi-model databases.
+
+Reproduction of Jiaheng Lu, *Towards Benchmarking Multi-Model Databases*
+(CIDR 2017).  The package contains both the benchmark (data generation,
+workloads, metrics, experiments) and the systems it evaluates (a
+from-scratch transactional multi-model engine and a polyglot-persistence
+baseline).
+
+Quickstart::
+
+    from repro import (
+        BenchmarkConfig, DatasetGenerator, GeneratorConfig,
+        UnifiedDriver, load_dataset,
+    )
+
+    dataset = DatasetGenerator(GeneratorConfig(scale_factor=0.1)).generate()
+    driver = UnifiedDriver()
+    load_dataset(driver, dataset)
+    rows = driver.query(
+        'FOR c IN customers FILTER c.country == @c RETURN c.last_name',
+        {"c": "Finland"},
+    )
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core.config import BenchmarkConfig
+from repro.core.workloads import QUERIES, TRANSACTIONS
+from repro.datagen.config import GeneratorConfig
+from repro.datagen.generator import Dataset, DatasetGenerator
+from repro.datagen.load import load_dataset
+from repro.drivers.polyglot import PolyglotDriver
+from repro.drivers.unified import UnifiedDriver
+from repro.engine.database import MultiModelDatabase
+from repro.engine.transactions import IsolationLevel
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkConfig",
+    "Dataset",
+    "DatasetGenerator",
+    "GeneratorConfig",
+    "IsolationLevel",
+    "MultiModelDatabase",
+    "PolyglotDriver",
+    "QUERIES",
+    "ReproError",
+    "TRANSACTIONS",
+    "UnifiedDriver",
+    "__version__",
+    "load_dataset",
+]

@@ -1,0 +1,5 @@
+"""Baselines the unified engine is compared against."""
+
+from repro.baselines.polyglot import PolyglotPersistence, PolyglotSession
+
+__all__ = ["PolyglotPersistence", "PolyglotSession"]

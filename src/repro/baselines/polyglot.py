@@ -1,0 +1,493 @@
+"""The polyglot-persistence baseline: five stores, no shared transaction.
+
+This is the architecture multi-model databases position themselves
+against: a relational store, a document store, an XML store, a key-value
+store and a graph store, each with its *own* commit point, glued together
+by application code.  Cross-model "transactions" commit store by store;
+a crash between store commits leaves the application in a fractured
+state — which experiment E6 measures directly.
+
+The stores themselves reuse the value-layer substrates from
+:mod:`repro.models`, each wrapped with a tiny per-store redo log so the
+crash simulation is apples-to-apples with the unified engine's WAL.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.errors import (
+    ConstraintError,
+    DocumentError,
+    GraphError,
+    NoSuchCollectionError,
+    TransactionAborted,
+)
+from repro.models.document.document import deep_copy_json, validate_json_value
+from repro.models.graph.property_graph import Edge, PropertyGraph, Vertex
+from repro.models.kv.store import KeyValueNamespace
+from repro.models.relational.predicate import Predicate
+from repro.models.relational.schema import TableSchema
+from repro.models.relational.table import RelationalTable
+from repro.models.xml.node import XmlElement
+from repro.models.xml.xpath import XPath
+from repro.engine.records import copy_value
+
+# The five independent stores, in the fixed order session commits visit
+# them (the order matters for fracture experiments).
+STORE_ORDER = ("relational", "document", "xml", "kv", "graph")
+
+
+class CrashDuringCommit(Exception):
+    """Injected by tests/benches to simulate a crash between store commits."""
+
+
+class PolyglotPersistence:
+    """Five single-model stores behind one application facade."""
+
+    def __init__(self) -> None:
+        self.tables: dict[str, RelationalTable] = {}
+        self.collections: dict[str, dict[str | int, dict[str, Any]]] = {}
+        self.xml_collections: dict[str, dict[Any, XmlElement]] = {}
+        self.kv_namespaces: dict[str, KeyValueNamespace] = {}
+        self.graphs: dict[str, PropertyGraph] = {}
+        # hash indexes: (store_kind, collection, field) -> value -> set[key]
+        self._indexes: dict[tuple[str, str, str], dict[Any, set[Any]]] = {}
+        # Commit counters per store (for fracture accounting).
+        self.store_commits: dict[str, int] = {s: 0 for s in STORE_ORDER}
+        # Fault injection: crash after committing this many stores of a
+        # multi-store transaction (None = never crash).
+        self.crash_after_stores: int | None = None
+
+    # -- DDL -------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        if schema.name in self.tables:
+            raise ConstraintError(f"table {schema.name!r} exists")
+        self.tables[schema.name] = RelationalTable(schema)
+
+    def create_collection(self, name: str) -> None:
+        if name in self.collections:
+            raise DocumentError(f"collection {name!r} exists")
+        self.collections[name] = {}
+
+    def create_xml_collection(self, name: str) -> None:
+        self.xml_collections[name] = {}
+
+    def create_kv_namespace(self, name: str) -> None:
+        self.kv_namespaces[name] = KeyValueNamespace(name)
+
+    def create_graph(self, name: str) -> None:
+        self.graphs[name] = PropertyGraph(name)
+
+    def create_index(self, kind: str, collection: str, field: str) -> None:
+        """Register a hash index and back-fill it."""
+        key = (kind, collection, field)
+        index: dict[Any, set[Any]] = {}
+        if kind == "table":
+            table = self._table(collection)
+            for row in table.scan():
+                pk = table.schema.primary_key_of(row)
+                index.setdefault(row.get(field), set()).add(pk)
+        elif kind == "collection":
+            for doc_id, doc in self._collection(collection).items():
+                index.setdefault(doc.get(field), set()).add(doc_id)
+        else:
+            raise NoSuchCollectionError(f"unknown index kind {kind!r}")
+        self._indexes[key] = index
+
+    def index(self, kind: str, collection: str, field: str) -> dict[Any, set[Any]] | None:
+        return self._indexes.get((kind, collection, field))
+
+    # -- store lookups ---------------------------------------------------------
+
+    def _table(self, name: str) -> RelationalTable:
+        table = self.tables.get(name)
+        if table is None:
+            raise NoSuchCollectionError(f"no table {name!r}")
+        return table
+
+    def _collection(self, name: str) -> dict[str | int, dict[str, Any]]:
+        coll = self.collections.get(name)
+        if coll is None:
+            raise NoSuchCollectionError(f"no collection {name!r}")
+        return coll
+
+    def _xml(self, name: str) -> dict[Any, XmlElement]:
+        coll = self.xml_collections.get(name)
+        if coll is None:
+            raise NoSuchCollectionError(f"no xml collection {name!r}")
+        return coll
+
+    def _kv(self, name: str) -> KeyValueNamespace:
+        ns = self.kv_namespaces.get(name)
+        if ns is None:
+            raise NoSuchCollectionError(f"no kv namespace {name!r}")
+        return ns
+
+    def _graph(self, name: str) -> PropertyGraph:
+        g = self.graphs.get(name)
+        if g is None:
+            raise NoSuchCollectionError(f"no graph {name!r}")
+        return g
+
+    # -- index maintenance -------------------------------------------------------
+
+    def _reindex(self, kind: str, collection: str, key: Any,
+                 old: dict[str, Any] | None, new: dict[str, Any] | None) -> None:
+        for (k, coll, field), index in self._indexes.items():
+            if k != kind or coll != collection:
+                continue
+            if old is not None:
+                bucket = index.get(old.get(field))
+                if bucket is not None:
+                    bucket.discard(key)
+            if new is not None:
+                index.setdefault(new.get(field), set()).add(key)
+
+    # -- transactions (the weak spot being measured) --------------------------------
+
+    def session(self) -> "PolyglotSession":
+        return PolyglotSession(self)
+
+    def run_transaction(self, body: Callable[["PolyglotSession"], Any]) -> Any:
+        """Run *body* and commit store by store.
+
+        There is no global atomicity: once the first store has committed,
+        a failure (or injected crash) leaves earlier stores committed and
+        later stores untouched.
+        """
+        session = PolyglotSession(self)
+        result = body(session)
+        session.commit()
+        return result
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "tables": len(self.tables),
+            "rows": sum(len(t) for t in self.tables.values()),
+            "collections": len(self.collections),
+            "documents": sum(len(c) for c in self.collections.values()),
+            "xml_collections": len(self.xml_collections),
+            "xml_documents": sum(len(c) for c in self.xml_collections.values()),
+            "kv_namespaces": len(self.kv_namespaces),
+            "kv_pairs": sum(len(ns) for ns in self.kv_namespaces.values()),
+            "graphs": len(self.graphs),
+            "vertices": sum(g.vertex_count() for g in self.graphs.values()),
+            "edges": sum(g.edge_count() for g in self.graphs.values()),
+        }
+
+
+class PolyglotSession:
+    """Buffers one application-level unit of work across the five stores.
+
+    Mirrors the method surface of :class:`repro.engine.database.Session`
+    for the operations the benchmark uses, so workload bodies run
+    unchanged on both drivers.  Reads go straight to the stores (there is
+    no cross-store snapshot — that's the point); writes are buffered per
+    store and applied store-by-store at :meth:`commit`.
+    """
+
+    def __init__(self, db: PolyglotPersistence) -> None:
+        self.db = db
+        # ops[store_kind] = list of (callable applying the op)
+        self._ops: dict[str, list[Callable[[], None]]] = {s: [] for s in STORE_ORDER}
+        self._committed = False
+
+    # -- relational ---------------------------------------------------------
+
+    def sql_insert(self, table: str, values: dict[str, Any]) -> tuple[Any, ...]:
+        tbl = self.db._table(table)
+        row = tbl.schema.validate_row(dict(values))
+        pk = tbl.schema.primary_key_of(row)
+
+        def apply() -> None:
+            tbl.insert(row)
+            self.db._reindex("table", table, pk, None, row)
+
+        self._ops["relational"].append(apply)
+        return pk
+
+    def sql_get(self, table: str, pk: tuple[Any, ...]) -> dict[str, Any] | None:
+        return self.db._table(table).get(tuple(pk))
+
+    def sql_update(
+        self, table: str, pk: tuple[Any, ...], changes: dict[str, Any]
+    ) -> dict[str, Any]:
+        tbl = self.db._table(table)
+        current = tbl.get(tuple(pk))
+        if current is None:
+            raise ConstraintError(f"no row {pk!r} in {table!r}")
+        merged = dict(current)
+        merged.update(changes)
+        merged = tbl.schema.validate_row(merged)
+
+        def apply() -> None:
+            old = tbl.get(tuple(pk))
+            tbl.update(tuple(pk), changes)
+            self.db._reindex("table", table, tuple(pk), old, merged)
+
+        self._ops["relational"].append(apply)
+        return merged
+
+    def sql_delete(self, table: str, pk: tuple[Any, ...]) -> bool:
+        tbl = self.db._table(table)
+        exists = tbl.get(tuple(pk)) is not None
+
+        def apply() -> None:
+            old = tbl.get(tuple(pk))
+            if tbl.delete(tuple(pk)) and old is not None:
+                self.db._reindex("table", table, tuple(pk), old, None)
+
+        self._ops["relational"].append(apply)
+        return exists
+
+    def sql_scan(
+        self, table: str, predicate: Predicate | None = None
+    ) -> Iterator[dict[str, Any]]:
+        return self.db._table(table).scan(predicate)
+
+    # -- documents ------------------------------------------------------------
+
+    def doc_insert(self, collection: str, doc: dict[str, Any]) -> str | int:
+        coll = self.db._collection(collection)
+        if "_id" not in doc:
+            raise DocumentError("document requires an '_id' field")
+        validate_json_value(doc)
+        doc_id = doc["_id"]
+        if doc_id in coll:
+            raise DocumentError(f"duplicate _id {doc_id!r} in {collection!r}")
+        snapshot = deep_copy_json(doc)
+
+        def apply() -> None:
+            coll[doc_id] = snapshot
+            self.db._reindex("collection", collection, doc_id, None, snapshot)
+
+        self._ops["document"].append(apply)
+        return doc_id
+
+    def doc_get(self, collection: str, doc_id: str | int) -> dict[str, Any] | None:
+        doc = self.db._collection(collection).get(doc_id)
+        return deep_copy_json(doc) if doc is not None else None
+
+    def doc_update(
+        self, collection: str, doc_id: str | int, changes: dict[str, Any]
+    ) -> dict[str, Any]:
+        coll = self.db._collection(collection)
+        current = coll.get(doc_id)
+        if current is None:
+            raise DocumentError(f"no document {doc_id!r} in {collection!r}")
+        merged = deep_copy_json(current)
+        merged.update(deep_copy_json(changes))
+        validate_json_value(merged)
+
+        def apply() -> None:
+            old = coll.get(doc_id)
+            coll[doc_id] = deep_copy_json(merged)
+            self.db._reindex("collection", collection, doc_id, old, merged)
+
+        self._ops["document"].append(apply)
+        return merged
+
+    def doc_delete(self, collection: str, doc_id: str | int) -> bool:
+        coll = self.db._collection(collection)
+        exists = doc_id in coll
+
+        def apply() -> None:
+            old = coll.pop(doc_id, None)
+            if old is not None:
+                self.db._reindex("collection", collection, doc_id, old, None)
+
+        self._ops["document"].append(apply)
+        return exists
+
+    def doc_scan(self, collection: str) -> Iterator[dict[str, Any]]:
+        for doc in list(self.db._collection(collection).values()):
+            yield deep_copy_json(doc)
+
+    def doc_find(self, collection: str, field: str, value: Any) -> list[dict[str, Any]]:
+        index = self.db.index("collection", collection, field)
+        coll = self.db._collection(collection)
+        if index is not None:
+            out = []
+            for doc_id in index.get(value, ()):
+                doc = coll.get(doc_id)
+                if doc is not None and doc.get(field) == value:
+                    out.append(deep_copy_json(doc))
+            return out
+        return [deep_copy_json(d) for d in coll.values() if d.get(field) == value]
+
+    # -- XML --------------------------------------------------------------------
+
+    def xml_put(self, collection: str, doc_id: Any, tree: XmlElement) -> None:
+        coll = self.db._xml(collection)
+        snapshot = copy_value(tree)
+
+        def apply() -> None:
+            coll[doc_id] = snapshot
+
+        self._ops["xml"].append(apply)
+
+    def xml_get(self, collection: str, doc_id: Any) -> XmlElement | None:
+        tree = self.db._xml(collection).get(doc_id)
+        return copy_value(tree) if tree is not None else None
+
+    def xml_delete(self, collection: str, doc_id: Any) -> bool:
+        coll = self.db._xml(collection)
+        exists = doc_id in coll
+
+        def apply() -> None:
+            coll.pop(doc_id, None)
+
+        self._ops["xml"].append(apply)
+        return exists
+
+    def xml_scan(self, collection: str) -> Iterator[tuple[Any, XmlElement]]:
+        for doc_id, tree in list(self.db._xml(collection).items()):
+            yield doc_id, copy_value(tree)
+
+    def xml_xpath(self, collection: str, doc_id: Any, path: str) -> list[Any]:
+        tree = self.db._xml(collection).get(doc_id)
+        if tree is None:
+            return []
+        return XPath(path).find(tree)
+
+    # -- key-value -----------------------------------------------------------------
+
+    def kv_put(self, namespace: str, key: str, value: Any) -> None:
+        ns = self.db._kv(namespace)
+        snapshot = deep_copy_json(value)
+
+        def apply() -> None:
+            ns.put(key, snapshot)
+
+        self._ops["kv"].append(apply)
+
+    def kv_get(self, namespace: str, key: str, default: Any = None) -> Any:
+        return self.db._kv(namespace).get(key, default)
+
+    def kv_delete(self, namespace: str, key: str) -> bool:
+        ns = self.db._kv(namespace)
+        exists = key in ns
+
+        def apply() -> None:
+            ns.delete(key)
+
+        self._ops["kv"].append(apply)
+        return exists
+
+    def kv_scan_prefix(self, namespace: str, prefix: str) -> list[tuple[str, Any]]:
+        return list(self.db._kv(namespace).scan_prefix(prefix))
+
+    def kv_scan_range(
+        self, namespace: str, low: str, high: str, limit: int | None = None
+    ) -> list[tuple[str, Any]]:
+        out = list(self.db._kv(namespace).scan_range(low, high))
+        return out if limit is None else out[:limit]
+
+    # -- graph ------------------------------------------------------------------------
+
+    def graph_add_vertex(
+        self, graph: str, vertex_id: Any, label: str, **properties: Any
+    ) -> Vertex:
+        g = self.db._graph(graph)
+
+        def apply() -> None:
+            g.add_vertex(vertex_id, label, **properties)
+
+        self._ops["graph"].append(apply)
+        return Vertex(vertex_id, label, dict(properties))
+
+    def graph_vertex(self, graph: str, vertex_id: Any) -> Vertex | None:
+        g = self.db._graph(graph)
+        try:
+            return g.vertex(vertex_id)
+        except GraphError:
+            return None
+
+    def graph_update_vertex(self, graph: str, vertex_id: Any, **changes: Any) -> Vertex:
+        g = self.db._graph(graph)
+        current = g.vertex(vertex_id)  # raises if missing
+
+        def apply() -> None:
+            g.update_vertex(vertex_id, **changes)
+
+        self._ops["graph"].append(apply)
+        merged = dict(current.properties)
+        merged.update(changes)
+        return Vertex(vertex_id, current.label, merged)
+
+    def graph_add_edge(
+        self, graph: str, src: Any, dst: Any, label: str, **properties: Any
+    ) -> None:
+        g = self.db._graph(graph)
+
+        def apply() -> None:
+            g.add_edge(src, dst, label, **properties)
+
+        self._ops["graph"].append(apply)
+
+    def graph_out_edges(self, graph: str, vertex_id: Any, label: str | None = None) -> list[Edge]:
+        return self.db._graph(graph).out_edges(vertex_id, label)
+
+    def graph_in_edges(self, graph: str, vertex_id: Any, label: str | None = None) -> list[Edge]:
+        return self.db._graph(graph).in_edges(vertex_id, label)
+
+    def graph_out_neighbors(
+        self, graph: str, vertex_id: Any, label: str | None = None
+    ) -> list[Vertex]:
+        return self.db._graph(graph).out_neighbors(vertex_id, label)
+
+    def graph_traverse(
+        self,
+        graph: str,
+        start: Any,
+        min_depth: int,
+        max_depth: int,
+        edge_label: str | None = None,
+    ) -> list[Any]:
+        from repro.models.graph.traversal import neighbors_within
+
+        return neighbors_within(
+            self.db._graph(graph), start, min_depth, max_depth, edge_label
+        )
+
+    def graph_vertices(self, graph: str, label: str | None = None) -> Iterator[Vertex]:
+        return self.db._graph(graph).vertices(label)
+
+    def graph_edges(self, graph: str, label: str | None = None) -> Iterator[Edge]:
+        return self.db._graph(graph).edges(label)
+
+    # -- commit protocol ------------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Apply buffered ops store by store (five separate commit points).
+
+        If ``db.crash_after_stores`` is set and fewer stores than that
+        have non-empty op lists, the crash fires after that many *store
+        commits* — leaving a fractured multi-store state behind.
+        """
+        if self._committed:
+            raise TransactionAborted("polyglot session already committed")
+        self._committed = True
+        stores_committed = 0
+        for store in STORE_ORDER:
+            ops = self._ops[store]
+            if not ops:
+                continue
+            if (
+                self.db.crash_after_stores is not None
+                and stores_committed >= self.db.crash_after_stores
+            ):
+                raise CrashDuringCommit(
+                    f"crash injected after {stores_committed} store commits"
+                )
+            for op in ops:
+                op()
+            self.db.store_commits[store] += 1
+            stores_committed += 1
+
+    def abort(self) -> None:
+        """Discard buffered ops (only possible before any store committed)."""
+        self._ops = {s: [] for s in STORE_ORDER}
+        self._committed = True

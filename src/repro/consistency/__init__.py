@@ -1,0 +1,40 @@
+"""Multi-model transaction & consistency metrics (pillar 3).
+
+Two halves, matching the paper's "consistency metrics of ACID and
+eventual consistency":
+
+- :mod:`repro.consistency.schedules` + :mod:`repro.consistency.acid` —
+  deterministic interleaved schedules against the engine and anomaly
+  probes (dirty read, lost update, non-repeatable read, fractured
+  multi-model read, write skew) across isolation levels.
+- :mod:`repro.consistency.replication` + :mod:`repro.consistency.metrics`
+  — a discrete-event replicated store with configurable lag/loss and the
+  staleness / PBS-style probability / read-your-writes metrics over it.
+"""
+
+from repro.consistency.acid import AnomalyMatrix, probe_all, PROBES
+from repro.consistency.metrics import (
+    ConsistencyCurve,
+    StalenessStats,
+    consistency_probability,
+    read_your_writes_violation_rate,
+    staleness_distribution,
+)
+from repro.consistency.replication import ReplicatedStore, ReplicationConfig
+from repro.consistency.schedules import ScheduleResult, ScriptedTxn, run_interleaved
+
+__all__ = [
+    "AnomalyMatrix",
+    "ConsistencyCurve",
+    "PROBES",
+    "ReplicatedStore",
+    "ReplicationConfig",
+    "ScheduleResult",
+    "ScriptedTxn",
+    "StalenessStats",
+    "consistency_probability",
+    "probe_all",
+    "read_your_writes_violation_rate",
+    "run_interleaved",
+    "staleness_distribution",
+]

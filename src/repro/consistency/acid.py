@@ -1,0 +1,255 @@
+"""ACID anomaly probes across isolation levels.
+
+Each probe stages a canonical anomaly as a deterministic schedule on a
+fresh :class:`~repro.engine.database.MultiModelDatabase` and reports
+whether the anomaly *occurred* at a given isolation level.  A prevented
+anomaly shows up either as correct values (MVCC hides the problem) or as
+an abort/block (locking or first-committer-wins stops it) — both count
+as "not occurred".
+
+The probes deliberately span models where the anomaly is multi-model in
+nature: the *fractured read* probe is the paper's own example (an order
+update touching JSON orders, KV feedback and XML invoices must never be
+half-visible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.consistency.schedules import ScriptedTxn, run_interleaved
+from repro.engine.database import MultiModelDatabase, Session
+from repro.engine.transactions import IsolationLevel
+from repro.models.relational.schema import Column, ColumnType, TableSchema
+from repro.models.xml.node import element, text as xml_text
+
+ACCOUNTS_SCHEMA = TableSchema(
+    "accounts",
+    (
+        Column("id", ColumnType.INTEGER, nullable=False),
+        Column("balance", ColumnType.INTEGER, nullable=False),
+    ),
+    primary_key=("id",),
+)
+
+
+def _fresh_db() -> MultiModelDatabase:
+    db = MultiModelDatabase()
+    db.create_table(ACCOUNTS_SCHEMA)
+    db.create_collection("orders")
+    db.create_kv_namespace("feedback")
+    db.create_xml_collection("invoices")
+    with db.transaction() as tx:
+        tx.sql_insert("accounts", {"id": 1, "balance": 100})
+        tx.sql_insert("accounts", {"id": 2, "balance": 100})
+        tx.doc_insert("orders", {"_id": "o1", "status": "pending", "total_price": 30.0})
+        tx.kv_put("feedback", "p1/1", {"rating": 3})
+        tx.xml_put(
+            "invoices", "o1",
+            element("invoice", {"id": "o1"},
+                    element("status", {}, xml_text("pending"))),
+        )
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Probes: return True when the anomaly OCCURRED
+# ---------------------------------------------------------------------------
+
+
+def probe_dirty_read(isolation: IsolationLevel) -> bool:
+    """T2 reads T1's uncommitted write; T1 then aborts.
+
+    Anomaly iff T2 observed the never-committed value.
+    """
+    db = _fresh_db()
+    observed: list[int | None] = []
+
+    def t1_write(s: Session) -> None:
+        s.sql_update("accounts", (1,), {"balance": 999})
+
+    def t1_abort(s: Session) -> None:
+        s.abort()
+
+    def t2_read(s: Session) -> None:
+        row = s.sql_get("accounts", (1,))
+        observed.append(row["balance"] if row else None)
+
+    txns = [
+        ScriptedTxn("T1", [t1_write, t1_abort]),
+        ScriptedTxn("T2", [t2_read]),
+    ]
+    # order: T1 writes, T2 reads, T1 aborts, T2 commits
+    run_interleaved(db, txns, isolation, order=[0, 1, 0, 1])
+    return bool(observed and observed[0] == 999)
+
+
+def probe_lost_update(isolation: IsolationLevel) -> bool:
+    """Classic increment race: both read 100, both write read+10.
+
+    Anomaly iff the final balance is 110 (one increment lost) when both
+    transactions reported success.
+    """
+    db = _fresh_db()
+
+    def make_increment() -> Callable[[Session], None]:
+        state: dict[str, int] = {}
+
+        def read(s: Session) -> None:
+            state["seen"] = s.sql_get("accounts", (1,))["balance"]
+
+        def write(s: Session) -> None:
+            s.sql_update("accounts", (1,), {"balance": state["seen"] + 10})
+
+        read.pair = write  # type: ignore[attr-defined]
+        return read
+
+    r1 = make_increment()
+    r2 = make_increment()
+    txns = [
+        ScriptedTxn("T1", [r1, r1.pair]),  # type: ignore[attr-defined]
+        ScriptedTxn("T2", [r2, r2.pair]),  # type: ignore[attr-defined]
+    ]
+    # interleave reads before writes: T1.read T2.read T1.write T1.commit T2.write T2.commit
+    result = run_interleaved(db, txns, isolation, order=[0, 1, 0, 0, 1, 1])
+    with db.transaction() as tx:
+        final = tx.sql_get("accounts", (1,))["balance"]
+    both_committed = len(result.committed) == 2
+    return both_committed and final == 110
+
+
+def probe_non_repeatable_read(isolation: IsolationLevel) -> bool:
+    """T1 reads a row twice; T2 updates and commits in between.
+
+    Anomaly iff T1's two reads differ.
+    """
+    db = _fresh_db()
+    seen: list[int] = []
+
+    def t1_read(s: Session) -> None:
+        seen.append(s.sql_get("accounts", (2,))["balance"])
+
+    def t2_update(s: Session) -> None:
+        s.sql_update("accounts", (2,), {"balance": 555})
+
+    txns = [
+        ScriptedTxn("T1", [t1_read, t1_read]),
+        ScriptedTxn("T2", [t2_update]),
+    ]
+    # T1 reads, T2 updates+commits, T1 reads again
+    run_interleaved(db, txns, isolation, order=[0, 1, 1, 0, 0])
+    return len(seen) == 2 and seen[0] != seen[1]
+
+
+def probe_fractured_multimodel_read(isolation: IsolationLevel) -> bool:
+    """The paper's example: an order update touches JSON + KV + XML.
+
+    T2 updates all three models atomically (status pending->shipped,
+    rating 3->5, invoice status text).  T1 reads the three models with
+    T2's commit in between.  Anomaly iff T1 sees a *mixed* state — some
+    models updated, others not.
+    """
+    db = _fresh_db()
+    seen: dict[str, object] = {}
+
+    def t1_read_doc(s: Session) -> None:
+        seen["doc"] = s.doc_get("orders", "o1")["status"]
+
+    def t1_read_kv_xml(s: Session) -> None:
+        seen["kv"] = s.kv_get("feedback", "p1/1")["rating"]
+        seen["xml"] = s.xml_xpath("invoices", "o1", "/invoice/status/text()")[0]
+
+    def t2_update_all(s: Session) -> None:
+        s.doc_update("orders", "o1", {"status": "shipped"})
+        s.kv_put("feedback", "p1/1", {"rating": 5})
+        s.xml_put(
+            "invoices", "o1",
+            element("invoice", {"id": "o1"},
+                    element("status", {}, xml_text("shipped"))),
+        )
+
+    txns = [
+        ScriptedTxn("T1", [t1_read_doc, t1_read_kv_xml]),
+        ScriptedTxn("T2", [t2_update_all]),
+    ]
+    # T1 reads the order, T2 commits its three-model update, T1 reads KV+XML
+    run_interleaved(db, txns, isolation, order=[0, 1, 1, 0, 0])
+    if not seen:
+        return False
+    old_state = seen.get("doc") == "pending"
+    new_tail = seen.get("kv") == 5 or seen.get("xml") == "shipped"
+    return old_state and new_tail
+
+
+def probe_write_skew(isolation: IsolationLevel) -> bool:
+    """Two accounts with invariant balance(1)+balance(2) >= 100.
+
+    Each transaction checks the sum then withdraws 100 from a *different*
+    account.  Under snapshot isolation both pass the check on disjoint
+    write sets — committing both violates the invariant.  Anomaly iff
+    both commit and the final sum < 100.
+    """
+    db = _fresh_db()
+
+    def make_withdraw(account: int) -> list[Callable[[Session], None]]:
+        state: dict[str, int] = {}
+
+        def check(s: Session) -> None:
+            a = s.sql_get("accounts", (1,))["balance"]
+            b = s.sql_get("accounts", (2,))["balance"]
+            state["sum"] = a + b
+
+        def withdraw(s: Session) -> None:
+            if state["sum"] >= 200:  # enough to take 100 and keep >= 100
+                row = s.sql_get("accounts", (account,))
+                s.sql_update("accounts", (account,), {"balance": row["balance"] - 100})
+
+        return [check, withdraw]
+
+    txns = [
+        ScriptedTxn("T1", make_withdraw(1)),
+        ScriptedTxn("T2", make_withdraw(2)),
+    ]
+    result = run_interleaved(db, txns, isolation, order=[0, 1, 0, 1, 0, 1])
+    if len(result.committed) != 2:
+        return False
+    with db.transaction() as tx:
+        total = (
+            tx.sql_get("accounts", (1,))["balance"]
+            + tx.sql_get("accounts", (2,))["balance"]
+        )
+    return total < 100
+
+
+PROBES: dict[str, Callable[[IsolationLevel], bool]] = {
+    "dirty_read": probe_dirty_read,
+    "lost_update": probe_lost_update,
+    "non_repeatable_read": probe_non_repeatable_read,
+    "fractured_multimodel_read": probe_fractured_multimodel_read,
+    "write_skew": probe_write_skew,
+}
+
+
+@dataclass
+class AnomalyMatrix:
+    """anomaly name -> isolation level -> occurred?"""
+
+    cells: dict[str, dict[IsolationLevel, bool]] = field(default_factory=dict)
+
+    def occurred(self, anomaly: str, isolation: IsolationLevel) -> bool:
+        return self.cells[anomaly][isolation]
+
+    def anomalies_at(self, isolation: IsolationLevel) -> int:
+        return sum(1 for row in self.cells.values() if row[isolation])
+
+
+def probe_all(
+    levels: list[IsolationLevel] | None = None,
+) -> AnomalyMatrix:
+    """Run every probe at every isolation level (the E3 anomaly table)."""
+    levels = levels or list(IsolationLevel)
+    matrix = AnomalyMatrix()
+    for name, probe in PROBES.items():
+        matrix.cells[name] = {level: probe(level) for level in levels}
+    return matrix

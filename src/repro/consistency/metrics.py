@@ -1,0 +1,147 @@
+"""Eventual-consistency metrics over the replicated store.
+
+Three metrics, all computed by driving the simulator with a seeded
+workload so results are exactly reproducible:
+
+- **staleness distribution**: version- and time-staleness of replica
+  reads under a steady write load;
+- **consistency probability curve** (PBS-style): P(read is fresh | Δt
+  ticks after the write) as Δt grows — the "probabilistically bounded
+  staleness" shape;
+- **read-your-writes violation rate**: a client writes then immediately
+  reads from a (possibly different) replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consistency.replication import ReplicatedStore, ReplicationConfig
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.timing import Timer
+
+
+@dataclass
+class StalenessStats:
+    """Aggregated staleness of a batch of replica reads."""
+
+    reads: int
+    fresh: int
+    version_staleness: Timer = field(default_factory=Timer)
+    time_staleness: Timer = field(default_factory=Timer)
+
+    @property
+    def fresh_fraction(self) -> float:
+        return self.fresh / self.reads if self.reads else 1.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "reads": float(self.reads),
+            "fresh_fraction": self.fresh_fraction,
+            "mean_version_staleness": self.version_staleness.mean,
+            "p95_version_staleness": self.version_staleness.percentile(95),
+            "mean_time_staleness": self.time_staleness.mean,
+            "p95_time_staleness": self.time_staleness.percentile(95),
+        }
+
+
+def staleness_distribution(
+    config: ReplicationConfig,
+    num_keys: int = 50,
+    num_ops: int = 2000,
+    write_fraction: float = 0.3,
+    seed: int = 11,
+) -> StalenessStats:
+    """Steady mixed read/write load; every read's staleness is recorded."""
+    store = ReplicatedStore(config)
+    rng = DeterministicRng(derive_seed(seed, "staleness"))
+    keys = [f"k{i}" for i in range(num_keys)]
+    reads = 0
+    fresh = 0
+    stats = StalenessStats(reads=0, fresh=0)
+    for op in range(num_ops):
+        key = keys[rng.zipf(num_keys, 0.9)]
+        if rng.bernoulli(write_fraction):
+            store.write(key, op)
+        else:
+            obs = store.read_replica(key)
+            if obs.seq_latest == 0:
+                continue  # key never written; nothing to measure
+            reads += 1
+            if obs.is_fresh:
+                fresh += 1
+            stats.version_staleness.record(float(obs.version_staleness))
+            stats.time_staleness.record(float(obs.time_staleness))
+        store.advance(1)
+    stats.reads = reads
+    stats.fresh = fresh
+    return stats
+
+
+@dataclass
+class ConsistencyCurve:
+    """P(fresh read) as a function of ticks elapsed since the write."""
+
+    delays: list[int]
+    probabilities: list[float]
+    samples_per_delay: int
+
+    def probability_at(self, delay: int) -> float:
+        return self.probabilities[self.delays.index(delay)]
+
+    def time_to_probability(self, target: float) -> int | None:
+        """Smallest measured delay whose freshness probability >= target."""
+        for delay, p in zip(self.delays, self.probabilities):
+            if p >= target:
+                return delay
+        return None
+
+
+def consistency_probability(
+    config: ReplicationConfig,
+    delays: list[int] | None = None,
+    samples: int = 300,
+    seed: int = 13,
+) -> ConsistencyCurve:
+    """PBS-style curve: write, wait Δt, read a random replica.
+
+    Each sample uses a fresh key so earlier writes never mask staleness.
+    """
+    delays = delays if delays is not None else [0, 1, 2, 4, 8, 16, 32, 64]
+    probabilities: list[float] = []
+    for delay in delays:
+        store = ReplicatedStore(config)
+        rng = DeterministicRng(derive_seed(seed, "pbs", delay))
+        fresh = 0
+        for i in range(samples):
+            key = f"probe_{delay}_{i}"
+            store.write(key, i)
+            store.advance(delay)
+            obs = store.read_replica(key, rng.randint(0, config.replicas - 1))
+            if obs.is_fresh:
+                fresh += 1
+            # Space the probes out so in-flight traffic stays realistic.
+            store.advance(1)
+        probabilities.append(fresh / samples)
+    return ConsistencyCurve(delays, probabilities, samples)
+
+
+def read_your_writes_violation_rate(
+    config: ReplicationConfig,
+    trials: int = 500,
+    read_delay: int = 1,
+    seed: int = 17,
+) -> float:
+    """Fraction of write-then-read sequences that miss the client's write."""
+    store = ReplicatedStore(config)
+    rng = DeterministicRng(derive_seed(seed, "ryw"))
+    violations = 0
+    for i in range(trials):
+        key = f"ryw_{i}"
+        store.write(key, i)
+        store.advance(read_delay)
+        obs = store.read_replica(key, rng.randint(0, config.replicas - 1))
+        if not obs.is_fresh:
+            violations += 1
+        store.advance(1)
+    return violations / trials

@@ -1,0 +1,187 @@
+"""A deterministic discrete-event simulator of an eventually consistent store.
+
+One primary accepts all writes; R replicas receive them asynchronously
+with configurable delay and loss.  Anti-entropy repairs lost updates on
+a fixed period, so the store is genuinely *eventually* consistent.  Time
+is a logical tick counter advanced by the caller — every run is exactly
+reproducible from the seed (the substitution DESIGN.md documents for the
+paper's "actually deployed systems").
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import BenchmarkError
+from repro.util.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """Tuning knobs for the replicated store."""
+
+    replicas: int = 3
+    base_lag: int = 4  # minimum delivery delay in ticks
+    jitter: int = 4  # uniform extra delay in [0, jitter]
+    loss_probability: float = 0.0  # chance a replication message is dropped
+    anti_entropy_period: int = 50  # full repair every N ticks (0 = never)
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise BenchmarkError("need at least one replica")
+        if self.base_lag < 0 or self.jitter < 0:
+            raise BenchmarkError("lag/jitter must be non-negative")
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise BenchmarkError("loss probability must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class _Versioned:
+    """A versioned value: sequence number + write tick."""
+
+    seq: int
+    write_tick: int
+    value: Any
+
+
+@dataclass
+class ReadObservation:
+    """What one replica read returned, with staleness accounting."""
+
+    key: str
+    replica: int
+    tick: int
+    value: Any
+    seq_read: int  # 0 = key unseen at the replica
+    seq_latest: int  # primary's latest sequence for the key
+    latest_write_tick: int
+
+    @property
+    def is_fresh(self) -> bool:
+        return self.seq_read == self.seq_latest
+
+    @property
+    def version_staleness(self) -> int:
+        """How many committed versions behind the read was."""
+        return self.seq_latest - self.seq_read
+
+    @property
+    def time_staleness(self) -> int:
+        """Ticks since the latest write the read failed to observe (0 if fresh)."""
+        return 0 if self.is_fresh else max(0, self.tick - self.latest_write_tick)
+
+
+class ReplicatedStore:
+    """Primary + async replicas over a logical clock."""
+
+    def __init__(self, config: ReplicationConfig | None = None) -> None:
+        self.config = config if config is not None else ReplicationConfig()
+        self._rng = DeterministicRng(self.config.seed)
+        self.now = 0
+        self._seq = 0
+        self._primary: dict[str, _Versioned] = {}
+        self._replicas: list[dict[str, _Versioned]] = [
+            {} for _ in range(self.config.replicas)
+        ]
+        # (deliver_tick, tiebreak, replica, key, version)
+        self._in_flight: list[tuple[int, int, int, str, _Versioned]] = []
+        self._tiebreak = 0
+        self.messages_sent = 0
+        self.messages_lost = 0
+
+    # -- time ------------------------------------------------------------
+
+    def advance(self, ticks: int = 1) -> None:
+        """Advance the clock, delivering due messages and running repair."""
+        if ticks < 0:
+            raise BenchmarkError("cannot advance time backwards")
+        for _ in range(ticks):
+            self.now += 1
+            self._deliver_due()
+            period = self.config.anti_entropy_period
+            if period and self.now % period == 0:
+                self.anti_entropy()
+
+    def _deliver_due(self) -> None:
+        while self._in_flight and self._in_flight[0][0] <= self.now:
+            _, _, replica, key, version = heapq.heappop(self._in_flight)
+            current = self._replicas[replica].get(key)
+            if current is None or current.seq < version.seq:
+                self._replicas[replica][key] = version
+
+    # -- writes ------------------------------------------------------------
+
+    def write(self, key: str, value: Any) -> int:
+        """Write through the primary; returns the sequence number."""
+        self._seq += 1
+        version = _Versioned(self._seq, self.now, value)
+        self._primary[key] = version
+        for replica in range(self.config.replicas):
+            self.messages_sent += 1
+            if self._rng.bernoulli(self.config.loss_probability):
+                self.messages_lost += 1
+                continue  # anti-entropy will repair it eventually
+            delay = self.config.base_lag + (
+                self._rng.randint(0, self.config.jitter) if self.config.jitter else 0
+            )
+            self._tiebreak += 1
+            heapq.heappush(
+                self._in_flight,
+                (self.now + delay, self._tiebreak, replica, key, version),
+            )
+        return self._seq
+
+    def anti_entropy(self) -> int:
+        """Synchronise every replica to the primary; returns repairs made."""
+        repairs = 0
+        for replica_state in self._replicas:
+            for key, version in self._primary.items():
+                current = replica_state.get(key)
+                if current is None or current.seq < version.seq:
+                    replica_state[key] = version
+                    repairs += 1
+        return repairs
+
+    # -- reads ------------------------------------------------------------------
+
+    def read_primary(self, key: str) -> Any:
+        version = self._primary.get(key)
+        return version.value if version is not None else None
+
+    def read_replica(self, key: str, replica: int | None = None) -> ReadObservation:
+        """Read from a replica (random when unspecified), with accounting."""
+        if replica is None:
+            replica = self._rng.randint(0, self.config.replicas - 1)
+        if not 0 <= replica < self.config.replicas:
+            raise BenchmarkError(f"no replica {replica}")
+        latest = self._primary.get(key)
+        seen = self._replicas[replica].get(key)
+        return ReadObservation(
+            key=key,
+            replica=replica,
+            tick=self.now,
+            value=seen.value if seen is not None else None,
+            seq_read=seen.seq if seen is not None else 0,
+            seq_latest=latest.seq if latest is not None else 0,
+            latest_write_tick=latest.write_tick if latest is not None else 0,
+        )
+
+    # -- introspection -------------------------------------------------------------
+
+    def replica_lag_versions(self) -> list[int]:
+        """Per-replica count of keys whose replica copy is behind the primary."""
+        lags = []
+        for replica_state in self._replicas:
+            lag = 0
+            for key, version in self._primary.items():
+                seen = replica_state.get(key)
+                if seen is None or seen.seq < version.seq:
+                    lag += 1
+            lags.append(lag)
+        return lags
+
+    def pending_messages(self) -> int:
+        return len(self._in_flight)

@@ -1,0 +1,144 @@
+"""Deterministic interleaved execution of scripted transactions.
+
+The engine's logical concurrency (see :mod:`repro.engine.locks`) lets the
+benchmark execute *exact* interleavings single-threadedly: every anomaly
+experiment is a schedule, and every run of it is bit-identical.  The
+executor advances transactions step by step, parks transactions whose
+lock requests raise :class:`~repro.engine.locks.WouldBlock`, and records
+aborts from deadlock or first-committer-wins conflicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.engine.database import MultiModelDatabase, Session
+from repro.engine.locks import WouldBlock
+from repro.engine.transactions import IsolationLevel
+from repro.errors import BenchmarkError, TransactionAborted
+
+Step = Callable[[Session], Any]
+
+
+@dataclass
+class ScriptedTxn:
+    """A named transaction as an ordered list of step callables."""
+
+    name: str
+    steps: list[Step]
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one interleaved run."""
+
+    committed: list[str] = field(default_factory=list)
+    aborted: dict[str, str] = field(default_factory=dict)  # name -> reason
+    step_values: dict[str, list[Any]] = field(default_factory=dict)
+    blocked_events: int = 0
+
+    def value(self, txn_name: str, step_index: int) -> Any:
+        return self.step_values[txn_name][step_index]
+
+    @property
+    def abort_count(self) -> int:
+        return len(self.aborted)
+
+
+def run_interleaved(
+    db: MultiModelDatabase,
+    txns: list[ScriptedTxn],
+    isolation: IsolationLevel,
+    order: list[int] | None = None,
+    max_rounds: int = 10_000,
+) -> ScheduleResult:
+    """Run *txns* interleaved under *isolation*.
+
+    *order* is a sequence of transaction indices; each entry means "run
+    the next step of that transaction".  Extra entries for finished
+    transactions are skipped; if order is exhausted (or None), remaining
+    steps run round-robin.  A transaction's commit is an implicit final
+    step.  Blocked transactions retry whenever another transaction
+    commits or aborts; a schedule where every live transaction is blocked
+    and none can finish raises (it would be a real deadlock the detector
+    missed — asserting here keeps the lock manager honest).
+    """
+    result = ScheduleResult(step_values={t.name: [] for t in txns})
+    sessions: list[Session | None] = [db.begin(isolation) for t in txns]
+    cursors = [0] * len(txns)
+    done = [False] * len(txns)
+    blocked = [False] * len(txns)
+
+    explicit = list(order) if order is not None else []
+    explicit_pos = 0
+    rounds = 0
+    rr_next = 0
+
+    def finished() -> bool:
+        return all(done)
+
+    def pick_next() -> int | None:
+        nonlocal explicit_pos, rr_next
+        while explicit_pos < len(explicit):
+            idx = explicit[explicit_pos]
+            explicit_pos += 1
+            if not 0 <= idx < len(txns):
+                raise BenchmarkError(f"schedule index {idx} out of range")
+            if not done[idx] and not blocked[idx]:
+                return idx
+        for offset in range(len(txns)):
+            idx = (rr_next + offset) % len(txns)
+            if not done[idx] and not blocked[idx]:
+                rr_next = idx + 1
+                return idx
+        return None
+
+    def unblock_all() -> None:
+        for i in range(len(txns)):
+            blocked[i] = False
+
+    while not finished():
+        rounds += 1
+        if rounds > max_rounds:
+            raise BenchmarkError("schedule did not terminate (livelock?)")
+        idx = pick_next()
+        if idx is None:
+            live = [t.name for i, t in enumerate(txns) if not done[i]]
+            raise BenchmarkError(
+                f"all live transactions blocked: {live} — undetected deadlock"
+            )
+        txn = txns[idx]
+        session = sessions[idx]
+        assert session is not None
+        try:
+            if cursors[idx] < len(txn.steps):
+                value = txn.steps[cursors[idx]](session)
+                result.step_values[txn.name].append(value)
+                cursors[idx] += 1
+                if session.txn.state.value == "aborted":
+                    # The script aborted its own transaction.
+                    result.aborted[txn.name] = "scripted abort"
+                    done[idx] = True
+                    sessions[idx] = None
+                    unblock_all()
+            else:
+                session.commit()
+                result.committed.append(txn.name)
+                done[idx] = True
+                sessions[idx] = None
+                unblock_all()
+        except WouldBlock:
+            result.blocked_events += 1
+            blocked[idx] = True
+        except TransactionAborted as exc:
+            # Deadlock victims are still ACTIVE (the lock manager raised
+            # mid-acquire); first-committer-wins losers were already
+            # aborted by the commit path.  Normalise to aborted.
+            if session.txn.state.value == "active":
+                session.abort()
+            result.aborted[txn.name] = f"{type(exc).__name__}: {exc}"
+            done[idx] = True
+            sessions[idx] = None
+            unblock_all()
+    return result

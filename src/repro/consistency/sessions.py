@@ -1,0 +1,159 @@
+"""Quorum reads and client-session guarantees over the replicated store.
+
+Extensions of the consistency pillar beyond the paper's minimum:
+
+- :meth:`quorum_read` — Dynamo-style read from R replicas taking the
+  newest version; with W=1 primary writes, R=N is guaranteed fresh for
+  delivered versions and larger R monotonically improves freshness.
+- :class:`ClientSession` — *session guarantees* (read-your-writes,
+  monotonic reads): the client remembers the highest sequence number it
+  has observed per key and falls back to the primary whenever a replica
+  read would violate the guarantee.  The measured fallback rate is the
+  price of the guarantee — it rises with replication lag, which is the
+  E4b ablation's shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.consistency.replication import ReadObservation, ReplicatedStore
+from repro.errors import BenchmarkError
+from repro.util.rng import DeterministicRng
+
+
+def quorum_read(
+    store: ReplicatedStore, key: str, r: int, rng: DeterministicRng
+) -> ReadObservation:
+    """Read *r* distinct replicas and return the freshest observation."""
+    n = store.config.replicas
+    if not 1 <= r <= n:
+        raise BenchmarkError(f"quorum size {r} out of range 1..{n}")
+    replicas = rng.sample(list(range(n)), r)
+    best: ReadObservation | None = None
+    for replica in replicas:
+        obs = store.read_replica(key, replica)
+        if best is None or obs.seq_read > best.seq_read:
+            best = obs
+    assert best is not None
+    return best
+
+
+@dataclass
+class SessionStats:
+    """Accounting for one client session."""
+
+    reads: int = 0
+    fresh: int = 0
+    fallbacks: int = 0
+    guarantee_violations_prevented: int = 0
+
+    @property
+    def fallback_rate(self) -> float:
+        return self.fallbacks / self.reads if self.reads else 0.0
+
+
+@dataclass
+class ClientSession:
+    """A client with read-your-writes and monotonic-reads guarantees.
+
+    ``floor[key]`` is the highest sequence number this session has
+    *observed or written* for the key; a replica read below the floor
+    would violate a guarantee, so the session falls back to the primary
+    (and the fallback is counted — that's the metric).
+    """
+
+    store: ReplicatedStore
+    rng: DeterministicRng
+    read_your_writes: bool = True
+    monotonic_reads: bool = True
+    stats: SessionStats = field(default_factory=SessionStats)
+    _floor: dict[str, int] = field(default_factory=dict)
+
+    def write(self, key: str, value: Any) -> int:
+        seq = self.store.write(key, value)
+        if self.read_your_writes:
+            self._floor[key] = seq
+        return seq
+
+    def read(self, key: str) -> Any:
+        """Guarantee-respecting read; prefers a random replica."""
+        self.stats.reads += 1
+        obs = self.store.read_replica(
+            key, self.rng.randint(0, self.store.config.replicas - 1)
+        )
+        if obs.is_fresh:
+            self.stats.fresh += 1
+        floor = self._floor.get(key, 0)
+        if obs.seq_read < floor:
+            # Guarantee would be violated: go to the primary instead.
+            self.stats.fallbacks += 1
+            self.stats.guarantee_violations_prevented += 1
+            value = self.store.read_primary(key)
+            latest = obs.seq_latest
+            if self.monotonic_reads:
+                self._floor[key] = max(floor, latest)
+            return value
+        if self.monotonic_reads and obs.seq_read > floor:
+            self._floor[key] = obs.seq_read
+        return obs.value
+
+
+def quorum_freshness(
+    store_factory,
+    r_values: list[int],
+    samples: int = 300,
+    seed: int = 23,
+    probe_delay: int | None = None,
+) -> dict[int, float]:
+    """P(quorum read is fresh) per quorum size R.
+
+    Probes *probe_delay* ticks after the write — by default the store's
+    base lag, i.e. mid-delivery-window, where some replicas have the
+    version and some (jittered) don't.  That is exactly where quorum
+    size matters: R=1 hits a stale replica often, R=N almost never.
+    *store_factory* builds a fresh store per R so in-flight traffic is
+    identical across the sweep.
+    """
+    out: dict[int, float] = {}
+    for r in r_values:
+        store = store_factory()
+        delay = probe_delay if probe_delay is not None else store.config.base_lag
+        rng = DeterministicRng(seed)
+        fresh = 0
+        for i in range(samples):
+            key = f"q{i}"
+            store.write(key, i)
+            store.advance(delay)
+            obs = quorum_read(store, key, r, rng)
+            if obs.is_fresh:
+                fresh += 1
+            store.advance(1)
+        out[r] = fresh / samples
+    return out
+
+
+def session_fallback_rate(
+    store_factory, trials: int = 400, think_ticks: int = 1, seed: int = 29
+) -> SessionStats:
+    """Write-then-read loop through a guaranteed session.
+
+    Returns the aggregated stats; the fallback rate is the fraction of
+    reads the session had to redirect to the primary to honour
+    read-your-writes/monotonic-reads.
+    """
+    store = store_factory()
+    session = ClientSession(store, DeterministicRng(seed))
+    for i in range(trials):
+        key = f"s{i % 20}"
+        session.write(key, i)
+        store.advance(think_ticks)
+        value = session.read(key)
+        if value != i:
+            raise BenchmarkError(
+                "session guarantee violated: read-your-writes returned "
+                f"{value!r} after writing {i!r}"
+            )
+        store.advance(1)
+    return session.stats

@@ -1,0 +1,45 @@
+"""Multi-model data conversion with gold-standard verification (pillar 4).
+
+The paper: "data generators must support the creation of reasonable gold
+standard outputs for different transformation tasks."  Every converter
+here is paired with a gold-standard function derived *independently*
+from the generator's source entities, and
+:func:`~repro.conversion.base.run_conversion_suite` scores converters
+against their gold outputs (experiment E5).
+
+Tasks:
+
+- relational -> JSON  (customers to documents)
+- JSON -> relational  (orders shredded into orders_rel + order_items_rel)
+- JSON -> XML         (order + customer to invoice)
+- XML -> JSON         (invoice back to an order summary)
+- relational -> graph (customers + orders to a purchase graph)
+- graph -> relational (knows edges to an edge table)
+- JSON <-> KV         (document flattening to path keys and back)
+"""
+
+from repro.conversion.base import ConversionOutcome, ConversionTask, run_conversion_suite
+from repro.conversion.json_kv import document_to_kv_pairs, kv_pairs_to_document
+from repro.conversion.json_xml import invoice_to_order_summary, order_to_invoice
+from repro.conversion.relational_graph import (
+    graph_to_edge_rows,
+    purchase_graph_from_entities,
+)
+from repro.conversion.relational_json import (
+    documents_to_order_rows,
+    rows_to_documents,
+)
+
+__all__ = [
+    "ConversionOutcome",
+    "ConversionTask",
+    "document_to_kv_pairs",
+    "documents_to_order_rows",
+    "graph_to_edge_rows",
+    "invoice_to_order_summary",
+    "kv_pairs_to_document",
+    "order_to_invoice",
+    "purchase_graph_from_entities",
+    "rows_to_documents",
+    "run_conversion_suite",
+]

@@ -1,0 +1,90 @@
+"""Conversion-task framework and gold-standard scoring."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.models.document.document import json_equal
+from repro.models.xml.node import XmlElement
+
+
+@dataclass
+class ConversionTask:
+    """One transformation task with its gold standard.
+
+    ``convert`` is the system under test; ``gold`` produces the expected
+    output from the same input via an independent derivation.  Both take
+    one source item and return the converted form.
+    """
+
+    name: str
+    convert: Callable[[Any], Any]
+    gold: Callable[[Any], Any]
+
+
+@dataclass
+class ConversionOutcome:
+    """Score of one task over a batch of inputs."""
+
+    task: str
+    items: int
+    correct: int
+    seconds: float
+    mismatches: list[str]
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.items if self.items else 1.0
+
+    @property
+    def items_per_second(self) -> float:
+        return self.items / self.seconds if self.seconds > 0 else 0.0
+
+
+def outputs_equal(got: Any, expected: Any) -> bool:
+    """Structural equality across model value types."""
+    if isinstance(got, XmlElement) or isinstance(expected, XmlElement):
+        return got == expected
+    if isinstance(got, (list, tuple)) and isinstance(expected, (list, tuple)):
+        return len(got) == len(expected) and all(
+            outputs_equal(a, b) for a, b in zip(got, expected)
+        )
+    return json_equal(got, expected)
+
+
+def run_conversion_task(task: ConversionTask, inputs: list[Any]) -> ConversionOutcome:
+    """Convert every input and compare with the gold standard."""
+    mismatches: list[str] = []
+    correct = 0
+    start = time.perf_counter()
+    converted = [task.convert(item) for item in inputs]
+    seconds = time.perf_counter() - start
+    for i, (got, item) in enumerate(zip(converted, inputs)):
+        expected = task.gold(item)
+        if outputs_equal(got, expected):
+            correct += 1
+        elif len(mismatches) < 10:
+            mismatches.append(
+                f"item {i}: expected {_preview(expected)}, got {_preview(got)}"
+            )
+    return ConversionOutcome(
+        task=task.name,
+        items=len(inputs),
+        correct=correct,
+        seconds=seconds,
+        mismatches=mismatches,
+    )
+
+
+def run_conversion_suite(
+    tasks: list[tuple[ConversionTask, list[Any]]]
+) -> list[ConversionOutcome]:
+    """Score a batch of (task, inputs) pairs — the E5 rows."""
+    return [run_conversion_task(task, inputs) for task, inputs in tasks]
+
+
+def _preview(value: Any) -> str:
+    text = repr(value)
+    return text if len(text) <= 80 else text[:77] + "..."

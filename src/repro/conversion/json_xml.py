@@ -1,0 +1,108 @@
+"""JSON <-> XML conversions (orders and invoices).
+
+``order_to_invoice`` re-derives the invoice tree; its gold standard is
+the generator's :func:`~repro.datagen.generator.build_invoice`.
+``invoice_to_order_summary`` parses an invoice back into a JSON summary
+whose gold standard is computed from the original order document — a
+true round-trip check across two models.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConversionError
+from repro.models.xml.node import XmlElement, element
+from repro.models.xml.node import text as xml_text
+from repro.models.xml.xpath import XPath
+
+_LINES_PATH = XPath("/invoice/lines/line")
+_TOTAL_PATH = XPath("/invoice/total/text()")
+_CUSTOMER_PATH = XPath("/invoice/customer/@id")
+_NAME_PATH = XPath("/invoice/customer/name/text()")
+
+
+def order_to_invoice(
+    order: dict[str, Any], customer: dict[str, Any]
+) -> XmlElement:
+    """Build the invoice XML for an order (system under test for E5)."""
+    invoice = element(
+        "invoice", {"id": order["_id"], "date": order.get("order_date", "")}
+    )
+    cust = element("customer", {"id": str(customer["id"])})
+    cust.append(
+        element(
+            "name", {},
+            xml_text(f"{customer['first_name']} {customer['last_name']}"),
+        )
+    )
+    cust.append(element("country", {}, xml_text(customer.get("country") or "")))
+    invoice.append(cust)
+    lines = element("lines")
+    for item in order.get("items", []):
+        line = element(
+            "line",
+            {"product": item["product_id"], "quantity": str(item["quantity"])},
+        )
+        line.append(element("unitPrice", {}, xml_text(f"{item['unit_price']:.2f}")))
+        line.append(element("amount", {}, xml_text(f"{item['amount']:.2f}")))
+        lines.append(line)
+    invoice.append(lines)
+    invoice.append(element("total", {}, xml_text(f"{order['total_price']:.2f}")))
+    return invoice
+
+
+def invoice_to_order_summary(invoice: XmlElement) -> dict[str, Any]:
+    """Parse an invoice tree back into a JSON order summary.
+
+    The summary is the lossy-but-canonical projection: id, date, customer
+    id and name, line items (product/quantity/amount), and total.
+    """
+    if invoice.tag != "invoice":
+        raise ConversionError(f"expected <invoice>, got <{invoice.tag}>")
+    customer_ids = _CUSTOMER_PATH.find(invoice)
+    names = _NAME_PATH.find(invoice)
+    items = []
+    for line in _LINES_PATH.find(invoice):
+        assert isinstance(line, XmlElement)
+        quantity_raw = line.get("quantity")
+        amount_node = line.find("amount")
+        items.append(
+            {
+                "product_id": line.get("product"),
+                "quantity": int(quantity_raw) if quantity_raw is not None else None,
+                "amount": float(amount_node.text_content())
+                if amount_node is not None
+                else None,
+            }
+        )
+    totals = _TOTAL_PATH.find(invoice)
+    return {
+        "_id": invoice.get("id"),
+        "order_date": invoice.get("date"),
+        "customer_id": int(customer_ids[0]) if customer_ids else None,
+        "customer_name": names[0] if names else None,
+        "items": items,
+        "total_price": float(totals[0]) if totals else None,
+    }
+
+
+def gold_order_summary(
+    order: dict[str, Any], customer: dict[str, Any]
+) -> dict[str, Any]:
+    """Gold standard for the XML->JSON direction, derived from the order."""
+    return {
+        "_id": order["_id"],
+        "order_date": order.get("order_date", ""),
+        "customer_id": customer["id"],
+        "customer_name": f"{customer['first_name']} {customer['last_name']}",
+        "items": [
+            {
+                "product_id": item["product_id"],
+                "quantity": item["quantity"],
+                "amount": round(item["amount"], 2),
+            }
+            for item in order.get("items", [])
+        ],
+        "total_price": round(order["total_price"], 2),
+    }

@@ -1,0 +1,90 @@
+"""Relational/JSON <-> graph conversions.
+
+- :func:`purchase_graph_from_entities`: customers (relational) + orders
+  (JSON) become a bipartite purchase graph — customer and product
+  vertices, one ``purchased`` edge per distinct (customer, product) pair
+  with accumulated quantity.
+- :func:`graph_to_edge_rows`: any edge set becomes a relational edge
+  table (the graph -> relational direction).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.models.graph.property_graph import PropertyGraph
+
+
+def purchase_graph_from_entities(
+    customers: list[dict[str, Any]], orders: list[dict[str, Any]]
+) -> PropertyGraph:
+    """Derive the bipartite purchase graph (system under test for E5)."""
+    graph = PropertyGraph("purchases")
+    for customer in customers:
+        graph.add_vertex(
+            f"c{customer['id']}", "customer",
+            name=f"{customer['first_name']} {customer['last_name']}",
+        )
+    product_ids = {
+        item["product_id"] for order in orders for item in order.get("items", [])
+    }
+    for product_id in sorted(product_ids):
+        graph.add_vertex(product_id, "product")
+    totals: dict[tuple[str, str], int] = {}
+    for order in orders:
+        src = f"c{order['customer_id']}"
+        for item in order.get("items", []):
+            key = (src, item["product_id"])
+            totals[key] = totals.get(key, 0) + item["quantity"]
+    for (src, dst), quantity in sorted(totals.items()):
+        graph.add_edge(src, dst, "purchased", quantity=quantity)
+    return graph
+
+
+def gold_purchase_edges(
+    customers: list[dict[str, Any]], orders: list[dict[str, Any]]
+) -> list[tuple[str, str, int]]:
+    """Gold standard: sorted (customer_vertex, product, quantity) triples."""
+    totals: dict[tuple[str, str], int] = {}
+    for order in orders:
+        for item in order.get("items", []):
+            key = (f"c{order['customer_id']}", item["product_id"])
+            totals[key] = totals.get(key, 0) + item["quantity"]
+    return sorted((src, dst, q) for (src, dst), q in totals.items())
+
+
+def purchase_graph_edges(graph: PropertyGraph) -> list[tuple[str, str, int]]:
+    """Project a purchase graph back to comparable triples."""
+    return sorted(
+        (e.src, e.dst, e.properties.get("quantity", 0))
+        for e in graph.edges("purchased")
+    )
+
+
+def graph_to_edge_rows(
+    graph: PropertyGraph, edge_label: str | None = None
+) -> list[dict[str, Any]]:
+    """Convert edges to relational rows (src, dst, label + properties)."""
+    rows = []
+    for edge in graph.edges(edge_label):
+        row: dict[str, Any] = {
+            "src": edge.src,
+            "dst": edge.dst,
+            "label": edge.label,
+        }
+        row.update(edge.properties)
+        rows.append(row)
+    rows.sort(key=lambda r: (str(r["src"]), str(r["dst"]), r["label"]))
+    return rows
+
+
+def gold_knows_rows(
+    knows_edges: list[tuple[int, int, int]]
+) -> list[dict[str, Any]]:
+    """Gold standard for the knows-edge table from generator triples."""
+    rows = [
+        {"src": src, "dst": dst, "label": "knows", "since": since}
+        for src, dst, since in knows_edges
+    ]
+    rows.sort(key=lambda r: (str(r["src"]), str(r["dst"]), r["label"]))
+    return rows

@@ -1,0 +1,134 @@
+"""Relational <-> JSON conversions.
+
+- :func:`rows_to_documents`: any table's rows become documents; the
+  single-column primary key becomes ``_id``.
+- :func:`documents_to_order_rows`: the *shredding* direction — a nested
+  order document becomes one ``orders_rel`` row plus N
+  ``order_items_rel`` rows (the canonical 1NF decomposition declared in
+  :mod:`repro.datagen.schemas`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConversionError
+from repro.models.relational.schema import TableSchema
+
+
+def rows_to_documents(
+    rows: list[dict[str, Any]], schema: TableSchema
+) -> list[dict[str, Any]]:
+    """Convert table rows to documents, mapping the PK to ``_id``.
+
+    Composite keys become a string join (``"a|b"``); NULLs are dropped
+    rather than stored, matching document-store convention.
+    """
+    if not schema.primary_key:
+        raise ConversionError(f"table {schema.name!r} has no primary key")
+    out: list[dict[str, Any]] = []
+    for row in rows:
+        pk = tuple(row[c] for c in schema.primary_key)
+        doc_id: Any = pk[0] if len(pk) == 1 else "|".join(str(p) for p in pk)
+        doc: dict[str, Any] = {"_id": doc_id}
+        for column in schema.column_names:
+            if column in schema.primary_key and len(schema.primary_key) == 1:
+                continue  # already encoded as _id
+            value = row.get(column)
+            if value is not None:
+                doc[column] = value
+        out.append(doc)
+    return out
+
+
+def gold_customer_document(row: dict[str, Any]) -> dict[str, Any]:
+    """Gold standard for one customers row (independent derivation)."""
+    doc = {"_id": row["id"]}
+    for key in ("first_name", "last_name", "country", "city", "join_date"):
+        if row.get(key) is not None:
+            doc[key] = row[key]
+    return doc
+
+
+def documents_to_order_rows(
+    order: dict[str, Any]
+) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Shred one order document into (orders_rel row, order_items_rel rows)."""
+    if "_id" not in order:
+        raise ConversionError("order document missing _id")
+    head = {
+        "id": order["_id"],
+        "customer_id": order.get("customer_id"),
+        "order_date": order.get("order_date"),
+        "status": order.get("status"),
+        "total_price": order.get("total_price"),
+    }
+    items: list[dict[str, Any]] = []
+    for line_no, item in enumerate(order.get("items", []), start=1):
+        items.append(
+            {
+                "order_id": order["_id"],
+                "line_no": line_no,
+                "product_id": item["product_id"],
+                "quantity": item["quantity"],
+                "unit_price": item["unit_price"],
+                "amount": item["amount"],
+            }
+        )
+    return head, items
+
+
+def gold_order_rows(
+    order: dict[str, Any]
+) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Gold standard for the shredding task (derived field by field)."""
+    head = {
+        "id": order["_id"],
+        "customer_id": order.get("customer_id"),
+        "order_date": order.get("order_date"),
+        "status": order.get("status"),
+        "total_price": order.get("total_price"),
+    }
+    rows = []
+    line_no = 0
+    for item in order.get("items", []):
+        line_no += 1
+        rows.append(
+            {
+                "order_id": order["_id"],
+                "line_no": line_no,
+                "product_id": item["product_id"],
+                "quantity": item["quantity"],
+                "unit_price": item["unit_price"],
+                "amount": item["amount"],
+            }
+        )
+    return head, rows
+
+
+def order_rows_to_document(
+    head: dict[str, Any], items: list[dict[str, Any]]
+) -> dict[str, Any]:
+    """Inverse of shredding: reassemble the nested order document.
+
+    Round-trip property: ``order_rows_to_document(*documents_to_order_rows(o))``
+    equals *o* for canonical orders (tests pin this).
+    """
+    doc: dict[str, Any] = {
+        "_id": head["id"],
+        "customer_id": head.get("customer_id"),
+        "order_date": head.get("order_date"),
+        "total_price": head.get("total_price"),
+        "items": [
+            {
+                "product_id": item["product_id"],
+                "quantity": item["quantity"],
+                "unit_price": item["unit_price"],
+                "amount": item["amount"],
+            }
+            for item in sorted(items, key=lambda r: r["line_no"])
+        ],
+    }
+    if head.get("status") is not None:
+        doc["status"] = head["status"]
+    return doc

@@ -1,0 +1,38 @@
+"""Benchmark run configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datagen.config import GeneratorConfig
+from repro.errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """One benchmark run: data scale, repetitions, and measurement knobs."""
+
+    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+    warmup_repetitions: int = 1
+    repetitions: int = 5
+    transaction_count: int = 200
+    use_indexes: bool = True
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise BenchmarkError("repetitions must be >= 1")
+        if self.warmup_repetitions < 0:
+            raise BenchmarkError("warmup_repetitions must be >= 0")
+        if self.transaction_count < 1:
+            raise BenchmarkError("transaction_count must be >= 1")
+
+    @classmethod
+    def small(cls, seed: int = 42) -> "BenchmarkConfig":
+        """A configuration sized for tests and CI (SF = 0.05)."""
+        return cls(generator=GeneratorConfig(seed=seed, scale_factor=0.05),
+                   repetitions=3, transaction_count=50)
+
+    @classmethod
+    def default(cls, seed: int = 42) -> "BenchmarkConfig":
+        """The headline configuration (SF = 0.5, laptop-scale)."""
+        return cls(generator=GeneratorConfig(seed=seed, scale_factor=0.5))

@@ -1,0 +1,113 @@
+"""Contended cross-model transactions (E3c).
+
+The sequential throughput runner never conflicts; this module measures
+what happens when transactions *collide*: batches of order-update
+transactions (the paper's T2) all targeting the same hot order are
+interleaved deterministically, and the abort/block behaviour per
+isolation level is the result.  Snapshot isolation aborts losers at
+commit (first-committer-wins); serializable blocks them at first write
+and may pick deadlock victims; read-committed lets everyone through and
+silently loses updates — counted too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.consistency.schedules import ScriptedTxn, run_interleaved
+from repro.engine.database import MultiModelDatabase, Session
+from repro.engine.transactions import IsolationLevel
+from repro.models.xml.node import element
+from repro.models.xml.node import text as xml_text
+
+
+@dataclass
+class ContentionResult:
+    isolation: str
+    batches: int
+    txns_per_batch: int
+    committed: int
+    aborted: int
+    blocked_events: int
+    lost_updates: int
+
+    @property
+    def abort_rate(self) -> float:
+        total = self.committed + self.aborted
+        return self.aborted / total if total else 0.0
+
+
+def _fresh_db() -> MultiModelDatabase:
+    db = MultiModelDatabase()
+    db.create_collection("orders")
+    db.create_kv_namespace("feedback")
+    db.create_xml_collection("invoices")
+    with db.transaction() as tx:
+        tx.doc_insert(
+            "orders",
+            {"_id": "hot", "status": "pending", "update_count": 0, "total_price": 9.0},
+        )
+        tx.xml_put(
+            "invoices", "hot",
+            element("invoice", {"id": "hot"}, element("total", {}, xml_text("9.00"))),
+        )
+    return db
+
+
+def _t2_script(name: str, writer_id: int) -> ScriptedTxn:
+    """One order-update transaction: read-modify-write across 3 models."""
+    state: dict[str, int] = {}
+
+    def read(s: Session) -> None:
+        state["count"] = s.doc_get("orders", "hot")["update_count"]
+
+    def write(s: Session) -> None:
+        s.doc_update(
+            "orders", "hot",
+            {"status": "shipped", "update_count": state["count"] + 1},
+        )
+        s.kv_put("feedback", f"hot/{writer_id}", {"rating": 5})
+        s.xml_put(
+            "invoices", "hot",
+            element("invoice", {"id": "hot", "status": "shipped"},
+                    element("total", {}, xml_text("9.00"))),
+        )
+
+    return ScriptedTxn(name, [read, write])
+
+
+def run_contended(
+    isolation: IsolationLevel, batches: int = 20, txns_per_batch: int = 3
+) -> ContentionResult:
+    """Interleave *txns_per_batch* conflicting T2s, *batches* times.
+
+    Each batch uses a round-robin schedule so every transaction reads
+    before any writes — the maximally conflicting interleaving.  Lost
+    updates are detected by comparing the hot order's final
+    ``update_count`` with the number of commits that claimed success.
+    """
+    committed = 0
+    aborted = 0
+    blocked = 0
+    lost = 0
+    for batch in range(batches):
+        db = _fresh_db()
+        txns = [
+            _t2_script(f"T{batch}.{i}", writer_id=i) for i in range(txns_per_batch)
+        ]
+        result = run_interleaved(db, txns, isolation)
+        committed += len(result.committed)
+        aborted += result.abort_count
+        blocked += result.blocked_events
+        with db.transaction() as tx:
+            final = tx.doc_get("orders", "hot")["update_count"]
+        lost += len(result.committed) - final
+    return ContentionResult(
+        isolation=isolation.value,
+        batches=batches,
+        txns_per_batch=txns_per_batch,
+        committed=committed,
+        aborted=aborted,
+        blocked_events=blocked,
+        lost_updates=lost,
+    )

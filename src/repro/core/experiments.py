@@ -1,0 +1,566 @@
+"""The paper's experiments: F1 (Figure 1) and E1-E6 (the four pillars).
+
+Each ``experiment_*`` function is self-contained: it builds what it
+needs, runs the measurement, and returns one or more
+:class:`~repro.util.tables.Table` objects whose rendered form is what
+EXPERIMENTS.md records and the ``benchmarks/`` harness regenerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.consistency.acid import probe_all
+from repro.consistency.metrics import (
+    consistency_probability,
+    read_your_writes_violation_rate,
+    staleness_distribution,
+)
+from repro.consistency.replication import ReplicationConfig
+from repro.conversion.base import ConversionTask, run_conversion_task
+from repro.conversion.json_kv import document_to_kv_pairs, kv_pairs_to_document
+from repro.conversion.json_xml import (
+    gold_order_summary,
+    invoice_to_order_summary,
+    order_to_invoice,
+)
+from repro.conversion.relational_graph import (
+    gold_purchase_edges,
+    purchase_graph_edges,
+    purchase_graph_from_entities,
+)
+from repro.conversion.relational_json import (
+    documents_to_order_rows,
+    gold_customer_document,
+    gold_order_rows,
+    rows_to_documents,
+)
+from repro.core.config import BenchmarkConfig
+from repro.core.runner import QueryRunner, TransactionRunner
+from repro.core.workloads import QUERIES, TRANSACTIONS, TRANSACTION_BY_ID
+from repro.datagen.config import GeneratorConfig
+from repro.datagen.generator import Dataset, DatasetGenerator, build_invoice
+from repro.datagen.load import load_dataset
+from repro.datagen.schemas import CUSTOMERS_SCHEMA
+from repro.drivers.polyglot import PolyglotDriver
+from repro.drivers.unified import UnifiedDriver
+from repro.engine.transactions import IsolationLevel
+from repro.errors import SimulatedCrash
+from repro.baselines.polyglot import CrashDuringCommit
+from repro.models.graph.algorithms import connected_components
+from repro.models.graph.property_graph import PropertyGraph
+from repro.schema.evolution import random_evolution_chain
+from repro.schema.registry import SchemaRegistry, migrate_documents
+from repro.schema.shapes import orders_shape
+from repro.schema.usability import check_usability
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.tables import Table
+from repro.util.timing import Stopwatch
+
+
+def _generate(config: BenchmarkConfig) -> Dataset:
+    return DatasetGenerator(config.generator).generate()
+
+
+def _loaded_pair(config: BenchmarkConfig) -> tuple[Dataset, UnifiedDriver, PolyglotDriver]:
+    dataset = _generate(config)
+    unified = UnifiedDriver()
+    polyglot = PolyglotDriver()
+    load_dataset(unified, dataset, with_indexes=config.use_indexes)
+    load_dataset(polyglot, dataset, with_indexes=config.use_indexes)
+    return dataset, unified, polyglot
+
+
+# ---------------------------------------------------------------------------
+# F1 — the multi-model dataset of Figure 1
+# ---------------------------------------------------------------------------
+
+
+def experiment_f1_datagen(scale_factors: list[float] | None = None, seed: int = 42) -> Table:
+    """Figure 1 reproduction: entity counts per model at each scale factor."""
+    scale_factors = scale_factors or [0.1, 1.0]
+    table = Table(
+        "F1: multi-model dataset (Figure 1)",
+        ["scale_factor", "model", "container", "entities", "integrity_ok"],
+    )
+    for sf in scale_factors:
+        dataset = DatasetGenerator(GeneratorConfig(seed=seed, scale_factor=sf)).generate()
+        ok = not dataset.verify_integrity()
+        rows = [
+            ("relational", "customers", len(dataset.customers)),
+            ("relational", "vendors", len(dataset.vendors)),
+            ("json", "products", len(dataset.products)),
+            ("json", "orders", len(dataset.orders)),
+            ("key-value", "feedback", len(dataset.feedback)),
+            ("xml", "invoices", len(dataset.invoices)),
+            ("graph", "social vertices", len(dataset.persons)),
+            ("graph", "knows edges", len(dataset.knows_edges)),
+        ]
+        for model, container, count in rows:
+            table.add_row([sf, model, container, count, ok])
+    return table
+
+
+def experiment_f1_graph_shape(seed: int = 42, scale_factor: float = 0.5) -> Table:
+    """Companion sanity table: the social graph is connected and skewed."""
+    dataset = DatasetGenerator(
+        GeneratorConfig(seed=seed, scale_factor=scale_factor)
+    ).generate()
+    graph = PropertyGraph("social")
+    for person in dataset.persons:
+        graph.add_vertex(person["id"], "person")
+    for src, dst, since in dataset.knows_edges:
+        graph.add_edge(src, dst, "knows", since=since)
+    components = connected_components(graph)
+    degrees = sorted((graph.degree(v.id) for v in graph.vertices()), reverse=True)
+    table = Table(
+        "F1b: social graph shape",
+        ["metric", "value"],
+    )
+    table.add_row(["vertices", graph.vertex_count()])
+    table.add_row(["edges", graph.edge_count()])
+    table.add_row(["components", len(components)])
+    table.add_row(["largest_component", len(components[0]) if components else 0])
+    table.add_row(["max_degree", degrees[0] if degrees else 0])
+    table.add_row(["median_degree", degrees[len(degrees) // 2] if degrees else 0])
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E1 — the multi-model query workload
+# ---------------------------------------------------------------------------
+
+
+def experiment_e1_queries(config: BenchmarkConfig | None = None) -> Table:
+    """Q1-Q10 latency: unified vs polyglot, with the index ablation."""
+    config = config or BenchmarkConfig.small()
+    dataset, unified, polyglot = _loaded_pair(config)
+    table = Table(
+        "E1: multi-model query latency (ms)",
+        ["query", "models", "rows", "unified", "unified_noidx", "polyglot"],
+    )
+    run_u = QueryRunner(unified, dataset, config.repetitions, config.warmup_repetitions)
+    run_u_noidx = QueryRunner(
+        unified, dataset, config.repetitions, config.warmup_repetitions, use_indexes=False
+    )
+    run_p = QueryRunner(polyglot, dataset, config.repetitions, config.warmup_repetitions)
+    for query in QUERIES:
+        m_u = run_u.run(query)
+        m_noidx = run_u_noidx.run(query)
+        m_p = run_p.run(query)
+        table.add_row(
+            [
+                query.query_id,
+                "+".join(query.models),
+                m_u.result_size,
+                round(m_u.mean_ms, 3),
+                round(m_noidx.mean_ms, 3),
+                round(m_p.mean_ms, 3),
+            ]
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E2 — schema evolution vs history-query usability
+# ---------------------------------------------------------------------------
+
+
+def experiment_e2_evolution(
+    chain_lengths: list[int] | None = None,
+    seed: int = 42,
+    scale_factor: float = 0.05,
+    trials: int = 5,
+) -> Table:
+    """Usability of the history query set after evolution chains of length k."""
+    chain_lengths = chain_lengths or [1, 2, 4, 8, 16]
+    history_queries = [q.text for q in QUERIES]
+    dataset = DatasetGenerator(
+        GeneratorConfig(seed=seed, scale_factor=scale_factor)
+    ).generate()
+    table = Table(
+        "E2: schema evolution vs history-query usability",
+        ["chain_length", "mode", "usability", "broken_queries", "migrate_ms_per_kdoc"],
+    )
+    max_k = max(chain_lengths)
+    n_docs = max(1, len(dataset.orders))
+    for mode, additive_only in (("additive", True), ("mixed", False)):
+        # Accumulators per chain length, averaged over trials.  Each trial
+        # extends ONE chain and measures usability at every prefix, so the
+        # per-trial curve is monotone (evolution never un-breaks a query).
+        acc = {k: [0.0, 0.0, 0.0] for k in chain_lengths}
+        for trial in range(trials):
+            rng = DeterministicRng(derive_seed(seed, "e2", mode, trial))
+            registry = SchemaRegistry()
+            shape = orders_shape()
+            registry.register(shape)
+            ops = random_evolution_chain(shape, max_k, rng, additive_only=additive_only)
+            for op in ops:
+                shape = registry.apply(op)
+            for k in chain_lengths:
+                prefix = ops[:k]
+                report = check_usability(
+                    history_queries, _shape_after(orders_shape(), prefix)
+                )
+                with Stopwatch() as sw:
+                    migrate_documents(dataset.orders, prefix)
+                acc[k][0] += report.usability
+                acc[k][1] += len(report.broken_queries)
+                acc[k][2] += sw.elapsed * 1000.0
+        for k in chain_lengths:
+            usability_sum, broken_sum, migrate_ms = acc[k]
+            table.add_row(
+                [
+                    k,
+                    mode,
+                    round(usability_sum / trials, 3),
+                    round(broken_sum / trials, 2),
+                    round(migrate_ms / trials / n_docs * 1000.0, 3),
+                ]
+            )
+    return table
+
+
+def _shape_after(shape, ops):
+    """Apply an op chain to a shape (pure helper for prefix measurement)."""
+    for op in ops:
+        shape = op.apply_to_shape(shape)
+    return shape
+
+
+# ---------------------------------------------------------------------------
+# E3 — multi-model ACID: anomalies and throughput per isolation level
+# ---------------------------------------------------------------------------
+
+
+def experiment_e3_anomalies() -> Table:
+    """The anomaly matrix across isolation levels."""
+    matrix = probe_all()
+    levels = list(IsolationLevel)
+    table = Table(
+        "E3a: anomaly occurrence by isolation level",
+        ["anomaly"] + [level.value for level in levels],
+    )
+    for name, row in matrix.cells.items():
+        table.add_row([name] + ["yes" if row[level] else "no" for level in levels])
+    return table
+
+
+def experiment_e3_throughput(config: BenchmarkConfig | None = None) -> Table:
+    """T1-T4 mix throughput per isolation level, plus the polyglot baseline."""
+    config = config or BenchmarkConfig.small()
+    table = Table(
+        "E3b: cross-model transaction throughput",
+        ["driver", "isolation", "committed", "aborted", "txn_per_sec"],
+    )
+    for isolation in (
+        IsolationLevel.READ_COMMITTED,
+        IsolationLevel.SNAPSHOT,
+        IsolationLevel.SERIALIZABLE,
+    ):
+        dataset = _generate(config)
+        driver = UnifiedDriver(isolation=isolation)
+        load_dataset(driver, dataset, with_indexes=config.use_indexes)
+        runner = TransactionRunner(driver, dataset, isolation_name=isolation.value)
+        result = runner.run_mix(TRANSACTIONS, config.transaction_count)
+        table.add_row(
+            [
+                driver.name,
+                isolation.value,
+                result.committed,
+                result.aborted,
+                round(result.throughput, 1),
+            ]
+        )
+    dataset = _generate(config)
+    polyglot = PolyglotDriver()
+    load_dataset(polyglot, dataset, with_indexes=config.use_indexes)
+    runner = TransactionRunner(polyglot, dataset, isolation_name="per-store")
+    result = runner.run_mix(TRANSACTIONS, config.transaction_count)
+    table.add_row(
+        [
+            polyglot.name,
+            "per-store",
+            result.committed,
+            result.aborted,
+            round(result.throughput, 1),
+        ]
+    )
+    return table
+
+
+def experiment_e3_contention(
+    batches: int = 20, txns_per_batch: int = 3
+) -> Table:
+    """Conflicting T2 batches: abort/block/lost-update behaviour per level."""
+    from repro.core.contention import run_contended
+
+    table = Table(
+        "E3c: contended order updates (same hot order)",
+        ["isolation", "committed", "aborted", "abort_rate", "blocked_events",
+         "lost_updates"],
+    )
+    for isolation in (
+        IsolationLevel.READ_COMMITTED,
+        IsolationLevel.SNAPSHOT,
+        IsolationLevel.SERIALIZABLE,
+    ):
+        result = run_contended(isolation, batches, txns_per_batch)
+        table.add_row(
+            [
+                result.isolation,
+                result.committed,
+                result.aborted,
+                round(result.abort_rate, 3),
+                result.blocked_events,
+                result.lost_updates,
+            ]
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E4 — eventual consistency
+# ---------------------------------------------------------------------------
+
+
+def experiment_e4_consistency(
+    lags: list[int] | None = None, loss_probabilities: list[float] | None = None
+) -> Table:
+    """Staleness and PBS metrics as replication lag and loss grow."""
+    lags = lags or [1, 4, 16, 64]
+    loss_probabilities = loss_probabilities if loss_probabilities is not None else [0.0, 0.1]
+    table = Table(
+        "E4: eventual consistency vs replication lag",
+        [
+            "base_lag", "loss", "fresh_reads", "mean_staleness_versions",
+            "p95_staleness_ticks", "t_99pct_fresh", "ryw_violations",
+        ],
+    )
+    for loss in loss_probabilities:
+        for lag in lags:
+            config = ReplicationConfig(
+                base_lag=lag, jitter=max(1, lag // 2), loss_probability=loss
+            )
+            stats = staleness_distribution(config)
+            curve = consistency_probability(
+                config, delays=[0, 1, 2, 4, 8, 16, 32, 64, 128, 256]
+            )
+            t99 = curve.time_to_probability(0.99)
+            ryw = read_your_writes_violation_rate(config, read_delay=1)
+            table.add_row(
+                [
+                    lag,
+                    loss,
+                    round(stats.fresh_fraction, 3),
+                    round(stats.version_staleness.mean, 2),
+                    round(stats.time_staleness.percentile(95), 1),
+                    t99 if t99 is not None else "never",
+                    round(ryw, 3),
+                ]
+            )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E5 — data conversion against gold standards
+# ---------------------------------------------------------------------------
+
+
+def experiment_e5_conversion(seed: int = 42, scale_factor: float = 0.2) -> Table:
+    """Every conversion task scored against its gold standard."""
+    dataset = DatasetGenerator(
+        GeneratorConfig(seed=seed, scale_factor=scale_factor)
+    ).generate()
+    customers_by_id = {c["id"]: c for c in dataset.customers}
+
+    def graph_task_convert(orders):
+        return purchase_graph_edges(
+            purchase_graph_from_entities(dataset.customers, orders)
+        )
+
+    tasks: list[tuple[ConversionTask, list]] = [
+        (
+            ConversionTask(
+                "relational->json (customers)",
+                lambda row: rows_to_documents([row], CUSTOMERS_SCHEMA)[0],
+                gold_customer_document,
+            ),
+            dataset.customers,
+        ),
+        (
+            ConversionTask(
+                "json->relational (order shredding)",
+                documents_to_order_rows,
+                gold_order_rows,
+            ),
+            dataset.orders,
+        ),
+        (
+            ConversionTask(
+                "json->xml (order to invoice)",
+                lambda o: order_to_invoice(o, customers_by_id[o["customer_id"]]),
+                lambda o: build_invoice(o, customers_by_id[o["customer_id"]]),
+            ),
+            dataset.orders,
+        ),
+        (
+            ConversionTask(
+                "xml->json (invoice roundtrip)",
+                lambda o: invoice_to_order_summary(
+                    build_invoice(o, customers_by_id[o["customer_id"]])
+                ),
+                lambda o: gold_order_summary(o, customers_by_id[o["customer_id"]]),
+            ),
+            dataset.orders,
+        ),
+        (
+            ConversionTask(
+                "json->kv->json (flatten roundtrip)",
+                lambda o: kv_pairs_to_document(document_to_kv_pairs(o)),
+                lambda o: o,
+            ),
+            dataset.orders,
+        ),
+        (
+            ConversionTask(
+                "relational+json->graph (purchases)",
+                graph_task_convert,
+                lambda orders: gold_purchase_edges(dataset.customers, orders),
+            ),
+            [dataset.orders],  # one batch item: the whole order set
+        ),
+    ]
+    table = Table(
+        "E5: model conversion vs gold standard",
+        ["task", "items", "accuracy", "items_per_sec"],
+    )
+    for task, inputs in tasks:
+        outcome = run_conversion_task(task, inputs)
+        table.add_row(
+            [
+                outcome.task,
+                outcome.items,
+                round(outcome.accuracy, 4),
+                round(outcome.items_per_second, 0),
+            ]
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E6 — crash atomicity: unified WAL vs polyglot per-store commits
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _AtomicityCheck:
+    trials: int
+    fractured: int
+
+    @property
+    def fracture_rate(self) -> float:
+        return self.fractured / self.trials if self.trials else 0.0
+
+
+def _order_update_consistent(order_status, invoice_status, feedback) -> bool:
+    """The T2 invariant: all three models updated together, or none."""
+    updated = [
+        order_status == "shipped",
+        invoice_status == "shipped",
+        feedback is not None,
+    ]
+    return all(updated) or not any(updated)
+
+
+def experiment_e6_atomicity(trials: int = 20, seed: int = 42) -> Table:
+    """Inject a crash mid-commit; count fractured multi-model states."""
+    from repro.models.xml.node import element
+    from repro.models.xml.node import text as xml_text
+
+    def fresh_unified() -> UnifiedDriver:
+        driver = UnifiedDriver()
+        driver.create_collection("orders")
+        driver.create_kv_namespace("feedback")
+        driver.create_xml_collection("invoices")
+        driver.load(_seed_order)
+        return driver
+
+    def _seed_order(s) -> None:
+        s.doc_insert("orders", {"_id": "o1", "customer_id": 1, "status": "pending",
+                                "total_price": 10.0})
+        s.xml_put("invoices", "o1",
+                  element("invoice", {"id": "o1", "status": "pending"},
+                          element("total", {}, xml_text("10.00"))))
+
+    def t2_body(s) -> None:
+        s.doc_update("orders", "o1", {"status": "shipped"})
+        s.kv_put("feedback", "p1/1", {"rating": 5})
+        s.xml_put("invoices", "o1",
+                  element("invoice", {"id": "o1", "status": "shipped"},
+                          element("total", {}, xml_text("10.00"))))
+
+    # Unified: crash between write records and the commit record.
+    unified_check = _AtomicityCheck(trials, 0)
+    for _ in range(trials):
+        driver = fresh_unified()
+        driver.db.manager.crash_before_next_commit_record = True
+        try:
+            driver.run_transaction(t2_body)
+        except SimulatedCrash:
+            pass
+        recovered = driver.db.crash()
+        with recovered.transaction() as tx:
+            order_status = tx.doc_get("orders", "o1")["status"]
+            invoice = tx.xml_get("invoices", "o1")
+            invoice_status = invoice.get("status") if invoice is not None else None
+            feedback = tx.kv_get("feedback", "p1/1")
+        if not _order_update_consistent(order_status, invoice_status, feedback):
+            unified_check.fractured += 1
+
+    # Polyglot: crash between the five per-store commit points.
+    rng = DeterministicRng(derive_seed(seed, "e6"))
+    polyglot_check = _AtomicityCheck(trials, 0)
+    for _ in range(trials):
+        driver = PolyglotDriver()
+        driver.create_collection("orders")
+        driver.create_kv_namespace("feedback")
+        driver.create_xml_collection("invoices")
+        driver.load(_seed_order)
+        driver.db.crash_after_stores = rng.randint(1, 2)
+        try:
+            driver.run_transaction(t2_body)
+        except CrashDuringCommit:
+            pass
+        driver.db.crash_after_stores = None
+        session = driver.db.session()
+        order_status = session.doc_get("orders", "o1")["status"]
+        invoice = session.xml_get("invoices", "o1")
+        invoice_status = invoice.get("status") if invoice is not None else None
+        feedback = session.kv_get("feedback", "p1/1")
+        if not _order_update_consistent(order_status, invoice_status, feedback):
+            polyglot_check.fractured += 1
+
+    table = Table(
+        "E6: crash atomicity of the multi-model order update",
+        ["architecture", "trials", "fractured_states", "fracture_rate"],
+    )
+    table.add_row(["unified (single WAL)", trials, unified_check.fractured,
+                   round(unified_check.fracture_rate, 3)])
+    table.add_row(["polyglot (commit per store)", trials, polyglot_check.fractured,
+                   round(polyglot_check.fracture_rate, 3)])
+    return table
+
+
+ALL_EXPERIMENTS = {
+    "F1": experiment_f1_datagen,
+    "F1b": experiment_f1_graph_shape,
+    "E1": experiment_e1_queries,
+    "E2": experiment_e2_evolution,
+    "E3a": experiment_e3_anomalies,
+    "E3b": experiment_e3_throughput,
+    "E3c": experiment_e3_contention,
+    "E4": experiment_e4_consistency,
+    "E5": experiment_e5_conversion,
+    "E6": experiment_e6_atomicity,
+}

@@ -1,0 +1,258 @@
+"""Extension experiments E7-E9 + the YCSB baseline suite.
+
+These go beyond the paper's four pillars into the design-choice ablations
+DESIGN.md §5 calls out:
+
+- **E7** — secondary-index backend ablation: hash vs flat sorted list vs
+  B+tree, under write churn and range queries.
+- **E8** — quorum reads and session guarantees over the replicated store
+  (the price of read-your-writes as lag grows).
+- **E9** — eager vs lazy schema migration (upfront rewrite vs
+  repair-on-read vs upgrade-every-read).
+- **YCSB** — the single-model workloads A-F the paper cites as *not*
+  sufficient for multi-model evaluation, run as a baseline sanity suite.
+"""
+
+from __future__ import annotations
+
+from repro.consistency.replication import ReplicatedStore, ReplicationConfig
+from repro.consistency.sessions import quorum_freshness, session_fallback_rate
+from repro.core.ycsb import WORKLOADS, YcsbRunner
+from repro.datagen.config import GeneratorConfig
+from repro.datagen.generator import DatasetGenerator
+from repro.datagen.load import load_dataset
+from repro.drivers.polyglot import PolyglotDriver
+from repro.drivers.unified import UnifiedDriver
+from repro.engine.indexes import BTreeIndex, HashIndex, SortedIndex, field_extractor
+from repro.schema.evolution import AddField, NestFields, RenameField
+from repro.schema.lazy import LazyMigrator
+from repro.schema.registry import SchemaRegistry, migrate_collection
+from repro.schema.shapes import orders_shape
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.tables import Table
+from repro.util.timing import Stopwatch
+
+
+# ---------------------------------------------------------------------------
+# E7 — index backend ablation
+# ---------------------------------------------------------------------------
+
+
+def experiment_e7_index_backends(
+    sizes: list[int] | None = None, churn: int = 2000, seed: int = 42
+) -> Table:
+    """Maintenance and range-scan cost per index backend.
+
+    For each corpus size N: build the index, apply *churn* random updates
+    (the maintenance path), then run 100 range scans.  The flat sorted
+    list pays O(N) per update; the B+tree O(log N) — the crossover is the
+    point of the ablation.
+    """
+    sizes = sizes or [1_000, 10_000]
+    table = Table(
+        "E7: secondary index backends (ms)",
+        ["backend", "records", "build_ms", "churn_ms", "range_ms", "supports_range"],
+    )
+    for n in sizes:
+        rng = DeterministicRng(derive_seed(seed, "e7", n))
+        docs = {i: {"_id": i, "n": rng.randint(0, n * 10)} for i in range(n)}
+        updates = [
+            (rng.randint(0, n - 1), rng.randint(0, n * 10)) for _ in range(churn)
+        ]
+        for backend_name, factory, has_range in (
+            ("hash", lambda: HashIndex("i", field_extractor("n")), False),
+            ("sorted-list", lambda: SortedIndex("i", field_extractor("n")), True),
+            ("btree", lambda: BTreeIndex("i", field_extractor("n")), True),
+        ):
+            index = factory()
+            with Stopwatch() as build:
+                for key, doc in docs.items():
+                    index.on_write(key, None, doc)
+            snapshot = {k: dict(v) for k, v in docs.items()}
+            with Stopwatch() as churn_sw:
+                for key, new_n in updates:
+                    old = snapshot[key]
+                    new = dict(old, n=new_n)
+                    index.on_write(key, old, new)
+                    snapshot[key] = new
+            range_ms = 0.0
+            if has_range:
+                with Stopwatch() as scan_sw:
+                    for q in range(100):
+                        low = (q * 37) % (n * 10)
+                        _ = sum(1 for _ in index.range(low, low + n // 10))
+                range_ms = scan_sw.elapsed * 1000.0
+            table.add_row(
+                [
+                    backend_name,
+                    n,
+                    round(build.elapsed * 1000.0, 2),
+                    round(churn_sw.elapsed * 1000.0, 2),
+                    round(range_ms, 2),
+                    has_range,
+                ]
+            )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E8 — quorum reads and session guarantees
+# ---------------------------------------------------------------------------
+
+
+def experiment_e8_sessions(
+    lags: list[int] | None = None, replicas: int = 5
+) -> Table:
+    """Quorum freshness per R (probed mid-delivery-window) and the
+    session-guarantee fallback price at three think times."""
+    lags = lags or [2, 8, 32]
+    table = Table(
+        "E8: quorum reads and session guarantees",
+        ["base_lag", "R=1_fresh", "R=majority_fresh", "R=N_fresh",
+         "fallback@1_tick", "fallback@lag", "fallback@2xlag"],
+    )
+    majority = replicas // 2 + 1
+    for lag in lags:
+        def factory(lag: int = lag) -> ReplicatedStore:
+            return ReplicatedStore(
+                ReplicationConfig(replicas=replicas, base_lag=lag,
+                                  jitter=max(1, lag), seed=7)
+            )
+
+        freshness = quorum_freshness(factory, [1, majority, replicas])
+        fallbacks = []
+        for think in (1, lag, 2 * lag):
+            stats = session_fallback_rate(factory, trials=300, think_ticks=think)
+            fallbacks.append(round(stats.fallback_rate, 3))
+        table.add_row(
+            [
+                lag,
+                round(freshness[1], 3),
+                round(freshness[majority], 3),
+                round(freshness[replicas], 3),
+                *fallbacks,
+            ]
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E9 — eager vs lazy migration
+# ---------------------------------------------------------------------------
+
+_E9_CHAIN = [
+    AddField("orders", "currency", "string", default="EUR"),
+    RenameField("orders", "total_price", "total"),
+    NestFields("orders", ("order_date", "status"), "meta"),
+]
+
+
+def experiment_e9_migration_strategies(
+    scale_factor: float = 0.1, reads: int = 200, seed: int = 42
+) -> Table:
+    """Upfront vs per-read cost of eager and lazy migration."""
+    table = Table(
+        "E9: migration strategies (orders collection)",
+        ["strategy", "upfront_ms", "first_reads_ms", "second_reads_ms",
+         "docs_rewritten"],
+    )
+    dataset = DatasetGenerator(GeneratorConfig(seed=seed, scale_factor=scale_factor)).generate()
+    read_ids = [
+        dataset.orders[i % len(dataset.orders)]["_id"] for i in range(reads)
+    ]
+
+    def fresh_driver() -> UnifiedDriver:
+        driver = UnifiedDriver()
+        load_dataset(driver, dataset, with_indexes=False)
+        return driver
+
+    def registry() -> SchemaRegistry:
+        reg = SchemaRegistry()
+        reg.register(orders_shape())
+        for op in _E9_CHAIN:
+            reg.apply(op)
+        return reg
+
+    # Eager: rewrite everything now, reads are plain afterwards.
+    driver = fresh_driver()
+    with Stopwatch() as upfront:
+        result = migrate_collection(driver, "orders", _E9_CHAIN)
+    with Stopwatch() as first:
+        for doc_id in read_ids:
+            driver.run_transaction(lambda s, d=doc_id: s.doc_get("orders", d))
+    with Stopwatch() as second:
+        for doc_id in read_ids:
+            driver.run_transaction(lambda s, d=doc_id: s.doc_get("orders", d))
+    table.add_row(
+        ["eager", round(upfront.elapsed * 1000, 1), round(first.elapsed * 1000, 1),
+         round(second.elapsed * 1000, 1), result.documents_migrated]
+    )
+
+    # Lazy with repair-on-read: first read pays, second is clean.
+    driver = fresh_driver()
+    migrator = LazyMigrator(driver, registry(), "orders", repair=True)
+    with Stopwatch() as first:
+        for doc_id in read_ids:
+            migrator.get(doc_id)
+    with Stopwatch() as second:
+        for doc_id in read_ids:
+            migrator.get(doc_id)
+    table.add_row(
+        ["lazy+repair", 0.0, round(first.elapsed * 1000, 1),
+         round(second.elapsed * 1000, 1), migrator.stats.repair_writes]
+    )
+
+    # Lazy without repair: every read pays the upgrade.
+    driver = fresh_driver()
+    migrator = LazyMigrator(driver, registry(), "orders", repair=False)
+    with Stopwatch() as first:
+        for doc_id in read_ids:
+            migrator.get(doc_id)
+    with Stopwatch() as second:
+        for doc_id in read_ids:
+            migrator.get(doc_id)
+    table.add_row(
+        ["lazy_no_repair", 0.0, round(first.elapsed * 1000, 1),
+         round(second.elapsed * 1000, 1), 0]
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# YCSB baseline suite
+# ---------------------------------------------------------------------------
+
+
+def experiment_ycsb(
+    record_count: int = 1000, operations: int = 500, seed: int = 77
+) -> Table:
+    """Workloads A-F on both drivers' key-value model."""
+    table = Table(
+        "YCSB baseline: single-model KV workloads (ops/sec)",
+        ["workload", "unified", "polyglot", "unified_aborts"],
+    )
+    runners = {}
+    for driver in (UnifiedDriver(), PolyglotDriver()):
+        runner = YcsbRunner(driver, record_count=record_count, seed=seed)
+        runner.load()
+        runners[driver.name] = runner
+    for workload in sorted(WORKLOADS):
+        unified = runners["unified"].run(workload, operations)
+        polyglot = runners["polyglot"].run(workload, operations)
+        table.add_row(
+            [
+                workload,
+                round(unified.ops_per_sec, 0),
+                round(polyglot.ops_per_sec, 0),
+                unified.aborted,
+            ]
+        )
+    return table
+
+
+EXTENSION_EXPERIMENTS = {
+    "E7": experiment_e7_index_backends,
+    "E8": experiment_e8_sessions,
+    "E9": experiment_e9_migration_strategies,
+    "YCSB": experiment_ycsb,
+}

@@ -1,0 +1,144 @@
+"""Measurement runners for queries and transactions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.workloads import QueryDef, TransactionDef
+from repro.datagen.generator import Dataset
+from repro.drivers.base import Driver
+from repro.errors import TransactionAborted
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.timing import Stopwatch, Timer
+
+
+@dataclass
+class QueryMeasurement:
+    """Latency samples and result size for one query on one driver."""
+
+    query_id: str
+    driver: str
+    timer: Timer
+    result_size: int
+    used_indexes: bool
+
+    @property
+    def mean_ms(self) -> float:
+        return self.timer.mean * 1000.0
+
+    @property
+    def p95_ms(self) -> float:
+        return self.timer.p95 * 1000.0
+
+
+class QueryRunner:
+    """Runs the shared query set against one driver with warmup."""
+
+    def __init__(
+        self,
+        driver: Driver,
+        dataset: Dataset,
+        repetitions: int = 5,
+        warmup: int = 1,
+        use_indexes: bool = True,
+    ) -> None:
+        self.driver = driver
+        self.dataset = dataset
+        self.repetitions = repetitions
+        self.warmup = warmup
+        self.use_indexes = use_indexes
+
+    def run(self, query: QueryDef) -> QueryMeasurement:
+        params = query.params(self.dataset)
+        for _ in range(self.warmup):
+            self.driver.query(query.text, params, use_indexes=self.use_indexes)
+        timer = Timer()
+        result_size = 0
+        for _ in range(self.repetitions):
+            with Stopwatch() as sw:
+                result = self.driver.query(
+                    query.text, params, use_indexes=self.use_indexes
+                )
+            timer.record(sw.elapsed)
+            result_size = len(result)
+        return QueryMeasurement(
+            query_id=query.query_id,
+            driver=self.driver.name,
+            timer=timer,
+            result_size=result_size,
+            used_indexes=self.use_indexes,
+        )
+
+    def run_all(self, queries: list[QueryDef]) -> list[QueryMeasurement]:
+        return [self.run(q) for q in queries]
+
+
+@dataclass
+class TransactionMeasurement:
+    """Throughput and abort accounting for a transaction mix."""
+
+    driver: str
+    isolation: str
+    attempted: int
+    committed: int
+    aborted: int
+    seconds: float
+    per_txn: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        return self.committed / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def abort_rate(self) -> float:
+        return self.aborted / self.attempted if self.attempted else 0.0
+
+
+class TransactionRunner:
+    """Runs a seeded mix of the T1-T4 templates through a driver."""
+
+    def __init__(
+        self,
+        driver: Driver,
+        dataset: Dataset,
+        seed: int = 99,
+        isolation_name: str = "default",
+    ) -> None:
+        self.driver = driver
+        self.dataset = dataset
+        self.seed = seed
+        self.isolation_name = isolation_name
+
+    def run_mix(
+        self,
+        transactions: list[TransactionDef],
+        count: int,
+        weights: list[float] | None = None,
+    ) -> TransactionMeasurement:
+        """Execute *count* transactions drawn from the weighted mix."""
+        rng = DeterministicRng(derive_seed(self.seed, "txn_mix", self.driver.name))
+        weights = weights if weights is not None else [1.0] * len(transactions)
+        committed = 0
+        aborted = 0
+        per_txn: dict[str, int] = {t.txn_id: 0 for t in transactions}
+        with Stopwatch() as sw:
+            for seq in range(count):
+                template = rng.weighted_choice(transactions, weights)
+                body = template.make(self.dataset, rng, seq)
+                try:
+                    self.driver.run_transaction(body)
+                except TransactionAborted:
+                    aborted += 1
+                else:
+                    committed += 1
+                    per_txn[template.txn_id] += 1
+        return TransactionMeasurement(
+            driver=self.driver.name,
+            isolation=self.isolation_name,
+            attempted=count,
+            committed=committed,
+            aborted=aborted,
+            seconds=sw.elapsed,
+            per_txn=per_txn,
+        )

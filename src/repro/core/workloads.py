@@ -1,0 +1,371 @@
+"""The shared benchmark workload: queries Q1-Q10 and transactions T1-T4.
+
+Every query is MMQL text plus a parameter derivation from the generated
+dataset, so the *same* workload runs against every driver ("benchmarking
+data and queries ... developed, shared, unified").  The "models" field
+documents which of Figure 1's models each query touches — all but two
+span at least two models.
+
+Transactions are session-level callables using only the method surface
+shared by :class:`repro.engine.database.Session` and
+:class:`repro.baselines.polyglot.PolyglotSession`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.datagen.generator import Dataset
+from repro.models.xml.node import element
+from repro.models.xml.node import text as xml_text
+from repro.util.rng import DeterministicRng, derive_seed
+
+
+@dataclass(frozen=True)
+class QueryDef:
+    """One benchmark query: id, models touched, MMQL text, params."""
+
+    query_id: str
+    description: str
+    models: tuple[str, ...]
+    text: str
+    params: Callable[[Dataset], dict[str, Any]]
+
+
+def _median_total(dataset: Dataset) -> float:
+    totals = sorted(o["total_price"] for o in dataset.orders)
+    return totals[len(totals) // 2] if totals else 0.0
+
+
+def _top_country(dataset: Dataset) -> str:
+    counts: dict[str, int] = {}
+    for c in dataset.customers:
+        counts[c["country"]] = counts.get(c["country"], 0) + 1
+    return max(counts, key=lambda k: counts[k])
+
+
+def _heavy_customer(dataset: Dataset) -> int:
+    counts: dict[int, int] = {}
+    for o in dataset.orders:
+        counts[o["customer_id"]] = counts.get(o["customer_id"], 0) + 1
+    return max(counts, key=lambda k: counts[k])
+
+
+def _popular_product(dataset: Dataset) -> str:
+    counts: dict[str, int] = {}
+    for o in dataset.orders:
+        for item in o["items"]:
+            counts[item["product_id"]] = counts.get(item["product_id"], 0) + 1
+    return max(counts, key=lambda k: counts[k])
+
+
+QUERIES: list[QueryDef] = [
+    QueryDef(
+        "Q1",
+        "Order point lookup joined with its XML invoice total",
+        ("json", "xml"),
+        """
+        FOR o IN orders
+          FILTER o._id == @order_id
+          RETURN {id: o._id, status: o.status,
+                  invoice_total: FIRST(XPATH(XMLGET("invoices", o._id),
+                                             "/invoice/total/text()"))}
+        """,
+        lambda ds: {"order_id": ds.orders[len(ds.orders) // 2]["_id"]},
+    ),
+    QueryDef(
+        "Q2",
+        "Order count and revenue per customer of one country",
+        ("relational", "json"),
+        """
+        FOR c IN customers
+          FILTER c.country == @country
+          FOR o IN orders
+            FILTER o.customer_id == c.id
+            COLLECT cid = c.id, name = c.last_name
+              AGGREGATE n = COUNT(1), revenue = SUM(o.total_price)
+            SORT revenue DESC
+            RETURN {cid, name, n, revenue}
+        """,
+        lambda ds: {"country": _top_country(ds)},
+    ),
+    QueryDef(
+        "Q3",
+        "Average feedback rating for the orders of one product",
+        ("json", "kv"),
+        """
+        FOR o IN orders
+          FOR it IN o.items
+            FILTER it.product_id == @product_id
+            LET fb = KVGET("feedback", CONCAT(@product_id, "/", o.customer_id))
+            FILTER fb != NULL
+            COLLECT pid = it.product_id
+              AGGREGATE n = COUNT(1), avg_rating = AVG(fb.rating)
+            RETURN {pid, n, avg_rating}
+        """,
+        lambda ds: {"product_id": _popular_product(ds)},
+    ),
+    QueryDef(
+        "Q4",
+        "Products bought by the 2-hop social neighbourhood of a customer",
+        ("graph", "json"),
+        """
+        FOR friend IN TRAVERSE("social", @customer_id, 1, 2, "knows")
+          FOR o IN orders
+            FILTER o.customer_id == friend._id
+            FOR it IN o.items
+              RETURN DISTINCT it.product_id
+        """,
+        lambda ds: {"customer_id": _heavy_customer(ds)},
+    ),
+    QueryDef(
+        "Q5",
+        "Top-10 customers by total spend, with relational detail",
+        ("relational", "json"),
+        """
+        FOR o IN orders
+          COLLECT cid = o.customer_id AGGREGATE spend = SUM(o.total_price)
+          SORT spend DESC
+          LIMIT 10
+          LET c = DOCUMENT("customers", cid)
+          RETURN {cid, name: c.last_name, country: c.country, spend}
+        """,
+        lambda ds: {},
+    ),
+    QueryDef(
+        "Q6",
+        "Invoices above a threshold, selected by XPath over XML",
+        ("xml",),
+        """
+        FOR inv IN invoices
+          LET total = TO_NUMBER(FIRST(XPATH(inv.root, "/invoice/total/text()")))
+          FILTER total > @threshold
+          SORT total DESC
+          LIMIT 20
+          RETURN {id: inv._id, total}
+        """,
+        lambda ds: {"threshold": _median_total(ds) * 2},
+    ),
+    QueryDef(
+        "Q7",
+        "Vendor revenue: relational vendors joined through JSON products and orders",
+        ("relational", "json"),
+        """
+        FOR v IN vendors
+          FOR p IN products
+            FILTER p.vendor_id == v.id
+            FOR o IN orders
+              FOR it IN o.items
+                FILTER it.product_id == p._id
+                COLLECT vendor = v.name
+                  AGGREGATE revenue = SUM(it.amount)
+                SORT revenue DESC
+                LIMIT 5
+                RETURN {vendor, revenue}
+        """,
+        lambda ds: {},
+    ),
+    QueryDef(
+        "Q8",
+        "Rating histogram over the KV feedback of one product category",
+        ("json", "kv"),
+        """
+        FOR p IN products
+          FILTER p.category == @category
+          FOR fb IN KV("feedback", CONCAT(p._id, "/"))
+            COLLECT rating = fb.value.rating AGGREGATE n = COUNT(1)
+            SORT rating
+            RETURN {rating, n}
+        """,
+        lambda ds: {"category": ds.products[0]["category"]},
+    ),
+    QueryDef(
+        "Q9",
+        "Shortest social path between two customers, with countries",
+        ("graph", "relational"),
+        """
+        LET path = SHORTEST_PATH("social", @src, @dst, "knows")
+        FILTER path != NULL
+        FOR vid IN path
+          LET c = DOCUMENT("customers", vid)
+          RETURN {id: vid, country: c.country}
+        """,
+        lambda ds: {
+            "src": _heavy_customer(ds),
+            "dst": DeterministicRng(derive_seed(ds.config.seed, "q9")).randint(
+                1, ds.config.num_customers
+            ),
+        },
+    ),
+    QueryDef(
+        "Q10",
+        "Order 360: one order across all five models",
+        ("relational", "json", "xml", "kv", "graph"),
+        """
+        FOR o IN orders
+          FILTER o._id == @order_id
+          LET c = DOCUMENT("customers", o.customer_id)
+          LET friends = TRAVERSE("social", o.customer_id, 1, 1, "knows")
+          LET inv = XMLGET("invoices", o._id)
+          RETURN {
+            id: o._id,
+            customer: CONCAT(c.first_name, " ", c.last_name),
+            country: c.country,
+            invoice_total: FIRST(XPATH(inv, "/invoice/total/text()")),
+            friend_count: LENGTH(friends),
+            ratings: [
+              FOR it IN o.items
+                LET fb = KVGET("feedback", CONCAT(it.product_id, "/", o.customer_id))
+                FILTER fb != NULL
+                RETURN fb.rating
+            ]
+          }
+        """,
+        lambda ds: {"order_id": ds.orders[0]["_id"]},
+    ),
+]
+
+QUERY_BY_ID = {q.query_id: q for q in QUERIES}
+
+
+# ---------------------------------------------------------------------------
+# Transactions T1-T4
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TransactionDef:
+    """One cross-model transaction template.
+
+    ``make`` takes (dataset, rng, sequence_number) and returns a body
+    callable suitable for ``driver.run_transaction``.
+    """
+
+    txn_id: str
+    description: str
+    models: tuple[str, ...]
+    make: Callable[[Dataset, DeterministicRng, int], Callable[[Any], Any]]
+
+
+def _t1_place_order(dataset: Dataset, rng: DeterministicRng, seq: int):
+    customer = rng.choice(dataset.customers)
+    product = rng.choice(dataset.products)
+    quantity = rng.randint(1, 3)
+    order_id = f"tx_o{seq}"
+
+    def body(s: Any) -> str:
+        price = s.doc_get("products", product["_id"])["price"]
+        amount = round(price * quantity, 2)
+        s.doc_insert(
+            "orders",
+            {
+                "_id": order_id,
+                "customer_id": customer["id"],
+                "order_date": "2016-06-01",
+                "status": "pending",
+                "total_price": amount,
+                "items": [
+                    {
+                        "product_id": product["_id"],
+                        "quantity": quantity,
+                        "unit_price": price,
+                        "amount": amount,
+                    }
+                ],
+            },
+        )
+        stock = s.doc_get("products", product["_id"]).get("stock")
+        if stock is not None:
+            s.doc_update("products", product["_id"], {"stock": max(0, stock - quantity)})
+        s.xml_put(
+            "invoices", order_id,
+            element("invoice", {"id": order_id, "date": "2016-06-01"},
+                    element("total", {}, xml_text(f"{amount:.2f}"))),
+        )
+        return order_id
+
+    return body
+
+
+def _t2_order_update(dataset: Dataset, rng: DeterministicRng, seq: int):
+    """The paper's example: an order update touching JSON + KV + XML."""
+    order = rng.choice(dataset.orders)
+    item = rng.choice(order["items"])
+
+    def body(s: Any) -> None:
+        s.doc_update("orders", order["_id"], {"status": "shipped"})
+        s.doc_update("products", item["product_id"], {"last_shipped": "2016-06-01"})
+        s.kv_put(
+            "feedback",
+            f"{item['product_id']}/{order['customer_id']}",
+            {"rating": rng.randint(1, 5), "text": "updated with shipment", "date": "2016-06-01"},
+        )
+        s.xml_put(
+            "invoices", order["_id"],
+            element("invoice", {"id": order["_id"], "date": order.get("order_date", ""),
+                                "status": "shipped"},
+                    element("total", {}, xml_text(f"{order['total_price']:.2f}"))),
+        )
+
+    return body
+
+
+def _t3_feedback(dataset: Dataset, rng: DeterministicRng, seq: int):
+    order = rng.choice(dataset.orders)
+    item = rng.choice(order["items"])
+    rating = rng.randint(1, 5)
+
+    def body(s: Any) -> None:
+        s.kv_put(
+            "feedback",
+            f"{item['product_id']}/{order['customer_id']}",
+            {"rating": rating, "text": "benchmark feedback", "date": "2016-06-01"},
+        )
+        product = s.doc_get("products", item["product_id"])
+        count = product.get("rating_count", 0) + 1
+        mean = product.get("rating_mean", 0.0)
+        s.doc_update(
+            "products", item["product_id"],
+            {"rating_count": count, "rating_mean": mean + (rating - mean) / count},
+        )
+
+    return body
+
+
+def _t4_friendship(dataset: Dataset, rng: DeterministicRng, seq: int):
+    a = rng.randint(1, len(dataset.customers))
+    b = rng.randint(1, len(dataset.customers))
+
+    def body(s: Any) -> None:
+        if a != b:
+            s.graph_add_edge("social", a, b, "knows", since=2016)
+        s.kv_put(
+            "feedback",
+            f"recommendation/{a}/{b}",
+            {"reason": "new_friend", "date": "2016-06-01"},
+        )
+
+    return body
+
+
+TRANSACTIONS: list[TransactionDef] = [
+    TransactionDef(
+        "T1", "Place order: JSON order + product stock + XML invoice",
+        ("json", "xml"), _t1_place_order,
+    ),
+    TransactionDef(
+        "T2", "Order update (paper's example): JSON orders+products, KV feedback, XML invoice",
+        ("json", "kv", "xml"), _t2_order_update,
+    ),
+    TransactionDef(
+        "T3", "Submit feedback: KV put + JSON rating aggregate",
+        ("kv", "json"), _t3_feedback,
+    ),
+    TransactionDef(
+        "T4", "New friendship: graph edge + KV recommendation",
+        ("graph", "kv"), _t4_friendship,
+    ),
+]
+
+TRANSACTION_BY_ID = {t.txn_id: t for t in TRANSACTIONS}

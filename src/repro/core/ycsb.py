@@ -1,0 +1,176 @@
+"""YCSB-style key-value workloads (A-F).
+
+The paper positions UDBMS-benchmark against general-purpose suites:
+"A number of benchmarks have been proposed that can be used to evaluate
+big data systems (e.g. YCSB ...). Unfortunately, those ... are not
+designed for the evaluation of multi-model databases."  We include the
+YCSB core workloads over the engine's key-value model both as a sanity
+baseline (the unified engine is also a competent KV store) and to make
+the contrast concrete: every workload here touches exactly *one* model.
+
+Workload mixes (read/update/insert/scan/rmw fractions, YCSB defaults):
+
+- A: update heavy    (50/50/0/0/0)
+- B: read mostly     (95/5/0/0/0)
+- C: read only       (100/0/0/0/0)
+- D: read latest     (95/0/5/0/0), reads skewed to recent inserts
+- E: short scans     (0/0/5/95/0), scan length uniform 1..100
+- F: read-modify-write (50/0/0/0/50)
+
+Key selection is Zipf over the loaded keyspace (theta 0.99), as in YCSB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.drivers.base import Driver
+from repro.errors import BenchmarkError, TransactionAborted
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.timing import Stopwatch
+
+NAMESPACE = "usertable"
+
+# workload -> (read, update, insert, scan, rmw) fractions
+WORKLOADS: dict[str, tuple[float, float, float, float, float]] = {
+    "A": (0.50, 0.50, 0.00, 0.00, 0.00),
+    "B": (0.95, 0.05, 0.00, 0.00, 0.00),
+    "C": (1.00, 0.00, 0.00, 0.00, 0.00),
+    "D": (0.95, 0.00, 0.05, 0.00, 0.00),
+    "E": (0.00, 0.00, 0.05, 0.95, 0.00),
+    "F": (0.50, 0.00, 0.00, 0.00, 0.50),
+}
+
+
+def _key(i: int) -> str:
+    return f"user{i:08d}"
+
+
+def _value(rng: DeterministicRng) -> dict[str, str]:
+    return {f"field{j}": f"{rng.randint(0, 1 << 30):08x}" for j in range(4)}
+
+
+@dataclass
+class YcsbResult:
+    workload: str
+    driver: str
+    operations: int
+    seconds: float
+    reads: int = 0
+    updates: int = 0
+    inserts: int = 0
+    scans: int = 0
+    rmws: int = 0
+    not_found: int = 0
+    aborted: int = 0
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.operations / self.seconds if self.seconds > 0 else 0.0
+
+
+class YcsbRunner:
+    """Loads the keyspace and drives one workload mix against a driver."""
+
+    def __init__(self, driver: Driver, record_count: int = 1000, seed: int = 77) -> None:
+        self.driver = driver
+        self.record_count = record_count
+        self.seed = seed
+        self._inserted = record_count
+
+    def load(self) -> None:
+        """Create the namespace and insert the initial records."""
+        self.driver.create_kv_namespace(NAMESPACE)
+        rng = DeterministicRng(derive_seed(self.seed, "ycsb", "load"))
+        batch = 500
+        for start in range(0, self.record_count, batch):
+            end = min(start + batch, self.record_count)
+
+            def fill(session, start=start, end=end) -> None:
+                for i in range(start, end):
+                    session.kv_put(NAMESPACE, _key(i), _value(rng))
+
+            self.driver.load(fill)
+
+    def run(self, workload: str, operations: int = 1000) -> YcsbResult:
+        """Execute one workload mix; every op is its own transaction."""
+        mix = WORKLOADS.get(workload.upper())
+        if mix is None:
+            raise BenchmarkError(f"unknown YCSB workload {workload!r}")
+        read_f, update_f, insert_f, scan_f, rmw_f = mix
+        rng = DeterministicRng(derive_seed(self.seed, "ycsb", "run", workload))
+        result = YcsbResult(workload.upper(), self.driver.name, operations, 0.0)
+        with Stopwatch() as sw:
+            for _ in range(operations):
+                dice = rng.random()
+                try:
+                    if dice < read_f:
+                        self._op_read(rng, result, latest=workload.upper() == "D")
+                    elif dice < read_f + update_f:
+                        self._op_update(rng, result)
+                    elif dice < read_f + update_f + insert_f:
+                        self._op_insert(rng, result)
+                    elif dice < read_f + update_f + insert_f + scan_f:
+                        self._op_scan(rng, result)
+                    else:
+                        self._op_rmw(rng, result)
+                except TransactionAborted:
+                    result.aborted += 1
+        result.seconds = sw.elapsed
+        return result
+
+    # -- operations ----------------------------------------------------------
+
+    def _pick_key(self, rng: DeterministicRng, latest: bool) -> str:
+        if latest:
+            # "read latest": rank 0 = newest inserted record.
+            rank = rng.zipf(self._inserted, 0.99)
+            return _key(self._inserted - 1 - rank)
+        return _key(rng.zipf(self._inserted, 0.99))
+
+    def _op_read(self, rng: DeterministicRng, result: YcsbResult, latest: bool) -> None:
+        key = self._pick_key(rng, latest)
+
+        def body(session):
+            return session.kv_get(NAMESPACE, key)
+
+        if self.driver.run_transaction(body) is None:
+            result.not_found += 1
+        result.reads += 1
+
+    def _op_update(self, rng: DeterministicRng, result: YcsbResult) -> None:
+        key = self._pick_key(rng, latest=False)
+        value = _value(rng)
+        self.driver.run_transaction(lambda s: s.kv_put(NAMESPACE, key, value))
+        result.updates += 1
+
+    def _op_insert(self, rng: DeterministicRng, result: YcsbResult) -> None:
+        key = _key(self._inserted)
+        self._inserted += 1
+        value = _value(rng)
+        self.driver.run_transaction(lambda s: s.kv_put(NAMESPACE, key, value))
+        result.inserts += 1
+
+    def _op_scan(self, rng: DeterministicRng, result: YcsbResult) -> None:
+        start = rng.zipf(self._inserted, 0.99)
+        length = rng.randint(1, 100)
+        low = _key(start)
+        high = _key(self._inserted + 1)
+
+        def body(session):
+            return session.kv_scan_range(NAMESPACE, low, high, limit=length)
+
+        self.driver.run_transaction(body)
+        result.scans += 1
+
+    def _op_rmw(self, rng: DeterministicRng, result: YcsbResult) -> None:
+        key = self._pick_key(rng, latest=False)
+        extra = f"{rng.randint(0, 1 << 30):08x}"
+
+        def body(session):
+            value = session.kv_get(NAMESPACE, key) or {}
+            value["field0"] = extra
+            session.kv_put(NAMESPACE, key, value)
+
+        self.driver.run_transaction(body)
+        result.rmws += 1

@@ -1,0 +1,29 @@
+"""Multi-model data generation (pillar 1 of the UDBMS benchmark).
+
+One deterministic seed produces a *social-commerce* dataset spanning all
+five models of Figure 1, with cross-model referential integrity:
+
+- relational: ``customers``, ``vendors``
+- JSON documents: ``orders`` (nested line items), ``products``
+- key-value: ``feedback`` keyed ``<product_id>/<customer_id>``
+- XML: one ``invoice`` per order (also the conversion gold standard)
+- graph: ``social`` — person vertices mirroring customers, Zipf-skewed
+  preferential-attachment ``knows`` edges
+
+Entry points: :class:`GeneratorConfig`, :class:`DatasetGenerator`,
+:func:`load_dataset`.
+"""
+
+from repro.datagen.config import GeneratorConfig
+from repro.datagen.generator import Dataset, DatasetGenerator
+from repro.datagen.load import load_dataset
+from repro.datagen.schemas import CUSTOMERS_SCHEMA, VENDORS_SCHEMA
+
+__all__ = [
+    "CUSTOMERS_SCHEMA",
+    "Dataset",
+    "DatasetGenerator",
+    "GeneratorConfig",
+    "VENDORS_SCHEMA",
+    "load_dataset",
+]

@@ -1,0 +1,61 @@
+"""Generator configuration and scale factors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Controls dataset size, skew, and schema variability.
+
+    ``scale_factor`` multiplies every base count; SF=1 is the default
+    benchmark size (1 000 customers).  ``schema_variability`` is the
+    probability that a generated document deviates from the canonical
+    shape (drops an optional field or gains an extra one) — the paper's
+    "data first, schema later or never" knob.
+    """
+
+    seed: int = 42
+    scale_factor: float = 1.0
+    # base entity counts at SF = 1
+    base_customers: int = 1000
+    base_vendors: int = 100
+    base_products: int = 500
+    base_orders: int = 3000
+    # skew and shape
+    zipf_theta: float = 0.8
+    max_items_per_order: int = 5
+    feedback_probability: float = 0.6
+    knows_edges_per_person: float = 6.0
+    schema_variability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.scale_factor <= 0:
+            raise BenchmarkError("scale_factor must be positive")
+        if not 0.0 <= self.schema_variability <= 1.0:
+            raise BenchmarkError("schema_variability must be in [0, 1]")
+        if not 0.0 <= self.feedback_probability <= 1.0:
+            raise BenchmarkError("feedback_probability must be in [0, 1]")
+        if self.max_items_per_order < 1:
+            raise BenchmarkError("max_items_per_order must be >= 1")
+
+    # -- scaled counts -------------------------------------------------------
+
+    @property
+    def num_customers(self) -> int:
+        return max(2, round(self.base_customers * self.scale_factor))
+
+    @property
+    def num_vendors(self) -> int:
+        return max(1, round(self.base_vendors * self.scale_factor))
+
+    @property
+    def num_products(self) -> int:
+        return max(2, round(self.base_products * self.scale_factor))
+
+    @property
+    def num_orders(self) -> int:
+        return max(1, round(self.base_orders * self.scale_factor))

@@ -1,0 +1,326 @@
+"""The deterministic multi-model dataset generator.
+
+Generation order matters: customers and vendors first, then products
+(owned by vendors), then orders (Zipf-skewed over customers and
+products), then feedback (only for products the customer actually
+ordered), invoices (derived 1:1 from orders — the conversion gold
+standard), and finally the social graph (preferential attachment over
+the customer population).  Every cross-model reference is therefore
+resolvable, and :meth:`Dataset.verify_integrity` checks exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.datagen import text as textgen
+from repro.datagen.config import GeneratorConfig
+from repro.datagen.schemas import ORDER_STATUSES
+from repro.errors import BenchmarkError
+from repro.models.xml.node import XmlElement, element
+from repro.models.xml.node import text as xml_text
+from repro.util.rng import DeterministicRng, derive_seed
+
+
+@dataclass
+class Dataset:
+    """The generated social-commerce dataset, ready for any driver."""
+
+    config: GeneratorConfig
+    customers: list[dict[str, Any]] = field(default_factory=list)
+    vendors: list[dict[str, Any]] = field(default_factory=list)
+    products: list[dict[str, Any]] = field(default_factory=list)
+    orders: list[dict[str, Any]] = field(default_factory=list)
+    feedback: list[tuple[str, dict[str, Any]]] = field(default_factory=list)
+    invoices: list[tuple[str, XmlElement]] = field(default_factory=list)
+    persons: list[dict[str, Any]] = field(default_factory=list)
+    knows_edges: list[tuple[int, int, int]] = field(default_factory=list)  # src,dst,since
+
+    # -- integrity -----------------------------------------------------------
+
+    def verify_integrity(self) -> list[str]:
+        """Return a list of referential-integrity violations (empty = OK)."""
+        problems: list[str] = []
+        customer_ids = {c["id"] for c in self.customers}
+        vendor_ids = {v["id"] for v in self.vendors}
+        product_ids = {p["_id"] for p in self.products}
+        order_ids = set()
+        for order in self.orders:
+            order_ids.add(order["_id"])
+            if order["customer_id"] not in customer_ids:
+                problems.append(f"order {order['_id']} has unknown customer")
+            for item in order["items"]:
+                if item["product_id"] not in product_ids:
+                    problems.append(
+                        f"order {order['_id']} references unknown product "
+                        f"{item['product_id']}"
+                    )
+        for product in self.products:
+            if product["vendor_id"] not in vendor_ids:
+                problems.append(f"product {product['_id']} has unknown vendor")
+        ordered_pairs = {
+            (item["product_id"], order["customer_id"])
+            for order in self.orders
+            for item in order["items"]
+        }
+        for key, _ in self.feedback:
+            product_id, _, customer_raw = key.partition("/")
+            pair = (product_id, int(customer_raw))
+            if pair not in ordered_pairs:
+                problems.append(f"feedback {key} without a matching order")
+        invoice_ids = {inv_id for inv_id, _ in self.invoices}
+        if invoice_ids != order_ids:
+            problems.append("invoices are not 1:1 with orders")
+        person_ids = {p["id"] for p in self.persons}
+        if person_ids != customer_ids:
+            problems.append("social persons are not 1:1 with customers")
+        for src, dst, _ in self.knows_edges:
+            if src not in person_ids or dst not in person_ids:
+                problems.append(f"knows edge ({src},{dst}) dangling")
+        return problems
+
+    def summary(self) -> dict[str, int]:
+        """Entity counts per model (the Figure 1 table)."""
+        return {
+            "relational_customers": len(self.customers),
+            "relational_vendors": len(self.vendors),
+            "json_products": len(self.products),
+            "json_orders": len(self.orders),
+            "kv_feedback": len(self.feedback),
+            "xml_invoices": len(self.invoices),
+            "graph_persons": len(self.persons),
+            "graph_knows_edges": len(self.knows_edges),
+        }
+
+
+class DatasetGenerator:
+    """Generates a :class:`Dataset` from a :class:`GeneratorConfig`."""
+
+    def __init__(self, config: GeneratorConfig | None = None) -> None:
+        self.config = config if config is not None else GeneratorConfig()
+
+    def generate(self) -> Dataset:
+        cfg = self.config
+        dataset = Dataset(cfg)
+        self._generate_customers(dataset)
+        self._generate_vendors(dataset)
+        self._generate_products(dataset)
+        self._generate_orders(dataset)
+        self._generate_feedback(dataset)
+        self._generate_invoices(dataset)
+        self._generate_social_graph(dataset)
+        problems = dataset.verify_integrity()
+        if problems:  # pragma: no cover - generator invariant
+            raise BenchmarkError(
+                f"generator produced inconsistent data: {problems[:3]}"
+            )
+        return dataset
+
+    # -- per-model generators ---------------------------------------------------
+
+    def _rng(self, label: str) -> DeterministicRng:
+        return DeterministicRng(derive_seed(self.config.seed, "datagen", label))
+
+    def _generate_customers(self, dataset: Dataset) -> None:
+        rng = self._rng("customers")
+        for cid in range(1, self.config.num_customers + 1):
+            first, last = textgen.person_name(rng)
+            country, city = textgen.country_and_city(rng)
+            dataset.customers.append(
+                {
+                    "id": cid,
+                    "first_name": first,
+                    "last_name": last,
+                    "country": country,
+                    "city": city,
+                    "join_date": textgen.iso_date(rng, 2010, 2015),
+                }
+            )
+
+    def _generate_vendors(self, dataset: Dataset) -> None:
+        rng = self._rng("vendors")
+        for vid in range(1, self.config.num_vendors + 1):
+            country, _ = textgen.country_and_city(rng)
+            dataset.vendors.append(
+                {
+                    "id": vid,
+                    "name": textgen.company_name(rng),
+                    "country": country,
+                    "industry": rng.choice(textgen.PRODUCT_CATEGORIES),
+                }
+            )
+
+    def _generate_products(self, dataset: Dataset) -> None:
+        rng = self._rng("products")
+        variability = self.config.schema_variability
+        for pid in range(1, self.config.num_products + 1):
+            product: dict[str, Any] = {
+                "_id": f"p{pid}",
+                "title": textgen.product_title(rng),
+                "category": rng.choice(textgen.PRODUCT_CATEGORIES),
+                "price": round(rng.uniform(2.0, 500.0), 2),
+                "vendor_id": rng.randint(1, self.config.num_vendors),
+                "stock": rng.randint(0, 1000),
+            }
+            if rng.bernoulli(0.5):
+                product["attributes"] = {
+                    "weight_kg": round(rng.uniform(0.1, 20.0), 2),
+                    "colour": rng.choice(["black", "white", "red", "blue", "green"]),
+                }
+            if variability and rng.bernoulli(variability):
+                # "schema later or never": drop an optional field or add a stray one
+                if rng.bernoulli(0.5):
+                    product.pop("stock", None)
+                else:
+                    product["legacy_code"] = f"L{rng.randint(1000, 9999)}"
+            dataset.products.append(product)
+
+    def _generate_orders(self, dataset: Dataset) -> None:
+        rng = self._rng("orders")
+        cfg = self.config
+        n_customers = cfg.num_customers
+        n_products = cfg.num_products
+        variability = cfg.schema_variability
+        price_of = {p["_id"]: p["price"] for p in dataset.products}
+        for oid in range(1, cfg.num_orders + 1):
+            # Zipf over customers: a few heavy buyers, a long tail.
+            customer_id = rng.zipf(n_customers, cfg.zipf_theta) + 1
+            item_count = rng.randint(1, cfg.max_items_per_order)
+            chosen: dict[str, int] = {}
+            for _ in range(item_count):
+                product_idx = rng.zipf(n_products, cfg.zipf_theta)
+                product_id = dataset.products[product_idx]["_id"]
+                chosen[product_id] = chosen.get(product_id, 0) + rng.randint(1, 3)
+            items = []
+            total = 0.0
+            for product_id, quantity in sorted(chosen.items()):
+                price = price_of[product_id]
+                amount = round(price * quantity, 2)
+                total += amount
+                items.append(
+                    {
+                        "product_id": product_id,
+                        "quantity": quantity,
+                        "unit_price": price,
+                        "amount": amount,
+                    }
+                )
+            order: dict[str, Any] = {
+                "_id": f"o{oid}",
+                "customer_id": customer_id,
+                "order_date": textgen.iso_date(rng),
+                "status": rng.choice(ORDER_STATUSES),
+                "total_price": round(total, 2),
+                "items": items,
+            }
+            if variability and rng.bernoulli(variability):
+                if rng.bernoulli(0.5):
+                    order.pop("status", None)
+                else:
+                    order["coupon"] = f"C{rng.randint(10, 99)}"
+            dataset.orders.append(order)
+
+    def _generate_feedback(self, dataset: Dataset) -> None:
+        rng = self._rng("feedback")
+        seen: set[str] = set()
+        for order in dataset.orders:
+            for item in order["items"]:
+                if not rng.bernoulli(self.config.feedback_probability):
+                    continue
+                key = f"{item['product_id']}/{order['customer_id']}"
+                if key in seen:
+                    continue
+                seen.add(key)
+                dataset.feedback.append(
+                    (
+                        key,
+                        {
+                            "rating": rng.weighted_choice(
+                                [1, 2, 3, 4, 5], [5, 7, 15, 35, 38]
+                            ),
+                            "text": textgen.review_text(rng),
+                            "date": textgen.iso_date(rng),
+                        },
+                    )
+                )
+        dataset.feedback.sort(key=lambda pair: pair[0])
+
+    def _generate_invoices(self, dataset: Dataset) -> None:
+        customers_by_id = {c["id"]: c for c in dataset.customers}
+        for order in dataset.orders:
+            customer = customers_by_id[order["customer_id"]]
+            dataset.invoices.append((order["_id"], build_invoice(order, customer)))
+
+    def _generate_social_graph(self, dataset: Dataset) -> None:
+        rng = self._rng("graph")
+        cfg = self.config
+        for customer in dataset.customers:
+            dataset.persons.append(
+                {
+                    "id": customer["id"],
+                    "name": f"{customer['first_name']} {customer['last_name']}",
+                    "country": customer["country"],
+                }
+            )
+        n = len(dataset.persons)
+        if n < 2:
+            return
+        target_edges = int(cfg.knows_edges_per_person * n)
+        # Preferential attachment: endpoints chosen proportionally to
+        # (degree + 1), giving the heavy-tailed degree distribution real
+        # social graphs show.
+        degree = [1] * (n + 1)  # 1-indexed by person id; +1 smoothing
+        repeated: list[int] = list(range(1, n + 1))  # each id once to start
+        existing: set[tuple[int, int]] = set()
+        attempts = 0
+        while len(dataset.knows_edges) < target_edges and attempts < target_edges * 10:
+            attempts += 1
+            src = rng.choice(repeated)
+            dst = rng.choice(repeated)
+            if src == dst or (src, dst) in existing:
+                continue
+            existing.add((src, dst))
+            since = rng.randint(2005, 2016)
+            dataset.knows_edges.append((src, dst, since))
+            degree[src] += 1
+            degree[dst] += 1
+            repeated.append(src)
+            repeated.append(dst)
+
+
+def build_invoice(order: dict[str, Any], customer: dict[str, Any]) -> XmlElement:
+    """Derive the canonical invoice XML for one order.
+
+    This function *is* the gold standard for the JSON-order -> XML-invoice
+    conversion task (E5): converters must reproduce its output exactly.
+    """
+    invoice = element(
+        "invoice", {"id": order["_id"], "date": order.get("order_date", "")}
+    )
+    cust = element("customer", {"id": str(customer["id"])})
+    cust.append(
+        element(
+            "name", {},
+            xml_text(f"{customer['first_name']} {customer['last_name']}"),
+        )
+    )
+    cust.append(element("country", {}, xml_text(customer.get("country") or "")))
+    invoice.append(cust)
+    lines = element("lines")
+    for item in order["items"]:
+        line = element(
+            "line",
+            {"product": item["product_id"], "quantity": str(item["quantity"])},
+        )
+        line.append(element("unitPrice", {}, xml_text(_money(item["unit_price"]))))
+        line.append(element("amount", {}, xml_text(_money(item["amount"]))))
+        lines.append(line)
+    invoice.append(lines)
+    invoice.append(element("total", {}, xml_text(_money(order["total_price"]))))
+    return invoice
+
+
+def _money(value: float) -> str:
+    """Canonical two-decimal money rendering used across models."""
+    return f"{value:.2f}"

@@ -1,0 +1,82 @@
+"""Loading a generated dataset into any driver."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datagen.generator import Dataset
+from repro.datagen.schemas import CUSTOMERS_SCHEMA, VENDORS_SCHEMA
+from repro.drivers.base import Driver
+
+
+def create_scenario_containers(driver: Driver) -> None:
+    """Create the five model containers of the social-commerce scenario."""
+    driver.create_table(CUSTOMERS_SCHEMA)
+    driver.create_table(VENDORS_SCHEMA)
+    driver.create_collection("orders")
+    driver.create_collection("products")
+    driver.create_kv_namespace("feedback")
+    driver.create_xml_collection("invoices")
+    driver.create_graph("social")
+
+
+def load_dataset(
+    driver: Driver,
+    dataset: Dataset,
+    create_containers: bool = True,
+    with_indexes: bool = True,
+    batch_size: int = 500,
+) -> None:
+    """Bulk-load *dataset* into *driver* in batched transactions.
+
+    ``with_indexes`` creates the workload's secondary indexes (orders by
+    customer_id and by product containment is not indexable — the E1
+    ablation flips this off to measure scan cost).
+    """
+    if create_containers:
+        create_scenario_containers(driver)
+
+    def batches(items: list[Any]) -> list[list[Any]]:
+        return [items[i : i + batch_size] for i in range(0, len(items), batch_size)]
+
+    for chunk in batches(dataset.customers):
+        driver.load(lambda s, chunk=chunk: [
+            s.sql_insert("customers", row) for row in chunk
+        ])
+    for chunk in batches(dataset.vendors):
+        driver.load(lambda s, chunk=chunk: [
+            s.sql_insert("vendors", row) for row in chunk
+        ])
+    for chunk in batches(dataset.products):
+        driver.load(lambda s, chunk=chunk: [
+            s.doc_insert("products", doc) for doc in chunk
+        ])
+    for chunk in batches(dataset.orders):
+        driver.load(lambda s, chunk=chunk: [
+            s.doc_insert("orders", doc) for doc in chunk
+        ])
+    for chunk in batches(dataset.feedback):
+        driver.load(lambda s, chunk=chunk: [
+            s.kv_put("feedback", key, value) for key, value in chunk
+        ])
+    for chunk in batches(dataset.invoices):
+        driver.load(lambda s, chunk=chunk: [
+            s.xml_put("invoices", inv_id, tree) for inv_id, tree in chunk
+        ])
+    for chunk in batches(dataset.persons):
+        driver.load(lambda s, chunk=chunk: [
+            s.graph_add_vertex(
+                "social", p["id"], "person", name=p["name"], country=p["country"]
+            )
+            for p in chunk
+        ])
+    for chunk in batches(dataset.knows_edges):
+        driver.load(lambda s, chunk=chunk: [
+            s.graph_add_edge("social", src, dst, "knows", since=since)
+            for src, dst, since in chunk
+        ])
+    if with_indexes:
+        driver.create_index("collection", "orders", "customer_id")
+        driver.create_index("collection", "orders", "status")
+        driver.create_index("collection", "products", "category")
+        driver.create_index("table", "customers", "country")

@@ -1,0 +1,92 @@
+"""Canonical schemas of the social-commerce scenario.
+
+The relational half is declared as :class:`TableSchema` objects; the
+document/XML/KV/graph halves are conventions documented here and
+enforced by the generator (NoSQL's "schema later" is the point — the
+schema-evolution pillar perturbs exactly these shapes).
+
+Document conventions::
+
+    orders:   {_id, customer_id, order_date, status, total_price,
+               items: [{product_id, quantity, unit_price, amount}]}
+    products: {_id, title, category, price, vendor_id, stock,
+               attributes?: {...}}
+
+Key-value convention::
+
+    feedback/<product_id>/<customer_id> -> {rating: 1..5, text, date}
+
+XML convention (per order)::
+
+    <invoice id="..." date="...">
+      <customer id="..."><name>...</name><country>...</country></customer>
+      <lines>
+        <line product="..." quantity="...">
+          <unitPrice>...</unitPrice><amount>...</amount>
+        </line>*
+      </lines>
+      <total>...</total>
+    </invoice>
+
+Graph convention: vertices ``person`` (mirror of customers, property
+``name``, ``country``) and edges ``knows`` (property ``since``).
+"""
+
+from __future__ import annotations
+
+from repro.models.relational.schema import Column, ColumnType, ForeignKey, TableSchema
+
+CUSTOMERS_SCHEMA = TableSchema(
+    "customers",
+    (
+        Column("id", ColumnType.INTEGER, nullable=False),
+        Column("first_name", ColumnType.TEXT, nullable=False),
+        Column("last_name", ColumnType.TEXT, nullable=False),
+        Column("country", ColumnType.TEXT),
+        Column("city", ColumnType.TEXT),
+        Column("join_date", ColumnType.DATE),
+    ),
+    primary_key=("id",),
+)
+
+VENDORS_SCHEMA = TableSchema(
+    "vendors",
+    (
+        Column("id", ColumnType.INTEGER, nullable=False),
+        Column("name", ColumnType.TEXT, nullable=False),
+        Column("country", ColumnType.TEXT),
+        Column("industry", ColumnType.TEXT),
+    ),
+    primary_key=("id",),
+)
+
+# Declared for completeness; the generator keeps orders in JSON, but the
+# conversion pillar (E5) materialises this relational form of orders.
+ORDERS_RELATIONAL_SCHEMA = TableSchema(
+    "orders_rel",
+    (
+        Column("id", ColumnType.TEXT, nullable=False),
+        Column("customer_id", ColumnType.INTEGER, nullable=False),
+        Column("order_date", ColumnType.DATE),
+        Column("status", ColumnType.TEXT),
+        Column("total_price", ColumnType.FLOAT),
+    ),
+    primary_key=("id",),
+    foreign_keys=(ForeignKey("customer_id", "customers", "id"),),
+)
+
+ORDER_ITEMS_RELATIONAL_SCHEMA = TableSchema(
+    "order_items_rel",
+    (
+        Column("order_id", ColumnType.TEXT, nullable=False),
+        Column("line_no", ColumnType.INTEGER, nullable=False),
+        Column("product_id", ColumnType.TEXT, nullable=False),
+        Column("quantity", ColumnType.INTEGER, nullable=False),
+        Column("unit_price", ColumnType.FLOAT, nullable=False),
+        Column("amount", ColumnType.FLOAT, nullable=False),
+    ),
+    primary_key=("order_id", "line_no"),
+    foreign_keys=(ForeignKey("order_id", "orders_rel", "id"),),
+)
+
+ORDER_STATUSES = ("pending", "paid", "shipped", "delivered", "cancelled")

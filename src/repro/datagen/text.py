@@ -1,0 +1,114 @@
+"""Synthetic text: names, places, product titles, review sentences.
+
+Everything draws from a :class:`~repro.util.rng.DeterministicRng`, so the
+same seed always yields the same strings.  Word lists are short on
+purpose — the benchmark cares about value *distributions*, not prose.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import DeterministicRng
+
+FIRST_NAMES = [
+    "Aino", "Bruno", "Carla", "Daniel", "Elena", "Felix", "Greta", "Hannu",
+    "Ines", "Jukka", "Kaisa", "Leo", "Maria", "Nils", "Olga", "Pekka",
+    "Quentin", "Rosa", "Sami", "Tiina", "Ursula", "Ville", "Wanda", "Xavier",
+    "Yrjo", "Zelda",
+]
+
+LAST_NAMES = [
+    "Aalto", "Bergman", "Carlsson", "Dahl", "Eklund", "Forsberg", "Gustafsson",
+    "Hakala", "Ivanov", "Jokinen", "Korhonen", "Laine", "Mikkola", "Nieminen",
+    "Ojala", "Peltola", "Rantanen", "Salmi", "Toivonen", "Uusitalo",
+    "Virtanen", "Wikstrom",
+]
+
+COUNTRIES = [
+    "Finland", "Sweden", "Norway", "Denmark", "Estonia", "Germany",
+    "Netherlands", "France", "Spain", "Italy", "Poland", "Portugal",
+]
+
+CITIES = {
+    "Finland": ["Helsinki", "Espoo", "Tampere", "Oulu"],
+    "Sweden": ["Stockholm", "Gothenburg", "Malmo"],
+    "Norway": ["Oslo", "Bergen"],
+    "Denmark": ["Copenhagen", "Aarhus"],
+    "Estonia": ["Tallinn", "Tartu"],
+    "Germany": ["Berlin", "Munich", "Hamburg"],
+    "Netherlands": ["Amsterdam", "Utrecht"],
+    "France": ["Paris", "Lyon"],
+    "Spain": ["Madrid", "Barcelona"],
+    "Italy": ["Rome", "Milan"],
+    "Poland": ["Warsaw", "Krakow"],
+    "Portugal": ["Lisbon", "Porto"],
+}
+
+PRODUCT_ADJECTIVES = [
+    "Arctic", "Bold", "Compact", "Deluxe", "Eco", "Flex", "Grand", "Hyper",
+    "Ion", "Jet", "Kinetic", "Lumen", "Mega", "Nordic", "Omni", "Prime",
+    "Quantum", "Rapid", "Smart", "Turbo", "Ultra", "Vivid",
+]
+
+PRODUCT_NOUNS = [
+    "Backpack", "Blender", "Camera", "Chair", "Drone", "Headphones", "Kettle",
+    "Keyboard", "Lamp", "Monitor", "Mouse", "Notebook", "Printer", "Router",
+    "Scooter", "Speaker", "Tablet", "Telescope", "Tent", "Watch",
+]
+
+PRODUCT_CATEGORIES = [
+    "electronics", "outdoors", "home", "office", "sports", "toys", "kitchen",
+]
+
+REVIEW_OPENERS = [
+    "Absolutely love it", "Does the job", "Not what I expected",
+    "Great value", "Would buy again", "Broke after a week",
+    "Exceeded expectations", "Solid build quality", "Mediocre at best",
+    "Fantastic purchase",
+]
+
+REVIEW_DETAILS = [
+    "shipping was fast", "battery life is impressive", "setup took minutes",
+    "the manual is confusing", "customer support was helpful",
+    "packaging was damaged", "works exactly as described",
+    "colour differs from the photos", "my kids use it daily",
+    "it pairs well with my other gear",
+]
+
+
+def person_name(rng: DeterministicRng) -> tuple[str, str]:
+    """A (first, last) name pair."""
+    return rng.choice(FIRST_NAMES), rng.choice(LAST_NAMES)
+
+
+def country_and_city(rng: DeterministicRng) -> tuple[str, str]:
+    """A coherent (country, city) pair."""
+    country = rng.choice(COUNTRIES)
+    return country, rng.choice(CITIES[country])
+
+
+def product_title(rng: DeterministicRng) -> str:
+    """A product display name like 'Nordic Kettle 300'."""
+    return (
+        f"{rng.choice(PRODUCT_ADJECTIVES)} {rng.choice(PRODUCT_NOUNS)} "
+        f"{rng.randint(100, 999)}"
+    )
+
+
+def company_name(rng: DeterministicRng) -> str:
+    """A vendor name like 'Virtanen & Dahl Oy'."""
+    a = rng.choice(LAST_NAMES)
+    b = rng.choice(LAST_NAMES)
+    suffix = rng.choice(["Oy", "AB", "GmbH", "Ltd", "BV"])
+    return f"{a} & {b} {suffix}" if a != b else f"{a} {suffix}"
+
+def review_text(rng: DeterministicRng) -> str:
+    """A two-part review sentence."""
+    return f"{rng.choice(REVIEW_OPENERS)}; {rng.choice(REVIEW_DETAILS)}."
+
+
+def iso_date(rng: DeterministicRng, year_low: int = 2014, year_high: int = 2016) -> str:
+    """A random ISO date in [year_low, year_high] (28-day months for safety)."""
+    year = rng.randint(year_low, year_high)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"

@@ -1,0 +1,15 @@
+"""Drivers: the uniform system-access layer of the benchmark.
+
+The paper calls for "publicly available implementations of benchmarking
+data and queries for different systems ... developed, shared, unified".
+A :class:`~repro.drivers.base.Driver` is that unification: the benchmark
+core talks only to this interface, and each system under test (the
+unified multi-model engine, the polyglot-persistence baseline) provides
+an implementation.
+"""
+
+from repro.drivers.base import Driver
+from repro.drivers.polyglot import PolyglotDriver
+from repro.drivers.unified import UnifiedDriver
+
+__all__ = ["Driver", "PolyglotDriver", "UnifiedDriver"]

@@ -1,0 +1,103 @@
+"""The abstract driver interface every system under test implements."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable
+
+from repro.query.context import QueryContext
+
+
+class Driver(abc.ABC):
+    """Uniform access to one system under test.
+
+    Responsibilities:
+
+    - DDL: create the five model containers for the benchmark scenario.
+    - Loading: bulk-insert generated data.
+    - Queries: expose a :class:`QueryContext` so MMQL runs unchanged.
+    - Transactions: run a multi-model read-write unit atomically (or as
+      atomically as the architecture permits — the polyglot baseline's
+      weaker guarantee is itself a measured result).
+    """
+
+    name: str = "driver"
+
+    # -- DDL -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def create_table(self, schema: Any) -> None:
+        """Create a relational table from a TableSchema."""
+
+    @abc.abstractmethod
+    def create_collection(self, name: str) -> None:
+        """Create a JSON document collection."""
+
+    @abc.abstractmethod
+    def create_xml_collection(self, name: str) -> None:
+        """Create an XML document collection."""
+
+    @abc.abstractmethod
+    def create_kv_namespace(self, name: str) -> None:
+        """Create a key-value namespace."""
+
+    @abc.abstractmethod
+    def create_graph(self, name: str) -> None:
+        """Create a property graph."""
+
+    @abc.abstractmethod
+    def create_index(self, kind: str, collection: str, field: str) -> None:
+        """Create a secondary index; *kind* is 'table' or 'collection'."""
+
+    # -- loading -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def load(self, loader: Callable[[Any], None]) -> None:
+        """Run *loader(session)* as one bulk-load unit."""
+
+    # -- queries ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def query_context(self) -> QueryContext:
+        """A QueryContext over the system's current committed state."""
+
+    def query(
+        self,
+        text: str,
+        params: dict[str, Any] | None = None,
+        use_indexes: bool = True,
+    ) -> list[Any]:
+        """Convenience: run one MMQL query on a fresh context."""
+        from repro.query.executor import run_query
+
+        ctx = self.query_context()
+        try:
+            return run_query(ctx, text, params, use_indexes)
+        finally:
+            close = getattr(ctx, "close", None)
+            if close is not None:
+                close()
+
+    def explain(self, text: str) -> str:
+        """Human-readable plan for an MMQL query (index choices, clause order)."""
+        from repro.query.parser import parse
+        from repro.query.planner import plan
+
+        return plan(parse(text)).describe()
+
+    # -- transactions ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def run_transaction(self, body: Callable[[Any], Any]) -> Any:
+        """Execute *body(session)* as one multi-model transaction.
+
+        The session object is driver-specific but must provide the same
+        method names as :class:`repro.engine.database.Session` for the
+        operations the benchmark workloads use.
+        """
+
+    # -- introspection -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def stats(self) -> dict[str, int]:
+        """Entity counts for the dataset report (Figure 1 reproduction)."""

@@ -1,0 +1,160 @@
+"""Driver wrapping the polyglot-persistence baseline.
+
+MMQL queries run against the five stores through application-level glue
+(the executor's nested loops *are* the app-side joins the polyglot
+architecture forces).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.baselines.polyglot import PolyglotPersistence, PolyglotSession
+from repro.drivers.base import Driver
+from repro.errors import NoSuchCollectionError
+from repro.models.graph.traversal import neighbors_within, shortest_path
+
+
+class PolyglotQueryContext:
+    """QueryContext over the five independent stores."""
+
+    def __init__(self, db: PolyglotPersistence) -> None:
+        self.db = db
+
+    def iter_collection(self, name: str) -> Iterable[Any]:
+        if name in self.db.tables:
+            yield from self.db.tables[name].scan()
+        elif name in self.db.collections:
+            for doc in list(self.db.collections[name].values()):
+                yield dict(doc)
+        elif name in self.db.xml_collections:
+            for doc_id, tree in list(self.db.xml_collections[name].items()):
+                yield {"_id": doc_id, "root": tree}
+        elif name in self.db.graphs:
+            yield from self.vertices(name, None)
+        elif name in self.db.kv_namespaces:
+            for key, value in self.db.kv_namespaces[name].items():
+                yield {"key": key, "value": value}
+        else:
+            raise NoSuchCollectionError(f"no collection {name!r}")
+
+    def index_lookup(
+        self, collection: str, field: str, value: Any
+    ) -> Iterable[Any] | None:
+        if collection in self.db.tables:
+            table = self.db.tables[collection]
+            if field == "_id" and len(table.schema.primary_key) == 1:
+                row = table.get((value,))
+                return [row] if row is not None else []
+            index = self.db.index("table", collection, field)
+            if index is None:
+                return None
+            out = []
+            for pk in index.get(value, ()):
+                row = table.get(pk)
+                if row is not None and row.get(field) == value:
+                    out.append(row)
+            return out
+        if collection in self.db.collections:
+            coll = self.db.collections[collection]
+            if field == "_id":
+                doc = coll.get(value)
+                return [dict(doc)] if doc is not None else []
+            index = self.db.index("collection", collection, field)
+            if index is None:
+                return None
+            out = []
+            for doc_id in index.get(value, ()):
+                doc = coll.get(doc_id)
+                if doc is not None and doc.get(field) == value:
+                    out.append(dict(doc))
+            return out
+        return None
+
+    # -- graph ---------------------------------------------------------------
+
+    def traverse(
+        self,
+        graph: str,
+        start: Any,
+        min_depth: int,
+        max_depth: int,
+        edge_label: str | None,
+    ) -> Iterable[Any]:
+        g = self.db.graphs[graph]
+        for vid in neighbors_within(g, start, min_depth, max_depth, edge_label):
+            vertex = g.vertex(vid)
+            out = {"_id": vertex.id, "label": vertex.label}
+            out.update(vertex.properties)
+            yield out
+
+    def vertices(self, graph: str, label: str | None) -> Iterable[Any]:
+        for vertex in self.db.graphs[graph].vertices(label):
+            out = {"_id": vertex.id, "label": vertex.label}
+            out.update(vertex.properties)
+            yield out
+
+    def edges(self, graph: str, label: str | None) -> Iterable[Any]:
+        for edge in self.db.graphs[graph].edges(label):
+            out = {
+                "_id": edge.id, "_src": edge.src, "_dst": edge.dst,
+                "label": edge.label,
+            }
+            out.update(edge.properties)
+            yield out
+
+    def shortest_path(
+        self, graph: str, start: Any, goal: Any, edge_label: str | None
+    ) -> list[Any] | None:
+        return shortest_path(self.db.graphs[graph], start, goal, edge_label)
+
+    # -- KV / XML --------------------------------------------------------------
+
+    def kv_get(self, namespace: str, key: str) -> Any:
+        return self.db.kv_namespaces[namespace].get(key)
+
+    def kv_prefix(self, namespace: str, prefix: str) -> Iterable[Any]:
+        for key, value in self.db.kv_namespaces[namespace].scan_prefix(prefix):
+            yield {"key": key, "value": value}
+
+    def xml_get(self, collection: str, doc_id: Any) -> Any:
+        return self.db.xml_collections[collection].get(doc_id)
+
+
+class PolyglotDriver(Driver):
+    """The polyglot baseline behind the uniform driver interface."""
+
+    name = "polyglot"
+
+    def __init__(self) -> None:
+        self.db = PolyglotPersistence()
+
+    def create_table(self, schema: Any) -> None:
+        self.db.create_table(schema)
+
+    def create_collection(self, name: str) -> None:
+        self.db.create_collection(name)
+
+    def create_xml_collection(self, name: str) -> None:
+        self.db.create_xml_collection(name)
+
+    def create_kv_namespace(self, name: str) -> None:
+        self.db.create_kv_namespace(name)
+
+    def create_graph(self, name: str) -> None:
+        self.db.create_graph(name)
+
+    def create_index(self, kind: str, collection: str, field: str) -> None:
+        self.db.create_index(kind, collection, field)
+
+    def load(self, loader: Callable[[PolyglotSession], None]) -> None:
+        self.db.run_transaction(loader)
+
+    def query_context(self) -> PolyglotQueryContext:
+        return PolyglotQueryContext(self.db)
+
+    def run_transaction(self, body: Callable[[PolyglotSession], Any]) -> Any:
+        return self.db.run_transaction(body)
+
+    def stats(self) -> dict[str, int]:
+        return self.db.stats()

@@ -1,0 +1,28 @@
+"""The transactional multi-model engine (the benchmark's system under test).
+
+A single versioned record store holds all five data models; transactions
+span models freely, which is exactly the capability the UDBMS benchmark
+exercises (the paper's example transaction touches JSON orders, key-value
+feedback and XML invoices at once).
+
+Layers:
+
+- :mod:`repro.engine.records`      record keys and MVCC version chains
+- :mod:`repro.engine.wal`          redo-only write-ahead log + recovery
+- :mod:`repro.engine.locks`        S/X lock table with deadlock detection
+- :mod:`repro.engine.indexes`      hash and sorted secondary indexes
+- :mod:`repro.engine.transactions` isolation levels and the txn manager
+- :mod:`repro.engine.database`     the MultiModelDatabase facade
+"""
+
+from repro.engine.database import MultiModelDatabase
+from repro.engine.records import Model, RecordKey
+from repro.engine.transactions import IsolationLevel, Transaction
+
+__all__ = [
+    "IsolationLevel",
+    "Model",
+    "MultiModelDatabase",
+    "RecordKey",
+    "Transaction",
+]

@@ -1,0 +1,149 @@
+"""A shared/exclusive lock table with waits-for deadlock detection.
+
+The engine's transactions are *logically* concurrent: the benchmark's
+schedule executor interleaves transaction steps deterministically in one
+thread (so every anomaly experiment is reproducible).  A conflicting
+acquire therefore cannot block a thread; instead it raises
+:class:`WouldBlock`, the scheduler parks that transaction, and the lock
+manager's waits-for graph is checked for cycles first — a cycle aborts
+the requester with :class:`DeadlockError` (youngest-requester-dies).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlockError, EngineError
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class WouldBlock(Exception):
+    """Raised when a lock cannot be granted now; the txn should be parked.
+
+    Not a :class:`ReproError`: it is control flow for the schedule
+    executor, never an application-visible failure.
+    """
+
+    def __init__(self, resource: object, holders: set[int]) -> None:
+        super().__init__(f"lock on {resource!r} held by {sorted(holders)}")
+        self.resource = resource
+        self.holders = holders
+
+
+@dataclass
+class _LockEntry:
+    holders: dict[int, LockMode] = field(default_factory=dict)
+
+
+class LockManager:
+    """Grants S/X locks on opaque resources to integer transaction ids."""
+
+    def __init__(self) -> None:
+        self._locks: dict[object, _LockEntry] = {}
+        # waits_for[a] = set of txns a is currently waiting on
+        self._waits_for: dict[int, set[int]] = {}
+        self.deadlocks_detected = 0
+        self.conflicts = 0
+
+    # -- acquisition ---------------------------------------------------------
+
+    def acquire(self, txn_id: int, resource: object, mode: LockMode) -> None:
+        """Grant the lock or raise WouldBlock/DeadlockError.
+
+        Re-acquiring a held lock is a no-op; upgrading S->X succeeds only
+        when the requester is the sole holder.
+        """
+        entry = self._locks.setdefault(resource, _LockEntry())
+        held = entry.holders.get(txn_id)
+        if held is LockMode.EXCLUSIVE or held is mode:
+            return
+        others = {t for t in entry.holders if t != txn_id}
+        if held is LockMode.SHARED and mode is LockMode.EXCLUSIVE:
+            if not others:
+                entry.holders[txn_id] = LockMode.EXCLUSIVE
+                return
+            self._block(txn_id, resource, others)
+        if mode is LockMode.SHARED:
+            blockers = {
+                t for t, m in entry.holders.items()
+                if t != txn_id and m is LockMode.EXCLUSIVE
+            }
+            if blockers:
+                self._block(txn_id, resource, blockers)
+            entry.holders[txn_id] = LockMode.SHARED
+            self._waits_for.pop(txn_id, None)
+            return
+        # EXCLUSIVE request, no prior hold
+        if others:
+            self._block(txn_id, resource, others)
+        entry.holders[txn_id] = LockMode.EXCLUSIVE
+        self._waits_for.pop(txn_id, None)
+
+    def _block(self, txn_id: int, resource: object, blockers: set[int]) -> None:
+        """Record the wait edge, detect deadlock, then raise WouldBlock."""
+        self.conflicts += 1
+        self._waits_for[txn_id] = set(blockers)
+        if self._on_cycle(txn_id):
+            self.deadlocks_detected += 1
+            self._waits_for.pop(txn_id, None)
+            raise DeadlockError(
+                f"txn {txn_id} would deadlock waiting for {sorted(blockers)} "
+                f"on {resource!r}"
+            )
+        raise WouldBlock(resource, blockers)
+
+    def _on_cycle(self, start: int) -> bool:
+        """Does the waits-for graph contain a cycle through *start*?"""
+        seen: set[int] = set()
+        stack = list(self._waits_for.get(start, ()))
+        while stack:
+            txn = stack.pop()
+            if txn == start:
+                return True
+            if txn in seen:
+                continue
+            seen.add(txn)
+            stack.extend(self._waits_for.get(txn, ()))
+        return False
+
+    # -- release ------------------------------------------------------------------
+
+    def release_all(self, txn_id: int) -> int:
+        """Release every lock held by *txn_id*; returns the count released."""
+        released = 0
+        empty: list[object] = []
+        for resource, entry in self._locks.items():
+            if txn_id in entry.holders:
+                del entry.holders[txn_id]
+                released += 1
+            if not entry.holders:
+                empty.append(resource)
+        for resource in empty:
+            del self._locks[resource]
+        self._waits_for.pop(txn_id, None)
+        for waiters in self._waits_for.values():
+            waiters.discard(txn_id)
+        return released
+
+    # -- introspection ---------------------------------------------------------------
+
+    def holders_of(self, resource: object) -> dict[int, LockMode]:
+        entry = self._locks.get(resource)
+        return dict(entry.holders) if entry else {}
+
+    def held_by(self, txn_id: int) -> list[object]:
+        return [r for r, e in self._locks.items() if txn_id in e.holders]
+
+    def assert_consistent(self) -> None:
+        """Invariant check used by property tests."""
+        for resource, entry in self._locks.items():
+            modes = list(entry.holders.values())
+            if modes.count(LockMode.EXCLUSIVE) > 1:
+                raise EngineError(f"two X holders on {resource!r}")
+            if LockMode.EXCLUSIVE in modes and len(modes) > 1:
+                raise EngineError(f"X and S coexist on {resource!r}")

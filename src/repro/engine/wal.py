@@ -1,0 +1,138 @@
+"""A redo-only write-ahead log with crash simulation and recovery.
+
+The log is a list of records; ``sync()`` advances the *durable
+watermark*.  :meth:`WriteAheadLog.crash` discards everything after the
+watermark — exactly what a power failure does to an OS page cache — and
+recovery replays only transactions whose COMMIT record survived.  The
+atomicity experiment (E6) crashes the engine mid-commit and checks that
+multi-model invariants still hold after replay; the polyglot baseline,
+which has one log per store and therefore several commit points, fails
+the same check.
+
+Record shapes (plain dicts so they serialise trivially):
+
+- ``{"type": "begin", "txn": id}``
+- ``{"type": "write", "txn": id, "key": RecordKey, "value": ...}``
+  (``value is None`` encodes a delete)
+- ``{"type": "commit", "txn": id, "ts": commit_ts}``
+- ``{"type": "abort", "txn": id}``
+- ``{"type": "checkpoint", "ts": ts}``
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.engine.records import RecordKey, copy_value
+from repro.errors import WalError
+
+
+class WriteAheadLog:
+    """An append-only redo log with an explicit durability watermark."""
+
+    def __init__(self, sync_every_append: bool = True) -> None:
+        self._records: list[dict[str, Any]] = []
+        self._durable = 0
+        self.sync_every_append = sync_every_append
+        self.appends = 0
+        self.syncs = 0
+
+    # -- appending ---------------------------------------------------------
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Append one record; auto-syncs when configured (default)."""
+        if "type" not in record:
+            raise WalError(f"WAL record missing 'type': {record!r}")
+        self._records.append(record)
+        self.appends += 1
+        if self.sync_every_append:
+            self.sync()
+
+    def log_begin(self, txn_id: int) -> None:
+        self.append({"type": "begin", "txn": txn_id})
+
+    def log_write(self, txn_id: int, key: RecordKey, value: Any) -> None:
+        self.append(
+            {"type": "write", "txn": txn_id, "key": key, "value": copy_value(value)}
+        )
+
+    def log_commit(self, txn_id: int, commit_ts: int) -> None:
+        self.append({"type": "commit", "txn": txn_id, "ts": commit_ts})
+
+    def log_abort(self, txn_id: int) -> None:
+        self.append({"type": "abort", "txn": txn_id})
+
+    def log_checkpoint(self, ts: int) -> None:
+        self.append({"type": "checkpoint", "ts": ts})
+
+    def sync(self) -> None:
+        """Advance the durable watermark to the end of the log."""
+        self._durable = len(self._records)
+        self.syncs += 1
+
+    # -- crash & recovery -----------------------------------------------------
+
+    def crash(self) -> int:
+        """Discard every record after the durable watermark.
+
+        Returns the number of records lost.  Simulates a machine failure:
+        buffered-but-unsynced appends vanish.
+        """
+        lost = len(self._records) - self._durable
+        del self._records[self._durable :]
+        return lost
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        """Iterate durable records (used by recovery and tests)."""
+        return iter(self._records[: self._durable])
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def durable_length(self) -> int:
+        return self._durable
+
+    def committed_transactions(self) -> dict[int, int]:
+        """Map txn_id -> commit_ts for every durably committed txn."""
+        out: dict[int, int] = {}
+        for rec in self.records():
+            if rec["type"] == "commit":
+                out[rec["txn"]] = rec["ts"]
+        return out
+
+    def replay(self) -> Iterator[tuple[int, RecordKey, Any]]:
+        """Yield (commit_ts, key, value) for every durably committed write.
+
+        Writes of uncommitted or aborted transactions are skipped — this
+        is the redo pass of ARIES restricted to redo-only logging (no
+        undo needed because uncommitted writes never reach the store).
+        Within a transaction, write order is preserved; transactions are
+        yielded in commit-timestamp order.
+        """
+        committed = self.committed_transactions()
+        writes: dict[int, list[tuple[RecordKey, Any]]] = {}
+        for rec in self.records():
+            if rec["type"] == "write" and rec["txn"] in committed:
+                writes.setdefault(rec["txn"], []).append((rec["key"], rec["value"]))
+        for txn_id in sorted(committed, key=lambda t: committed[t]):
+            ts = committed[txn_id]
+            for key, value in writes.get(txn_id, []):
+                yield ts, key, copy_value(value)
+
+    def truncate_before_checkpoint(self) -> int:
+        """Drop records preceding the last checkpoint; returns count dropped.
+
+        A checkpoint asserts the store has materialised everything before
+        it, so recovery only needs the suffix.
+        """
+        last_cp = -1
+        for i, rec in enumerate(self._records[: self._durable]):
+            if rec["type"] == "checkpoint":
+                last_cp = i
+        if last_cp <= 0:
+            return 0
+        dropped = last_cp
+        del self._records[:last_cp]
+        self._durable -= dropped
+        return dropped

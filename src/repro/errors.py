@@ -1,0 +1,170 @@
+"""Exception hierarchy for the UDBMS-benchmark reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the major
+subsystems: data models, the transactional engine, the MMQL query layer,
+schema evolution, conversion, and the benchmark harness itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Data-model layer
+# ---------------------------------------------------------------------------
+
+
+class ModelError(ReproError):
+    """Base class for errors in the five data-model substrates."""
+
+
+class SchemaError(ModelError):
+    """A relational schema was violated or is malformed."""
+
+
+class ConstraintError(SchemaError):
+    """A declared constraint (primary key, not-null, foreign key) failed."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value did not match the declared column/field type."""
+
+
+class DocumentError(ModelError):
+    """A JSON document or JSONPath expression is invalid."""
+
+
+class XmlError(ModelError):
+    """Malformed XML text or an invalid XML tree operation."""
+
+
+class XPathError(XmlError):
+    """An XPath expression could not be parsed or evaluated."""
+
+
+class GraphError(ModelError):
+    """An invalid property-graph operation (missing vertex, bad edge...)."""
+
+
+class KeyValueError(ModelError):
+    """An invalid key-value store operation."""
+
+
+# ---------------------------------------------------------------------------
+# Engine layer
+# ---------------------------------------------------------------------------
+
+
+class EngineError(ReproError):
+    """Base class for transactional-engine failures."""
+
+
+class TransactionError(EngineError):
+    """A transaction could not proceed (already closed, invalid state)."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted and must be retried by the caller."""
+
+
+class SerializationConflict(TransactionAborted):
+    """A first-committer-wins / validation conflict under MVCC."""
+
+
+class DeadlockError(TransactionAborted):
+    """The lock manager chose this transaction as a deadlock victim."""
+
+
+class WalError(EngineError):
+    """The write-ahead log is corrupt or could not be replayed."""
+
+
+class SimulatedCrash(EngineError):
+    """Fault injection fired: the engine 'crashed' at a chosen point."""
+
+
+class NoSuchCollectionError(EngineError):
+    """A named collection/table/graph does not exist in the database."""
+
+
+class DuplicateCollectionError(EngineError):
+    """Attempt to create a collection that already exists."""
+
+
+# ---------------------------------------------------------------------------
+# Query layer (MMQL)
+# ---------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for MMQL errors."""
+
+
+class MMQLSyntaxError(QueryError):
+    """The MMQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class PlanError(QueryError):
+    """The query is syntactically valid but cannot be planned."""
+
+
+class ExecutionError(QueryError):
+    """A runtime failure while executing a query plan."""
+
+
+class UnknownFunctionError(ExecutionError):
+    """An MMQL builtin function name was not recognised."""
+
+
+# ---------------------------------------------------------------------------
+# Schema-evolution layer
+# ---------------------------------------------------------------------------
+
+
+class EvolutionError(ReproError):
+    """A schema-evolution operation could not be applied."""
+
+
+class IncompatibleEvolutionError(EvolutionError):
+    """The operation conflicts with the current schema version."""
+
+
+# ---------------------------------------------------------------------------
+# Conversion layer
+# ---------------------------------------------------------------------------
+
+
+class ConversionError(ReproError):
+    """A model-to-model conversion failed."""
+
+
+class GoldStandardMismatch(ConversionError):
+    """Converted output did not match the generator's gold standard."""
+
+    def __init__(self, task: str, differences: list[str]) -> None:
+        preview = "; ".join(differences[:5])
+        super().__init__(f"gold-standard mismatch for {task}: {preview}")
+        self.task = task
+        self.differences = differences
+
+
+# ---------------------------------------------------------------------------
+# Benchmark harness
+# ---------------------------------------------------------------------------
+
+
+class BenchmarkError(ReproError):
+    """The benchmark harness was misconfigured or a run failed."""
+
+
+class WorkloadError(BenchmarkError):
+    """A workload definition is invalid for the requested driver."""

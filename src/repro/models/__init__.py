@@ -1,0 +1,12 @@
+"""The five data-model substrates of the UDBMS benchmark (Figure 1).
+
+Each subpackage is a pure value layer — no transactions, no durability —
+that the multi-model engine (:mod:`repro.engine`) stores behind a single
+transactional backend:
+
+- :mod:`repro.models.relational` — typed tables, rows, predicates
+- :mod:`repro.models.document`   — JSON values and a JSONPath subset
+- :mod:`repro.models.xml`        — XML trees, parser, XPath subset
+- :mod:`repro.models.graph`      — property graphs and traversals
+- :mod:`repro.models.kv`         — ordered key-value namespaces
+"""

@@ -1,0 +1,20 @@
+"""Document (JSON) data model: document values, collections, JSONPath subset."""
+
+from repro.models.document.document import (
+    Document,
+    DocumentCollection,
+    deep_copy_json,
+    json_equal,
+    validate_json_value,
+)
+from repro.models.document.jsonpath import JsonPath, jsonpath
+
+__all__ = [
+    "Document",
+    "DocumentCollection",
+    "JsonPath",
+    "deep_copy_json",
+    "json_equal",
+    "jsonpath",
+    "validate_json_value",
+]

@@ -1,0 +1,163 @@
+"""JSON document values and document collections.
+
+A *document* is a JSON object with a mandatory ``_id`` field (string or
+int).  Collections give point access by ``_id``, full scans, and simple
+field filters; richer queries go through MMQL or :mod:`jsonpath`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.errors import DocumentError
+
+JsonValue = Any  # dict | list | str | int | float | bool | None
+
+
+def validate_json_value(value: JsonValue, path: str = "$") -> None:
+    """Raise :class:`DocumentError` unless *value* is JSON-representable.
+
+    Checks types recursively and requires dict keys to be strings.
+    """
+    if value is None or isinstance(value, (str, bool, int, float)):
+        return
+    if isinstance(value, list):
+        for i, item in enumerate(value):
+            validate_json_value(item, f"{path}[{i}]")
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise DocumentError(
+                    f"non-string key {key!r} at {path}"
+                )
+            validate_json_value(item, f"{path}.{key}")
+        return
+    raise DocumentError(
+        f"value of type {type(value).__name__} at {path} is not JSON"
+    )
+
+
+def deep_copy_json(value: JsonValue) -> JsonValue:
+    """Structure-preserving deep copy of a JSON value."""
+    if isinstance(value, dict):
+        return {k: deep_copy_json(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [deep_copy_json(v) for v in value]
+    return value
+
+
+def json_equal(a: JsonValue, b: JsonValue) -> bool:
+    """Structural equality with int/float numeric coercion.
+
+    Gold-standard comparison uses this so that a converter emitting
+    ``10.0`` where the oracle says ``10`` still passes.
+    """
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a is b or a == b and isinstance(a, bool) == isinstance(b, bool)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return float(a) == float(b)
+    if isinstance(a, dict) and isinstance(b, dict):
+        if a.keys() != b.keys():
+            return False
+        return all(json_equal(a[k], b[k]) for k in a)
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(json_equal(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+class Document(dict):
+    """A JSON object with a mandatory ``_id``.
+
+    Subclassing dict keeps documents directly JSON-serialisable and lets
+    MMQL treat them as plain objects.
+    """
+
+    def __init__(self, data: dict[str, JsonValue]) -> None:
+        if "_id" not in data:
+            raise DocumentError("document requires an '_id' field")
+        if not isinstance(data["_id"], (str, int)) or isinstance(data["_id"], bool):
+            raise DocumentError(f"document _id {data['_id']!r} must be str or int")
+        validate_json_value(data)
+        super().__init__(deep_copy_json(data))
+
+    @property
+    def id(self) -> str | int:
+        return self["_id"]
+
+
+class DocumentCollection:
+    """A named collection of documents keyed by ``_id``.
+
+    >>> orders = DocumentCollection("orders")
+    >>> _ = orders.insert({"_id": "o1", "total": 9.5})
+    >>> orders.get("o1")["total"]
+    9.5
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._docs: dict[str | int, Document] = {}
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __iter__(self) -> Iterator[Document]:
+        return self.scan()
+
+    # -- mutation --------------------------------------------------------
+
+    def insert(self, data: dict[str, JsonValue]) -> str | int:
+        doc = Document(data)
+        if doc.id in self._docs:
+            raise DocumentError(
+                f"duplicate _id {doc.id!r} in collection {self.name!r}"
+            )
+        self._docs[doc.id] = doc
+        return doc.id
+
+    def upsert(self, data: dict[str, JsonValue]) -> str | int:
+        doc = Document(data)
+        self._docs[doc.id] = doc
+        return doc.id
+
+    def update(self, doc_id: str | int, changes: dict[str, JsonValue]) -> Document:
+        """Shallow-merge *changes* into the document (``_id`` immutable)."""
+        existing = self._docs.get(doc_id)
+        if existing is None:
+            raise DocumentError(f"no document {doc_id!r} in {self.name!r}")
+        if "_id" in changes and changes["_id"] != doc_id:
+            raise DocumentError("cannot change a document's _id")
+        merged = dict(existing)
+        merged.update(changes)
+        doc = Document(merged)
+        self._docs[doc_id] = doc
+        return doc
+
+    def delete(self, doc_id: str | int) -> bool:
+        return self._docs.pop(doc_id, None) is not None
+
+    def clear(self) -> None:
+        self._docs.clear()
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, doc_id: str | int) -> Document | None:
+        doc = self._docs.get(doc_id)
+        return Document(doc) if doc is not None else None
+
+    def scan(self, where: Callable[[Document], bool] | None = None) -> Iterator[Document]:
+        for doc in list(self._docs.values()):
+            if where is None or where(doc):
+                yield Document(doc)
+
+    def find(self, **equals: JsonValue) -> list[Document]:
+        """All documents whose top-level fields equal the given values."""
+        out = []
+        for doc in self._docs.values():
+            if all(doc.get(k) == v for k, v in equals.items()):
+                out.append(Document(doc))
+        return out
+
+    def ids(self) -> list[str | int]:
+        return list(self._docs.keys())

@@ -1,0 +1,173 @@
+"""A JSONPath subset sufficient for the benchmark workload.
+
+Supported grammar (documented subset, see DESIGN.md non-goals)::
+
+    path       := '$' step*
+    step       := '.' NAME            child member
+                | '..' NAME           recursive descent to member
+                | '[' INT ']'         array index (negative allowed)
+                | '[*]'               all array elements
+                | '.*'                all object members
+    NAME       := [A-Za-z_][A-Za-z0-9_]* | quoted via ['name']
+
+Evaluation always returns a *list* of matches (possibly empty), as in the
+original JSONPath proposal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import DocumentError
+
+JsonValue = Any
+
+
+@dataclass(frozen=True)
+class _Step:
+    kind: str  # "member" | "index" | "wild_member" | "wild_index" | "descend"
+    arg: Any = None
+
+
+class JsonPath:
+    """A parsed, reusable JSONPath expression.
+
+    >>> JsonPath("$.items[0].name").find({"items": [{"name": "x"}]})
+    ['x']
+    >>> JsonPath("$..price").find({"a": {"price": 1}, "b": [{"price": 2}]})
+    [1, 2]
+    """
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self._steps = _parse(text)
+
+    def find(self, value: JsonValue) -> list[JsonValue]:
+        """All matches of this path in *value*, in document order."""
+        current: list[JsonValue] = [value]
+        for step in self._steps:
+            nxt: list[JsonValue] = []
+            for node in current:
+                nxt.extend(_apply(step, node))
+            current = nxt
+        return current
+
+    def first(self, value: JsonValue, default: JsonValue = None) -> JsonValue:
+        """First match or *default*."""
+        matches = self.find(value)
+        return matches[0] if matches else default
+
+    def exists(self, value: JsonValue) -> bool:
+        return bool(self.find(value))
+
+    def __repr__(self) -> str:
+        return f"JsonPath({self.text!r})"
+
+
+def jsonpath(text: str, value: JsonValue) -> list[JsonValue]:
+    """One-shot evaluation; parse-once callers should keep a JsonPath."""
+    return JsonPath(text).find(value)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def _parse(text: str) -> list[_Step]:
+    if not text.startswith("$"):
+        raise DocumentError(f"JSONPath must start with '$': {text!r}")
+    steps: list[_Step] = []
+    i = 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == ".":
+            if i + 1 < n and text[i + 1] == ".":
+                # recursive descent: '..name' or '..*'
+                i += 2
+                if i < n and text[i] == "*":
+                    steps.append(_Step("descend", "*"))
+                    i += 1
+                else:
+                    name, i = _read_name(text, i)
+                    steps.append(_Step("descend", name))
+            else:
+                i += 1
+                if i < n and text[i] == "*":
+                    steps.append(_Step("wild_member"))
+                    i += 1
+                else:
+                    name, i = _read_name(text, i)
+                    steps.append(_Step("member", name))
+        elif ch == "[":
+            close = text.find("]", i)
+            if close == -1:
+                raise DocumentError(f"unclosed '[' in JSONPath {text!r}")
+            inner = text[i + 1 : close].strip()
+            if inner == "*":
+                steps.append(_Step("wild_index"))
+            elif inner.startswith(("'", '"')) and inner.endswith(inner[0]) and len(inner) >= 2:
+                steps.append(_Step("member", inner[1:-1]))
+            else:
+                try:
+                    steps.append(_Step("index", int(inner)))
+                except ValueError as exc:
+                    raise DocumentError(
+                        f"bad index {inner!r} in JSONPath {text!r}"
+                    ) from exc
+            i = close + 1
+        else:
+            raise DocumentError(
+                f"unexpected character {ch!r} at {i} in JSONPath {text!r}"
+            )
+    return steps
+
+
+def _read_name(text: str, i: int) -> tuple[str, int]:
+    start = i
+    n = len(text)
+    while i < n and (text[i].isalnum() or text[i] == "_"):
+        i += 1
+    if i == start:
+        raise DocumentError(f"expected name at {start} in JSONPath {text!r}")
+    return text[start:i], i
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+def _apply(step: _Step, node: JsonValue) -> Iterable[JsonValue]:
+    if step.kind == "member":
+        if isinstance(node, dict) and step.arg in node:
+            yield node[step.arg]
+    elif step.kind == "index":
+        if isinstance(node, list):
+            idx = step.arg
+            if -len(node) <= idx < len(node):
+                yield node[idx]
+    elif step.kind == "wild_member":
+        if isinstance(node, dict):
+            yield from node.values()
+    elif step.kind == "wild_index":
+        if isinstance(node, list):
+            yield from node
+    elif step.kind == "descend":
+        yield from _descend(step.arg, node)
+    else:  # pragma: no cover - parser only emits the kinds above
+        raise AssertionError(f"unknown step {step.kind}")
+
+
+def _descend(name: str, node: JsonValue) -> Iterable[JsonValue]:
+    """Document-order recursive descent collecting members called *name*."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if name == "*" or key == name:
+                yield value
+            yield from _descend(name, value)
+    elif isinstance(node, list):
+        for item in node:
+            yield from _descend(name, item)

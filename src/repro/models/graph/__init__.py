@@ -1,0 +1,23 @@
+"""Property-graph data model: vertices, edges, traversals, algorithms."""
+
+from repro.models.graph.property_graph import Edge, PropertyGraph, Vertex
+from repro.models.graph.traversal import (
+    bfs_layers,
+    neighbors_within,
+    shortest_path,
+    weighted_shortest_path,
+)
+from repro.models.graph.algorithms import connected_components, pagerank, triangle_count
+
+__all__ = [
+    "Edge",
+    "PropertyGraph",
+    "Vertex",
+    "bfs_layers",
+    "connected_components",
+    "neighbors_within",
+    "pagerank",
+    "shortest_path",
+    "triangle_count",
+    "weighted_shortest_path",
+]

@@ -1,0 +1,213 @@
+"""A directed, labelled property graph.
+
+Vertices and edges both carry a label and a property dict, as in the
+property-graph model used by multi-model systems.  Adjacency is indexed
+both ways so traversals in either direction are O(degree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import GraphError
+
+VertexId = Any  # hashable
+Properties = dict[str, Any]
+
+
+@dataclass
+class Vertex:
+    """A labelled vertex with properties."""
+
+    id: VertexId
+    label: str
+    properties: Properties = field(default_factory=dict)
+
+    def copy(self) -> "Vertex":
+        return Vertex(self.id, self.label, dict(self.properties))
+
+
+@dataclass
+class Edge:
+    """A directed, labelled edge with properties."""
+
+    id: int
+    src: VertexId
+    dst: VertexId
+    label: str
+    properties: Properties = field(default_factory=dict)
+
+    def copy(self) -> "Edge":
+        return Edge(self.id, self.src, self.dst, self.label, dict(self.properties))
+
+
+class PropertyGraph:
+    """A directed multigraph of labelled vertices and edges.
+
+    >>> g = PropertyGraph("social")
+    >>> _ = g.add_vertex(1, "person", name="Ada")
+    >>> _ = g.add_vertex(2, "person", name="Bob")
+    >>> _ = g.add_edge(1, 2, "knows", since=2015)
+    >>> [v.properties["name"] for v in g.out_neighbors(1)]
+    ['Bob']
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._vertices: dict[VertexId, Vertex] = {}
+        self._edges: dict[int, Edge] = {}
+        self._out: dict[VertexId, list[int]] = {}
+        self._in: dict[VertexId, list[int]] = {}
+        self._next_edge_id = 1
+
+    # -- size -------------------------------------------------------------
+
+    def vertex_count(self) -> int:
+        return len(self._vertices)
+
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    # -- vertices ------------------------------------------------------------
+
+    def add_vertex(self, vertex_id: VertexId, label: str, **properties: Any) -> Vertex:
+        if vertex_id in self._vertices:
+            raise GraphError(f"vertex {vertex_id!r} already exists in {self.name!r}")
+        vertex = Vertex(vertex_id, label, dict(properties))
+        self._vertices[vertex_id] = vertex
+        self._out[vertex_id] = []
+        self._in[vertex_id] = []
+        return vertex.copy()
+
+    def has_vertex(self, vertex_id: VertexId) -> bool:
+        return vertex_id in self._vertices
+
+    def vertex(self, vertex_id: VertexId) -> Vertex:
+        v = self._vertices.get(vertex_id)
+        if v is None:
+            raise GraphError(f"no vertex {vertex_id!r} in graph {self.name!r}")
+        return v.copy()
+
+    def update_vertex(self, vertex_id: VertexId, **changes: Any) -> Vertex:
+        v = self._vertices.get(vertex_id)
+        if v is None:
+            raise GraphError(f"no vertex {vertex_id!r} in graph {self.name!r}")
+        v.properties.update(changes)
+        return v.copy()
+
+    def remove_vertex(self, vertex_id: VertexId) -> None:
+        """Remove a vertex and every incident edge."""
+        if vertex_id not in self._vertices:
+            raise GraphError(f"no vertex {vertex_id!r} in graph {self.name!r}")
+        for edge_id in list(self._out[vertex_id]) + list(self._in[vertex_id]):
+            if edge_id in self._edges:
+                self.remove_edge(edge_id)
+        del self._vertices[vertex_id]
+        del self._out[vertex_id]
+        del self._in[vertex_id]
+
+    def vertices(self, label: str | None = None) -> Iterator[Vertex]:
+        for v in list(self._vertices.values()):
+            if label is None or v.label == label:
+                yield v.copy()
+
+    # -- edges -------------------------------------------------------------------
+
+    def add_edge(
+        self, src: VertexId, dst: VertexId, label: str, **properties: Any
+    ) -> Edge:
+        if src not in self._vertices:
+            raise GraphError(f"edge source {src!r} does not exist")
+        if dst not in self._vertices:
+            raise GraphError(f"edge target {dst!r} does not exist")
+        edge = Edge(self._next_edge_id, src, dst, label, dict(properties))
+        self._next_edge_id += 1
+        self._edges[edge.id] = edge
+        self._out[src].append(edge.id)
+        self._in[dst].append(edge.id)
+        return edge.copy()
+
+    def edge(self, edge_id: int) -> Edge:
+        e = self._edges.get(edge_id)
+        if e is None:
+            raise GraphError(f"no edge {edge_id!r} in graph {self.name!r}")
+        return e.copy()
+
+    def remove_edge(self, edge_id: int) -> None:
+        e = self._edges.pop(edge_id, None)
+        if e is None:
+            raise GraphError(f"no edge {edge_id!r} in graph {self.name!r}")
+        self._out[e.src].remove(edge_id)
+        self._in[e.dst].remove(edge_id)
+
+    def edges(self, label: str | None = None) -> Iterator[Edge]:
+        for e in list(self._edges.values()):
+            if label is None or e.label == label:
+                yield e.copy()
+
+    def edges_between(self, src: VertexId, dst: VertexId) -> list[Edge]:
+        if src not in self._out:
+            return []
+        return [
+            self._edges[eid].copy()
+            for eid in self._out[src]
+            if self._edges[eid].dst == dst
+        ]
+
+    # -- adjacency ----------------------------------------------------------------
+
+    def out_edges(self, vertex_id: VertexId, label: str | None = None) -> list[Edge]:
+        if vertex_id not in self._vertices:
+            raise GraphError(f"no vertex {vertex_id!r} in graph {self.name!r}")
+        return [
+            self._edges[eid].copy()
+            for eid in self._out[vertex_id]
+            if label is None or self._edges[eid].label == label
+        ]
+
+    def in_edges(self, vertex_id: VertexId, label: str | None = None) -> list[Edge]:
+        if vertex_id not in self._vertices:
+            raise GraphError(f"no vertex {vertex_id!r} in graph {self.name!r}")
+        return [
+            self._edges[eid].copy()
+            for eid in self._in[vertex_id]
+            if label is None or self._edges[eid].label == label
+        ]
+
+    def out_neighbors(
+        self, vertex_id: VertexId, label: str | None = None
+    ) -> list[Vertex]:
+        return [self.vertex(e.dst) for e in self.out_edges(vertex_id, label)]
+
+    def in_neighbors(
+        self, vertex_id: VertexId, label: str | None = None
+    ) -> list[Vertex]:
+        return [self.vertex(e.src) for e in self.in_edges(vertex_id, label)]
+
+    def degree(self, vertex_id: VertexId) -> int:
+        """Total degree (in + out)."""
+        if vertex_id not in self._vertices:
+            raise GraphError(f"no vertex {vertex_id!r} in graph {self.name!r}")
+        return len(self._out[vertex_id]) + len(self._in[vertex_id])
+
+    # -- bulk ------------------------------------------------------------------------
+
+    def subgraph(self, vertex_ids: set[VertexId]) -> "PropertyGraph":
+        """The induced subgraph on *vertex_ids*."""
+        sub = PropertyGraph(f"{self.name}_sub")
+        for vid in vertex_ids:
+            v = self.vertex(vid)
+            sub.add_vertex(v.id, v.label, **v.properties)
+        for e in self._edges.values():
+            if e.src in vertex_ids and e.dst in vertex_ids:
+                sub.add_edge(e.src, e.dst, e.label, **e.properties)
+        return sub
+
+    def copy(self) -> "PropertyGraph":
+        clone = PropertyGraph(self.name)
+        for v in self._vertices.values():
+            clone.add_vertex(v.id, v.label, **v.properties)
+        for e in self._edges.values():
+            clone.add_edge(e.src, e.dst, e.label, **e.properties)
+        return clone

@@ -1,0 +1,184 @@
+"""Graph traversals: BFS, bounded neighbourhoods, shortest paths.
+
+These are the primitives behind MMQL's ``TRAVERSE`` clause and the
+benchmark's social-network queries ("friends of friends who bought X").
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable
+
+from repro.errors import GraphError
+from repro.models.graph.property_graph import Edge, PropertyGraph, VertexId
+
+
+def bfs_layers(
+    graph: PropertyGraph,
+    start: VertexId,
+    max_depth: int,
+    edge_label: str | None = None,
+    direction: str = "out",
+) -> list[list[VertexId]]:
+    """Breadth-first layers from *start* up to *max_depth* hops.
+
+    ``layers[0] == [start]``; ``layers[d]`` holds vertices first reached
+    at exactly depth *d*.  ``direction`` is ``out``, ``in`` or ``both``.
+    """
+    if not graph.has_vertex(start):
+        raise GraphError(f"no vertex {start!r}")
+    if direction not in ("out", "in", "both"):
+        raise GraphError(f"bad direction {direction!r}")
+    seen = {start}
+    layers = [[start]]
+    frontier = [start]
+    for _ in range(max_depth):
+        nxt: list[VertexId] = []
+        for vid in frontier:
+            for neighbor in _step(graph, vid, edge_label, direction):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    nxt.append(neighbor)
+        if not nxt:
+            break
+        layers.append(nxt)
+        frontier = nxt
+    return layers
+
+
+def neighbors_within(
+    graph: PropertyGraph,
+    start: VertexId,
+    min_depth: int,
+    max_depth: int,
+    edge_label: str | None = None,
+    direction: str = "out",
+) -> list[VertexId]:
+    """Vertices whose BFS depth from *start* is in [min_depth, max_depth].
+
+    This is MMQL's ``TRAVERSE v IN min..max label FROM start`` semantics.
+    """
+    if min_depth < 0 or max_depth < min_depth:
+        raise GraphError(f"bad depth range {min_depth}..{max_depth}")
+    layers = bfs_layers(graph, start, max_depth, edge_label, direction)
+    out: list[VertexId] = []
+    for depth in range(min_depth, min(max_depth, len(layers) - 1) + 1):
+        out.extend(layers[depth])
+    return out
+
+
+def shortest_path(
+    graph: PropertyGraph,
+    start: VertexId,
+    goal: VertexId,
+    edge_label: str | None = None,
+    direction: str = "out",
+) -> list[VertexId] | None:
+    """Unweighted shortest path as a vertex list, or None if unreachable."""
+    if not graph.has_vertex(start):
+        raise GraphError(f"no vertex {start!r}")
+    if not graph.has_vertex(goal):
+        raise GraphError(f"no vertex {goal!r}")
+    if start == goal:
+        return [start]
+    parents: dict[VertexId, VertexId] = {start: start}
+    queue: deque[VertexId] = deque([start])
+    while queue:
+        vid = queue.popleft()
+        for neighbor in _step(graph, vid, edge_label, direction):
+            if neighbor in parents:
+                continue
+            parents[neighbor] = vid
+            if neighbor == goal:
+                return _reconstruct(parents, start, goal)
+            queue.append(neighbor)
+    return None
+
+
+def weighted_shortest_path(
+    graph: PropertyGraph,
+    start: VertexId,
+    goal: VertexId,
+    weight: Callable[[Edge], float],
+    edge_label: str | None = None,
+) -> tuple[list[VertexId], float] | None:
+    """Dijkstra over out-edges; returns (path, cost) or None.
+
+    *weight* maps an edge to a non-negative cost (e.g. shipping time on a
+    'supplies' edge).
+    """
+    if not graph.has_vertex(start) or not graph.has_vertex(goal):
+        raise GraphError("both endpoints must exist")
+    dist: dict[VertexId, float] = {start: 0.0}
+    parents: dict[VertexId, VertexId] = {start: start}
+    heap: list[tuple[float, int, VertexId]] = [(0.0, 0, start)]
+    counter = 1  # tie-breaker so heterogeneous vertex ids never compare
+    settled: set[VertexId] = set()
+    while heap:
+        d, _, vid = heapq.heappop(heap)
+        if vid in settled:
+            continue
+        settled.add(vid)
+        if vid == goal:
+            return _reconstruct(parents, start, goal), d
+        for edge in graph.out_edges(vid, edge_label):
+            w = weight(edge)
+            if w < 0:
+                raise GraphError(f"negative edge weight on edge {edge.id}")
+            nd = d + w
+            if nd < dist.get(edge.dst, float("inf")):
+                dist[edge.dst] = nd
+                parents[edge.dst] = vid
+                heapq.heappush(heap, (nd, counter, edge.dst))
+                counter += 1
+    return None
+
+
+def _step(
+    graph: PropertyGraph, vid: VertexId, edge_label: str | None, direction: str
+) -> list[VertexId]:
+    out: list[VertexId] = []
+    if direction in ("out", "both"):
+        out.extend(e.dst for e in graph.out_edges(vid, edge_label))
+    if direction in ("in", "both"):
+        out.extend(e.src for e in graph.in_edges(vid, edge_label))
+    return out
+
+
+def _reconstruct(
+    parents: dict[VertexId, VertexId], start: VertexId, goal: VertexId
+) -> list[VertexId]:
+    path = [goal]
+    while path[-1] != start:
+        path.append(parents[path[-1]])
+    path.reverse()
+    return path
+
+
+def paths_up_to(
+    graph: PropertyGraph,
+    start: VertexId,
+    max_depth: int,
+    edge_label: str | None = None,
+) -> list[list[Any]]:
+    """All simple out-paths from *start* of length 1..max_depth.
+
+    Used by the graph pattern queries; bounded by depth so the expansion
+    stays polynomial on the benchmark's sparse social graphs.
+    """
+    if not graph.has_vertex(start):
+        raise GraphError(f"no vertex {start!r}")
+    results: list[list[Any]] = []
+    stack: list[list[Any]] = [[start]]
+    while stack:
+        path = stack.pop()
+        if len(path) - 1 >= max_depth:
+            continue
+        for edge in graph.out_edges(path[-1], edge_label):
+            if edge.dst in path:
+                continue  # simple paths only
+            extended = path + [edge.dst]
+            results.append(extended)
+            stack.append(extended)
+    return results

@@ -1,0 +1,5 @@
+"""Key-value data model: ordered string-keyed namespaces."""
+
+from repro.models.kv.store import KeyValueNamespace
+
+__all__ = ["KeyValueNamespace"]

@@ -1,0 +1,105 @@
+"""An ordered key-value namespace.
+
+Keys are strings; values are arbitrary JSON-representable objects.  Keys
+are kept in sorted order so prefix and range scans (the benchmark's
+``Feedback`` lookups, e.g. ``feedback/<product>/<customer>``) are
+O(log n + k) via bisection.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+from repro.errors import KeyValueError
+from repro.models.document.document import deep_copy_json, validate_json_value
+
+
+class KeyValueNamespace:
+    """A sorted map with get/put/delete and prefix/range scans.
+
+    >>> ns = KeyValueNamespace("feedback")
+    >>> ns.put("p1/c9", {"rating": 5})
+    >>> ns.get("p1/c9")["rating"]
+    5
+    >>> [k for k, _ in ns.scan_prefix("p1/")]
+    ['p1/c9']
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._data: dict[str, Any] = {}
+        self._sorted_keys: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    # -- mutation --------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert or overwrite *key*."""
+        self._check_key(key)
+        validate_json_value(value)
+        if key not in self._data:
+            bisect.insort(self._sorted_keys, key)
+        self._data[key] = deep_copy_json(value)
+
+    def delete(self, key: str) -> bool:
+        """Delete *key*; returns whether it existed."""
+        self._check_key(key)
+        if key not in self._data:
+            return False
+        del self._data[key]
+        idx = bisect.bisect_left(self._sorted_keys, key)
+        del self._sorted_keys[idx]
+        return True
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._sorted_keys.clear()
+
+    # -- reads -----------------------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Point lookup; returns a deep copy or *default*."""
+        self._check_key(key)
+        value = self._data.get(key)
+        return deep_copy_json(value) if value is not None else default
+
+    def scan_prefix(self, prefix: str) -> Iterator[tuple[str, Any]]:
+        """All (key, value) pairs whose key starts with *prefix*, in order."""
+        start = bisect.bisect_left(self._sorted_keys, prefix)
+        for i in range(start, len(self._sorted_keys)):
+            key = self._sorted_keys[i]
+            if not key.startswith(prefix):
+                break
+            yield key, deep_copy_json(self._data[key])
+
+    def scan_range(self, low: str, high: str) -> Iterator[tuple[str, Any]]:
+        """All pairs with ``low <= key < high``, in order."""
+        if low > high:
+            raise KeyValueError(f"bad range [{low!r}, {high!r})")
+        start = bisect.bisect_left(self._sorted_keys, low)
+        for i in range(start, len(self._sorted_keys)):
+            key = self._sorted_keys[i]
+            if key >= high:
+                break
+            yield key, deep_copy_json(self._data[key])
+
+    def keys(self) -> list[str]:
+        """All keys in sorted order."""
+        return list(self._sorted_keys)
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        for key in list(self._sorted_keys):
+            yield key, deep_copy_json(self._data[key])
+
+    # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _check_key(key: str) -> None:
+        if not isinstance(key, str) or not key:
+            raise KeyValueError(f"key must be a non-empty string, got {key!r}")

@@ -1,0 +1,40 @@
+"""Relational data model: typed schemas, rows, tables and predicates."""
+
+from repro.models.relational.predicate import (
+    And,
+    ColumnComparison,
+    Comparison,
+    Lambda,
+    Not,
+    Op,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.models.relational.schema import (
+    Column,
+    ColumnType,
+    DatabaseSchema,
+    ForeignKey,
+    TableSchema,
+)
+from repro.models.relational.table import RelationalTable, Row
+
+__all__ = [
+    "And",
+    "Column",
+    "ColumnComparison",
+    "ColumnType",
+    "Comparison",
+    "DatabaseSchema",
+    "ForeignKey",
+    "Lambda",
+    "Not",
+    "Op",
+    "Or",
+    "Predicate",
+    "RelationalTable",
+    "Row",
+    "TableSchema",
+    "TruePredicate",
+]

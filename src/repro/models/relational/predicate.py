@@ -1,0 +1,153 @@
+"""Row predicates: a tiny boolean algebra over column comparisons.
+
+Predicates are used by the relational table scan API, by the polyglot
+baseline's application-side filtering, and as the compiled form of MMQL
+FILTER clauses that touch only one table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+
+class Predicate:
+    """Base class; subclasses implement :meth:`matches`."""
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        raise NotImplementedError
+
+    # Composition sugar so call sites read naturally.
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+class TruePredicate(Predicate):
+    """Matches every row (full scan)."""
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class Op(enum.Enum):
+    """Comparison operators; NULL semantics follow SQL (comparisons with None fail)."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    LIKE = "like"  # substring containment
+    IN = "in"
+
+    def apply(self, left: Any, right: Any) -> bool:
+        if self is Op.IN:
+            return left is not None and left in right
+        if left is None or right is None:
+            # SQL three-valued logic collapsed to False for filtering.
+            return self is Op.NE and (left is None) != (right is None)
+        if self is Op.EQ:
+            return bool(left == right)
+        if self is Op.NE:
+            return bool(left != right)
+        if self is Op.LIKE:
+            return str(right) in str(left)
+        try:
+            if self is Op.LT:
+                return bool(left < right)
+            if self is Op.LE:
+                return bool(left <= right)
+            if self is Op.GT:
+                return bool(left > right)
+            if self is Op.GE:
+                return bool(left >= right)
+        except TypeError:
+            return False
+        raise AssertionError(f"unhandled operator {self}")
+
+
+@dataclass
+class Comparison(Predicate):
+    """``column <op> value``.
+
+    >>> Comparison("age", Op.GE, 18).matches({"age": 21})
+    True
+    """
+
+    column: str
+    op: Op
+    value: Any
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return self.op.apply(row.get(self.column), self.value)
+
+    def __repr__(self) -> str:
+        return f"({self.column} {self.op.value} {self.value!r})"
+
+
+@dataclass
+class ColumnComparison(Predicate):
+    """``left_column <op> right_column`` — used by join post-filters."""
+
+    left_column: str
+    op: Op
+    right_column: str
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return self.op.apply(row.get(self.left_column), row.get(self.right_column))
+
+
+@dataclass
+class And(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return self.left.matches(row) and self.right.matches(row)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} AND {self.right!r})"
+
+
+@dataclass
+class Or(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return self.left.matches(row) or self.right.matches(row)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} OR {self.right!r})"
+
+
+@dataclass
+class Not(Predicate):
+    inner: Predicate
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return not self.inner.matches(row)
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.inner!r})"
+
+
+@dataclass
+class Lambda(Predicate):
+    """Escape hatch wrapping an arbitrary row function."""
+
+    fn: Callable[[Mapping[str, Any]], bool]
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return bool(self.fn(row))

@@ -1,0 +1,262 @@
+"""Relational schema objects: column types, columns, keys, table schemas.
+
+The benchmark's schema-evolution pillar mutates these objects, so they are
+immutable value types; every evolution step produces a *new*
+:class:`TableSchema` and the registry keeps the full version history.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import SchemaError, TypeMismatchError
+
+
+class ColumnType(enum.Enum):
+    """The column types the benchmark generates and converts between."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    DATE = "date"  # stored as ISO-8601 text, validated on insert
+    JSON = "json"  # nested value escape hatch used by conversions
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`TypeMismatchError` unless *value* fits this type."""
+        if value is None:
+            return
+        expected: tuple[type, ...]
+        if self is ColumnType.INTEGER:
+            expected = (int,)
+            if isinstance(value, bool):
+                raise TypeMismatchError(f"boolean {value!r} is not INTEGER")
+        elif self is ColumnType.FLOAT:
+            expected = (int, float)
+            if isinstance(value, bool):
+                raise TypeMismatchError(f"boolean {value!r} is not FLOAT")
+        elif self is ColumnType.TEXT:
+            expected = (str,)
+        elif self is ColumnType.BOOLEAN:
+            expected = (bool,)
+        elif self is ColumnType.DATE:
+            expected = (str,)
+            if isinstance(value, str) and not _looks_like_date(value):
+                raise TypeMismatchError(f"{value!r} is not an ISO date")
+        else:  # JSON accepts any JSON-representable value
+            expected = (dict, list, str, int, float, bool)
+        if not isinstance(value, expected):
+            raise TypeMismatchError(
+                f"value {value!r} ({type(value).__name__}) does not match "
+                f"column type {self.value}"
+            )
+
+
+def _looks_like_date(text: str) -> bool:
+    """Cheap ISO-8601 date check: YYYY-MM-DD prefix."""
+    if len(text) < 10:
+        return False
+    y, m, d = text[0:4], text[5:7], text[8:10]
+    return (
+        y.isdigit()
+        and m.isdigit()
+        and d.isdigit()
+        and text[4] == "-"
+        and text[7] == "-"
+        and 1 <= int(m) <= 12
+        and 1 <= int(d) <= 31
+    )
+
+
+@dataclass(frozen=True)
+class Column:
+    """One typed column.  ``nullable`` defaults to True as in SQL."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid column name {self.name!r}")
+        if self.default is not None:
+            self.type.validate(self.default)
+
+    def validate(self, value: Any) -> None:
+        """Check nullability then the type."""
+        if value is None:
+            if not self.nullable:
+                raise TypeMismatchError(f"column {self.name!r} is NOT NULL")
+            return
+        self.type.validate(value)
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A single-column foreign key: ``column`` references ``ref_table.ref_column``."""
+
+    column: str
+    ref_table: str
+    ref_column: str
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An immutable table schema with primary key and foreign keys.
+
+    >>> schema = TableSchema(
+    ...     "customer",
+    ...     (Column("id", ColumnType.INTEGER, nullable=False),
+    ...      Column("name", ColumnType.TEXT)),
+    ...     primary_key=("id",))
+    >>> schema.column("name").type is ColumnType.TEXT
+    True
+    """
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: tuple[ForeignKey, ...] = ()
+    version: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} must have columns")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in table {self.name!r}")
+        known = set(names)
+        for pk in self.primary_key:
+            if pk not in known:
+                raise SchemaError(f"primary key column {pk!r} not in {self.name!r}")
+        for fk in self.foreign_keys:
+            if fk.column not in known:
+                raise SchemaError(f"foreign key column {fk.column!r} not in {self.name!r}")
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    # -- validation ----------------------------------------------------------
+
+    def validate_row(self, values: dict[str, Any]) -> dict[str, Any]:
+        """Validate and normalise a row dict against this schema.
+
+        Unknown keys raise; missing keys get the column default (or None
+        for nullable columns).  Returns a complete, ordered dict.
+        """
+        unknown = set(values) - set(self.column_names)
+        if unknown:
+            raise SchemaError(
+                f"unknown columns {sorted(unknown)} for table {self.name!r}"
+            )
+        normalised: dict[str, Any] = {}
+        for col in self.columns:
+            value = values.get(col.name, col.default)
+            col.validate(value)
+            normalised[col.name] = value
+        return normalised
+
+    def primary_key_of(self, values: dict[str, Any]) -> tuple[Any, ...]:
+        """Extract the primary-key tuple from a validated row."""
+        if not self.primary_key:
+            raise SchemaError(f"table {self.name!r} has no primary key")
+        return tuple(values[c] for c in self.primary_key)
+
+    # -- evolution helpers (used by repro.schema.evolution) -------------------
+
+    def with_column(self, column: Column) -> "TableSchema":
+        """A new schema version with *column* appended."""
+        if self.has_column(column.name):
+            raise SchemaError(f"column {column.name!r} already exists")
+        return replace(
+            self, columns=self.columns + (column,), version=self.version + 1
+        )
+
+    def without_column(self, name: str) -> "TableSchema":
+        """A new schema version with column *name* removed."""
+        if name in self.primary_key:
+            raise SchemaError(f"cannot drop primary-key column {name!r}")
+        if not self.has_column(name):
+            raise SchemaError(f"no column {name!r} in table {self.name!r}")
+        return replace(
+            self,
+            columns=tuple(c for c in self.columns if c.name != name),
+            foreign_keys=tuple(fk for fk in self.foreign_keys if fk.column != name),
+            version=self.version + 1,
+        )
+
+    def with_renamed_column(self, old: str, new: str) -> "TableSchema":
+        """A new schema version with column *old* renamed to *new*."""
+        if not self.has_column(old):
+            raise SchemaError(f"no column {old!r} in table {self.name!r}")
+        if self.has_column(new):
+            raise SchemaError(f"column {new!r} already exists")
+        columns = tuple(
+            replace(c, name=new) if c.name == old else c for c in self.columns
+        )
+        primary_key = tuple(new if c == old else c for c in self.primary_key)
+        foreign_keys = tuple(
+            replace(fk, column=new) if fk.column == old else fk
+            for fk in self.foreign_keys
+        )
+        return replace(
+            self,
+            columns=columns,
+            primary_key=primary_key,
+            foreign_keys=foreign_keys,
+            version=self.version + 1,
+        )
+
+    def with_retyped_column(self, name: str, new_type: ColumnType) -> "TableSchema":
+        """A new schema version with column *name* retyped."""
+        col = self.column(name)
+        columns = tuple(
+            replace(c, type=new_type, default=None) if c.name == name else c
+            for c in self.columns
+        )
+        del col
+        return replace(self, columns=columns, version=self.version + 1)
+
+
+@dataclass(frozen=True)
+class DatabaseSchema:
+    """A named set of table schemas — the relational half of Figure 1."""
+
+    tables: tuple[TableSchema, ...] = field(default_factory=tuple)
+
+    def table(self, name: str) -> TableSchema:
+        for tbl in self.tables:
+            if tbl.name == name:
+                return tbl
+        raise SchemaError(f"no table {name!r} in database schema")
+
+    def validate_foreign_keys(self) -> None:
+        """Check every FK references an existing table and column."""
+        names = {t.name for t in self.tables}
+        for tbl in self.tables:
+            for fk in tbl.foreign_keys:
+                if fk.ref_table not in names:
+                    raise SchemaError(
+                        f"{tbl.name}.{fk.column} references missing table "
+                        f"{fk.ref_table!r}"
+                    )
+                if not self.table(fk.ref_table).has_column(fk.ref_column):
+                    raise SchemaError(
+                        f"{tbl.name}.{fk.column} references missing column "
+                        f"{fk.ref_table}.{fk.ref_column}"
+                    )

@@ -1,0 +1,180 @@
+"""In-memory relational tables with primary-key enforcement.
+
+:class:`RelationalTable` is the value-layer table used directly by the
+polyglot baseline and wrapped by the multi-model engine (which adds
+transactions on top).  Rows are plain dicts validated against the schema.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.errors import ConstraintError, SchemaError
+from repro.models.relational.predicate import Predicate, TruePredicate
+from repro.models.relational.schema import TableSchema
+
+Row = dict[str, Any]
+
+
+class RelationalTable:
+    """A table: schema + primary-key index + insert/scan/update/delete.
+
+    >>> from repro.models.relational.schema import Column, ColumnType
+    >>> schema = TableSchema(
+    ...     "t", (Column("id", ColumnType.INTEGER, nullable=False),
+    ...           Column("v", ColumnType.TEXT)), primary_key=("id",))
+    >>> table = RelationalTable(schema)
+    >>> table.insert({"id": 1, "v": "a"})
+    >>> table.get((1,))["v"]
+    'a'
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[tuple[Any, ...], Row] = {}
+        self._auto_rowid = 0  # used when the schema declares no primary key
+
+    # -- size ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.scan()
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, values: Mapping[str, Any]) -> tuple[Any, ...]:
+        """Validate and insert one row; returns its key tuple."""
+        row = self.schema.validate_row(dict(values))
+        key = self._key_for(row)
+        if key in self._rows:
+            raise ConstraintError(
+                f"duplicate primary key {key!r} in table {self.schema.name!r}"
+            )
+        self._rows[key] = row
+        return key
+
+    def upsert(self, values: Mapping[str, Any]) -> tuple[Any, ...]:
+        """Insert, or replace the existing row with the same key."""
+        row = self.schema.validate_row(dict(values))
+        key = self._key_for(row)
+        self._rows[key] = row
+        return key
+
+    def update(self, key: tuple[Any, ...], changes: Mapping[str, Any]) -> Row:
+        """Apply *changes* to the row at *key*; returns the new row."""
+        existing = self._rows.get(key)
+        if existing is None:
+            raise ConstraintError(
+                f"no row {key!r} in table {self.schema.name!r}"
+            )
+        merged = dict(existing)
+        merged.update(changes)
+        row = self.schema.validate_row(merged)
+        new_key = self._key_for(row)
+        if new_key != key and new_key in self._rows:
+            raise ConstraintError(
+                f"update would duplicate primary key {new_key!r}"
+            )
+        del self._rows[key]
+        self._rows[new_key] = row
+        return row
+
+    def delete(self, key: tuple[Any, ...]) -> bool:
+        """Delete the row at *key*; returns whether it existed."""
+        return self._rows.pop(key, None) is not None
+
+    def delete_where(self, predicate: Predicate) -> int:
+        """Delete all matching rows; returns the count removed."""
+        doomed = [k for k, row in self._rows.items() if predicate.matches(row)]
+        for key in doomed:
+            del self._rows[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, key: tuple[Any, ...]) -> Row | None:
+        """Point lookup by primary key; returns a copy or None."""
+        row = self._rows.get(key)
+        return dict(row) if row is not None else None
+
+    def scan(self, predicate: Predicate | None = None) -> Iterator[Row]:
+        """Yield copies of all rows matching *predicate* (default: all)."""
+        pred = predicate if predicate is not None else TruePredicate()
+        for row in list(self._rows.values()):
+            if pred.matches(row):
+                yield dict(row)
+
+    def select(
+        self,
+        predicate: Predicate | None = None,
+        columns: Iterable[str] | None = None,
+    ) -> list[Row]:
+        """Materialised scan with optional projection."""
+        wanted = list(columns) if columns is not None else None
+        if wanted is not None:
+            for name in wanted:
+                if not self.schema.has_column(name):
+                    raise SchemaError(
+                        f"no column {name!r} in table {self.schema.name!r}"
+                    )
+        out: list[Row] = []
+        for row in self.scan(predicate):
+            if wanted is None:
+                out.append(row)
+            else:
+                out.append({name: row[name] for name in wanted})
+        return out
+
+    def keys(self) -> list[tuple[Any, ...]]:
+        return list(self._rows.keys())
+
+    # -- schema migration ----------------------------------------------------
+
+    def migrate(self, new_schema: TableSchema, transform: Any = None) -> None:
+        """Rewrite every row to *new_schema*.
+
+        *transform* maps an old row dict to a new row dict; if None, rows
+        are projected onto the shared columns and new columns take their
+        defaults.  Used by the schema-evolution pillar (E2).
+        """
+        shared = set(new_schema.column_names)
+        migrated: dict[tuple[Any, ...], Row] = {}
+        for row in self._rows.values():
+            if transform is not None:
+                candidate = transform(dict(row))
+            else:
+                candidate = {k: v for k, v in row.items() if k in shared}
+            new_row = new_schema.validate_row(candidate)
+            key = _key_of(new_schema, new_row) or self._fresh_rowid()
+            if key in migrated:
+                raise ConstraintError(
+                    f"migration produced duplicate key {key!r} in "
+                    f"{new_schema.name!r}"
+                )
+            migrated[key] = new_row
+        self.schema = new_schema
+        self._rows = migrated
+
+    # -- internals -----------------------------------------------------------
+
+    def _key_for(self, row: Row) -> tuple[Any, ...]:
+        key = _key_of(self.schema, row)
+        if key is not None:
+            return key
+        return self._fresh_rowid()
+
+    def _fresh_rowid(self) -> tuple[Any, ...]:
+        self._auto_rowid += 1
+        return ("_rowid", self._auto_rowid)
+
+
+def _key_of(schema: TableSchema, row: Row) -> tuple[Any, ...] | None:
+    """Primary-key tuple of a validated row, or None if schema has no PK."""
+    if not schema.primary_key:
+        return None
+    return tuple(row[c] for c in schema.primary_key)

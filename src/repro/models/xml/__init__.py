@@ -1,0 +1,17 @@
+"""XML data model: element trees, parser, serializer, XPath subset."""
+
+from repro.models.xml.node import XmlElement, XmlText, element, text
+from repro.models.xml.parser import parse_xml
+from repro.models.xml.serializer import serialize_xml
+from repro.models.xml.xpath import XPath, xpath
+
+__all__ = [
+    "XPath",
+    "XmlElement",
+    "XmlText",
+    "element",
+    "parse_xml",
+    "serialize_xml",
+    "text",
+    "xpath",
+]

@@ -1,0 +1,158 @@
+"""XML tree nodes.
+
+Two node kinds are enough for the benchmark's invoices: elements (with
+attributes and ordered children) and text.  Comments and processing
+instructions are skipped by the parser.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from repro.errors import XmlError
+
+XmlNode = Union["XmlElement", "XmlText"]
+
+
+class XmlText:
+    """A text node."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        if not isinstance(value, str):
+            raise XmlError(f"text node requires str, got {type(value).__name__}")
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"XmlText({self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, XmlText) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("XmlText", self.value))
+
+
+class XmlElement:
+    """An element with a tag, attributes, and ordered children.
+
+    >>> inv = element("invoice", {"id": "I1"}, element("total", {}, text("9.50")))
+    >>> inv.child("total").text_content()
+    '9.50'
+    """
+
+    __slots__ = ("tag", "attributes", "children")
+
+    def __init__(
+        self,
+        tag: str,
+        attributes: dict[str, str] | None = None,
+        children: list[XmlNode] | None = None,
+    ) -> None:
+        if not tag or not _valid_name(tag):
+            raise XmlError(f"invalid element tag {tag!r}")
+        self.tag = tag
+        self.attributes = dict(attributes or {})
+        for key, value in self.attributes.items():
+            if not _valid_name(key):
+                raise XmlError(f"invalid attribute name {key!r}")
+            if not isinstance(value, str):
+                raise XmlError(f"attribute {key!r} must be str")
+        self.children = list(children or [])
+
+    # -- construction -------------------------------------------------------
+
+    def append(self, node: XmlNode) -> XmlNode:
+        """Append a child and return it (for chaining)."""
+        if not isinstance(node, (XmlElement, XmlText)):
+            raise XmlError(f"cannot append {type(node).__name__}")
+        self.children.append(node)
+        return node
+
+    def set(self, name: str, value: str) -> None:
+        if not _valid_name(name):
+            raise XmlError(f"invalid attribute name {name!r}")
+        self.attributes[name] = str(value)
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        return self.attributes.get(name, default)
+
+    # -- navigation -----------------------------------------------------------
+
+    def element_children(self) -> list["XmlElement"]:
+        """Child elements (text nodes skipped), in document order."""
+        return [c for c in self.children if isinstance(c, XmlElement)]
+
+    def child(self, tag: str) -> "XmlElement":
+        """First child element with *tag*; raises if absent."""
+        for c in self.children:
+            if isinstance(c, XmlElement) and c.tag == tag:
+                return c
+        raise XmlError(f"element <{self.tag}> has no <{tag}> child")
+
+    def find(self, tag: str) -> "XmlElement | None":
+        """First child element with *tag*, or None."""
+        for c in self.children:
+            if isinstance(c, XmlElement) and c.tag == tag:
+                return c
+        return None
+
+    def find_all(self, tag: str) -> list["XmlElement"]:
+        """All child elements with *tag*."""
+        return [c for c in self.children if isinstance(c, XmlElement) and c.tag == tag]
+
+    def iter(self) -> Iterator["XmlElement"]:
+        """Depth-first iteration over this element and all descendants."""
+        yield self
+        for c in self.children:
+            if isinstance(c, XmlElement):
+                yield from c.iter()
+
+    def text_content(self) -> str:
+        """Concatenated text of all descendant text nodes."""
+        parts: list[str] = []
+        for c in self.children:
+            if isinstance(c, XmlText):
+                parts.append(c.value)
+            else:
+                parts.append(c.text_content())
+        return "".join(parts)
+
+    # -- equality --------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, XmlElement)
+            and self.tag == other.tag
+            and self.attributes == other.attributes
+            and self.children == other.children
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.tag, tuple(sorted(self.attributes.items()))))
+
+    def __repr__(self) -> str:
+        return (
+            f"XmlElement({self.tag!r}, attrs={len(self.attributes)}, "
+            f"children={len(self.children)})"
+        )
+
+
+def element(
+    tag: str, attributes: dict[str, str] | None = None, *children: XmlNode
+) -> XmlElement:
+    """Convenience constructor: ``element("a", {"x": "1"}, text("hi"))``."""
+    return XmlElement(tag, attributes, list(children))
+
+
+def text(value: str) -> XmlText:
+    """Convenience constructor for a text node."""
+    return XmlText(value)
+
+
+def _valid_name(name: str) -> bool:
+    """XML-name check (ASCII subset: letters, digits, '_', '-', '.', ':')."""
+    if not name or name[0].isdigit():
+        return False
+    return all(ch.isalnum() or ch in "_-.:" for ch in name)

@@ -1,0 +1,223 @@
+"""A small, strict, from-scratch XML parser.
+
+Handles the XML subset the benchmark emits: elements, attributes
+(single- or double-quoted), text, self-closing tags, comments, CDATA,
+an optional XML declaration, and the five predefined entities.  It does
+not handle DTDs, namespaces-as-scoping, or processing instructions
+beyond skipping the declaration.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlError
+from repro.models.xml.node import XmlElement, XmlText
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+
+
+def parse_xml(source: str) -> XmlElement:
+    """Parse *source* and return the root element.
+
+    >>> parse_xml('<a x="1"><b>hi</b></a>').child("b").text_content()
+    'hi'
+    """
+    parser = _Parser(source)
+    return parser.parse()
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.src = source
+        self.pos = 0
+        self.n = len(source)
+
+    # -- entry ---------------------------------------------------------------
+
+    def parse(self) -> XmlElement:
+        self._skip_prolog()
+        root = self._parse_element()
+        self._skip_misc()
+        if self.pos != self.n:
+            raise self._error("content after document element")
+        return root
+
+    # -- prolog / misc ---------------------------------------------------------
+
+    def _skip_prolog(self) -> None:
+        self._skip_whitespace()
+        if self.src.startswith("<?xml", self.pos):
+            end = self.src.find("?>", self.pos)
+            if end == -1:
+                raise self._error("unterminated XML declaration")
+            self.pos = end + 2
+        self._skip_misc()
+
+    def _skip_misc(self) -> None:
+        while True:
+            self._skip_whitespace()
+            if self.src.startswith("<!--", self.pos):
+                end = self.src.find("-->", self.pos + 4)
+                if end == -1:
+                    raise self._error("unterminated comment")
+                self.pos = end + 3
+            elif self.src.startswith("<!DOCTYPE", self.pos):
+                end = self.src.find(">", self.pos)
+                if end == -1:
+                    raise self._error("unterminated DOCTYPE")
+                self.pos = end + 1
+            else:
+                return
+
+    def _skip_whitespace(self) -> None:
+        while self.pos < self.n and self.src[self.pos].isspace():
+            self.pos += 1
+
+    # -- elements ----------------------------------------------------------------
+
+    def _parse_element(self) -> XmlElement:
+        if self.pos >= self.n or self.src[self.pos] != "<":
+            raise self._error("expected '<'")
+        self.pos += 1
+        tag = self._read_name()
+        attributes = self._parse_attributes()
+        self._skip_whitespace()
+        if self.src.startswith("/>", self.pos):
+            self.pos += 2
+            return XmlElement(tag, attributes)
+        if self.pos >= self.n or self.src[self.pos] != ">":
+            raise self._error(f"malformed start tag <{tag}>")
+        self.pos += 1
+        elem = XmlElement(tag, attributes)
+        self._parse_content(elem)
+        return elem
+
+    def _parse_attributes(self) -> dict[str, str]:
+        attributes: dict[str, str] = {}
+        while True:
+            self._skip_whitespace()
+            if self.pos >= self.n:
+                raise self._error("unterminated start tag")
+            ch = self.src[self.pos]
+            if ch in (">", "/"):
+                return attributes
+            name = self._read_name()
+            self._skip_whitespace()
+            if self.pos >= self.n or self.src[self.pos] != "=":
+                raise self._error(f"attribute {name!r} missing '='")
+            self.pos += 1
+            self._skip_whitespace()
+            if self.pos >= self.n or self.src[self.pos] not in "'\"":
+                raise self._error(f"attribute {name!r} value must be quoted")
+            quote = self.src[self.pos]
+            self.pos += 1
+            end = self.src.find(quote, self.pos)
+            if end == -1:
+                raise self._error(f"unterminated value for attribute {name!r}")
+            raw = self.src[self.pos : end]
+            self.pos = end + 1
+            if name in attributes:
+                raise self._error(f"duplicate attribute {name!r}")
+            attributes[name] = _decode_entities(raw, self)
+
+    def _parse_content(self, parent: XmlElement) -> None:
+        buffer: list[str] = []
+
+        def flush() -> None:
+            if buffer:
+                merged = "".join(buffer)
+                if merged.strip():
+                    parent.append(XmlText(_decode_entities(merged, self)))
+                buffer.clear()
+
+        while True:
+            if self.pos >= self.n:
+                raise self._error(f"unterminated element <{parent.tag}>")
+            ch = self.src[self.pos]
+            if ch == "<":
+                if self.src.startswith("</", self.pos):
+                    flush()
+                    self.pos += 2
+                    closing = self._read_name()
+                    self._skip_whitespace()
+                    if self.pos >= self.n or self.src[self.pos] != ">":
+                        raise self._error(f"malformed end tag </{closing}>")
+                    self.pos += 1
+                    if closing != parent.tag:
+                        raise self._error(
+                            f"mismatched end tag </{closing}> for <{parent.tag}>"
+                        )
+                    return
+                if self.src.startswith("<!--", self.pos):
+                    flush()
+                    end = self.src.find("-->", self.pos + 4)
+                    if end == -1:
+                        raise self._error("unterminated comment")
+                    self.pos = end + 3
+                elif self.src.startswith("<![CDATA[", self.pos):
+                    end = self.src.find("]]>", self.pos + 9)
+                    if end == -1:
+                        raise self._error("unterminated CDATA")
+                    cdata = self.src[self.pos + 9 : end]
+                    if cdata:
+                        # CDATA is literal text; bypass entity decoding.
+                        flushed = "".join(buffer)
+                        buffer.clear()
+                        if flushed.strip():
+                            parent.append(XmlText(_decode_entities(flushed, self)))
+                        parent.append(XmlText(cdata))
+                    self.pos = end + 3
+                else:
+                    flush()
+                    parent.append(self._parse_element())
+            else:
+                buffer.append(ch)
+                self.pos += 1
+
+    # -- lexical helpers -----------------------------------------------------------
+
+    def _read_name(self) -> str:
+        start = self.pos
+        while self.pos < self.n and (
+            self.src[self.pos].isalnum() or self.src[self.pos] in "_-.:"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self._error("expected a name")
+        name = self.src[start : self.pos]
+        if name[0].isdigit():
+            raise self._error(f"name {name!r} cannot start with a digit")
+        return name
+
+    def _error(self, message: str) -> XmlError:
+        line = self.src.count("\n", 0, self.pos) + 1
+        col = self.pos - (self.src.rfind("\n", 0, self.pos) + 1) + 1
+        return XmlError(f"{message} at line {line}, column {col}")
+
+
+def _decode_entities(raw: str, parser: _Parser) -> str:
+    """Replace &lt; &gt; &amp; &apos; &quot; and numeric references."""
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i + 1)
+        if end == -1:
+            raise parser._error("unterminated entity reference")
+        entity = raw[i + 1 : end]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            out.append(chr(int(entity[2:], 16)))
+        elif entity.startswith("#"):
+            out.append(chr(int(entity[1:])))
+        elif entity in _ENTITIES:
+            out.append(_ENTITIES[entity])
+        else:
+            raise parser._error(f"unknown entity &{entity};")
+        i = end + 1
+    return "".join(out)

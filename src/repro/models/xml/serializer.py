@@ -1,0 +1,79 @@
+"""XML serialisation: trees back to text, with optional pretty-printing.
+
+``parse_xml(serialize_xml(tree)) == tree`` holds for every tree whose text
+nodes survive whitespace stripping — the property tests in
+``tests/models/test_xml_roundtrip.py`` pin this down.
+"""
+
+from __future__ import annotations
+
+from repro.models.xml.node import XmlElement, XmlNode, XmlText
+
+
+def escape_text(value: str) -> str:
+    """Escape character data."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(value: str) -> str:
+    """Escape an attribute value for double-quoted serialisation."""
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def serialize_xml(
+    node: XmlNode, pretty: bool = False, declaration: bool = False
+) -> str:
+    """Serialise a tree to text.
+
+    With ``pretty=True``, elements containing only element children are
+    indented; mixed content is emitted inline to preserve text exactly.
+    """
+    parts: list[str] = []
+    if declaration:
+        parts.append('<?xml version="1.0" encoding="UTF-8"?>')
+        if not pretty:
+            parts.append("\n")
+    _serialize(node, parts, pretty, 0)
+    if pretty:
+        return "\n".join(parts)
+    return "".join(parts)
+
+
+def _serialize(node: XmlNode, parts: list[str], pretty: bool, depth: int) -> None:
+    if isinstance(node, XmlText):
+        if pretty:
+            parts.append("  " * depth + escape_text(node.value))
+        else:
+            parts.append(escape_text(node.value))
+        return
+    _serialize_element(node, parts, pretty, depth)
+
+
+def _serialize_element(
+    elem: XmlElement, parts: list[str], pretty: bool, depth: int
+) -> None:
+    attrs = "".join(
+        f' {name}="{escape_attribute(value)}"'
+        for name, value in elem.attributes.items()
+    )
+    indent = "  " * depth if pretty else ""
+    if not elem.children:
+        parts.append(f"{indent}<{elem.tag}{attrs}/>")
+        return
+    only_text = all(isinstance(c, XmlText) for c in elem.children)
+    if only_text or not pretty:
+        inner: list[str] = []
+        for child in elem.children:
+            _serialize(child, inner, False, 0)
+        parts.append(f"{indent}<{elem.tag}{attrs}>{''.join(inner)}</{elem.tag}>")
+        return
+    # Pretty block form: children each on their own line.
+    parts.append(f"{indent}<{elem.tag}{attrs}>")
+    for child in elem.children:
+        _serialize(child, parts, True, depth + 1)
+    parts.append(f"{indent}</{elem.tag}>")

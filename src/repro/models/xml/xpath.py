@@ -1,0 +1,216 @@
+"""An XPath subset for the benchmark's invoice queries.
+
+Supported grammar (documented subset, see DESIGN.md non-goals)::
+
+    path      := ('/' step)+ | ('//' step) path?
+    step      := NAME predicate?                element child axis
+               | '*' predicate?                 any element
+               | '@' NAME                       attribute (terminal)
+               | 'text()'                       text content (terminal)
+    predicate := '[' INT ']'                    positional (1-based)
+               | '[@' NAME '=' STRING ']'       attribute equality
+               | '[' NAME '=' STRING ']'        child text equality
+
+``//step`` selects descendants-or-self before matching, as in XPath.
+Evaluation returns a list of :class:`XmlElement` or strings (for ``@attr``
+and ``text()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import XPathError
+from repro.models.xml.node import XmlElement
+
+XPathResult = Union[XmlElement, str]
+
+
+@dataclass(frozen=True)
+class _Pred:
+    kind: str  # "position" | "attr_eq" | "child_eq"
+    name: str = ""
+    value: str = ""
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class _XStep:
+    axis: str  # "child" | "descendant"
+    kind: str  # "element" | "any" | "attribute" | "text"
+    name: str = ""
+    predicate: _Pred | None = None
+
+
+class XPath:
+    """A parsed, reusable XPath expression.
+
+    >>> from repro.models.xml import parse_xml
+    >>> doc = parse_xml('<inv><line n="1"><amt>5</amt></line></inv>')
+    >>> XPath('/inv/line/@n').find(doc)
+    ['1']
+    >>> XPath('//amt/text()').find(doc)
+    ['5']
+    """
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self._steps = _parse(text)
+
+    def find(self, root: XmlElement) -> list[XPathResult]:
+        """Evaluate against *root*; the leading '/' selects root itself."""
+        current: list[XPathResult] = [root]
+        for i, step in enumerate(self._steps):
+            nxt: list[XPathResult] = []
+            for node in current:
+                if not isinstance(node, XmlElement):
+                    raise XPathError(
+                        f"step {i} of {self.text!r} applied to a non-element"
+                    )
+                nxt.extend(_apply(step, node, is_first=(i == 0)))
+            current = nxt
+        return current
+
+    def first(self, root: XmlElement, default: XPathResult | None = None):
+        matches = self.find(root)
+        return matches[0] if matches else default
+
+    def __repr__(self) -> str:
+        return f"XPath({self.text!r})"
+
+
+def xpath(text: str, root: XmlElement) -> list[XPathResult]:
+    """One-shot evaluation."""
+    return XPath(text).find(root)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def _parse(text: str) -> list[_XStep]:
+    if not text.startswith("/"):
+        raise XPathError(f"XPath must start with '/': {text!r}")
+    steps: list[_XStep] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        if text.startswith("//", i):
+            axis = "descendant"
+            i += 2
+        elif text[i] == "/":
+            axis = "child"
+            i += 1
+        else:
+            raise XPathError(f"expected '/' at {i} in {text!r}")
+        if i >= n:
+            raise XPathError(f"dangling '/' in {text!r}")
+        if text[i] == "@":
+            i += 1
+            name, i = _read_name(text, i)
+            steps.append(_XStep(axis, "attribute", name))
+            continue
+        if text.startswith("text()", i):
+            steps.append(_XStep(axis, "text"))
+            i += 6
+            continue
+        if text[i] == "*":
+            kind, name = "any", ""
+            i += 1
+        else:
+            name, i = _read_name(text, i)
+            kind = "element"
+        predicate = None
+        if i < n and text[i] == "[":
+            predicate, i = _read_predicate(text, i)
+        steps.append(_XStep(axis, kind, name, predicate))
+    # attribute / text() steps must be terminal
+    for step in steps[:-1]:
+        if step.kind in ("attribute", "text"):
+            raise XPathError(f"@attr/text() must be the last step in {text!r}")
+    return steps
+
+
+def _read_name(text: str, i: int) -> tuple[str, int]:
+    start = i
+    while i < len(text) and (text[i].isalnum() or text[i] in "_-.:"):
+        i += 1
+    if i == start:
+        raise XPathError(f"expected a name at {start} in {text!r}")
+    return text[start:i], i
+
+
+def _read_predicate(text: str, i: int) -> tuple[_Pred, int]:
+    close = text.find("]", i)
+    if close == -1:
+        raise XPathError(f"unclosed '[' in {text!r}")
+    inner = text[i + 1 : close].strip()
+    i = close + 1
+    if inner.isdigit():
+        pos = int(inner)
+        if pos < 1:
+            raise XPathError("positional predicates are 1-based")
+        return _Pred("position", position=pos), i
+    if "=" in inner:
+        lhs, _, rhs = inner.partition("=")
+        lhs = lhs.strip()
+        rhs = rhs.strip()
+        if not (rhs.startswith(("'", '"')) and rhs.endswith(rhs[0]) and len(rhs) >= 2):
+            raise XPathError(f"predicate value must be quoted in {text!r}")
+        value = rhs[1:-1]
+        if lhs.startswith("@"):
+            return _Pred("attr_eq", name=lhs[1:], value=value), i
+        return _Pred("child_eq", name=lhs, value=value), i
+    raise XPathError(f"unsupported predicate [{inner}] in {text!r}")
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+def _candidates(step: _XStep, node: XmlElement, is_first: bool) -> list[XmlElement]:
+    """The elements a step filters, given its axis."""
+    if step.axis == "descendant":
+        return list(node.iter())
+    if is_first:
+        # Leading '/name' addresses the root element itself.
+        return [node]
+    return node.element_children()
+
+
+def _apply(step: _XStep, node: XmlElement, is_first: bool) -> list[XPathResult]:
+    if step.kind == "attribute":
+        # '@name' reads the *context* node's attribute; '//@name' reads it
+        # from every descendant-or-self element.
+        elems = list(node.iter()) if step.axis == "descendant" else [node]
+        return [e.get(step.name) for e in elems if e.get(step.name) is not None]
+    if step.kind == "text":
+        elems = list(node.iter()) if step.axis == "descendant" else [node]
+        return [e.text_content() for e in elems]
+    matched = [
+        elem
+        for elem in _candidates(step, node, is_first)
+        if step.kind == "any" or elem.tag == step.name
+    ]
+    if step.predicate is not None:
+        matched = _filter(step.predicate, matched)
+    return list(matched)
+
+
+def _filter(pred: _Pred, elems: list[XmlElement]) -> list[XmlElement]:
+    if pred.kind == "position":
+        idx = pred.position - 1
+        return [elems[idx]] if idx < len(elems) else []
+    if pred.kind == "attr_eq":
+        return [e for e in elems if e.get(pred.name) == pred.value]
+    if pred.kind == "child_eq":
+        out = []
+        for e in elems:
+            child = e.find(pred.name)
+            if child is not None and child.text_content() == pred.value:
+                out.append(e)
+        return out
+    raise AssertionError(f"unknown predicate kind {pred.kind}")

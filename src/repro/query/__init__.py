@@ -1,0 +1,41 @@
+"""MMQL — the unified multi-model query language.
+
+The paper observes that "there is no standard multi-model query language
+available now"; MMQL is this reproduction's concrete stand-in so the
+benchmark's queries are executable, shareable and portable across
+drivers.  It is an AQL-style pipeline language::
+
+    FOR c IN customers
+      FILTER c.country == "Finland"
+      FOR o IN orders
+        FILTER o.customer_id == c.id AND o.total > @min_total
+        SORT o.total DESC
+        LIMIT 5
+        RETURN {name: c.name, total: o.total,
+                rating: KVGET("feedback", CONCAT(o.product_id, "/", c.id))}
+
+Model bridges: ``TRAVERSE(graph, start, min, max, label)`` for graphs,
+``XPATH(tree, path)`` for XML, ``JSONPATH(doc, path)`` for documents,
+``KVGET(namespace, key)`` / ``KV(namespace, prefix)`` for key-value.
+
+Public API: :func:`parse` text into a :class:`~repro.query.ast.Query`,
+plan with :func:`~repro.query.planner.plan`, run with
+:class:`~repro.query.executor.Executor` against any
+:class:`~repro.query.context.QueryContext`.
+"""
+
+from repro.query.ast import Query
+from repro.query.context import QueryContext
+from repro.query.executor import Executor, run_query
+from repro.query.parser import parse
+from repro.query.planner import ExplainedPlan, plan
+
+__all__ = [
+    "ExplainedPlan",
+    "Executor",
+    "Query",
+    "QueryContext",
+    "parse",
+    "plan",
+    "run_query",
+]

@@ -1,0 +1,267 @@
+"""MMQL abstract syntax tree.
+
+A :class:`Query` is a pipeline of clauses ending in RETURN.  Expressions
+form their own small tree.  All nodes are frozen dataclasses; the planner
+produces annotated copies rather than mutating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+
+@dataclass(frozen=True)
+class VarRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class ParamRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class FieldAccess:
+    base: "Expr"
+    field: str
+
+
+@dataclass(frozen=True)
+class IndexAccess:
+    base: "Expr"
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str  # == != < <= > >= + - * / % AND OR IN LIKE
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # NOT, -
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    name: str  # upper-cased
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class ObjectExpr:
+    fields: tuple[tuple[str, "Expr"], ...]
+
+
+@dataclass(frozen=True)
+class ListExpr:
+    items: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Subquery:
+    """An inline sub-pipeline evaluating to a list.
+
+    Written ``( FOR ... RETURN ... )`` or ``[ FOR ... RETURN ... ]``;
+    outer variables are visible inside.
+    """
+
+    query: "Query"
+
+
+Expr = Union[
+    Literal, VarRef, ParamRef, FieldAccess, IndexAccess,
+    Binary, Unary, FunctionCall, ObjectExpr, ListExpr, Subquery,
+]
+
+
+# ---------------------------------------------------------------------------
+# Clauses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ForClause:
+    """``FOR var IN source``.
+
+    *source* is either an identifier (collection name) or an expression
+    (e.g. ``TRAVERSE(...)``, ``KV(...)``, a literal list, or a LET-bound
+    list variable).  ``index_hint``/``range_hint`` are filled by the
+    planner when an adjacent filter can be answered by a secondary index.
+    """
+
+    var: str
+    source: Expr
+    index_hint: "IndexHint | None" = None
+    range_hint: "RangeHint | None" = None
+
+
+@dataclass(frozen=True)
+class IndexHint:
+    """Use an equality index: collection.field == key_expr."""
+
+    collection: str
+    field: str
+    key_expr: Expr
+
+
+@dataclass(frozen=True)
+class RangeHint:
+    """Use a range index: low_expr <(=) collection.field <(=) high_expr.
+
+    Either bound may be None (open).  Inclusivity mirrors the comparison
+    operators the planner matched.
+    """
+
+    collection: str
+    field: str
+    low_expr: Expr | None = None
+    high_expr: Expr | None = None
+    include_low: bool = True
+    include_high: bool = True
+
+
+@dataclass(frozen=True)
+class FilterClause:
+    condition: Expr
+
+
+@dataclass(frozen=True)
+class LetClause:
+    var: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class SortKey:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SortClause:
+    keys: tuple[SortKey, ...]
+
+
+@dataclass(frozen=True)
+class LimitClause:
+    count: Expr
+    offset: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Aggregation:
+    var: str
+    func: str  # COUNT, SUM, AVG, MIN, MAX
+    arg: Expr
+
+
+@dataclass(frozen=True)
+class CollectClause:
+    """``COLLECT k = expr [, ...] [AGGREGATE a = SUM(e), ...] [INTO g]``."""
+
+    keys: tuple[tuple[str, Expr], ...]
+    aggregations: tuple[Aggregation, ...] = ()
+    into: str | None = None
+
+
+@dataclass(frozen=True)
+class ReturnClause:
+    expr: Expr
+    distinct: bool = False
+
+
+Clause = Union[
+    ForClause, FilterClause, LetClause, SortClause, LimitClause, CollectClause
+]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed MMQL query: body clauses + the final RETURN."""
+
+    clauses: tuple[Clause, ...]
+    returning: ReturnClause
+    text: str = field(default="", compare=False)
+
+    def variables(self) -> list[str]:
+        """All variables bound by FOR/LET/COLLECT, in order."""
+        out: list[str] = []
+        for clause in self.clauses:
+            if isinstance(clause, ForClause):
+                out.append(clause.var)
+            elif isinstance(clause, LetClause):
+                out.append(clause.var)
+            elif isinstance(clause, CollectClause):
+                out.extend(name for name, _ in clause.keys)
+                out.extend(a.var for a in clause.aggregations)
+                if clause.into:
+                    out.append(clause.into)
+        return out
+
+
+def walk_expr(expr: Expr):
+    """Yield every node of an expression tree (pre-order)."""
+    yield expr
+    if isinstance(expr, FieldAccess):
+        yield from walk_expr(expr.base)
+    elif isinstance(expr, IndexAccess):
+        yield from walk_expr(expr.base)
+        yield from walk_expr(expr.index)
+    elif isinstance(expr, Binary):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, Unary):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+    elif isinstance(expr, ObjectExpr):
+        for _, value in expr.fields:
+            yield from walk_expr(value)
+    elif isinstance(expr, ListExpr):
+        for item in expr.items:
+            yield from walk_expr(item)
+    elif isinstance(expr, Subquery):
+        for clause in expr.query.clauses:
+            if isinstance(clause, ForClause):
+                yield from walk_expr(clause.source)
+            elif isinstance(clause, FilterClause):
+                yield from walk_expr(clause.condition)
+            elif isinstance(clause, LetClause):
+                yield from walk_expr(clause.value)
+            elif isinstance(clause, SortClause):
+                for key in clause.keys:
+                    yield from walk_expr(key.expr)
+            elif isinstance(clause, LimitClause):
+                yield from walk_expr(clause.count)
+                if clause.offset is not None:
+                    yield from walk_expr(clause.offset)
+            elif isinstance(clause, CollectClause):
+                for _, value in clause.keys:
+                    yield from walk_expr(value)
+                for agg in clause.aggregations:
+                    yield from walk_expr(agg.arg)
+        yield from walk_expr(expr.query.returning.expr)
+
+
+def free_variables(expr: Expr) -> set[str]:
+    """Names of all VarRefs appearing in *expr*.
+
+    For subqueries this includes internally bound names, so callers using
+    this for dependency checks get a conservative (superset) answer.
+    """
+    return {node.name for node in walk_expr(expr) if isinstance(node, VarRef)}

@@ -1,0 +1,414 @@
+"""MMQL recursive-descent parser.
+
+Grammar (clauses may repeat and nest in pipeline order)::
+
+    query      := clause* return
+    clause     := for | filter | let | sort | limit | collect
+    for        := FOR IDENT IN source
+    source     := IDENT | expr
+    filter     := FILTER expr
+    let        := LET IDENT = expr
+    sort       := SORT sortkey (',' sortkey)*
+    sortkey    := expr (ASC | DESC)?
+    limit      := LIMIT expr (',' expr)?          -- LIMIT [offset,] count
+    collect    := COLLECT IDENT = expr (',' IDENT = expr)*
+                  (AGGREGATE IDENT = IDENT '(' expr ')' (',' ...)*)?
+                  (INTO IDENT)?
+    return     := RETURN DISTINCT? expr
+
+    expr       := or
+    or         := and (OR and)*
+    and        := not (AND not)*
+    not        := NOT not | comparison
+    comparison := additive ((==|!=|<|<=|>|>=|IN|LIKE) additive)?
+    additive   := multiplicative ((+|-) multiplicative)*
+    multiplicative := unary ((*|/|%) unary)*
+    unary      := '-' unary | postfix
+    postfix    := primary ( '.' IDENT | '[' expr ']' )*
+    primary    := literal | IDENT | IDENT '(' args ')' | '@' IDENT
+                | '(' expr ')' | object | list
+"""
+
+from __future__ import annotations
+
+from repro.errors import MMQLSyntaxError
+from repro.query.ast import (
+    Aggregation,
+    Binary,
+    Clause,
+    CollectClause,
+    Expr,
+    FieldAccess,
+    FilterClause,
+    ForClause,
+    FunctionCall,
+    IndexAccess,
+    LetClause,
+    LimitClause,
+    ListExpr,
+    Literal,
+    ObjectExpr,
+    ParamRef,
+    Query,
+    ReturnClause,
+    SortClause,
+    SortKey,
+    Subquery,
+    Unary,
+    VarRef,
+)
+from repro.query.tokens import Token, TokenType, tokenize
+
+_AGG_FUNCS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+def parse(text: str) -> Query:
+    """Parse MMQL text into a :class:`Query`."""
+    return _Parser(tokenize(text), text).parse_query()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], text: str) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.text = text
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def expect_punct(self, value: str) -> Token:
+        if not self.current.is_punct(value):
+            raise self._error(f"expected {value!r}, found {self.current.value!r}")
+        return self.advance()
+
+    def expect_keyword(self, name: str) -> Token:
+        if not self.current.is_keyword(name):
+            raise self._error(f"expected {name}, found {self.current.value!r}")
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        if self.current.type is not TokenType.IDENT:
+            raise self._error(f"expected identifier, found {self.current.value!r}")
+        return self.advance().value
+
+    def _error(self, message: str) -> MMQLSyntaxError:
+        return MMQLSyntaxError(message, self.current.line, self.current.column)
+
+    # -- clauses ------------------------------------------------------------------
+
+    def parse_query(self, subquery: bool = False) -> Query:
+        clauses: list[Clause] = []
+        bound: set[str] = set()
+        while True:
+            token = self.current
+            if token.is_keyword("FOR"):
+                clauses.append(self._parse_for(bound))
+            elif token.is_keyword("FILTER"):
+                self.advance()
+                clauses.append(FilterClause(self.parse_expr()))
+            elif token.is_keyword("LET"):
+                clauses.append(self._parse_let(bound))
+            elif token.is_keyword("SORT"):
+                clauses.append(self._parse_sort())
+            elif token.is_keyword("LIMIT"):
+                clauses.append(self._parse_limit())
+            elif token.is_keyword("COLLECT"):
+                clauses.append(self._parse_collect(bound))
+            elif token.is_keyword("RETURN"):
+                returning = self._parse_return()
+                if not subquery and self.current.type is not TokenType.EOF:
+                    raise self._error("content after RETURN")
+                return Query(tuple(clauses), returning, self.text if not subquery else "")
+            else:
+                raise self._error(
+                    f"expected a clause keyword, found {token.value!r}"
+                )
+
+    _CLAUSE_KEYWORDS = ("FOR", "FILTER", "LET", "SORT", "LIMIT", "COLLECT", "RETURN")
+
+    def _at_subquery(self) -> bool:
+        return self.current.is_keyword(*self._CLAUSE_KEYWORDS)
+
+    def _parse_for(self, bound: set[str]) -> ForClause:
+        self.expect_keyword("FOR")
+        var = self.expect_ident()
+        if var in bound:
+            raise self._error(f"variable {var!r} is already bound")
+        bound.add(var)
+        self.expect_keyword("IN")
+        source = self.parse_expr()
+        return ForClause(var, source)
+
+    def _parse_let(self, bound: set[str]) -> LetClause:
+        self.expect_keyword("LET")
+        var = self.expect_ident()
+        if var in bound:
+            raise self._error(f"variable {var!r} is already bound")
+        bound.add(var)
+        self.expect_punct("=")
+        return LetClause(var, self.parse_expr())
+
+    def _parse_sort(self) -> SortClause:
+        self.expect_keyword("SORT")
+        keys = [self._parse_sort_key()]
+        while self.current.is_punct(","):
+            self.advance()
+            keys.append(self._parse_sort_key())
+        return SortClause(tuple(keys))
+
+    def _parse_sort_key(self) -> SortKey:
+        expr = self.parse_expr()
+        ascending = True
+        if self.current.is_keyword("ASC"):
+            self.advance()
+        elif self.current.is_keyword("DESC"):
+            self.advance()
+            ascending = False
+        return SortKey(expr, ascending)
+
+    def _parse_limit(self) -> LimitClause:
+        self.expect_keyword("LIMIT")
+        first = self.parse_expr()
+        if self.current.is_punct(","):
+            self.advance()
+            count = self.parse_expr()
+            return LimitClause(count, offset=first)
+        return LimitClause(first)
+
+    def _parse_collect(self, bound: set[str]) -> CollectClause:
+        self.expect_keyword("COLLECT")
+        keys: list[tuple[str, Expr]] = []
+        while True:
+            name = self.expect_ident()
+            if name in bound:
+                raise self._error(f"variable {name!r} is already bound")
+            self.expect_punct("=")
+            keys.append((name, self.parse_expr()))
+            bound.add(name)
+            if self.current.is_punct(","):
+                self.advance()
+                continue
+            break
+        aggregations: list[Aggregation] = []
+        if self.current.is_keyword("AGGREGATE"):
+            self.advance()
+            while True:
+                var = self.expect_ident()
+                if var in bound:
+                    raise self._error(f"variable {var!r} is already bound")
+                self.expect_punct("=")
+                func = self.expect_ident().upper()
+                if func not in _AGG_FUNCS:
+                    raise self._error(
+                        f"unknown aggregate {func!r} (expected one of "
+                        f"{sorted(_AGG_FUNCS)})"
+                    )
+                self.expect_punct("(")
+                arg = self.parse_expr()
+                self.expect_punct(")")
+                aggregations.append(Aggregation(var, func, arg))
+                bound.add(var)
+                if self.current.is_punct(","):
+                    self.advance()
+                    continue
+                break
+        into: str | None = None
+        if self.current.is_keyword("INTO"):
+            self.advance()
+            into = self.expect_ident()
+            if into in bound:
+                raise self._error(f"variable {into!r} is already bound")
+            bound.add(into)
+        return CollectClause(tuple(keys), tuple(aggregations), into)
+
+    def _parse_return(self) -> ReturnClause:
+        self.expect_keyword("RETURN")
+        distinct = False
+        if self.current.is_keyword("DISTINCT"):
+            self.advance()
+            distinct = True
+        return ReturnClause(self.parse_expr(), distinct)
+
+    # -- expressions ------------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.current.is_keyword("OR"):
+            self.advance()
+            left = Binary("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self.current.is_keyword("AND"):
+            self.advance()
+            left = Binary("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self.current.is_keyword("NOT"):
+            self.advance()
+            return Unary("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        token = self.current
+        if token.is_punct("==", "!=", "<", "<=", ">", ">="):
+            op = self.advance().value
+            return Binary(op, left, self._parse_additive())
+        if token.is_keyword("IN"):
+            self.advance()
+            return Binary("IN", left, self._parse_additive())
+        if token.is_keyword("LIKE"):
+            self.advance()
+            return Binary("LIKE", left, self._parse_additive())
+        if token.is_keyword("NOT"):
+            # NOT IN
+            nxt = self.tokens[self.pos + 1] if self.pos + 1 < len(self.tokens) else None
+            if nxt is not None and nxt.is_keyword("IN"):
+                self.advance()
+                self.advance()
+                return Unary("NOT", Binary("IN", left, self._parse_additive()))
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self.current.is_punct("+", "-"):
+            op = self.advance().value
+            left = Binary(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self.current.is_punct("*", "/", "%"):
+            op = self.advance().value
+            left = Binary(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self.current.is_punct("-"):
+            self.advance()
+            return Unary("-", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.current.is_punct("."):
+                self.advance()
+                if self.current.type is TokenType.IDENT:
+                    expr = FieldAccess(expr, self.advance().value)
+                elif self.current.type is TokenType.KEYWORD:
+                    # allow keyword-looking field names: o.in etc.
+                    expr = FieldAccess(expr, self.advance().value.lower())
+                else:
+                    raise self._error("expected field name after '.'")
+            elif self.current.is_punct("["):
+                self.advance()
+                index = self.parse_expr()
+                self.expect_punct("]")
+                expr = IndexAccess(expr, index)
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            raw = token.value
+            value = float(raw) if ("." in raw or "e" in raw or "E" in raw) else int(raw)
+            return Literal(value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if token.type is TokenType.PARAM:
+            self.advance()
+            return ParamRef(token.value)
+        if token.type is TokenType.IDENT:
+            name = self.advance().value
+            if self.current.is_punct("("):
+                self.advance()
+                args: list[Expr] = []
+                if not self.current.is_punct(")"):
+                    args.append(self.parse_expr())
+                    while self.current.is_punct(","):
+                        self.advance()
+                        args.append(self.parse_expr())
+                self.expect_punct(")")
+                return FunctionCall(name.upper(), tuple(args))
+            return VarRef(name)
+        if token.is_punct("("):
+            self.advance()
+            if self._at_subquery():
+                sub = self.parse_query(subquery=True)
+                self.expect_punct(")")
+                return Subquery(sub)
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        if token.is_punct("{"):
+            return self._parse_object()
+        if token.is_punct("["):
+            return self._parse_list()
+        raise self._error(f"unexpected token {token.value!r}")
+
+    def _parse_object(self) -> Expr:
+        self.expect_punct("{")
+        fields: list[tuple[str, Expr]] = []
+        if not self.current.is_punct("}"):
+            while True:
+                if self.current.type in (TokenType.IDENT, TokenType.KEYWORD):
+                    key = self.advance().value
+                elif self.current.type is TokenType.STRING:
+                    key = self.advance().value
+                else:
+                    raise self._error("expected object key")
+                if self.current.is_punct(":"):
+                    self.advance()
+                    fields.append((key, self.parse_expr()))
+                else:
+                    # {name} shorthand for {name: name}
+                    fields.append((key, VarRef(key)))
+                if self.current.is_punct(","):
+                    self.advance()
+                    continue
+                break
+        self.expect_punct("}")
+        return ObjectExpr(tuple(fields))
+
+    def _parse_list(self) -> Expr:
+        self.expect_punct("[")
+        if self._at_subquery():
+            sub = self.parse_query(subquery=True)
+            self.expect_punct("]")
+            return Subquery(sub)
+        items: list[Expr] = []
+        if not self.current.is_punct("]"):
+            items.append(self.parse_expr())
+            while self.current.is_punct(","):
+                self.advance()
+                items.append(self.parse_expr())
+        self.expect_punct("]")
+        return ListExpr(tuple(items))

@@ -1,0 +1,230 @@
+"""MMQL planner: index-hint placement and light rewrites.
+
+The planner's job is deliberately small (the executor is an interpreting
+pipeline): it walks the clause list and, for every ``FOR var IN
+collection`` whose *next applicable* FILTER contains an equality
+``var.field == expr`` where *expr* depends only on previously bound
+variables, attaches an :class:`~repro.query.ast.IndexHint`.  The executor
+asks the context for a matching index at runtime and falls back to a scan
+when there is none — so hint placement is always safe.
+
+``plan()`` returns an :class:`ExplainedPlan` whose ``describe()`` output
+is the benchmark's EXPLAIN facility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.query.ast import (
+    Binary,
+    Clause,
+    CollectClause,
+    Expr,
+    FieldAccess,
+    FilterClause,
+    ForClause,
+    IndexHint,
+    LetClause,
+    LimitClause,
+    Query,
+    RangeHint,
+    SortClause,
+    VarRef,
+    free_variables,
+)
+
+
+@dataclass(frozen=True)
+class ExplainedPlan:
+    """A planned query plus a human-readable description."""
+
+    query: Query
+    notes: tuple[str, ...]
+
+    def describe(self) -> str:
+        lines = ["plan:"]
+        for clause in self.query.clauses:
+            lines.append(f"  {_describe_clause(clause)}")
+        lines.append(f"  RETURN{' DISTINCT' if self.query.returning.distinct else ''}")
+        if self.notes:
+            lines.append("notes:")
+            lines.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def plan(query: Query) -> ExplainedPlan:
+    """Annotate *query* with index hints; returns an ExplainedPlan."""
+    clauses = list(query.clauses)
+    notes: list[str] = []
+    bound: set[str] = set()
+    for i, clause in enumerate(clauses):
+        if isinstance(clause, ForClause):
+            if isinstance(clause.source, VarRef) and clause.source.name not in bound:
+                hint = _find_hint(clauses, i, clause, bound)
+                if hint is not None:
+                    clauses[i] = replace(clause, index_hint=hint)
+                    notes.append(
+                        f"FOR {clause.var}: candidate index "
+                        f"{hint.collection}.{hint.field} (equality)"
+                    )
+                else:
+                    range_hint = _find_range_hint(clauses, i, clause, bound)
+                    if range_hint is not None:
+                        clauses[i] = replace(clause, range_hint=range_hint)
+                        notes.append(
+                            f"FOR {clause.var}: candidate range index "
+                            f"{range_hint.collection}.{range_hint.field}"
+                        )
+            bound.add(clause.var)
+        elif isinstance(clause, LetClause):
+            bound.add(clause.var)
+        elif isinstance(clause, CollectClause):
+            bound = {name for name, _ in clause.keys}
+            bound |= {a.var for a in clause.aggregations}
+            if clause.into:
+                bound.add(clause.into)
+    return ExplainedPlan(
+        Query(tuple(clauses), query.returning, query.text), tuple(notes)
+    )
+
+
+def _find_hint(
+    clauses: list[Clause], for_index: int, for_clause: ForClause, bound: set[str]
+) -> IndexHint | None:
+    """Scan forward for an equality filter answerable by an index.
+
+    Stops at the next clause that re-shapes the stream (another FOR, a
+    COLLECT, SORT or LIMIT) because beyond that point a filter no longer
+    restricts this FOR's scan 1:1.
+    """
+    assert isinstance(for_clause.source, VarRef)
+    collection = for_clause.source.name
+    var = for_clause.var
+    for clause in clauses[for_index + 1 :]:
+        if isinstance(clause, FilterClause):
+            hint = _equality_on(clause.condition, var, collection, bound)
+            if hint is not None:
+                return hint
+        elif isinstance(clause, LetClause):
+            continue
+        else:
+            return None
+    return None
+
+
+def _equality_on(
+    expr: Expr, var: str, collection: str, bound: set[str]
+) -> IndexHint | None:
+    """Find ``var.field == key`` (or reversed) inside an AND-tree."""
+    if isinstance(expr, Binary) and expr.op == "AND":
+        return _equality_on(expr.left, var, collection, bound) or _equality_on(
+            expr.right, var, collection, bound
+        )
+    if not (isinstance(expr, Binary) and expr.op == "=="):
+        return None
+    for lhs, rhs in ((expr.left, expr.right), (expr.right, expr.left)):
+        if (
+            isinstance(lhs, FieldAccess)
+            and isinstance(lhs.base, VarRef)
+            and lhs.base.name == var
+            and free_variables(rhs) <= bound
+        ):
+            return IndexHint(collection, lhs.field, rhs)
+    return None
+
+
+def _find_range_hint(
+    clauses: list[Clause], for_index: int, for_clause: ForClause, bound: set[str]
+) -> RangeHint | None:
+    """Scan forward for inequality filters answerable by a sorted index.
+
+    Collects ``var.field < / <= / > / >= key`` comparisons on one field
+    from the first applicable filter's AND-tree; stops at stream-reshaping
+    clauses like :func:`_find_hint` does.
+    """
+    assert isinstance(for_clause.source, VarRef)
+    collection = for_clause.source.name
+    var = for_clause.var
+    for clause in clauses[for_index + 1 :]:
+        if isinstance(clause, FilterClause):
+            bounds: dict[str, RangeHint] = {}
+            _collect_inequalities(clause.condition, var, collection, bound, bounds)
+            for hint in bounds.values():
+                if hint.low_expr is not None or hint.high_expr is not None:
+                    return hint
+        elif isinstance(clause, LetClause):
+            continue
+        else:
+            return None
+    return None
+
+
+def _collect_inequalities(
+    expr: Expr, var: str, collection: str, bound: set[str],
+    bounds: dict[str, RangeHint],
+) -> None:
+    if isinstance(expr, Binary) and expr.op == "AND":
+        _collect_inequalities(expr.left, var, collection, bound, bounds)
+        _collect_inequalities(expr.right, var, collection, bound, bounds)
+        return
+    if not (isinstance(expr, Binary) and expr.op in ("<", "<=", ">", ">=")):
+        return
+    for lhs, rhs, op in (
+        (expr.left, expr.right, expr.op),
+        (expr.right, expr.left, _flip(expr.op)),
+    ):
+        if (
+            isinstance(lhs, FieldAccess)
+            and isinstance(lhs.base, VarRef)
+            and lhs.base.name == var
+            and free_variables(rhs) <= bound
+        ):
+            current = bounds.get(
+                lhs.field, RangeHint(collection, lhs.field)
+            )
+            if op in (">", ">="):
+                current = replace(
+                    current, low_expr=rhs, include_low=(op == ">=")
+                )
+            else:
+                current = replace(
+                    current, high_expr=rhs, include_high=(op == "<=")
+                )
+            bounds[lhs.field] = current
+            return
+
+
+def _flip(op: str) -> str:
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+
+
+def _describe_clause(clause: Clause) -> str:
+    if isinstance(clause, ForClause):
+        source = (
+            clause.source.name if isinstance(clause.source, VarRef) else "<expr>"
+        )
+        if clause.index_hint is not None:
+            return (
+                f"FOR {clause.var} IN {source} "
+                f"[index: {clause.index_hint.collection}.{clause.index_hint.field}]"
+            )
+        if clause.range_hint is not None:
+            return (
+                f"FOR {clause.var} IN {source} "
+                f"[range index: {clause.range_hint.collection}."
+                f"{clause.range_hint.field}]"
+            )
+        return f"FOR {clause.var} IN {source} [scan]"
+    if isinstance(clause, FilterClause):
+        return "FILTER <predicate>"
+    if isinstance(clause, LetClause):
+        return f"LET {clause.var} = <expr>"
+    if isinstance(clause, SortClause):
+        return f"SORT ({len(clause.keys)} keys)"
+    if isinstance(clause, LimitClause):
+        return "LIMIT"
+    if isinstance(clause, CollectClause):
+        keys = ", ".join(name for name, _ in clause.keys)
+        return f"COLLECT {keys} ({len(clause.aggregations)} aggregates)"
+    return type(clause).__name__

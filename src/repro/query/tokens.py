@@ -1,0 +1,146 @@
+"""MMQL tokenizer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import MMQLSyntaxError
+
+KEYWORDS = {
+    "FOR", "IN", "FILTER", "LET", "SORT", "ASC", "DESC", "LIMIT",
+    "COLLECT", "AGGREGATE", "RETURN", "DISTINCT", "AND", "OR", "NOT",
+    "TRUE", "FALSE", "NULL", "LIKE", "INTO",
+}
+
+PUNCTUATION = {
+    "==", "!=", "<=", ">=", "<", ">", "+", "-", "*", "/", "%",
+    "(", ")", "[", "]", "{", "}", ",", ".", ":", "=", "@",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    PUNCT = "punct"
+    PARAM = "param"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def is_punct(self, *values: str) -> bool:
+        return self.type is TokenType.PUNCT and self.value in values
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize MMQL text; raises :class:`MMQLSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        col = i - line_start + 1
+        if text.startswith("//", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word.upper(), line, col))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, line, col))
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and text[i].isdigit():
+                i += 1
+            if i < n and text[i] == "." and i + 1 < n and text[i + 1].isdigit():
+                i += 1
+                while i < n and text[i].isdigit():
+                    i += 1
+            if i < n and text[i] in "eE":
+                j = i + 1
+                if j < n and text[j] in "+-":
+                    j += 1
+                if j < n and text[j].isdigit():
+                    i = j
+                    while i < n and text[i].isdigit():
+                        i += 1
+            tokens.append(Token(TokenType.NUMBER, text[start:i], line, col))
+            continue
+        if ch in "'\"":
+            value, i = _read_string(text, i, line, col)
+            tokens.append(Token(TokenType.STRING, value, line, col))
+            continue
+        if ch == "@":
+            i += 1
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            if i == start:
+                raise MMQLSyntaxError("'@' must be followed by a name", line, col)
+            tokens.append(Token(TokenType.PARAM, text[start:i], line, col))
+            continue
+        two = text[i : i + 2]
+        if two in PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCT, two, line, col))
+            i += 2
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCT, ch, line, col))
+            i += 1
+            continue
+        raise MMQLSyntaxError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token(TokenType.EOF, "", line, n - line_start + 1))
+    return tokens
+
+
+def _read_string(text: str, i: int, line: int, col: int) -> tuple[str, int]:
+    quote = text[i]
+    i += 1
+    out: list[str] = []
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == quote:
+            return "".join(out), i + 1
+        if ch == "\\":
+            if i + 1 >= n:
+                break
+            escape = text[i + 1]
+            mapping = {"n": "\n", "t": "\t", "\\": "\\", "'": "'", '"': '"'}
+            if escape not in mapping:
+                raise MMQLSyntaxError(f"bad escape '\\{escape}'", line, col)
+            out.append(mapping[escape])
+            i += 2
+            continue
+        if ch == "\n":
+            raise MMQLSyntaxError("unterminated string", line, col)
+        out.append(ch)
+        i += 1
+    raise MMQLSyntaxError("unterminated string", line, col)

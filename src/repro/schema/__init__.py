@@ -1,0 +1,45 @@
+"""Multi-model schema management and evolution (pillar 2).
+
+The paper: "it must be possible to control (and systematically vary)
+input schema and the complexity of a schema evolution for multi-model
+data", and "the change of schema can affect the usability of history
+queries."
+
+- :mod:`repro.schema.shapes`    — schema descriptions for document-shaped
+  data (tables reuse :class:`~repro.models.relational.schema.TableSchema`)
+- :mod:`repro.schema.evolution` — the evolution operators (add / drop /
+  rename / retype / nest / flatten) with schema + data migration
+- :mod:`repro.schema.registry`  — versioned multi-model schema registry
+- :mod:`repro.schema.usability` — does a history MMQL query still run
+  against an evolved schema?
+"""
+
+from repro.schema.evolution import (
+    AddField,
+    DropField,
+    EvolutionOp,
+    FlattenField,
+    NestFields,
+    RenameField,
+    RetypeField,
+    random_evolution_chain,
+)
+from repro.schema.registry import SchemaRegistry
+from repro.schema.shapes import DocumentShape, FieldSpec
+from repro.schema.usability import UsabilityReport, check_usability
+
+__all__ = [
+    "AddField",
+    "DocumentShape",
+    "DropField",
+    "EvolutionOp",
+    "FieldSpec",
+    "FlattenField",
+    "NestFields",
+    "RenameField",
+    "RetypeField",
+    "SchemaRegistry",
+    "UsabilityReport",
+    "check_usability",
+    "random_evolution_chain",
+]

@@ -1,0 +1,352 @@
+"""Schema-evolution operators for multi-model data.
+
+Each operator knows three things:
+
+1. how to transform a :class:`~repro.schema.shapes.DocumentShape`
+   (``apply_to_shape``),
+2. how to migrate one existing document to the new shape
+   (``migrate_document``), and
+3. whether it is *additive* (old queries keep working) or *destructive*
+   (it can break history queries) — the classification E2 sweeps.
+
+Operators target top-level fields of a named collection; nested targets
+use dotted paths where supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import EvolutionError, IncompatibleEvolutionError
+from repro.schema.shapes import DocumentShape, FieldSpec, SCALAR_TYPES
+from repro.util.rng import DeterministicRng
+
+
+class EvolutionOp:
+    """Base class for schema-evolution operators."""
+
+    collection: str
+    additive: bool = False
+
+    def apply_to_shape(self, shape: DocumentShape) -> DocumentShape:
+        raise NotImplementedError
+
+    def migrate_document(self, doc: dict[str, Any]) -> dict[str, Any]:
+        """Return a migrated copy of *doc* (never mutates the input)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def _require_field(self, shape: DocumentShape, name: str) -> FieldSpec:
+        spec = shape.field(name)
+        if spec is None:
+            raise IncompatibleEvolutionError(
+                f"{self.describe()}: no field {name!r} in "
+                f"{shape.collection!r} v{shape.version}"
+            )
+        return spec
+
+
+@dataclass
+class AddField(EvolutionOp):
+    """Add a new optional field with a default value.  Additive."""
+
+    collection: str
+    name: str
+    type: str = "any"
+    default: Any = None
+
+    additive = True
+
+    def apply_to_shape(self, shape: DocumentShape) -> DocumentShape:
+        if shape.field(self.name) is not None:
+            raise IncompatibleEvolutionError(
+                f"add_field: {self.name!r} already exists in {shape.collection!r}"
+            )
+        if self.type not in SCALAR_TYPES:
+            raise EvolutionError(f"add_field supports scalar types, not {self.type!r}")
+        return shape.with_fields(
+            shape.fields + (FieldSpec(self.name, self.type, required=False),)
+        )
+
+    def migrate_document(self, doc: dict[str, Any]) -> dict[str, Any]:
+        out = dict(doc)
+        out.setdefault(self.name, self.default)
+        return out
+
+    def describe(self) -> str:
+        return f"ADD {self.collection}.{self.name}:{self.type}"
+
+
+@dataclass
+class DropField(EvolutionOp):
+    """Remove a field.  Destructive: history queries reading it break."""
+
+    collection: str
+    name: str
+
+    def apply_to_shape(self, shape: DocumentShape) -> DocumentShape:
+        self._require_field(shape, self.name)
+        if self.name == "_id":
+            raise IncompatibleEvolutionError("cannot drop '_id'")
+        return shape.with_fields(
+            tuple(f for f in shape.fields if f.name != self.name)
+        )
+
+    def migrate_document(self, doc: dict[str, Any]) -> dict[str, Any]:
+        out = dict(doc)
+        out.pop(self.name, None)
+        return out
+
+    def describe(self) -> str:
+        return f"DROP {self.collection}.{self.name}"
+
+
+@dataclass
+class RenameField(EvolutionOp):
+    """Rename a field.  Destructive: old name disappears."""
+
+    collection: str
+    old: str
+    new: str
+
+    def apply_to_shape(self, shape: DocumentShape) -> DocumentShape:
+        spec = self._require_field(shape, self.old)
+        if self.old == "_id":
+            raise IncompatibleEvolutionError("cannot rename '_id'")
+        if shape.field(self.new) is not None:
+            raise IncompatibleEvolutionError(
+                f"rename: {self.new!r} already exists in {shape.collection!r}"
+            )
+        fields = tuple(
+            FieldSpec(self.new, f.type, f.required, f.children, f.item_type)
+            if f.name == self.old
+            else f
+            for f in shape.fields
+        )
+        del spec
+        return shape.with_fields(fields)
+
+    def migrate_document(self, doc: dict[str, Any]) -> dict[str, Any]:
+        out = dict(doc)
+        if self.old in out:
+            out[self.new] = out.pop(self.old)
+        return out
+
+    def describe(self) -> str:
+        return f"RENAME {self.collection}.{self.old} -> {self.new}"
+
+
+@dataclass
+class RetypeField(EvolutionOp):
+    """Change a scalar field's type, casting stored values.
+
+    Destructive in general (comparisons against the old type break);
+    int -> float is the one widening we classify additive.
+    """
+
+    collection: str
+    name: str
+    new_type: str
+
+    def __post_init__(self) -> None:
+        if self.new_type not in SCALAR_TYPES:
+            raise EvolutionError(f"retype target must be scalar, not {self.new_type!r}")
+
+    @property
+    def additive(self) -> bool:  # type: ignore[override]
+        return self.new_type == "float"  # int->float widening only
+
+    def apply_to_shape(self, shape: DocumentShape) -> DocumentShape:
+        spec = self._require_field(shape, self.name)
+        if spec.type in ("object", "array"):
+            raise IncompatibleEvolutionError(
+                f"retype: {self.name!r} is not scalar"
+            )
+        fields = tuple(
+            FieldSpec(f.name, self.new_type, f.required) if f.name == self.name else f
+            for f in shape.fields
+        )
+        return shape.with_fields(fields)
+
+    def migrate_document(self, doc: dict[str, Any]) -> dict[str, Any]:
+        out = dict(doc)
+        if self.name not in out or out[self.name] is None:
+            return out
+        value = out[self.name]
+        try:
+            if self.new_type == "string":
+                out[self.name] = str(value)
+            elif self.new_type == "int":
+                out[self.name] = int(float(value))
+            elif self.new_type == "float":
+                out[self.name] = float(value)
+            elif self.new_type == "bool":
+                out[self.name] = bool(value)
+            # "date"/"any": leave the value as-is
+        except (TypeError, ValueError) as exc:
+            raise EvolutionError(
+                f"retype: cannot cast {value!r} to {self.new_type}"
+            ) from exc
+        return out
+
+    def describe(self) -> str:
+        return f"RETYPE {self.collection}.{self.name} -> {self.new_type}"
+
+
+@dataclass
+class NestFields(EvolutionOp):
+    """Move top-level fields under a new object field.  Destructive."""
+
+    collection: str
+    fields_to_nest: tuple[str, ...]
+    into: str
+
+    def apply_to_shape(self, shape: DocumentShape) -> DocumentShape:
+        if shape.field(self.into) is not None:
+            raise IncompatibleEvolutionError(
+                f"nest: {self.into!r} already exists in {shape.collection!r}"
+            )
+        if "_id" in self.fields_to_nest:
+            raise IncompatibleEvolutionError("cannot nest '_id'")
+        moved = []
+        for name in self.fields_to_nest:
+            moved.append(self._require_field(shape, name))
+        remaining = tuple(
+            f for f in shape.fields if f.name not in self.fields_to_nest
+        )
+        nested = FieldSpec(self.into, "object", required=False, children=tuple(moved))
+        return shape.with_fields(remaining + (nested,))
+
+    def migrate_document(self, doc: dict[str, Any]) -> dict[str, Any]:
+        out = dict(doc)
+        nested: dict[str, Any] = {}
+        for name in self.fields_to_nest:
+            if name in out:
+                nested[name] = out.pop(name)
+        out[self.into] = nested
+        return out
+
+    def describe(self) -> str:
+        inner = ",".join(self.fields_to_nest)
+        return f"NEST {self.collection}.({inner}) -> {self.into}"
+
+
+@dataclass
+class FlattenField(EvolutionOp):
+    """Inline an object field's children at top level.  Destructive."""
+
+    collection: str
+    name: str
+    prefix: str = ""
+
+    def apply_to_shape(self, shape: DocumentShape) -> DocumentShape:
+        spec = self._require_field(shape, self.name)
+        if spec.type != "object":
+            raise IncompatibleEvolutionError(
+                f"flatten: {self.name!r} is not an object field"
+            )
+        flattened = []
+        for child in spec.children:
+            new_name = f"{self.prefix}{child.name}"
+            if shape.field(new_name) is not None:
+                raise IncompatibleEvolutionError(
+                    f"flatten: {new_name!r} collides with an existing field"
+                )
+            flattened.append(
+                FieldSpec(new_name, child.type, False, child.children, child.item_type)
+            )
+        remaining = tuple(f for f in shape.fields if f.name != self.name)
+        return shape.with_fields(remaining + tuple(flattened))
+
+    def migrate_document(self, doc: dict[str, Any]) -> dict[str, Any]:
+        out = dict(doc)
+        inner = out.pop(self.name, None)
+        if isinstance(inner, dict):
+            for key, value in inner.items():
+                out[f"{self.prefix}{key}"] = value
+        return out
+
+    def describe(self) -> str:
+        return f"FLATTEN {self.collection}.{self.name}"
+
+
+# ---------------------------------------------------------------------------
+# Random chains (the E2 sweep)
+# ---------------------------------------------------------------------------
+
+
+def random_evolution_chain(
+    shape: DocumentShape,
+    length: int,
+    rng: DeterministicRng,
+    additive_only: bool = False,
+) -> list[EvolutionOp]:
+    """Generate an applicable chain of *length* ops for *shape*.
+
+    Each op is validated against the shape as evolved so far, so the
+    chain always applies cleanly.  ``additive_only`` restricts the mix to
+    ADD (and int->float RETYPE), modelling conservative evolution.
+    """
+    ops: list[EvolutionOp] = []
+    current = shape
+    counter = 0
+    for _ in range(length):
+        for _attempt in range(50):
+            op = _random_op(current, rng, additive_only, counter)
+            counter += 1
+            try:
+                current = op.apply_to_shape(current)
+            except EvolutionError:
+                continue
+            ops.append(op)
+            break
+        else:  # pragma: no cover - 50 attempts always suffice in practice
+            raise EvolutionError("could not extend evolution chain")
+    return ops
+
+
+def _random_op(
+    shape: DocumentShape, rng: DeterministicRng, additive_only: bool, counter: int
+) -> EvolutionOp:
+    scalar_fields = [
+        f.name
+        for f in shape.fields
+        if f.type not in ("object", "array") and f.name != "_id"
+    ]
+    object_fields = [f.name for f in shape.fields if f.type == "object"]
+    choices = ["add"]
+    if not additive_only and scalar_fields:
+        choices += ["drop", "rename", "retype"]
+        if len(scalar_fields) >= 2:
+            choices.append("nest")
+    if not additive_only and object_fields:
+        choices.append("flatten")
+    kind = rng.choice(choices)
+    if kind == "add":
+        return AddField(
+            shape.collection,
+            f"extra_{counter}",
+            rng.choice(["string", "int", "float", "bool"]),
+            default=None,
+        )
+    if kind == "drop":
+        return DropField(shape.collection, rng.choice(scalar_fields))
+    if kind == "rename":
+        old = rng.choice(scalar_fields)
+        return RenameField(shape.collection, old, f"{old}_v{counter}")
+    if kind == "retype":
+        name = rng.choice(scalar_fields)
+        spec = shape.field(name)
+        # Only numeric fields can widen to float; anything casts to string.
+        if spec is not None and spec.type in ("int", "float"):
+            new_type = rng.choice(["string", "float"])
+        else:
+            new_type = "string"
+        return RetypeField(shape.collection, name, new_type)
+    if kind == "nest":
+        nested = tuple(rng.sample(scalar_fields, 2))
+        return NestFields(shape.collection, nested, f"group_{counter}")
+    return FlattenField(shape.collection, rng.choice(object_fields), prefix="")

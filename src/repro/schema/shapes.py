@@ -1,0 +1,199 @@
+"""Document shapes: the "schema later" schema for document-shaped data.
+
+A :class:`DocumentShape` describes the canonical fields of a JSON
+collection (or of graph vertex properties, or KV values — anything
+dict-shaped).  It is descriptive, not enforced at write time — exactly
+the NoSQL stance the paper highlights — but it is what evolution
+operators transform and what the usability checker reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import EvolutionError
+
+SCALAR_TYPES = ("string", "int", "float", "bool", "date", "any")
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One field: a scalar, an object with children, or an array."""
+
+    name: str
+    type: str = "any"  # one of SCALAR_TYPES, or "object", or "array"
+    required: bool = True
+    children: tuple["FieldSpec", ...] = ()  # for type == "object"
+    item_type: str = "any"  # for type == "array"
+
+    def __post_init__(self) -> None:
+        valid = SCALAR_TYPES + ("object", "array")
+        if self.type not in valid:
+            raise EvolutionError(f"unknown field type {self.type!r}")
+        if self.children and self.type not in ("object", "array"):
+            raise EvolutionError(
+                f"field {self.name!r}: children require type=object or array"
+            )
+
+    def child(self, name: str) -> "FieldSpec | None":
+        for c in self.children:
+            if c.name == name:
+                return c
+        return None
+
+
+@dataclass(frozen=True)
+class DocumentShape:
+    """The canonical shape of one document collection, with a version."""
+
+    collection: str
+    fields: tuple[FieldSpec, ...]
+    version: int = 1
+
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def field(self, name: str) -> FieldSpec | None:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        return None
+
+    def has_path(self, path: tuple[str, ...]) -> bool:
+        """Does a dotted field path exist in this shape?
+
+        Array fields absorb one path step (``items.product_id`` checks the
+        array's item object when declared via children on the array spec's
+        sibling convention: we model array-of-object as type="array" plus
+        a child object spec named "[]").
+        """
+        if not path:
+            return True
+        specs = self.fields
+        for i, step in enumerate(path):
+            spec = next((s for s in specs if s.name == step), None)
+            if spec is None:
+                return False
+            remaining = path[i + 1 :]
+            if not remaining:
+                return True
+            if spec.type == "object":
+                specs = spec.children
+                continue
+            if spec.type == "array":
+                item = spec.child("[]")
+                if item is None:
+                    # untyped array: accept any deeper path (schema-less)
+                    return True
+                specs = item.children
+                continue
+            # scalar with a deeper path -> invalid
+            return False
+        return True
+
+    def all_paths(self) -> list[tuple[str, ...]]:
+        """Every declared path, depth-first."""
+        out: list[tuple[str, ...]] = []
+
+        def walk(specs: tuple[FieldSpec, ...], prefix: tuple[str, ...]) -> None:
+            for spec in specs:
+                if spec.name == "[]":
+                    walk(spec.children, prefix)
+                    continue
+                path = prefix + (spec.name,)
+                out.append(path)
+                if spec.type == "object":
+                    walk(spec.children, path)
+                elif spec.type == "array":
+                    item = spec.child("[]")
+                    if item is not None:
+                        walk(item.children, path)
+
+        walk(self.fields, ())
+        return out
+
+    def with_fields(self, fields: tuple[FieldSpec, ...]) -> "DocumentShape":
+        return replace(self, fields=fields, version=self.version + 1)
+
+
+def orders_shape() -> DocumentShape:
+    """The canonical shape of the scenario's ``orders`` collection."""
+    return DocumentShape(
+        "orders",
+        (
+            FieldSpec("_id", "string"),
+            FieldSpec("customer_id", "int"),
+            FieldSpec("order_date", "date"),
+            FieldSpec("status", "string", required=False),
+            FieldSpec("total_price", "float"),
+            FieldSpec(
+                "items",
+                "array",
+                children=(
+                    FieldSpec(
+                        "[]",
+                        "object",
+                        children=(
+                            FieldSpec("product_id", "string"),
+                            FieldSpec("quantity", "int"),
+                            FieldSpec("unit_price", "float"),
+                            FieldSpec("amount", "float"),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def products_shape() -> DocumentShape:
+    """The canonical shape of the scenario's ``products`` collection."""
+    return DocumentShape(
+        "products",
+        (
+            FieldSpec("_id", "string"),
+            FieldSpec("title", "string"),
+            FieldSpec("category", "string"),
+            FieldSpec("price", "float"),
+            FieldSpec("vendor_id", "int"),
+            FieldSpec("stock", "int", required=False),
+            FieldSpec(
+                "attributes",
+                "object",
+                required=False,
+                children=(
+                    FieldSpec("weight_kg", "float", required=False),
+                    FieldSpec("colour", "string", required=False),
+                ),
+            ),
+        ),
+    )
+
+
+def _check_array_children(spec: FieldSpec) -> None:
+    if spec.type == "array" and spec.children:
+        item = spec.child("[]")
+        if item is None or len(spec.children) != 1:
+            raise EvolutionError(
+                f"array field {spec.name!r} must declare exactly one '[]' child"
+            )
+
+
+def validate_shape(shape: DocumentShape) -> None:
+    """Structural sanity checks used by property tests."""
+    seen: set[str] = set()
+
+    def walk(specs: tuple[FieldSpec, ...]) -> None:
+        names = [s.name for s in specs]
+        if len(names) != len(set(names)):
+            raise EvolutionError(f"duplicate field names in {shape.collection!r}")
+        for spec in specs:
+            _check_array_children(spec)
+            if spec.type == "object":
+                walk(spec.children)
+            elif spec.type == "array" and spec.children:
+                walk(spec.children[0].children)
+
+    walk(shape.fields)
+    seen.clear()

@@ -1,0 +1,182 @@
+"""History-query usability under schema evolution.
+
+"The change of schema can affect the usability of history queries" — this
+module makes that measurable.  A history MMQL query is *usable* against
+an evolved shape iff every field path it dereferences on variables bound
+to the evolved collection still exists in the shape.
+
+The checker is static: it parses the query, finds ``FOR var IN
+<collection>`` bindings, extracts every dotted path rooted at those
+variables (following them through LET aliases and nested FORs over
+array fields), and tests each path with
+:meth:`~repro.schema.shapes.DocumentShape.has_path`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.ast import (
+    Binary,
+    CollectClause,
+    Expr,
+    FieldAccess,
+    FilterClause,
+    ForClause,
+    FunctionCall,
+    IndexAccess,
+    LetClause,
+    LimitClause,
+    ListExpr,
+    ObjectExpr,
+    Query,
+    SortClause,
+    Subquery,
+    Unary,
+    VarRef,
+)
+from repro.query.parser import parse
+from repro.schema.shapes import DocumentShape
+
+
+@dataclass
+class UsabilityReport:
+    """Usability outcome for one query set against one shape version."""
+
+    collection: str
+    version: int
+    total: int
+    usable: int
+    broken_queries: list[tuple[str, list[str]]]  # (query text, missing paths)
+
+    @property
+    def usability(self) -> float:
+        return self.usable / self.total if self.total else 1.0
+
+
+def extract_paths(query: Query, collection: str) -> set[tuple[str, ...]]:
+    """All field paths the query dereferences on *collection* documents.
+
+    Tracks which variables are rooted in the collection: the FOR variable
+    itself, plus variables bound (via FOR or LET) to a path inside it —
+    e.g. ``FOR o IN orders FOR it IN o.items FILTER it.product_id ...``
+    yields ``("items",)`` and ``("items", "product_id")``.
+    """
+    paths: set[tuple[str, ...]] = set()
+
+    def path_of(expr: Expr, roots: dict[str, tuple[str, ...]]) -> tuple[str, ...] | None:
+        """The collection-rooted path an expression denotes, if any."""
+        if isinstance(expr, VarRef):
+            return roots.get(expr.name)
+        if isinstance(expr, FieldAccess):
+            base = path_of(expr.base, roots)
+            if base is None:
+                return None
+            return base + (expr.field,)
+        if isinstance(expr, IndexAccess):
+            return path_of(expr.base, roots)  # indexing keeps the array's path
+        return None
+
+    def collect(expr: Expr, roots: dict[str, tuple[str, ...]]) -> None:
+        path = path_of(expr, roots)
+        if path is not None and path != ():
+            paths.add(path)
+        # recurse structurally
+        if isinstance(expr, FieldAccess):
+            collect(expr.base, roots)
+        elif isinstance(expr, IndexAccess):
+            collect(expr.base, roots)
+            collect(expr.index, roots)
+        elif isinstance(expr, Binary):
+            collect(expr.left, roots)
+            collect(expr.right, roots)
+        elif isinstance(expr, Unary):
+            collect(expr.operand, roots)
+        elif isinstance(expr, FunctionCall):
+            for arg in expr.args:
+                collect(arg, roots)
+        elif isinstance(expr, ObjectExpr):
+            for _, value in expr.fields:
+                collect(value, roots)
+        elif isinstance(expr, ListExpr):
+            for item in expr.items:
+                collect(item, roots)
+        elif isinstance(expr, Subquery):
+            # Subqueries see the outer variables; inner bindings shadow a copy.
+            process(expr.query, dict(roots))
+
+    def process(q: Query, roots: dict[str, tuple[str, ...]]) -> None:
+        for clause in q.clauses:
+            if isinstance(clause, ForClause):
+                if isinstance(clause.source, VarRef) and clause.source.name == collection:
+                    roots[clause.var] = ()
+                else:
+                    source_path = path_of(clause.source, roots)
+                    collect(clause.source, roots)
+                    if source_path is not None:
+                        roots[clause.var] = source_path
+                    else:
+                        roots.pop(clause.var, None)
+            elif isinstance(clause, FilterClause):
+                collect(clause.condition, roots)
+            elif isinstance(clause, LetClause):
+                alias = path_of(clause.value, roots)
+                collect(clause.value, roots)
+                if alias is not None:
+                    roots[clause.var] = alias
+                else:
+                    roots.pop(clause.var, None)
+            elif isinstance(clause, SortClause):
+                for key in clause.keys:
+                    collect(key.expr, roots)
+            elif isinstance(clause, LimitClause):
+                collect(clause.count, roots)
+                if clause.offset is not None:
+                    collect(clause.offset, roots)
+            elif isinstance(clause, CollectClause):
+                for _, expr in clause.keys:
+                    collect(expr, roots)
+                for agg in clause.aggregations:
+                    collect(agg.arg, roots)
+                # COLLECT re-binds the variable space
+                roots.clear()
+        collect(q.returning.expr, roots)
+
+    process(query, {})
+    return paths
+
+
+def query_is_usable(
+    text: str, shape: DocumentShape
+) -> tuple[bool, list[str]]:
+    """Is the MMQL query still valid against *shape*?
+
+    Returns (usable, missing_paths).  Queries that never touch the shaped
+    collection are trivially usable.
+    """
+    query = parse(text)
+    missing = [
+        ".".join(path)
+        for path in sorted(extract_paths(query, shape.collection))
+        if not shape.has_path(path)
+    ]
+    return (not missing, missing)
+
+
+def check_usability(queries: list[str], shape: DocumentShape) -> UsabilityReport:
+    """Usability of a whole history-query set against one shape version."""
+    broken: list[tuple[str, list[str]]] = []
+    usable = 0
+    for text in queries:
+        ok, missing = query_is_usable(text, shape)
+        if ok:
+            usable += 1
+        else:
+            broken.append((text, missing))
+    return UsabilityReport(
+        collection=shape.collection,
+        version=shape.version,
+        total=len(queries),
+        usable=usable,
+        broken_queries=broken,
+    )

@@ -1,0 +1,14 @@
+"""Shared utilities: deterministic randomness, stable hashing, timing, tables."""
+
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.tables import Table, format_table
+from repro.util.timing import Stopwatch, Timer
+
+__all__ = [
+    "DeterministicRng",
+    "derive_seed",
+    "Stopwatch",
+    "Table",
+    "Timer",
+    "format_table",
+]

@@ -1,0 +1,174 @@
+"""Deterministic random-number utilities.
+
+Everything in the benchmark must be reproducible from a single integer
+seed: the data generator, the workload mix, the replication simulator and
+the fault injector all draw from :class:`DeterministicRng` streams derived
+with :func:`derive_seed`.  Derivation is stable across processes and Python
+versions because it hashes UTF-8 bytes with SHA-256 rather than relying on
+``hash()`` (which is salted per process).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from collections.abc import Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def derive_seed(root_seed: int, *labels: str | int) -> int:
+    """Derive a child seed from *root_seed* and a label path.
+
+    The same ``(root_seed, labels)`` pair always yields the same child
+    seed, and distinct label paths yield independent streams.
+
+    >>> derive_seed(42, "orders") == derive_seed(42, "orders")
+    True
+    >>> derive_seed(42, "orders") != derive_seed(42, "customers")
+    True
+    """
+    digest = hashlib.sha256()
+    digest.update(str(root_seed).encode("utf-8"))
+    for label in labels:
+        digest.update(b"/")
+        digest.update(str(label).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+class DeterministicRng:
+    """A seeded random stream with the distributions the benchmark needs.
+
+    Thin wrapper over :class:`random.Random` plus Zipf sampling (the
+    distribution that gives purchase and popularity skew) and a few
+    convenience helpers.  Instances are cheap; derive one per concern::
+
+        rng = DeterministicRng(derive_seed(seed, "datagen", "orders"))
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    # -- plain delegation ---------------------------------------------------
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        return self._random.randint(low, high)
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self._random.uniform(low, high)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        """Normal variate."""
+        return self._random.gauss(mu, sigma)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        """Uniform choice from a non-empty sequence."""
+        return self._random.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> list[T]:
+        """Sample *k* distinct elements (k is clamped to ``len(seq)``)."""
+        k = min(k, len(seq))
+        return self._random.sample(seq, k)
+
+    def shuffle(self, items: list[T]) -> list[T]:
+        """Shuffle *items* in place and return it for chaining."""
+        self._random.shuffle(items)
+        return items
+
+    # -- skewed distributions ----------------------------------------------
+
+    def zipf(self, n: int, theta: float = 0.99) -> int:
+        """Sample a rank in ``[0, n)`` from a Zipf distribution.
+
+        Uses the rejection-free inverse-CDF approximation of Gray et al.
+        (the classic YCSB/TPC generator), so repeated calls are O(1) after
+        a cached O(n)-free constant setup.  ``theta`` is the skew
+        parameter; 0.99 matches YCSB's default.
+        """
+        if n <= 0:
+            raise ValueError("zipf requires n >= 1")
+        if n == 1:
+            return 0
+        if n == 2:
+            # Gray's eta is 0/0 at n == 2; sample the two ranks directly.
+            zetan = 1.0 + math.pow(0.5, theta)
+            return 0 if self._random.random() * zetan < 1.0 else 1
+        key = (n, theta)
+        constants = self._zipf_constants.get(key)
+        if constants is None:
+            constants = _zipf_setup(n, theta)
+            self._zipf_constants[key] = constants
+        zetan, alpha, eta, theta_ = constants
+        u = self._random.random()
+        uz = u * zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + math.pow(0.5, theta_):
+            return 1
+        return int(n * math.pow(eta * u - eta + 1.0, alpha))
+
+    _zipf_constants: dict[tuple[int, float], tuple[float, float, float, float]]
+
+    def geometric(self, p: float) -> int:
+        """Number of failures before the first success, p in (0, 1]."""
+        if not 0.0 < p <= 1.0:
+            raise ValueError("geometric requires 0 < p <= 1")
+        if p == 1.0:
+            return 0
+        u = self._random.random()
+        return int(math.log1p(-u) / math.log1p(-p))
+
+    def poisson(self, lam: float) -> int:
+        """Poisson variate via Knuth's method (fine for small lambda)."""
+        if lam < 0:
+            raise ValueError("poisson requires lambda >= 0")
+        threshold = math.exp(-lam)
+        k = 0
+        product = self._random.random()
+        while product > threshold:
+            k += 1
+            product *= self._random.random()
+        return k
+
+    def exponential(self, rate: float) -> float:
+        """Exponential inter-arrival time with the given rate."""
+        if rate <= 0:
+            raise ValueError("exponential requires rate > 0")
+        return self._random.expovariate(rate)
+
+    # -- helpers -------------------------------------------------------------
+
+    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        """Choose one item with the given relative weights."""
+        return self._random.choices(list(items), weights=list(weights), k=1)[0]
+
+    def bernoulli(self, p: float) -> bool:
+        """True with probability *p*."""
+        return self._random.random() < p
+
+    def spawn(self, *labels: str | int) -> "DeterministicRng":
+        """Derive an independent child stream labelled by *labels*."""
+        return DeterministicRng(derive_seed(self.seed, *labels))
+
+
+def _zipf_setup(n: int, theta: float) -> tuple[float, float, float, float]:
+    """Precompute the constants for Gray's Zipf sampler."""
+    zetan = sum(1.0 / math.pow(i, theta) for i in range(1, n + 1))
+    zeta2 = 1.0 + math.pow(0.5, theta)
+    alpha = 1.0 / (1.0 - theta)
+    eta = (1.0 - math.pow(2.0 / n, 1.0 - theta)) / (1.0 - zeta2 / zetan)
+    return (zetan, alpha, eta, theta)
+
+
+# Class-level cache shared by all instances: the constants depend only on
+# (n, theta), never on the seed.
+DeterministicRng._zipf_constants = {}

@@ -1,0 +1,85 @@
+"""Plain-text result tables.
+
+The benchmark prints its result tables with :func:`format_table`; keeping
+formatting in one place means every experiment's output looks the same and
+EXPERIMENTS.md can quote them verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _render_cell(value: object) -> str:
+    """Render one cell: floats get 4 significant digits, rest str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(headers: list[str], rows: list[list[object]], title: str = "") -> str:
+    """Format rows as an aligned ASCII table with an optional title."""
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    separator = "  ".join("-" * w for w in widths)
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(separator)
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+@dataclass
+class Table:
+    """A mutable result table: add rows, then print or export.
+
+    >>> t = Table("demo", ["k", "v"])
+    >>> t.add_row(["a", 1.5])
+    >>> "demo" in t.render()
+    True
+    """
+
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+
+    def add_row(self, row: list[object]) -> None:
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table '{self.title}' has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(list(row))
+
+    def render(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def to_records(self) -> list[dict[str, object]]:
+        """Rows as dictionaries keyed by header, for programmatic checks."""
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+    def column(self, header: str) -> list[object]:
+        """All values of one named column."""
+        try:
+            idx = self.headers.index(header)
+        except ValueError as exc:
+            raise KeyError(f"no column {header!r} in table {self.title!r}") from exc
+        return [row[idx] for row in self.rows]

@@ -1,0 +1,127 @@
+"""Timing helpers used by the benchmark harness.
+
+:class:`Stopwatch` measures one interval; :class:`Timer` accumulates many
+intervals and reports latency statistics (mean/percentiles), which is what
+the benchmark result tables print.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """Context manager measuring a single wall-clock interval in seconds.
+
+    >>> with Stopwatch() as sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class Timer:
+    """Accumulates named latency samples and computes summary statistics."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample (seconds)."""
+        self.samples.append(seconds)
+
+    def time(self) -> "_TimerInterval":
+        """Return a context manager that records its duration on exit."""
+        return _TimerInterval(self)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.samples else 0.0
+
+    @property
+    def stdev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((s - mu) ** 2 for s in self.samples) / (len(self.samples) - 1))
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, p in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile requires 0 <= p <= 100")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def throughput(self) -> float:
+        """Operations per second over the accumulated samples."""
+        return self.count / self.total if self.total > 0 else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """All headline statistics in one dictionary (seconds)."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "total": self.total,
+            "ops_per_sec": self.throughput(),
+        }
+
+
+class _TimerInterval:
+    """Context manager recording one interval into a parent :class:`Timer`."""
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerInterval":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._timer.record(time.perf_counter() - self._start)

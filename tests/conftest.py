@@ -1,0 +1,51 @@
+"""Shared fixtures: a small deterministic dataset and loaded drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.config import GeneratorConfig
+from repro.datagen.generator import Dataset, DatasetGenerator
+from repro.datagen.load import load_dataset
+from repro.drivers.polyglot import PolyglotDriver
+from repro.drivers.unified import UnifiedDriver
+
+SMALL = GeneratorConfig(seed=42, scale_factor=0.05)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> Dataset:
+    """SF=0.05 dataset: 50 customers, 150 orders — fast but non-trivial."""
+    return DatasetGenerator(SMALL).generate()
+
+
+@pytest.fixture(scope="session")
+def loaded_unified(small_dataset: Dataset) -> UnifiedDriver:
+    """Unified driver with the small dataset and indexes, read-only use."""
+    driver = UnifiedDriver()
+    load_dataset(driver, small_dataset)
+    return driver
+
+
+@pytest.fixture(scope="session")
+def loaded_polyglot(small_dataset: Dataset) -> PolyglotDriver:
+    """Polyglot driver with the small dataset and indexes, read-only use."""
+    driver = PolyglotDriver()
+    load_dataset(driver, small_dataset)
+    return driver
+
+
+@pytest.fixture()
+def fresh_unified(small_dataset: Dataset) -> UnifiedDriver:
+    """A writable unified driver, freshly loaded per test."""
+    driver = UnifiedDriver()
+    load_dataset(driver, small_dataset)
+    return driver
+
+
+@pytest.fixture()
+def fresh_polyglot(small_dataset: Dataset) -> PolyglotDriver:
+    """A writable polyglot driver, freshly loaded per test."""
+    driver = PolyglotDriver()
+    load_dataset(driver, small_dataset)
+    return driver

@@ -1,0 +1,173 @@
+"""ACID anomaly probes: the expected matrix is the E3a ground truth."""
+
+import pytest
+
+from repro.consistency.acid import (
+    PROBES,
+    probe_all,
+    probe_dirty_read,
+    probe_fractured_multimodel_read,
+    probe_lost_update,
+    probe_non_repeatable_read,
+    probe_write_skew,
+)
+from repro.consistency.schedules import ScriptedTxn, run_interleaved
+from repro.engine.database import MultiModelDatabase
+from repro.engine.transactions import IsolationLevel
+from repro.errors import BenchmarkError
+from repro.models.relational.schema import Column, ColumnType, TableSchema
+
+RU = IsolationLevel.READ_UNCOMMITTED
+RC = IsolationLevel.READ_COMMITTED
+SI = IsolationLevel.SNAPSHOT
+SER = IsolationLevel.SERIALIZABLE
+
+
+class TestAnomalyMatrix:
+    """The textbook ladder: each level hides strictly more anomalies."""
+
+    def test_dirty_read_only_at_read_uncommitted(self):
+        assert probe_dirty_read(RU) is True
+        assert probe_dirty_read(RC) is False
+        assert probe_dirty_read(SI) is False
+        assert probe_dirty_read(SER) is False
+
+    def test_lost_update_below_snapshot(self):
+        assert probe_lost_update(RU) is True
+        assert probe_lost_update(RC) is True
+        assert probe_lost_update(SI) is False
+        assert probe_lost_update(SER) is False
+
+    def test_non_repeatable_read_below_snapshot(self):
+        assert probe_non_repeatable_read(RC) is True
+        assert probe_non_repeatable_read(SI) is False
+        assert probe_non_repeatable_read(SER) is False
+
+    def test_fractured_multimodel_read_below_snapshot(self):
+        assert probe_fractured_multimodel_read(RU) is True
+        assert probe_fractured_multimodel_read(RC) is True
+        assert probe_fractured_multimodel_read(SI) is False
+        assert probe_fractured_multimodel_read(SER) is False
+
+    def test_write_skew_below_serializable(self):
+        assert probe_write_skew(SI) is True
+        assert probe_write_skew(SER) is False
+
+    def test_probe_all_counts_decrease_with_strength(self):
+        matrix = probe_all()
+        counts = [matrix.anomalies_at(level) for level in (RU, RC, SI, SER)]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[-1] == 0  # serializable admits nothing
+
+    def test_all_probes_registered(self):
+        assert set(PROBES) == {
+            "dirty_read",
+            "lost_update",
+            "non_repeatable_read",
+            "fractured_multimodel_read",
+            "write_skew",
+        }
+
+
+SCHEMA = TableSchema(
+    "t",
+    (Column("id", ColumnType.INTEGER, nullable=False),
+     Column("v", ColumnType.INTEGER)),
+    primary_key=("id",),
+)
+
+
+def simple_db() -> MultiModelDatabase:
+    db = MultiModelDatabase()
+    db.create_table(SCHEMA)
+    with db.transaction() as tx:
+        tx.sql_insert("t", {"id": 1, "v": 0})
+    return db
+
+
+class TestScheduleExecutor:
+    def test_round_robin_default(self):
+        db = simple_db()
+        order_seen = []
+
+        def step(name):
+            def fn(s):
+                order_seen.append(name)
+
+            return fn
+
+        txns = [
+            ScriptedTxn("A", [step("A1"), step("A2")]),
+            ScriptedTxn("B", [step("B1")]),
+        ]
+        result = run_interleaved(db, txns, SI)
+        assert order_seen == ["A1", "B1", "A2"]
+        assert set(result.committed) == {"A", "B"}
+
+    def test_explicit_order_respected(self):
+        db = simple_db()
+        seen = []
+        txns = [
+            ScriptedTxn("A", [lambda s: seen.append("A")]),
+            ScriptedTxn("B", [lambda s: seen.append("B")]),
+        ]
+        run_interleaved(db, txns, SI, order=[1, 0, 1, 0])
+        assert seen == ["B", "A"]
+
+    def test_step_values_recorded(self):
+        db = simple_db()
+        txns = [ScriptedTxn("A", [lambda s: s.sql_get("t", (1,))["v"]])]
+        result = run_interleaved(db, txns, SI)
+        assert result.value("A", 0) == 0
+
+    def test_conflict_recorded_as_abort(self):
+        db = simple_db()
+        txns = [
+            ScriptedTxn("A", [lambda s: s.sql_update("t", (1,), {"v": 1})]),
+            ScriptedTxn("B", [lambda s: s.sql_update("t", (1,), {"v": 2})]),
+        ]
+        result = run_interleaved(db, txns, SI)
+        assert len(result.committed) == 1
+        assert len(result.aborted) == 1
+
+    def test_blocked_txn_retries_after_commit(self):
+        db = simple_db()
+        txns = [
+            ScriptedTxn("W", [lambda s: s.sql_update("t", (1,), {"v": 9})]),
+            ScriptedTxn("R", [lambda s: s.sql_get("t", (1,))["v"]]),
+        ]
+        result = run_interleaved(db, txns, SER, order=[0, 1])
+        assert result.blocked_events >= 1
+        assert set(result.committed) == {"W", "R"}
+        assert result.value("R", 0) == 9
+
+    def test_deadlock_resolved_one_victim(self):
+        db = simple_db()
+        with db.transaction() as tx:
+            tx.sql_insert("t", {"id": 2, "v": 0})
+
+        def update(pk):
+            def fn(s):
+                s.sql_update("t", (pk,), {"v": 1})
+
+            return fn
+
+        txns = [
+            ScriptedTxn("A", [update(1), update(2)]),
+            ScriptedTxn("B", [update(2), update(1)]),
+        ]
+        result = run_interleaved(db, txns, SER, order=[0, 1, 0, 1, 0, 1])
+        assert len(result.committed) == 1
+        assert len(result.aborted) == 1
+        assert "Deadlock" in next(iter(result.aborted.values()))
+
+    def test_scripted_abort_recorded(self):
+        db = simple_db()
+        txns = [ScriptedTxn("A", [lambda s: s.abort()])]
+        result = run_interleaved(db, txns, SI)
+        assert result.aborted == {"A": "scripted abort"}
+
+    def test_bad_order_index_rejected(self):
+        db = simple_db()
+        with pytest.raises(BenchmarkError):
+            run_interleaved(db, [ScriptedTxn("A", [])], SI, order=[5])

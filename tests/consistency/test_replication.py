@@ -1,0 +1,160 @@
+"""Replicated store simulator and eventual-consistency metrics."""
+
+import pytest
+
+from repro.consistency.metrics import (
+    consistency_probability,
+    read_your_writes_violation_rate,
+    staleness_distribution,
+)
+from repro.consistency.replication import ReplicatedStore, ReplicationConfig
+from repro.errors import BenchmarkError
+
+
+class TestReplicatedStore:
+    def test_write_visible_on_primary_immediately(self):
+        store = ReplicatedStore(ReplicationConfig(base_lag=5, jitter=0))
+        store.write("k", "v")
+        assert store.read_primary("k") == "v"
+
+    def test_replica_stale_before_lag(self):
+        store = ReplicatedStore(ReplicationConfig(base_lag=5, jitter=0))
+        store.write("k", "v")
+        obs = store.read_replica("k", 0)
+        assert not obs.is_fresh
+        assert obs.value is None
+        assert obs.version_staleness == 1
+
+    def test_replica_fresh_after_lag(self):
+        store = ReplicatedStore(ReplicationConfig(base_lag=5, jitter=0))
+        store.write("k", "v")
+        store.advance(5)
+        obs = store.read_replica("k", 0)
+        assert obs.is_fresh and obs.value == "v"
+
+    def test_time_staleness_accounting(self):
+        store = ReplicatedStore(ReplicationConfig(base_lag=10, jitter=0))
+        store.write("k", "v")
+        store.advance(4)
+        obs = store.read_replica("k", 0)
+        assert obs.time_staleness == 4
+
+    def test_out_of_order_delivery_keeps_newest(self):
+        # Second write has shorter delay than first: replica must not
+        # regress to the older version when the slow message arrives.
+        config = ReplicationConfig(base_lag=1, jitter=8, seed=3, replicas=1)
+        store = ReplicatedStore(config)
+        for i in range(20):
+            store.write("k", i)
+        store.advance(50)
+        obs = store.read_replica("k", 0)
+        assert obs.value == 19 and obs.is_fresh
+
+    def test_lost_messages_repaired_by_anti_entropy(self):
+        config = ReplicationConfig(
+            base_lag=1, jitter=0, loss_probability=0.9,
+            anti_entropy_period=10, seed=1,
+        )
+        store = ReplicatedStore(config)
+        for i in range(10):
+            store.write(f"k{i}", i)
+        store.advance(25)
+        assert all(store.read_replica(f"k{i}", 0).is_fresh for i in range(10))
+
+    def test_no_anti_entropy_leaves_holes(self):
+        config = ReplicationConfig(
+            base_lag=1, jitter=0, loss_probability=0.95,
+            anti_entropy_period=0, seed=1, replicas=1,
+        )
+        store = ReplicatedStore(config)
+        for i in range(30):
+            store.write(f"k{i}", i)
+        store.advance(100)
+        stale = sum(
+            0 if store.read_replica(f"k{i}", 0).is_fresh else 1 for i in range(30)
+        )
+        assert stale > 0
+        assert store.messages_lost > 0
+
+    def test_explicit_anti_entropy_repairs_everything(self):
+        config = ReplicationConfig(
+            base_lag=1, jitter=0, loss_probability=0.99,
+            anti_entropy_period=0, seed=2,
+        )
+        store = ReplicatedStore(config)
+        store.write("k", "v")
+        repairs = store.anti_entropy()
+        assert repairs >= 1
+        assert store.read_replica("k", 0).is_fresh
+
+    def test_replica_lag_versions(self):
+        store = ReplicatedStore(ReplicationConfig(base_lag=100, jitter=0, replicas=2))
+        store.write("a", 1)
+        store.write("b", 2)
+        assert store.replica_lag_versions() == [2, 2]
+
+    def test_bad_replica_index_rejected(self):
+        store = ReplicatedStore(ReplicationConfig(replicas=2))
+        with pytest.raises(BenchmarkError):
+            store.read_replica("k", 5)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(BenchmarkError):
+            ReplicatedStore().advance(-1)
+
+    def test_config_validation(self):
+        with pytest.raises(BenchmarkError):
+            ReplicationConfig(replicas=0)
+        with pytest.raises(BenchmarkError):
+            ReplicationConfig(loss_probability=1.0)
+
+    def test_determinism(self):
+        def run():
+            store = ReplicatedStore(ReplicationConfig(base_lag=2, jitter=4, seed=9))
+            log = []
+            for i in range(50):
+                store.write(f"k{i % 5}", i)
+                store.advance(1)
+                log.append(store.read_replica(f"k{i % 5}").value)
+            return log
+
+        assert run() == run()
+
+
+class TestMetrics:
+    def test_staleness_increases_with_lag(self):
+        low = staleness_distribution(ReplicationConfig(base_lag=1, jitter=0))
+        high = staleness_distribution(ReplicationConfig(base_lag=32, jitter=0))
+        assert high.fresh_fraction < low.fresh_fraction
+        assert high.time_staleness.mean > low.time_staleness.mean
+
+    def test_pbs_curve_monotone_and_saturates(self):
+        curve = consistency_probability(
+            ReplicationConfig(base_lag=4, jitter=2), delays=[0, 2, 4, 8, 16]
+        )
+        assert curve.probabilities[0] < 0.5
+        assert curve.probabilities[-1] == 1.0
+        # weakly monotone in delay
+        assert all(
+            a <= b + 1e-9
+            for a, b in zip(curve.probabilities, curve.probabilities[1:])
+        )
+
+    def test_time_to_probability(self):
+        curve = consistency_probability(
+            ReplicationConfig(base_lag=4, jitter=0), delays=[0, 2, 4, 8]
+        )
+        assert curve.time_to_probability(0.99) == 4
+        assert curve.time_to_probability(2.0) is None
+
+    def test_ryw_violation_rate_drops_with_delay(self):
+        config = ReplicationConfig(base_lag=4, jitter=0)
+        immediate = read_your_writes_violation_rate(config, read_delay=0)
+        patient = read_your_writes_violation_rate(config, read_delay=10)
+        assert immediate == 1.0
+        assert patient == 0.0
+
+    def test_staleness_summary_keys(self):
+        stats = staleness_distribution(ReplicationConfig(), num_ops=300)
+        summary = stats.summary()
+        assert {"reads", "fresh_fraction", "mean_version_staleness"} <= set(summary)

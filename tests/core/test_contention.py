@@ -1,0 +1,37 @@
+"""Contended cross-model transactions (E3c shapes)."""
+
+from repro.core.contention import run_contended
+from repro.core.experiments import experiment_e3_contention
+from repro.engine.transactions import IsolationLevel
+
+
+class TestContention:
+    def test_read_committed_loses_updates_silently(self):
+        result = run_contended(IsolationLevel.READ_COMMITTED, batches=5)
+        assert result.aborted == 0
+        assert result.lost_updates > 0
+
+    def test_snapshot_aborts_instead_of_losing(self):
+        result = run_contended(IsolationLevel.SNAPSHOT, batches=5)
+        assert result.lost_updates == 0
+        assert result.aborted > 0
+        # Exactly one winner per batch on a single hot record.
+        assert result.committed == result.batches
+
+    def test_serializable_never_loses(self):
+        result = run_contended(IsolationLevel.SERIALIZABLE, batches=5)
+        assert result.lost_updates == 0
+        assert result.committed >= result.batches  # at least one per batch
+
+    def test_abort_rate_accounting(self):
+        result = run_contended(IsolationLevel.SNAPSHOT, batches=4, txns_per_batch=2)
+        assert result.abort_rate == result.aborted / (
+            result.aborted + result.committed
+        )
+
+    def test_experiment_table_shape(self):
+        table = experiment_e3_contention(batches=4, txns_per_batch=2)
+        rows = {r["isolation"]: r for r in table.to_records()}
+        assert set(rows) == {"read_committed", "snapshot", "serializable"}
+        assert rows["read_committed"]["lost_updates"] > 0
+        assert rows["snapshot"]["lost_updates"] == 0

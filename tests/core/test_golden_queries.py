@@ -1,0 +1,183 @@
+"""Golden equivalence: each benchmark query vs an independent Python
+computation over the raw dataset.
+
+This is stronger than driver parity (two implementations could share a
+bug); here the oracle never touches MMQL or the engine.
+"""
+
+import pytest
+
+from repro.core.workloads import QUERY_BY_ID
+from repro.models.xml.xpath import XPath
+
+
+def q_params(qid, small_dataset):
+    return QUERY_BY_ID[qid].params(small_dataset)
+
+
+def run(qid, loaded_unified, small_dataset):
+    query = QUERY_BY_ID[qid]
+    return loaded_unified.query(query.text, query.params(small_dataset))
+
+
+class TestGoldenEquivalence:
+    def test_q1_invoice_total_matches_order(self, loaded_unified, small_dataset):
+        out = run("Q1", loaded_unified, small_dataset)
+        order_id = q_params("Q1", small_dataset)["order_id"]
+        order = next(o for o in small_dataset.orders if o["_id"] == order_id)
+        assert len(out) == 1
+        assert float(out[0]["invoice_total"]) == pytest.approx(
+            order["total_price"], abs=0.005
+        )
+        assert out[0]["status"] == order["status"]
+
+    def test_q2_counts_match_manual_group_by(self, loaded_unified, small_dataset):
+        country = q_params("Q2", small_dataset)["country"]
+        expected: dict[int, int] = {}
+        ids_in_country = {
+            c["id"] for c in small_dataset.customers if c["country"] == country
+        }
+        for order in small_dataset.orders:
+            if order["customer_id"] in ids_in_country:
+                expected[order["customer_id"]] = expected.get(order["customer_id"], 0) + 1
+        out = run("Q2", loaded_unified, small_dataset)
+        assert {r["cid"]: r["n"] for r in out} == expected
+
+    def test_q3_average_rating_matches(self, loaded_unified, small_dataset):
+        product_id = q_params("Q3", small_dataset)["product_id"]
+        feedback = dict(small_dataset.feedback)
+        ratings = []
+        seen = set()
+        for order in small_dataset.orders:
+            for item in order["items"]:
+                if item["product_id"] != product_id:
+                    continue
+                key = f"{product_id}/{order['customer_id']}"
+                fb = feedback.get(key)
+                if fb is not None:
+                    ratings.append((key, fb["rating"], order["_id"]))
+                    seen.add(key)
+        out = run("Q3", loaded_unified, small_dataset)
+        if not ratings:
+            assert out == []
+            return
+        # The MMQL query counts one row per (order, item) with feedback;
+        # the average is over those rows.
+        total = sum(r for _, r, _ in ratings)
+        assert out[0]["n"] == len(ratings)
+        assert out[0]["avg_rating"] == pytest.approx(total / len(ratings))
+
+    def test_q4_products_match_bfs(self, loaded_unified, small_dataset):
+        start = q_params("Q4", small_dataset)["customer_id"]
+        # BFS to depth 2 over knows edges (out-direction).
+        adjacency: dict[int, list[int]] = {}
+        for src, dst, _ in small_dataset.knows_edges:
+            adjacency.setdefault(src, []).append(dst)
+        seen = {start}
+        frontier = [start]
+        reach = set()
+        for _ in range(2):
+            nxt = []
+            for v in frontier:
+                for n in adjacency.get(v, []):
+                    if n not in seen:
+                        seen.add(n)
+                        nxt.append(n)
+                        reach.add(n)
+            frontier = nxt
+        expected = {
+            item["product_id"]
+            for o in small_dataset.orders
+            if o["customer_id"] in reach
+            for item in o["items"]
+        }
+        out = run("Q4", loaded_unified, small_dataset)
+        assert set(out) == expected
+
+    def test_q5_top_spenders_match(self, loaded_unified, small_dataset):
+        spend: dict[int, float] = {}
+        for order in small_dataset.orders:
+            spend[order["customer_id"]] = spend.get(order["customer_id"], 0.0) + order[
+                "total_price"
+            ]
+        expected = sorted(spend, key=lambda c: spend[c], reverse=True)[:10]
+        out = run("Q5", loaded_unified, small_dataset)
+        assert [r["cid"] for r in out] == expected
+        for row in out:
+            assert row["spend"] == pytest.approx(spend[row["cid"]], rel=1e-9)
+
+    def test_q6_thresholded_invoices_match(self, loaded_unified, small_dataset):
+        threshold = q_params("Q6", small_dataset)["threshold"]
+        path = XPath("/invoice/total/text()")
+        expected = sorted(
+            (
+                (inv_id, float(path.find(tree)[0]))
+                for inv_id, tree in small_dataset.invoices
+                if float(path.find(tree)[0]) > threshold
+            ),
+            key=lambda pair: pair[1],
+            reverse=True,
+        )[:20]
+        out = run("Q6", loaded_unified, small_dataset)
+        assert [(r["id"], r["total"]) for r in out] == expected
+
+    def test_q7_vendor_revenue_matches(self, loaded_unified, small_dataset):
+        product_vendor = {p["_id"]: p["vendor_id"] for p in small_dataset.products}
+        vendor_name = {v["id"]: v["name"] for v in small_dataset.vendors}
+        revenue: dict[str, float] = {}
+        for order in small_dataset.orders:
+            for item in order["items"]:
+                vendor = vendor_name[product_vendor[item["product_id"]]]
+                revenue[vendor] = revenue.get(vendor, 0.0) + item["amount"]
+        expected = sorted(revenue, key=lambda v: revenue[v], reverse=True)[:5]
+        out = run("Q7", loaded_unified, small_dataset)
+        assert [r["vendor"] for r in out] == expected
+
+    def test_q8_rating_histogram_matches(self, loaded_unified, small_dataset):
+        category = q_params("Q8", small_dataset)["category"]
+        products = {
+            p["_id"] for p in small_dataset.products if p["category"] == category
+        }
+        histogram: dict[int, int] = {}
+        for key, fb in small_dataset.feedback:
+            product = key.split("/")[0]
+            if product in products:
+                histogram[fb["rating"]] = histogram.get(fb["rating"], 0) + 1
+        out = run("Q8", loaded_unified, small_dataset)
+        assert {r["rating"]: r["n"] for r in out} == histogram
+
+    def test_q9_path_is_shortest(self, loaded_unified, small_dataset):
+        params = q_params("Q9", small_dataset)
+        out = run("Q9", loaded_unified, small_dataset)
+        if not out:
+            return  # goal unreachable from source: acceptable
+        ids = [r["id"] for r in out]
+        assert ids[0] == params["src"] and ids[-1] == params["dst"]
+        # Verify each hop is a real edge.
+        edges = {(s, d) for s, d, _ in small_dataset.knows_edges}
+        for a, b in zip(ids, ids[1:]):
+            assert (a, b) in edges
+
+    def test_q10_order360_consistent(self, loaded_unified, small_dataset):
+        out = run("Q10", loaded_unified, small_dataset)
+        order = small_dataset.orders[0]
+        customer = next(
+            c for c in small_dataset.customers if c["id"] == order["customer_id"]
+        )
+        row = out[0]
+        assert row["customer"] == f"{customer['first_name']} {customer['last_name']}"
+        assert float(row["invoice_total"]) == pytest.approx(
+            order["total_price"], abs=0.005
+        )
+        friends = {
+            dst for src, dst, _ in small_dataset.knows_edges
+            if src == order["customer_id"]
+        }
+        assert row["friend_count"] == len(friends)
+        feedback = dict(small_dataset.feedback)
+        expected_ratings = [
+            feedback[f"{it['product_id']}/{order['customer_id']}"]["rating"]
+            for it in order["items"]
+            if f"{it['product_id']}/{order['customer_id']}" in feedback
+        ]
+        assert row["ratings"] == expected_ratings

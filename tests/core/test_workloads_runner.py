@@ -1,0 +1,130 @@
+"""Workload catalog and runners."""
+
+import pytest
+
+from repro.core.config import BenchmarkConfig
+from repro.core.runner import QueryRunner, TransactionRunner
+from repro.core.workloads import (
+    QUERIES,
+    QUERY_BY_ID,
+    TRANSACTION_BY_ID,
+    TRANSACTIONS,
+)
+from repro.errors import BenchmarkError
+from repro.query.parser import parse
+from repro.util.rng import DeterministicRng
+
+
+class TestCatalog:
+    def test_ten_queries(self):
+        assert len(QUERIES) == 10
+        assert set(QUERY_BY_ID) == {f"Q{i}" for i in range(1, 11)}
+
+    def test_four_transactions(self):
+        assert len(TRANSACTIONS) == 4
+        assert set(TRANSACTION_BY_ID) == {"T1", "T2", "T3", "T4"}
+
+    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.query_id)
+    def test_every_query_parses(self, query):
+        parse(query.text)
+
+    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.query_id)
+    def test_params_derivable(self, query, small_dataset):
+        params = query.params(small_dataset)
+        assert isinstance(params, dict)
+
+    def test_most_queries_span_multiple_models(self):
+        multi = [q for q in QUERIES if len(q.models) >= 2]
+        assert len(multi) >= 8
+
+    def test_q10_spans_all_five_models(self):
+        assert len(QUERY_BY_ID["Q10"].models) == 5
+
+    def test_t2_is_the_papers_example(self):
+        t2 = TRANSACTION_BY_ID["T2"]
+        assert {"json", "kv", "xml"} <= set(t2.models)
+
+
+class TestBenchmarkConfig:
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            BenchmarkConfig(repetitions=0)
+        with pytest.raises(BenchmarkError):
+            BenchmarkConfig(transaction_count=0)
+
+    def test_presets(self):
+        assert BenchmarkConfig.small().generator.scale_factor == 0.05
+        assert BenchmarkConfig.default().generator.scale_factor == 0.5
+
+
+class TestQueryRunner:
+    def test_measurement_shape(self, small_dataset, loaded_unified):
+        runner = QueryRunner(loaded_unified, small_dataset, repetitions=2, warmup=1)
+        m = runner.run(QUERY_BY_ID["Q1"])
+        assert m.timer.count == 2
+        assert m.result_size == 1
+        assert m.mean_ms > 0
+        assert m.driver == "unified"
+
+    def test_run_all(self, small_dataset, loaded_unified):
+        runner = QueryRunner(loaded_unified, small_dataset, repetitions=1, warmup=0)
+        measurements = runner.run_all(QUERIES[:3])
+        assert [m.query_id for m in measurements] == ["Q1", "Q2", "Q3"]
+
+
+class TestTransactionRunner:
+    def test_mix_runs_and_commits(self, small_dataset, fresh_unified):
+        runner = TransactionRunner(fresh_unified, small_dataset)
+        result = runner.run_mix(TRANSACTIONS, count=20)
+        assert result.attempted == 20
+        assert result.committed + result.aborted == 20
+        assert result.committed > 0
+        assert sum(result.per_txn.values()) == result.committed
+        assert result.throughput > 0
+
+    def test_weighted_mix_respects_zero_weight(self, small_dataset, fresh_unified):
+        runner = TransactionRunner(fresh_unified, small_dataset)
+        result = runner.run_mix(TRANSACTIONS, count=15, weights=[1, 0, 0, 0])
+        assert result.per_txn["T1"] == result.committed
+        assert result.per_txn["T2"] == 0
+
+    def test_transactions_mutate_database(self, small_dataset, fresh_unified):
+        before = fresh_unified.stats()["documents"]
+        runner = TransactionRunner(fresh_unified, small_dataset)
+        runner.run_mix(TRANSACTIONS, count=10, weights=[1, 0, 0, 0])
+        assert fresh_unified.stats()["documents"] > before
+
+
+class TestTransactionBodies:
+    @pytest.mark.parametrize("txn", TRANSACTIONS, ids=lambda t: t.txn_id)
+    def test_body_runs_on_both_drivers(self, txn, small_dataset, fresh_unified,
+                                       fresh_polyglot):
+        rng = DeterministicRng(7)
+        body = txn.make(small_dataset, rng, 1_000_000)
+        fresh_unified.run_transaction(body)
+        # Polyglot gets its own body instance (fresh ids) to avoid clashes.
+        body2 = txn.make(small_dataset, DeterministicRng(8), 2_000_000)
+        fresh_polyglot.run_transaction(body2)
+
+    def test_t1_creates_consistent_order(self, small_dataset, fresh_unified):
+        t1 = TRANSACTION_BY_ID["T1"]
+        body = t1.make(small_dataset, DeterministicRng(5), 777)
+        order_id = fresh_unified.run_transaction(body)
+        with fresh_unified.db.transaction() as tx:
+            order = tx.doc_get("orders", order_id)
+            invoice_total = tx.xml_xpath(
+                "invoices", order_id, "/invoice/total/text()"
+            )
+        assert order is not None
+        assert float(invoice_total[0]) == pytest.approx(order["total_price"])
+
+    def test_t3_updates_rating_aggregate(self, small_dataset, fresh_unified):
+        t3 = TRANSACTION_BY_ID["T3"]
+        body = t3.make(small_dataset, DeterministicRng(5), 1)
+        fresh_unified.run_transaction(body)
+        with fresh_unified.db.transaction() as tx:
+            rated = [
+                p for p in tx.doc_scan("products") if "rating_count" in p
+            ]
+        assert len(rated) == 1
+        assert rated[0]["rating_count"] == 1

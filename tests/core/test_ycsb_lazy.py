@@ -1,0 +1,177 @@
+"""YCSB baseline suite and lazy migration."""
+
+import pytest
+
+from repro.core.ycsb import NAMESPACE, WORKLOADS, YcsbRunner
+from repro.drivers.polyglot import PolyglotDriver
+from repro.drivers.unified import UnifiedDriver
+from repro.errors import BenchmarkError
+from repro.schema.evolution import AddField, NestFields, RenameField
+from repro.schema.lazy import VERSION_FIELD, LazyMigrator
+from repro.schema.registry import SchemaRegistry
+from repro.schema.shapes import orders_shape
+
+
+class TestYcsb:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        runner = YcsbRunner(UnifiedDriver(), record_count=200, seed=5)
+        runner.load()
+        return runner
+
+    def test_load_populates_namespace(self, runner):
+        assert runner.driver.stats()["kv_pairs"] == 200
+
+    def test_unknown_workload_rejected(self, runner):
+        with pytest.raises(BenchmarkError):
+            runner.run("Z", 10)
+
+    def test_workload_mixes_sum_to_one(self):
+        for name, mix in WORKLOADS.items():
+            assert sum(mix) == pytest.approx(1.0), name
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_each_workload_runs(self, runner, workload):
+        result = runner.run(workload, operations=40)
+        assert result.operations == 40
+        assert result.seconds > 0
+        counted = (result.reads + result.updates + result.inserts
+                   + result.scans + result.rmws)
+        assert counted == 40 - result.aborted
+
+    def test_workload_c_is_read_only(self, runner):
+        result = runner.run("C", operations=30)
+        assert result.reads == 30
+        assert result.updates == result.inserts == result.scans == 0
+
+    def test_workload_d_inserts_grow_keyspace(self):
+        runner = YcsbRunner(UnifiedDriver(), record_count=100, seed=6)
+        runner.load()
+        before = runner._inserted
+        runner.run("D", operations=200)
+        assert runner._inserted > before
+
+    def test_runs_on_polyglot_too(self):
+        runner = YcsbRunner(PolyglotDriver(), record_count=100, seed=7)
+        runner.load()
+        result = runner.run("A", operations=30)
+        assert result.driver == "polyglot"
+        assert result.reads + result.updates == 30
+
+    def test_scan_uses_range(self):
+        runner = YcsbRunner(UnifiedDriver(), record_count=100, seed=8)
+        runner.load()
+        result = runner.run("E", operations=30)
+        assert result.scans > 0
+
+
+CHAIN = [
+    AddField("orders", "currency", "string", default="EUR"),
+    RenameField("orders", "total_price", "total"),
+    NestFields("orders", ("order_date", "status"), "meta"),
+]
+
+
+def make_registry() -> SchemaRegistry:
+    registry = SchemaRegistry()
+    registry.register(orders_shape())
+    for op in CHAIN:
+        registry.apply(op)
+    return registry
+
+
+class TestLazyMigration:
+    def test_read_upgrades_document(self, fresh_unified, small_dataset):
+        migrator = LazyMigrator(fresh_unified, make_registry(), "orders")
+        doc_id = small_dataset.orders[0]["_id"]
+        doc = migrator.get(doc_id)
+        assert doc["currency"] == "EUR"
+        assert "total" in doc and "total_price" not in doc
+        assert doc["meta"]["status"] == small_dataset.orders[0]["status"]
+        assert doc[VERSION_FIELD] == 4
+
+    def test_repair_persists_upgrade(self, fresh_unified, small_dataset):
+        migrator = LazyMigrator(fresh_unified, make_registry(), "orders", repair=True)
+        doc_id = small_dataset.orders[0]["_id"]
+        migrator.get(doc_id)
+        assert migrator.stats.repair_writes == 1
+        # Second read needs no upgrade.
+        migrator.get(doc_id)
+        assert migrator.stats.upgrades == 1
+        # The stored document is now at the target version.
+        with fresh_unified.db.transaction() as tx:
+            stored = tx.doc_get("orders", doc_id)
+        assert stored[VERSION_FIELD] == 4
+
+    def test_no_repair_upgrades_every_read(self, fresh_unified, small_dataset):
+        migrator = LazyMigrator(
+            fresh_unified, make_registry(), "orders", repair=False
+        )
+        doc_id = small_dataset.orders[0]["_id"]
+        migrator.get(doc_id)
+        migrator.get(doc_id)
+        assert migrator.stats.upgrades == 2
+        assert migrator.stats.repair_writes == 0
+
+    def test_missing_document_is_none(self, fresh_unified):
+        migrator = LazyMigrator(fresh_unified, make_registry(), "orders")
+        assert migrator.get("no_such_order") is None
+        assert migrator.stats.upgrades == 0
+
+    def test_scan_upgrades_all_in_memory(self, fresh_unified, small_dataset):
+        migrator = LazyMigrator(
+            fresh_unified, make_registry(), "orders", repair=False
+        )
+        docs = migrator.scan()
+        assert len(docs) == len(small_dataset.orders)
+        assert all("total" in d for d in docs)
+        # Stored documents untouched (cold data never rewritten).
+        with fresh_unified.db.transaction() as tx:
+            raw = tx.doc_get("orders", small_dataset.orders[0]["_id"])
+        assert "total_price" in raw
+
+    def test_partial_upgrade_from_intermediate_version(self, fresh_unified,
+                                                       small_dataset):
+        registry = make_registry()
+        doc_id = small_dataset.orders[0]["_id"]
+        # Manually migrate the doc to v2 (after AddField) and tag it.
+        with fresh_unified.db.transaction() as tx:
+            doc = tx.doc_get("orders", doc_id)
+            doc = CHAIN[0].migrate_document(doc)
+            doc[VERSION_FIELD] = 2
+            tx.doc_delete("orders", doc_id)
+            tx.doc_insert("orders", doc)
+        migrator = LazyMigrator(fresh_unified, registry, "orders")
+        upgraded = migrator.get(doc_id)
+        assert upgraded[VERSION_FIELD] == 4
+        assert migrator.stats.ops_applied == 2  # only the remaining two ops
+
+    def test_future_version_rejected(self, fresh_unified, small_dataset):
+        from repro.errors import EvolutionError
+
+        doc_id = small_dataset.orders[0]["_id"]
+        with fresh_unified.db.transaction() as tx:
+            tx.doc_update("orders", doc_id, {VERSION_FIELD: 99})
+        migrator = LazyMigrator(fresh_unified, make_registry(), "orders")
+        with pytest.raises(EvolutionError):
+            migrator.get(doc_id)
+
+
+class TestKvScanRange:
+    def test_unified_range(self, fresh_unified):
+        with fresh_unified.db.transaction() as tx:
+            pairs = tx.kv_scan_range("feedback", "p1/", "p2/", limit=5)
+        assert all("p1/" <= k < "p2/" for k, _ in pairs)
+        assert len(pairs) <= 5
+
+    def test_unified_bad_range_rejected(self, fresh_unified):
+        from repro.errors import EngineError
+
+        with fresh_unified.db.transaction() as tx:
+            with pytest.raises(EngineError):
+                tx.kv_scan_range("feedback", "z", "a")
+
+    def test_polyglot_range(self, fresh_polyglot):
+        session = fresh_polyglot.db.session()
+        pairs = session.kv_scan_range("feedback", "p1/", "p2/", limit=5)
+        assert all("p1/" <= k < "p2/" for k, _ in pairs)

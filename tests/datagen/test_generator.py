@@ -1,0 +1,153 @@
+"""Dataset generator: determinism, integrity, scaling, skew, loading."""
+
+import pytest
+
+from repro.datagen import DatasetGenerator, GeneratorConfig, load_dataset
+from repro.datagen.generator import build_invoice
+from repro.drivers.unified import UnifiedDriver
+from repro.errors import BenchmarkError
+from repro.models.xml.xpath import XPath
+
+
+class TestConfig:
+    def test_scale_factor_positive(self):
+        with pytest.raises(BenchmarkError):
+            GeneratorConfig(scale_factor=0)
+
+    def test_variability_bounds(self):
+        with pytest.raises(BenchmarkError):
+            GeneratorConfig(schema_variability=1.5)
+
+    def test_scaled_counts(self):
+        cfg = GeneratorConfig(scale_factor=0.5)
+        assert cfg.num_customers == 500
+        assert cfg.num_orders == 1500
+
+    def test_minimums_enforced(self):
+        cfg = GeneratorConfig(scale_factor=0.0001)
+        assert cfg.num_customers >= 2
+        assert cfg.num_vendors >= 1
+
+
+class TestGeneration:
+    def test_deterministic_for_same_seed(self, small_dataset):
+        again = DatasetGenerator(small_dataset.config).generate()
+        assert again.orders == small_dataset.orders
+        assert again.feedback == small_dataset.feedback
+        assert again.knows_edges == small_dataset.knows_edges
+
+    def test_different_seeds_differ(self, small_dataset):
+        other = DatasetGenerator(
+            GeneratorConfig(seed=43, scale_factor=0.05)
+        ).generate()
+        assert other.orders != small_dataset.orders
+
+    def test_integrity_clean(self, small_dataset):
+        assert small_dataset.verify_integrity() == []
+
+    def test_summary_counts(self, small_dataset):
+        summary = small_dataset.summary()
+        assert summary["relational_customers"] == 50
+        assert summary["xml_invoices"] == summary["json_orders"]
+        assert summary["graph_persons"] == summary["relational_customers"]
+
+    def test_order_totals_sum_items(self, small_dataset):
+        for order in small_dataset.orders:
+            assert order["total_price"] == pytest.approx(
+                round(sum(i["amount"] for i in order["items"]), 2), abs=0.01
+            )
+
+    def test_item_amounts_consistent(self, small_dataset):
+        for order in small_dataset.orders:
+            for item in order["items"]:
+                assert item["amount"] == pytest.approx(
+                    round(item["quantity"] * item["unit_price"], 2), abs=0.01
+                )
+
+    def test_purchases_are_skewed(self, small_dataset):
+        counts = {}
+        for order in small_dataset.orders:
+            counts[order["customer_id"]] = counts.get(order["customer_id"], 0) + 1
+        top = max(counts.values())
+        assert top >= 3 * (len(small_dataset.orders) / len(small_dataset.customers))
+
+    def test_feedback_only_from_buyers(self, small_dataset):
+        pairs = {
+            (i["product_id"], o["customer_id"])
+            for o in small_dataset.orders
+            for i in o["items"]
+        }
+        for key, _ in small_dataset.feedback:
+            product, _, customer = key.partition("/")
+            assert (product, int(customer)) in pairs
+
+    def test_feedback_keys_unique_and_sorted(self, small_dataset):
+        keys = [k for k, _ in small_dataset.feedback]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))
+
+    def test_invoice_totals_match_orders(self, small_dataset):
+        path = XPath("/invoice/total/text()")
+        orders = {o["_id"]: o for o in small_dataset.orders}
+        for inv_id, tree in small_dataset.invoices[:20]:
+            assert float(path.find(tree)[0]) == pytest.approx(
+                orders[inv_id]["total_price"], abs=0.005
+            )
+
+    def test_graph_edge_count_near_target(self, small_dataset):
+        cfg = small_dataset.config
+        target = cfg.knows_edges_per_person * len(small_dataset.persons)
+        assert len(small_dataset.knows_edges) >= target * 0.9
+
+    def test_no_self_or_duplicate_edges(self, small_dataset):
+        seen = set()
+        for src, dst, _ in small_dataset.knows_edges:
+            assert src != dst
+            assert (src, dst) not in seen
+            seen.add((src, dst))
+
+    def test_schema_variability_perturbs_documents(self):
+        cfg = GeneratorConfig(seed=1, scale_factor=0.05, schema_variability=0.5)
+        ds = DatasetGenerator(cfg).generate()
+        missing_status = sum(1 for o in ds.orders if "status" not in o)
+        extra_coupon = sum(1 for o in ds.orders if "coupon" in o)
+        assert missing_status > 0 and extra_coupon > 0
+
+    def test_zero_variability_is_canonical(self, small_dataset):
+        assert all("status" in o for o in small_dataset.orders)
+        assert not any("coupon" in o for o in small_dataset.orders)
+
+    def test_build_invoice_shape(self, small_dataset):
+        order = small_dataset.orders[0]
+        customer = next(
+            c for c in small_dataset.customers if c["id"] == order["customer_id"]
+        )
+        invoice = build_invoice(order, customer)
+        assert invoice.get("id") == order["_id"]
+        lines = invoice.child("lines").find_all("line")
+        assert len(lines) == len(order["items"])
+
+
+class TestLoading:
+    def test_load_counts_match(self, small_dataset, loaded_unified):
+        stats = loaded_unified.stats()
+        assert stats["rows"] == len(small_dataset.customers) + len(
+            small_dataset.vendors
+        )
+        assert stats["documents"] == len(small_dataset.orders) + len(
+            small_dataset.products
+        )
+        assert stats["kv_pairs"] == len(small_dataset.feedback)
+        assert stats["edges"] == len(small_dataset.knows_edges)
+
+    def test_load_without_indexes(self, small_dataset):
+        driver = UnifiedDriver()
+        load_dataset(driver, small_dataset, with_indexes=False)
+        from repro.engine.records import Model
+
+        assert driver.db.index(Model.DOCUMENT, "orders", "customer_id") is None
+
+    def test_indexes_created_by_default(self, loaded_unified):
+        from repro.engine.records import Model
+
+        assert loaded_unified.db.index(Model.DOCUMENT, "orders", "customer_id") is not None

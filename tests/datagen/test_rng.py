@@ -1,0 +1,115 @@
+"""Deterministic RNG: reproducibility, derivation, distributions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.rng import DeterministicRng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_labels_distinguish(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_root_distinguishes(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_no_concatenation_collision(self):
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+
+class TestStreams:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_spawn_independent(self):
+        root = DeterministicRng(7)
+        child1 = root.spawn("x")
+        child2 = DeterministicRng(7).spawn("x")
+        assert [child1.random() for _ in range(5)] == [
+            child2.random() for _ in range(5)
+        ]
+
+    def test_sample_clamps(self):
+        rng = DeterministicRng(1)
+        assert len(rng.sample([1, 2], 10)) == 2
+
+    def test_shuffle_returns_same_list(self):
+        rng = DeterministicRng(1)
+        items = [1, 2, 3]
+        assert rng.shuffle(items) is items
+
+    def test_weighted_choice_degenerate(self):
+        rng = DeterministicRng(1)
+        assert rng.weighted_choice(["only"], [1.0]) == "only"
+
+
+class TestZipf:
+    def test_bounds(self):
+        rng = DeterministicRng(3)
+        for _ in range(2000):
+            assert 0 <= rng.zipf(50) < 50
+
+    def test_skew_favours_low_ranks(self):
+        rng = DeterministicRng(3)
+        samples = [rng.zipf(100, 0.99) for _ in range(5000)]
+        head = sum(1 for s in samples if s < 10)
+        assert head > len(samples) * 0.4  # heavy head
+
+    def test_n_one(self):
+        assert DeterministicRng(1).zipf(1) == 0
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).zipf(0)
+
+    def test_higher_theta_more_skew(self):
+        rng = DeterministicRng(3)
+        light = [rng.zipf(100, 0.2) for _ in range(3000)]
+        heavy = [rng.zipf(100, 0.99) for _ in range(3000)]
+        assert sum(heavy) < sum(light)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=200), st.integers())
+    def test_always_in_range(self, n, seed):
+        rng = DeterministicRng(seed)
+        for _ in range(50):
+            assert 0 <= rng.zipf(n) < n
+
+
+class TestOtherDistributions:
+    def test_geometric_bounds_and_params(self):
+        rng = DeterministicRng(5)
+        assert rng.geometric(1.0) == 0
+        assert all(rng.geometric(0.5) >= 0 for _ in range(100))
+        with pytest.raises(ValueError):
+            rng.geometric(0.0)
+
+    def test_poisson_mean_close(self):
+        rng = DeterministicRng(5)
+        samples = [rng.poisson(4.0) for _ in range(3000)]
+        assert 3.5 < sum(samples) / len(samples) < 4.5
+
+    def test_poisson_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).poisson(-1)
+
+    def test_exponential_positive(self):
+        rng = DeterministicRng(5)
+        assert all(rng.exponential(2.0) > 0 for _ in range(100))
+        with pytest.raises(ValueError):
+            rng.exponential(0)
+
+    def test_bernoulli_extremes(self):
+        rng = DeterministicRng(5)
+        assert not any(rng.bernoulli(0.0) for _ in range(50))
+        assert all(rng.bernoulli(1.0) for _ in range(50))

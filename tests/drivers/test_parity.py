@@ -1,0 +1,163 @@
+"""Driver parity: the unified engine and the polyglot baseline must give
+the *same answers* to the shared workload — the benchmark compares
+performance and guarantees, never correctness.
+"""
+
+import pytest
+
+from repro.baselines.polyglot import CrashDuringCommit
+from repro.core.workloads import QUERIES
+from repro.drivers.polyglot import PolyglotDriver
+from repro.drivers.unified import UnifiedDriver
+from repro.engine.transactions import IsolationLevel
+
+
+def _round_floats(value):
+    """Round floats recursively: summation order may differ between a
+    scan plan and an index plan, so ULP-level drift is expected."""
+    if isinstance(value, float):
+        return round(value, 6)
+    if isinstance(value, dict):
+        return {k: _round_floats(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_round_floats(v) for v in value]
+    return value
+
+
+def _canonical(value):
+    """Order-insensitive comparable form of a query result set."""
+    return sorted(repr(_round_floats(v)) for v in value)
+
+
+class TestQueryParity:
+    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.query_id)
+    def test_same_results_on_both_drivers(
+        self, query, small_dataset, loaded_unified, loaded_polyglot
+    ):
+        params = query.params(small_dataset)
+        unified = loaded_unified.query(query.text, params)
+        polyglot = loaded_polyglot.query(query.text, params)
+        assert _canonical(unified) == _canonical(polyglot)
+
+    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.query_id)
+    def test_indexes_do_not_change_answers(
+        self, query, small_dataset, loaded_unified
+    ):
+        params = query.params(small_dataset)
+        with_idx = loaded_unified.query(query.text, params, use_indexes=True)
+        without = loaded_unified.query(query.text, params, use_indexes=False)
+        assert _canonical(with_idx) == _canonical(without)
+
+    def test_all_queries_return_rows(self, small_dataset, loaded_unified):
+        """Every benchmark query must be non-vacuous at SF=0.05."""
+        for query in QUERIES:
+            out = loaded_unified.query(query.text, query.params(small_dataset))
+            assert out, f"{query.query_id} returned nothing"
+
+
+class TestTransactionParity:
+    def body(self, order_id: str):
+        def run(s):
+            s.doc_insert("orders", {"_id": order_id, "customer_id": 1,
+                                    "total_price": 5.0, "items": []})
+            s.kv_put("feedback", f"px/{order_id}", {"rating": 4})
+            return order_id
+
+        return run
+
+    def test_both_drivers_apply_cross_model_txn(self, small_dataset):
+        from repro.datagen.load import load_dataset
+
+        for driver in (UnifiedDriver(), PolyglotDriver()):
+            load_dataset(driver, small_dataset, with_indexes=False)
+            result = driver.run_transaction(self.body("tx1"))
+            assert result == "tx1"
+            ctx = driver.query_context()
+            assert ctx.kv_get("feedback", "px/tx1") == {"rating": 4}
+            close = getattr(ctx, "close", None)
+            if close:
+                close()
+
+    def test_unified_retries_conflicts(self, fresh_unified):
+        # A snapshot conflict is retried internally by run_transaction.
+        driver = fresh_unified
+        order_id = driver.db  # unused marker
+
+        calls = {"n": 0}
+
+        def flaky(s):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                # Simulate a conflicting concurrent commit between this
+                # transaction's snapshot and its commit.
+                s.doc_update("orders", "o1", {"status": "racing"})
+                with driver.db.transaction() as other:
+                    other.doc_update("orders", "o1", {"status": "winner"})
+            else:
+                s.doc_update("orders", "o1", {"status": "retry_ok"})
+
+        driver.run_transaction(flaky)
+        assert calls["n"] == 2
+        with driver.db.transaction() as tx:
+            assert tx.doc_get("orders", "o1")["status"] == "retry_ok"
+
+
+class TestPolyglotFracture:
+    def test_crash_between_stores_fractures(self, small_dataset):
+        from repro.datagen.load import load_dataset
+
+        driver = PolyglotDriver()
+        load_dataset(driver, small_dataset, with_indexes=False)
+        driver.db.crash_after_stores = 1
+
+        def two_store_txn(s):
+            s.doc_update("orders", small_dataset.orders[0]["_id"], {"status": "x"})
+            s.kv_put("feedback", "zz/1", {"rating": 1})
+
+        with pytest.raises(CrashDuringCommit):
+            driver.run_transaction(two_store_txn)
+        driver.db.crash_after_stores = None
+        ctx = driver.query_context()
+        # Document store committed; KV store did not: fractured.
+        order = next(
+            o for o in ctx.iter_collection("orders")
+            if o["_id"] == small_dataset.orders[0]["_id"]
+        )
+        assert order["status"] == "x"
+        assert ctx.kv_get("feedback", "zz/1") is None
+
+    def test_unified_cannot_fracture(self, small_dataset):
+        from repro.datagen.load import load_dataset
+        from repro.errors import SimulatedCrash
+
+        driver = UnifiedDriver()
+        load_dataset(driver, small_dataset, with_indexes=False)
+        driver.db.manager.crash_before_next_commit_record = True
+        order_id = small_dataset.orders[0]["_id"]
+
+        def two_store_txn(s):
+            s.doc_update("orders", order_id, {"status": "x"})
+            s.kv_put("feedback", "zz/1", {"rating": 1})
+
+        with pytest.raises(SimulatedCrash):
+            driver.run_transaction(two_store_txn)
+        recovered = driver.db.crash()
+        with recovered.transaction() as tx:
+            assert tx.doc_get("orders", order_id)["status"] != "x"
+            assert tx.kv_get("feedback", "zz/1") is None
+
+
+class TestIsolationConfiguration:
+    def test_driver_isolation_respected(self, small_dataset):
+        from repro.datagen.load import load_dataset
+
+        driver = UnifiedDriver(isolation=IsolationLevel.SERIALIZABLE)
+        load_dataset(driver, small_dataset, with_indexes=False)
+
+        seen = {}
+
+        def reader(s):
+            seen["v"] = s.doc_get("orders", small_dataset.orders[0]["_id"])
+
+        driver.run_transaction(reader)
+        assert seen["v"] is not None

@@ -1,0 +1,181 @@
+"""B+tree: structure, scans, lazy deletion, property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.btree import BPlusTree
+from repro.engine.indexes import BTreeIndex, field_extractor
+from repro.errors import EngineError
+
+
+class TestBasics:
+    def test_insert_get(self):
+        t = BPlusTree(order=4)
+        for i in range(50):
+            t.insert(i, f"v{i}")
+        assert t.get(37) == "v37"
+        assert t.get(999, default="d") == "d"
+        assert len(t) == 50
+
+    def test_duplicate_rejected(self):
+        t = BPlusTree(order=4)
+        t.insert(1, "a")
+        with pytest.raises(EngineError):
+            t.insert(1, "b")
+
+    def test_order_validated(self):
+        with pytest.raises(EngineError):
+            BPlusTree(order=2)
+
+    def test_contains(self):
+        t = BPlusTree(order=4)
+        t.insert("k", None)  # None value is a legal payload
+        assert "k" in t
+        assert "z" not in t
+
+    def test_items_sorted_after_random_inserts(self):
+        import random
+
+        rnd = random.Random(5)
+        t = BPlusTree(order=4)
+        keys = rnd.sample(range(1000), 200)
+        for k in keys:
+            t.insert(k, k)
+        assert [k for k, _ in t.items()] == sorted(keys)
+        t.check_invariants()
+
+    def test_min_max(self):
+        t = BPlusTree(order=4)
+        for k in (5, 1, 9):
+            t.insert(k, k)
+        assert (t.min_key(), t.max_key()) == (1, 9)
+
+    def test_deep_tree_invariants(self):
+        t = BPlusTree(order=3)  # smallest order -> deepest tree
+        for i in range(300):
+            t.insert(i, i)
+        t.check_invariants()
+        assert t.get(299) == 299
+
+
+class TestRange:
+    def make(self):
+        t = BPlusTree(order=4)
+        for i in range(0, 100, 2):  # evens
+            t.insert(i, i)
+        return t
+
+    def test_half_open(self):
+        t = self.make()
+        assert [k for k, _ in t.range(10, 20)] == [10, 12, 14, 16, 18]
+
+    def test_inclusive_high(self):
+        t = self.make()
+        assert [k for k, _ in t.range(10, 14, include_high=True)] == [10, 12, 14]
+
+    def test_exclusive_low(self):
+        t = self.make()
+        assert [k for k, _ in t.range(10, 16, include_low=False)] == [12, 14]
+
+    def test_open_bounds(self):
+        t = self.make()
+        assert len(list(t.range())) == 50
+
+    def test_bounds_between_keys(self):
+        t = self.make()
+        assert [k for k, _ in t.range(11, 15)] == [12, 14]
+
+    def test_empty_range(self):
+        t = self.make()
+        assert list(t.range(200, 300)) == []
+
+
+class TestDelete:
+    def test_delete_and_size(self):
+        t = BPlusTree(order=4)
+        for i in range(30):
+            t.insert(i, i)
+        assert t.delete(7) is True
+        assert t.delete(7) is False
+        assert len(t) == 29
+        assert 7 not in t
+        t.check_invariants()
+
+    def test_scan_skips_deleted(self):
+        t = BPlusTree(order=4)
+        for i in range(20):
+            t.insert(i, i)
+        for i in range(0, 20, 2):
+            t.delete(i)
+        assert [k for k, _ in t.items()] == list(range(1, 20, 2))
+
+    def test_delete_everything(self):
+        t = BPlusTree(order=3)
+        for i in range(40):
+            t.insert(i, i)
+        for i in range(40):
+            assert t.delete(i)
+        assert len(t) == 0
+        assert list(t.items()) == []
+        assert t.max_key() is None
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(-500, 500), unique=True, max_size=80))
+    def test_matches_sorted_dict(self, keys):
+        t = BPlusTree(order=4)
+        for k in keys:
+            t.insert(k, k * 2)
+        assert [k for k, _ in t.items()] == sorted(keys)
+        t.check_invariants()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 200), unique=True, min_size=1, max_size=60),
+        st.lists(st.integers(0, 200), max_size=30),
+        st.integers(0, 200),
+        st.integers(0, 200),
+    )
+    def test_range_matches_filter(self, inserts, deletes, a, b):
+        low, high = min(a, b), max(a, b)
+        t = BPlusTree(order=4)
+        alive = set()
+        for k in inserts:
+            t.insert(k, k)
+            alive.add(k)
+        for k in deletes:
+            if t.delete(k):
+                alive.discard(k)
+        got = [k for k, _ in t.range(low, high)]
+        assert got == sorted(k for k in alive if low <= k < high)
+        t.check_invariants()
+
+
+class TestBTreeIndex:
+    def test_same_behaviour_as_sorted_index(self):
+        idx = BTreeIndex("i", field_extractor("n"), order=4)
+        for i, n in enumerate([5, 1, 3, 9, 7, 3]):
+            idx.on_write(f"r{i}", None, {"n": n})
+        assert [v for v, _ in idx.range(3, 9)] == [3, 3, 5, 7]
+        assert (idx.min_value(), idx.max_value()) == (1, 9)
+
+    def test_update_moves_entry(self):
+        idx = BTreeIndex("i", field_extractor("n"), order=4)
+        idx.on_write("r0", None, {"n": 5})
+        idx.on_write("r0", {"n": 5}, {"n": 100})
+        assert idx.max_value() == 100
+        assert len(idx) == 1
+
+    def test_database_integration(self):
+        from repro.engine.database import MultiModelDatabase
+        from repro.engine.records import Model
+
+        db = MultiModelDatabase()
+        db.create_collection("c")
+        with db.transaction() as tx:
+            for i in range(10):
+                tx.doc_insert("c", {"_id": i, "n": i * 10})
+        db.create_index(Model.DOCUMENT, "c", "n", kind="btree")
+        index = db.index(Model.DOCUMENT, "c", "n", kind="btree")
+        assert [v for v, _ in index.range(20, 60)] == [20, 30, 40, 50]

@@ -1,0 +1,203 @@
+"""Lock manager (S/X, upgrades, deadlock) and secondary indexes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.indexes import HashIndex, SortedIndex, field_extractor
+from repro.engine.locks import LockManager, LockMode, WouldBlock
+from repro.errors import DeadlockError, EngineError
+
+
+class TestLockManager:
+    def test_shared_locks_compatible(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.SHARED)
+        lm.acquire(2, "r", LockMode.SHARED)
+        assert set(lm.holders_of("r")) == {1, 2}
+
+    def test_exclusive_blocks_shared(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(WouldBlock):
+            lm.acquire(2, "r", LockMode.SHARED)
+
+    def test_shared_blocks_exclusive(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.SHARED)
+        with pytest.raises(WouldBlock):
+            lm.acquire(2, "r", LockMode.EXCLUSIVE)
+
+    def test_reacquire_is_noop(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.EXCLUSIVE)
+        lm.acquire(1, "r", LockMode.EXCLUSIVE)
+        lm.acquire(1, "r", LockMode.SHARED)  # downgrade request: still held X
+        assert lm.holders_of("r") == {1: LockMode.EXCLUSIVE}
+
+    def test_upgrade_sole_holder(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.SHARED)
+        lm.acquire(1, "r", LockMode.EXCLUSIVE)
+        assert lm.holders_of("r") == {1: LockMode.EXCLUSIVE}
+
+    def test_upgrade_with_other_holder_blocks(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.SHARED)
+        lm.acquire(2, "r", LockMode.SHARED)
+        with pytest.raises(WouldBlock):
+            lm.acquire(1, "r", LockMode.EXCLUSIVE)
+
+    def test_release_all_frees_resources(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.EXCLUSIVE)
+        lm.acquire(1, "b", LockMode.SHARED)
+        assert lm.release_all(1) == 2
+        lm.acquire(2, "a", LockMode.EXCLUSIVE)  # no longer blocked
+
+    def test_deadlock_detected(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.EXCLUSIVE)
+        lm.acquire(2, "b", LockMode.EXCLUSIVE)
+        with pytest.raises(WouldBlock):
+            lm.acquire(1, "b", LockMode.EXCLUSIVE)  # 1 waits on 2
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, "a", LockMode.EXCLUSIVE)  # 2 waits on 1: cycle
+
+    def test_deadlock_three_way(self):
+        lm = LockManager()
+        for txn, resource in ((1, "a"), (2, "b"), (3, "c")):
+            lm.acquire(txn, resource, LockMode.EXCLUSIVE)
+        with pytest.raises(WouldBlock):
+            lm.acquire(1, "b", LockMode.EXCLUSIVE)
+        with pytest.raises(WouldBlock):
+            lm.acquire(2, "c", LockMode.EXCLUSIVE)
+        with pytest.raises(DeadlockError):
+            lm.acquire(3, "a", LockMode.EXCLUSIVE)
+
+    def test_wait_edge_cleared_after_grant(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(WouldBlock):
+            lm.acquire(2, "r", LockMode.EXCLUSIVE)
+        lm.release_all(1)
+        lm.acquire(2, "r", LockMode.EXCLUSIVE)
+        assert lm.holders_of("r") == {2: LockMode.EXCLUSIVE}
+
+    def test_consistency_invariant(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.SHARED)
+        lm.acquire(2, "r", LockMode.SHARED)
+        lm.assert_consistent()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=4),
+                st.sampled_from(["a", "b", "c"]),
+                st.sampled_from([LockMode.SHARED, LockMode.EXCLUSIVE]),
+            ),
+            max_size=30,
+        )
+    )
+    def test_never_incompatible_grants(self, requests):
+        lm = LockManager()
+        for txn, resource, mode in requests:
+            try:
+                lm.acquire(txn, resource, mode)
+            except (WouldBlock, DeadlockError):
+                pass
+            lm.assert_consistent()
+
+
+class TestHashIndex:
+    def test_insert_lookup(self):
+        idx = HashIndex("i", field_extractor("k"))
+        idx.on_write("r1", None, {"k": "a"})
+        idx.on_write("r2", None, {"k": "a"})
+        assert idx.lookup("a") == {"r1", "r2"}
+
+    def test_update_moves_bucket(self):
+        idx = HashIndex("i", field_extractor("k"))
+        idx.on_write("r1", None, {"k": "a"})
+        idx.on_write("r1", {"k": "a"}, {"k": "b"})
+        assert idx.lookup("a") == set()
+        assert idx.lookup("b") == {"r1"}
+
+    def test_delete_removes(self):
+        idx = HashIndex("i", field_extractor("k"))
+        idx.on_write("r1", None, {"k": "a"})
+        idx.on_write("r1", {"k": "a"}, None)
+        assert idx.lookup("a") == set()
+        assert len(idx) == 0
+
+    def test_none_field_not_indexed(self):
+        idx = HashIndex("i", field_extractor("k"))
+        idx.on_write("r1", None, {"other": 1})
+        assert len(idx) == 0
+
+    def test_nested_values_not_indexed(self):
+        idx = HashIndex("i", field_extractor("k"))
+        idx.on_write("r1", None, {"k": {"nested": 1}})
+        assert len(idx) == 0
+
+    def test_distinct_values(self):
+        idx = HashIndex("i", field_extractor("k"))
+        idx.on_write("r1", None, {"k": "a"})
+        idx.on_write("r2", None, {"k": "b"})
+        assert sorted(idx.distinct_values()) == ["a", "b"]
+
+
+class TestSortedIndex:
+    def make(self):
+        idx = SortedIndex("i", field_extractor("n"))
+        for i, n in enumerate([5, 1, 3, 9, 7]):
+            idx.on_write(f"r{i}", None, {"n": n})
+        return idx
+
+    def test_full_range_sorted(self):
+        idx = self.make()
+        values = [v for v, _ in idx.range()]
+        assert values == sorted(values)
+
+    def test_half_open_range(self):
+        idx = self.make()
+        assert [v for v, _ in idx.range(3, 9)] == [3, 5, 7]
+
+    def test_inclusive_high(self):
+        idx = self.make()
+        assert [v for v, _ in idx.range(3, 9, include_high=True)] == [3, 5, 7, 9]
+
+    def test_exclusive_low(self):
+        idx = self.make()
+        assert [v for v, _ in idx.range(3, None, include_low=False)] == [5, 7, 9]
+
+    def test_update_moves_entry(self):
+        idx = self.make()
+        idx.on_write("r0", {"n": 5}, {"n": 100})
+        assert idx.max_value() == 100
+        assert 5 not in [v for v, _ in idx.range()]
+
+    def test_delete_removes_entry(self):
+        idx = self.make()
+        idx.on_write("r3", {"n": 9}, None)
+        assert idx.max_value() == 7
+
+    def test_min_max(self):
+        idx = self.make()
+        assert (idx.min_value(), idx.max_value()) == (1, 9)
+
+    def test_incomparable_values_rejected(self):
+        idx = SortedIndex("i", field_extractor("n"))
+        idx.on_write("r1", None, {"n": 1})
+        with pytest.raises(EngineError):
+            idx.on_write("r2", None, {"n": "text"})
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=-50, max_value=50), max_size=40))
+    def test_range_matches_sorted_filter(self, values):
+        idx = SortedIndex("i", field_extractor("n"))
+        for i, n in enumerate(values):
+            idx.on_write(f"r{i}", None, {"n": n})
+        got = [v for v, _ in idx.range(-10, 10)]
+        assert got == sorted(v for v in values if -10 <= v < 10)

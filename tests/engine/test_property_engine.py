@@ -1,0 +1,175 @@
+"""Property tests: the engine vs a reference model.
+
+Random multi-model operation sequences are applied both to the real
+engine (one committed transaction per op) and to plain dictionaries.
+After the sequence: visible state must match the reference exactly, and
+it must *still* match after a crash + WAL recovery — the strongest
+durability statement the test suite makes.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.database import MultiModelDatabase
+from repro.engine.records import Model
+from repro.errors import ReproError
+from repro.models.relational.schema import Column, ColumnType, TableSchema
+
+SCHEMA = TableSchema(
+    "t",
+    (Column("id", ColumnType.INTEGER, nullable=False),
+     Column("v", ColumnType.INTEGER)),
+    primary_key=("id",),
+)
+
+# One operation = (kind, key-ish, value-ish)
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["doc_put", "doc_del", "kv_put", "kv_del", "sql_put", "sql_del",
+             "vertex_put", "edge_put"]
+        ),
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=99),
+    ),
+    max_size=40,
+)
+
+
+def fresh_db() -> MultiModelDatabase:
+    db = MultiModelDatabase()
+    db.create_table(SCHEMA)
+    db.create_collection("docs")
+    db.create_kv_namespace("kv")
+    db.create_graph("g")
+    return db
+
+
+def apply_to_engine(db: MultiModelDatabase, op, key, value) -> None:
+    with db.transaction() as tx:
+        if op == "doc_put":
+            if tx.doc_get("docs", key) is None:
+                tx.doc_insert("docs", {"_id": key, "v": value})
+            else:
+                tx.doc_update("docs", key, {"v": value})
+        elif op == "doc_del":
+            tx.doc_delete("docs", key)
+        elif op == "kv_put":
+            tx.kv_put("kv", f"k{key}", value)
+        elif op == "kv_del":
+            tx.kv_delete("kv", f"k{key}")
+        elif op == "sql_put":
+            if tx.sql_get("t", (key,)) is None:
+                tx.sql_insert("t", {"id": key, "v": value})
+            else:
+                tx.sql_update("t", (key,), {"v": value})
+        elif op == "sql_del":
+            tx.sql_delete("t", (key,))
+        elif op == "vertex_put":
+            if tx.graph_vertex("g", key) is None:
+                tx.graph_add_vertex("g", key, "n", v=value)
+            else:
+                tx.graph_update_vertex("g", key, v=value)
+        elif op == "edge_put":
+            src, dst = key, (key + value) % 10
+            if (
+                tx.graph_vertex("g", src) is not None
+                and tx.graph_vertex("g", dst) is not None
+            ):
+                tx.graph_add_edge("g", src, dst, "e", w=value)
+
+
+def apply_to_reference(ref, op, key, value) -> None:
+    if op == "doc_put":
+        ref["docs"][key] = value
+    elif op == "doc_del":
+        ref["docs"].pop(key, None)
+    elif op == "kv_put":
+        ref["kv"][f"k{key}"] = value
+    elif op == "kv_del":
+        ref["kv"].pop(f"k{key}", None)
+    elif op == "sql_put":
+        ref["sql"][key] = value
+    elif op == "sql_del":
+        ref["sql"].pop(key, None)
+    elif op == "vertex_put":
+        ref["vertices"][key] = value
+    elif op == "edge_put":
+        src, dst = key, (key + value) % 10
+        if src in ref["vertices"] and dst in ref["vertices"]:
+            ref["edges"].append((src, dst, value))
+
+
+def engine_state(db: MultiModelDatabase):
+    with db.transaction() as tx:
+        docs = {d["_id"]: d["v"] for d in tx.doc_scan("docs")}
+        kv = dict(tx.txn.scan(Model.KEY_VALUE, "kv"))
+        sql = {row["id"]: row["v"] for row in tx.sql_scan("t")}
+        vertices = {v.id: v.properties["v"] for v in tx.graph_vertices("g")}
+        edges = sorted(
+            (e.src, e.dst, e.properties["w"]) for e in tx.graph_edges("g")
+        )
+    return docs, kv, sql, vertices, edges
+
+
+class TestEngineMatchesReference:
+    @settings(max_examples=40, deadline=None)
+    @given(ops)
+    def test_state_and_recovery_match(self, operations):
+        db = fresh_db()
+        ref = {"docs": {}, "kv": {}, "sql": {}, "vertices": {}, "edges": []}
+        for op, key, value in operations:
+            apply_to_engine(db, op, key, value)
+            apply_to_reference(ref, op, key, value)
+
+        def check(database: MultiModelDatabase) -> None:
+            docs, kv, sql, vertices, edges = engine_state(database)
+            assert docs == ref["docs"]
+            assert kv == ref["kv"]
+            assert sql == ref["sql"]
+            assert vertices == ref["vertices"]
+            assert edges == sorted(ref["edges"])
+
+        check(db)
+        recovered = db.crash()
+        check(recovered)
+
+    @settings(max_examples=25, deadline=None)
+    @given(ops)
+    def test_vacuum_never_changes_visible_state(self, operations):
+        db = fresh_db()
+        for op, key, value in operations:
+            apply_to_engine(db, op, key, value)
+        before = engine_state(db)
+        db.vacuum()
+        assert engine_state(db) == before
+
+    @settings(max_examples=20, deadline=None)
+    @given(ops, st.integers(min_value=0, max_value=39))
+    def test_aborted_suffix_leaves_no_trace(self, operations, abort_from):
+        """Ops after the cut run inside ONE aborted txn: no effect."""
+        db = fresh_db()
+        ref = {"docs": {}, "kv": {}, "sql": {}, "vertices": {}, "edges": []}
+        committed = operations[:abort_from]
+        doomed = operations[abort_from:]
+        for op, key, value in committed:
+            apply_to_engine(db, op, key, value)
+            apply_to_reference(ref, op, key, value)
+        before = engine_state(db)
+        session = db.begin()
+        try:
+            for op, key, value in doomed:
+                if op == "doc_put":
+                    if session.doc_get("docs", key) is None:
+                        session.doc_insert("docs", {"_id": key, "v": value})
+                    else:
+                        session.doc_update("docs", key, {"v": value})
+                elif op == "kv_put":
+                    session.kv_put("kv", f"k{key}", value)
+                elif op == "sql_del":
+                    session.sql_delete("t", (key,))
+        except ReproError:
+            pass
+        finally:
+            if session.txn.state.value == "active":
+                session.abort()
+        assert engine_state(db) == before

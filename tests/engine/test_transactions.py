@@ -1,0 +1,263 @@
+"""Transaction semantics: isolation levels, conflicts, visibility, GC."""
+
+import pytest
+
+from repro.engine.database import MultiModelDatabase
+from repro.engine.records import Model, RecordKey
+from repro.engine.transactions import IsolationLevel
+from repro.errors import (
+    ConstraintError,
+    SerializationConflict,
+    TransactionError,
+)
+from repro.models.relational.schema import Column, ColumnType, TableSchema
+
+SCHEMA = TableSchema(
+    "t",
+    (Column("id", ColumnType.INTEGER, nullable=False),
+     Column("v", ColumnType.INTEGER)),
+    primary_key=("id",),
+)
+
+
+@pytest.fixture()
+def db() -> MultiModelDatabase:
+    database = MultiModelDatabase()
+    database.create_table(SCHEMA)
+    with database.transaction() as tx:
+        tx.sql_insert("t", {"id": 1, "v": 10})
+    return database
+
+
+class TestLifecycle:
+    def test_commit_makes_writes_visible(self, db):
+        with db.transaction() as tx:
+            tx.sql_update("t", (1,), {"v": 11})
+        with db.transaction() as tx:
+            assert tx.sql_get("t", (1,))["v"] == 11
+
+    def test_abort_discards_writes(self, db):
+        session = db.begin()
+        session.sql_update("t", (1,), {"v": 99})
+        session.abort()
+        with db.transaction() as tx:
+            assert tx.sql_get("t", (1,))["v"] == 10
+
+    def test_exception_in_context_aborts(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction() as tx:
+                tx.sql_update("t", (1,), {"v": 99})
+                raise RuntimeError("boom")
+        with db.transaction() as tx:
+            assert tx.sql_get("t", (1,))["v"] == 10
+
+    def test_use_after_commit_rejected(self, db):
+        session = db.begin()
+        session.commit()
+        with pytest.raises(TransactionError):
+            session.sql_get("t", (1,))
+
+    def test_double_commit_rejected(self, db):
+        session = db.begin()
+        session.commit()
+        with pytest.raises(TransactionError):
+            session.commit()
+
+    def test_read_only_commit_does_not_advance_ts(self, db):
+        before = db.manager.current_ts
+        with db.transaction() as tx:
+            tx.sql_get("t", (1,))
+        assert db.manager.current_ts == before
+
+    def test_read_your_own_writes(self, db):
+        with db.transaction() as tx:
+            tx.sql_update("t", (1,), {"v": 42})
+            assert tx.sql_get("t", (1,))["v"] == 42
+
+    def test_read_your_own_delete(self, db):
+        with db.transaction() as tx:
+            tx.sql_delete("t", (1,))
+            assert tx.sql_get("t", (1,)) is None
+
+
+class TestSnapshotIsolation:
+    def test_snapshot_sees_start_state(self, db):
+        reader = db.begin(IsolationLevel.SNAPSHOT)
+        with db.transaction() as writer:
+            writer.sql_update("t", (1,), {"v": 77})
+        assert reader.sql_get("t", (1,))["v"] == 10
+        reader.abort()
+
+    def test_first_committer_wins(self, db):
+        t1 = db.begin(IsolationLevel.SNAPSHOT)
+        t2 = db.begin(IsolationLevel.SNAPSHOT)
+        t1.sql_update("t", (1,), {"v": 1})
+        t2.sql_update("t", (1,), {"v": 2})
+        t1.commit()
+        with pytest.raises(SerializationConflict):
+            t2.commit()
+
+    def test_disjoint_writes_both_commit(self, db):
+        with db.transaction() as tx:
+            tx.sql_insert("t", {"id": 2, "v": 20})
+        t1 = db.begin(IsolationLevel.SNAPSHOT)
+        t2 = db.begin(IsolationLevel.SNAPSHOT)
+        t1.sql_update("t", (1,), {"v": 1})
+        t2.sql_update("t", (2,), {"v": 2})
+        t1.commit()
+        t2.commit()  # no conflict
+
+    def test_conflict_loser_is_aborted(self, db):
+        t1 = db.begin(IsolationLevel.SNAPSHOT)
+        t2 = db.begin(IsolationLevel.SNAPSHOT)
+        t1.sql_update("t", (1,), {"v": 1})
+        t2.sql_update("t", (1,), {"v": 2})
+        t1.commit()
+        with pytest.raises(SerializationConflict):
+            t2.commit()
+        assert t2.txn.txn_id not in db.manager.active
+
+    def test_snapshot_scan_stable(self, db):
+        reader = db.begin(IsolationLevel.SNAPSHOT)
+        with db.transaction() as writer:
+            writer.sql_insert("t", {"id": 2, "v": 20})
+        rows = list(reader.sql_scan("t"))
+        assert len(rows) == 1
+        reader.abort()
+
+
+class TestReadCommitted:
+    def test_sees_latest_committed(self, db):
+        reader = db.begin(IsolationLevel.READ_COMMITTED)
+        assert reader.sql_get("t", (1,))["v"] == 10
+        with db.transaction() as writer:
+            writer.sql_update("t", (1,), {"v": 20})
+        assert reader.sql_get("t", (1,))["v"] == 20
+        reader.abort()
+
+    def test_never_sees_uncommitted(self, db):
+        writer = db.begin(IsolationLevel.READ_COMMITTED)
+        writer.sql_update("t", (1,), {"v": 99})
+        reader = db.begin(IsolationLevel.READ_COMMITTED)
+        assert reader.sql_get("t", (1,))["v"] == 10
+        writer.abort()
+        reader.abort()
+
+    def test_no_conflict_check(self, db):
+        t1 = db.begin(IsolationLevel.READ_COMMITTED)
+        t2 = db.begin(IsolationLevel.READ_COMMITTED)
+        t1.sql_update("t", (1,), {"v": 1})
+        t2.sql_update("t", (1,), {"v": 2})
+        t1.commit()
+        t2.commit()  # lost update allowed at RC
+        with db.transaction() as tx:
+            assert tx.sql_get("t", (1,))["v"] == 2
+
+
+class TestReadUncommitted:
+    def test_sees_dirty_write(self, db):
+        writer = db.begin(IsolationLevel.SNAPSHOT)
+        writer.sql_update("t", (1,), {"v": 666})
+        reader = db.begin(IsolationLevel.READ_UNCOMMITTED)
+        assert reader.sql_get("t", (1,))["v"] == 666
+        writer.abort()
+        assert reader.sql_get("t", (1,))["v"] == 10
+        reader.abort()
+
+    def test_scan_includes_dirty_insert(self, db):
+        writer = db.begin(IsolationLevel.SNAPSHOT)
+        writer.sql_insert("t", {"id": 5, "v": 50})
+        reader = db.begin(IsolationLevel.READ_UNCOMMITTED)
+        assert len(list(reader.sql_scan("t"))) == 2
+        writer.abort()
+        reader.abort()
+
+
+class TestSerializable:
+    def test_single_txn_unaffected(self, db):
+        with db.transaction(IsolationLevel.SERIALIZABLE) as tx:
+            tx.sql_update("t", (1,), {"v": 5})
+        with db.transaction() as tx:
+            assert tx.sql_get("t", (1,))["v"] == 5
+
+    def test_write_blocks_reader(self, db):
+        from repro.engine.locks import WouldBlock
+
+        writer = db.begin(IsolationLevel.SERIALIZABLE)
+        writer.sql_update("t", (1,), {"v": 5})
+        reader = db.begin(IsolationLevel.SERIALIZABLE)
+        with pytest.raises(WouldBlock):
+            reader.sql_get("t", (1,))
+        writer.commit()
+        assert reader.sql_get("t", (1,))["v"] == 5
+        reader.abort()
+
+    def test_locks_released_on_abort(self, db):
+        writer = db.begin(IsolationLevel.SERIALIZABLE)
+        writer.sql_update("t", (1,), {"v": 5})
+        writer.abort()
+        reader = db.begin(IsolationLevel.SERIALIZABLE)
+        assert reader.sql_get("t", (1,))["v"] == 10
+        reader.abort()
+
+
+class TestVacuum:
+    def test_vacuum_prunes_old_versions(self, db):
+        key = RecordKey(Model.RELATIONAL, "t", (1,))
+        for v in range(5):
+            with db.transaction() as tx:
+                tx.sql_update("t", (1,), {"v": v})
+        chain = db.store.chain(key)
+        assert len(chain) == 6
+        pruned = db.vacuum()
+        assert pruned >= 4
+        assert len(db.store.chain(key)) <= 2
+        with db.transaction() as tx:
+            assert tx.sql_get("t", (1,))["v"] == 4
+
+    def test_vacuum_respects_active_snapshot(self, db):
+        reader = db.begin(IsolationLevel.SNAPSHOT)
+        for v in range(3):
+            with db.transaction() as tx:
+                tx.sql_update("t", (1,), {"v": v})
+        db.vacuum()
+        assert reader.sql_get("t", (1,))["v"] == 10
+        reader.abort()
+
+    def test_vacuum_drops_dead_records(self, db):
+        with db.transaction() as tx:
+            tx.sql_delete("t", (1,))
+        db.vacuum()
+        key = RecordKey(Model.RELATIONAL, "t", (1,))
+        assert db.store.chain(key) is None
+
+    def test_insert_after_vacuumed_delete(self, db):
+        with db.transaction() as tx:
+            tx.sql_delete("t", (1,))
+        db.vacuum()
+        with db.transaction() as tx:
+            tx.sql_insert("t", {"id": 1, "v": 100})
+        with db.transaction() as tx:
+            assert tx.sql_get("t", (1,))["v"] == 100
+
+
+class TestConstraintsAcrossTransactions:
+    def test_duplicate_insert_same_txn(self, db):
+        with pytest.raises(ConstraintError):
+            with db.transaction() as tx:
+                tx.sql_insert("t", {"id": 9, "v": 1})
+                tx.sql_insert("t", {"id": 9, "v": 2})
+
+    def test_duplicate_insert_across_committed(self, db):
+        with pytest.raises(ConstraintError):
+            with db.transaction() as tx:
+                tx.sql_insert("t", {"id": 1, "v": 1})
+
+    def test_concurrent_inserts_conflict_at_snapshot(self, db):
+        t1 = db.begin(IsolationLevel.SNAPSHOT)
+        t2 = db.begin(IsolationLevel.SNAPSHOT)
+        t1.sql_insert("t", {"id": 7, "v": 1})
+        t2.sql_insert("t", {"id": 7, "v": 2})
+        t1.commit()
+        with pytest.raises(SerializationConflict):
+            t2.commit()

@@ -1,0 +1,189 @@
+"""Document model: validation, collections, JSONPath subset."""
+
+import pytest
+
+from repro.errors import DocumentError
+from repro.models.document import (
+    Document,
+    DocumentCollection,
+    JsonPath,
+    deep_copy_json,
+    json_equal,
+    jsonpath,
+    validate_json_value,
+)
+
+
+class TestValidation:
+    def test_scalars_pass(self):
+        for value in (None, True, 1, 1.5, "x"):
+            validate_json_value(value)
+
+    def test_nested_pass(self):
+        validate_json_value({"a": [1, {"b": None}]})
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(DocumentError):
+            validate_json_value({1: "x"})
+
+    def test_non_json_type_rejected(self):
+        with pytest.raises(DocumentError):
+            validate_json_value({"a": object()})
+
+    def test_error_reports_path(self):
+        with pytest.raises(DocumentError, match=r"\$\.a\[0\]"):
+            validate_json_value({"a": [set()]})
+
+
+class TestDeepCopy:
+    def test_copy_is_independent(self):
+        original = {"a": [1, {"b": 2}]}
+        copy = deep_copy_json(original)
+        copy["a"][1]["b"] = 99
+        assert original["a"][1]["b"] == 2
+
+    def test_json_equal_numeric_coercion(self):
+        assert json_equal({"x": 10}, {"x": 10.0})
+
+    def test_json_equal_bool_not_numeric(self):
+        assert not json_equal(True, 1.0) or json_equal(True, True)
+        assert json_equal(True, True)
+
+    def test_json_equal_detects_key_diff(self):
+        assert not json_equal({"a": 1}, {"b": 1})
+
+    def test_json_equal_lists(self):
+        assert json_equal([1, [2]], [1.0, [2.0]])
+        assert not json_equal([1], [1, 2])
+
+
+class TestDocument:
+    def test_requires_id(self):
+        with pytest.raises(DocumentError):
+            Document({"x": 1})
+
+    def test_id_must_be_scalar(self):
+        with pytest.raises(DocumentError):
+            Document({"_id": [1]})
+        with pytest.raises(DocumentError):
+            Document({"_id": True})
+
+    def test_id_property(self):
+        assert Document({"_id": "a"}).id == "a"
+
+
+class TestDocumentCollection:
+    def test_insert_get(self):
+        coll = DocumentCollection("c")
+        coll.insert({"_id": 1, "v": "x"})
+        assert coll.get(1)["v"] == "x"
+
+    def test_duplicate_insert_rejected(self):
+        coll = DocumentCollection("c")
+        coll.insert({"_id": 1})
+        with pytest.raises(DocumentError):
+            coll.insert({"_id": 1})
+
+    def test_update_merges(self):
+        coll = DocumentCollection("c")
+        coll.insert({"_id": 1, "a": 1, "b": 2})
+        coll.update(1, {"b": 3})
+        doc = coll.get(1)
+        assert (doc["a"], doc["b"]) == (1, 3)
+
+    def test_update_cannot_change_id(self):
+        coll = DocumentCollection("c")
+        coll.insert({"_id": 1})
+        with pytest.raises(DocumentError):
+            coll.update(1, {"_id": 2})
+
+    def test_get_returns_copy(self):
+        coll = DocumentCollection("c")
+        coll.insert({"_id": 1, "list": [1]})
+        coll.get(1)["list"].append(2)
+        assert coll.get(1)["list"] == [1]
+
+    def test_find_by_fields(self):
+        coll = DocumentCollection("c")
+        coll.insert({"_id": 1, "k": "a"})
+        coll.insert({"_id": 2, "k": "b"})
+        assert [d.id for d in coll.find(k="b")] == [2]
+
+    def test_scan_with_filter(self):
+        coll = DocumentCollection("c")
+        for i in range(5):
+            coll.insert({"_id": i, "even": i % 2 == 0})
+        evens = list(coll.scan(lambda d: d["even"]))
+        assert len(evens) == 3
+
+    def test_delete(self):
+        coll = DocumentCollection("c")
+        coll.insert({"_id": 1})
+        assert coll.delete(1) and not coll.delete(1)
+
+
+class TestJsonPath:
+    DOC = {
+        "store": {
+            "book": [
+                {"title": "A", "price": 10},
+                {"title": "B", "price": 20},
+            ],
+            "bike": {"price": 100},
+        }
+    }
+
+    def test_member_access(self):
+        assert jsonpath("$.store.bike.price", self.DOC) == [100]
+
+    def test_array_index(self):
+        assert jsonpath("$.store.book[1].title", self.DOC) == ["B"]
+
+    def test_negative_index(self):
+        assert jsonpath("$.store.book[-1].title", self.DOC) == ["B"]
+
+    def test_out_of_range_index_is_empty(self):
+        assert jsonpath("$.store.book[9]", self.DOC) == []
+
+    def test_wildcard_array(self):
+        assert jsonpath("$.store.book[*].price", self.DOC) == [10, 20]
+
+    def test_wildcard_members(self):
+        prices = jsonpath("$.store.*", self.DOC)
+        assert len(prices) == 2
+
+    def test_recursive_descent(self):
+        assert sorted(jsonpath("$..price", self.DOC)) == [10, 20, 100]
+
+    def test_recursive_descent_wildcard(self):
+        assert len(jsonpath("$..*", {"a": {"b": 1}})) == 2
+
+    def test_quoted_member(self):
+        assert jsonpath("$['store'].bike.price", self.DOC) == [100]
+
+    def test_missing_member_is_empty(self):
+        assert jsonpath("$.nothing", self.DOC) == []
+
+    def test_first_with_default(self):
+        assert JsonPath("$.nothing").first(self.DOC, default=-1) == -1
+
+    def test_exists(self):
+        assert JsonPath("$.store").exists(self.DOC)
+        assert not JsonPath("$.zzz").exists(self.DOC)
+
+    def test_must_start_with_dollar(self):
+        with pytest.raises(DocumentError):
+            JsonPath("store.bike")
+
+    def test_unclosed_bracket_rejected(self):
+        with pytest.raises(DocumentError):
+            JsonPath("$.a[0")
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(DocumentError):
+            JsonPath("$.a[x]")
+
+    def test_reusable_parse(self):
+        path = JsonPath("$..title")
+        assert path.find(self.DOC) == ["A", "B"]
+        assert path.find({"title": "C"}) == ["C"]

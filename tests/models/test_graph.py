@@ -1,0 +1,254 @@
+"""Property graph: structure, traversals, algorithms."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.models.graph import (
+    PropertyGraph,
+    bfs_layers,
+    connected_components,
+    neighbors_within,
+    pagerank,
+    shortest_path,
+    triangle_count,
+    weighted_shortest_path,
+)
+from repro.models.graph.algorithms import degree_histogram
+from repro.models.graph.traversal import paths_up_to
+
+
+def chain_graph(n: int = 5) -> PropertyGraph:
+    g = PropertyGraph("chain")
+    for i in range(n):
+        g.add_vertex(i, "node")
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, "next", weight=float(i + 1))
+    return g
+
+
+class TestStructure:
+    def test_add_and_get_vertex(self):
+        g = PropertyGraph()
+        g.add_vertex(1, "p", name="x")
+        assert g.vertex(1).properties["name"] == "x"
+
+    def test_duplicate_vertex_rejected(self):
+        g = PropertyGraph()
+        g.add_vertex(1, "p")
+        with pytest.raises(GraphError):
+            g.add_vertex(1, "p")
+
+    def test_edge_requires_endpoints(self):
+        g = PropertyGraph()
+        g.add_vertex(1, "p")
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, "e")
+
+    def test_multi_edges_allowed(self):
+        g = PropertyGraph()
+        g.add_vertex(1, "p")
+        g.add_vertex(2, "p")
+        g.add_edge(1, 2, "e")
+        g.add_edge(1, 2, "e")
+        assert len(g.edges_between(1, 2)) == 2
+
+    def test_remove_vertex_cascades_edges(self):
+        g = chain_graph(3)
+        g.remove_vertex(1)
+        assert g.edge_count() == 0
+        assert g.vertex_count() == 2
+
+    def test_remove_edge(self):
+        g = PropertyGraph()
+        g.add_vertex(1, "p")
+        g.add_vertex(2, "p")
+        e = g.add_edge(1, 2, "e")
+        g.remove_edge(e.id)
+        assert g.edge_count() == 0
+        with pytest.raises(GraphError):
+            g.remove_edge(e.id)
+
+    def test_update_vertex(self):
+        g = PropertyGraph()
+        g.add_vertex(1, "p", a=1)
+        g.update_vertex(1, b=2)
+        assert g.vertex(1).properties == {"a": 1, "b": 2}
+
+    def test_vertices_filter_by_label(self):
+        g = PropertyGraph()
+        g.add_vertex(1, "a")
+        g.add_vertex(2, "b")
+        assert [v.id for v in g.vertices("a")] == [1]
+
+    def test_edges_filter_by_label(self):
+        g = PropertyGraph()
+        g.add_vertex(1, "p")
+        g.add_vertex(2, "p")
+        g.add_edge(1, 2, "x")
+        g.add_edge(2, 1, "y")
+        assert len(list(g.edges("x"))) == 1
+
+    def test_degree(self):
+        g = chain_graph(3)
+        assert g.degree(1) == 2
+        assert g.degree(0) == 1
+
+    def test_copies_are_isolated(self):
+        g = PropertyGraph()
+        g.add_vertex(1, "p", tags=["a"])
+        v = g.vertex(1)
+        v.properties["tags"].append("b")
+        # vertex() returns a copy of the Vertex but property dict is shared
+        # shallowly at the value level; top-level dict must be isolated
+        v.properties["new"] = 1
+        assert "new" not in g.vertex(1).properties
+
+    def test_subgraph_induced(self):
+        g = chain_graph(4)
+        sub = g.subgraph({0, 1, 2})
+        assert sub.vertex_count() == 3
+        assert sub.edge_count() == 2
+
+    def test_copy_deep(self):
+        g = chain_graph(3)
+        clone = g.copy()
+        clone.add_vertex(99, "p")
+        assert not g.has_vertex(99)
+
+
+class TestTraversal:
+    def test_bfs_layers(self):
+        g = chain_graph(4)
+        layers = bfs_layers(g, 0, 2)
+        assert layers == [[0], [1], [2]]
+
+    def test_bfs_direction_in(self):
+        g = chain_graph(3)
+        layers = bfs_layers(g, 2, 2, direction="in")
+        assert layers == [[2], [1], [0]]
+
+    def test_bfs_direction_both(self):
+        g = chain_graph(3)
+        layers = bfs_layers(g, 1, 1, direction="both")
+        assert sorted(layers[1]) == [0, 2]
+
+    def test_bfs_bad_direction(self):
+        with pytest.raises(GraphError):
+            bfs_layers(chain_graph(2), 0, 1, direction="sideways")
+
+    def test_neighbors_within_range(self):
+        g = chain_graph(5)
+        assert neighbors_within(g, 0, 2, 3) == [2, 3]
+
+    def test_neighbors_within_includes_self_at_zero(self):
+        g = chain_graph(3)
+        assert neighbors_within(g, 0, 0, 1) == [0, 1]
+
+    def test_neighbors_bad_range(self):
+        with pytest.raises(GraphError):
+            neighbors_within(chain_graph(2), 0, 2, 1)
+
+    def test_edge_label_filtering(self):
+        g = PropertyGraph()
+        for i in range(3):
+            g.add_vertex(i, "p")
+        g.add_edge(0, 1, "a")
+        g.add_edge(0, 2, "b")
+        assert neighbors_within(g, 0, 1, 1, edge_label="a") == [1]
+
+    def test_shortest_path_found(self):
+        g = chain_graph(5)
+        assert shortest_path(g, 0, 4) == [0, 1, 2, 3, 4]
+
+    def test_shortest_path_self(self):
+        g = chain_graph(2)
+        assert shortest_path(g, 0, 0) == [0]
+
+    def test_shortest_path_unreachable(self):
+        g = chain_graph(3)
+        assert shortest_path(g, 2, 0) is None  # directed
+
+    def test_weighted_shortest_path(self):
+        g = PropertyGraph()
+        for i in range(4):
+            g.add_vertex(i, "p")
+        g.add_edge(0, 1, "e", w=1.0)
+        g.add_edge(1, 3, "e", w=1.0)
+        g.add_edge(0, 2, "e", w=5.0)
+        g.add_edge(2, 3, "e", w=0.5)
+        path, cost = weighted_shortest_path(g, 0, 3, lambda e: e.properties["w"])
+        assert path == [0, 1, 3]
+        assert cost == 2.0
+
+    def test_weighted_negative_rejected(self):
+        g = PropertyGraph()
+        g.add_vertex(0, "p")
+        g.add_vertex(1, "p")
+        g.add_edge(0, 1, "e", w=-1.0)
+        with pytest.raises(GraphError):
+            weighted_shortest_path(g, 0, 1, lambda e: e.properties["w"])
+
+    def test_paths_up_to_simple_paths_only(self):
+        g = PropertyGraph()
+        for i in range(3):
+            g.add_vertex(i, "p")
+        g.add_edge(0, 1, "e")
+        g.add_edge(1, 2, "e")
+        g.add_edge(2, 0, "e")  # cycle
+        paths = paths_up_to(g, 0, 3)
+        assert [0, 1, 2] in paths
+        assert all(len(set(p)) == len(p) for p in paths)
+
+
+class TestAlgorithms:
+    def test_pagerank_sums_to_one(self):
+        g = chain_graph(5)
+        ranks = pagerank(g)
+        assert abs(sum(ranks.values()) - 1.0) < 1e-6
+
+    def test_pagerank_sink_gets_most(self):
+        g = PropertyGraph()
+        for i in range(4):
+            g.add_vertex(i, "p")
+        for i in range(3):
+            g.add_edge(i, 3, "e")
+        ranks = pagerank(g)
+        assert ranks[3] == max(ranks.values())
+
+    def test_pagerank_empty_graph(self):
+        assert pagerank(PropertyGraph()) == {}
+
+    def test_pagerank_bad_damping(self):
+        with pytest.raises(GraphError):
+            pagerank(chain_graph(2), damping=1.5)
+
+    def test_connected_components(self):
+        g = PropertyGraph()
+        for i in range(5):
+            g.add_vertex(i, "p")
+        g.add_edge(0, 1, "e")
+        g.add_edge(3, 4, "e")
+        comps = connected_components(g)
+        assert sorted(len(c) for c in comps) == [1, 2, 2]
+
+    def test_components_ignore_direction(self):
+        g = chain_graph(4)
+        assert len(connected_components(g)) == 1
+
+    def test_triangle_count(self):
+        g = PropertyGraph()
+        for i in range(4):
+            g.add_vertex(i, "p")
+        g.add_edge(0, 1, "e")
+        g.add_edge(1, 2, "e")
+        g.add_edge(2, 0, "e")
+        g.add_edge(2, 3, "e")
+        assert triangle_count(g) == 1
+
+    def test_triangle_count_no_triangles(self):
+        assert triangle_count(chain_graph(5)) == 0
+
+    def test_degree_histogram(self):
+        g = chain_graph(3)
+        hist = degree_histogram(g)
+        assert hist == {1: 2, 2: 1}

@@ -1,0 +1,106 @@
+"""Key-value namespace: ordering, scans, isolation of returned values."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KeyValueError
+from repro.models.kv import KeyValueNamespace
+
+
+class TestBasics:
+    def test_put_get(self):
+        ns = KeyValueNamespace("n")
+        ns.put("a", 1)
+        assert ns.get("a") == 1
+
+    def test_get_default(self):
+        assert KeyValueNamespace("n").get("missing", default=42) == 42
+
+    def test_overwrite_keeps_single_key(self):
+        ns = KeyValueNamespace("n")
+        ns.put("a", 1)
+        ns.put("a", 2)
+        assert ns.get("a") == 2
+        assert len(ns) == 1
+
+    def test_delete(self):
+        ns = KeyValueNamespace("n")
+        ns.put("a", 1)
+        assert ns.delete("a") and not ns.delete("a")
+        assert "a" not in ns
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(KeyValueError):
+            KeyValueNamespace("n").put("", 1)
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(KeyValueError):
+            KeyValueNamespace("n").get(5)  # type: ignore[arg-type]
+
+    def test_returned_values_are_copies(self):
+        ns = KeyValueNamespace("n")
+        ns.put("a", {"x": [1]})
+        ns.get("a")["x"].append(2)
+        assert ns.get("a") == {"x": [1]}
+
+    def test_clear(self):
+        ns = KeyValueNamespace("n")
+        ns.put("a", 1)
+        ns.clear()
+        assert len(ns) == 0 and ns.keys() == []
+
+
+class TestScans:
+    def setup_method(self):
+        self.ns = KeyValueNamespace("n")
+        for key in ["p1/c1", "p1/c2", "p2/c1", "q1/c1"]:
+            self.ns.put(key, key.upper())
+
+    def test_keys_sorted(self):
+        assert self.ns.keys() == sorted(self.ns.keys())
+
+    def test_prefix_scan(self):
+        assert [k for k, _ in self.ns.scan_prefix("p1/")] == ["p1/c1", "p1/c2"]
+
+    def test_prefix_scan_empty(self):
+        assert list(self.ns.scan_prefix("zz")) == []
+
+    def test_range_scan_half_open(self):
+        assert [k for k, _ in self.ns.scan_range("p1/c2", "q1/c1")] == [
+            "p1/c2", "p2/c1",
+        ]
+
+    def test_range_scan_bad_bounds(self):
+        with pytest.raises(KeyValueError):
+            list(self.ns.scan_range("z", "a"))
+
+    def test_items_in_order(self):
+        assert [k for k, _ in self.ns.items()] == self.ns.keys()
+
+
+class TestSortedInvariant:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.text(min_size=1, max_size=6), st.integers()),
+            max_size=30,
+        ),
+        st.lists(st.text(min_size=1, max_size=6), max_size=10),
+    )
+    def test_sorted_keys_match_data_after_mixed_ops(self, puts, deletes):
+        ns = KeyValueNamespace("n")
+        for key, value in puts:
+            ns.put(key, value)
+        for key in deletes:
+            ns.delete(key)
+        assert ns.keys() == sorted({k for k, _ in puts} - set(deletes))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.text(min_size=1, max_size=4), min_size=1, max_size=20), st.text(max_size=2))
+    def test_prefix_scan_equals_filter(self, keys, prefix):
+        ns = KeyValueNamespace("n")
+        for i, key in enumerate(keys):
+            ns.put(key, i)
+        got = [k for k, _ in ns.scan_prefix(prefix)]
+        expected = sorted({k for k in keys if k.startswith(prefix)})
+        assert got == expected

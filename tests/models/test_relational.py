@@ -1,0 +1,285 @@
+"""Relational model: schemas, constraints, tables, predicates."""
+
+import pytest
+
+from repro.errors import ConstraintError, SchemaError, TypeMismatchError
+from repro.models.relational import (
+    And,
+    Column,
+    ColumnType,
+    Comparison,
+    DatabaseSchema,
+    ForeignKey,
+    Lambda,
+    Not,
+    Op,
+    Or,
+    RelationalTable,
+    TableSchema,
+    TruePredicate,
+)
+
+
+def make_schema(**overrides) -> TableSchema:
+    params = dict(
+        name="people",
+        columns=(
+            Column("id", ColumnType.INTEGER, nullable=False),
+            Column("name", ColumnType.TEXT),
+            Column("age", ColumnType.INTEGER),
+        ),
+        primary_key=("id",),
+    )
+    params.update(overrides)
+    return TableSchema(params["name"], params["columns"], params["primary_key"])
+
+
+class TestColumnTypes:
+    def test_integer_accepts_int(self):
+        ColumnType.INTEGER.validate(5)
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.INTEGER.validate(True)
+
+    def test_integer_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.INTEGER.validate("5")
+
+    def test_float_accepts_int_and_float(self):
+        ColumnType.FLOAT.validate(5)
+        ColumnType.FLOAT.validate(5.5)
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.FLOAT.validate(False)
+
+    def test_boolean_accepts_bool(self):
+        ColumnType.BOOLEAN.validate(True)
+
+    def test_date_accepts_iso(self):
+        ColumnType.DATE.validate("2016-01-31")
+
+    def test_date_rejects_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.DATE.validate("January 1st")
+
+    def test_date_rejects_bad_month(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.DATE.validate("2016-13-01")
+
+    def test_none_always_passes_type_check(self):
+        ColumnType.INTEGER.validate(None)
+
+    def test_json_accepts_nested(self):
+        ColumnType.JSON.validate({"a": [1, 2]})
+
+
+class TestColumn:
+    def test_not_null_rejected(self):
+        col = Column("x", ColumnType.INTEGER, nullable=False)
+        with pytest.raises(TypeMismatchError):
+            col.validate(None)
+
+    def test_nullable_accepts_none(self):
+        Column("x", ColumnType.INTEGER).validate(None)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", ColumnType.TEXT)
+
+    def test_default_must_match_type(self):
+        with pytest.raises(TypeMismatchError):
+            Column("x", ColumnType.INTEGER, default="zero")
+
+
+class TestTableSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", (Column("a", ColumnType.TEXT), Column("a", ColumnType.TEXT)))
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", (Column("a", ColumnType.TEXT),), primary_key=("b",))
+
+    def test_validate_row_fills_defaults(self):
+        schema = TableSchema(
+            "t",
+            (Column("id", ColumnType.INTEGER, nullable=False),
+             Column("n", ColumnType.INTEGER, default=7)),
+            primary_key=("id",),
+        )
+        row = schema.validate_row({"id": 1})
+        assert row["n"] == 7
+
+    def test_validate_row_rejects_unknown_columns(self):
+        with pytest.raises(SchemaError):
+            make_schema().validate_row({"id": 1, "nope": 2})
+
+    def test_with_column_bumps_version(self):
+        schema = make_schema()
+        evolved = schema.with_column(Column("email", ColumnType.TEXT))
+        assert evolved.version == schema.version + 1
+        assert evolved.has_column("email")
+        assert not schema.has_column("email")
+
+    def test_without_column(self):
+        evolved = make_schema().without_column("age")
+        assert not evolved.has_column("age")
+
+    def test_cannot_drop_pk_column(self):
+        with pytest.raises(SchemaError):
+            make_schema().without_column("id")
+
+    def test_rename_updates_pk_and_fks(self):
+        schema = TableSchema(
+            "t",
+            (Column("id", ColumnType.INTEGER, nullable=False),
+             Column("ref", ColumnType.INTEGER)),
+            primary_key=("id",),
+            foreign_keys=(ForeignKey("ref", "other", "id"),),
+        )
+        evolved = schema.with_renamed_column("ref", "other_id")
+        assert evolved.foreign_keys[0].column == "other_id"
+        evolved2 = schema.with_renamed_column("id", "pk")
+        assert evolved2.primary_key == ("pk",)
+
+    def test_retype_column(self):
+        evolved = make_schema().with_retyped_column("age", ColumnType.TEXT)
+        assert evolved.column("age").type is ColumnType.TEXT
+
+    def test_database_schema_fk_validation(self):
+        orders = TableSchema(
+            "orders",
+            (Column("id", ColumnType.INTEGER, nullable=False),
+             Column("cust", ColumnType.INTEGER)),
+            primary_key=("id",),
+            foreign_keys=(ForeignKey("cust", "customers", "id"),),
+        )
+        db = DatabaseSchema((orders,))
+        with pytest.raises(SchemaError):
+            db.validate_foreign_keys()
+
+
+class TestRelationalTable:
+    def test_insert_and_get(self):
+        table = RelationalTable(make_schema())
+        table.insert({"id": 1, "name": "a", "age": 30})
+        assert table.get((1,))["name"] == "a"
+
+    def test_duplicate_pk_rejected(self):
+        table = RelationalTable(make_schema())
+        table.insert({"id": 1})
+        with pytest.raises(ConstraintError):
+            table.insert({"id": 1})
+
+    def test_upsert_replaces(self):
+        table = RelationalTable(make_schema())
+        table.insert({"id": 1, "name": "a"})
+        table.upsert({"id": 1, "name": "b"})
+        assert table.get((1,))["name"] == "b"
+        assert len(table) == 1
+
+    def test_update_merges_changes(self):
+        table = RelationalTable(make_schema())
+        table.insert({"id": 1, "name": "a", "age": 30})
+        table.update((1,), {"age": 31})
+        row = table.get((1,))
+        assert (row["age"], row["name"]) == (31, "a")
+
+    def test_update_missing_row_raises(self):
+        table = RelationalTable(make_schema())
+        with pytest.raises(ConstraintError):
+            table.update((9,), {"age": 1})
+
+    def test_delete(self):
+        table = RelationalTable(make_schema())
+        table.insert({"id": 1})
+        assert table.delete((1,)) is True
+        assert table.delete((1,)) is False
+
+    def test_delete_where(self):
+        table = RelationalTable(make_schema())
+        for i in range(10):
+            table.insert({"id": i, "age": i * 10})
+        removed = table.delete_where(Comparison("age", Op.GE, 50))
+        assert removed == 5
+        assert len(table) == 5
+
+    def test_scan_returns_copies(self):
+        table = RelationalTable(make_schema())
+        table.insert({"id": 1, "name": "a"})
+        row = next(table.scan())
+        row["name"] = "mutated"
+        assert table.get((1,))["name"] == "a"
+
+    def test_select_projection(self):
+        table = RelationalTable(make_schema())
+        table.insert({"id": 1, "name": "a", "age": 3})
+        rows = table.select(columns=["name"])
+        assert rows == [{"name": "a"}]
+
+    def test_select_unknown_column_raises(self):
+        table = RelationalTable(make_schema())
+        with pytest.raises(SchemaError):
+            table.select(columns=["nope"])
+
+    def test_migrate_projects_rows(self):
+        table = RelationalTable(make_schema())
+        table.insert({"id": 1, "name": "a", "age": 3})
+        new_schema = make_schema().without_column("age")
+        table.migrate(new_schema)
+        assert "age" not in table.get((1,))
+
+    def test_migrate_with_transform(self):
+        table = RelationalTable(make_schema())
+        table.insert({"id": 1, "name": "a", "age": 3})
+        new_schema = make_schema().with_renamed_column("age", "years")
+
+        def transform(row):
+            row["years"] = row.pop("age")
+            return row
+
+        table.migrate(new_schema, transform)
+        assert table.get((1,))["years"] == 3
+
+
+class TestPredicates:
+    ROW = {"a": 5, "b": "hello", "c": None}
+
+    def test_comparison_eq(self):
+        assert Comparison("a", Op.EQ, 5).matches(self.ROW)
+
+    def test_comparison_against_none_is_false(self):
+        assert not Comparison("c", Op.GT, 1).matches(self.ROW)
+
+    def test_ne_with_none(self):
+        assert Comparison("c", Op.NE, 1).matches(self.ROW)
+
+    def test_like_is_substring(self):
+        assert Comparison("b", Op.LIKE, "ell").matches(self.ROW)
+
+    def test_in_operator(self):
+        assert Comparison("a", Op.IN, [4, 5]).matches(self.ROW)
+
+    def test_incomparable_types_are_false(self):
+        assert not Comparison("b", Op.LT, 3).matches(self.ROW)
+
+    def test_and_or_not_composition(self):
+        p = (Comparison("a", Op.GT, 1) & Comparison("b", Op.EQ, "hello")) | Not(
+            TruePredicate()
+        )
+        assert p.matches(self.ROW)
+
+    def test_operator_overloads(self):
+        p = ~Comparison("a", Op.EQ, 5)
+        assert not p.matches(self.ROW)
+        assert isinstance(
+            Comparison("a", Op.EQ, 5) & TruePredicate(), And
+        )
+        assert isinstance(
+            Comparison("a", Op.EQ, 5) | TruePredicate(), Or
+        )
+
+    def test_lambda_predicate(self):
+        assert Lambda(lambda r: r["a"] == 5).matches(self.ROW)

@@ -1,0 +1,256 @@
+"""XML model: nodes, parser, serializer, XPath subset, round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import XmlError, XPathError
+from repro.models.xml import (
+    XPath,
+    XmlElement,
+    XmlText,
+    element,
+    parse_xml,
+    serialize_xml,
+    text,
+    xpath,
+)
+
+
+class TestNodes:
+    def test_child_navigation(self):
+        tree = element("a", {}, element("b", {}, text("1")))
+        assert tree.child("b").text_content() == "1"
+
+    def test_child_missing_raises(self):
+        with pytest.raises(XmlError):
+            element("a").child("zzz")
+
+    def test_find_returns_none(self):
+        assert element("a").find("zzz") is None
+
+    def test_find_all(self):
+        tree = element("a", {}, element("b"), element("b"), element("c"))
+        assert len(tree.find_all("b")) == 2
+
+    def test_iter_depth_first(self):
+        tree = element("a", {}, element("b", {}, element("c")), element("d"))
+        assert [e.tag for e in tree.iter()] == ["a", "b", "c", "d"]
+
+    def test_text_content_concatenates(self):
+        tree = element("a", {}, text("x"), element("b", {}, text("y")), text("z"))
+        assert tree.text_content() == "xyz"
+
+    def test_invalid_tag_rejected(self):
+        with pytest.raises(XmlError):
+            XmlElement("1bad")
+
+    def test_attribute_set_get(self):
+        e = element("a")
+        e.set("k", "v")
+        assert e.get("k") == "v"
+        assert e.get("nope", "d") == "d"
+
+    def test_equality_structural(self):
+        a = element("x", {"k": "1"}, text("t"))
+        b = element("x", {"k": "1"}, text("t"))
+        assert a == b
+        assert a != element("x", {"k": "2"}, text("t"))
+
+
+class TestParser:
+    def test_simple(self):
+        tree = parse_xml("<a><b>hi</b></a>")
+        assert tree.tag == "a"
+        assert tree.child("b").text_content() == "hi"
+
+    def test_attributes_both_quotes(self):
+        tree = parse_xml("<a x='1' y=\"2\"/>")
+        assert tree.get("x") == "1" and tree.get("y") == "2"
+
+    def test_self_closing(self):
+        assert parse_xml("<a/>").children == []
+
+    def test_declaration_and_doctype_skipped(self):
+        tree = parse_xml('<?xml version="1.0"?><!DOCTYPE a><a/>')
+        assert tree.tag == "a"
+
+    def test_comments_skipped(self):
+        tree = parse_xml("<a><!-- hi --><b/></a>")
+        assert [c.tag for c in tree.element_children()] == ["b"]
+
+    def test_cdata_literal(self):
+        tree = parse_xml("<a><![CDATA[<not & parsed>]]></a>")
+        assert tree.text_content() == "<not & parsed>"
+
+    def test_entities_decoded(self):
+        tree = parse_xml("<a>&lt;&amp;&gt;&apos;&quot;</a>")
+        assert tree.text_content() == "<&>'\""
+
+    def test_numeric_entities(self):
+        assert parse_xml("<a>&#65;&#x42;</a>").text_content() == "AB"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XmlError):
+            parse_xml("<a>&nope;</a>")
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(XmlError):
+            parse_xml("<a><b></a></b>")
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(XmlError):
+            parse_xml("<a><b>")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(XmlError):
+            parse_xml("<a x='1' x='2'/>")
+
+    def test_content_after_root_rejected(self):
+        with pytest.raises(XmlError):
+            parse_xml("<a/><b/>")
+
+    def test_error_has_position(self):
+        with pytest.raises(XmlError, match="line 2"):
+            parse_xml("<a>\n<b></a>")
+
+    def test_whitespace_only_text_dropped(self):
+        tree = parse_xml("<a>\n  <b/>\n</a>")
+        assert all(isinstance(c, XmlElement) for c in tree.children)
+
+
+class TestSerializer:
+    def test_escaping(self):
+        tree = element("a", {"k": 'v"<'}, text("x<&>y"))
+        out = serialize_xml(tree)
+        assert "&lt;" in out and "&amp;" in out and "&quot;" in out
+
+    def test_declaration(self):
+        assert serialize_xml(element("a"), declaration=True).startswith("<?xml")
+
+    def test_pretty_nested(self):
+        tree = element("a", {}, element("b", {}, text("1")))
+        pretty = serialize_xml(tree, pretty=True)
+        assert pretty == "<a>\n  <b>1</b>\n</a>"
+
+    def test_roundtrip_simple(self):
+        source = '<inv id="1"><line n="1"><amt>5.00</amt></line></inv>'
+        assert serialize_xml(parse_xml(source)) == source
+
+
+# Hypothesis: random trees survive serialize -> parse round trips.
+
+tags = st.sampled_from(["a", "b", "item", "line", "x1"])
+attr_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=8
+)
+texts = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), min_size=1, max_size=12
+).filter(lambda s: s.strip() == s and s.strip() != "")
+
+
+def trees(depth: int = 3):
+    if depth == 0:
+        return st.builds(
+            lambda t, a: element(t, a),
+            tags,
+            st.dictionaries(st.sampled_from(["k", "n", "id"]), attr_values, max_size=2),
+        )
+    return st.builds(
+        lambda t, a, children: element(t, a, *children),
+        tags,
+        st.dictionaries(st.sampled_from(["k", "n", "id"]), attr_values, max_size=2),
+        st.lists(
+            st.one_of(st.builds(text, texts), trees(depth - 1)), max_size=3
+        ),
+    )
+
+
+def _normalize(node):
+    """Merge adjacent text children (XML has no adjacent-text identity)."""
+    if isinstance(node, XmlText):
+        return node
+    merged = []
+    for child in node.children:
+        child = _normalize(child)
+        if merged and isinstance(child, XmlText) and isinstance(merged[-1], XmlText):
+            merged[-1] = XmlText(merged[-1].value + child.value)
+        else:
+            merged.append(child)
+    return XmlElement(node.tag, dict(node.attributes), merged)
+
+
+class TestRoundtripProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(trees())
+    def test_parse_of_serialize_is_identity(self, tree):
+        # Text nodes that are pure whitespace are dropped by the parser
+        # (strategy only emits stripped non-empty text) and adjacent text
+        # nodes merge — normalisation makes the round trip exact.
+        assert parse_xml(serialize_xml(tree)) == _normalize(tree)
+
+    @settings(max_examples=60, deadline=None)
+    @given(trees())
+    def test_serialize_deterministic(self, tree):
+        assert serialize_xml(tree) == serialize_xml(tree)
+
+
+class TestXPath:
+    DOC = parse_xml(
+        """<invoice id="o1" date="2016-01-01">
+             <customer id="7"><name>Ada L</name><country>FI</country></customer>
+             <lines>
+               <line product="p1" quantity="2"><amount>10.00</amount></line>
+               <line product="p2" quantity="1"><amount>5.50</amount></line>
+             </lines>
+             <total>15.50</total>
+           </invoice>"""
+    )
+
+    def test_root_step(self):
+        assert xpath("/invoice/@id", self.DOC) == ["o1"]
+
+    def test_child_chain(self):
+        assert xpath("/invoice/customer/name/text()", self.DOC) == ["Ada L"]
+
+    def test_descendant(self):
+        assert xpath("//amount/text()", self.DOC) == ["10.00", "5.50"]
+
+    def test_attribute_of_children(self):
+        assert xpath("/invoice/lines/line/@product", self.DOC) == ["p1", "p2"]
+
+    def test_positional_predicate(self):
+        assert xpath("/invoice/lines/line[2]/@product", self.DOC) == ["p2"]
+
+    def test_attr_predicate(self):
+        assert xpath('//line[@product="p2"]/amount/text()', self.DOC) == ["5.50"]
+
+    def test_child_text_predicate(self):
+        assert xpath('//line[amount="10.00"]/@quantity', self.DOC) == ["2"]
+
+    def test_wildcard_step(self):
+        assert len(xpath("/invoice/lines/*", self.DOC)) == 2
+
+    def test_descendant_attribute(self):
+        assert xpath("//@quantity", self.DOC) == ["2", "1"]
+
+    def test_no_match_is_empty(self):
+        assert xpath("/invoice/nope", self.DOC) == []
+
+    def test_first_default(self):
+        assert XPath("/invoice/nope").first(self.DOC, default="x") == "x"
+
+    def test_requires_leading_slash(self):
+        with pytest.raises(XPathError):
+            XPath("invoice")
+
+    def test_attr_must_be_terminal(self):
+        with pytest.raises(XPathError):
+            XPath("/a/@b/c")
+
+    def test_bad_predicate_rejected(self):
+        with pytest.raises(XPathError):
+            XPath("/a[foo]")
+
+    def test_unquoted_predicate_value_rejected(self):
+        with pytest.raises(XPathError):
+            XPath("/a[@k=v]")

@@ -1,0 +1,348 @@
+"""MMQL execution: expressions, clauses, functions, planner behaviour."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.query.executor import Executor, run_query
+from repro.query.parser import parse
+from repro.query.planner import plan
+
+
+class ListContext:
+    """A minimal in-memory QueryContext over plain dict collections."""
+
+    def __init__(self, **collections):
+        self.collections = collections
+        self.kv = {}
+        self.index_calls = 0
+
+    def iter_collection(self, name):
+        return iter(self.collections[name])
+
+    def index_lookup(self, collection, field, value):
+        return None  # no indexes
+
+    def traverse(self, graph, start, min_depth, max_depth, label):
+        return iter([])
+
+    def vertices(self, graph, label):
+        return iter([])
+
+    def edges(self, graph, label):
+        return iter([])
+
+    def kv_get(self, namespace, key):
+        return self.kv.get(f"{namespace}/{key}")
+
+    def kv_prefix(self, namespace, prefix):
+        for k in sorted(self.kv):
+            if k.startswith(f"{namespace}/{prefix}"):
+                yield {"key": k, "value": self.kv[k]}
+
+    def xml_get(self, collection, doc_id):
+        return None
+
+    def shortest_path(self, graph, start, goal, label):
+        return None
+
+
+@pytest.fixture()
+def ctx():
+    return ListContext(
+        users=[
+            {"_id": 1, "name": "ada", "age": 30, "country": "FI"},
+            {"_id": 2, "name": "bob", "age": 20, "country": "FI"},
+            {"_id": 3, "name": "cyd", "age": 40, "country": "SE"},
+        ],
+        orders=[
+            {"_id": "o1", "user": 1, "total": 10.0},
+            {"_id": "o2", "user": 1, "total": 30.0},
+            {"_id": "o3", "user": 2, "total": 5.0},
+        ],
+    )
+
+
+class TestPipeline:
+    def test_filter_and_return(self, ctx):
+        out = run_query(ctx, "FOR u IN users FILTER u.age >= 30 RETURN u.name")
+        assert sorted(out) == ["ada", "cyd"]
+
+    def test_nested_for_is_join(self, ctx):
+        out = run_query(
+            ctx,
+            "FOR u IN users FOR o IN orders FILTER o.user == u._id "
+            "RETURN {name: u.name, total: o.total}",
+        )
+        assert len(out) == 3
+
+    def test_let_binding(self, ctx):
+        out = run_query(ctx, "FOR u IN users LET double = u.age * 2 RETURN double")
+        assert sorted(out) == [40, 60, 80]
+
+    def test_sort_asc_desc(self, ctx):
+        asc = run_query(ctx, "FOR u IN users SORT u.age RETURN u.age")
+        desc = run_query(ctx, "FOR u IN users SORT u.age DESC RETURN u.age")
+        assert asc == [20, 30, 40] and desc == [40, 30, 20]
+
+    def test_sort_none_first(self, ctx):
+        ctx.collections["users"].append({"_id": 4, "name": "nil"})
+        out = run_query(ctx, "FOR u IN users SORT u.age RETURN u.name")
+        assert out[0] == "nil"
+
+    def test_limit(self, ctx):
+        out = run_query(ctx, "FOR u IN users SORT u.age LIMIT 2 RETURN u.age")
+        assert out == [20, 30]
+
+    def test_limit_offset(self, ctx):
+        out = run_query(ctx, "FOR u IN users SORT u.age LIMIT 1, 2 RETURN u.age")
+        assert out == [30, 40]
+
+    def test_limit_param(self, ctx):
+        out = run_query(ctx, "FOR u IN users LIMIT @n RETURN 1", {"n": 2})
+        assert out == [1, 1]
+
+    def test_limit_rejects_negative(self, ctx):
+        with pytest.raises(ExecutionError):
+            run_query(ctx, "FOR u IN users LIMIT -1 RETURN u")
+
+    def test_collect_aggregates(self, ctx):
+        out = run_query(
+            ctx,
+            "FOR o IN orders COLLECT user = o.user "
+            "AGGREGATE n = COUNT(1), s = SUM(o.total), m = MAX(o.total), "
+            "lo = MIN(o.total), avg = AVG(o.total) "
+            "SORT user RETURN {user, n, s, m, lo, avg}",
+        )
+        assert out[0] == {"user": 1, "n": 2, "s": 40.0, "m": 30.0, "lo": 10.0, "avg": 20.0}
+
+    def test_collect_into_members(self, ctx):
+        out = run_query(
+            ctx,
+            "FOR o IN orders COLLECT user = o.user INTO grp "
+            "SORT user RETURN {user, k: LENGTH(grp)}",
+        )
+        assert out == [{"user": 1, "k": 2}, {"user": 2, "k": 1}]
+
+    def test_return_distinct(self, ctx):
+        out = run_query(ctx, "FOR u IN users RETURN DISTINCT u.country")
+        assert sorted(out) == ["FI", "SE"]
+
+    def test_for_over_let_list(self, ctx):
+        out = run_query(ctx, "LET xs = [1, 2, 3] FOR x IN xs RETURN x * 10")
+        assert out == [10, 20, 30]
+
+    def test_for_over_literal_list(self, ctx):
+        assert run_query(ctx, "FOR x IN [1, 2] RETURN x") == [1, 2]
+
+    def test_for_over_scalar_rejected(self, ctx):
+        with pytest.raises(ExecutionError):
+            run_query(ctx, "LET x = 5 FOR y IN x RETURN y")
+
+    def test_subquery_sees_outer_vars(self, ctx):
+        out = run_query(
+            ctx,
+            "FOR u IN users "
+            "LET totals = [FOR o IN orders FILTER o.user == u._id RETURN o.total] "
+            "SORT u._id RETURN {name: u.name, spend: SUM(totals)}",
+        )
+        assert out[0] == {"name": "ada", "spend": 40.0}
+        assert out[2]["spend"] == 0.0
+
+    def test_unbound_variable_rejected(self, ctx):
+        with pytest.raises(ExecutionError):
+            run_query(ctx, "RETURN nothing_bound")
+
+    def test_missing_param_rejected(self, ctx):
+        with pytest.raises(ExecutionError):
+            run_query(ctx, "RETURN @missing")
+
+
+class TestExpressions:
+    def run1(self, ctx, text, params=None):
+        return run_query(ctx, f"RETURN {text}", params)[0]
+
+    def test_arithmetic(self, ctx):
+        assert self.run1(ctx, "2 + 3 * 4 - 6 / 2") == 11.0
+
+    def test_modulo(self, ctx):
+        assert self.run1(ctx, "7 % 3") == 1
+
+    def test_division_by_zero_rejected(self, ctx):
+        with pytest.raises(ExecutionError):
+            self.run1(ctx, "1 / 0")
+
+    def test_string_concat_with_plus(self, ctx):
+        assert self.run1(ctx, "'a' + 'b'") == "ab"
+
+    def test_list_concat_with_plus(self, ctx):
+        assert self.run1(ctx, "[1] + [2]") == [1, 2]
+
+    def test_arith_with_null_is_null(self, ctx):
+        assert self.run1(ctx, "1 + NULL") is None
+
+    def test_comparisons(self, ctx):
+        assert self.run1(ctx, "1 < 2") is True
+        assert self.run1(ctx, "2 <= 1") is False
+        assert self.run1(ctx, "'a' != 'b'") is True
+
+    def test_comparison_with_null_false(self, ctx):
+        assert self.run1(ctx, "NULL < 1") is False
+
+    def test_in_list(self, ctx):
+        assert self.run1(ctx, "2 IN [1, 2]") is True
+
+    def test_in_string(self, ctx):
+        assert self.run1(ctx, "'bc' IN 'abcd'") is True
+
+    def test_like(self, ctx):
+        assert self.run1(ctx, "'hello' LIKE 'ell'") is True
+
+    def test_logic_short_circuit(self, ctx):
+        # RHS would divide by zero; AND must not evaluate it.
+        assert self.run1(ctx, "FALSE AND 1 / 0 == 1") is False
+
+    def test_not(self, ctx):
+        assert self.run1(ctx, "NOT FALSE") is True
+
+    def test_field_access_on_null_is_null(self, ctx):
+        assert self.run1(ctx, "NULL.field") is None
+
+    def test_index_access(self, ctx):
+        assert self.run1(ctx, "[10, 20][1]") == 20
+        assert self.run1(ctx, "[10][5]") is None
+        assert self.run1(ctx, "{a: 1}['a']") == 1
+
+    def test_object_construction(self, ctx):
+        assert self.run1(ctx, "{x: 1 + 1}") == {"x": 2}
+
+
+class TestFunctions:
+    def run1(self, ctx, text):
+        return run_query(ctx, f"RETURN {text}")[0]
+
+    def test_length(self, ctx):
+        assert self.run1(ctx, "LENGTH([1, 2])") == 2
+        assert self.run1(ctx, "LENGTH('abc')") == 3
+        assert self.run1(ctx, "LENGTH(NULL)") == 0
+
+    def test_concat(self, ctx):
+        assert self.run1(ctx, "CONCAT('a', 1, NULL, 'b')") == "a1b"
+
+    def test_upper_lower(self, ctx):
+        assert self.run1(ctx, "UPPER('ab')") == "AB"
+        assert self.run1(ctx, "LOWER('AB')") == "ab"
+
+    def test_contains(self, ctx):
+        assert self.run1(ctx, "CONTAINS('abc', 'b')") is True
+        assert self.run1(ctx, "CONTAINS([1, 2], 2)") is True
+
+    def test_substring(self, ctx):
+        assert self.run1(ctx, "SUBSTRING('hello', 1, 3)") == "ell"
+
+    def test_rounding(self, ctx):
+        assert self.run1(ctx, "ROUND(1.567, 1)") == 1.6
+        assert self.run1(ctx, "FLOOR(1.9)") == 1
+        assert self.run1(ctx, "CEIL(1.1)") == 2
+        assert self.run1(ctx, "ABS(-3)") == 3
+
+    def test_aggregate_list_functions(self, ctx):
+        assert self.run1(ctx, "SUM([1, 2, NULL])") == 3
+        assert self.run1(ctx, "AVG([2, 4])") == 3
+        assert self.run1(ctx, "MIN([3, 1])") == 1
+        assert self.run1(ctx, "MAX([3, 1])") == 3
+        assert self.run1(ctx, "COUNT([1, 1])") == 2
+
+    def test_unique_first_append(self, ctx):
+        assert self.run1(ctx, "UNIQUE([1, 1, 2])") == [1, 2]
+        assert self.run1(ctx, "FIRST([7, 8])") == 7
+        assert self.run1(ctx, "FIRST([])") is None
+        assert self.run1(ctx, "APPEND([1], 2)") == [1, 2]
+
+    def test_has_not_null(self, ctx):
+        assert self.run1(ctx, "HAS({a: 1}, 'a')") is True
+        assert self.run1(ctx, "NOT_NULL(NULL, 5)") == 5
+
+    def test_to_number_to_string(self, ctx):
+        assert self.run1(ctx, "TO_NUMBER('15.50')") == 15.5
+        assert self.run1(ctx, "TO_NUMBER('10')") == 10
+        assert self.run1(ctx, "TO_STRING(5)") == "5"
+
+    def test_to_number_bad_input_rejected(self, ctx):
+        with pytest.raises(ExecutionError):
+            self.run1(ctx, "TO_NUMBER('xyz')")
+
+    def test_jsonpath_function(self, ctx):
+        assert self.run1(ctx, "JSONPATH({a: {b: 5}}, '$.a.b')") == [5]
+
+    def test_kvget_and_kv(self, ctx):
+        ctx.kv["fb/p1/c1"] = {"rating": 4}
+        assert self.run1(ctx, "KVGET('fb', 'p1/c1')") == {"rating": 4}
+        assert self.run1(ctx, "LENGTH(KV('fb', 'p1/'))") == 1
+
+    def test_unknown_function_rejected(self, ctx):
+        with pytest.raises(ExecutionError):
+            self.run1(ctx, "NO_SUCH_FN(1)")
+
+
+class TestPlanner:
+    def test_hint_placed_for_equality(self):
+        q = parse("FOR u IN users FILTER u.country == 'FI' RETURN u")
+        planned = plan(q)
+        assert planned.query.clauses[0].index_hint is not None
+        assert planned.query.clauses[0].index_hint.field == "country"
+
+    def test_hint_for_join_key(self):
+        q = parse(
+            "FOR u IN users FOR o IN orders FILTER o.user == u._id RETURN o"
+        )
+        planned = plan(q)
+        hint = planned.query.clauses[1].index_hint
+        assert hint is not None and hint.collection == "orders"
+
+    def test_no_hint_for_inequality(self):
+        q = parse("FOR u IN users FILTER u.age > 3 RETURN u")
+        assert plan(q).query.clauses[0].index_hint is None
+
+    def test_no_hint_when_key_not_yet_bound(self):
+        q = parse("FOR u IN users FILTER u.x == later RETURN u")
+        assert plan(q).query.clauses[0].index_hint is None
+
+    def test_no_hint_past_collect(self):
+        q = parse(
+            "FOR u IN users COLLECT c = u.country FILTER c == 'FI' RETURN c"
+        )
+        assert plan(q).query.clauses[0].index_hint is None
+
+    def test_hint_found_inside_and(self):
+        q = parse("FOR u IN users FILTER u.age > 1 AND u.country == 'FI' RETURN u")
+        hint = plan(q).query.clauses[0].index_hint
+        assert hint is not None and hint.field == "country"
+
+    def test_describe_mentions_index(self):
+        q = parse("FOR u IN users FILTER u.country == 'FI' RETURN u")
+        assert "index: users.country" in plan(q).describe()
+
+    def test_executor_uses_index_when_offered(self):
+        class IndexedContext(ListContext):
+            def index_lookup(self, collection, field, value):
+                self.index_calls += 1
+                return [
+                    d for d in self.collections[collection] if d.get(field) == value
+                ]
+
+        ctx = IndexedContext(users=[{"_id": 1, "country": "FI"}])
+        executor = Executor(ctx, use_indexes=True)
+        executor.execute("FOR u IN users FILTER u.country == 'FI' RETURN u")
+        assert ctx.index_calls == 1
+        assert executor.stats["index_lookups"] == 1
+
+    def test_use_indexes_false_scans(self):
+        class IndexedContext(ListContext):
+            def index_lookup(self, collection, field, value):
+                raise AssertionError("index must not be consulted")
+
+        ctx = IndexedContext(users=[{"_id": 1, "country": "FI"}])
+        out = Executor(ctx, use_indexes=False).execute(
+            "FOR u IN users FILTER u.country == 'FI' RETURN u._id"
+        )
+        assert out == [1]

@@ -1,0 +1,117 @@
+"""Extended MMQL builtins and the EXPLAIN driver API."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.query.executor import run_query
+from repro.query.functions import builtin_names, is_builtin
+
+from tests.query.test_executor import ListContext
+
+
+@pytest.fixture()
+def ctx():
+    return ListContext(items=[{"_id": 1}])
+
+
+def run1(ctx, text):
+    return run_query(ctx, f"RETURN {text}")[0]
+
+
+class TestStringFunctions:
+    def test_starts_with(self, ctx):
+        assert run1(ctx, "STARTS_WITH('p1/c9', 'p1/')") is True
+        assert run1(ctx, "STARTS_WITH(NULL, 'x')") is False
+
+    def test_split(self, ctx):
+        assert run1(ctx, "SPLIT('p1/c9', '/')") == ["p1", "c9"]
+        assert run1(ctx, "SPLIT(NULL, '/')") == []
+
+    def test_trim(self, ctx):
+        assert run1(ctx, "TRIM('  x ')") == "x"
+
+    def test_reverse_string_and_list(self, ctx):
+        assert run1(ctx, "REVERSE('abc')") == "cba"
+        assert run1(ctx, "REVERSE([1, 2])") == [2, 1]
+        with pytest.raises(ExecutionError):
+            run1(ctx, "REVERSE(5)")
+
+
+class TestListObjectFunctions:
+    def test_slice(self, ctx):
+        assert run1(ctx, "SLICE([1, 2, 3, 4], 1, 2)") == [2, 3]
+        assert run1(ctx, "SLICE([1, 2, 3], 1)") == [2, 3]
+
+    def test_keys_values(self, ctx):
+        assert run1(ctx, "KEYS({b: 1, a: 2})") == ["a", "b"]
+        assert run1(ctx, "VALUES({b: 1, a: 2})") == [2, 1]
+
+    def test_merge(self, ctx):
+        assert run1(ctx, "MERGE({a: 1}, {b: 2}, NULL, {a: 3})") == {"a": 3, "b": 2}
+
+    def test_flatten_one_level(self, ctx):
+        assert run1(ctx, "FLATTEN([[1, 2], 3, [4]])") == [1, 2, 3, 4]
+        assert run1(ctx, "FLATTEN([[1, [2]]])") == [1, [2]]
+
+    def test_intersection(self, ctx):
+        assert run1(ctx, "INTERSECTION([1, 2, 3, 2], [2, 3, 9])") == [2, 3]
+
+    def test_range(self, ctx):
+        assert run1(ctx, "RANGE(1, 4)") == [1, 2, 3, 4]
+        assert run1(ctx, "RANGE(4, 1, -1)") == [4, 3, 2, 1]
+        assert run1(ctx, "RANGE(0, 10, 5)") == [0, 5, 10]
+        with pytest.raises(ExecutionError):
+            run1(ctx, "RANGE(1, 5, 0)")
+
+    def test_range_feeds_for(self, ctx):
+        out = run_query(ctx, "FOR i IN RANGE(1, 3) RETURN i * i")
+        assert out == [1, 4, 9]
+
+
+class TestDateFunctions:
+    def test_year_month(self, ctx):
+        assert run1(ctx, "DATE_YEAR('2015-03-01')") == 2015
+        assert run1(ctx, "DATE_MONTH('2015-03-01')") == 3
+        assert run1(ctx, "DATE_YEAR(NULL)") is None
+
+    def test_bad_date_rejected(self, ctx):
+        with pytest.raises(ExecutionError):
+            run1(ctx, "DATE_YEAR('nope')")
+
+    def test_grouping_orders_by_year(self, small_dataset, loaded_unified):
+        out = loaded_unified.query(
+            """
+            FOR o IN orders
+              COLLECT year = DATE_YEAR(o.order_date) AGGREGATE n = COUNT(1)
+              SORT year
+              RETURN {year, n}
+            """
+        )
+        assert [r["year"] for r in out] == sorted(r["year"] for r in out)
+        assert sum(r["n"] for r in out) == len(small_dataset.orders)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for name in ("STARTS_WITH", "SPLIT", "MERGE", "RANGE", "DATE_YEAR"):
+            assert is_builtin(name)
+
+    def test_builtin_names_sorted(self):
+        names = builtin_names()
+        assert names == sorted(names)
+        assert len(names) >= 40
+
+
+class TestExplain:
+    def test_explain_shows_index_choice(self, loaded_unified):
+        text = "FOR o IN orders FILTER o.customer_id == 5 RETURN o"
+        plan = loaded_unified.explain(text)
+        assert "index: orders.customer_id" in plan
+
+    def test_explain_shows_range_hint(self, loaded_unified):
+        plan = loaded_unified.explain("FOR o IN orders FILTER o.total_price > 5 RETURN o")
+        assert "range index: orders.total_price" in plan
+
+    def test_explain_shows_scan(self, loaded_unified):
+        plan = loaded_unified.explain("FOR o IN orders FILTER o.status LIKE 'ship' RETURN o")
+        assert "[scan]" in plan

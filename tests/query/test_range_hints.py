@@ -1,0 +1,115 @@
+"""Range-index hints: planner detection and executor use."""
+
+import pytest
+
+from repro.engine.records import Model
+from repro.query.executor import Executor
+from repro.query.parser import parse
+from repro.query.planner import plan
+
+
+class TestPlannerRangeHints:
+    def get_hint(self, text):
+        planned = plan(parse(text))
+        return planned.query.clauses[0].range_hint
+
+    def test_upper_bound_detected(self):
+        hint = self.get_hint("FOR o IN orders FILTER o.total < 50 RETURN o")
+        assert hint is not None
+        assert hint.high_expr is not None and hint.low_expr is None
+        assert hint.include_high is False
+
+    def test_lower_bound_detected(self):
+        hint = self.get_hint("FOR o IN orders FILTER o.total >= 10 RETURN o")
+        assert hint.low_expr is not None and hint.include_low is True
+
+    def test_both_bounds_combined(self):
+        hint = self.get_hint(
+            "FOR o IN orders FILTER o.total >= 10 AND o.total < 50 RETURN o"
+        )
+        assert hint.low_expr is not None and hint.high_expr is not None
+
+    def test_reversed_comparison_flipped(self):
+        hint = self.get_hint("FOR o IN orders FILTER 50 > o.total RETURN o")
+        assert hint.high_expr is not None and hint.include_high is False
+
+    def test_equality_hint_takes_precedence(self):
+        planned = plan(parse(
+            "FOR o IN orders FILTER o.cid == 1 AND o.total < 50 RETURN o"
+        ))
+        clause = planned.query.clauses[0]
+        assert clause.index_hint is not None
+        assert clause.range_hint is None
+
+    def test_unbound_key_not_hinted(self):
+        hint = self.get_hint("FOR o IN orders FILTER o.total < later RETURN o")
+        assert hint is None
+
+    def test_describe_mentions_range(self):
+        planned = plan(parse("FOR o IN orders FILTER o.total < 50 RETURN o"))
+        assert "range index: orders.total" in planned.describe()
+
+
+class TestRangeExecution:
+    @pytest.fixture()
+    def driver(self):
+        from repro.drivers.unified import UnifiedDriver
+
+        driver = UnifiedDriver()
+        driver.create_collection("nums")
+        with driver.db.transaction() as tx:
+            for i in range(100):
+                tx.doc_insert("nums", {"_id": i, "n": i})
+        driver.db.create_index(Model.DOCUMENT, "nums", "n", kind="sorted")
+        return driver
+
+    def test_range_query_correct(self, driver):
+        out = driver.query("FOR d IN nums FILTER d.n >= 10 AND d.n < 15 SORT d.n RETURN d.n")
+        assert out == [10, 11, 12, 13, 14]
+
+    def test_range_lookup_used(self, driver):
+        ctx = driver.query_context()
+        executor = Executor(ctx, use_indexes=True)
+        executor.execute("FOR d IN nums FILTER d.n >= 90 RETURN d.n")
+        assert executor.stats["range_lookups"] == 1
+        assert executor.stats["scans"] == 0
+        ctx.close()
+
+    def test_no_index_falls_back_to_scan(self, driver):
+        driver.create_collection("plain")
+        with driver.db.transaction() as tx:
+            tx.doc_insert("plain", {"_id": 1, "n": 5})
+        ctx = driver.query_context()
+        executor = Executor(ctx, use_indexes=True)
+        out = executor.execute("FOR d IN plain FILTER d.n > 1 RETURN d.n")
+        assert out == [5]
+        assert executor.stats["scans"] == 1
+        ctx.close()
+
+    def test_use_indexes_false_scans(self, driver):
+        ctx = driver.query_context()
+        executor = Executor(ctx, use_indexes=False)
+        out = executor.execute("FOR d IN nums FILTER d.n >= 95 RETURN d.n")
+        assert sorted(out) == [95, 96, 97, 98, 99]
+        assert executor.stats["range_lookups"] == 0
+        ctx.close()
+
+    def test_btree_index_also_served(self):
+        from repro.drivers.unified import UnifiedDriver
+
+        driver = UnifiedDriver()
+        driver.create_collection("nums")
+        with driver.db.transaction() as tx:
+            for i in range(50):
+                tx.doc_insert("nums", {"_id": i, "n": i})
+        driver.db.create_index(Model.DOCUMENT, "nums", "n", kind="btree")
+        ctx = driver.query_context()
+        executor = Executor(ctx, use_indexes=True)
+        out = executor.execute("FOR d IN nums FILTER d.n > 45 SORT d.n RETURN d.n")
+        assert out == [46, 47, 48, 49]
+        assert executor.stats["range_lookups"] == 1
+        ctx.close()
+
+    def test_answers_identical_with_and_without_index(self, driver):
+        q = "FOR d IN nums FILTER d.n >= 20 AND d.n <= 25 SORT d.n RETURN d.n"
+        assert driver.query(q, use_indexes=True) == driver.query(q, use_indexes=False)

@@ -1,0 +1,99 @@
+"""Robustness: the MMQL front end must fail *gracefully* on any input,
+and driver query contexts must not leak transactions.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MMQLSyntaxError, QueryError, ReproError
+from repro.query.parser import parse
+from repro.query.tokens import tokenize
+
+
+class TestParserNeverCrashes:
+    @settings(max_examples=300, deadline=None)
+    @given(st.text(max_size=80))
+    def test_arbitrary_text(self, text):
+        """Any input either parses or raises MMQLSyntaxError — never
+        an unhandled exception."""
+        try:
+            parse(text)
+        except MMQLSyntaxError:
+            pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(
+        st.sampled_from([
+            "FOR", "IN", "FILTER", "RETURN", "LET", "SORT", "LIMIT",
+            "COLLECT", "AGGREGATE", "x", "y", "orders", "==", "<", "(",
+            ")", "[", "]", "{", "}", ",", ".", "1", "'s'", "@p", "+",
+        ]),
+        max_size=15,
+    ))
+    def test_token_soup(self, tokens):
+        """Grammatical-looking token soup also fails cleanly."""
+        try:
+            parse(" ".join(tokens))
+        except MMQLSyntaxError:
+            pass
+
+    def test_deeply_nested_expression(self):
+        text = "RETURN " + "(" * 50 + "1" + ")" * 50
+        assert parse(text) is not None
+
+    def test_tokenizer_handles_unicode(self):
+        # Non-ASCII letters tokenize as identifiers (str.isalpha).
+        tokens = tokenize("RETURN äöü")
+        assert tokens[1].value == "äöü"
+
+
+class TestExecutionErrorsAreReproErrors:
+    def test_all_query_failures_catchable(self, loaded_unified):
+        bad_queries = [
+            "FOR o IN no_such_collection RETURN o",   # unknown collection
+            "RETURN unbound_var",                      # unbound variable
+            "RETURN @missing",                         # missing parameter
+            "RETURN NO_SUCH_FN(1)",                    # unknown function
+            "RETURN 1 +",                              # syntax
+            "FOR o IN orders LIMIT 'x' RETURN o",      # bad limit type
+        ]
+        for text in bad_queries:
+            with pytest.raises(ReproError):
+                loaded_unified.query(text)
+
+    def test_syntax_errors_are_query_errors(self):
+        with pytest.raises(QueryError):
+            parse("FOR FOR FOR")
+
+
+class TestContextHygiene:
+    def test_driver_query_closes_snapshot(self, loaded_unified):
+        """Driver.query must not leak active read transactions."""
+        before = len(loaded_unified.db.manager.active)
+        for _ in range(5):
+            loaded_unified.query("FOR c IN customers LIMIT 1 RETURN c._id")
+        assert len(loaded_unified.db.manager.active) == before
+
+    def test_failed_query_also_closes(self, loaded_unified):
+        before = len(loaded_unified.db.manager.active)
+        for _ in range(3):
+            with pytest.raises(ReproError):
+                loaded_unified.query("RETURN unbound")
+        assert len(loaded_unified.db.manager.active) == before
+
+    def test_explicit_context_close_is_idempotent(self, loaded_unified):
+        ctx = loaded_unified.query_context()
+        ctx.close()
+        ctx.close()  # second close must be a no-op
+
+    def test_unified_context_exposes_all_bridges(self, loaded_unified):
+        ctx = loaded_unified.query_context()
+        try:
+            assert any(True for _ in ctx.vertices("social", "person"))
+            assert any(True for _ in ctx.edges("social", "knows"))
+            assert ctx.xml_get("invoices", "o1") is not None
+            assert list(ctx.kv_prefix("feedback", "p"))
+            path = ctx.shortest_path("social", 1, 1, None)
+            assert path == [1]
+        finally:
+            ctx.close()

@@ -1,0 +1,246 @@
+"""MMQL tokenizer and parser."""
+
+import pytest
+
+from repro.errors import MMQLSyntaxError
+from repro.query.ast import (
+    Binary,
+    CollectClause,
+    FieldAccess,
+    FilterClause,
+    ForClause,
+    FunctionCall,
+    IndexAccess,
+    LetClause,
+    LimitClause,
+    ListExpr,
+    Literal,
+    ObjectExpr,
+    ParamRef,
+    SortClause,
+    Subquery,
+    Unary,
+    VarRef,
+)
+from repro.query.parser import parse
+from repro.query.tokens import TokenType, tokenize
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("for x In y RETURN x")
+        assert tokens[0].value == "FOR"
+        assert tokens[2].value == "IN"
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("FOR myVar IN c RETURN myVar")
+        assert tokens[1].value == "myVar"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 3e2 4.5e-1")
+        assert [t.value for t in tokens[:-1]] == ["1", "2.5", "3e2", "4.5e-1"]
+
+    def test_strings_both_quotes(self):
+        tokens = tokenize("'a' \"b\"")
+        assert [t.value for t in tokens[:-1]] == ["a", "b"]
+
+    def test_string_escapes(self):
+        assert tokenize(r"'a\n\t\\b'")[0].value == "a\n\t\\b"
+
+    def test_bad_escape_rejected(self):
+        with pytest.raises(MMQLSyntaxError):
+            tokenize(r"'\q'")
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(MMQLSyntaxError):
+            tokenize("'abc")
+
+    def test_params(self):
+        token = tokenize("@limit")[0]
+        assert token.type is TokenType.PARAM and token.value == "limit"
+
+    def test_bare_at_rejected(self):
+        with pytest.raises(MMQLSyntaxError):
+            tokenize("@ x")
+
+    def test_comments_skipped(self):
+        tokens = tokenize("FOR x // a comment\nIN y RETURN x")
+        assert [t.value for t in tokens[:3]] == ["FOR", "x", "IN"]
+
+    def test_two_char_operators(self):
+        tokens = tokenize("== != <= >=")
+        assert [t.value for t in tokens[:-1]] == ["==", "!=", "<=", ">="]
+
+    def test_error_has_position(self):
+        with pytest.raises(MMQLSyntaxError, match="line 2"):
+            tokenize("FOR x\n ~ y")
+
+
+class TestParserClauses:
+    def test_minimal_query(self):
+        q = parse("RETURN 1")
+        assert q.clauses == ()
+        assert q.returning.expr == Literal(1)
+
+    def test_for_in_collection(self):
+        q = parse("FOR c IN customers RETURN c")
+        assert isinstance(q.clauses[0], ForClause)
+        assert q.clauses[0].source == VarRef("customers")
+
+    def test_nested_fors(self):
+        q = parse("FOR a IN x FOR b IN y RETURN [a, b]")
+        assert len(q.clauses) == 2
+
+    def test_rebinding_variable_rejected(self):
+        with pytest.raises(MMQLSyntaxError):
+            parse("FOR a IN x FOR a IN y RETURN a")
+
+    def test_filter(self):
+        q = parse("FOR c IN t FILTER c.x == 1 RETURN c")
+        cond = q.clauses[1].condition
+        assert isinstance(cond, Binary) and cond.op == "=="
+
+    def test_let(self):
+        q = parse("LET x = 1 + 2 RETURN x")
+        assert isinstance(q.clauses[0], LetClause)
+
+    def test_sort_multiple_keys(self):
+        q = parse("FOR c IN t SORT c.a DESC, c.b RETURN c")
+        sort = q.clauses[1]
+        assert isinstance(sort, SortClause)
+        assert [k.ascending for k in sort.keys] == [False, True]
+
+    def test_limit_count(self):
+        q = parse("FOR c IN t LIMIT 5 RETURN c")
+        limit = q.clauses[1]
+        assert isinstance(limit, LimitClause)
+        assert limit.count == Literal(5) and limit.offset is None
+
+    def test_limit_offset_count(self):
+        q = parse("FOR c IN t LIMIT 10, 5 RETURN c")
+        limit = q.clauses[1]
+        assert limit.offset == Literal(10) and limit.count == Literal(5)
+
+    def test_collect_with_aggregates(self):
+        q = parse(
+            "FOR o IN t COLLECT k = o.k AGGREGATE n = COUNT(1), s = SUM(o.v) RETURN {k, n, s}"
+        )
+        collect = q.clauses[1]
+        assert isinstance(collect, CollectClause)
+        assert [a.func for a in collect.aggregations] == ["COUNT", "SUM"]
+
+    def test_collect_into(self):
+        q = parse("FOR o IN t COLLECT k = o.k INTO grp RETURN grp")
+        assert q.clauses[1].into == "grp"
+
+    def test_collect_unknown_aggregate_rejected(self):
+        with pytest.raises(MMQLSyntaxError):
+            parse("FOR o IN t COLLECT k = o.k AGGREGATE x = MEDIAN(o.v) RETURN x")
+
+    def test_return_distinct(self):
+        assert parse("FOR c IN t RETURN DISTINCT c.x").returning.distinct
+
+    def test_content_after_return_rejected(self):
+        with pytest.raises(MMQLSyntaxError):
+            parse("RETURN 1 RETURN 2")
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(MMQLSyntaxError):
+            parse("FOR c IN t")
+
+    def test_variables_listing(self):
+        q = parse(
+            "FOR a IN t LET b = 1 COLLECT c = a.x AGGREGATE d = SUM(b) INTO e RETURN c"
+        )
+        assert q.variables() == ["a", "b", "c", "d", "e"]
+
+
+class TestParserExpressions:
+    def expr(self, text):
+        return parse(f"RETURN {text}").returning.expr
+
+    def test_precedence_arithmetic(self):
+        e = self.expr("1 + 2 * 3")
+        assert e == Binary("+", Literal(1), Binary("*", Literal(2), Literal(3)))
+
+    def test_precedence_and_or(self):
+        e = self.expr("TRUE OR FALSE AND FALSE")
+        assert e.op == "OR"
+
+    def test_comparison_binds_tighter_than_and(self):
+        e = self.expr("1 == 1 AND 2 == 2")
+        assert e.op == "AND"
+
+    def test_not(self):
+        assert self.expr("NOT TRUE") == Unary("NOT", Literal(True))
+
+    def test_not_in(self):
+        e = self.expr("1 NOT IN [1, 2]")
+        assert isinstance(e, Unary) and e.operand.op == "IN"
+
+    def test_unary_minus(self):
+        assert self.expr("-5") == Unary("-", Literal(5))
+
+    def test_field_chain(self):
+        e = self.expr("a.b.c")
+        assert isinstance(e, FieldAccess) and e.field == "c"
+
+    def test_keyword_as_field_name(self):
+        e = self.expr("a.in")
+        assert isinstance(e, FieldAccess) and e.field == "in"
+
+    def test_index_access(self):
+        e = self.expr("a[0]")
+        assert isinstance(e, IndexAccess)
+
+    def test_function_call_uppercased(self):
+        e = self.expr("length(x)")
+        assert isinstance(e, FunctionCall) and e.name == "LENGTH"
+
+    def test_object_literal(self):
+        e = self.expr("{a: 1, 'b c': 2}")
+        assert isinstance(e, ObjectExpr)
+        assert e.fields[1][0] == "b c"
+
+    def test_object_shorthand(self):
+        e = self.expr("{name}")
+        assert e.fields[0] == ("name", VarRef("name"))
+
+    def test_list_literal(self):
+        assert self.expr("[1, 2]") == ListExpr((Literal(1), Literal(2)))
+
+    def test_param(self):
+        assert self.expr("@p") == ParamRef("p")
+
+    def test_parenthesized(self):
+        e = self.expr("(1 + 2) * 3")
+        assert e.op == "*"
+
+    def test_null_true_false(self):
+        assert self.expr("NULL") == Literal(None)
+        assert self.expr("TRUE") == Literal(True)
+
+    def test_like_operator(self):
+        assert self.expr("'abc' LIKE 'b'").op == "LIKE"
+
+
+class TestSubqueries:
+    def test_bracket_subquery(self):
+        e = parse("RETURN [FOR x IN t RETURN x.v]").returning.expr
+        assert isinstance(e, Subquery)
+
+    def test_paren_subquery(self):
+        e = parse("RETURN (FOR x IN t RETURN x)").returning.expr
+        assert isinstance(e, Subquery)
+
+    def test_subquery_in_let(self):
+        q = parse("LET xs = (FOR x IN t FILTER x.v > 1 RETURN x) RETURN LENGTH(xs)")
+        assert isinstance(q.clauses[0].value, Subquery)
+
+    def test_plain_list_still_works(self):
+        assert isinstance(parse("RETURN [1, 2]").returning.expr, ListExpr)
+
+    def test_nested_subqueries(self):
+        q = parse("RETURN [FOR x IN t RETURN [FOR y IN u RETURN y]]")
+        outer = q.returning.expr
+        assert isinstance(outer.query.returning.expr, Subquery)

@@ -1,0 +1,254 @@
+"""Schema shapes, evolution operators, registry, and migration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EvolutionError, IncompatibleEvolutionError
+from repro.schema import (
+    AddField,
+    DropField,
+    FlattenField,
+    NestFields,
+    RenameField,
+    RetypeField,
+    SchemaRegistry,
+    random_evolution_chain,
+)
+from repro.schema.registry import migrate_documents
+from repro.schema.shapes import (
+    DocumentShape,
+    FieldSpec,
+    orders_shape,
+    products_shape,
+    validate_shape,
+)
+from repro.util.rng import DeterministicRng
+
+DOC = {
+    "_id": "o1",
+    "customer_id": 7,
+    "order_date": "2015-03-01",
+    "status": "paid",
+    "total_price": 25.5,
+    "items": [{"product_id": "p1", "quantity": 1, "unit_price": 25.5, "amount": 25.5}],
+}
+
+
+class TestShapes:
+    def test_canonical_shapes_valid(self):
+        validate_shape(orders_shape())
+        validate_shape(products_shape())
+
+    def test_has_path_top_level(self):
+        assert orders_shape().has_path(("status",))
+        assert not orders_shape().has_path(("nope",))
+
+    def test_has_path_through_array(self):
+        assert orders_shape().has_path(("items", "product_id"))
+        assert not orders_shape().has_path(("items", "nope"))
+
+    def test_has_path_through_object(self):
+        assert products_shape().has_path(("attributes", "colour"))
+
+    def test_scalar_with_deeper_path_invalid(self):
+        assert not orders_shape().has_path(("status", "inner"))
+
+    def test_all_paths_contains_nested(self):
+        paths = orders_shape().all_paths()
+        assert ("items", "quantity") in paths
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(EvolutionError):
+            FieldSpec("x", "blob")
+
+    def test_children_require_container_type(self):
+        with pytest.raises(EvolutionError):
+            FieldSpec("x", "int", children=(FieldSpec("y"),))
+
+
+class TestOperators:
+    def test_add_field(self):
+        shape = AddField("orders", "discount", "float", 0.0).apply_to_shape(
+            orders_shape()
+        )
+        assert shape.has_path(("discount",))
+        assert shape.version == 2
+
+    def test_add_existing_rejected(self):
+        with pytest.raises(IncompatibleEvolutionError):
+            AddField("orders", "status").apply_to_shape(orders_shape())
+
+    def test_add_migration_sets_default(self):
+        out = AddField("orders", "discount", "float", 0.0).migrate_document(DOC)
+        assert out["discount"] == 0.0
+        assert "discount" not in DOC  # input untouched
+
+    def test_drop_field(self):
+        shape = DropField("orders", "status").apply_to_shape(orders_shape())
+        assert not shape.has_path(("status",))
+
+    def test_drop_id_rejected(self):
+        with pytest.raises(IncompatibleEvolutionError):
+            DropField("orders", "_id").apply_to_shape(orders_shape())
+
+    def test_drop_missing_rejected(self):
+        with pytest.raises(IncompatibleEvolutionError):
+            DropField("orders", "zzz").apply_to_shape(orders_shape())
+
+    def test_drop_migration(self):
+        assert "status" not in DropField("orders", "status").migrate_document(DOC)
+
+    def test_rename_field(self):
+        shape = RenameField("orders", "total_price", "total").apply_to_shape(
+            orders_shape()
+        )
+        assert shape.has_path(("total",)) and not shape.has_path(("total_price",))
+
+    def test_rename_collision_rejected(self):
+        with pytest.raises(IncompatibleEvolutionError):
+            RenameField("orders", "status", "total_price").apply_to_shape(
+                orders_shape()
+            )
+
+    def test_rename_migration(self):
+        out = RenameField("orders", "total_price", "total").migrate_document(DOC)
+        assert out["total"] == 25.5 and "total_price" not in out
+
+    def test_retype_to_string(self):
+        op = RetypeField("orders", "total_price", "string")
+        shape = op.apply_to_shape(orders_shape())
+        assert shape.field("total_price").type == "string"
+        assert op.migrate_document(DOC)["total_price"] == "25.5"
+
+    def test_retype_widening_is_additive(self):
+        assert RetypeField("orders", "customer_id", "float").additive
+        assert not RetypeField("orders", "customer_id", "string").additive
+
+    def test_retype_container_rejected(self):
+        with pytest.raises(IncompatibleEvolutionError):
+            RetypeField("orders", "items", "string").apply_to_shape(orders_shape())
+
+    def test_retype_bad_cast_raises(self):
+        with pytest.raises(EvolutionError):
+            RetypeField("orders", "status", "float").migrate_document(DOC)
+
+    def test_retype_skips_none(self):
+        doc = dict(DOC, status=None)
+        out = RetypeField("orders", "status", "float").migrate_document(doc)
+        assert out["status"] is None
+
+    def test_nest_fields(self):
+        op = NestFields("orders", ("status", "order_date"), "meta")
+        shape = op.apply_to_shape(orders_shape())
+        assert shape.has_path(("meta", "status"))
+        assert not shape.has_path(("status",))
+        out = op.migrate_document(DOC)
+        assert out["meta"] == {"status": "paid", "order_date": "2015-03-01"}
+
+    def test_nest_id_rejected(self):
+        with pytest.raises(IncompatibleEvolutionError):
+            NestFields("orders", ("_id",), "meta").apply_to_shape(orders_shape())
+
+    def test_flatten_object(self):
+        shape = products_shape()
+        op = FlattenField("products", "attributes", prefix="attr_")
+        evolved = op.apply_to_shape(shape)
+        assert evolved.has_path(("attr_colour",))
+        assert not evolved.has_path(("attributes",))
+        doc = {"_id": "p1", "attributes": {"colour": "red"}}
+        assert op.migrate_document(doc) == {"_id": "p1", "attr_colour": "red"}
+
+    def test_flatten_non_object_rejected(self):
+        with pytest.raises(IncompatibleEvolutionError):
+            FlattenField("orders", "status").apply_to_shape(orders_shape())
+
+    def test_flatten_collision_rejected(self):
+        shape = DocumentShape(
+            "c",
+            (FieldSpec("a", "object", children=(FieldSpec("b", "int"),)),
+             FieldSpec("b", "int")),
+        )
+        with pytest.raises(IncompatibleEvolutionError):
+            FlattenField("c", "a").apply_to_shape(shape)
+
+    def test_nest_then_flatten_restores_paths(self):
+        nest = NestFields("orders", ("status",), "meta")
+        flat = FlattenField("orders", "meta")
+        shape = flat.apply_to_shape(nest.apply_to_shape(orders_shape()))
+        assert shape.has_path(("status",))
+        roundtrip = flat.migrate_document(nest.migrate_document(DOC))
+        assert roundtrip["status"] == "paid"
+
+
+class TestRegistry:
+    def test_versions_recorded(self):
+        reg = SchemaRegistry()
+        reg.register(orders_shape())
+        reg.apply(AddField("orders", "x"))
+        reg.apply(DropField("orders", "status"))
+        assert [s.version for s in reg.versions("orders")] == [1, 2, 3]
+        assert len(reg.ops("orders")) == 2
+
+    def test_duplicate_registration_rejected(self):
+        reg = SchemaRegistry()
+        reg.register(orders_shape())
+        with pytest.raises(EvolutionError):
+            reg.register(orders_shape())
+
+    def test_unknown_collection_rejected(self):
+        with pytest.raises(EvolutionError):
+            SchemaRegistry().current("zzz")
+
+    def test_ops_between(self):
+        reg = SchemaRegistry()
+        reg.register(orders_shape())
+        op1 = AddField("orders", "x")
+        op2 = AddField("orders", "y")
+        reg.apply(op1)
+        reg.apply(op2)
+        assert reg.ops_between("orders", 1, 3) == [op1, op2]
+        assert reg.ops_between("orders", 2, 3) == [op2]
+        assert reg.ops_between("orders", 1, 1) == []
+
+    def test_version_lookup(self):
+        reg = SchemaRegistry()
+        reg.register(orders_shape())
+        reg.apply(AddField("orders", "x"))
+        assert reg.version("orders", 1).version == 1
+        with pytest.raises(EvolutionError):
+            reg.version("orders", 9)
+
+
+class TestChains:
+    def test_chain_always_applies(self):
+        for seed in range(10):
+            rng = DeterministicRng(seed)
+            ops = random_evolution_chain(orders_shape(), 12, rng)
+            shape = orders_shape()
+            for op in ops:
+                shape = op.apply_to_shape(shape)  # must not raise
+            assert shape.version == 13
+
+    def test_additive_chain_is_all_additive(self):
+        rng = DeterministicRng(5)
+        ops = random_evolution_chain(orders_shape(), 10, rng, additive_only=True)
+        assert all(op.additive for op in ops)
+
+    def test_chain_migration_runs_on_data(self):
+        rng = DeterministicRng(5)
+        ops = random_evolution_chain(orders_shape(), 10, rng)
+        migrated = migrate_documents([dict(DOC)], ops)
+        assert migrated[0]["_id"] == "o1"
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=10))
+    def test_migrated_doc_fits_evolved_shape(self, seed, length):
+        """Property: after migration, every top-level doc key is in the shape."""
+        rng = DeterministicRng(seed)
+        ops = random_evolution_chain(orders_shape(), length, rng)
+        shape = orders_shape()
+        for op in ops:
+            shape = op.apply_to_shape(shape)
+        migrated = migrate_documents([dict(DOC)], ops)[0]
+        declared = set(shape.field_names())
+        assert set(migrated) <= declared | {"_id"}

@@ -1,0 +1,95 @@
+"""History-query usability under evolved shapes."""
+
+from repro.core.workloads import QUERIES
+from repro.schema import (
+    AddField,
+    DropField,
+    NestFields,
+    RenameField,
+    check_usability,
+)
+from repro.schema.shapes import orders_shape
+from repro.schema.usability import extract_paths, query_is_usable
+from repro.query.parser import parse
+
+Q_SIMPLE = "FOR o IN orders FILTER o.status == 'paid' RETURN o.total_price"
+Q_NESTED = (
+    "FOR o IN orders FOR it IN o.items FILTER it.quantity > 1 RETURN it.product_id"
+)
+Q_OTHER = "FOR c IN customers RETURN c.name"
+Q_LET = "FOR o IN orders LET t = o.total_price RETURN t + 1"
+Q_SUB = "FOR o IN orders RETURN [FOR it IN o.items RETURN it.amount]"
+
+
+class TestExtractPaths:
+    def test_simple_paths(self):
+        paths = extract_paths(parse(Q_SIMPLE), "orders")
+        assert paths == {("status",), ("total_price",)}
+
+    def test_nested_for_paths(self):
+        paths = extract_paths(parse(Q_NESTED), "orders")
+        assert ("items", "quantity") in paths
+        assert ("items", "product_id") in paths
+
+    def test_other_collection_ignored(self):
+        assert extract_paths(parse(Q_OTHER), "orders") == set()
+
+    def test_let_alias_tracked(self):
+        assert ("total_price",) in extract_paths(parse(Q_LET), "orders")
+
+    def test_subquery_paths_tracked(self):
+        paths = extract_paths(parse(Q_SUB), "orders")
+        assert ("items", "amount") in paths
+
+    def test_index_access_keeps_array_path(self):
+        q = "FOR o IN orders RETURN o.items[0].amount"
+        assert ("items", "amount") in extract_paths(parse(q), "orders")
+
+
+class TestUsability:
+    def test_usable_on_canonical(self):
+        ok, missing = query_is_usable(Q_SIMPLE, orders_shape())
+        assert ok and missing == []
+
+    def test_drop_breaks(self):
+        shape = DropField("orders", "status").apply_to_shape(orders_shape())
+        ok, missing = query_is_usable(Q_SIMPLE, shape)
+        assert not ok and missing == ["status"]
+
+    def test_rename_breaks_old_name(self):
+        shape = RenameField("orders", "total_price", "total").apply_to_shape(
+            orders_shape()
+        )
+        ok, missing = query_is_usable(Q_SIMPLE, shape)
+        assert not ok and "total_price" in missing
+
+    def test_add_does_not_break(self):
+        shape = AddField("orders", "zzz").apply_to_shape(orders_shape())
+        assert query_is_usable(Q_SIMPLE, shape)[0]
+
+    def test_nest_breaks_flat_reference(self):
+        shape = NestFields("orders", ("status",), "meta").apply_to_shape(
+            orders_shape()
+        )
+        assert not query_is_usable(Q_SIMPLE, shape)[0]
+
+    def test_queries_not_touching_collection_always_usable(self):
+        shape = DropField("orders", "status").apply_to_shape(orders_shape())
+        assert query_is_usable(Q_OTHER, shape)[0]
+
+    def test_report_aggregates(self):
+        shape = DropField("orders", "status").apply_to_shape(orders_shape())
+        report = check_usability([Q_SIMPLE, Q_OTHER, Q_NESTED], shape)
+        assert report.total == 3
+        assert report.usable == 2
+        assert report.usability == 2 / 3
+        assert len(report.broken_queries) == 1
+
+    def test_benchmark_queries_usable_on_canonical_shape(self):
+        report = check_usability([q.text for q in QUERIES], orders_shape())
+        assert report.usability == 1.0
+
+    def test_dropping_items_breaks_many_benchmark_queries(self):
+        shape = DropField("orders", "items").apply_to_shape(orders_shape())
+        report = check_usability([q.text for q in QUERIES], shape)
+        assert report.usability < 1.0

@@ -1,0 +1,131 @@
+"""Polyglot baseline: buffering, per-store commits, fracture mechanics."""
+
+import pytest
+
+from repro.baselines.polyglot import (
+    STORE_ORDER,
+    CrashDuringCommit,
+    PolyglotPersistence,
+)
+from repro.errors import DocumentError, NoSuchCollectionError, TransactionAborted
+from repro.models.relational.schema import Column, ColumnType, TableSchema
+from repro.models.xml.node import element
+
+SCHEMA = TableSchema(
+    "t",
+    (Column("id", ColumnType.INTEGER, nullable=False),
+     Column("v", ColumnType.INTEGER)),
+    primary_key=("id",),
+)
+
+
+@pytest.fixture()
+def db() -> PolyglotPersistence:
+    store = PolyglotPersistence()
+    store.create_table(SCHEMA)
+    store.create_collection("docs")
+    store.create_kv_namespace("kv")
+    store.create_xml_collection("xml")
+    store.create_graph("g")
+    return store
+
+
+class TestBuffering:
+    def test_writes_invisible_before_commit(self, db):
+        session = db.session()
+        session.doc_insert("docs", {"_id": 1})
+        session.kv_put("kv", "k", "v")
+        assert db.collections["docs"] == {}
+        assert len(db.kv_namespaces["kv"]) == 0
+        session.commit()
+        assert 1 in db.collections["docs"]
+        assert db.kv_namespaces["kv"].get("k") == "v"
+
+    def test_abort_discards_everything(self, db):
+        session = db.session()
+        session.sql_insert("t", {"id": 1, "v": 1})
+        session.graph_add_vertex("g", 1, "p")
+        session.abort()
+        assert len(db.tables["t"]) == 0
+        assert db.graphs["g"].vertex_count() == 0
+
+    def test_double_commit_rejected(self, db):
+        session = db.session()
+        session.commit()
+        with pytest.raises(TransactionAborted):
+            session.commit()
+
+    def test_reads_see_committed_state_not_buffer(self, db):
+        db.run_transaction(lambda s: s.doc_insert("docs", {"_id": 1, "v": "old"}))
+        session = db.session()
+        session.doc_update("docs", 1, {"v": "new"})
+        # Polyglot reads bypass the buffer — no read-your-writes.
+        assert session.doc_get("docs", 1)["v"] == "old"
+
+    def test_store_commit_counters(self, db):
+        db.run_transaction(lambda s: (
+            s.doc_insert("docs", {"_id": 1}),
+            s.kv_put("kv", "k", 1),
+        ))
+        assert db.store_commits["document"] == 1
+        assert db.store_commits["kv"] == 1
+        assert db.store_commits["relational"] == 0
+
+
+class TestFractureMechanics:
+    def body(self, s):
+        s.sql_insert("t", {"id": 1, "v": 1})       # store 1 (relational)
+        s.doc_insert("docs", {"_id": 1})           # store 2 (document)
+        s.xml_put("xml", "x", element("a"))        # store 3 (xml)
+        s.kv_put("kv", "k", 1)                     # store 4 (kv)
+        s.graph_add_vertex("g", 1, "p")            # store 5 (graph)
+
+    @pytest.mark.parametrize("crash_after", [1, 2, 3, 4])
+    def test_crash_leaves_exact_prefix(self, db, crash_after):
+        db.crash_after_stores = crash_after
+        with pytest.raises(CrashDuringCommit):
+            db.run_transaction(self.body)
+        applied = [
+            len(db.tables["t"]) > 0,
+            len(db.collections["docs"]) > 0,
+            len(db.xml_collections["xml"]) > 0,
+            len(db.kv_namespaces["kv"]) > 0,
+            db.graphs["g"].vertex_count() > 0,
+        ]
+        # Stores commit in STORE_ORDER; exactly the first crash_after did.
+        assert applied == [i < crash_after for i in range(5)]
+
+    def test_no_crash_applies_all(self, db):
+        db.run_transaction(self.body)
+        assert db.stats()["rows"] == 1
+        assert db.stats()["vertices"] == 1
+
+    def test_store_order_is_documented_constant(self):
+        assert STORE_ORDER == ("relational", "document", "xml", "kv", "graph")
+
+
+class TestValidation:
+    def test_duplicate_doc_rejected_at_buffer_time(self, db):
+        db.run_transaction(lambda s: s.doc_insert("docs", {"_id": 1}))
+        session = db.session()
+        with pytest.raises(DocumentError):
+            session.doc_insert("docs", {"_id": 1})
+
+    def test_unknown_stores_rejected(self, db):
+        session = db.session()
+        with pytest.raises(NoSuchCollectionError):
+            session.doc_get("nope", 1)
+        with pytest.raises(NoSuchCollectionError):
+            session.kv_get("nope", "k")
+
+    def test_index_maintained_on_commit(self, db):
+        db.create_index("collection", "docs", "kind")
+        db.run_transaction(lambda s: s.doc_insert("docs", {"_id": 1, "kind": "a"}))
+        session = db.session()
+        assert [d["_id"] for d in session.doc_find("docs", "kind", "a")] == [1]
+
+    def test_index_backfill(self, db):
+        db.run_transaction(lambda s: s.doc_insert("docs", {"_id": 1, "kind": "a"}))
+        db.create_index("collection", "docs", "kind")
+        session = db.session()
+        assert len(session.doc_find("docs", "kind", "a")) == 1

@@ -1,0 +1,29 @@
+"""The `python -m repro` experiment CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("F1", "E1", "E6", "E7", "YCSB"):
+            assert name in out
+
+    def test_single_experiment_prints_table(self, capsys):
+        assert main(["E3a"]) == 0
+        out = capsys.readouterr().out
+        assert "anomaly occurrence" in out
+        assert "write_skew" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["E99"])
+
+    def test_out_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert main(["E3a", "--out", str(target)]) == 0
+        capsys.readouterr()
+        assert "write_skew" in target.read_text()

@@ -1,0 +1,107 @@
+"""Utility layer: timers, tables, top-level package exports."""
+
+import pytest
+
+import repro
+from repro.util.tables import Table, format_table
+from repro.util.timing import Stopwatch, Timer
+
+
+class TestTimer:
+    def test_empty_timer_zeroes(self):
+        t = Timer()
+        assert t.mean == 0.0
+        assert t.percentile(50) == 0.0
+        assert t.throughput() == 0.0
+
+    def test_percentiles_interpolate(self):
+        t = Timer(samples=[1.0, 2.0, 3.0, 4.0])
+        assert t.percentile(0) == 1.0
+        assert t.percentile(100) == 4.0
+        assert t.percentile(50) == 2.5
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Timer(samples=[1.0]).percentile(101)
+
+    def test_stdev(self):
+        t = Timer(samples=[1.0, 3.0])
+        assert t.stdev == pytest.approx(1.4142, abs=1e-3)
+        assert Timer(samples=[1.0]).stdev == 0.0
+
+    def test_time_context_records(self):
+        t = Timer()
+        with t.time():
+            pass
+        assert t.count == 1 and t.samples[0] >= 0
+
+    def test_summary_keys(self):
+        t = Timer(samples=[0.5])
+        assert {"count", "mean", "p50", "p95", "p99", "ops_per_sec"} <= set(t.summary())
+
+    def test_stopwatch(self):
+        with Stopwatch() as sw:
+            pass
+        assert sw.elapsed >= 0
+
+
+class TestTable:
+    def test_render_contains_title_and_cells(self):
+        t = Table("demo", ["k", "v"])
+        t.add_row(["a", 1.23456])
+        out = t.render()
+        assert "demo" in out and "1.235" in out
+
+    def test_row_arity_checked(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_to_records(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row([1, 2])
+        assert t.to_records() == [{"a": 1, "b": 2}]
+
+    def test_column_access(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row([1, 2])
+        t.add_row([3, 4])
+        assert t.column("b") == [2, 4]
+        with pytest.raises(KeyError):
+            t.column("zzz")
+
+    def test_format_cells(self):
+        out = format_table(["x"], [[True], [12345], [0.000123], [None]])
+        assert "yes" in out and "12,345" in out and "0.000123" in out
+
+    def test_alignment(self):
+        out = format_table(["col", "n"], [["a", 1], ["long_value", 2]])
+        lines = out.splitlines()
+        assert len({line.index("1") for line in lines if "1" in line} |
+                   {line.index("2") for line in lines if "2" in line}) == 1
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_names_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_error_hierarchy_single_root(self):
+        from repro import errors
+
+        leaf_classes = [
+            errors.SchemaError, errors.XPathError, errors.DeadlockError,
+            errors.MMQLSyntaxError, errors.GoldStandardMismatch,
+            errors.WorkloadError, errors.SimulatedCrash,
+        ]
+        for cls in leaf_classes:
+            assert issubclass(cls, errors.ReproError)
+
+    def test_transaction_aborted_covers_conflicts_and_deadlocks(self):
+        from repro import errors
+
+        assert issubclass(errors.SerializationConflict, errors.TransactionAborted)
+        assert issubclass(errors.DeadlockError, errors.TransactionAborted)
