@@ -226,7 +226,45 @@ QUERIES: list[QueryDef] = [
     ),
 ]
 
-QUERY_BY_ID = {q.query_id: q for q in QUERIES}
+def _range_bounds(dataset: Dataset) -> dict[str, float]:
+    """A selective window: roughly the top 2% of orders by total."""
+    totals = sorted(o["total_price"] for o in dataset.orders)
+    if not totals:
+        return {"lo": 0.0, "hi": 1.0}
+    lo = totals[-min(len(totals), max(2, len(totals) // 50))]
+    return {"lo": lo, "hi": totals[-1] + 1.0}
+
+
+# Optimizer-focused companions to Q1-Q10: these exercise the physical
+# plans the rule-based optimizer picks (IndexRangeScan, bounded-heap
+# TopK) and ride in the E1 benchmark file, not the core 10-query table.
+EXTENDED_QUERIES: list[QueryDef] = [
+    QueryDef(
+        "Q11",
+        "Selective range scan: orders inside a narrow total_price window",
+        ("json",),
+        """
+        FOR o IN orders
+          FILTER o.total_price >= @lo AND o.total_price < @hi
+          RETURN {id: o._id, total: o.total_price}
+        """,
+        _range_bounds,
+    ),
+    QueryDef(
+        "Q12",
+        "Top-10 orders by total_price (fused SORT+LIMIT TopK)",
+        ("json",),
+        """
+        FOR o IN orders
+          SORT o.total_price DESC
+          LIMIT 10
+          RETURN {id: o._id, total: o.total_price}
+        """,
+        lambda ds: {},
+    ),
+]
+
+QUERY_BY_ID = {q.query_id: q for q in QUERIES + EXTENDED_QUERIES}
 
 
 # ---------------------------------------------------------------------------

@@ -80,3 +80,5 @@ def load_dataset(
         driver.create_index("collection", "orders", "status")
         driver.create_index("collection", "products", "category")
         driver.create_index("table", "customers", "country")
+        # Ordered index: serves IndexRangeScan and top-k over order value.
+        driver.create_index("collection", "orders", "total_price", index_type="sorted")

@@ -46,8 +46,17 @@ class Driver(abc.ABC):
         """Create a property graph."""
 
     @abc.abstractmethod
-    def create_index(self, kind: str, collection: str, field: str) -> None:
-        """Create a secondary index; *kind* is 'table' or 'collection'."""
+    def create_index(
+        self, kind: str, collection: str, field: str, index_type: str = "hash"
+    ) -> None:
+        """Create a secondary index; *kind* is 'table' or 'collection'.
+
+        *index_type* selects the structure: ``"hash"`` (equality),
+        ``"sorted"`` or ``"btree"`` (ordered, serve range scans).
+        Drivers without ordered structures may ignore it — the query
+        layer falls back to scans when a range probe is unanswerable.
+        *field* may be a dotted path into nested documents.
+        """
 
     # -- loading -----------------------------------------------------------
 

@@ -71,6 +71,56 @@ class PolyglotQueryContext:
             return out
         return None
 
+    def range_lookup(
+        self,
+        collection: str,
+        field: str,
+        low: Any,
+        high: Any,
+        include_low: bool,
+        include_high: bool,
+    ) -> Iterable[Any] | None:
+        """Range lookup over the baseline's hash indexes.
+
+        The polyglot stores keep only hash indexes, so a range probe
+        walks the index's distinct values with bound checks — O(distinct
+        values) instead of O(log n + k), which is itself part of the
+        architectural comparison.  Incomparable values are skipped; the
+        executor's residual FILTER keeps the answer exact.
+        """
+        if collection in self.db.tables:
+            kind, fetch = "table", self.db.tables[collection].get
+        elif collection in self.db.collections:
+            coll = self.db.collections[collection]
+            kind = "collection"
+
+            def fetch(doc_id):
+                doc = coll.get(doc_id)
+                return dict(doc) if doc is not None else None
+        else:
+            return None
+        index = self.db.index(kind, collection, field)
+        if index is None:
+            return None
+        out = []
+        for value, keys in index.items():
+            try:
+                if low is not None and (
+                    value < low or (not include_low and value == low)
+                ):
+                    continue
+                if high is not None and (
+                    value > high or (not include_high and value == high)
+                ):
+                    continue
+            except TypeError:
+                continue
+            for key in keys:
+                row = fetch(key)
+                if row is not None:
+                    out.append(row)
+        return out
+
     # -- graph ---------------------------------------------------------------
 
     def traverse(
@@ -144,7 +194,10 @@ class PolyglotDriver(Driver):
     def create_graph(self, name: str) -> None:
         self.db.create_graph(name)
 
-    def create_index(self, kind: str, collection: str, field: str) -> None:
+    def create_index(
+        self, kind: str, collection: str, field: str, index_type: str = "hash"
+    ) -> None:
+        # The baseline keeps only hash indexes; range probes walk them.
         self.db.create_index(kind, collection, field)
 
     def load(self, loader: Callable[[PolyglotSession], None]) -> None:

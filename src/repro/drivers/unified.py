@@ -94,7 +94,10 @@ class UnifiedQueryContext:
 
         Candidates are re-read through the transaction for visibility;
         the executor re-applies the filter, so over-approximation from a
-        latest-committed index stays correct.
+        latest-committed index stays correct.  Bounds that don't compare
+        with the indexed values (e.g. a string bound over a numeric
+        index) degrade to a scan — the residual filter then evaluates
+        the mismatched comparison to False, exactly as without an index.
         """
         model = self._model_of(collection)
         if model not in (Model.RELATIONAL, Model.DOCUMENT):
@@ -107,10 +110,13 @@ class UnifiedQueryContext:
         if index is None:
             return None
         out = []
-        for _, record_key in index.range(low, high, include_low, include_high):
-            row = self.session.txn.read(record_key)
-            if row is not None:
-                out.append(row)
+        try:
+            for _, record_key in index.range(low, high, include_low, include_high):
+                row = self.session.txn.read(record_key)
+                if row is not None:
+                    out.append(row)
+        except TypeError:
+            return None
         return out
 
     # -- graph -------------------------------------------------------------------
@@ -218,9 +224,11 @@ class UnifiedDriver(Driver):
     def create_graph(self, name: str) -> None:
         self.db.create_graph(name)
 
-    def create_index(self, kind: str, collection: str, field: str) -> None:
+    def create_index(
+        self, kind: str, collection: str, field: str, index_type: str = "hash"
+    ) -> None:
         model = Model.RELATIONAL if kind == "table" else Model.DOCUMENT
-        self.db.create_index(model, collection, field)
+        self.db.create_index(model, collection, field, kind=index_type)
 
     # -- loading -------------------------------------------------------------
 

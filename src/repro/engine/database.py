@@ -25,7 +25,13 @@ from __future__ import annotations
 import contextlib
 from typing import Any, Callable, Iterator
 
-from repro.engine.indexes import BTreeIndex, HashIndex, SortedIndex, field_extractor
+from repro.engine.indexes import (
+    BTreeIndex,
+    HashIndex,
+    SortedIndex,
+    extract_path,
+    field_extractor,
+)
 from repro.engine.records import Model, RecordKey, copy_value
 from repro.engine.transactions import (
     IsolationLevel,
@@ -750,7 +756,7 @@ class Session:
             for record_key in index.lookup(value):
                 seen_keys.add(record_key.key)
                 row = self.txn.read(record_key)
-                if row is not None and row.get(field) == value:
+                if row is not None and extract_path(row, field) == value:
                     results.append(row)
             # Own uncommitted writes are not in the committed index.
             for record_key, buffered in self.txn.write_set.items():
@@ -759,12 +765,12 @@ class Session:
                     and record_key.collection == collection
                     and record_key.key not in seen_keys
                     and buffered is not None
-                    and buffered.get(field) == value
+                    and extract_path(buffered, field) == value
                 ):
                     results.append(copy_value(buffered))
             return results
         for _, row in self.txn.scan(model, collection):
-            if isinstance(row, dict) and row.get(field) == value:
+            if isinstance(row, dict) and extract_path(row, field) == value:
                 results.append(row)
         return results
 

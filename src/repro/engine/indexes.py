@@ -22,16 +22,35 @@ from repro.errors import EngineError
 Extractor = Callable[[Any], Hashable]
 
 
+def extract_path(value: Any, field: str) -> Any:
+    """Value at *field* of a dict-shaped record, following dotted paths.
+
+    Each dot descends one nested dict — mirroring how MMQL's chained
+    field access (``u.address.city``) evaluates, so an index keyed by
+    this extractor always agrees with the query predicate it serves (a
+    literal ``"address.city"`` key is unreachable from MMQL and is not
+    consulted).  Returns None when any step is missing or not a dict.
+    """
+    node: Any = value
+    for part in field.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
 def field_extractor(field: str) -> Extractor:
-    """Extractor for a top-level field of a dict-shaped record value."""
+    """Extractor for a field of a dict-shaped record value.
+
+    *field* may be a dotted path (``"address.city"``) into nested
+    documents; container-valued results are unindexable and map to None.
+    """
 
     def extract(value: Any) -> Hashable:
-        if isinstance(value, dict):
-            got = value.get(field)
-            if isinstance(got, (list, dict)):
-                return None  # unindexable nested value
-            return got
-        return None
+        got = extract_path(value, field)
+        if isinstance(got, (list, dict)):
+            return None  # unindexable nested value
+        return got
 
     return extract
 

@@ -19,7 +19,8 @@ Model bridges: ``TRAVERSE(graph, start, min, max, label)`` for graphs,
 ``KVGET(namespace, key)`` / ``KV(namespace, prefix)`` for key-value.
 
 Public API: :func:`parse` text into a :class:`~repro.query.ast.Query`,
-plan with :func:`~repro.query.planner.plan`, run with
+lower it with :func:`~repro.query.planner.plan` to a tree of physical
+operators (:mod:`repro.query.physical`), run with
 :class:`~repro.query.executor.Executor` against any
 :class:`~repro.query.context.QueryContext`.
 """
@@ -28,11 +29,13 @@ from repro.query.ast import Query
 from repro.query.context import QueryContext
 from repro.query.executor import Executor, run_query
 from repro.query.parser import parse
+from repro.query.physical import PhysicalOperator
 from repro.query.planner import ExplainedPlan, plan
 
 __all__ = [
     "ExplainedPlan",
     "Executor",
+    "PhysicalOperator",
     "Query",
     "QueryContext",
     "parse",

@@ -136,7 +136,15 @@ class RangeHint:
 
 @dataclass(frozen=True)
 class FilterClause:
+    """``FILTER condition``.
+
+    ``speculative`` marks a planner-hoisted copy of a conjunct whose
+    original stays in place: it may only discard bindings, so evaluation
+    errors defer to the strict original instead of raising early.
+    """
+
     condition: Expr
+    speculative: bool = False
 
 
 @dataclass(frozen=True)

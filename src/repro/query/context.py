@@ -31,7 +31,27 @@ class QueryContext(Protocol):
 
         Returns None when no usable index exists (executor falls back to
         a scan); otherwise an iterable of the same shape as
-        :meth:`iter_collection`.
+        :meth:`iter_collection`.  *field* may be a dotted path
+        (``address.city``) when the index was created on one.
+        """
+        ...
+
+    def range_lookup(
+        self,
+        collection: str,
+        field: str,
+        low: Any,
+        high: Any,
+        include_low: bool,
+        include_high: bool,
+    ) -> Iterable[Any] | None:
+        """Range lookup via an ordered secondary index.
+
+        Serves the planner's :class:`~repro.query.physical.IndexRangeScan`
+        access path.  ``None`` bounds are open; inclusivity flags mirror
+        the comparison operators the planner matched.  Returns None when
+        no usable index exists (executor falls back to a scan).  May
+        over-approximate — the residual FILTER keeps the answer exact.
         """
         ...
 

@@ -1,42 +1,46 @@
-"""MMQL execution: expression evaluation + the clause pipeline.
+"""MMQL execution: expression evaluation + a thin physical-plan driver.
 
-Execution is a stream of *bindings* (dicts var -> value) flowing through
-the clause list; RETURN maps each surviving binding to an output value.
-The executor consults :class:`~repro.query.ast.IndexHint` annotations
-placed by the planner, falling back to scans when the context has no
-matching index — so the same plan runs on indexed and unindexed stores
-(the E1 index ablation flips ``use_indexes``).
+The executor no longer interprets clauses.  :meth:`Executor.execute`
+parses, calls :func:`~repro.query.planner.plan` to obtain the physical
+operator tree, and pulls result values out of the root
+:class:`~repro.query.physical.Project` iterator — all pipeline shape
+(access paths, filter placement, TopK fusion) was decided at plan time.
+
+What remains here is the *runtime* the operators call back into:
+
+- :meth:`Executor.eval_expr` — the expression evaluator (operators pass
+  the executor around as ``rt``); subqueries lower through the planner
+  too, with their physical plans cached per AST node.
+- ``stats`` — access-path counters (``index_lookups``, ``range_lookups``,
+  ``scans``, ``rows_scanned``) that the benchmarks and tests assert on.
+- ``use_indexes`` — the E1 ablation switch; when off, index access paths
+  degrade to scans at run time without replanning.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any
 
-from repro.errors import ExecutionError, PlanError
+from repro.errors import ExecutionError
 from repro.query import functions
 from repro.query.ast import (
     Binary,
-    CollectClause,
     Expr,
     FieldAccess,
-    FilterClause,
-    ForClause,
     FunctionCall,
     IndexAccess,
-    LetClause,
-    LimitClause,
     ListExpr,
     Literal,
     ObjectExpr,
     ParamRef,
     Query,
-    SortClause,
     Subquery,
     Unary,
     VarRef,
 )
 from repro.query.context import QueryContext
 from repro.query.parser import parse
+from repro.query.physical import PhysicalOperator
 from repro.query.planner import plan
 
 Binding = dict[str, Any]
@@ -51,196 +55,24 @@ class Executor:
         self.stats = {
             "index_lookups": 0, "range_lookups": 0, "scans": 0, "rows_scanned": 0,
         }
+        # Physical plans for subqueries, keyed by AST node identity; the
+        # Query object is pinned alongside so ids cannot be recycled.
+        self._subplans: dict[int, tuple[Query, PhysicalOperator]] = {}
 
     # -- public ---------------------------------------------------------------
 
     def execute(
         self, query: Query | str, params: dict[str, Any] | None = None
     ) -> list[Any]:
-        """Execute and materialise all result values."""
+        """Plan, run, and materialise all result values."""
         if isinstance(query, str):
             query = parse(query)
-        planned = plan(query).query
-        params = params or {}
-        bindings: Iterator[Binding] = iter([{}])
-        for clause in planned.clauses:
-            bindings = self._apply(clause, bindings, params)
-        out: list[Any] = []
-        seen: set[str] = set()
-        for binding in bindings:
-            value = self._eval(planned.returning.expr, binding, params)
-            if planned.returning.distinct:
-                marker = repr(value)
-                if marker in seen:
-                    continue
-                seen.add(marker)
-            out.append(value)
-        return out
+        root = plan(query).root
+        return list(root.run(self, params or {}))
 
-    # -- clause dispatch ----------------------------------------------------------
+    # -- expression evaluation ------------------------------------------------
 
-    def _apply(
-        self, clause: Any, bindings: Iterator[Binding], params: dict[str, Any]
-    ) -> Iterator[Binding]:
-        if isinstance(clause, ForClause):
-            return self._apply_for(clause, bindings, params)
-        if isinstance(clause, FilterClause):
-            return (
-                b for b in bindings
-                if _truthy(self._eval(clause.condition, b, params))
-            )
-        if isinstance(clause, LetClause):
-            return self._apply_let(clause, bindings, params)
-        if isinstance(clause, SortClause):
-            return self._apply_sort(clause, bindings, params)
-        if isinstance(clause, LimitClause):
-            return self._apply_limit(clause, bindings, params)
-        if isinstance(clause, CollectClause):
-            return self._apply_collect(clause, bindings, params)
-        raise PlanError(f"unknown clause {type(clause).__name__}")
-
-    def _apply_for(
-        self, clause: ForClause, bindings: Iterator[Binding], params: dict[str, Any]
-    ) -> Iterator[Binding]:
-        for binding in bindings:
-            for item in self._for_items(clause, binding, params):
-                child = dict(binding)
-                child[clause.var] = item
-                yield child
-
-    def _for_items(
-        self, clause: ForClause, binding: Binding, params: dict[str, Any]
-    ) -> Iterator[Any]:
-        source = clause.source
-        # A bound variable holding a list shadows any collection name.
-        if isinstance(source, VarRef) and source.name in binding:
-            value = binding[source.name]
-            if not isinstance(value, list):
-                raise ExecutionError(
-                    f"FOR over variable {source.name!r} requires a list, "
-                    f"got {type(value).__name__}"
-                )
-            yield from value
-            return
-        if isinstance(source, VarRef):
-            hint = clause.index_hint
-            if hint is not None and self.use_indexes:
-                key = self._eval(hint.key_expr, binding, params)
-                matches = self.ctx.index_lookup(hint.collection, hint.field, key)
-                if matches is not None:
-                    self.stats["index_lookups"] += 1
-                    yield from matches
-                    return
-            range_hint = clause.range_hint
-            range_lookup = getattr(self.ctx, "range_lookup", None)
-            if range_hint is not None and self.use_indexes and range_lookup is not None:
-                low = (
-                    self._eval(range_hint.low_expr, binding, params)
-                    if range_hint.low_expr is not None else None
-                )
-                high = (
-                    self._eval(range_hint.high_expr, binding, params)
-                    if range_hint.high_expr is not None else None
-                )
-                matches = range_lookup(
-                    range_hint.collection, range_hint.field,
-                    low, high, range_hint.include_low, range_hint.include_high,
-                )
-                if matches is not None:
-                    self.stats["range_lookups"] += 1
-                    yield from matches
-                    return
-            self.stats["scans"] += 1
-            for item in self.ctx.iter_collection(source.name):
-                self.stats["rows_scanned"] += 1
-                yield item
-            return
-        value = self._eval(source, binding, params)
-        if value is None:
-            return
-        if not isinstance(value, list):
-            raise ExecutionError(
-                f"FOR source must evaluate to a list, got {type(value).__name__}"
-            )
-        yield from value
-
-    def _apply_let(
-        self, clause: LetClause, bindings: Iterator[Binding], params: dict[str, Any]
-    ) -> Iterator[Binding]:
-        for binding in bindings:
-            child = dict(binding)
-            child[clause.var] = self._eval(clause.value, binding, params)
-            yield child
-
-    def _apply_sort(
-        self, clause: SortClause, bindings: Iterator[Binding], params: dict[str, Any]
-    ) -> Iterator[Binding]:
-        materialised = list(bindings)
-
-        def sort_key(binding: Binding) -> tuple:
-            key = []
-            for sk in clause.keys:
-                value = self._eval(sk.expr, binding, params)
-                key.append(_Orderable(value, sk.ascending))
-            return tuple(key)
-
-        materialised.sort(key=sort_key)
-        return iter(materialised)
-
-    def _apply_limit(
-        self, clause: LimitClause, bindings: Iterator[Binding], params: dict[str, Any]
-    ) -> Iterator[Binding]:
-        count = self._eval(clause.count, {}, params)
-        offset = (
-            self._eval(clause.offset, {}, params) if clause.offset is not None else 0
-        )
-        if not isinstance(count, int) or count < 0:
-            raise ExecutionError(f"LIMIT count must be a non-negative int, got {count!r}")
-        if not isinstance(offset, int) or offset < 0:
-            raise ExecutionError(f"LIMIT offset must be a non-negative int, got {offset!r}")
-        emitted = 0
-        skipped = 0
-        for binding in bindings:
-            if skipped < offset:
-                skipped += 1
-                continue
-            if emitted >= count:
-                return
-            emitted += 1
-            yield binding
-
-    def _apply_collect(
-        self, clause: CollectClause, bindings: Iterator[Binding], params: dict[str, Any]
-    ) -> Iterator[Binding]:
-        groups: dict[str, dict[str, Any]] = {}
-        for binding in bindings:
-            key_values = [
-                (name, self._eval(expr, binding, params)) for name, expr in clause.keys
-            ]
-            marker = repr([v for _, v in key_values])
-            group = groups.get(marker)
-            if group is None:
-                group = {
-                    "keys": dict(key_values),
-                    "agg": [_AggState(a.func) for a in clause.aggregations],
-                    "members": [],
-                }
-                groups[marker] = group
-            for state, agg in zip(group["agg"], clause.aggregations):
-                state.feed(self._eval(agg.arg, binding, params))
-            if clause.into is not None:
-                group["members"].append(dict(binding))
-        for group in groups.values():
-            out: Binding = dict(group["keys"])
-            for state, agg in zip(group["agg"], clause.aggregations):
-                out[agg.var] = state.result()
-            if clause.into is not None:
-                out[clause.into] = group["members"]
-            yield out
-
-    # -- expression evaluation -------------------------------------------------------
-
-    def _eval(self, expr: Expr, binding: Binding, params: dict[str, Any]) -> Any:
+    def eval_expr(self, expr: Expr, binding: Binding, params: dict[str, Any]) -> Any:
         if isinstance(expr, Literal):
             return expr.value
         if isinstance(expr, VarRef):
@@ -252,7 +84,7 @@ class Executor:
                 raise ExecutionError(f"missing query parameter @{expr.name}")
             return params[expr.name]
         if isinstance(expr, FieldAccess):
-            base = self._eval(expr.base, binding, params)
+            base = self.eval_expr(expr.base, binding, params)
             if base is None:
                 return None
             if isinstance(base, dict):
@@ -261,8 +93,8 @@ class Executor:
                 f"field access .{expr.field} on {type(base).__name__}"
             )
         if isinstance(expr, IndexAccess):
-            base = self._eval(expr.base, binding, params)
-            index = self._eval(expr.index, binding, params)
+            base = self.eval_expr(expr.base, binding, params)
+            index = self.eval_expr(expr.index, binding, params)
             if base is None:
                 return None
             if isinstance(base, list):
@@ -278,21 +110,21 @@ class Executor:
             return self._eval_binary(expr, binding, params)
         if isinstance(expr, Unary):
             if expr.op == "NOT":
-                return not _truthy(self._eval(expr.operand, binding, params))
-            value = self._eval(expr.operand, binding, params)
+                return not _truthy(self.eval_expr(expr.operand, binding, params))
+            value = self.eval_expr(expr.operand, binding, params)
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 raise ExecutionError(f"unary '-' on {type(value).__name__}")
             return -value
         if isinstance(expr, FunctionCall):
-            args = [self._eval(a, binding, params) for a in expr.args]
+            args = [self.eval_expr(a, binding, params) for a in expr.args]
             return functions.call_builtin(expr.name, self.ctx, args)
         if isinstance(expr, ObjectExpr):
             return {
-                name: self._eval(value, binding, params)
+                name: self.eval_expr(value, binding, params)
                 for name, value in expr.fields
             }
         if isinstance(expr, ListExpr):
-            return [self._eval(item, binding, params) for item in expr.items]
+            return [self.eval_expr(item, binding, params) for item in expr.items]
         if isinstance(expr, Subquery):
             return self._eval_subquery(expr, binding, params)
         raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
@@ -301,34 +133,25 @@ class Executor:
         self, expr: Subquery, binding: Binding, params: dict[str, Any]
     ) -> list[Any]:
         """Run a sub-pipeline seeded with the current binding; returns a list."""
-        sub = plan(expr.query).query
-        bindings: Iterator[Binding] = iter([dict(binding)])
-        for clause in sub.clauses:
-            bindings = self._apply(clause, bindings, params)
-        out: list[Any] = []
-        seen: set[str] = set()
-        for child in bindings:
-            value = self._eval(sub.returning.expr, child, params)
-            if sub.returning.distinct:
-                marker = repr(value)
-                if marker in seen:
-                    continue
-                seen.add(marker)
-            out.append(value)
-        return out
+        cached = self._subplans.get(id(expr.query))
+        if cached is None:
+            cached = (expr.query, plan(expr.query).root)
+            self._subplans[id(expr.query)] = cached
+        _, root = cached
+        return list(root.run(self, params, seed=binding))
 
     def _eval_binary(self, expr: Binary, binding: Binding, params: dict[str, Any]) -> Any:
         op = expr.op
         if op == "AND":
-            return _truthy(self._eval(expr.left, binding, params)) and _truthy(
-                self._eval(expr.right, binding, params)
+            return _truthy(self.eval_expr(expr.left, binding, params)) and _truthy(
+                self.eval_expr(expr.right, binding, params)
             )
         if op == "OR":
-            return _truthy(self._eval(expr.left, binding, params)) or _truthy(
-                self._eval(expr.right, binding, params)
+            return _truthy(self.eval_expr(expr.left, binding, params)) or _truthy(
+                self.eval_expr(expr.right, binding, params)
             )
-        left = self._eval(expr.left, binding, params)
-        right = self._eval(expr.right, binding, params)
+        left = self.eval_expr(expr.left, binding, params)
+        right = self.eval_expr(expr.right, binding, params)
         if op == "==":
             return left == right
         if op == "!=":
@@ -359,82 +182,6 @@ class Executor:
         if op in ("+", "-", "*", "/", "%"):
             return _arith(op, left, right)
         raise ExecutionError(f"unknown operator {op!r}")
-
-
-class _Orderable:
-    """Total order over heterogeneous values: None < bool < number < str < other."""
-
-    __slots__ = ("rank", "value", "ascending")
-
-    def __init__(self, value: Any, ascending: bool) -> None:
-        if value is None:
-            rank, key = 0, 0
-        elif isinstance(value, bool):
-            rank, key = 1, int(value)
-        elif isinstance(value, (int, float)):
-            rank, key = 2, value
-        elif isinstance(value, str):
-            rank, key = 3, value
-        else:
-            rank, key = 4, repr(value)
-        self.rank = rank
-        self.value = key
-        self.ascending = ascending
-
-    def __lt__(self, other: "_Orderable") -> bool:
-        mine = (self.rank, self.value)
-        theirs = (other.rank, other.value)
-        if self.rank != other.rank:
-            less = self.rank < other.rank
-        else:
-            less = mine < theirs
-        return less if self.ascending else not less and mine != theirs
-
-    def __eq__(self, other: object) -> bool:
-        return (
-            isinstance(other, _Orderable)
-            and self.rank == other.rank
-            and self.value == other.value
-        )
-
-
-class _AggState:
-    """Incremental aggregate state for COLLECT ... AGGREGATE."""
-
-    def __init__(self, func: str) -> None:
-        self.func = func
-        self.count = 0
-        self.total: float = 0.0
-        self.minimum: Any = None
-        self.maximum: Any = None
-
-    def feed(self, value: Any) -> None:
-        if self.func == "COUNT":
-            if value is not None:
-                self.count += 1
-            return
-        if value is None:
-            return
-        self.count += 1
-        if self.func in ("SUM", "AVG"):
-            self.total += value
-        elif self.func == "MIN":
-            self.minimum = value if self.minimum is None else min(self.minimum, value)
-        elif self.func == "MAX":
-            self.maximum = value if self.maximum is None else max(self.maximum, value)
-
-    def result(self) -> Any:
-        if self.func == "COUNT":
-            return self.count
-        if self.func == "SUM":
-            return self.total
-        if self.func == "AVG":
-            return self.total / self.count if self.count else None
-        if self.func == "MIN":
-            return self.minimum
-        if self.func == "MAX":
-            return self.maximum
-        raise ExecutionError(f"unknown aggregate {self.func!r}")
 
 
 def _truthy(value: Any) -> bool:

@@ -1,0 +1,656 @@
+"""MMQL physical operators: the Volcano-style execution pipeline.
+
+The planner lowers a clause list into a tree of physical operators; the
+executor then just pulls bindings through :meth:`PhysicalOperator.run`
+iterators.  Operators are frozen dataclasses so a plan is an immutable,
+inspectable value — :func:`explain_tree` renders the tree that EXPLAIN
+shows, including the chosen access path for every FOR.
+
+Operator inventory (one class per shape of work):
+
+=================  ========================================================
+Operator           Role
+=================  ========================================================
+NestedLoopBind     FOR: bind a variable per item of an access path
+CollectionScan     access path: full scan of a named collection
+IndexEqLookup      access path: equality probe of a secondary index
+IndexRangeScan     access path: bounded scan of a sorted/B+tree index
+ExpressionSource   access path: FOR over a list-valued expression/variable
+Filter             FILTER: drop bindings failing a predicate
+Let                LET: extend each binding with a computed value
+Sort               SORT: full materialising sort
+TopK               fused SORT+LIMIT: bounded-heap top-k, no full sort
+Limit              LIMIT: offset/count window over the stream
+Collect            COLLECT: grouping + incremental aggregates
+Project            RETURN: map bindings to output values (DISTINCT here)
+=================  ========================================================
+
+Operators receive the running :class:`~repro.query.executor.Executor`
+(duck-typed as ``rt``) for expression evaluation, the data context, the
+``use_indexes`` switch and the stats counters.  Access paths re-check
+nothing themselves: the planner always keeps the original FILTER as a
+residual predicate, so an access path may safely over-approximate (e.g.
+a latest-committed index) — correctness never depends on index choice.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import ExecutionError
+from repro.query.ast import (
+    Binary,
+    CollectClause,
+    Expr,
+    FieldAccess,
+    FunctionCall,
+    IndexAccess,
+    ListExpr,
+    Literal,
+    ParamRef,
+    ReturnClause,
+    SortKey,
+    Unary,
+    VarRef,
+)
+
+Binding = dict[str, Any]
+
+
+# ---------------------------------------------------------------------------
+# Expression rendering (for EXPLAIN)
+# ---------------------------------------------------------------------------
+
+
+def render_expr(expr: Expr, limit: int = 40) -> str:
+    """Compact, best-effort text for an expression in EXPLAIN output."""
+    text = _render(expr)
+    if len(text) > limit:
+        text = text[: limit - 1] + "…"
+    return text
+
+
+def _render(expr: Expr) -> str:
+    if isinstance(expr, Literal):
+        return repr(expr.value)
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, ParamRef):
+        return f"@{expr.name}"
+    if isinstance(expr, FieldAccess):
+        return f"{_render(expr.base)}.{expr.field}"
+    if isinstance(expr, IndexAccess):
+        return f"{_render(expr.base)}[{_render(expr.index)}]"
+    if isinstance(expr, Binary):
+        return f"{_render(expr.left)} {expr.op} {_render(expr.right)}"
+    if isinstance(expr, Unary):
+        return f"{expr.op} {_render(expr.operand)}"
+    if isinstance(expr, FunctionCall):
+        return f"{expr.name}({', '.join(_render(a) for a in expr.args)})"
+    if isinstance(expr, ListExpr):
+        return f"[{len(expr.items)} items]"
+    return "<expr>"
+
+
+def field_path(expr: Expr, var: str) -> str | None:
+    """Dotted field path of *expr* when rooted at *var*, else None.
+
+    ``u.address.city`` rooted at ``u`` gives ``"address.city"`` — the
+    string a dotted-path secondary index is registered under.
+    """
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, FieldAccess):
+        parts.append(node.field)
+        node = node.base
+    if isinstance(node, VarRef) and node.name == var and parts:
+        return ".".join(reversed(parts))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Access paths (the inner input of NestedLoopBind)
+# ---------------------------------------------------------------------------
+
+
+class AccessPath:
+    """Produces the items one FOR iterates, given the outer binding."""
+
+    def items(self, rt: Any, binding: Binding, params: dict[str, Any]) -> Iterator[Any]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+def _shadowed_list(source_name: str, binding: Binding) -> list[Any] | None:
+    """A bound variable holding a list shadows any collection name."""
+    if source_name in binding:
+        value = binding[source_name]
+        if not isinstance(value, list):
+            raise ExecutionError(
+                f"FOR over variable {source_name!r} requires a list, "
+                f"got {type(value).__name__}"
+            )
+        return value
+    return None
+
+
+@dataclass(frozen=True)
+class CollectionScan(AccessPath):
+    """Full scan of a named collection."""
+
+    collection: str
+
+    def items(self, rt: Any, binding: Binding, params: dict[str, Any]) -> Iterator[Any]:
+        shadowed = _shadowed_list(self.collection, binding)
+        if shadowed is not None:
+            yield from shadowed
+            return
+        rt.stats["scans"] += 1
+        for item in rt.ctx.iter_collection(self.collection):
+            rt.stats["rows_scanned"] += 1
+            yield item
+
+    def describe(self) -> str:
+        return f"CollectionScan({self.collection}) [scan]"
+
+
+@dataclass(frozen=True)
+class IndexEqLookup(AccessPath):
+    """Equality probe of a secondary index; falls back to a scan.
+
+    The context decides at run time whether a usable index exists
+    (``index_lookup`` returning None means no), so the same plan runs on
+    indexed and unindexed stores — the E1 ablation flips ``use_indexes``.
+    """
+
+    collection: str
+    field: str
+    key_expr: Expr
+
+    def items(self, rt: Any, binding: Binding, params: dict[str, Any]) -> Iterator[Any]:
+        shadowed = _shadowed_list(self.collection, binding)
+        if shadowed is not None:
+            yield from shadowed
+            return
+        if rt.use_indexes:
+            key = rt.eval_expr(self.key_expr, binding, params)
+            matches = rt.ctx.index_lookup(self.collection, self.field, key)
+            if matches is not None:
+                rt.stats["index_lookups"] += 1
+                yield from matches
+                return
+        rt.stats["scans"] += 1
+        for item in rt.ctx.iter_collection(self.collection):
+            rt.stats["rows_scanned"] += 1
+            yield item
+
+    def describe(self) -> str:
+        return (
+            f"IndexEqLookup [index: {self.collection}.{self.field} "
+            f"== {render_expr(self.key_expr)}]"
+        )
+
+
+@dataclass(frozen=True)
+class IndexRangeScan(AccessPath):
+    """Bounded scan of a sorted/B+tree index; falls back to a scan.
+
+    Either bound may be None (open); inclusivity mirrors the comparison
+    operators the planner matched.  Contexts without ``range_lookup``
+    (or without a sorted index on the field) scan — the residual FILTER
+    keeps the answer exact either way.
+    """
+
+    collection: str
+    field: str
+    low_expr: Expr | None = None
+    high_expr: Expr | None = None
+    include_low: bool = True
+    include_high: bool = True
+
+    def items(self, rt: Any, binding: Binding, params: dict[str, Any]) -> Iterator[Any]:
+        shadowed = _shadowed_list(self.collection, binding)
+        if shadowed is not None:
+            yield from shadowed
+            return
+        range_lookup = getattr(rt.ctx, "range_lookup", None)
+        if rt.use_indexes and range_lookup is not None:
+            low = (
+                rt.eval_expr(self.low_expr, binding, params)
+                if self.low_expr is not None else None
+            )
+            high = (
+                rt.eval_expr(self.high_expr, binding, params)
+                if self.high_expr is not None else None
+            )
+            matches = range_lookup(
+                self.collection, self.field,
+                low, high, self.include_low, self.include_high,
+            )
+            if matches is not None:
+                rt.stats["range_lookups"] += 1
+                yield from matches
+                return
+        rt.stats["scans"] += 1
+        for item in rt.ctx.iter_collection(self.collection):
+            rt.stats["rows_scanned"] += 1
+            yield item
+
+    def describe(self) -> str:
+        bounds = []
+        if self.low_expr is not None:
+            op = ">=" if self.include_low else ">"
+            bounds.append(f"{op} {render_expr(self.low_expr)}")
+        if self.high_expr is not None:
+            op = "<=" if self.include_high else "<"
+            bounds.append(f"{op} {render_expr(self.high_expr)}")
+        return (
+            f"IndexRangeScan [range index: {self.collection}.{self.field} "
+            f"{' AND '.join(bounds)}]"
+        )
+
+
+@dataclass(frozen=True)
+class ExpressionSource(AccessPath):
+    """FOR over a list-valued expression or an already-bound variable."""
+
+    source: Expr
+    is_var: bool = False  # statically known to be a bound variable
+
+    def items(self, rt: Any, binding: Binding, params: dict[str, Any]) -> Iterator[Any]:
+        if self.is_var:
+            assert isinstance(self.source, VarRef)
+            shadowed = _shadowed_list(self.source.name, binding)
+            if shadowed is None:
+                raise ExecutionError(f"unbound variable {self.source.name!r}")
+            yield from shadowed
+            return
+        value = rt.eval_expr(self.source, binding, params)
+        if value is None:
+            return
+        if not isinstance(value, list):
+            raise ExecutionError(
+                f"FOR source must evaluate to a list, got {type(value).__name__}"
+            )
+        yield from value
+
+    def describe(self) -> str:
+        return f"ExpressionSource({render_expr(self.source)})"
+
+
+# ---------------------------------------------------------------------------
+# Binding-stream operators
+# ---------------------------------------------------------------------------
+
+
+class PhysicalOperator:
+    """One node of the physical plan; pulls bindings from its child."""
+
+    child: "PhysicalOperator | None"
+
+    def run(
+        self, rt: Any, params: dict[str, Any], seed: Binding | None = None
+    ) -> Iterator[Binding]:
+        raise NotImplementedError
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+    def _input(
+        self, rt: Any, params: dict[str, Any], seed: Binding | None
+    ) -> Iterator[Binding]:
+        if self.child is None:
+            return iter([dict(seed) if seed else {}])
+        return self.child.run(rt, params, seed)
+
+
+@dataclass(frozen=True)
+class NestedLoopBind(PhysicalOperator):
+    """FOR: per input binding, bind *var* to each item of the access path."""
+
+    var: str
+    access: AccessPath
+    child: PhysicalOperator | None = None
+
+    def run(self, rt, params, seed=None):
+        for binding in self._input(rt, params, seed):
+            for item in self.access.items(rt, binding, params):
+                out = dict(binding)
+                out[self.var] = item
+                yield out
+
+    def label(self) -> str:
+        return f"NestedLoopBind {self.var}: {self.access.describe()}"
+
+
+@dataclass(frozen=True)
+class Filter(PhysicalOperator):
+    """FILTER: keep bindings whose predicate is truthy.
+
+    A *speculative* filter is a planner-hoisted copy of a predicate
+    whose strict original runs later in the pipeline: it prunes early
+    when the predicate evaluates cleanly to false, but an evaluation
+    error keeps the binding — the interpreter never evaluated the
+    predicate this early, so erroring here would invent failures (the
+    strict copy downstream still raises if the binding survives to it).
+    """
+
+    condition: Expr
+    child: PhysicalOperator | None = None
+    speculative: bool = False
+
+    def run(self, rt, params, seed=None):
+        for binding in self._input(rt, params, seed):
+            if self.speculative:
+                try:
+                    keep = bool(rt.eval_expr(self.condition, binding, params))
+                except ExecutionError:
+                    keep = True
+                if keep:
+                    yield binding
+            elif rt.eval_expr(self.condition, binding, params):
+                yield binding
+
+    def label(self) -> str:
+        tag = " (speculative)" if self.speculative else ""
+        return f"Filter [{render_expr(self.condition)}]{tag}"
+
+
+@dataclass(frozen=True)
+class Let(PhysicalOperator):
+    """LET: extend each binding with a computed value."""
+
+    var: str
+    value: Expr
+    child: PhysicalOperator | None = None
+
+    def run(self, rt, params, seed=None):
+        for binding in self._input(rt, params, seed):
+            out = dict(binding)
+            out[self.var] = rt.eval_expr(self.value, binding, params)
+            yield out
+
+    def label(self) -> str:
+        return f"Let {self.var} = {render_expr(self.value)}"
+
+
+@dataclass(frozen=True)
+class Sort(PhysicalOperator):
+    """SORT: materialise the stream and sort it (stable)."""
+
+    keys: tuple[SortKey, ...]
+    child: PhysicalOperator | None = None
+
+    def run(self, rt, params, seed=None):
+        materialised = list(self._input(rt, params, seed))
+        materialised.sort(key=lambda b: sort_key(rt, self.keys, b, params))
+        return iter(materialised)
+
+    def label(self) -> str:
+        return f"Sort [{len(self.keys)} keys]"
+
+
+@dataclass(frozen=True)
+class TopK(PhysicalOperator):
+    """Fused SORT+LIMIT: bounded heap of the best offset+count bindings.
+
+    Keeps at most k = offset+count candidates, so memory and comparison
+    cost scale with k, not with the stream (the full Sort materialises
+    everything).  Output order is identical to stable-Sort-then-Limit:
+    ties break by arrival order via a sequence number in the heap key.
+    """
+
+    keys: tuple[SortKey, ...]
+    count: Expr
+    offset: Expr | None = None
+    child: PhysicalOperator | None = None
+
+    def run(self, rt, params, seed=None):
+        count = rt.eval_expr(self.count, {}, params)
+        offset = (
+            rt.eval_expr(self.offset, {}, params) if self.offset is not None else 0
+        )
+        _check_limit_bounds(count, offset)
+        k = count + offset
+        if k == 0:
+            return
+        heap: list[_HeapEntry] = []
+        for seq, binding in enumerate(self._input(rt, params, seed)):
+            entry = _HeapEntry((sort_key(rt, self.keys, binding, params), seq), binding)
+            if len(heap) < k:
+                heapq.heappush(heap, entry)
+            elif entry.key < heap[0].key:
+                heapq.heapreplace(heap, entry)
+        kept = sorted(heap, key=lambda e: e.key)
+        for entry in kept[offset:]:
+            yield entry.binding
+
+    def label(self) -> str:
+        window = render_expr(self.count)
+        if self.offset is not None:
+            window = f"{render_expr(self.offset)}, {window}"
+        return f"TopK [k={window}, {len(self.keys)} keys] (fused SORT+LIMIT, bounded heap)"
+
+
+class _HeapEntry:
+    """Max-heap adaptor: heapq's min slot holds the *worst* kept entry."""
+
+    __slots__ = ("key", "binding")
+
+    def __init__(self, key: tuple, binding: Binding) -> None:
+        self.key = key
+        self.binding = binding
+
+    def __lt__(self, other: "_HeapEntry") -> bool:
+        return other.key < self.key
+
+
+@dataclass(frozen=True)
+class Limit(PhysicalOperator):
+    """LIMIT: skip *offset* bindings, emit at most *count*."""
+
+    count: Expr
+    offset: Expr | None = None
+    child: PhysicalOperator | None = None
+
+    def run(self, rt, params, seed=None):
+        count = rt.eval_expr(self.count, {}, params)
+        offset = (
+            rt.eval_expr(self.offset, {}, params) if self.offset is not None else 0
+        )
+        _check_limit_bounds(count, offset)
+        emitted = 0
+        skipped = 0
+        for binding in self._input(rt, params, seed):
+            if skipped < offset:
+                skipped += 1
+                continue
+            if emitted >= count:
+                return
+            emitted += 1
+            yield binding
+
+    def label(self) -> str:
+        window = render_expr(self.count)
+        if self.offset is not None:
+            window = f"{render_expr(self.offset)}, {window}"
+        return f"Limit [{window}]"
+
+
+def _check_limit_bounds(count: Any, offset: Any) -> None:
+    if not isinstance(count, int) or count < 0:
+        raise ExecutionError(f"LIMIT count must be a non-negative int, got {count!r}")
+    if not isinstance(offset, int) or offset < 0:
+        raise ExecutionError(f"LIMIT offset must be a non-negative int, got {offset!r}")
+
+
+@dataclass(frozen=True)
+class Collect(PhysicalOperator):
+    """COLLECT: group the stream, fold aggregates incrementally."""
+
+    clause: CollectClause
+    child: PhysicalOperator | None = None
+
+    def run(self, rt, params, seed=None):
+        clause = self.clause
+        groups: dict[str, dict[str, Any]] = {}
+        for binding in self._input(rt, params, seed):
+            key_values = [
+                (name, rt.eval_expr(expr, binding, params))
+                for name, expr in clause.keys
+            ]
+            marker = repr([v for _, v in key_values])
+            group = groups.get(marker)
+            if group is None:
+                group = {
+                    "keys": dict(key_values),
+                    "agg": [AggState(a.func) for a in clause.aggregations],
+                    "members": [],
+                }
+                groups[marker] = group
+            for state, agg in zip(group["agg"], clause.aggregations):
+                state.feed(rt.eval_expr(agg.arg, binding, params))
+            if clause.into is not None:
+                group["members"].append(dict(binding))
+        for group in groups.values():
+            out: Binding = dict(group["keys"])
+            for state, agg in zip(group["agg"], clause.aggregations):
+                out[agg.var] = state.result()
+            if clause.into is not None:
+                out[clause.into] = group["members"]
+            yield out
+
+    def label(self) -> str:
+        keys = ", ".join(name for name, _ in self.clause.keys)
+        return f"Collect [{keys}] ({len(self.clause.aggregations)} aggregates)"
+
+
+@dataclass(frozen=True)
+class Project(PhysicalOperator):
+    """RETURN: map each surviving binding to an output value."""
+
+    returning: ReturnClause
+    child: PhysicalOperator | None = None
+
+    def run(self, rt, params, seed=None):
+        seen: set[str] = set()
+        for binding in self._input(rt, params, seed):
+            value = rt.eval_expr(self.returning.expr, binding, params)
+            if self.returning.distinct:
+                marker = repr(value)
+                if marker in seen:
+                    continue
+                seen.add(marker)
+            yield value
+
+    def label(self) -> str:
+        distinct = " DISTINCT" if self.returning.distinct else ""
+        return f"Project [RETURN{distinct} {render_expr(self.returning.expr)}]"
+
+
+# ---------------------------------------------------------------------------
+# Shared runtime helpers
+# ---------------------------------------------------------------------------
+
+
+def sort_key(rt: Any, keys: tuple[SortKey, ...], binding: Binding, params) -> tuple:
+    return tuple(
+        Orderable(rt.eval_expr(sk.expr, binding, params), sk.ascending) for sk in keys
+    )
+
+
+class Orderable:
+    """Total order over heterogeneous values: None < bool < number < str < other."""
+
+    __slots__ = ("rank", "value", "ascending")
+
+    def __init__(self, value: Any, ascending: bool) -> None:
+        if value is None:
+            rank, key = 0, 0
+        elif isinstance(value, bool):
+            rank, key = 1, int(value)
+        elif isinstance(value, (int, float)):
+            rank, key = 2, value
+        elif isinstance(value, str):
+            rank, key = 3, value
+        else:
+            rank, key = 4, repr(value)
+        self.rank = rank
+        self.value = key
+        self.ascending = ascending
+
+    def __lt__(self, other: "Orderable") -> bool:
+        mine = (self.rank, self.value)
+        theirs = (other.rank, other.value)
+        if self.rank != other.rank:
+            less = self.rank < other.rank
+        else:
+            less = mine < theirs
+        return less if self.ascending else not less and mine != theirs
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Orderable)
+            and self.rank == other.rank
+            and self.value == other.value
+        )
+
+
+class AggState:
+    """Incremental aggregate state for COLLECT ... AGGREGATE."""
+
+    def __init__(self, func: str) -> None:
+        self.func = func
+        self.count = 0
+        self.total: float = 0.0
+        self.minimum: Any = None
+        self.maximum: Any = None
+
+    def feed(self, value: Any) -> None:
+        if self.func == "COUNT":
+            if value is not None:
+                self.count += 1
+            return
+        if value is None:
+            return
+        self.count += 1
+        if self.func in ("SUM", "AVG"):
+            self.total += value
+        elif self.func == "MIN":
+            self.minimum = value if self.minimum is None else min(self.minimum, value)
+        elif self.func == "MAX":
+            self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    def result(self) -> Any:
+        if self.func == "COUNT":
+            return self.count
+        if self.func == "SUM":
+            return self.total
+        if self.func == "AVG":
+            return self.total / self.count if self.count else None
+        if self.func == "MIN":
+            return self.minimum
+        if self.func == "MAX":
+            return self.maximum
+        raise ExecutionError(f"unknown aggregate {self.func!r}")
+
+
+# ---------------------------------------------------------------------------
+# Tree rendering
+# ---------------------------------------------------------------------------
+
+
+def explain_tree(root: PhysicalOperator) -> list[str]:
+    """Indented operator-tree lines, root first (EXPLAIN's body)."""
+    lines: list[str] = []
+    node: PhysicalOperator | None = root
+    depth = 0
+    while node is not None:
+        lines.append("  " * depth + node.label())
+        node = node.child
+        depth += 1
+    return lines

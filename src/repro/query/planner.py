@@ -1,21 +1,40 @@
-"""MMQL planner: index-hint placement and light rewrites.
+"""MMQL planner: logical → physical lowering with a rule-based optimizer.
 
-The planner's job is deliberately small (the executor is an interpreting
-pipeline): it walks the clause list and, for every ``FOR var IN
-collection`` whose *next applicable* FILTER contains an equality
-``var.field == expr`` where *expr* depends only on previously bound
-variables, attaches an :class:`~repro.query.ast.IndexHint`.  The executor
-asks the context for a matching index at runtime and falls back to a scan
-when there is none — so hint placement is always safe.
+``plan()`` turns the parsed clause list (the logical plan) into a tree of
+physical operators (:mod:`repro.query.physical`) that the executor pulls
+bindings through.  The contract:
 
-``plan()`` returns an :class:`ExplainedPlan` whose ``describe()`` output
-is the benchmark's EXPLAIN facility.
+1. **Predicate pushdown** — every FILTER is split into its AND-conjuncts
+   and each cheap conjunct is hoisted (as a speculative copy whose strict
+   original stays in place) to the earliest point of its FOR/LET/FILTER
+   segment where all its variables are bound — never across SORT, LIMIT
+   or COLLECT, which re-shape the stream.
+2. **Dead-binding pruning** — LET bindings that no downstream clause or
+   RETURN uses are dropped, so their expressions are never evaluated.
+3. **Access-path selection** — each ``FOR var IN collection`` gets one of
+   three access paths: an equality index probe when an adjacent filter
+   has ``var.field == expr`` with *expr* already bound, a sorted-index
+   range scan when adjacent filters bound ``var.field`` with ``<`` /
+   ``<=`` / ``>`` / ``>=`` (AND-ed intervals combine into one scan), or a
+   full collection scan.  Fields may be dotted paths (``address.city``).
+   The chosen path is advisory: the executor falls back to a scan when
+   the context has no matching index, and the original predicates remain
+   as residual filters, so over-approximating access paths stay correct.
+4. **TopK fusion** — SORT immediately followed by LIMIT becomes a single
+   bounded-heap TopK operator instead of a full materialising sort.
+
+``plan()`` returns an :class:`ExplainedPlan` carrying both the annotated
+logical clauses (``.query``, with ``index_hint``/``range_hint`` on each
+FOR for introspection) and the physical tree (``.root``);  ``describe()``
+renders the physical operator tree with the chosen access paths — the
+benchmark's EXPLAIN facility.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.query import physical
 from repro.query.ast import (
     Binary,
     Clause,
@@ -27,26 +46,47 @@ from repro.query.ast import (
     IndexHint,
     LetClause,
     LimitClause,
+    Literal,
+    ParamRef,
     Query,
     RangeHint,
+    ReturnClause,
     SortClause,
+    Unary,
     VarRef,
     free_variables,
+)
+from repro.query.physical import (
+    AccessPath,
+    Collect,
+    CollectionScan,
+    ExpressionSource,
+    Filter,
+    IndexEqLookup,
+    IndexRangeScan,
+    Let,
+    Limit,
+    NestedLoopBind,
+    PhysicalOperator,
+    Project,
+    Sort,
+    TopK,
+    field_path,
+    render_expr,
 )
 
 
 @dataclass(frozen=True)
 class ExplainedPlan:
-    """A planned query plus a human-readable description."""
+    """A planned query: annotated logical clauses + the physical tree."""
 
     query: Query
     notes: tuple[str, ...]
+    root: PhysicalOperator
 
     def describe(self) -> str:
         lines = ["plan:"]
-        for clause in self.query.clauses:
-            lines.append(f"  {_describe_clause(clause)}")
-        lines.append(f"  RETURN{' DISTINCT' if self.query.returning.distinct else ''}")
+        lines.extend("  " + line for line in physical.explain_tree(self.root))
         if self.notes:
             lines.append("notes:")
             lines.extend(f"  - {note}" for note in self.notes)
@@ -54,14 +94,196 @@ class ExplainedPlan:
 
 
 def plan(query: Query) -> ExplainedPlan:
-    """Annotate *query* with index hints; returns an ExplainedPlan."""
-    clauses = list(query.clauses)
+    """Optimise *query* and lower it to a physical operator tree."""
     notes: list[str] = []
+    clauses = _push_down_filters(list(query.clauses), notes)
+    clauses = _prune_dead_lets(clauses, query.returning, notes)
+    clauses = _select_access_paths(clauses, notes)
+    annotated = Query(tuple(clauses), query.returning, query.text)
+    root = _lower(annotated, notes)
+    return ExplainedPlan(annotated, tuple(notes), root)
+
+
+# ---------------------------------------------------------------------------
+# Rule 1 — predicate pushdown
+# ---------------------------------------------------------------------------
+
+
+def _push_down_filters(clauses: list[Clause], notes: list[str]) -> list[Clause]:
+    """Split FILTERs into conjuncts; hoist each to its earliest safe slot.
+
+    Operates per maximal FOR/LET/FILTER segment — SORT, LIMIT and COLLECT
+    are barriers because a filter does not commute with them.  A hoisted
+    conjunct is a *speculative copy*: the strict original stays at its
+    position, so AND short-circuiting and empty inner FORs still shield
+    erroring predicates exactly as the interpreter's evaluation order
+    would (the copy prunes on clean false, defers on error), and the
+    surviving bindings are provably identical.
+    """
+    out: list[Clause] = []
+    bound: set[str] = set()
+    i = 0
+    n = len(clauses)
+    while i < n:
+        clause = clauses[i]
+        if isinstance(clause, (SortClause, LimitClause)):
+            out.append(clause)
+            i += 1
+            continue
+        if isinstance(clause, CollectClause):
+            out.append(clause)
+            bound = {name for name, _ in clause.keys}
+            bound |= {a.var for a in clause.aggregations}
+            if clause.into:
+                bound.add(clause.into)
+            i += 1
+            continue
+        segment: list[Clause] = []
+        while i < n and isinstance(clauses[i], (ForClause, LetClause, FilterClause)):
+            segment.append(clauses[i])
+            i += 1
+        out.extend(_reorder_segment(segment, bound, notes))
+        for c in segment:
+            if isinstance(c, (ForClause, LetClause)):
+                bound.add(c.var)
+    return out
+
+
+def _reorder_segment(
+    segment: list[Clause], bound_before: set[str], notes: list[str]
+) -> list[Clause]:
+    producers = [c for c in segment if isinstance(c, (ForClause, LetClause))]
+    # bound_at[k] = variables available after the first k producers.
+    bound_at = [set(bound_before)]
+    for producer in producers:
+        bound_at.append(bound_at[-1] | {producer.var})
+    # slots[k] = filters to run after the first k producers.
+    slots: list[list[FilterClause]] = [[] for _ in range(len(producers) + 1)]
+    producer_seen = 0
+    for clause in segment:
+        if isinstance(clause, (ForClause, LetClause)):
+            producer_seen += 1
+            continue
+        assert isinstance(clause, FilterClause)
+        for conjunct in _conjuncts(clause.condition):
+            needed = free_variables(conjunct)
+            slot = producer_seen
+            if _is_cheap(conjunct):
+                for k in range(producer_seen + 1):
+                    if needed <= bound_at[k]:
+                        slot = k
+                        break
+            if slot < producer_seen:
+                notes.append(
+                    f"pushdown: FILTER {render_expr(conjunct)} hoisted before "
+                    f"{type(producers[slot]).__name__.replace('Clause', '').upper()} "
+                    f"{producers[slot].var}"
+                )
+                slots[slot].append(FilterClause(conjunct, speculative=True))
+            slots[producer_seen].append(FilterClause(conjunct))
+    reordered: list[Clause] = list(slots[0])
+    for k, producer in enumerate(producers):
+        reordered.append(producer)
+        reordered.extend(slots[k + 1])
+    return reordered
+
+
+def _conjuncts(expr: Expr) -> list[Expr]:
+    if isinstance(expr, Binary) and expr.op == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+_CHEAP_OPS = frozenset({"==", "!=", "<", "<=", ">", ">=", "LIKE", "AND", "OR"})
+
+
+def _is_cheap(expr: Expr) -> bool:
+    """True when *expr* is cheap enough to evaluate twice.
+
+    Hoisted conjuncts run speculatively AND again at their original
+    position, so hoisting only pays for inexpensive predicates:
+    comparisons and boolean logic over literals, parameters and field
+    paths.  Function calls, subqueries and arithmetic stay where the
+    query wrote them.
+    """
+    if isinstance(expr, (Literal, VarRef, ParamRef)):
+        return True
+    if isinstance(expr, FieldAccess):
+        return _is_cheap(expr.base)
+    if isinstance(expr, Binary):
+        return (
+            expr.op in _CHEAP_OPS
+            and _is_cheap(expr.left)
+            and _is_cheap(expr.right)
+        )
+    if isinstance(expr, Unary):
+        return expr.op == "NOT" and _is_cheap(expr.operand)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Rule 2 — dead-binding pruning
+# ---------------------------------------------------------------------------
+
+
+def _prune_dead_lets(
+    clauses: list[Clause], returning: ReturnClause, notes: list[str]
+) -> list[Clause]:
+    """Drop LET clauses whose variable nothing downstream reads.
+
+    A backward liveness pass; COLLECT resets liveness to its own inputs
+    (its output bindings carry only keys/aggregates/INTO), and COLLECT
+    INTO makes every upstream binding live because the INTO groups embed
+    whole bindings.
+    """
+    keep: list[bool] = [True] * len(clauses)
+    live = set(free_variables(returning.expr))
+    all_live = False
+    for idx in range(len(clauses) - 1, -1, -1):
+        clause = clauses[idx]
+        if isinstance(clause, SortClause):
+            for key in clause.keys:
+                live |= free_variables(key.expr)
+        elif isinstance(clause, LimitClause):
+            live |= free_variables(clause.count)
+            if clause.offset is not None:
+                live |= free_variables(clause.offset)
+        elif isinstance(clause, CollectClause):
+            collect_reads: set[str] = set()
+            for _, expr in clause.keys:
+                collect_reads |= free_variables(expr)
+            for agg in clause.aggregations:
+                collect_reads |= free_variables(agg.arg)
+            live = collect_reads
+            all_live = clause.into is not None
+        elif isinstance(clause, FilterClause):
+            live |= free_variables(clause.condition)
+        elif isinstance(clause, ForClause):
+            live.discard(clause.var)
+            live |= free_variables(clause.source)
+        elif isinstance(clause, LetClause):
+            if clause.var not in live and not all_live:
+                keep[idx] = False
+                notes.append(f"pruned unused LET {clause.var}")
+                continue
+            live.discard(clause.var)
+            live |= free_variables(clause.value)
+    return [clause for idx, clause in enumerate(clauses) if keep[idx]]
+
+
+# ---------------------------------------------------------------------------
+# Rule 3 — access-path selection
+# ---------------------------------------------------------------------------
+
+
+def _select_access_paths(clauses: list[Clause], notes: list[str]) -> list[Clause]:
+    """Annotate each collection FOR with its best index hint, if any."""
+    clauses = list(clauses)
     bound: set[str] = set()
     for i, clause in enumerate(clauses):
         if isinstance(clause, ForClause):
             if isinstance(clause.source, VarRef) and clause.source.name not in bound:
-                hint = _find_hint(clauses, i, clause, bound)
+                hint = _find_eq_hint(clauses, i, clause, bound)
                 if hint is not None:
                     clauses[i] = replace(clause, index_hint=hint)
                     notes.append(
@@ -84,32 +306,36 @@ def plan(query: Query) -> ExplainedPlan:
             bound |= {a.var for a in clause.aggregations}
             if clause.into:
                 bound.add(clause.into)
-    return ExplainedPlan(
-        Query(tuple(clauses), query.returning, query.text), tuple(notes)
-    )
+    return clauses
 
 
-def _find_hint(
-    clauses: list[Clause], for_index: int, for_clause: ForClause, bound: set[str]
-) -> IndexHint | None:
-    """Scan forward for an equality filter answerable by an index.
+def _lookahead_filters(clauses: list[Clause], for_index: int) -> list[FilterClause]:
+    """The FILTERs that still restrict this FOR's scan 1:1.
 
     Stops at the next clause that re-shapes the stream (another FOR, a
-    COLLECT, SORT or LIMIT) because beyond that point a filter no longer
-    restricts this FOR's scan 1:1.
+    COLLECT, SORT or LIMIT); LETs are transparent.
     """
-    assert isinstance(for_clause.source, VarRef)
-    collection = for_clause.source.name
-    var = for_clause.var
+    filters: list[FilterClause] = []
     for clause in clauses[for_index + 1 :]:
         if isinstance(clause, FilterClause):
-            hint = _equality_on(clause.condition, var, collection, bound)
-            if hint is not None:
-                return hint
+            filters.append(clause)
         elif isinstance(clause, LetClause):
             continue
         else:
-            return None
+            break
+    return filters
+
+
+def _find_eq_hint(
+    clauses: list[Clause], for_index: int, for_clause: ForClause, bound: set[str]
+) -> IndexHint | None:
+    assert isinstance(for_clause.source, VarRef)
+    collection = for_clause.source.name
+    var = for_clause.var
+    for clause in _lookahead_filters(clauses, for_index):
+        hint = _equality_on(clause.condition, var, collection, bound)
+        if hint is not None:
+            return hint
     return None
 
 
@@ -124,40 +350,39 @@ def _equality_on(
     if not (isinstance(expr, Binary) and expr.op == "=="):
         return None
     for lhs, rhs in ((expr.left, expr.right), (expr.right, expr.left)):
-        if (
-            isinstance(lhs, FieldAccess)
-            and isinstance(lhs.base, VarRef)
-            and lhs.base.name == var
-            and free_variables(rhs) <= bound
-        ):
-            return IndexHint(collection, lhs.field, rhs)
+        path = field_path(lhs, var)
+        if path is not None and free_variables(rhs) <= bound:
+            return IndexHint(collection, path, rhs)
     return None
 
 
 def _find_range_hint(
     clauses: list[Clause], for_index: int, for_clause: ForClause, bound: set[str]
 ) -> RangeHint | None:
-    """Scan forward for inequality filters answerable by a sorted index.
+    """Combine inequality predicates into one interval per field.
 
-    Collects ``var.field < / <= / > / >= key`` comparisons on one field
-    from the first applicable filter's AND-tree; stops at stream-reshaping
-    clauses like :func:`_find_hint` does.
+    Bounds accumulate across *all* adjacent filters (pushdown has already
+    split AND-trees into separate FILTER clauses), so ``x >= 10`` and
+    ``x < 50`` merge into a single half-open range scan.  The field whose
+    interval is bounded on both sides wins; otherwise the first bounded
+    field found.
     """
     assert isinstance(for_clause.source, VarRef)
     collection = for_clause.source.name
     var = for_clause.var
-    for clause in clauses[for_index + 1 :]:
-        if isinstance(clause, FilterClause):
-            bounds: dict[str, RangeHint] = {}
-            _collect_inequalities(clause.condition, var, collection, bound, bounds)
-            for hint in bounds.values():
-                if hint.low_expr is not None or hint.high_expr is not None:
-                    return hint
-        elif isinstance(clause, LetClause):
-            continue
-        else:
-            return None
-    return None
+    bounds: dict[str, RangeHint] = {}
+    for clause in _lookahead_filters(clauses, for_index):
+        _collect_inequalities(clause.condition, var, collection, bound, bounds)
+    candidates = [
+        hint for hint in bounds.values()
+        if hint.low_expr is not None or hint.high_expr is not None
+    ]
+    if not candidates:
+        return None
+    for hint in candidates:
+        if hint.low_expr is not None and hint.high_expr is not None:
+            return hint
+    return candidates[0]
 
 
 def _collect_inequalities(
@@ -174,24 +399,14 @@ def _collect_inequalities(
         (expr.left, expr.right, expr.op),
         (expr.right, expr.left, _flip(expr.op)),
     ):
-        if (
-            isinstance(lhs, FieldAccess)
-            and isinstance(lhs.base, VarRef)
-            and lhs.base.name == var
-            and free_variables(rhs) <= bound
-        ):
-            current = bounds.get(
-                lhs.field, RangeHint(collection, lhs.field)
-            )
+        path = field_path(lhs, var)
+        if path is not None and free_variables(rhs) <= bound:
+            current = bounds.get(path, RangeHint(collection, path))
             if op in (">", ">="):
-                current = replace(
-                    current, low_expr=rhs, include_low=(op == ">=")
-                )
+                current = replace(current, low_expr=rhs, include_low=(op == ">="))
             else:
-                current = replace(
-                    current, high_expr=rhs, include_high=(op == "<=")
-                )
-            bounds[lhs.field] = current
+                current = replace(current, high_expr=rhs, include_high=(op == "<="))
+            bounds[path] = current
             return
 
 
@@ -199,32 +414,61 @@ def _flip(op: str) -> str:
     return {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
 
 
-def _describe_clause(clause: Clause) -> str:
-    if isinstance(clause, ForClause):
-        source = (
-            clause.source.name if isinstance(clause.source, VarRef) else "<expr>"
-        )
+# ---------------------------------------------------------------------------
+# Rule 4 + lowering — physical operator tree (with SORT+LIMIT fusion)
+# ---------------------------------------------------------------------------
+
+
+def _lower(query: Query, notes: list[str]) -> PhysicalOperator:
+    node: PhysicalOperator | None = None
+    bound: set[str] = set()
+    clauses = query.clauses
+    i = 0
+    while i < len(clauses):
+        clause = clauses[i]
+        if isinstance(clause, ForClause):
+            node = NestedLoopBind(clause.var, _access_path(clause, bound), node)
+            bound.add(clause.var)
+        elif isinstance(clause, FilterClause):
+            node = Filter(clause.condition, node, clause.speculative)
+        elif isinstance(clause, LetClause):
+            node = Let(clause.var, clause.value, node)
+            bound.add(clause.var)
+        elif isinstance(clause, SortClause):
+            nxt = clauses[i + 1] if i + 1 < len(clauses) else None
+            if isinstance(nxt, LimitClause):
+                node = TopK(clause.keys, nxt.count, nxt.offset, node)
+                notes.append("fused SORT+LIMIT into bounded-heap TopK")
+                i += 2
+                continue
+            node = Sort(clause.keys, node)
+        elif isinstance(clause, LimitClause):
+            node = Limit(clause.count, clause.offset, node)
+        elif isinstance(clause, CollectClause):
+            node = Collect(clause, node)
+            bound = {name for name, _ in clause.keys}
+            bound |= {a.var for a in clause.aggregations}
+            if clause.into:
+                bound.add(clause.into)
+        else:
+            raise AssertionError(f"unknown clause {type(clause).__name__}")
+        i += 1
+    return Project(query.returning, node)
+
+
+def _access_path(clause: ForClause, bound: set[str]) -> AccessPath:
+    source = clause.source
+    if isinstance(source, VarRef) and source.name in bound:
+        return ExpressionSource(source, is_var=True)
+    if isinstance(source, VarRef):
         if clause.index_hint is not None:
-            return (
-                f"FOR {clause.var} IN {source} "
-                f"[index: {clause.index_hint.collection}.{clause.index_hint.field}]"
-            )
+            hint = clause.index_hint
+            return IndexEqLookup(hint.collection, hint.field, hint.key_expr)
         if clause.range_hint is not None:
-            return (
-                f"FOR {clause.var} IN {source} "
-                f"[range index: {clause.range_hint.collection}."
-                f"{clause.range_hint.field}]"
+            rh = clause.range_hint
+            return IndexRangeScan(
+                rh.collection, rh.field,
+                rh.low_expr, rh.high_expr, rh.include_low, rh.include_high,
             )
-        return f"FOR {clause.var} IN {source} [scan]"
-    if isinstance(clause, FilterClause):
-        return "FILTER <predicate>"
-    if isinstance(clause, LetClause):
-        return f"LET {clause.var} = <expr>"
-    if isinstance(clause, SortClause):
-        return f"SORT ({len(clause.keys)} keys)"
-    if isinstance(clause, LimitClause):
-        return "LIMIT"
-    if isinstance(clause, CollectClause):
-        keys = ", ".join(name for name, _ in clause.keys)
-        return f"COLLECT {keys} ({len(clause.aggregations)} aggregates)"
-    return type(clause).__name__
+        return CollectionScan(source.name)
+    return ExpressionSource(source)

@@ -5,6 +5,7 @@ import pytest
 from repro.core.config import BenchmarkConfig
 from repro.core.runner import QueryRunner, TransactionRunner
 from repro.core.workloads import (
+    EXTENDED_QUERIES,
     QUERIES,
     QUERY_BY_ID,
     TRANSACTION_BY_ID,
@@ -18,17 +19,22 @@ from repro.util.rng import DeterministicRng
 class TestCatalog:
     def test_ten_queries(self):
         assert len(QUERIES) == 10
-        assert set(QUERY_BY_ID) == {f"Q{i}" for i in range(1, 11)}
+        assert len(EXTENDED_QUERIES) == 2
+        assert set(QUERY_BY_ID) == {f"Q{i}" for i in range(1, 13)}
 
     def test_four_transactions(self):
         assert len(TRANSACTIONS) == 4
         assert set(TRANSACTION_BY_ID) == {"T1", "T2", "T3", "T4"}
 
-    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.query_id)
+    @pytest.mark.parametrize(
+        "query", QUERIES + EXTENDED_QUERIES, ids=lambda q: q.query_id
+    )
     def test_every_query_parses(self, query):
         parse(query.text)
 
-    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.query_id)
+    @pytest.mark.parametrize(
+        "query", QUERIES + EXTENDED_QUERIES, ids=lambda q: q.query_id
+    )
     def test_params_derivable(self, query, small_dataset):
         params = query.params(small_dataset)
         assert isinstance(params, dict)

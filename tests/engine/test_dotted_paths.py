@@ -1,0 +1,103 @@
+"""Dotted-path field extraction and nested-document indexing."""
+
+import pytest
+
+from repro.drivers.unified import UnifiedDriver
+from repro.engine.indexes import (
+    HashIndex,
+    SortedIndex,
+    extract_path,
+    field_extractor,
+)
+from repro.engine.records import Model
+from repro.query.executor import Executor
+
+
+class TestExtractPath:
+    def test_top_level(self):
+        assert extract_path({"a": 1}, "a") == 1
+
+    def test_nested(self):
+        assert extract_path({"address": {"city": "Oulu"}}, "address.city") == "Oulu"
+
+    def test_deeply_nested(self):
+        doc = {"a": {"b": {"c": 7}}}
+        assert extract_path(doc, "a.b.c") == 7
+
+    def test_traversal_wins_over_literal_dotted_key(self):
+        # MMQL field access can only express traversal, so the extractor
+        # must agree with the predicate the index serves.
+        doc = {"address.city": "literal", "address": {"city": "nested"}}
+        assert extract_path(doc, "address.city") == "nested"
+
+    def test_missing_step_is_none(self):
+        assert extract_path({"address": {}}, "address.city") is None
+        assert extract_path({}, "address.city") is None
+
+    def test_non_dict_step_is_none(self):
+        assert extract_path({"address": "flat"}, "address.city") is None
+        assert extract_path("not a dict", "a.b") is None
+
+
+class TestDottedFieldExtractor:
+    def test_extracts_nested_scalar(self):
+        extract = field_extractor("address.city")
+        assert extract({"address": {"city": "Oulu"}}) == "Oulu"
+
+    def test_container_value_unindexable(self):
+        extract = field_extractor("address")
+        assert extract({"address": {"city": "Oulu"}}) is None
+
+    def test_missing_path_is_none(self):
+        assert field_extractor("address.city")({"name": "x"}) is None
+
+    def test_hash_index_on_dotted_path(self):
+        idx = HashIndex("i", field_extractor("address.city"))
+        idx.on_write("k1", None, {"address": {"city": "Oulu"}})
+        idx.on_write("k2", None, {"address": {"city": "Espoo"}})
+        assert idx.lookup("Oulu") == {"k1"}
+
+    def test_sorted_index_on_dotted_path(self):
+        idx = SortedIndex("i", field_extractor("nested.n"))
+        for i in (3, 1, 2):
+            idx.on_write(f"k{i}", None, {"nested": {"n": i}})
+        assert [v for v, _ in idx.range(1, 3)] == [1, 2]
+
+
+class TestDottedIndexThroughMMQL:
+    @pytest.fixture()
+    def driver(self):
+        driver = UnifiedDriver()
+        driver.create_collection("people")
+        with driver.db.transaction() as tx:
+            for i, city in enumerate(["Oulu", "Espoo", "Oulu", "Turku"]):
+                tx.doc_insert(
+                    "people", {"_id": i, "name": f"p{i}", "address": {"city": city}}
+                )
+        return driver
+
+    def test_equality_over_nested_field_uses_index(self, driver):
+        driver.db.create_index(Model.DOCUMENT, "people", "address.city")
+        ctx = driver.query_context()
+        executor = Executor(ctx, use_indexes=True)
+        out = executor.execute(
+            "FOR p IN people FILTER p.address.city == 'Oulu' SORT p._id RETURN p.name"
+        )
+        assert out == ["p0", "p2"]
+        assert executor.stats["index_lookups"] == 1
+        assert executor.stats["scans"] == 0
+        ctx.close()
+
+    def test_answers_match_scan_without_index(self, driver):
+        q = "FOR p IN people FILTER p.address.city == 'Oulu' SORT p._id RETURN p.name"
+        driver.db.create_index(Model.DOCUMENT, "people", "address.city")
+        assert driver.query(q, use_indexes=True) == driver.query(q, use_indexes=False)
+
+    def test_index_maintained_on_update(self, driver):
+        driver.db.create_index(Model.DOCUMENT, "people", "address.city")
+        with driver.db.transaction() as tx:
+            tx.doc_update("people", 3, {"address": {"city": "Oulu"}})
+        out = driver.query(
+            "FOR p IN people FILTER p.address.city == 'Oulu' SORT p._id RETURN p._id"
+        )
+        assert out == [0, 2, 3]

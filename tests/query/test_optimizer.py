@@ -1,0 +1,274 @@
+"""Optimizer semantics: rewrites must never change answers, only plans."""
+
+import pytest
+
+from repro.engine.records import Model
+from repro.query.executor import Executor, run_query
+from repro.query.parser import parse
+from repro.query.planner import plan
+
+
+class ListContext:
+    """A minimal in-memory QueryContext over plain dict collections."""
+
+    def __init__(self, **collections):
+        self.collections = collections
+
+    def iter_collection(self, name):
+        return iter(self.collections[name])
+
+    def index_lookup(self, collection, field, value):
+        return None
+
+    def range_lookup(self, collection, field, low, high, include_low, include_high):
+        return None
+
+    def traverse(self, graph, start, min_depth, max_depth, label):
+        return iter([])
+
+    def vertices(self, graph, label):
+        return iter([])
+
+    def edges(self, graph, label):
+        return iter([])
+
+    def kv_get(self, namespace, key):
+        return None
+
+    def kv_prefix(self, namespace, prefix):
+        return iter([])
+
+    def xml_get(self, collection, doc_id):
+        return None
+
+    def shortest_path(self, graph, start, goal, label):
+        return None
+
+
+@pytest.fixture()
+def ctx():
+    return ListContext(
+        users=[
+            {"_id": 1, "name": "ada", "age": 30, "country": "FI"},
+            {"_id": 2, "name": "bob", "age": 20, "country": "FI"},
+            {"_id": 3, "name": "cyd", "age": 40, "country": "SE"},
+        ],
+        orders=[
+            {"_id": "o1", "user": 1, "total": 10.0},
+            {"_id": "o2", "user": 1, "total": 30.0},
+            {"_id": "o3", "user": 2, "total": 5.0},
+            {"_id": "o4", "user": 3, "total": 30.0},
+        ],
+    )
+
+
+class TestPushdownSemantics:
+    def test_join_filter_order_independent(self, ctx):
+        hoisted = run_query(
+            ctx,
+            "FOR u IN users FOR o IN orders "
+            "FILTER o.user == u._id AND u.country == 'FI' RETURN o._id",
+        )
+        manual = run_query(
+            ctx,
+            "FOR u IN users FILTER u.country == 'FI' "
+            "FOR o IN orders FILTER o.user == u._id RETURN o._id",
+        )
+        assert sorted(hoisted) == sorted(manual) == ["o1", "o2", "o3"]
+
+    def test_pushdown_does_not_cross_collect(self, ctx):
+        # The filter reads a COLLECT output: it must stay downstream.
+        out = run_query(
+            ctx,
+            "FOR o IN orders COLLECT user = o.user "
+            "AGGREGATE s = SUM(o.total) FILTER s > 20 SORT user RETURN {user, s}",
+        )
+        assert out == [{"user": 1, "s": 40.0}, {"user": 3, "s": 30.0}]
+
+    def test_pushdown_does_not_cross_limit(self, ctx):
+        # Filtering after LIMIT 2 differs from limiting after the filter.
+        out = run_query(
+            ctx,
+            "FOR o IN orders SORT o._id LIMIT 2 FILTER o.total > 20 RETURN o._id",
+        )
+        assert out == ["o2"]
+
+    def test_filter_on_unbound_variable_still_errors(self, ctx):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            run_query(ctx, "FOR u IN users FILTER u.age > ghost RETURN u")
+
+    def test_raising_conjunct_not_hoisted_past_short_circuit(self):
+        # u.age * 2 raises for the string-aged user; the seed executor
+        # short-circuited the AND (no order matches cust == 9), so the
+        # hoist must not move the arithmetic above FOR o.
+        ctx = ListContext(
+            users=[{"_id": 9, "age": "old"}],
+            orders=[{"_id": "o1", "cust": 1}],
+        )
+        out = run_query(
+            ctx,
+            "FOR u IN users FOR o IN orders "
+            "FILTER o.cust == u._id AND u.age * 2 > 50 RETURN o._id",
+        )
+        assert out == []
+
+    def test_total_conjuncts_still_hoist(self):
+        notes = plan(parse(
+            "FOR u IN users FOR o IN orders "
+            "FILTER o.cust == u._id AND u.country == 'FI' RETURN o._id"
+        )).notes
+        assert any("pushdown" in n and "u.country" in n for n in notes)
+
+    def test_arithmetic_conjunct_stays_in_place(self):
+        notes = plan(parse(
+            "FOR u IN users FOR o IN orders "
+            "FILTER o.cust == u._id AND u.age * 2 > 50 RETURN o._id"
+        )).notes
+        assert not any("pushdown" in n for n in notes)
+
+
+class TestDeadLetPruning:
+    def test_pruned_let_is_never_evaluated(self, ctx):
+        # Division by zero in the dead LET must not fire.
+        out = run_query(ctx, "FOR u IN users LET boom = 1 / 0 RETURN u.name")
+        assert sorted(out) == ["ada", "bob", "cyd"]
+
+    def test_chained_dead_lets_pruned_together(self, ctx):
+        explained = plan(parse(
+            "FOR u IN users LET a = u.age LET b = a * 2 RETURN u.name"
+        ))
+        assert "pruned unused LET b" in explained.notes
+        assert "pruned unused LET a" in explained.notes
+
+    def test_let_used_by_sort_survives(self, ctx):
+        out = run_query(
+            ctx, "FOR u IN users LET a = u.age SORT a DESC RETURN u.name"
+        )
+        assert out == ["cyd", "ada", "bob"]
+
+
+class TestTopKSemantics:
+    def test_topk_matches_sort_then_limit(self, ctx):
+        # Same query, fusion on (adjacent) vs off (COLLECT DISTINCT trick
+        # not needed — compare against a manually windowed full sort).
+        fused = run_query(
+            ctx, "FOR o IN orders SORT o.total DESC LIMIT 2 RETURN o._id"
+        )
+        full = run_query(ctx, "FOR o IN orders SORT o.total DESC RETURN o._id")
+        assert fused == full[:2]
+
+    def test_topk_is_stable_on_ties(self, ctx):
+        # o2 and o4 tie on total; arrival order must break the tie,
+        # exactly like the stable full sort.
+        fused = run_query(
+            ctx, "FOR o IN orders SORT o.total DESC LIMIT 3 RETURN o._id"
+        )
+        assert fused == ["o2", "o4", "o1"]
+
+    def test_topk_with_offset(self, ctx):
+        fused = run_query(
+            ctx, "FOR o IN orders SORT o.total LIMIT 1, 2 RETURN o._id"
+        )
+        full = run_query(ctx, "FOR o IN orders SORT o.total RETURN o._id")
+        assert fused == full[1:3]
+
+    def test_topk_limit_zero(self, ctx):
+        assert run_query(
+            ctx, "FOR o IN orders SORT o.total LIMIT 0 RETURN o"
+        ) == []
+
+    def test_topk_larger_than_stream(self, ctx):
+        fused = run_query(
+            ctx, "FOR o IN orders SORT o.total LIMIT 100 RETURN o._id"
+        )
+        assert fused == ["o3", "o1", "o2", "o4"]
+
+    def test_topk_rejects_negative_limit(self, ctx):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            run_query(ctx, "FOR o IN orders SORT o.total LIMIT -1 RETURN o")
+
+
+class TestRangeScanExecution:
+    @pytest.fixture()
+    def driver(self):
+        from repro.drivers.unified import UnifiedDriver
+
+        driver = UnifiedDriver()
+        driver.create_collection("nums")
+        with driver.db.transaction() as tx:
+            for i in range(100):
+                tx.doc_insert("nums", {"_id": i, "n": i, "tag": f"t{i % 3}"})
+        driver.db.create_index(Model.DOCUMENT, "nums", "n", kind="sorted")
+        return driver
+
+    def test_anded_interval_single_range_lookup(self, driver):
+        ctx = driver.query_context()
+        executor = Executor(ctx, use_indexes=True)
+        out = executor.execute(
+            "FOR d IN nums FILTER d.n >= 10 AND d.n < 15 SORT d.n RETURN d.n"
+        )
+        assert out == [10, 11, 12, 13, 14]
+        assert executor.stats["range_lookups"] == 1
+        assert executor.stats["scans"] == 0
+        ctx.close()
+
+    def test_interval_split_across_filters_still_fuses(self, driver):
+        # Pushdown normalisation: two separate FILTER clauses on the same
+        # field combine into one bounded range scan.
+        ctx = driver.query_context()
+        executor = Executor(ctx, use_indexes=True)
+        out = executor.execute(
+            "FOR d IN nums FILTER d.n >= 95 FILTER d.n <= 97 SORT d.n RETURN d.n"
+        )
+        assert out == [95, 96, 97]
+        assert executor.stats["range_lookups"] == 1
+        ctx.close()
+
+    def test_range_plus_other_predicate_keeps_residual(self, driver):
+        out = driver.query(
+            "FOR d IN nums FILTER d.n >= 90 AND d.tag == 't0' SORT d.n RETURN d.n"
+        )
+        assert out == [90, 93, 96, 99]
+
+    def test_mismatched_bound_type_degrades_to_scan(self, driver):
+        # A string bound over the numeric sorted index must not crash:
+        # the index path falls back to a scan and the residual filter
+        # evaluates the mixed-type comparison to False, matching the
+        # no-index behaviour.
+        q = "FOR d IN nums FILTER d.n >= @lo RETURN d.n"
+        assert driver.query(q, {"lo": "90"}, use_indexes=True) == []
+        assert driver.query(q, {"lo": "90"}, use_indexes=False) == []
+
+
+class TestPolyglotRangeLookup:
+    @pytest.fixture()
+    def driver(self):
+        from repro.drivers.polyglot import PolyglotDriver
+
+        driver = PolyglotDriver()
+        driver.create_collection("nums")
+        driver.db.run_transaction(
+            lambda s: [s.doc_insert("nums", {"_id": i, "n": i}) for i in range(50)]
+        )
+        driver.create_index("collection", "nums", "n")
+        return driver
+
+    def test_range_served_from_hash_index_walk(self, driver):
+        ctx = driver.query_context()
+        executor = Executor(ctx, use_indexes=True)
+        out = executor.execute("FOR d IN nums FILTER d.n > 45 SORT d.n RETURN d.n")
+        assert out == [46, 47, 48, 49]
+        assert executor.stats["range_lookups"] == 1
+        assert executor.stats["scans"] == 0
+
+    def test_no_index_returns_none_and_scans(self, driver):
+        ctx = driver.query_context()
+        assert ctx.range_lookup("nums", "missing", 0, 1, True, True) is None
+        executor = Executor(ctx, use_indexes=True)
+        out = executor.execute("FOR d IN nums FILTER d.missing > 1 RETURN d")
+        assert out == []
+        assert executor.stats["scans"] == 1
