@@ -4,9 +4,20 @@ Every ``bench_*`` module regenerates one experiment table from DESIGN.md's
 per-experiment index and prints it (run with ``-s`` to see the tables
 inline; they are also collected into ``bench_report.txt`` in the working
 directory at the end of the session).
+
+Machine-readable output: pass ``--bench-json PATH`` (or set the
+``BENCH_JSON`` environment variable — ``1`` picks the default
+``BENCH_RESULTS.json``) and the session also writes every recorded table
+as JSON records, so per-PR perf trajectories can be tracked by diffing
+``BENCH_*.json`` artifacts instead of scraping ASCII tables.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
 
 import pytest
 
@@ -27,12 +38,17 @@ BENCH_CONFIG = BenchmarkConfig(
 )
 
 _collected_tables: list[str] = []
+_collected_records: list[dict] = []
 
 
 def record_table(table) -> str:
     """Render, remember, and return one experiment table."""
     rendered = table.render()
     _collected_tables.append(rendered)
+    _collected_records.append(
+        {"title": table.title, "headers": list(table.headers),
+         "records": table.to_records()}
+    )
     print("\n" + rendered)
     return rendered
 
@@ -56,7 +72,39 @@ def bench_polyglot(bench_dataset) -> PolyglotDriver:
     return driver
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help="also write recorded experiment tables as JSON to PATH "
+        "(env BENCH_JSON=1 writes BENCH_RESULTS.json)",
+    )
+
+
+def _json_path(session) -> str | None:
+    from_cli = session.config.getoption("--bench-json", default=None)
+    if from_cli:
+        return from_cli
+    from_env = os.environ.get("BENCH_JSON", "").strip()
+    if not from_env or from_env.lower() in ("0", "false", "no", "off"):
+        return None
+    return from_env if from_env.lower() not in ("1", "true", "yes") else "BENCH_RESULTS.json"
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _collected_tables:
         with open("bench_report.txt", "w") as handle:
             handle.write("\n\n".join(_collected_tables) + "\n")
+    path = _json_path(session)
+    if path and _collected_records:
+        # No global scale field: bench modules run at their own scales
+        # (e.g. BENCH_SHARDING_SF), which each table title records.
+        payload = {
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "tables": _collected_records,
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+            handle.write("\n")

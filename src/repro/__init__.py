@@ -25,6 +25,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
+from repro.cluster.sharded import ShardedDatabase
 from repro.core.config import BenchmarkConfig
 from repro.core.workloads import QUERIES, TRANSACTIONS
 from repro.datagen.config import GeneratorConfig
@@ -48,6 +49,7 @@ __all__ = [
     "PolyglotDriver",
     "QUERIES",
     "ReproError",
+    "ShardedDatabase",
     "TRANSACTIONS",
     "UnifiedDriver",
     "__version__",

@@ -1,0 +1,33 @@
+"""Cluster layer: sharded multi-model database with scatter-gather MMQL.
+
+Partition every model's collections across N engine shards
+(:class:`ShardedDatabase`), route by per-collection shard keys through
+pluggable hash/range partitioners (:mod:`repro.cluster.partition`), and
+execute shard-local subplans in parallel behind one gather operator
+(:mod:`repro.cluster.operators`, inserted by
+:mod:`repro.cluster.planning`).
+"""
+
+from repro.cluster.operators import ShardExec
+from repro.cluster.partition import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    ShardRouter,
+    ShardSpec,
+    stable_hash,
+)
+from repro.cluster.sharded import ShardedDatabase, ShardedQueryContext, ShardedSession
+
+__all__ = [
+    "HashPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "ShardExec",
+    "ShardRouter",
+    "ShardSpec",
+    "ShardedDatabase",
+    "ShardedQueryContext",
+    "ShardedSession",
+    "stable_hash",
+]

@@ -1,0 +1,164 @@
+"""Scatter-gather physical operators for the sharded cluster layer.
+
+:class:`ShardExec` is the one new operator the shard-aware planner
+inserts: it owns a *subplan* — a shard-local pipeline segment built from
+the ordinary single-node operators (CollectionScan / IndexEqLookup /
+IndexRangeScan access paths, Filter, Let, Sort, TopK, Limit) — and runs
+that subplan once per target shard, each against the shard's own
+:class:`~repro.drivers.unified.UnifiedQueryContext`, in parallel on the
+cluster's thread pool.  Gather either concatenates (shard order, so
+results match a single-node scan's concat order) or merge-sorts the
+per-shard streams when a SORT/TopK was pushed below the gather.
+
+Routing happens at run time, when parameters are known:
+
+- an equality predicate on the shard key pins execution to one shard;
+- range bounds on the shard key prune shards under a range partitioner;
+- otherwise every shard is scattered.
+
+Shard workers share nothing mutable: each owns one shard context and a
+private stats dict (merged after the gather), bindings are copied per
+worker, and every expression the planner pushes below the gather is
+*cheap* (field paths, literals, parameters, comparisons — no builtin
+calls), so worker threads never touch the global query context.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any
+
+from repro.query.ast import Expr, SortKey
+from repro.query.physical import (
+    Binding,
+    PhysicalOperator,
+    render_expr,
+    sort_key,
+)
+
+
+class _ShardRuntime:
+    """Executor facade for one shard worker: shard-local ctx + stats.
+
+    Expression evaluation delegates to the parent executor (cheap
+    expressions are pure), while ``ctx`` points at the shard's own
+    context so access paths scan/probe only that shard's data.
+    """
+
+    __slots__ = ("_parent", "ctx", "use_indexes", "stats", "analyze")
+
+    def __init__(self, parent: Any, ctx: Any, stats: dict[str, int]) -> None:
+        self._parent = parent
+        self.ctx = ctx
+        self.use_indexes = parent.use_indexes
+        self.stats = stats
+        self.analyze = getattr(parent, "analyze", False)
+
+    def eval_expr(self, expr: Expr, binding: Binding, params: dict[str, Any]) -> Any:
+        return self._parent.eval_expr(expr, binding, params)
+
+
+def _fresh_stats() -> dict[str, int]:
+    return {"index_lookups": 0, "range_lookups": 0, "scans": 0, "rows_scanned": 0}
+
+
+@dataclass(frozen=True)
+class ShardExec(PhysicalOperator):
+    """Scatter a shard-local subplan, gather (and optionally merge) results.
+
+    ``merge_keys`` non-empty means each shard's subplan emits a stream
+    already sorted on those keys and the gather is an ordered k-way
+    merge (heapq.merge is stable across inputs in shard order, so ties
+    keep the exact order a single-node stable sort over the concatenated
+    scan would produce).
+    """
+
+    subplan: PhysicalOperator
+    collection: str
+    n_shards: int
+    merge_keys: tuple[SortKey, ...] = ()
+    route_field: str | None = None
+    route_expr: Expr | None = None
+    range_field: str | None = None
+    range_low: Expr | None = None
+    range_high: Expr | None = None
+    child: PhysicalOperator | None = None  # always a leaf: the gather boundary
+
+    def run(self, rt, params, seed=None):
+        ctx = rt.ctx  # ShardedQueryContext
+        targets = self._targets(rt, ctx, params, seed)
+        rt.stats["shard_fanout"] = rt.stats.get("shard_fanout", 0) + len(targets)
+        if len(targets) == 1:
+            # Routed (or shadowed-variable) execution: stream straight
+            # through the single shard, no pool and no materialisation.
+            shard_rt = _ShardRuntime(rt, ctx.shard_context(targets[0]), rt.stats)
+            yield from self.subplan.run(shard_rt, params, seed)
+            return
+        runtimes = [
+            _ShardRuntime(rt, ctx.shard_context(i), _fresh_stats()) for i in targets
+        ]
+        tasks = [
+            (lambda srt=srt: list(
+                self.subplan.run(srt, params, dict(seed) if seed else None)
+            ))
+            for srt in runtimes
+        ]
+        if getattr(rt, "analyze", False):
+            # EXPLAIN ANALYZE shares row counters across shards; run the
+            # scatter sequentially so the counts are exact.
+            chunks = [task() for task in tasks]
+        else:
+            chunks = ctx.run_parallel(tasks)
+        for srt in runtimes:
+            for key, value in srt.stats.items():
+                rt.stats[key] = rt.stats.get(key, 0) + value
+        if self.merge_keys:
+            yield from heapq.merge(
+                *chunks, key=lambda b: sort_key(rt, self.merge_keys, b, params)
+            )
+        else:
+            for chunk in chunks:
+                yield from chunk
+
+    def _targets(self, rt, ctx, params, seed: Binding | None) -> list[int]:
+        if seed and self.collection in seed:
+            # A bound variable shadows the collection name: the subplan's
+            # scan yields the bound list, identically on any shard — run
+            # it exactly once.
+            return [0]
+        if self.route_expr is not None:
+            value = rt.eval_expr(self.route_expr, dict(seed or {}), params)
+            return [ctx.catalog.shard_for(self.collection, value)]
+        if self.range_field is not None:
+            low = (
+                rt.eval_expr(self.range_low, dict(seed or {}), params)
+                if self.range_low is not None else None
+            )
+            high = (
+                rt.eval_expr(self.range_high, dict(seed or {}), params)
+                if self.range_high is not None else None
+            )
+            pruned = ctx.catalog.shards_for_range(self.collection, low, high)
+            if pruned is not None:
+                return pruned
+        return list(range(self.n_shards))
+
+    def label(self) -> str:
+        if self.route_expr is not None:
+            routing = (
+                f"route: {self.collection}.{self.route_field} == "
+                f"{render_expr(self.route_expr)} -> 1 of {self.n_shards} shards"
+            )
+        elif self.range_field is not None:
+            routing = (
+                f"scatter: {self.collection}.{self.range_field} range-pruned "
+                f"over {self.n_shards} shards"
+            )
+        else:
+            routing = f"scatter: all {self.n_shards} shards"
+        gather = (
+            f"ordered merge on {len(self.merge_keys)} keys"
+            if self.merge_keys else "concat"
+        )
+        return f"ShardExec [{routing}; gather: {gather}]"

@@ -1,0 +1,221 @@
+"""Partitioners, per-collection sharding policy, and the shard router.
+
+The cluster layer splits every model's collections across N shards.  Each
+collection carries a :class:`ShardSpec` naming its shard-key field and a
+pluggable :class:`Partitioner` (hash or range); collections without a
+usable key — or deliberately replicated ones like graph vertices — are
+*broadcast*: written to every shard and read from one.
+
+The :class:`ShardRouter` is the single source of truth for placement.  It
+doubles as the planner's *catalog*: ``plan(query, catalog=router)``
+consults :meth:`ShardRouter.is_sharded` / :meth:`ShardRouter.shard_key`
+to route shard-key equality predicates to one shard and to prune range
+scans under a range partitioner.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import EngineError
+
+# Spec key marking "route by the whole composite primary-key tuple".
+# Internal to placement: shard_key() reports such specs as None because
+# no single record field carries the routing value.
+PK_SENTINEL = "\x00pk"
+
+
+def stable_hash(value: Any) -> int:
+    """A process-stable hash (Python's ``hash`` of str is salted per run).
+
+    Placement must be deterministic across processes so a reloaded
+    dataset lands on the same shards, and across runs so tests can pin
+    expectations.  It must also be *equality-consistent* the way MMQL's
+    ``==`` (Python equality) is: ``3 == 3.0 == True+2`` all route to the
+    same shard, otherwise a float-typed key parameter would probe a
+    different shard than the int-keyed record lives on and silently
+    return nothing.
+    """
+    if isinstance(value, bool):
+        value = int(value)
+    elif isinstance(value, float) and value.is_integer():
+        value = int(value)
+    if value is None:
+        data = b"n"
+    elif isinstance(value, int):
+        data = b"i" + str(value).encode()
+    elif isinstance(value, float):
+        data = b"f" + repr(value).encode()
+    elif isinstance(value, str):
+        data = b"s" + value.encode("utf-8")
+    elif isinstance(value, tuple):
+        data = b"t"
+        for item in value:
+            data += stable_hash(item).to_bytes(4, "big")
+    else:
+        data = b"r" + repr(value).encode()
+    return zlib.crc32(data)
+
+
+class Partitioner:
+    """Maps a shard-key value to a shard index in ``range(n_shards)``."""
+
+    def shard_of(self, value: Any, n_shards: int) -> int:
+        raise NotImplementedError
+
+    def shards_for_range(
+        self, low: Any, high: Any, n_shards: int
+    ) -> list[int] | None:
+        """Shards that may hold keys in [low, high]; None = cannot prune."""
+        return None
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class HashPartitioner(Partitioner):
+    """Stable-hash placement: uniform spread, no range pruning."""
+
+    def shard_of(self, value: Any, n_shards: int) -> int:
+        return stable_hash(value) % n_shards
+
+    def describe(self) -> str:
+        return "hash"
+
+
+class RangePartitioner(Partitioner):
+    """Ordered placement over explicit split points.
+
+    ``boundaries`` holds the N-1 ascending split values for N shards;
+    shard *i* owns ``boundaries[i-1] <= key < boundaries[i]``.  Range
+    scans on the shard key prune to the shards overlapping the interval.
+    """
+
+    def __init__(self, boundaries: Sequence[Any]) -> None:
+        self.boundaries = list(boundaries)
+        for a, b in zip(self.boundaries, self.boundaries[1:]):
+            if not a < b:
+                raise EngineError(f"range boundaries not ascending: {a!r} !< {b!r}")
+
+    def shard_of(self, value: Any, n_shards: int) -> int:
+        if len(self.boundaries) != n_shards - 1:
+            raise EngineError(
+                f"range partitioner has {len(self.boundaries)} boundaries "
+                f"for {n_shards} shards (needs {n_shards - 1})"
+            )
+        try:
+            return bisect.bisect_right(self.boundaries, value)
+        except TypeError as exc:
+            raise EngineError(
+                f"shard-key value {value!r} does not compare with range boundaries"
+            ) from exc
+
+    def shards_for_range(
+        self, low: Any, high: Any, n_shards: int
+    ) -> list[int] | None:
+        try:
+            lo = 0 if low is None else self.shard_of(low, n_shards)
+            hi = n_shards - 1 if high is None else self.shard_of(high, n_shards)
+        except EngineError:
+            return None  # incomparable bound: over-approximate to all shards
+        return list(range(lo, hi + 1))
+
+    def describe(self) -> str:
+        return f"range({len(self.boundaries) + 1} buckets)"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """How one collection is placed across the shards.
+
+    ``key`` is the shard-key field name (None = broadcast: every shard
+    holds a full copy).  ``key_is_record_id`` marks specs whose key *is*
+    the record identity (document ``_id``, a single-column primary key,
+    XML doc ids, KV keys) so ``_id`` point lookups can route too.
+    """
+
+    kind: str  # table | collection | xml | kv | graph_vertex | graph_edge
+    key: str | None
+    partitioner: Partitioner = field(default_factory=HashPartitioner)
+    key_is_record_id: bool = False
+
+    @property
+    def broadcast(self) -> bool:
+        return self.key is None
+
+
+class ShardRouter:
+    """Placement oracle for one sharded database; the planner's catalog."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise EngineError(f"need at least one shard, got {n_shards}")
+        self.n_shards = n_shards
+        self._specs: dict[str, ShardSpec] = {}
+
+    # -- registration (called by ShardedDatabase DDL) -----------------------
+
+    def register(self, collection: str, spec: ShardSpec) -> None:
+        if collection in self._specs:
+            raise EngineError(f"collection {collection!r} already registered")
+        self._specs[collection] = spec
+
+    def spec(self, collection: str) -> ShardSpec:
+        spec = self._specs.get(collection)
+        if spec is None:
+            raise EngineError(f"no shard spec for collection {collection!r}")
+        return spec
+
+    def has(self, collection: str) -> bool:
+        return collection in self._specs
+
+    # -- placement ----------------------------------------------------------
+
+    def shard_for(self, collection: str, key_value: Any) -> int:
+        """The shard that owns *key_value* of *collection*."""
+        spec = self.spec(collection)
+        if spec.broadcast:
+            return 0
+        return spec.partitioner.shard_of(key_value, self.n_shards)
+
+    def all_shards(self) -> list[int]:
+        return list(range(self.n_shards))
+
+    def shards_for_range(self, collection: str, low: Any, high: Any) -> list[int] | None:
+        """Shards possibly holding shard-key values in [low, high]."""
+        spec = self.spec(collection)
+        if spec.broadcast:
+            return [0]
+        return spec.partitioner.shards_for_range(low, high, self.n_shards)
+
+    # -- planner catalog surface --------------------------------------------
+
+    def is_sharded(self, collection: str) -> bool:
+        """True when scans of *collection* must touch more than one shard."""
+        spec = self._specs.get(collection)
+        return spec is not None and not spec.broadcast and self.n_shards > 1
+
+    def shard_key(self, collection: str) -> str | None:
+        """The routable field name, or None (broadcast / composite key)."""
+        spec = self._specs.get(collection)
+        if spec is None or spec.key == PK_SENTINEL:
+            return None
+        return spec.key
+
+    def routes_record_id(self, collection: str) -> bool:
+        """True when ``_id`` equality can route (key is the record identity)."""
+        spec = self._specs.get(collection)
+        return spec is not None and spec.key_is_record_id and not spec.broadcast
+
+    def describe(self) -> dict[str, str]:
+        """collection -> human placement summary (for EXPLAIN and reports)."""
+        out = {}
+        for name, spec in sorted(self._specs.items()):
+            if spec.broadcast:
+                out[name] = "broadcast"
+            else:
+                out[name] = f"{spec.partitioner.describe()}({spec.key})"
+        return out

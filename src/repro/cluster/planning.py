@@ -1,0 +1,203 @@
+"""Shard-aware planning: rewrite a physical plan for scatter-gather.
+
+``apply_sharding`` runs as the last optimizer phase when ``plan()`` is
+given a catalog (a :class:`~repro.cluster.partition.ShardRouter`).  It
+rewrites the *bottom* of the operator chain — the first FOR's
+NestedLoopBind over a sharded collection plus the maximal shard-safe
+segment above it — into a single :class:`~repro.cluster.operators.ShardExec`
+whose subplan runs per shard:
+
+- **Routing** — an equality predicate on the collection's shard key
+  (with a parameter/literal key) pins the subplan to one shard; range
+  bounds on the shard key let a range partitioner prune shards.
+- **Pushdown below the gather** — cheap Filters/LETs (field paths,
+  comparisons, no builtin calls: exactly the planner's ``_is_cheap``
+  predicate, which also guarantees thread safety in shard workers) run
+  inside the shard workers; a SORT becomes per-shard sort + ordered
+  merge (a parallel MergeSort); a fused TopK becomes per-shard partial
+  top-(offset+count) + ordered merge + a global LIMIT; a bare LIMIT
+  becomes a per-shard limit + global re-limit.
+
+Everything above the gather still runs single-threaded against the
+:class:`~repro.cluster.sharded.ShardedQueryContext`, which implements
+the full QueryContext protocol — so joins, COLLECT, subqueries and
+builtin bridges (DOCUMENT, KVGET, TRAVERSE...) are always correct even
+when they cannot be parallelised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any
+
+from repro.cluster.operators import ShardExec
+from repro.query.ast import Binary, Expr, free_variables
+from repro.query.physical import (
+    ExpressionSource,
+    Filter,
+    IndexEqLookup,
+    IndexRangeScan,
+    Let,
+    Limit,
+    NestedLoopBind,
+    PhysicalOperator,
+    Sort,
+    TopK,
+    field_path,
+    render_expr,
+)
+
+
+def apply_sharding(
+    root: PhysicalOperator, catalog: Any, notes: list[str]
+) -> PhysicalOperator:
+    """Rewrite *root* with a ShardExec gather when the bottom FOR is sharded."""
+    from repro.query.planner import _is_cheap  # shared cost/safety predicate
+
+    chain: list[PhysicalOperator] = []
+    node: PhysicalOperator | None = root
+    while node is not None:
+        chain.append(node)
+        node = node.child
+    bottom = chain[-1]
+    if not isinstance(bottom, NestedLoopBind):
+        return root
+    collection = getattr(bottom.access, "collection", None)
+    if collection is None or not catalog.is_sharded(collection):
+        return root
+    shard_key = catalog.shard_key(collection)
+
+    # -- shard-safe segment: bottom bind + cheap Filters/LETs/inner FORs ----
+    segment: list[PhysicalOperator] = [bottom]  # bottom-first
+    idx = len(chain) - 2
+    while idx >= 0:
+        op = chain[idx]
+        if isinstance(op, Filter) and _is_cheap(op.condition):
+            segment.append(op)
+        elif isinstance(op, Let) and _is_cheap(op.value):
+            segment.append(op)
+        elif (
+            isinstance(op, NestedLoopBind)
+            and isinstance(op.access, ExpressionSource)
+            and not op.access.is_var
+            and _is_cheap(op.access.source)
+        ):
+            segment.append(op)  # e.g. FOR it IN o.items
+        else:
+            break
+        idx -= 1
+
+    route_field, route_expr = _find_route(bottom, segment, shard_key)
+    range_field = range_low = range_high = None
+    if route_expr is None and shard_key is not None:
+        access = bottom.access
+        if isinstance(access, IndexRangeScan) and access.field == shard_key:
+            if _param_only(access.low_expr) and _param_only(access.high_expr):
+                range_field = shard_key
+                range_low, range_high = access.low_expr, access.high_expr
+
+    subplan: PhysicalOperator | None = None
+    for op in segment:
+        subplan = replace(op, child=subplan)
+
+    # -- push SORT / TopK / LIMIT below the gather --------------------------
+    merge_keys: tuple = ()
+    wrapper: PhysicalOperator | None = None
+    if idx >= 0:
+        op = chain[idx]
+        if isinstance(op, TopK) and all(_is_cheap(k.expr) for k in op.keys):
+            subplan = TopK(op.keys, _window(op.count, op.offset), None, subplan)
+            merge_keys = op.keys
+            wrapper = Limit(op.count, op.offset, None)
+            notes.append(
+                "sharding: TopK split into per-shard partial top-k "
+                "+ ordered merge + global LIMIT"
+            )
+            idx -= 1
+        elif isinstance(op, Sort) and all(_is_cheap(k.expr) for k in op.keys):
+            subplan = Sort(op.keys, subplan)
+            merge_keys = op.keys
+            notes.append("sharding: SORT parallelised into per-shard sort + ordered merge")
+            idx -= 1
+        elif isinstance(op, Limit):
+            subplan = Limit(_window(op.count, op.offset), None, subplan)
+            wrapper = Limit(op.count, op.offset, None)
+            notes.append("sharding: LIMIT pushed below the gather (per-shard prefix)")
+            idx -= 1
+
+    gather: PhysicalOperator = ShardExec(
+        subplan=subplan,
+        collection=collection,
+        n_shards=catalog.n_shards,
+        merge_keys=tuple(merge_keys),
+        route_field=route_field,
+        route_expr=route_expr,
+        range_field=range_field,
+        range_low=range_low,
+        range_high=range_high,
+    )
+    if route_expr is not None:
+        notes.append(
+            f"sharding: shard-key equality {collection}.{route_field} == "
+            f"{render_expr(route_expr)} routed to a single shard"
+        )
+    elif range_field is not None:
+        notes.append(
+            f"sharding: range bounds on {collection}.{range_field} "
+            "prune shards at run time"
+        )
+    else:
+        notes.append(
+            f"sharding: scatter-gather over {catalog.n_shards} shards "
+            f"for {collection}"
+        )
+    if wrapper is not None:
+        gather = replace(wrapper, child=gather)
+    for j in range(idx, -1, -1):
+        gather = replace(chain[j], child=gather)
+    return gather
+
+
+def _window(count: Expr, offset: Expr | None) -> Expr:
+    """The per-shard keep window: offset + count (offset may be None)."""
+    return count if offset is None else Binary("+", count, offset)
+
+
+def _param_only(expr: Expr | None) -> bool:
+    """True when *expr* is evaluable before any binding exists (or absent)."""
+    return expr is None or not free_variables(expr)
+
+
+def _find_route(
+    bottom: NestedLoopBind, segment: list[PhysicalOperator], shard_key: str | None
+) -> tuple[str | None, Expr | None]:
+    """An equality on the shard key that pins the bottom FOR to one shard."""
+    if shard_key is None:
+        return None, None
+    access = bottom.access
+    if (
+        isinstance(access, IndexEqLookup)
+        and access.field == shard_key
+        and _param_only(access.key_expr)
+    ):
+        return shard_key, access.key_expr
+    for op in segment:
+        if isinstance(op, Filter) and not op.speculative:
+            key_expr = _equality_key(op.condition, bottom.var, shard_key)
+            if key_expr is not None:
+                return shard_key, key_expr
+    return None, None
+
+
+def _equality_key(expr: Expr, var: str, shard_key: str) -> Expr | None:
+    """Find ``var.<shard_key> == key`` (or reversed) inside an AND-tree."""
+    if isinstance(expr, Binary) and expr.op == "AND":
+        return _equality_key(expr.left, var, shard_key) or _equality_key(
+            expr.right, var, shard_key
+        )
+    if not (isinstance(expr, Binary) and expr.op == "=="):
+        return None
+    for lhs, rhs in ((expr.left, expr.right), (expr.right, expr.left)):
+        if field_path(lhs, var) == shard_key and _param_only(rhs):
+            return rhs
+    return None

@@ -1,0 +1,928 @@
+"""ShardedDatabase: N MultiModelDatabase shards behind the Driver interface.
+
+The cluster facade of the reproduction.  Every model's collections are
+partitioned across N independent :class:`MultiModelDatabase` shards by a
+:class:`~repro.cluster.partition.ShardRouter`; MMQL, the workload
+runner, the loader and the benchmarks run unchanged because the facade
+implements the same :class:`~repro.drivers.base.Driver` surface as the
+single-node drivers.
+
+Placement defaults (overridable per collection at construction):
+
+====================  =====================================================
+Container             Placement
+====================  =====================================================
+relational table      hash on the primary key (single-column PKs route
+                      ``_id``/point lookups; composite PKs hash the tuple)
+document collection   hash on ``_id``
+XML collection        hash on the document id
+KV namespace          hash on the key string
+graph vertices        broadcast (replicated to every shard) — so edge
+                      endpoint checks stay local
+graph edges           hash on the source vertex — one shard owns all
+                      out-edges of a vertex, so BFS hops are single-shard
+====================  =====================================================
+
+Transactions: a :class:`ShardedSession` buffers writes in per-shard
+sessions and commits them shard by shard.  Single-shard transactions keep
+the engine's full atomicity; cross-shard ones get per-shard atomicity
+with best-effort all-or-nothing (the same weaker guarantee the polyglot
+baseline measures — distributed commit is the ROADMAP follow-up).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.cluster.partition import (
+    PK_SENTINEL,
+    HashPartitioner,
+    Partitioner,
+    ShardRouter,
+    ShardSpec,
+)
+from repro.drivers.base import Driver
+from repro.drivers.unified import UnifiedQueryContext
+from repro.engine.database import MultiModelDatabase, Session
+from repro.engine.records import Model
+from repro.engine.transactions import IsolationLevel
+from repro.errors import EngineError, GraphError, TransactionAborted
+from repro.models.graph.property_graph import Edge, Vertex
+from repro.models.graph.traversal import bfs_depth_range
+from repro.models.relational.predicate import Predicate
+from repro.models.xml.node import XmlElement
+from repro.models.xml.xpath import XPath
+
+# Edge-id stripes keep per-shard allocators disjoint without coordination.
+_EDGE_ID_STRIDE = 1_000_000_000
+
+
+def _edges_name(graph: str) -> str:
+    """Router registry name for a graph's edge placement."""
+    return f"{graph}#edges"
+
+
+class ShardedDatabase(Driver):
+    """N-shard cluster of MultiModelDatabase instances (system under test)."""
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        shard_keys: dict[str, str] | None = None,
+        partitioners: dict[str, Partitioner] | None = None,
+        broadcast: set[str] | None = None,
+        isolation: IsolationLevel = IsolationLevel.SNAPSHOT,
+        max_retries: int = 10,
+        wal_sync_every_append: bool = True,
+    ) -> None:
+        self.n_shards = n_shards
+        self.isolation = isolation
+        self.max_retries = max_retries
+        self.router = ShardRouter(n_shards)
+        self.shards: list[MultiModelDatabase] = []
+        for i in range(n_shards):
+            shard = MultiModelDatabase(
+                name=f"shard{i}", wal_sync_every_append=wal_sync_every_append
+            )
+            shard._next_edge_id = 1 + i * _EDGE_ID_STRIDE
+            self.shards.append(shard)
+        self._shard_keys = dict(shard_keys or {})
+        self._partitioners = dict(partitioners or {})
+        self._broadcast = set(broadcast or ())
+        # One lock per shard serialises transaction begin/finish against
+        # that shard's manager (queries from concurrent client threads).
+        self._shard_locks = [threading.Lock() for _ in range(n_shards)]
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    # -- thread pool ---------------------------------------------------------
+
+    def pool(self) -> ThreadPoolExecutor | None:
+        if self.n_shards == 1:
+            return None
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.n_shards, thread_name_prefix="shard"
+                )
+            return self._pool
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    # -- DDL (broadcast to every shard) -------------------------------------
+
+    def _spec_for(
+        self, name: str, kind: str, default_key: str | None, record_id: bool
+    ) -> ShardSpec:
+        if name in self._broadcast:
+            return ShardSpec(kind, None)
+        key = self._shard_keys.get(name, default_key)
+        partitioner = self._partitioners.get(name, HashPartitioner())
+        record_id = record_id and key == default_key
+        return ShardSpec(kind, key, partitioner, key_is_record_id=record_id)
+
+    def create_table(self, schema: Any) -> None:
+        pk = schema.primary_key
+        default_key = pk[0] if len(pk) == 1 else None
+        spec = self._spec_for(schema.name, "table", default_key, record_id=True)
+        if spec.key is None and schema.name not in self._broadcast and len(pk) != 1:
+            # Composite primary key without an explicit shard key: hash
+            # the whole pk tuple (routes inserts/gets, not MMQL filters).
+            spec = ShardSpec("table", PK_SENTINEL, HashPartitioner())
+        self.router.register(schema.name, spec)
+        for shard in self.shards:
+            shard.create_table(schema)
+
+    def create_collection(self, name: str) -> None:
+        self.router.register(
+            name, self._spec_for(name, "collection", "_id", record_id=True)
+        )
+        for shard in self.shards:
+            shard.create_collection(name)
+
+    def create_xml_collection(self, name: str) -> None:
+        self.router.register(name, self._spec_for(name, "xml", "_id", record_id=True))
+        for shard in self.shards:
+            shard.create_xml_collection(name)
+
+    def create_kv_namespace(self, name: str) -> None:
+        self.router.register(name, self._spec_for(name, "kv", "_key", record_id=True))
+        for shard in self.shards:
+            shard.create_kv_namespace(name)
+
+    def create_graph(self, name: str) -> None:
+        # Vertices broadcast; edges hash on their source vertex.
+        self.router.register(name, ShardSpec("graph_vertex", None))
+        self.router.register(
+            _edges_name(name), ShardSpec("graph_edge", "_src", HashPartitioner())
+        )
+        for shard in self.shards:
+            shard.create_graph(name)
+
+    def create_index(
+        self, kind: str, collection: str, field: str, index_type: str = "hash"
+    ) -> None:
+        model = Model.RELATIONAL if kind == "table" else Model.DOCUMENT
+        for shard in self.shards:
+            shard.create_index(model, collection, field, kind=index_type)
+
+    def set_table_schema(self, schema: Any) -> None:
+        for shard in self.shards:
+            shard.set_table_schema(schema)
+
+    def table_schema(self, name: str) -> Any:
+        return self.shards[0].table_schema(name)
+
+    # -- transactions --------------------------------------------------------
+
+    def begin(self, isolation: IsolationLevel | None = None) -> "ShardedSession":
+        return ShardedSession(self, isolation or self.isolation)
+
+    @contextlib.contextmanager
+    def transaction(
+        self, isolation: IsolationLevel | None = None
+    ) -> Iterator["ShardedSession"]:
+        session = self.begin(isolation)
+        try:
+            yield session
+        except BaseException:
+            if session.active:
+                session.abort()
+            raise
+        else:
+            if session.active:
+                session.commit()
+
+    def load(self, loader: Callable[["ShardedSession"], None]) -> None:
+        with self.transaction(IsolationLevel.SNAPSHOT) as session:
+            loader(session)
+
+    def run_transaction(self, body: Callable[["ShardedSession"], Any]) -> Any:
+        attempts = 0
+        while True:
+            attempts += 1
+            session = self.begin(self.isolation)
+            try:
+                result = body(session)
+                session.commit()
+                return result
+            except TransactionAborted:
+                if session.active:
+                    session.abort()
+                if session.partially_committed:
+                    # Some shard already made the writes durable: a
+                    # retry would double-apply them.  Surface the
+                    # partial commit instead (the measured best-effort
+                    # guarantee; 2PC is the ROADMAP follow-up).
+                    raise
+                if attempts > self.max_retries:
+                    raise
+            except BaseException:
+                if session.active:
+                    session.abort()
+                raise
+
+    # -- queries -------------------------------------------------------------
+
+    def query_context(self) -> "ShardedQueryContext":
+        return ShardedQueryContext(self)
+
+    def explain(self, text: str) -> str:
+        """Shard-aware plan: shows routing vs scatter-gather decisions."""
+        from repro.query.parser import parse
+        from repro.query.planner import plan
+
+        return plan(parse(text), catalog=self.router).describe()
+
+    # -- introspection -------------------------------------------------------
+
+    def list_collections(self) -> dict[str, list[str]]:
+        """Names per model family (identical DDL on every shard)."""
+        return self.shards[0].list_collections()
+
+    def stats(self) -> dict[str, Any]:
+        """Cluster-correct entity counts.
+
+        Sharded collections sum across shards; broadcast containers
+        (graph vertices, any configured broadcast table/collection)
+        count one replica.  A ``shards`` section carries per-shard
+        record totals for ops visibility.  Each (shard, collection)
+        chain is walked exactly once; both views derive from that pass.
+        """
+        counts: dict[str, Any] = {
+            "tables": 0, "rows": 0, "collections": 0, "documents": 0,
+            "xml_collections": 0, "xml_documents": 0, "kv_namespaces": 0,
+            "kv_pairs": 0, "graphs": 0, "vertices": 0, "edges": 0,
+        }
+        per_shard = [
+            {"rows": 0, "documents": 0, "xml_documents": 0, "kv_pairs": 0,
+             "vertices": 0, "edges": 0}
+            for _ in self.shards
+        ]
+        # One snapshot timestamp per shard, captured up front, so every
+        # collection of a shard is counted at the same instant.
+        snapshots = [shard.manager.current_ts for shard in self.shards]
+
+        def tally(model: Model, name: str, placement_name: str, key: str) -> int:
+            """Count once per shard; feed the shard section; return the
+            dedup-aware cluster total."""
+            by_shard = [
+                shard.count_live(model, name, ts)
+                for shard, ts in zip(self.shards, snapshots)
+            ]
+            for section, n in zip(per_shard, by_shard):
+                section[key] += n
+            if self.router.spec(placement_name).broadcast:
+                return by_shard[0]
+            return sum(by_shard)
+
+        listing = self.list_collections()
+        for name in listing["tables"]:
+            counts["tables"] += 1
+            counts["rows"] += tally(Model.RELATIONAL, name, name, "rows")
+        for name in listing["collections"]:
+            counts["collections"] += 1
+            counts["documents"] += tally(Model.DOCUMENT, name, name, "documents")
+        for name in listing["xml_collections"]:
+            counts["xml_collections"] += 1
+            counts["xml_documents"] += tally(Model.XML, name, name, "xml_documents")
+        for name in listing["kv_namespaces"]:
+            counts["kv_namespaces"] += 1
+            counts["kv_pairs"] += tally(Model.KEY_VALUE, name, name, "kv_pairs")
+        for name in listing["graphs"]:
+            counts["graphs"] += 1
+            counts["vertices"] += tally(Model.GRAPH_VERTEX, name, name, "vertices")
+            counts["edges"] += tally(
+                Model.GRAPH_EDGE, name, _edges_name(name), "edges"
+            )
+        counts["shards"] = {
+            f"shard_{i}": section for i, section in enumerate(per_shard)
+        }
+        counts["placement"] = self.router.describe()
+        return counts
+
+    # -- internals -----------------------------------------------------------
+
+    def _begin_shard(self, shard_id: int, isolation: IsolationLevel) -> Session:
+        with self._shard_locks[shard_id]:
+            return self.shards[shard_id].begin(isolation)
+
+    def _finish_shard(self, shard_id: int, session: Session, commit: bool) -> None:
+        with self._shard_locks[shard_id]:
+            if session.txn.state.value != "active":
+                return
+            if commit:
+                session.commit()
+            else:
+                session.abort()
+
+
+class ShardedSession:
+    """Routes the Session API across per-shard transactions.
+
+    Per-shard sessions open lazily on first touch; commit/abort closes
+    every open one.  Routing mirrors the placement table in the module
+    docstring; operations without a routable key broadcast (writes) or
+    gather (reads) across all shards.
+    """
+
+    def __init__(self, db: ShardedDatabase, isolation: IsolationLevel) -> None:
+        self.db = db
+        self.isolation = isolation
+        self._sessions: dict[int, Session] = {}
+        self.active = True
+        # True when a commit failed *after* at least one shard had
+        # already committed — the writes on those shards are durable, so
+        # the transaction must not be blindly retried.
+        self.partially_committed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def commit(self) -> None:
+        """Commit every touched shard (per-shard atomic, best-effort global)."""
+        self._close(commit=True)
+
+    def abort(self) -> None:
+        self._close(commit=False)
+
+    def _close(self, commit: bool) -> None:
+        if not self.active:
+            return
+        self.active = False
+        error: BaseException | None = None
+        writes_committed = 0
+        for shard_id, session in sorted(self._sessions.items()):
+            had_writes = not session.txn.is_read_only
+            try:
+                self.db._finish_shard(shard_id, session, commit and error is None)
+                if commit and error is None and had_writes:
+                    writes_committed += 1
+            except BaseException as exc:  # conflict: abort the remainder
+                error = exc
+        self._sessions.clear()
+        if error is not None:
+            self.partially_committed = commit and writes_committed > 0
+            raise error
+
+    def _shard(self, shard_id: int) -> Session:
+        session = self._sessions.get(shard_id)
+        if session is None:
+            session = self.db._begin_shard(shard_id, self.isolation)
+            self._sessions[shard_id] = session
+        return session
+
+    def _route(self, collection: str, key_value: Any) -> Session:
+        return self._shard(self.db.router.shard_for(collection, key_value))
+
+    def _all(self) -> list[Session]:
+        return [self._shard(i) for i in range(self.db.n_shards)]
+
+    def _spec(self, collection: str) -> ShardSpec:
+        return self.db.router.spec(collection)
+
+    # -- relational ----------------------------------------------------------
+
+    def _table_route_value(self, table: str, row_or_pk: Any, is_pk: bool) -> Any:
+        spec = self._spec(table)
+        if spec.key == PK_SENTINEL:  # composite primary key: route by tuple
+            if is_pk:
+                return tuple(row_or_pk)
+            schema = self.db.table_schema(table)
+            return tuple(row_or_pk[c] for c in schema.primary_key)
+        if is_pk:
+            return row_or_pk[0]
+        return row_or_pk.get(spec.key)
+
+    def sql_insert(self, table: str, values: dict[str, Any]) -> tuple[Any, ...]:
+        spec = self._spec(table)
+        if spec.broadcast:
+            results = [s.sql_insert(table, values) for s in self._all()]
+            return results[0]
+        schema = self.db.table_schema(table)
+        row = schema.validate_row(dict(values))
+        return self._route(
+            table, self._table_route_value(table, row, is_pk=False)
+        ).sql_insert(table, values)
+
+    def sql_get(self, table: str, pk: tuple[Any, ...]) -> dict[str, Any] | None:
+        spec = self._spec(table)
+        if spec.broadcast:
+            return self._shard(0).sql_get(table, pk)
+        if spec.key_is_record_id or spec.key == PK_SENTINEL:
+            return self._route(
+                table, self._table_route_value(table, tuple(pk), is_pk=True)
+            ).sql_get(table, pk)
+        for session in self._all():  # custom shard key: search
+            row = session.sql_get(table, pk)
+            if row is not None:
+                return row
+        return None
+
+    def sql_update(
+        self, table: str, pk: tuple[Any, ...], changes: dict[str, Any]
+    ) -> dict[str, Any]:
+        spec = self._spec(table)
+        if spec.broadcast:
+            results = [s.sql_update(table, pk, changes) for s in self._all()]
+            return results[0]
+        if spec.key_is_record_id or spec.key == PK_SENTINEL:
+            return self._route(
+                table, self._table_route_value(table, tuple(pk), is_pk=True)
+            ).sql_update(table, pk, changes)
+        for session in self._all():
+            current = session.sql_get(table, pk)
+            if current is not None:
+                if spec.key in changes and changes[spec.key] != current.get(spec.key):
+                    from repro.errors import ConstraintError
+
+                    raise ConstraintError(
+                        f"cannot change shard key {spec.key!r} of a row "
+                        f"in sharded table {table!r}"
+                    )
+                return session.sql_update(table, pk, changes)
+        from repro.errors import ConstraintError
+
+        raise ConstraintError(f"no row {pk!r} in {table!r}")
+
+    def sql_delete(self, table: str, pk: tuple[Any, ...]) -> bool:
+        spec = self._spec(table)
+        if spec.broadcast:
+            return any([s.sql_delete(table, pk) for s in self._all()])
+        if spec.key_is_record_id or spec.key == PK_SENTINEL:
+            return self._route(
+                table, self._table_route_value(table, tuple(pk), is_pk=True)
+            ).sql_delete(table, pk)
+        return any(session.sql_delete(table, pk) for session in self._all())
+
+    def sql_scan(
+        self, table: str, predicate: Predicate | None = None
+    ) -> Iterator[dict[str, Any]]:
+        sessions = [self._shard(0)] if self._spec(table).broadcast else self._all()
+        for session in sessions:
+            yield from session.sql_scan(table, predicate)
+
+    def sql_find(self, table: str, field: str, value: Any) -> list[dict[str, Any]]:
+        spec = self._spec(table)
+        if spec.broadcast:
+            return self._shard(0).sql_find(table, field, value)
+        if field == spec.key:
+            return self._route(table, value).sql_find(table, field, value)
+        out: list[dict[str, Any]] = []
+        for session in self._all():
+            out.extend(session.sql_find(table, field, value))
+        return out
+
+    # -- documents -----------------------------------------------------------
+
+    def _doc_route_value(self, collection: str, doc_id: Any) -> Session | None:
+        """Session owning *doc_id*, or None when the key is not the id."""
+        spec = self._spec(collection)
+        if spec.broadcast:
+            return self._shard(0)
+        if spec.key_is_record_id:
+            return self._route(collection, doc_id)
+        return None
+
+    def doc_insert(self, collection: str, doc: dict[str, Any]) -> str | int:
+        spec = self._spec(collection)
+        if spec.broadcast:
+            results = [s.doc_insert(collection, doc) for s in self._all()]
+            return results[0]
+        key_value = doc.get(spec.key)
+        if spec.key != "_id":
+            if spec.key not in doc:
+                raise EngineError(
+                    f"document for sharded collection {collection!r} lacks "
+                    f"shard key {spec.key!r}"
+                )
+            # The _id no longer determines placement, so the per-shard
+            # duplicate check cannot see a same-_id doc on another shard
+            # — enforce cluster-wide _id uniqueness here (single-node
+            # parity, at the cost of a broadcast read per insert).
+            if "_id" in doc and self.doc_get(collection, doc["_id"]) is not None:
+                from repro.errors import DocumentError
+
+                raise DocumentError(
+                    f"duplicate _id {doc['_id']!r} in {collection!r}"
+                )
+        return self._route(collection, key_value).doc_insert(collection, doc)
+
+    def doc_get(self, collection: str, doc_id: str | int) -> dict[str, Any] | None:
+        routed = self._doc_route_value(collection, doc_id)
+        if routed is not None:
+            return routed.doc_get(collection, doc_id)
+        for session in self._all():
+            doc = session.doc_get(collection, doc_id)
+            if doc is not None:
+                return doc
+        return None
+
+    def doc_update(
+        self, collection: str, doc_id: str | int, changes: dict[str, Any]
+    ) -> dict[str, Any]:
+        spec = self._spec(collection)
+        if spec.broadcast:
+            results = [s.doc_update(collection, doc_id, changes) for s in self._all()]
+            return results[0]
+        routed = self._doc_route_value(collection, doc_id)
+        if routed is not None:
+            return routed.doc_update(collection, doc_id, changes)
+        for session in self._all():
+            current = session.doc_get(collection, doc_id)
+            if current is not None:
+                # Placement follows the shard key: changing it would
+                # strand the document on the wrong shard, so reject —
+                # the same stance the engine takes on _id changes.
+                if spec.key in changes and changes[spec.key] != current.get(spec.key):
+                    from repro.errors import DocumentError
+
+                    raise DocumentError(
+                        f"cannot change shard key {spec.key!r} of a document "
+                        f"in sharded collection {collection!r}"
+                    )
+                return session.doc_update(collection, doc_id, changes)
+        from repro.errors import DocumentError
+
+        raise DocumentError(f"no document {doc_id!r} in {collection!r}")
+
+    def doc_delete(self, collection: str, doc_id: str | int) -> bool:
+        spec = self._spec(collection)
+        if spec.broadcast:
+            return any([s.doc_delete(collection, doc_id) for s in self._all()])
+        routed = self._doc_route_value(collection, doc_id)
+        if routed is not None:
+            return routed.doc_delete(collection, doc_id)
+        return any(session.doc_delete(collection, doc_id) for session in self._all())
+
+    def doc_scan(self, collection: str) -> Iterator[dict[str, Any]]:
+        sessions = [self._shard(0)] if self._spec(collection).broadcast else self._all()
+        for session in sessions:
+            yield from session.doc_scan(collection)
+
+    def doc_find(self, collection: str, field: str, value: Any) -> list[dict[str, Any]]:
+        spec = self._spec(collection)
+        if spec.broadcast:
+            return self._shard(0).doc_find(collection, field, value)
+        if field == spec.key:
+            return self._route(collection, value).doc_find(collection, field, value)
+        out: list[dict[str, Any]] = []
+        for session in self._all():
+            out.extend(session.doc_find(collection, field, value))
+        return out
+
+    # -- XML -----------------------------------------------------------------
+
+    def xml_put(self, collection: str, doc_id: str | int, tree: XmlElement) -> None:
+        self._route(collection, doc_id).xml_put(collection, doc_id, tree)
+
+    def xml_get(self, collection: str, doc_id: str | int) -> XmlElement | None:
+        return self._route(collection, doc_id).xml_get(collection, doc_id)
+
+    def xml_delete(self, collection: str, doc_id: str | int) -> bool:
+        return self._route(collection, doc_id).xml_delete(collection, doc_id)
+
+    def xml_scan(self, collection: str) -> Iterator[tuple[str | int, XmlElement]]:
+        for session in self._all():
+            yield from session.xml_scan(collection)
+
+    def xml_xpath(self, collection: str, doc_id: str | int, path: str) -> list[Any]:
+        tree = self.xml_get(collection, doc_id)
+        if tree is None:
+            return []
+        return XPath(path).find(tree)
+
+    # -- key-value -----------------------------------------------------------
+
+    def kv_put(self, namespace: str, key: str, value: Any) -> None:
+        self._route(namespace, key).kv_put(namespace, key, value)
+
+    def kv_get(self, namespace: str, key: str, default: Any = None) -> Any:
+        return self._route(namespace, key).kv_get(namespace, key, default)
+
+    def kv_delete(self, namespace: str, key: str) -> bool:
+        return self._route(namespace, key).kv_delete(namespace, key)
+
+    def kv_scan_prefix(self, namespace: str, prefix: str) -> list[tuple[str, Any]]:
+        out: list[tuple[str, Any]] = []
+        for session in self._all():
+            out.extend(session.kv_scan_prefix(namespace, prefix))
+        out.sort(key=lambda pair: pair[0])
+        return out
+
+    def kv_scan_range(
+        self, namespace: str, low: str, high: str, limit: int | None = None
+    ) -> list[tuple[str, Any]]:
+        out: list[tuple[str, Any]] = []
+        for session in self._all():
+            # Per-shard limit bounds the gather to n_shards*limit pairs;
+            # the global sort+cut below keeps the answer exact.
+            out.extend(session.kv_scan_range(namespace, low, high, limit))
+        out.sort(key=lambda pair: pair[0])
+        return out if limit is None else out[:limit]
+
+    # -- graph ---------------------------------------------------------------
+
+    def _edge_shard(self, graph: str, src: Any) -> Session:
+        return self._shard(self.db.router.shard_for(_edges_name(graph), src))
+
+    def graph_add_vertex(
+        self, graph: str, vertex_id: Any, label: str, **properties: Any
+    ) -> Vertex:
+        results = [
+            s.graph_add_vertex(graph, vertex_id, label, **properties)
+            for s in self._all()
+        ]
+        return results[0]
+
+    def graph_vertex(self, graph: str, vertex_id: Any) -> Vertex | None:
+        return self._shard(0).graph_vertex(graph, vertex_id)
+
+    def graph_update_vertex(self, graph: str, vertex_id: Any, **changes: Any) -> Vertex:
+        results = [
+            s.graph_update_vertex(graph, vertex_id, **changes) for s in self._all()
+        ]
+        return results[0]
+
+    def graph_add_edge(
+        self, graph: str, src: Any, dst: Any, label: str, **properties: Any
+    ) -> Edge:
+        return self._edge_shard(graph, src).graph_add_edge(
+            graph, src, dst, label, **properties
+        )
+
+    def graph_remove_edge(self, graph: str, edge_id: int) -> bool:
+        # Edge ids are striped per shard, so at most one shard has it.
+        return any(s.graph_remove_edge(graph, edge_id) for s in self._all())
+
+    def graph_out_edges(
+        self, graph: str, vertex_id: Any, label: str | None = None
+    ) -> list[Edge]:
+        return self._edge_shard(graph, vertex_id).graph_out_edges(
+            graph, vertex_id, label
+        )
+
+    def graph_in_edges(
+        self, graph: str, vertex_id: Any, label: str | None = None
+    ) -> list[Edge]:
+        out: list[Edge] = []
+        for session in self._all():
+            out.extend(session.graph_in_edges(graph, vertex_id, label))
+        return out
+
+    def graph_out_neighbors(
+        self, graph: str, vertex_id: Any, label: str | None = None
+    ) -> list[Vertex]:
+        out = []
+        for edge in self.graph_out_edges(graph, vertex_id, label):
+            v = self.graph_vertex(graph, edge.dst)
+            if v is not None:
+                out.append(v)
+        return out
+
+    def graph_in_neighbors(
+        self, graph: str, vertex_id: Any, label: str | None = None
+    ) -> list[Vertex]:
+        out = []
+        for edge in self.graph_in_edges(graph, vertex_id, label):
+            v = self.graph_vertex(graph, edge.src)
+            if v is not None:
+                out.append(v)
+        return out
+
+    def graph_traverse(
+        self,
+        graph: str,
+        start: Any,
+        min_depth: int,
+        max_depth: int,
+        edge_label: str | None = None,
+    ) -> list[Any]:
+        """Cross-shard BFS: each hop reads the source vertex's edge shard."""
+        if self.graph_vertex(graph, start) is None:
+            raise GraphError(f"no vertex {start!r} in {graph!r}")
+        return bfs_depth_range(
+            start, min_depth, max_depth,
+            lambda vid: self.graph_out_edges(graph, vid, edge_label),
+        )
+
+    def graph_vertices(self, graph: str, label: str | None = None) -> Iterator[Vertex]:
+        yield from self._shard(0).graph_vertices(graph, label)
+
+    def graph_edges(self, graph: str, label: str | None = None) -> Iterator[Edge]:
+        for session in self._all():
+            yield from session.graph_edges(graph, label)
+
+
+class ShardedQueryContext:
+    """QueryContext over per-shard read snapshots, plus the catalog.
+
+    Carries the :class:`ShardRouter` as ``catalog`` so the executor's
+    ``plan(query, catalog=...)`` call produces ShardExec scatter-gather
+    plans, exposes per-shard contexts to those operators, and implements
+    the full single-node protocol itself for everything above the gather
+    (joins, COLLECT, builtin bridges).
+
+    Shard snapshots open *lazily*, guarded by the cluster's per-shard
+    locks (transaction begin/finish on a shard's manager is not
+    thread-safe on its own): a routed point query begins exactly one
+    per-shard transaction, not N.  Consequently each shard's snapshot is
+    taken when the query first touches that shard — per-shard
+    consistency, no cross-shard snapshot point (there never was one:
+    eager opening also begins shard transactions at N different
+    timestamps).
+    """
+
+    def __init__(self, db: ShardedDatabase) -> None:
+        self.db = db
+        self.catalog = db.router
+        self._contexts: list[UnifiedQueryContext | None] = [None] * db.n_shards
+        self._open_lock = threading.Lock()
+
+    @property
+    def n_shards(self) -> int:
+        return self.db.n_shards
+
+    def shard_context(self, shard_id: int) -> UnifiedQueryContext:
+        ctx = self._contexts[shard_id]
+        if ctx is None:
+            with self._open_lock:
+                ctx = self._contexts[shard_id]
+                if ctx is None:
+                    with self.db._shard_locks[shard_id]:
+                        ctx = UnifiedQueryContext(self.db.shards[shard_id])
+                    self._contexts[shard_id] = ctx
+        return ctx
+
+    def run_parallel(self, tasks: list[Callable[[], Any]]) -> list[Any]:
+        """Run thunks concurrently on the cluster pool (ordered results)."""
+        pool = self.db.pool()
+        if pool is None or len(tasks) <= 1:
+            return [task() for task in tasks]
+        futures = [pool.submit(task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        with self._open_lock:
+            for shard_id, ctx in enumerate(self._contexts):
+                if ctx is not None:
+                    with self.db._shard_locks[shard_id]:
+                        ctx.close()
+            self._contexts = [None] * self.db.n_shards
+
+    # -- placement helpers ---------------------------------------------------
+
+    def _spec(self, collection: str) -> ShardSpec:
+        return self.catalog.spec(collection)
+
+    def _all_contexts(self) -> list[UnifiedQueryContext]:
+        return [self.shard_context(i) for i in range(self.db.n_shards)]
+
+    def _read_contexts(self, collection: str) -> list[UnifiedQueryContext]:
+        if self._spec(collection).broadcast:
+            return [self.shard_context(0)]
+        return self._all_contexts()
+
+    # -- QueryContext protocol -----------------------------------------------
+
+    def iter_collection(self, name: str) -> Iterable[Any]:
+        for ctx in self._read_contexts(name):
+            yield from ctx.iter_collection(name)
+
+    def index_lookup(
+        self, collection: str, field: str, value: Any
+    ) -> Iterable[Any] | None:
+        spec = self._spec(collection)
+        if spec.broadcast:
+            return self.shard_context(0).index_lookup(collection, field, value)
+        if field == spec.key or (field == "_id" and self.catalog.routes_record_id(collection)):
+            # Shard-key (or record-id) equality: only one shard can hold it.
+            ctx = self.shard_context(self.catalog.shard_for(collection, value))
+            rows = ctx.index_lookup(collection, field, value)
+            if rows is not None:
+                return rows
+            # No index on the routed shard: over-approximate with that
+            # shard's scan — still 1/N of the data; the residual FILTER
+            # keeps the answer exact.
+            return list(ctx.iter_collection(collection))
+        gathered: list[Any] = []
+        for ctx in self._all_contexts():
+            rows = ctx.index_lookup(collection, field, value)
+            if rows is None:
+                return None  # uniform DDL: no shard has the index
+            gathered.extend(rows)
+        return gathered
+
+    def range_lookup(
+        self,
+        collection: str,
+        field: str,
+        low: Any,
+        high: Any,
+        include_low: bool,
+        include_high: bool,
+    ) -> Iterable[Any] | None:
+        spec = self._spec(collection)
+        if spec.broadcast:
+            return self.shard_context(0).range_lookup(
+                collection, field, low, high, include_low, include_high
+            )
+        shard_ids = None
+        if field == spec.key:
+            shard_ids = self.catalog.shards_for_range(collection, low, high)
+        if shard_ids is None:
+            shard_ids = self.catalog.all_shards()
+        gathered: list[Any] = []
+        for shard_id in shard_ids:
+            rows = self.shard_context(shard_id).range_lookup(
+                collection, field, low, high, include_low, include_high
+            )
+            if rows is None:
+                return None
+            gathered.extend(rows)
+        return gathered
+
+    # -- graph ---------------------------------------------------------------
+
+    def _edge_ctx(self, graph: str, src: Any) -> UnifiedQueryContext:
+        return self.shard_context(self.catalog.shard_for(_edges_name(graph), src))
+
+    def traverse(
+        self,
+        graph: str,
+        start: Any,
+        min_depth: int,
+        max_depth: int,
+        edge_label: str | None,
+    ) -> Iterable[Any]:
+        """Cross-shard BFS over routed edge shards; vertices from shard 0."""
+        v0 = self.shard_context(0)
+        if v0.session.graph_vertex(graph, start) is None:
+            raise GraphError(f"no vertex {start!r} in {graph!r}")
+        order = bfs_depth_range(
+            start, min_depth, max_depth,
+            lambda vid: self._edge_ctx(graph, vid).session.graph_out_edges(
+                graph, vid, edge_label
+            ),
+        )
+        for vid in order:
+            vertex = v0.session.graph_vertex(graph, vid)
+            if vertex is not None:
+                yield v0._vertex_dict(vertex)
+
+    def vertices(self, graph: str, label: str | None) -> Iterable[Any]:
+        yield from self.shard_context(0).vertices(graph, label)
+
+    def edges(self, graph: str, label: str | None) -> Iterable[Any]:
+        for ctx in self._all_contexts():
+            yield from ctx.edges(graph, label)
+
+    def shortest_path(
+        self, graph: str, start: Any, goal: Any, edge_label: str | None
+    ) -> list[Any] | None:
+        if start == goal:
+            return [start]
+        from collections import deque
+
+        parents: dict[Any, Any] = {start: start}
+        queue: deque[Any] = deque([start])
+        while queue:
+            vid = queue.popleft()
+            edge_session = self._edge_ctx(graph, vid).session
+            for edge in edge_session.graph_out_edges(graph, vid, edge_label):
+                if edge.dst in parents:
+                    continue
+                parents[edge.dst] = vid
+                if edge.dst == goal:
+                    path = [goal]
+                    while path[-1] != start:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(edge.dst)
+        return None
+
+    # -- KV / XML bridges ----------------------------------------------------
+
+    def kv_get(self, namespace: str, key: str) -> Any:
+        shard_id = self.catalog.shard_for(namespace, key)
+        return self.shard_context(shard_id).kv_get(namespace, key)
+
+    def kv_prefix(self, namespace: str, prefix: str) -> Iterable[Any]:
+        gathered: list[Any] = []
+        for ctx in self._all_contexts():
+            gathered.extend(ctx.kv_prefix(namespace, prefix))
+        gathered.sort(key=lambda pair: pair["key"])
+        return gathered
+
+    def xml_get(self, collection: str, doc_id: Any) -> Any:
+        shard_id = self.catalog.shard_for(collection, doc_id)
+        return self.shard_context(shard_id).xml_get(collection, doc_id)

@@ -11,10 +11,13 @@ DESIGN.md §5 calls out:
   repair-on-read vs upgrade-every-read).
 - **YCSB** — the single-model workloads A-F the paper cites as *not*
   sufficient for multi-model evaluation, run as a baseline sanity suite.
+- **E10** — the sharded cluster layer: scatter-gather scan / merge-sort
+  / partial top-k versus single-shard routing across 1..N shards.
 """
 
 from __future__ import annotations
 
+from repro.cluster.sharded import ShardedDatabase
 from repro.consistency.replication import ReplicatedStore, ReplicationConfig
 from repro.consistency.sessions import quorum_freshness, session_fallback_rate
 from repro.core.ycsb import WORKLOADS, YcsbRunner
@@ -250,9 +253,93 @@ def experiment_ycsb(
     return table
 
 
+# ---------------------------------------------------------------------------
+# E10 — sharded cluster: routing vs scatter-gather
+# ---------------------------------------------------------------------------
+
+# The four plan shapes the cluster layer distinguishes; `routed` must do
+# ~1/N of the work, the others scatter with per-shard pushdown.
+_E10_QUERIES = {
+    "routed_point": (
+        "FOR o IN orders FILTER o._id == @order_id RETURN o.status",
+        lambda ds: {"order_id": ds.orders[len(ds.orders) // 2]["_id"]},
+    ),
+    "scatter_filter": (
+        "FOR o IN orders FILTER o.total_price >= @lo RETURN o._id",
+        lambda ds: {"lo": sorted(o["total_price"] for o in ds.orders)[-20]},
+    ),
+    # The sorted shapes return the sort key itself: ties at a top-k
+    # boundary break by arrival order, which legitimately differs
+    # between placements, so _id output would flake the cross-shard
+    # equality gate while the key sequence is placement-invariant.
+    "merge_sort": (
+        "FOR o IN orders SORT o.total_price DESC RETURN o.total_price",
+        lambda ds: {},
+    ),
+    "partial_topk": (
+        "FOR o IN orders SORT o.total_price DESC LIMIT 10 RETURN o.total_price",
+        lambda ds: {},
+    ),
+}
+
+
+def experiment_e10_sharding(
+    scale_factor: float = 0.1,
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    repetitions: int = 5,
+    seed: int = 42,
+) -> Table:
+    """Latency of the four cluster plan shapes across shard counts.
+
+    Every configuration must return the same answers as one shard; the
+    table records per-shape mean latency plus the measured shard fanout
+    of the routed point query (the 1/N work guarantee, asserted by the
+    bench harness rather than wall-clock, which the GIL makes noisy).
+    """
+    from repro.query.executor import Executor
+
+    dataset = DatasetGenerator(
+        GeneratorConfig(seed=seed, scale_factor=scale_factor)
+    ).generate()
+    table = Table(
+        f"E10: sharded scatter-gather (SF={scale_factor}, ms per query)",
+        ["shards", "load_ms", *(name for name in _E10_QUERIES), "routed_fanout"],
+    )
+    baseline: dict[str, list[str]] = {}
+    for n_shards in shard_counts:
+        driver = ShardedDatabase(n_shards=n_shards)
+        with Stopwatch() as load_sw:
+            load_dataset(driver, dataset)
+        row: list[object] = [n_shards, round(load_sw.elapsed * 1000.0, 1)]
+        for name, (text, params_fn) in _E10_QUERIES.items():
+            params = params_fn(dataset)
+            result = driver.query(text, params)  # warmup
+            canonical = sorted(repr(r) for r in result)
+            if name not in baseline:
+                baseline[name] = canonical
+            elif baseline[name] != canonical:
+                raise AssertionError(
+                    f"E10: {name} diverged between shard counts"
+                )
+            with Stopwatch() as sw:
+                for _ in range(repetitions):
+                    driver.query(text, params)
+            row.append(round(sw.elapsed * 1000.0 / repetitions, 3))
+        ctx = driver.query_context()
+        executor = Executor(ctx)
+        text, params_fn = _E10_QUERIES["routed_point"]
+        executor.execute(text, params_fn(dataset))
+        ctx.close()
+        row.append(executor.stats.get("shard_fanout", 0))
+        driver.close()
+        table.add_row(row)
+    return table
+
+
 EXTENSION_EXPERIMENTS = {
     "E7": experiment_e7_index_backends,
     "E8": experiment_e8_sessions,
     "E9": experiment_e9_migration_strategies,
+    "E10": experiment_e10_sharding,
     "YCSB": experiment_ycsb,
 }

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.datagen.generator import Dataset
 from repro.datagen.schemas import CUSTOMERS_SCHEMA, VENDORS_SCHEMA
@@ -32,34 +32,81 @@ def load_dataset(
     ``with_indexes`` creates the workload's secondary indexes (orders by
     customer_id and by product containment is not indexable — the E1
     ablation flips this off to measure scan cost).
+
+    The load is **partition-aware**: when the driver is a sharded
+    cluster (exposes a ``router``), each batch is pre-grouped by target
+    shard so every bulk transaction commits on a single shard instead of
+    fanning one commit across all of them.  Broadcast containers (graph
+    vertices) keep plain batching — every shard receives them anyway.
     """
     if create_containers:
         create_scenario_containers(driver)
 
-    def batches(items: list[Any]) -> list[list[Any]]:
+    router = getattr(driver, "router", None)
+
+    def batches(
+        items: list[Any], shard_of: Callable[[Any], int] | None = None
+    ) -> list[list[Any]]:
+        if router is not None and shard_of is not None:
+            groups: dict[int, list[Any]] = {}
+            for item in items:
+                groups.setdefault(shard_of(item), []).append(item)
+            out: list[list[Any]] = []
+            for shard_id in sorted(groups):
+                group = groups[shard_id]
+                out.extend(
+                    group[i : i + batch_size] for i in range(0, len(group), batch_size)
+                )
+            return out
         return [items[i : i + batch_size] for i in range(0, len(items), batch_size)]
 
-    for chunk in batches(dataset.customers):
+    def table_shard(table: str) -> Callable[[Any], int] | None:
+        key = router.shard_key(table)
+        if key is None or not driver.table_schema(table).has_column(key):
+            return None  # broadcast or composite-pk routing: plain batches
+        return lambda row: router.shard_for(table, row[key])
+
+    def doc_shard(collection: str) -> Callable[[Any], int] | None:
+        key = router.shard_key(collection)
+        if key is None:
+            return None
+        return lambda doc: router.shard_for(collection, doc[key])
+
+    customers_shard = table_shard("customers") if router else None
+    vendors_shard = table_shard("vendors") if router else None
+    products_shard = doc_shard("products") if router else None
+    orders_shard = doc_shard("orders") if router else None
+    feedback_shard = (
+        (lambda pair: router.shard_for("feedback", pair[0])) if router else None
+    )
+    invoices_shard = (
+        (lambda pair: router.shard_for("invoices", pair[0])) if router else None
+    )
+    knows_shard = (
+        (lambda edge: router.shard_for("social#edges", edge[0])) if router else None
+    )
+
+    for chunk in batches(dataset.customers, customers_shard):
         driver.load(lambda s, chunk=chunk: [
             s.sql_insert("customers", row) for row in chunk
         ])
-    for chunk in batches(dataset.vendors):
+    for chunk in batches(dataset.vendors, vendors_shard):
         driver.load(lambda s, chunk=chunk: [
             s.sql_insert("vendors", row) for row in chunk
         ])
-    for chunk in batches(dataset.products):
+    for chunk in batches(dataset.products, products_shard):
         driver.load(lambda s, chunk=chunk: [
             s.doc_insert("products", doc) for doc in chunk
         ])
-    for chunk in batches(dataset.orders):
+    for chunk in batches(dataset.orders, orders_shard):
         driver.load(lambda s, chunk=chunk: [
             s.doc_insert("orders", doc) for doc in chunk
         ])
-    for chunk in batches(dataset.feedback):
+    for chunk in batches(dataset.feedback, feedback_shard):
         driver.load(lambda s, chunk=chunk: [
             s.kv_put("feedback", key, value) for key, value in chunk
         ])
-    for chunk in batches(dataset.invoices):
+    for chunk in batches(dataset.invoices, invoices_shard):
         driver.load(lambda s, chunk=chunk: [
             s.xml_put("invoices", inv_id, tree) for inv_id, tree in chunk
         ])
@@ -70,7 +117,7 @@ def load_dataset(
             )
             for p in chunk
         ])
-    for chunk in batches(dataset.knows_edges):
+    for chunk in batches(dataset.knows_edges, knows_shard):
         driver.load(lambda s, chunk=chunk: [
             s.graph_add_edge("social", src, dst, "knows", since=since)
             for src, dst, since in chunk

@@ -94,6 +94,30 @@ class Driver(abc.ABC):
 
         return plan(parse(text)).describe()
 
+    def explain_analyze(
+        self,
+        text: str,
+        params: dict[str, Any] | None = None,
+        use_indexes: bool = True,
+    ) -> str:
+        """Execute the query and render the plan with actual row counts.
+
+        EXPLAIN ANALYZE-lite: every operator line carries ``rows=N`` (the
+        bindings it produced), followed by the access-path counters.  On
+        a sharded driver this shows routing (``shard_fanout=1``) versus
+        scatter-gather, and the per-shard subplan's gathered row totals.
+        """
+        from repro.query.analyze import explain_analyze
+
+        ctx = self.query_context()
+        try:
+            report, _ = explain_analyze(ctx, text, params, use_indexes)
+            return report
+        finally:
+            close = getattr(ctx, "close", None)
+            if close is not None:
+                close()
+
     # -- transactions ------------------------------------------------------------
 
     @abc.abstractmethod

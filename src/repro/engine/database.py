@@ -51,6 +51,7 @@ from repro.errors import (
 )
 from repro.models.document.document import validate_json_value
 from repro.models.graph.property_graph import Edge, Vertex
+from repro.models.graph.traversal import bfs_depth_range
 from repro.models.relational.predicate import Predicate
 from repro.models.relational.schema import TableSchema
 from repro.models.xml.node import XmlElement
@@ -333,39 +334,49 @@ class MultiModelDatabase:
     # Statistics
     # ------------------------------------------------------------------
 
+    def count_live(self, model: Model, name: str, ts: int | None = None) -> int:
+        """Live record count for one collection at snapshot *ts*
+        (default: latest committed).
+
+        Shared by :meth:`stats` and the cluster layer's per-shard /
+        aggregated statistics (broadcast collections must count one
+        replica, which family-level sums cannot express).  Callers
+        counting several collections should capture one timestamp and
+        pass it, so the counts describe a single snapshot.
+        """
+        coll = self.store.collection(model, name)
+        if ts is None:
+            ts = self.manager.current_ts
+        n = 0
+        for chain in coll.values():
+            v = chain.visible_at(ts)
+            if v is not None and v.value is not None:
+                n += 1
+        return n
+
     def stats(self) -> dict[str, int]:
-        """Latest-committed record counts per model family."""
+        """Latest-committed record counts per model family (one snapshot)."""
         counts = {
             "tables": 0, "rows": 0, "collections": 0, "documents": 0,
             "xml_collections": 0, "xml_documents": 0, "kv_namespaces": 0,
             "kv_pairs": 0, "graphs": len(self._graphs), "vertices": 0, "edges": 0,
         }
         ts = self.manager.current_ts
-
-        def live(model: Model, name: str) -> int:
-            coll = self.store.collection(model, name)
-            n = 0
-            for chain in coll.values():
-                v = chain.visible_at(ts)
-                if v is not None and v.value is not None:
-                    n += 1
-            return n
-
         for name in self._table_schemas:
             counts["tables"] += 1
-            counts["rows"] += live(Model.RELATIONAL, name)
+            counts["rows"] += self.count_live(Model.RELATIONAL, name, ts)
         for name in self.store.collection_names(Model.DOCUMENT):
             counts["collections"] += 1
-            counts["documents"] += live(Model.DOCUMENT, name)
+            counts["documents"] += self.count_live(Model.DOCUMENT, name, ts)
         for name in self.store.collection_names(Model.XML):
             counts["xml_collections"] += 1
-            counts["xml_documents"] += live(Model.XML, name)
+            counts["xml_documents"] += self.count_live(Model.XML, name, ts)
         for name in self.store.collection_names(Model.KEY_VALUE):
             counts["kv_namespaces"] += 1
-            counts["kv_pairs"] += live(Model.KEY_VALUE, name)
+            counts["kv_pairs"] += self.count_live(Model.KEY_VALUE, name, ts)
         for name in self._graphs:
-            counts["vertices"] += live(Model.GRAPH_VERTEX, name)
-            counts["edges"] += live(Model.GRAPH_EDGE, name)
+            counts["vertices"] += self.count_live(Model.GRAPH_VERTEX, name, ts)
+            counts["edges"] += self.count_live(Model.GRAPH_EDGE, name, ts)
         return counts
 
     def allocate_edge_id(self) -> int:
@@ -670,28 +681,18 @@ class Session:
     ) -> list[Any]:
         """BFS vertex ids whose depth from *start* is in [min_depth, max_depth].
 
-        This is the engine-side primitive behind MMQL's TRAVERSE clause.
+        This is the engine-side primitive behind MMQL's TRAVERSE clause;
+        the BFS itself is shared with the cluster layer's cross-shard
+        traversal (:func:`repro.models.graph.traversal.bfs_depth_range`).
         """
         if min_depth < 0 or max_depth < min_depth:
             raise GraphError(f"bad depth range {min_depth}..{max_depth}")
         if self.graph_vertex(graph, start) is None:
             raise GraphError(f"no vertex {start!r} in {graph!r}")
-        seen = {start}
-        frontier = [start]
-        result: list[Any] = [start] if min_depth == 0 else []
-        for depth in range(1, max_depth + 1):
-            nxt: list[Any] = []
-            for vid in frontier:
-                for edge in self.graph_out_edges(graph, vid, edge_label):
-                    if edge.dst not in seen:
-                        seen.add(edge.dst)
-                        nxt.append(edge.dst)
-            if not nxt:
-                break
-            if depth >= min_depth:
-                result.extend(nxt)
-            frontier = nxt
-        return result
+        return bfs_depth_range(
+            start, min_depth, max_depth,
+            lambda vid: self.graph_out_edges(graph, vid, edge_label),
+        )
 
     def graph_vertices(self, graph: str, label: str | None = None) -> Iterator[Vertex]:
         self._require_graph(graph)

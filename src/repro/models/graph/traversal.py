@@ -47,6 +47,40 @@ def bfs_layers(
     return layers
 
 
+def bfs_depth_range(
+    start: Any,
+    min_depth: int,
+    max_depth: int,
+    out_edges: Callable[[Any], Any],
+) -> list[Any]:
+    """Vertex ids whose BFS depth from *start* is in [min_depth, max_depth],
+    fetching adjacency through an *out_edges(vertex_id) -> iterable[Edge]*
+    callback rather than a PropertyGraph.
+
+    This is the storage-agnostic core of MMQL's TRAVERSE: the engine
+    session feeds it transactional adjacency, the cluster layer feeds it
+    routed per-shard lookups — one BFS, several adjacency sources.
+    """
+    if min_depth < 0 or max_depth < min_depth:
+        raise GraphError(f"bad depth range {min_depth}..{max_depth}")
+    seen = {start}
+    frontier = [start]
+    result: list[Any] = [start] if min_depth == 0 else []
+    for depth in range(1, max_depth + 1):
+        nxt: list[Any] = []
+        for vid in frontier:
+            for edge in out_edges(vid):
+                if edge.dst not in seen:
+                    seen.add(edge.dst)
+                    nxt.append(edge.dst)
+        if not nxt:
+            break
+        if depth >= min_depth:
+            result.extend(nxt)
+        frontier = nxt
+    return result
+
+
 def neighbors_within(
     graph: PropertyGraph,
     start: VertexId,

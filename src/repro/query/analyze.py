@@ -1,0 +1,104 @@
+"""EXPLAIN ANALYZE-lite: run a plan with per-operator actual row counts.
+
+``explain_analyze`` instruments every physical operator with a
+transparent counting wrapper, executes the plan for real, and renders
+the tree with ``rows=N`` annotations plus the executor's access-path
+counters.  This is how scatter-gather behaviour becomes observable: a
+routed shard-key lookup shows a small ShardExec row count and
+``shard_fanout=1``, while a scatter shows the full gather and
+``shard_fanout=N``.
+
+Counts are *output* rows (bindings an operator yielded to its parent).
+For a ShardExec subplan the counter sums across shards; the scatter runs
+sequentially under ANALYZE so those shared counters stay exact (the
+normal execution path keeps its thread pool).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any
+
+from repro.query.executor import Executor
+from repro.query.parser import parse
+from repro.query.physical import PhysicalOperator
+from repro.query.planner import plan
+
+
+class _Counted:
+    """Transparent row-counting wrapper around one physical operator."""
+
+    __slots__ = ("inner", "rows")
+
+    def __init__(self, inner: PhysicalOperator) -> None:
+        self.inner = inner
+        self.rows = 0
+
+    @property
+    def child(self):
+        return self.inner.child
+
+    @property
+    def subplan(self):
+        return getattr(self.inner, "subplan", None)
+
+    def label(self) -> str:
+        return self.inner.label()
+
+    def run(self, rt, params, seed=None):
+        for item in self.inner.run(rt, params, seed):
+            self.rows += 1
+            yield item
+
+
+def instrument(root: PhysicalOperator) -> "_Counted":
+    """Rebuild the tree so every node (and ShardExec subplan) counts rows."""
+    kwargs: dict[str, Any] = {}
+    if root.child is not None:
+        kwargs["child"] = instrument(root.child)
+    subplan = getattr(root, "subplan", None)
+    if subplan is not None:
+        kwargs["subplan"] = instrument(subplan)
+    rebuilt = replace(root, **kwargs) if kwargs else root
+    return _Counted(rebuilt)
+
+
+def render_analyzed(root: "_Counted") -> list[str]:
+    """Indented tree lines with the observed row counts."""
+    lines: list[str] = []
+
+    def walk(node, depth: int) -> None:
+        while node is not None:
+            rows = node.rows if isinstance(node, _Counted) else "?"
+            lines.append("  " * depth + f"{node.label()} (rows={rows})")
+            subplan = getattr(node, "subplan", None)
+            if subplan is not None:
+                walk(subplan, depth + 1)
+            node = node.child
+            depth += 1
+
+    walk(root, 0)
+    return lines
+
+
+def explain_analyze(
+    ctx: Any,
+    text: str,
+    params: dict[str, Any] | None = None,
+    use_indexes: bool = True,
+) -> tuple[str, list[Any]]:
+    """Execute *text* against *ctx*; return (annotated report, results)."""
+    query = parse(text)
+    planned = plan(query, getattr(ctx, "catalog", None))
+    counted = instrument(planned.root)
+    executor = Executor(ctx, use_indexes=use_indexes)
+    executor.analyze = True
+    results = list(counted.run(executor, params or {}))
+    lines = ["plan (analyzed):"]
+    lines.extend("  " + line for line in render_analyzed(counted))
+    if planned.notes:
+        lines.append("notes:")
+        lines.extend(f"  - {note}" for note in planned.notes)
+    stats = ", ".join(f"{k}={v}" for k, v in sorted(executor.stats.items()) if v)
+    lines.append(f"stats: {stats or 'none'}")
+    return "\n".join(lines), results

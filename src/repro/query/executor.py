@@ -52,6 +52,12 @@ class Executor:
     def __init__(self, ctx: QueryContext, use_indexes: bool = True) -> None:
         self.ctx = ctx
         self.use_indexes = use_indexes
+        # A sharded context carries the cluster catalog; plan() then
+        # inserts scatter-gather operators.  Single-node contexts don't.
+        self.catalog = getattr(ctx, "catalog", None)
+        # EXPLAIN ANALYZE sets this: shard scatters run sequentially so
+        # per-operator row counters stay exact.
+        self.analyze = False
         self.stats = {
             "index_lookups": 0, "range_lookups": 0, "scans": 0, "rows_scanned": 0,
         }
@@ -67,7 +73,7 @@ class Executor:
         """Plan, run, and materialise all result values."""
         if isinstance(query, str):
             query = parse(query)
-        root = plan(query).root
+        root = plan(query, self.catalog).root
         return list(root.run(self, params or {}))
 
     # -- expression evaluation ------------------------------------------------
@@ -135,7 +141,7 @@ class Executor:
         """Run a sub-pipeline seeded with the current binding; returns a list."""
         cached = self._subplans.get(id(expr.query))
         if cached is None:
-            cached = (expr.query, plan(expr.query).root)
+            cached = (expr.query, plan(expr.query, self.catalog).root)
             self._subplans[id(expr.query)] = cached
         _, root = cached
         return list(root.run(self, params, seed=binding))

@@ -645,12 +645,22 @@ class AggState:
 
 
 def explain_tree(root: PhysicalOperator) -> list[str]:
-    """Indented operator-tree lines, root first (EXPLAIN's body)."""
+    """Indented operator-tree lines, root first (EXPLAIN's body).
+
+    Operators with a ``subplan`` attribute (the cluster layer's
+    ShardExec gather) render the subplan as a nested block, one level
+    deeper — the per-shard pipeline below the scatter boundary.
+    """
     lines: list[str] = []
-    node: PhysicalOperator | None = root
-    depth = 0
-    while node is not None:
-        lines.append("  " * depth + node.label())
-        node = node.child
-        depth += 1
+
+    def walk(node: PhysicalOperator | None, depth: int) -> None:
+        while node is not None:
+            lines.append("  " * depth + node.label())
+            subplan = getattr(node, "subplan", None)
+            if subplan is not None:
+                walk(subplan, depth + 1)
+            node = node.child
+            depth += 1
+
+    walk(root, 0)
     return lines

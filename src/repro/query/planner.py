@@ -33,6 +33,7 @@ benchmark's EXPLAIN facility.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any
 
 from repro.query import physical
 from repro.query.ast import (
@@ -93,14 +94,26 @@ class ExplainedPlan:
         return "\n".join(lines)
 
 
-def plan(query: Query) -> ExplainedPlan:
-    """Optimise *query* and lower it to a physical operator tree."""
+def plan(query: Query, catalog: Any = None) -> ExplainedPlan:
+    """Optimise *query* and lower it to a physical operator tree.
+
+    *catalog* (a :class:`~repro.cluster.partition.ShardRouter`, or any
+    object with ``is_sharded``/``shard_key``/``n_shards``) enables the
+    shard-aware phase: the bottom pipeline segment is rewritten into a
+    scatter-gather ShardExec with shard-key routing and per-shard
+    sort/top-k pushdown.  Without a catalog the plan is single-node and
+    byte-identical to previous behaviour.
+    """
     notes: list[str] = []
     clauses = _push_down_filters(list(query.clauses), notes)
     clauses = _prune_dead_lets(clauses, query.returning, notes)
     clauses = _select_access_paths(clauses, notes)
     annotated = Query(tuple(clauses), query.returning, query.text)
     root = _lower(annotated, notes)
+    if catalog is not None:
+        from repro.cluster.planning import apply_sharding
+
+        root = apply_sharding(root, catalog, notes)
     return ExplainedPlan(annotated, tuple(notes), root)
 
 

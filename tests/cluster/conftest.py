@@ -1,0 +1,35 @@
+"""Cluster-layer fixtures: sharded databases loaded with the small dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.sharded import ShardedDatabase
+from repro.datagen.load import load_dataset
+
+
+@pytest.fixture(scope="session")
+def sharded4(small_dataset) -> ShardedDatabase:
+    """A 4-shard cluster with the small dataset and indexes, read-only use."""
+    driver = ShardedDatabase(n_shards=4)
+    load_dataset(driver, small_dataset)
+    yield driver
+    driver.close()
+
+
+@pytest.fixture(scope="session")
+def sharded1(small_dataset) -> ShardedDatabase:
+    """A single-shard cluster — the degenerate baseline configuration."""
+    driver = ShardedDatabase(n_shards=1)
+    load_dataset(driver, small_dataset)
+    yield driver
+    driver.close()
+
+
+@pytest.fixture()
+def fresh_sharded(small_dataset) -> ShardedDatabase:
+    """A writable 3-shard cluster, freshly loaded per test."""
+    driver = ShardedDatabase(n_shards=3)
+    load_dataset(driver, small_dataset)
+    yield driver
+    driver.close()

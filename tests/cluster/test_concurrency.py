@@ -1,0 +1,128 @@
+"""Concurrent scatter-gather: thread-safety smoke + determinism.
+
+Two axes of concurrency exist in the cluster layer:
+
+1. *Inside one query* — ShardExec fans a subplan out to per-shard worker
+   threads.  Workers share nothing mutable (own context, own stats), so
+   repeated runs must be byte-identical.
+2. *Across queries* — multiple client threads each open their own
+   ShardedQueryContext (per-shard transaction begin is serialised by the
+   cluster's shard locks) and run scatter queries simultaneously.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.workloads import QUERY_BY_ID
+
+
+def _canonical(rows):
+    return sorted(repr(r) for r in rows)
+
+
+class TestParallelDeterminism:
+    def test_scatter_scan_is_stable_across_runs(self, sharded4):
+        text = "FOR o IN orders FILTER o.total_price > 50 RETURN o._id"
+        first = sharded4.query(text)
+        for _ in range(5):
+            assert sharded4.query(text) == first  # exact order, not just set
+
+    def test_merge_sort_is_stable_across_runs(self, sharded4):
+        text = "FOR o IN orders SORT o.status, o.total_price DESC RETURN o._id"
+        first = sharded4.query(text)
+        for _ in range(5):
+            assert sharded4.query(text) == first
+
+    def test_partial_topk_ties_break_like_the_full_merge_sort(self, sharded4):
+        # o.status has heavy ties: per-shard partial top-k + stable
+        # ordered merge must agree with the full merge-sort's prefix on
+        # the same placement (ties break by per-shard arrival order,
+        # shards merged in shard order — both plans see the same order).
+        topk = sharded4.query("FOR o IN orders SORT o.status LIMIT 25 RETURN o._id")
+        full = sharded4.query("FOR o IN orders SORT o.status RETURN o._id")
+        assert topk == full[:25]
+
+
+class TestConcurrentClients:
+    def test_parallel_scans_from_many_threads(self, sharded4, small_dataset):
+        query = QUERY_BY_ID["Q11"]
+        params = query.params(small_dataset)
+        expected = _canonical(sharded4.query(query.text, params))
+        errors: list[BaseException] = []
+        results: list[list] = [[] for _ in range(8)]
+
+        def worker(slot: int) -> None:
+            try:
+                for _ in range(5):
+                    results[slot] = sharded4.query(query.text, params)
+            except BaseException as exc:  # noqa: BLE001 — smoke test collects all
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for result in results:
+            assert _canonical(result) == expected
+
+    def test_concurrent_mixed_plan_shapes(self, sharded4, small_dataset):
+        shapes = {
+            "routed": (
+                "FOR o IN orders FILTER o._id == @id RETURN o.status",
+                {"id": small_dataset.orders[0]["_id"]},
+            ),
+            "scatter": ("FOR o IN orders FILTER o.status == 'shipped' RETURN o._id", {}),
+            "topk": ("FOR o IN orders SORT o.total_price DESC LIMIT 5 RETURN o._id", {}),
+            "index": (
+                "FOR o IN orders FILTER o.customer_id == @c RETURN o._id",
+                {"c": small_dataset.orders[0]["customer_id"]},
+            ),
+        }
+        expected = {
+            name: _canonical(sharded4.query(text, params))
+            for name, (text, params) in shapes.items()
+        }
+        errors: list[BaseException] = []
+
+        def worker(name: str, text: str, params: dict) -> None:
+            try:
+                for _ in range(4):
+                    assert _canonical(sharded4.query(text, params)) == expected[name]
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(name, text, params))
+            for name, (text, params) in shapes.items()
+            for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_concurrent_index_lookups(self, sharded4, small_dataset):
+        """Per-shard secondary-index probes from many client threads."""
+        customers = [o["customer_id"] for o in small_dataset.orders[:16]]
+        text = "FOR o IN orders FILTER o.customer_id == @c RETURN o._id"
+        expected = {c: _canonical(sharded4.query(text, {"c": c})) for c in customers}
+        errors: list[BaseException] = []
+
+        def worker(c: int) -> None:
+            try:
+                assert _canonical(sharded4.query(text, {"c": c})) == expected[c]
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(c,)) for c in customers
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors

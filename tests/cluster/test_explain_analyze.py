@@ -1,0 +1,102 @@
+"""EXPLAIN ANALYZE-lite: per-operator actual row counts, observable routing."""
+
+import re
+
+from repro.query.analyze import explain_analyze, instrument, render_analyzed
+from repro.query.parser import parse
+from repro.query.planner import plan
+
+
+def _rows_of(report: str, operator: str) -> int:
+    for line in report.splitlines():
+        if operator in line:
+            match = re.search(r"rows=(\d+)", line)
+            assert match, f"no rows= on line {line!r}"
+            return int(match.group(1))
+    raise AssertionError(f"operator {operator!r} not in report:\n{report}")
+
+
+class TestUnifiedAnalyze:
+    def test_counts_reflect_filtering(self, loaded_unified, small_dataset):
+        # order_date has no index: the bind scans everything, the filter
+        # count shows the selectivity.
+        report = loaded_unified.explain_analyze(
+            "FOR o IN orders FILTER o.order_date LIKE '2016' RETURN o._id"
+        )
+        scanned = _rows_of(report, "NestedLoopBind")
+        kept = _rows_of(report, "Filter")
+        returned = _rows_of(report, "Project")
+        assert scanned == len(small_dataset.orders)
+        assert kept == returned <= scanned
+
+    def test_index_probe_binds_fewer_rows_than_a_scan(self, loaded_unified):
+        # status rides its hash index: the bind emits only the matches.
+        report = loaded_unified.explain_analyze(
+            "FOR o IN orders FILTER o.status == 'shipped' RETURN o._id"
+        )
+        assert _rows_of(report, "NestedLoopBind") == _rows_of(report, "Filter")
+        assert "index_lookups=1" in report
+
+    def test_topk_shows_bounded_output(self, loaded_unified):
+        report = loaded_unified.explain_analyze(
+            "FOR o IN orders SORT o.total_price DESC LIMIT 7 RETURN o._id"
+        )
+        assert _rows_of(report, "TopK") == 7
+        assert "stats:" in report
+
+    def test_index_probe_counts_only_matches(self, loaded_unified, small_dataset):
+        target = small_dataset.orders[0]["customer_id"]
+        report = loaded_unified.explain_analyze(
+            "FOR o IN orders FILTER o.customer_id == @c RETURN o._id", {"c": target}
+        )
+        expected = sum(
+            1 for o in small_dataset.orders if o["customer_id"] == target
+        )
+        assert _rows_of(report, "NestedLoopBind") == expected
+        assert "index_lookups=1" in report
+
+
+class TestShardedAnalyze:
+    def test_routed_query_reports_single_shard(self, sharded4, small_dataset):
+        order_id = small_dataset.orders[0]["_id"]
+        report = sharded4.explain_analyze(
+            "FOR o IN orders FILTER o._id == @id RETURN o.status", {"id": order_id}
+        )
+        assert "route: orders._id" in report
+        assert _rows_of(report, "ShardExec") == 1
+        assert "shard_fanout=1" in report
+
+    def test_scatter_gather_counts_sum_over_shards(self, sharded4, small_dataset):
+        report = sharded4.explain_analyze("FOR o IN orders RETURN o._id")
+        assert "scatter: all 4 shards" in report
+        assert _rows_of(report, "ShardExec") == len(small_dataset.orders)
+        # The per-shard subplan bind sums to the same total.
+        assert _rows_of(report, "NestedLoopBind") == len(small_dataset.orders)
+        assert "shard_fanout=4" in report
+
+    def test_partial_topk_counts_per_shard_candidates(self, sharded4):
+        report = sharded4.explain_analyze(
+            "FOR o IN orders SORT o.total_price DESC LIMIT 5 RETURN o._id"
+        )
+        # Each of 4 shards keeps at most k=5 candidates; the gather sees
+        # their union, the global limit trims to 5.
+        assert _rows_of(report, "TopK") <= 20
+        assert _rows_of(report, "Limit") == 5
+
+
+class TestInstrumentation:
+    def test_instrumented_tree_matches_plain_results(self, loaded_unified):
+        from repro.query.executor import Executor
+
+        text = "FOR o IN orders SORT o.total_price DESC LIMIT 3 RETURN o._id"
+        plain = loaded_unified.query(text)
+        ctx = loaded_unified.query_context()
+        try:
+            counted = instrument(plan(parse(text)).root)
+            executor = Executor(ctx)
+            executor.analyze = True
+            assert list(counted.run(executor, {})) == plain
+            lines = render_analyzed(counted)
+            assert all("rows=" in line for line in lines)
+        finally:
+            ctx.close()

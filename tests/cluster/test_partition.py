@@ -1,0 +1,116 @@
+"""Partitioners and the shard router: placement must be total and stable."""
+
+import pytest
+
+from repro.cluster.partition import (
+    HashPartitioner,
+    RangePartitioner,
+    ShardRouter,
+    ShardSpec,
+    stable_hash,
+)
+from repro.errors import EngineError
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("customer-42") == stable_hash("customer-42")
+        assert stable_hash(42) == stable_hash(42)
+        assert stable_hash((1, "a")) == stable_hash((1, "a"))
+
+    def test_numbers_and_strings_do_not_collide(self):
+        assert stable_hash(1) != stable_hash("1")
+
+    def test_equal_values_hash_equal_across_types(self):
+        # MMQL '==' is Python equality: 3 == 3.0 == True+2, so routing
+        # must send all spellings of a key to the same shard.
+        assert stable_hash(3.0) == stable_hash(3)
+        assert stable_hash(True) == stable_hash(1)
+        assert stable_hash(False) == stable_hash(0)
+        assert stable_hash((1, 2.0)) == stable_hash((1, 2))
+
+    def test_spread_is_roughly_uniform(self):
+        p = HashPartitioner()
+        counts = [0] * 4
+        for i in range(4000):
+            counts[p.shard_of(f"key-{i}", 4)] += 1
+        for c in counts:
+            assert 700 < c < 1300  # no shard starved or overloaded
+
+
+class TestHashPartitioner:
+    def test_every_value_lands_in_range(self):
+        p = HashPartitioner()
+        for value in (None, 0, -7, 3.5, "x", (1, 2), True):
+            assert 0 <= p.shard_of(value, 3) < 3
+
+    def test_no_range_pruning(self):
+        assert HashPartitioner().shards_for_range(1, 10, 4) is None
+
+
+class TestRangePartitioner:
+    def test_boundaries_partition_the_keyspace(self):
+        p = RangePartitioner([100, 200, 300])
+        assert p.shard_of(5, 4) == 0
+        assert p.shard_of(100, 4) == 1  # boundary belongs to the right shard
+        assert p.shard_of(250, 4) == 2
+        assert p.shard_of(10_000, 4) == 3
+
+    def test_boundary_count_must_match_shards(self):
+        with pytest.raises(EngineError):
+            RangePartitioner([10]).shard_of(5, 4)
+
+    def test_boundaries_must_ascend(self):
+        with pytest.raises(EngineError):
+            RangePartitioner([10, 10])
+
+    def test_range_pruning(self):
+        p = RangePartitioner([100, 200, 300])
+        assert p.shards_for_range(120, 180, 4) == [1]
+        assert p.shards_for_range(50, 250, 4) == [0, 1, 2]
+        assert p.shards_for_range(None, 90, 4) == [0]
+        assert p.shards_for_range(310, None, 4) == [3]
+
+    def test_incomparable_bound_over_approximates(self):
+        p = RangePartitioner([100, 200, 300])
+        assert p.shards_for_range("zz", None, 4) is None
+
+
+class TestShardRouter:
+    def _router(self) -> ShardRouter:
+        router = ShardRouter(4)
+        router.register("orders", ShardSpec("collection", "_id", key_is_record_id=True))
+        router.register("social", ShardSpec("graph_vertex", None))
+        return router
+
+    def test_routing_is_stable(self):
+        router = self._router()
+        assert router.shard_for("orders", "o17") == router.shard_for("orders", "o17")
+
+    def test_broadcast_reads_from_shard_zero(self):
+        router = self._router()
+        assert router.shard_for("social", "anything") == 0
+        assert not router.is_sharded("social")
+
+    def test_catalog_surface(self):
+        router = self._router()
+        assert router.is_sharded("orders")
+        assert router.shard_key("orders") == "_id"
+        assert router.routes_record_id("orders")
+        assert router.shard_key("social") is None
+        assert not router.is_sharded("unknown")
+
+    def test_single_shard_cluster_is_never_sharded(self):
+        router = ShardRouter(1)
+        router.register("orders", ShardSpec("collection", "_id"))
+        assert not router.is_sharded("orders")
+
+    def test_duplicate_registration_rejected(self):
+        router = self._router()
+        with pytest.raises(EngineError):
+            router.register("orders", ShardSpec("collection", "_id"))
+
+    def test_describe_names_placement(self):
+        placement = self._router().describe()
+        assert placement["orders"] == "hash(_id)"
+        assert placement["social"] == "broadcast"
