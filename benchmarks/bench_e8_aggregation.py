@@ -1,0 +1,115 @@
+"""Two-phase aggregation pushdown: partial below the gather, final above.
+
+(File numbering follows the bench-file sequence — this is the eighth
+``bench_*`` module; the CLI experiment id for the same table is **E11**,
+since E7-E10 are taken by the index/session/migration/sharding tables.)
+
+Per-shape pytest-benchmark timings for grouped COUNT/SUM/AVG/MIN/MAX on
+a 4-shard cluster, gated on byte-identical 1-vs-4-shard answers, plus
+the E11 comparison table across 1/2/4/8 shards.  The hard assertions
+target *deterministic work*: with the COLLECT split into per-shard
+``HashAggregate(partial)`` + coordinator ``HashAggregate(final)``, the
+rows crossing the shard gather must equal the number of per-shard group
+states (O(groups)), not the number of matching rows (O(rows)) —
+wall-clock ratios stay in the table because GIL-bound shard workers
+make latency noisy on shared runners.
+
+Scale: ``BENCH_AGG_SF`` (default 0.1; CI smoke uses 0.01).
+"""
+
+import os
+
+import pytest
+from conftest import record_table
+
+from repro.cluster.sharded import ShardedDatabase
+from repro.core.experiments_ext import (
+    _E11_QUERIES,
+    _aggregation_actuals,
+    experiment_e11_aggregation,
+)
+from repro.datagen.config import GeneratorConfig
+from repro.datagen.generator import DatasetGenerator
+from repro.datagen.load import load_dataset
+
+AGG_SF = float(os.environ.get("BENCH_AGG_SF", "0.1"))
+
+
+@pytest.fixture(scope="module")
+def agg_dataset():
+    return DatasetGenerator(GeneratorConfig(seed=42, scale_factor=AGG_SF)).generate()
+
+
+@pytest.fixture(scope="module")
+def one_shard(agg_dataset):
+    driver = ShardedDatabase(n_shards=1)
+    load_dataset(driver, agg_dataset)
+    yield driver
+    driver.close()
+
+
+@pytest.fixture(scope="module")
+def four_shards(agg_dataset):
+    driver = ShardedDatabase(n_shards=4)
+    load_dataset(driver, agg_dataset)
+    yield driver
+    driver.close()
+
+
+@pytest.mark.parametrize("shape", sorted(_E11_QUERIES))
+def bench_grouped_aggregate(benchmark, shape, one_shard, four_shards):
+    """Latency of one grouped-aggregate shape on 4 shards, 1-shard parity gate.
+
+    Equality is exact (not canonicalised): canonical group-key ordering
+    plus exact rational SUM/AVG accumulation make grouped answers
+    byte-identical across placements, sorted or not.
+    """
+    text = _E11_QUERIES[shape]
+    result = benchmark(lambda: four_shards.query(text))
+    assert result == one_shard.query(text)
+
+
+def bench_aggregation_gather_reduction(benchmark, agg_dataset, four_shards):
+    """Only partial group states may cross the gather, and EXPLAIN says so."""
+    text = _E11_QUERIES["grouped_sum_avg"]
+    benchmark(lambda: four_shards.query(text))
+    gather_rows, groups = _aggregation_actuals(four_shards, text)
+    match_rows = len(agg_dataset.orders)
+    # The gather carries at most one state-row per (shard, group) — the
+    # O(groups) bound — and strictly fewer rows than the matching scan.
+    assert 0 < gather_rows <= four_shards.n_shards * groups
+    assert gather_rows < match_rows
+    plan = four_shards.explain(text)
+    partial_depth = min(
+        line.index("HashAggregate(partial)")
+        for line in plan.splitlines() if "HashAggregate(partial)" in line
+    )
+    final_depth = min(
+        line.index("HashAggregate(final)")
+        for line in plan.splitlines() if "HashAggregate(final)" in line
+    )
+    shard_depth = min(
+        line.index("ShardExec") for line in plan.splitlines() if "ShardExec" in line
+    )
+    # Tree indentation places the final aggregate above the gather and
+    # the partial aggregate below it.
+    assert final_depth < shard_depth < partial_depth
+
+
+def bench_e8_aggregation_table(benchmark):
+    """Regenerate and print the E11 table: 1/2/4/8-shard comparison."""
+    shard_counts = (1, 2, 4, 8) if AGG_SF >= 0.05 else (1, 2, 4)
+    table = benchmark.pedantic(
+        lambda: experiment_e11_aggregation(
+            scale_factor=AGG_SF, shard_counts=shard_counts
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table)
+    by_shards = {r["shards"]: r for r in table.to_records()}
+    # The deterministic win: the coordinator ingests group states, not
+    # rows.  (Latency ratios stay un-asserted — GIL-bound workers.)
+    four = by_shards[4]
+    assert four["gather_rows"] <= 4 * four["groups"]
+    assert four["gather_rows"] < four["match_rows"]

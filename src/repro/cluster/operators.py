@@ -3,7 +3,8 @@
 :class:`ShardExec` is the one new operator the shard-aware planner
 inserts: it owns a *subplan* — a shard-local pipeline segment built from
 the ordinary single-node operators (CollectionScan / IndexEqLookup /
-IndexRangeScan access paths, Filter, Let, Sort, TopK, Limit) — and runs
+IndexRangeScan access paths, Filter, Let, Sort, TopK, Limit, and
+HashAggregate(partial) for the two-phase aggregation split) — and runs
 that subplan once per target shard, each against the shard's own
 :class:`~repro.drivers.unified.UnifiedQueryContext`, in parallel on the
 cluster's thread pool.  Gather either concatenates (shard order, so
@@ -46,7 +47,7 @@ class _ShardRuntime:
     context so access paths scan/probe only that shard's data.
     """
 
-    __slots__ = ("_parent", "ctx", "use_indexes", "stats", "analyze")
+    __slots__ = ("_parent", "ctx", "use_indexes", "stats", "analyze", "observed")
 
     def __init__(self, parent: Any, ctx: Any, stats: dict[str, int]) -> None:
         self._parent = parent
@@ -54,6 +55,10 @@ class _ShardRuntime:
         self.use_indexes = parent.use_indexes
         self.stats = stats
         self.analyze = getattr(parent, "analyze", False)
+        # Per-operator observation channel (EXPLAIN ANALYZE group counts).
+        # Only non-None under ANALYZE, whose scatter runs sequentially —
+        # so sharing the parent's dict across shard runtimes is safe.
+        self.observed = getattr(parent, "observed", None)
 
     def eval_expr(self, expr: Expr, binding: Binding, params: dict[str, Any]) -> Any:
         return self._parent.eval_expr(expr, binding, params)

@@ -22,6 +22,16 @@ from typing import Any, Sequence
 
 from repro.errors import EngineError
 
+
+def edges_placement_name(graph: str) -> str:
+    """Router registry name for a graph's edge placement.
+
+    The single source of the ``<graph>#edges`` naming scheme, shared by
+    the cluster DDL (which registers the placement) and the bulk loader
+    (which pre-groups edge batches by target shard).
+    """
+    return f"{graph}#edges"
+
 # Spec key marking "route by the whole composite primary-key tuple".
 # Internal to placement: shard_key() reports such specs as None because
 # no single record field carries the routing value.

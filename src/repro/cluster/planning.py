@@ -17,6 +17,16 @@ whose subplan runs per shard:
   merge (a parallel MergeSort); a fused TopK becomes per-shard partial
   top-(offset+count) + ordered merge + a global LIMIT; a bare LIMIT
   becomes a per-shard limit + global re-limit.
+- **Two-phase aggregation** — a COLLECT whose keys and aggregate
+  arguments are cheap (and which has no ``INTO`` group collection)
+  splits into a per-shard ``HashAggregate(partial)`` below the gather
+  plus a coordinator-side ``HashAggregate(final)`` that re-groups the
+  shipped states and merges them (AVG merges exact ``(sum, count)``
+  pairs).  Only partial group states cross the gather: the dominant
+  cross-shard data movement for grouped queries drops from O(matching
+  rows) to O(groups).  Grouped ``INTO`` stays single-phase above the
+  gather — its member lists cannot decompose — and a plan already
+  routed to one shard skips the split, since there is nothing to merge.
 
 Everything above the gather still runs single-threaded against the
 :class:`~repro.cluster.sharded.ShardedQueryContext`, which implements
@@ -31,10 +41,19 @@ from dataclasses import replace
 from typing import Any
 
 from repro.cluster.operators import ShardExec
-from repro.query.ast import Binary, Expr, free_variables
+from repro.query.aggregates import DECOMPOSABLE
+from repro.query.ast import (
+    Aggregation,
+    Binary,
+    CollectClause,
+    Expr,
+    VarRef,
+    free_variables,
+)
 from repro.query.physical import (
     ExpressionSource,
     Filter,
+    HashAggregate,
     IndexEqLookup,
     IndexRangeScan,
     Let,
@@ -100,10 +119,23 @@ def apply_sharding(
     for op in segment:
         subplan = replace(op, child=subplan)
 
-    # -- push SORT / TopK / LIMIT below the gather --------------------------
+    # -- split COLLECT into partial below / final above the gather ----------
     merge_keys: tuple = ()
     wrapper: PhysicalOperator | None = None
-    if idx >= 0:
+    final_agg: PhysicalOperator | None = None
+    if idx >= 0 and route_expr is None and _splittable(chain[idx], _is_cheap):
+        op = chain[idx]
+        assert isinstance(op, HashAggregate)
+        subplan = replace(op, mode="partial", child=subplan)
+        final_agg = HashAggregate(_final_clause(op.clause), mode="final")
+        notes.append(
+            "sharding: COLLECT split into per-shard HashAggregate(partial) "
+            "below the gather + HashAggregate(final) merging group states"
+        )
+        idx -= 1
+
+    # -- push SORT / TopK / LIMIT below the gather --------------------------
+    if final_agg is None and idx >= 0:
         op = chain[idx]
         if isinstance(op, TopK) and all(_is_cheap(k.expr) for k in op.keys):
             subplan = TopK(op.keys, _window(op.count, op.offset), None, subplan)
@@ -151,11 +183,49 @@ def apply_sharding(
             f"sharding: scatter-gather over {catalog.n_shards} shards "
             f"for {collection}"
         )
+    if final_agg is not None:
+        gather = replace(final_agg, child=gather)
     if wrapper is not None:
         gather = replace(wrapper, child=gather)
     for j in range(idx, -1, -1):
         gather = replace(chain[j], child=gather)
     return gather
+
+
+def _splittable(op: PhysicalOperator, is_cheap: Any) -> bool:
+    """Can this COLLECT run as partial-per-shard + final-at-coordinator?
+
+    Requires a single-phase HashAggregate whose key and aggregate
+    expressions are cheap (pure, thread-safe in shard workers), whose
+    functions all decompose (their ``merge`` is exact over any input
+    partitioning), and which collects no ``INTO`` member lists — those
+    embed whole bindings and cannot merge from partial states.
+    """
+    if not isinstance(op, HashAggregate) or op.mode != "single":
+        return False
+    clause = op.clause
+    return (
+        clause.into is None
+        and all(agg.func in DECOMPOSABLE for agg in clause.aggregations)
+        and all(is_cheap(expr) for _, expr in clause.keys)
+        and all(is_cheap(agg.arg) for agg in clause.aggregations)
+    )
+
+
+def _final_clause(clause: CollectClause) -> CollectClause:
+    """The coordinator-side clause: re-group partial rows by name.
+
+    Partial rows already carry the computed key columns and the wrapped
+    aggregate states under their output names, so the final phase reads
+    plain variables — no re-evaluation of the original expressions.
+    """
+    return CollectClause(
+        keys=tuple((name, VarRef(name)) for name, _ in clause.keys),
+        aggregations=tuple(
+            Aggregation(agg.var, agg.func, VarRef(agg.var))
+            for agg in clause.aggregations
+        ),
+    )
 
 
 def _window(count: Expr, offset: Expr | None) -> Expr:

@@ -43,6 +43,7 @@ from repro.cluster.partition import (
     Partitioner,
     ShardRouter,
     ShardSpec,
+    edges_placement_name,
 )
 from repro.drivers.base import Driver
 from repro.drivers.unified import UnifiedQueryContext
@@ -58,11 +59,6 @@ from repro.models.xml.xpath import XPath
 
 # Edge-id stripes keep per-shard allocators disjoint without coordination.
 _EDGE_ID_STRIDE = 1_000_000_000
-
-
-def _edges_name(graph: str) -> str:
-    """Router registry name for a graph's edge placement."""
-    return f"{graph}#edges"
 
 
 class ShardedDatabase(Driver):
@@ -163,7 +159,7 @@ class ShardedDatabase(Driver):
         # Vertices broadcast; edges hash on their source vertex.
         self.router.register(name, ShardSpec("graph_vertex", None))
         self.router.register(
-            _edges_name(name), ShardSpec("graph_edge", "_src", HashPartitioner())
+            edges_placement_name(name), ShardSpec("graph_edge", "_src", HashPartitioner())
         )
         for shard in self.shards:
             shard.create_graph(name)
@@ -302,7 +298,7 @@ class ShardedDatabase(Driver):
             counts["graphs"] += 1
             counts["vertices"] += tally(Model.GRAPH_VERTEX, name, name, "vertices")
             counts["edges"] += tally(
-                Model.GRAPH_EDGE, name, _edges_name(name), "edges"
+                Model.GRAPH_EDGE, name, edges_placement_name(name), "edges"
             )
         counts["shards"] = {
             f"shard_{i}": section for i, section in enumerate(per_shard)
@@ -632,7 +628,7 @@ class ShardedSession:
     # -- graph ---------------------------------------------------------------
 
     def _edge_shard(self, graph: str, src: Any) -> Session:
-        return self._shard(self.db.router.shard_for(_edges_name(graph), src))
+        return self._shard(self.db.router.shard_for(edges_placement_name(graph), src))
 
     def graph_add_vertex(
         self, graph: str, vertex_id: Any, label: str, **properties: Any
@@ -853,7 +849,7 @@ class ShardedQueryContext:
     # -- graph ---------------------------------------------------------------
 
     def _edge_ctx(self, graph: str, src: Any) -> UnifiedQueryContext:
-        return self.shard_context(self.catalog.shard_for(_edges_name(graph), src))
+        return self.shard_context(self.catalog.shard_for(edges_placement_name(graph), src))
 
     def traverse(
         self,

@@ -336,10 +336,127 @@ def experiment_e10_sharding(
     return table
 
 
+# ---------------------------------------------------------------------------
+# E11 — two-phase aggregation pushdown
+# ---------------------------------------------------------------------------
+
+# Grouped aggregate shapes the two-phase rewrite targets.  All results
+# must be byte-identical across shard counts: canonical group ordering
+# plus exact (rational) SUM/AVG accumulation make the merged answer
+# placement-independent, so the gate is plain equality, not canonicalised.
+_E11_QUERIES = {
+    "grouped_count": (
+        "FOR o IN orders COLLECT s = o.status AGGREGATE n = COUNT(1) RETURN {s, n}"
+    ),
+    "grouped_sum_avg": (
+        "FOR o IN orders COLLECT cid = o.customer_id "
+        "AGGREGATE spend = SUM(o.total_price), avg_spend = AVG(o.total_price) "
+        "RETURN {cid, spend, avg_spend}"
+    ),
+    "grouped_minmax_sorted": (
+        "FOR o IN orders COLLECT s = o.status "
+        "AGGREGATE lo = MIN(o.total_price), hi = MAX(o.total_price) "
+        "SORT s RETURN {s, lo, hi}"
+    ),
+}
+
+
+def _aggregation_actuals(driver, text: str) -> tuple[int | None, int]:
+    """(rows crossing the shard gather, final group count) for one query.
+
+    Runs the plan under the ANALYZE instrumentation and reads the
+    ShardExec / top aggregate row counters — the direct measurement of
+    the O(rows) → O(groups) data-movement claim.  A plan with no gather
+    (a 1-shard cluster never builds a ShardExec) reports ``None``, not
+    0: no rows crossed a boundary because no boundary exists.
+    """
+    from repro.query.analyze import instrument
+    from repro.query.executor import Executor
+    from repro.query.parser import parse
+    from repro.query.planner import plan
+
+    ctx = driver.query_context()
+    try:
+        executor = Executor(ctx)
+        executor.analyze = True
+        executor.observed = {}
+        counted = instrument(plan(parse(text), executor.catalog).root)
+        list(counted.run(executor, {}))
+        gather_rows: int | None = None
+        groups = 0
+        node = counted
+        while node is not None:
+            label = node.label()
+            if label.startswith("ShardExec"):
+                gather_rows = node.rows
+            elif label.startswith("HashAggregate(final)") or label.startswith(
+                "HashAggregate(single)"
+            ):
+                groups = node.rows
+            node = node.child
+        return gather_rows, groups
+    finally:
+        ctx.close()
+
+
+def experiment_e11_aggregation(
+    scale_factor: float = 0.1,
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    repetitions: int = 5,
+    seed: int = 42,
+) -> Table:
+    """Grouped COUNT/SUM/AVG/MIN/MAX latency across shard counts.
+
+    Alongside per-shape mean latency the table records, for the
+    ``grouped_sum_avg`` shape, how many rows crossed the shard gather
+    (``gather_rows``) against the matching row count — with the partial
+    pushdown this is the number of per-shard group states, not the
+    number of matching rows — plus the final group count.
+    """
+    dataset = DatasetGenerator(
+        GeneratorConfig(seed=seed, scale_factor=scale_factor)
+    ).generate()
+    table = Table(
+        f"E11: two-phase aggregation pushdown (SF={scale_factor}, ms per query)",
+        ["shards", "load_ms", *(name for name in _E11_QUERIES),
+         "match_rows", "gather_rows", "groups"],
+    )
+    baseline: dict[str, list] = {}
+    for n_shards in shard_counts:
+        driver = ShardedDatabase(n_shards=n_shards)
+        with Stopwatch() as load_sw:
+            load_dataset(driver, dataset)
+        row: list[object] = [n_shards, round(load_sw.elapsed * 1000.0, 1)]
+        for name, text in _E11_QUERIES.items():
+            result = driver.query(text)  # warmup
+            if name not in baseline:
+                baseline[name] = result
+            elif baseline[name] != result:
+                raise AssertionError(
+                    f"E11: {name} not byte-identical across shard counts"
+                )
+            with Stopwatch() as sw:
+                for _ in range(repetitions):
+                    driver.query(text)
+            row.append(round(sw.elapsed * 1000.0 / repetitions, 3))
+        gather_rows, groups = _aggregation_actuals(
+            driver, _E11_QUERIES["grouped_sum_avg"]
+        )
+        row.extend([
+            len(dataset.orders),
+            "n/a" if gather_rows is None else gather_rows,
+            groups,
+        ])
+        driver.close()
+        table.add_row(row)
+    return table
+
+
 EXTENSION_EXPERIMENTS = {
     "E7": experiment_e7_index_backends,
     "E8": experiment_e8_sessions,
     "E9": experiment_e9_migration_strategies,
     "E10": experiment_e10_sharding,
+    "E11": experiment_e11_aggregation,
     "YCSB": experiment_ycsb,
 }

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.cluster.partition import edges_placement_name
 from repro.datagen.generator import Dataset
 from repro.datagen.schemas import CUSTOMERS_SCHEMA, VENDORS_SCHEMA
 from repro.drivers.base import Driver
@@ -83,7 +84,8 @@ def load_dataset(
         (lambda pair: router.shard_for("invoices", pair[0])) if router else None
     )
     knows_shard = (
-        (lambda edge: router.shard_for("social#edges", edge[0])) if router else None
+        (lambda edge: router.shard_for(edges_placement_name("social"), edge[0]))
+        if router else None
     )
 
     for chunk in batches(dataset.customers, customers_shard):

@@ -25,6 +25,7 @@ operators (:mod:`repro.query.physical`), run with
 :class:`~repro.query.context.QueryContext`.
 """
 
+from repro.query.aggregates import AGGREGATORS, Aggregator
 from repro.query.ast import Query
 from repro.query.context import QueryContext
 from repro.query.executor import Executor, run_query
@@ -33,6 +34,8 @@ from repro.query.physical import PhysicalOperator
 from repro.query.planner import ExplainedPlan, plan
 
 __all__ = [
+    "AGGREGATORS",
+    "Aggregator",
     "ExplainedPlan",
     "Executor",
     "PhysicalOperator",

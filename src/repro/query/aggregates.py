@@ -1,0 +1,351 @@
+"""Decomposable aggregate accumulators for COLLECT ... AGGREGATE.
+
+Each MMQL aggregate function is an :class:`Aggregator` — a stateless
+strategy object exposing the classic two-phase contract:
+
+``init``
+    A fresh, empty accumulator state.
+``accumulate``
+    Fold one input value into a state (the per-row path; ``None`` and
+    missing fields are skipped, matching SQL aggregate semantics).
+``merge``
+    Combine two states produced by *accumulate* on disjoint input
+    partitions.  ``merge`` is associative and commutative, which is what
+    lets the cluster planner push a ``HashAggregate(partial)`` below the
+    shard gather and ship only per-group states to the coordinator.
+``finalize``
+    Turn a state into the user-visible result value.
+
+AVG is the canonical decomposition example: its state is a ``(sum,
+count)`` pair so partial averages merge exactly (averaging averages
+would not).  :class:`AggPartial` is the envelope a partial-mode
+aggregate emits — the coordinator-side final aggregate unwraps and
+merges it.
+
+The module also owns :func:`group_key` / :func:`freeze_key`: the
+canonical hashable form of COLLECT group keys.  The previous
+implementation keyed groups on ``repr`` of the key list, which split
+equal dicts with different insertion order into separate groups and
+collapsed distinct objects whose reprs collide.  Frozen keys are typed
+tuples, so ``1`` (int), ``1.0`` (float), ``True`` and ``"1"`` stay four
+distinct groups, dicts group by content, and unhashable or exotic
+values degrade to a typed ``repr`` fallback instead of crashing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any
+
+from repro.errors import ExecutionError
+
+
+def _exact(value: Any) -> Any:
+    """A finite float as an exact rational; anything else unchanged.
+
+    SUM and AVG accumulate exact values so addition is associative and
+    commutative *exactly* — float addition is not, and per-shard partial
+    sums would otherwise differ from the single-node plan in the low
+    bits depending on row placement.  The one rounding happens in
+    ``finalize``, so any partitioning of the input produces the same
+    correctly-rounded float.
+
+    Ints (and bools) pass through: Python int addition is already exact
+    and associative, so integer-valued sums run at native speed — only
+    float inputs pay the Fraction cost (a few µs per add, small next to
+    the per-row expression-evaluation overhead, and the price of
+    byte-identical shard parity).  Non-finite floats pass through too
+    (the sum degrades to float inf/nan, as plain accumulation would),
+    as do non-numeric values, so the addition raises the same TypeError
+    the float fold raised.
+    """
+    if isinstance(value, float) and math.isfinite(value):
+        return Fraction(value)
+    return value
+
+
+class Aggregator:
+    """One aggregate function as an init/accumulate/merge/finalize strategy.
+
+    ``decomposable`` declares that ``merge`` is exact over *any*
+    partitioning of the input — the property the cluster planner needs
+    before pushing a partial phase below the shard gather.  It defaults
+    to False so a future function (MEDIAN, COUNT DISTINCT, ...) that
+    works single-node is never silently split into wrong sharded
+    results; each function opts in explicitly.
+    """
+
+    func = "?"
+    decomposable = False
+
+    def init(self) -> Any:
+        raise NotImplementedError
+
+    def accumulate(self, state: Any, value: Any) -> Any:
+        raise NotImplementedError
+
+    def merge(self, state: Any, other: Any) -> Any:
+        raise NotImplementedError
+
+    def finalize(self, state: Any) -> Any:
+        raise NotImplementedError
+
+
+class CountAggregator(Aggregator):
+    """COUNT(expr): number of non-NULL values.  State: int."""
+
+    func = "COUNT"
+    decomposable = True
+
+    def init(self) -> int:
+        return 0
+
+    def accumulate(self, state: int, value: Any) -> int:
+        return state if value is None else state + 1
+
+    def merge(self, state: int, other: int) -> int:
+        return state + other
+
+    def finalize(self, state: int) -> int:
+        return state
+
+
+class SumAggregator(Aggregator):
+    """SUM(expr): float total of non-NULL values (0.0 over no input).
+
+    The state is an exact total — int while the inputs are integral,
+    promoted to rational by the first finite float (see :func:`_exact`)
+    — rounded to float once at finalize, so per-shard partials merged
+    in any order finalize to the identical float the single-node fold
+    produces.
+    """
+
+    func = "SUM"
+    decomposable = True
+
+    def init(self) -> Any:
+        return 0
+
+    def accumulate(self, state: Any, value: Any) -> Any:
+        return state if value is None else state + _exact(value)
+
+    def merge(self, state: Any, other: Any) -> Any:
+        return state + other
+
+    def finalize(self, state: Any) -> float:
+        return float(state)
+
+
+class AvgAggregator(Aggregator):
+    """AVG(expr): mean of non-NULL values.  State: (sum, count).
+
+    The pair state is what makes AVG decomposable: partial states merge
+    component-wise and only the finalize divides, so a merged average is
+    exact regardless of how rows were partitioned across shards.
+    """
+
+    func = "AVG"
+    decomposable = True
+
+    def init(self) -> tuple[Any, int]:
+        return (0, 0)
+
+    def accumulate(self, state: tuple[Any, int], value: Any) -> tuple[Any, int]:
+        if value is None:
+            return state
+        total, count = state
+        return (total + _exact(value), count + 1)
+
+    def merge(self, state: tuple[Any, int], other: tuple[Any, int]) -> tuple[Any, int]:
+        return (state[0] + other[0], state[1] + other[1])
+
+    def finalize(self, state: tuple[Any, int]) -> float | None:
+        total, count = state
+        return float(total / count) if count else None
+
+
+def _canonical_tie(a: Any, b: Any) -> Any:
+    """A deterministic representative of two equal-comparing extremes.
+
+    ``min(1, 1.0)`` keeps whichever arrived first, which on a cluster
+    depends on row placement and gather order.  Equal-comparing values
+    of different types (1 vs 1.0 vs True) instead tie-break on their
+    typed frozen key, so MIN/MAX pick the same object no matter how the
+    input was partitioned — part of the byte-identical parity contract.
+    """
+    return a if freeze_key(a) <= freeze_key(b) else b
+
+
+class MinAggregator(Aggregator):
+    """MIN(expr): smallest non-NULL value (NULL over no input)."""
+
+    func = "MIN"
+    decomposable = True
+
+    def init(self) -> Any:
+        return None
+
+    def accumulate(self, state: Any, value: Any) -> Any:
+        if value is None:
+            return state
+        if state is None or value < state:
+            return value
+        if state < value:
+            return state
+        return _canonical_tie(state, value)
+
+    def merge(self, state: Any, other: Any) -> Any:
+        return self.accumulate(state, other)
+
+    def finalize(self, state: Any) -> Any:
+        return state
+
+
+class MaxAggregator(Aggregator):
+    """MAX(expr): largest non-NULL value (NULL over no input)."""
+
+    func = "MAX"
+    decomposable = True
+
+    def init(self) -> Any:
+        return None
+
+    def accumulate(self, state: Any, value: Any) -> Any:
+        if value is None:
+            return state
+        if state is None or value > state:
+            return value
+        if state > value:
+            return state
+        return _canonical_tie(state, value)
+
+    def merge(self, state: Any, other: Any) -> Any:
+        return self.accumulate(state, other)
+
+    def finalize(self, state: Any) -> Any:
+        return state
+
+
+AGGREGATORS: dict[str, Aggregator] = {
+    agg.func: agg
+    for agg in (
+        CountAggregator(),
+        SumAggregator(),
+        AvgAggregator(),
+        MinAggregator(),
+        MaxAggregator(),
+    )
+}
+
+# Functions whose merge() is exact over any partitioning of the input —
+# the set the cluster planner may split into partial + final phases.
+# (All five current functions opt in; grouped INTO collections and
+# RETURN DISTINCT do not decompose and stay single-phase above the
+# gather.)
+DECOMPOSABLE = frozenset(
+    func for func, agg in AGGREGATORS.items() if agg.decomposable
+)
+
+
+def get_aggregator(func: str) -> Aggregator:
+    """The shared (stateless) Aggregator for *func*, or ExecutionError."""
+    try:
+        return AGGREGATORS[func]
+    except KeyError:
+        raise ExecutionError(f"unknown aggregate {func!r}") from None
+
+
+@dataclass(frozen=True)
+class AggPartial:
+    """A partial aggregate state in flight between plan phases.
+
+    ``HashAggregate(partial)`` wraps each per-group state in one of
+    these; the coordinator-side ``HashAggregate(final)`` unwraps and
+    merges them.  The envelope keeps states distinguishable from user
+    values and carries the function name so a mismatched merge fails
+    loudly instead of corrupting results.
+    """
+
+    func: str
+    state: Any
+
+
+# ---------------------------------------------------------------------------
+# Canonical group keys
+# ---------------------------------------------------------------------------
+
+# Type tags order heterogeneous group keys deterministically (the tag is
+# compared before the payload): None < numbers < str < sequences <
+# mappings < the fallbacks.  All numbers share one tag so they sort
+# numerically (1 < 1.5 < 2, matching what SORT over the keys would
+# produce); a trailing sub-rank keeps bool / int / float distinct as
+# *groups* and breaks equal-value ties deterministically.  Proper
+# numbers outrank bool in the tie-break so a MIN/MAX over a numeric
+# column never canonicalises an equal-comparing True into the result.
+_NONE, _NUM, _STR, _SEQ, _MAP, _NAN, _HASHABLE, _OPAQUE = range(8)
+_INT_SUB, _FLOAT_SUB, _BOOL_SUB = range(3)
+
+
+def freeze_key(value: Any) -> tuple:
+    """A hashable, typed, order-canonical form of one group-key value.
+
+    Properties the grouping paths (single-node and sharded) rely on:
+
+    - two values freeze equal iff they should land in the same group —
+      dict content equality ignores insertion order, ``1``/``1.0``/
+      ``True``/``"1"`` stay distinct via their type tags;
+    - frozen keys hash, so groups live in a plain dict;
+    - frozen keys compare with each other in practice, so group output
+      order is deterministic and independent of shard placement.
+    """
+    if value is None:
+        return (_NONE,)
+    if isinstance(value, bool):
+        return (_NUM, value, _BOOL_SUB)
+    if isinstance(value, int):
+        return (_NUM, value, _INT_SUB)
+    if isinstance(value, float):
+        if value != value:  # NaN: group all NaNs together (repr did too)
+            return (_NAN,)
+        return (_NUM, value, _FLOAT_SUB)
+    if isinstance(value, str):
+        return (_STR, value)
+    if isinstance(value, (list, tuple)):
+        return (_SEQ, tuple(freeze_key(item) for item in value))
+    if isinstance(value, dict):
+        # Sort items by the key's repr: insertion order stops mattering
+        # and the item tuples gain a total order across dicts.  The
+        # frozen key itself keeps exact identity for ties.
+        items = tuple(
+            sorted(
+                ((repr(k), freeze_key(k), freeze_key(v)) for k, v in value.items()),
+                key=lambda item: item[0],
+            )
+        )
+        return (_MAP, items)
+    try:
+        hash(value)
+    except TypeError:
+        return (_OPAQUE, type(value).__name__, repr(value))
+    return (_HASHABLE, type(value).__name__, value)
+
+
+def group_key(values: list[Any]) -> tuple:
+    """The dict key for one COLLECT group: a tuple of frozen key values."""
+    return tuple(freeze_key(value) for value in values)
+
+
+def ordered_group_keys(groups: dict[tuple, Any]) -> list[tuple]:
+    """Group keys in canonical (sorted) order; insertion order as fallback.
+
+    Sorting frozen keys makes COLLECT output deterministic and — for the
+    sharded two-phase plan — byte-identical to the single-node plan, no
+    matter how rows were placed.  Exotic same-tag values that refuse to
+    compare fall back to first-seen order rather than failing the query.
+    """
+    try:
+        return sorted(groups)
+    except TypeError:
+        return list(groups)

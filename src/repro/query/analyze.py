@@ -12,6 +12,13 @@ Counts are *output* rows (bindings an operator yielded to its parent).
 For a ShardExec subplan the counter sums across shards; the scatter runs
 sequentially under ANALYZE so those shared counters stay exact (the
 normal execution path keeps its thread pool).
+
+``HashAggregate`` operators additionally report ``rows_in=`` (bindings
+consumed) and ``groups=`` (distinct group keys built) per phase, so the
+two-phase pushdown's row reduction is directly visible: the partial
+phase shows the matching-row input and the small per-shard group
+output, and the ShardExec above it shows that only those group states
+crossed the gather into the final phase.
 """
 
 from __future__ import annotations
@@ -63,14 +70,26 @@ def instrument(root: PhysicalOperator) -> "_Counted":
     return _Counted(rebuilt)
 
 
-def render_analyzed(root: "_Counted") -> list[str]:
-    """Indented tree lines with the observed row counts."""
+def render_analyzed(
+    root: "_Counted", observed: dict[int, dict[str, int]] | None = None
+) -> list[str]:
+    """Indented tree lines with the observed row counts.
+
+    *observed* is the executor's per-operator observation dict; entries
+    (keyed by the id of the operator instance that ran) render as extra
+    ``key=value`` actuals after ``rows=`` — HashAggregate reports
+    ``rows_in`` and ``groups`` through it.
+    """
     lines: list[str] = []
 
     def walk(node, depth: int) -> None:
         while node is not None:
-            rows = node.rows if isinstance(node, _Counted) else "?"
-            lines.append("  " * depth + f"{node.label()} (rows={rows})")
+            actuals = [f"rows={node.rows if isinstance(node, _Counted) else '?'}"]
+            if observed is not None and isinstance(node, _Counted):
+                extra = observed.get(id(node.inner))
+                if extra:
+                    actuals.extend(f"{key}={value}" for key, value in extra.items())
+            lines.append("  " * depth + f"{node.label()} ({', '.join(actuals)})")
             subplan = getattr(node, "subplan", None)
             if subplan is not None:
                 walk(subplan, depth + 1)
@@ -93,9 +112,10 @@ def explain_analyze(
     counted = instrument(planned.root)
     executor = Executor(ctx, use_indexes=use_indexes)
     executor.analyze = True
+    executor.observed = {}
     results = list(counted.run(executor, params or {}))
     lines = ["plan (analyzed):"]
-    lines.extend("  " + line for line in render_analyzed(counted))
+    lines.extend("  " + line for line in render_analyzed(counted, executor.observed))
     if planned.notes:
         lines.append("notes:")
         lines.extend(f"  - {note}" for note in planned.notes)

@@ -58,6 +58,10 @@ class Executor:
         # EXPLAIN ANALYZE sets this: shard scatters run sequentially so
         # per-operator row counters stay exact.
         self.analyze = False
+        # ANALYZE also hands out an observation dict (operator id ->
+        # extra actuals, e.g. HashAggregate's rows_in/groups); operators
+        # skip the bookkeeping entirely when it is None.
+        self.observed: dict[int, dict[str, int]] | None = None
         self.stats = {
             "index_lookups": 0, "range_lookups": 0, "scans": 0, "rows_scanned": 0,
         }

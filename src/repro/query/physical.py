@@ -21,7 +21,7 @@ Let                LET: extend each binding with a computed value
 Sort               SORT: full materialising sort
 TopK               fused SORT+LIMIT: bounded-heap top-k, no full sort
 Limit              LIMIT: offset/count window over the stream
-Collect            COLLECT: grouping + incremental aggregates
+HashAggregate      COLLECT: hash grouping + Aggregator states, three modes
 Project            RETURN: map bindings to output values (DISTINCT here)
 =================  ========================================================
 
@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.errors import ExecutionError
+from repro.query.aggregates import AggPartial, get_aggregator, group_key, ordered_group_keys
 from repro.query.ast import (
     Binary,
     CollectClause,
@@ -489,44 +490,105 @@ def _check_limit_bounds(count: Any, offset: Any) -> None:
 
 
 @dataclass(frozen=True)
-class Collect(PhysicalOperator):
-    """COLLECT: group the stream, fold aggregates incrementally."""
+class HashAggregate(PhysicalOperator):
+    """COLLECT: hash-group the stream, fold :class:`Aggregator` states.
+
+    One operator, three phases of the two-phase aggregation framework:
+
+    ``single``
+        The classic plan: group, accumulate each row, finalize at the
+        end.  Grouped ``INTO g`` collection only exists here.
+    ``partial``
+        The shard-local half below a ShardExec gather: group and
+        accumulate as usual, but emit :class:`AggPartial` states instead
+        of finalized values — one row per *group*, not per input row,
+        which is the O(rows) → O(groups) data-movement win.
+    ``final``
+        The coordinator half above the gather: re-group the partial rows
+        on the (already computed) key columns, ``merge`` the shipped
+        states, then finalize.  AVG merges its (sum, count) pairs here,
+        so the decomposed average is exact.
+
+    Single and final modes emit groups in canonical group-key order
+    (see :func:`~repro.query.aggregates.ordered_group_keys`), so COLLECT
+    output is deterministic and identical between the single-node plan
+    and any shard placement.  Partial mode skips the ordering — its only
+    consumer is the final phase's hash re-group, where order is moot.
+    """
 
     clause: CollectClause
+    mode: str = "single"  # "single" | "partial" | "final"
     child: PhysicalOperator | None = None
 
     def run(self, rt, params, seed=None):
         clause = self.clause
-        groups: dict[str, dict[str, Any]] = {}
+        aggs = [(agg, get_aggregator(agg.func)) for agg in clause.aggregations]
+        groups: dict[tuple, dict[str, Any]] = {}
+        rows_in = 0
         for binding in self._input(rt, params, seed):
+            rows_in += 1
             key_values = [
                 (name, rt.eval_expr(expr, binding, params))
                 for name, expr in clause.keys
             ]
-            marker = repr([v for _, v in key_values])
+            marker = group_key([value for _, value in key_values])
             group = groups.get(marker)
             if group is None:
                 group = {
                     "keys": dict(key_values),
-                    "agg": [AggState(a.func) for a in clause.aggregations],
+                    "states": [aggregator.init() for _, aggregator in aggs],
                     "members": [],
                 }
                 groups[marker] = group
-            for state, agg in zip(group["agg"], clause.aggregations):
-                state.feed(rt.eval_expr(agg.arg, binding, params))
+            states = group["states"]
+            for i, (agg, aggregator) in enumerate(aggs):
+                value = rt.eval_expr(agg.arg, binding, params)
+                if self.mode == "final":
+                    states[i] = aggregator.merge(states[i], _unwrap(value, agg.func))
+                else:
+                    states[i] = aggregator.accumulate(states[i], value)
             if clause.into is not None:
                 group["members"].append(dict(binding))
-        for group in groups.values():
+        observed = getattr(rt, "observed", None)
+        if observed is not None:
+            slot = observed.setdefault(id(self), {"rows_in": 0, "groups": 0})
+            slot["rows_in"] += rows_in
+            slot["groups"] += len(groups)
+        # Partial-mode output feeds a hash re-group at the coordinator,
+        # so its order is irrelevant — skip the canonical sort there.
+        markers = groups if self.mode == "partial" else ordered_group_keys(groups)
+        for marker in markers:
+            group = groups[marker]
             out: Binding = dict(group["keys"])
-            for state, agg in zip(group["agg"], clause.aggregations):
-                out[agg.var] = state.result()
+            for (agg, aggregator), state in zip(aggs, group["states"]):
+                if self.mode == "partial":
+                    out[agg.var] = AggPartial(agg.func, state)
+                else:
+                    out[agg.var] = aggregator.finalize(state)
             if clause.into is not None:
                 out[clause.into] = group["members"]
             yield out
 
     def label(self) -> str:
         keys = ", ".join(name for name, _ in self.clause.keys)
-        return f"Collect [{keys}] ({len(self.clause.aggregations)} aggregates)"
+        return (
+            f"HashAggregate({self.mode}) [{keys}] "
+            f"({len(self.clause.aggregations)} aggregates)"
+        )
+
+
+def _unwrap(value: Any, func: str) -> Any:
+    """The state inside an AggPartial; a loud failure for anything else."""
+    if not isinstance(value, AggPartial):
+        raise ExecutionError(
+            f"HashAggregate(final) expected a partial {func} state, "
+            f"got {type(value).__name__}"
+        )
+    if value.func != func:
+        raise ExecutionError(
+            f"HashAggregate(final) cannot merge a {value.func} state into {func}"
+        )
+    return value.state
 
 
 @dataclass(frozen=True)
@@ -598,45 +660,6 @@ class Orderable:
             and self.rank == other.rank
             and self.value == other.value
         )
-
-
-class AggState:
-    """Incremental aggregate state for COLLECT ... AGGREGATE."""
-
-    def __init__(self, func: str) -> None:
-        self.func = func
-        self.count = 0
-        self.total: float = 0.0
-        self.minimum: Any = None
-        self.maximum: Any = None
-
-    def feed(self, value: Any) -> None:
-        if self.func == "COUNT":
-            if value is not None:
-                self.count += 1
-            return
-        if value is None:
-            return
-        self.count += 1
-        if self.func in ("SUM", "AVG"):
-            self.total += value
-        elif self.func == "MIN":
-            self.minimum = value if self.minimum is None else min(self.minimum, value)
-        elif self.func == "MAX":
-            self.maximum = value if self.maximum is None else max(self.maximum, value)
-
-    def result(self) -> Any:
-        if self.func == "COUNT":
-            return self.count
-        if self.func == "SUM":
-            return self.total
-        if self.func == "AVG":
-            return self.total / self.count if self.count else None
-        if self.func == "MIN":
-            return self.minimum
-        if self.func == "MAX":
-            return self.maximum
-        raise ExecutionError(f"unknown aggregate {self.func!r}")
 
 
 # ---------------------------------------------------------------------------

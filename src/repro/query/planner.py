@@ -59,10 +59,10 @@ from repro.query.ast import (
 )
 from repro.query.physical import (
     AccessPath,
-    Collect,
     CollectionScan,
     ExpressionSource,
     Filter,
+    HashAggregate,
     IndexEqLookup,
     IndexRangeScan,
     Let,
@@ -458,7 +458,9 @@ def _lower(query: Query, notes: list[str]) -> PhysicalOperator:
         elif isinstance(clause, LimitClause):
             node = Limit(clause.count, clause.offset, node)
         elif isinstance(clause, CollectClause):
-            node = Collect(clause, node)
+            # Single-phase lowering; the cluster rewrite may later split
+            # this into partial (below the gather) + final (above it).
+            node = HashAggregate(clause, child=node)
             bound = {name for name, _ in clause.keys}
             bound |= {a.var for a in clause.aggregations}
             if clause.into:

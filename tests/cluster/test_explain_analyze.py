@@ -84,6 +84,53 @@ class TestShardedAnalyze:
         assert _rows_of(report, "Limit") == 5
 
 
+class TestAggregationAnalyze:
+    AGG = (
+        "FOR o IN orders COLLECT s = o.status "
+        "AGGREGATE spend = SUM(o.total_price) RETURN {s, spend}"
+    )
+
+    def test_single_node_aggregate_reports_rows_in_and_groups(
+        self, loaded_unified, small_dataset
+    ):
+        report = loaded_unified.explain_analyze(self.AGG)
+        line = next(
+            ln for ln in report.splitlines() if "HashAggregate(single)" in ln
+        )
+        rows_in = int(re.search(r"rows_in=(\d+)", line).group(1))
+        groups = int(re.search(r"groups=(\d+)", line).group(1))
+        statuses = {o["status"] for o in small_dataset.orders}
+        assert rows_in == len(small_dataset.orders)
+        assert groups == len(statuses) == _rows_of(report, "HashAggregate")
+
+    def test_pushdown_row_reduction_is_visible_per_phase(
+        self, sharded4, small_dataset
+    ):
+        report = sharded4.explain_analyze(self.AGG)
+        statuses = {o["status"] for o in small_dataset.orders}
+        partial = next(
+            ln for ln in report.splitlines() if "HashAggregate(partial)" in ln
+        )
+        final = next(
+            ln for ln in report.splitlines() if "HashAggregate(final)" in ln
+        )
+        # Partial phase: all matching rows in, per-shard group states out.
+        assert int(re.search(r"rows_in=(\d+)", partial).group(1)) == len(
+            small_dataset.orders
+        )
+        partial_groups = int(re.search(r"groups=(\d+)", partial).group(1))
+        assert partial_groups <= 4 * len(statuses)
+        # The gather carries exactly the partial states to the final phase.
+        assert _rows_of(report, "ShardExec") == partial_groups
+        assert int(re.search(r"rows_in=(\d+)", final).group(1)) == partial_groups
+        assert int(re.search(r"groups=(\d+)", final).group(1)) == len(statuses)
+
+    def test_coordinator_input_is_groups_not_rows(self, sharded4, small_dataset):
+        report = sharded4.explain_analyze(self.AGG)
+        assert _rows_of(report, "ShardExec") < len(small_dataset.orders)
+        assert _rows_of(report, "NestedLoopBind") == len(small_dataset.orders)
+
+
 class TestInstrumentation:
     def test_instrumented_tree_matches_plain_results(self, loaded_unified):
         from repro.query.executor import Executor

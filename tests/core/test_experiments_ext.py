@@ -84,4 +84,4 @@ class TestYcsbExperiment:
 
 class TestRegistry:
     def test_extension_registry(self):
-        assert set(EXTENSION_EXPERIMENTS) == {"E7", "E8", "E9", "E10", "YCSB"}
+        assert set(EXTENSION_EXPERIMENTS) == {"E7", "E8", "E9", "E10", "E11", "YCSB"}

@@ -1,0 +1,172 @@
+"""The aggregate accumulator framework: states, merging, group keys."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.query.aggregates import (
+    AGGREGATORS,
+    AggPartial,
+    freeze_key,
+    get_aggregator,
+    group_key,
+    ordered_group_keys,
+)
+
+
+def fold(func, values):
+    agg = get_aggregator(func)
+    state = agg.init()
+    for value in values:
+        state = agg.accumulate(state, value)
+    return agg.finalize(state)
+
+
+def fold_split(func, values, cut):
+    """Accumulate two partitions separately, then merge — the shard path."""
+    agg = get_aggregator(func)
+    left = agg.init()
+    for value in values[:cut]:
+        left = agg.accumulate(left, value)
+    right = agg.init()
+    for value in values[cut:]:
+        right = agg.accumulate(right, value)
+    return agg.finalize(agg.merge(left, right))
+
+
+class TestAggregators:
+    def test_registry_covers_the_five_functions(self):
+        assert sorted(AGGREGATORS) == ["AVG", "COUNT", "MAX", "MIN", "SUM"]
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ExecutionError):
+            get_aggregator("MEDIAN")
+
+    def test_count_skips_nulls(self):
+        assert fold("COUNT", [1, None, "x", None, 0]) == 3
+
+    def test_sum_skips_nulls_and_is_float(self):
+        assert fold("SUM", [1, None, 2]) == 3.0
+        assert isinstance(fold("SUM", [1, 2]), float)
+
+    def test_sum_of_nothing_is_zero(self):
+        assert fold("SUM", []) == 0.0
+        assert fold("SUM", [None, None]) == 0.0
+
+    def test_avg_skips_nulls(self):
+        assert fold("AVG", [2, None, 4]) == 3.0
+
+    def test_avg_of_nothing_is_null(self):
+        assert fold("AVG", []) is None
+        assert fold("AVG", [None]) is None
+
+    def test_min_max_skip_nulls_and_empty_is_null(self):
+        assert fold("MIN", [None, 3, 1, 2]) == 1
+        assert fold("MAX", [None, 3, 1, 2]) == 3
+        assert fold("MIN", []) is None
+        assert fold("MAX", [None]) is None
+
+    @pytest.mark.parametrize("func", sorted(AGGREGATORS))
+    @pytest.mark.parametrize("cut", [0, 1, 3, 5])
+    def test_merge_equals_single_fold(self, func, cut):
+        values = [5, None, 2.5, 8, None]
+        assert fold_split(func, values, cut) == fold(func, values)
+
+    def test_sum_merge_is_exact_regardless_of_partitioning(self):
+        # Float addition is not associative; the rational state is.  Any
+        # split of the same multiset must finalize to the identical float.
+        values = [0.1] * 10 + [1e16, 1.0, -1e16] + [337.7] * 7
+        results = {fold_split("SUM", values, cut) for cut in range(len(values) + 1)}
+        assert len(results) == 1
+
+    def test_avg_decomposes_through_sum_count_state(self):
+        agg = get_aggregator("AVG")
+        left = agg.accumulate(agg.accumulate(agg.init(), 1.0), 2.0)
+        right = agg.accumulate(agg.init(), 6.0)
+        assert agg.finalize(agg.merge(left, right)) == 3.0
+        # Averaging the per-partition averages would have given 2.25.
+
+    def test_agg_partial_carries_function_name(self):
+        partial = AggPartial("SUM", 7)
+        assert partial.func == "SUM" and partial.state == 7
+
+    @pytest.mark.parametrize("func", ["MIN", "MAX"])
+    def test_min_max_ties_are_placement_independent(self, func):
+        # 1, 1.0 and True compare equal; the representative kept for
+        # the same multiset must not depend on accumulation order or on
+        # how the values were partitioned before merging (placement).
+        from itertools import permutations
+
+        agg = get_aggregator(func)
+        results = set()
+        for perm in permutations([1, 1.0, True]):
+            for cut in range(len(perm) + 1):
+                left = agg.init()
+                for value in perm[:cut]:
+                    left = agg.accumulate(left, value)
+                right = agg.init()
+                for value in perm[cut:]:
+                    right = agg.accumulate(right, value)
+                results.add(repr(agg.finalize(agg.merge(left, right))))
+        assert len(results) == 1
+
+
+class TestGroupKeys:
+    def test_int_float_str_bool_are_distinct_groups(self):
+        keys = {freeze_key(v) for v in (1, 1.0, "1", True)}
+        assert len(keys) == 4
+
+    def test_equal_dicts_group_together_regardless_of_insertion_order(self):
+        a = {"x": 1, "y": 2}
+        b = {"y": 2, "x": 1}
+        assert freeze_key(a) == freeze_key(b)
+        assert hash(freeze_key(a)) == hash(freeze_key(b))
+
+    def test_different_dicts_stay_apart(self):
+        assert freeze_key({"x": 1}) != freeze_key({"x": 2})
+        assert freeze_key({"x": 1}) != freeze_key({"y": 1})
+
+    def test_nested_values_freeze_recursively(self):
+        a = freeze_key([{"x": [1, 2]}, None])
+        b = freeze_key([{"x": [1, 2]}, None])
+        assert a == b
+        assert a != freeze_key([{"x": [2, 1]}, None])
+
+    def test_nan_keys_share_one_group(self):
+        nan = float("nan")
+        assert freeze_key(nan) == freeze_key(float("nan"))
+        assert freeze_key(nan) != freeze_key(0.0)
+
+    def test_unhashable_values_get_a_typed_fallback(self):
+        class Weird:
+            __hash__ = None
+
+            def __repr__(self):
+                return "weird"
+
+        key = freeze_key(Weird())
+        assert hash(key) is not None
+        assert "Weird" in repr(key)
+
+    def test_group_key_is_a_tuple_over_all_key_columns(self):
+        assert group_key([1, "a"]) == (freeze_key(1), freeze_key("a"))
+
+    def test_ordered_group_keys_sorts_canonically(self):
+        groups = {group_key([v]): v for v in ("b", 2, None, "a", 1)}
+        ordered = [groups[k] for k in ordered_group_keys(groups)]
+        assert ordered == [None, 1, 2, "a", "b"]
+
+    def test_mixed_numeric_keys_sort_numerically(self):
+        # int and float keys interleave by value (as SORT would order
+        # them), with equal values tie-broken by type — not segregated
+        # into an all-ints block followed by an all-floats block.
+        groups = {group_key([v]): v for v in (2, 1.5, 1, 2.5)}
+        ordered = [groups[k] for k in ordered_group_keys(groups)]
+        assert ordered == [1, 1.5, 2, 2.5]
+
+    def test_sum_keeps_integer_totals_exact_and_native(self):
+        big = 2**63
+        assert fold("SUM", [big, big, 1]) == float(2 * big + 1)
+
+    def test_ordered_group_keys_survives_incomparable_exotics(self):
+        groups = {group_key([frozenset({1})]): 1, group_key([frozenset({2})]): 2}
+        assert sorted(groups[k] for k in ordered_group_keys(groups)) == [1, 2]

@@ -10,6 +10,7 @@ from repro.query.parser import parse
 from repro.query.physical import (
     CollectionScan,
     Filter,
+    HashAggregate,
     IndexEqLookup,
     IndexRangeScan,
     NestedLoopBind,
@@ -111,6 +112,28 @@ class TestTopKFusion:
             "FOR o IN orders SORT o.total COLLECT s = o.status LIMIT 3 RETURN s"
         )
         assert "Sort [" in out and "Limit [" in out and "TopK" not in out
+
+
+class TestHashAggregateNaming:
+    def test_collect_lowers_to_single_phase_hash_aggregate(self):
+        out = describe(
+            "FOR o IN orders COLLECT s = o.status "
+            "AGGREGATE n = COUNT(1), t = SUM(o.total) RETURN {s, n, t}"
+        )
+        assert "HashAggregate(single) [s] (2 aggregates)" in out
+
+    def test_collect_operator_in_tree(self):
+        root = root_of("FOR o IN orders COLLECT s = o.status RETURN s")
+        agg = root.child
+        assert isinstance(agg, HashAggregate)
+        assert agg.mode == "single"
+        assert agg.clause.keys[0][0] == "s"
+
+    def test_collect_into_renders_keys(self):
+        out = describe(
+            "FOR o IN orders COLLECT s = o.status, u = o.user INTO g RETURN g"
+        )
+        assert "HashAggregate(single) [s, u] (0 aggregates)" in out
 
 
 class TestOptimizerNotes:
