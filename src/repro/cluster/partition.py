@@ -201,6 +201,19 @@ class ShardRouter:
             return [0]
         return spec.partitioner.shards_for_range(low, high, self.n_shards)
 
+    def id_owner_shard(self, doc_id: Any) -> int:
+        """The shard that *owns* a record id for uniqueness purposes.
+
+        When a collection is sharded on a field other than ``_id``, two
+        same-``_id`` documents can route to different shards, so no data
+        shard can enforce cluster-wide ``_id`` uniqueness locally.  Each
+        id instead has one hash-designated owner shard where inserts
+        reserve it (a SYSTEM-model conflict key inside the same
+        transaction), turning concurrent duplicate inserts into an
+        ordinary write-write conflict on the owner.
+        """
+        return stable_hash(doc_id) % self.n_shards
+
     # -- planner catalog surface --------------------------------------------
 
     def is_sharded(self, collection: str) -> bool:

@@ -24,10 +24,19 @@ graph edges           hash on the source vertex — one shard owns all
 ====================  =====================================================
 
 Transactions: a :class:`ShardedSession` buffers writes in per-shard
-sessions and commits them shard by shard.  Single-shard transactions keep
-the engine's full atomicity; cross-shard ones get per-shard atomicity
-with best-effort all-or-nothing (the same weaker guarantee the polyglot
-baseline measures — distributed commit is the ROADMAP follow-up).
+sessions.  A transaction that wrote on **one** shard commits through
+that shard's ordinary commit path (the fast path — zero extra WAL
+records, single commit point, full engine atomicity).  A transaction
+that wrote on **several** shards runs two-phase commit through
+:class:`repro.txn.TwoPhaseCoordinator`: prepare-all (each shard makes
+the writes durable behind a PREPARE record and pins the write locks),
+one durable decision record in the coordinator log (the commit point),
+then commit-all.  Crash recovery (:meth:`ShardedDatabase.crash`)
+resolves every in-doubt participant against the coordinator log, so no
+failure schedule leaves a cross-shard transaction torn.  Constructing
+the cluster with ``two_phase_commit=False`` restores the previous
+shard-by-shard best-effort commit (the polyglot-grade baseline the
+benchmarks compare against).
 """
 
 from __future__ import annotations
@@ -50,7 +59,8 @@ from repro.drivers.unified import UnifiedQueryContext
 from repro.engine.database import MultiModelDatabase, Session
 from repro.engine.records import Model
 from repro.engine.transactions import IsolationLevel
-from repro.errors import EngineError, GraphError, TransactionAborted
+from repro.errors import EngineError, GraphError, SimulatedCrash, TransactionAborted
+from repro.txn import CoordinatorLog, TwoPhaseCoordinator, resolve_in_doubt
 from repro.models.graph.property_graph import Edge, Vertex
 from repro.models.graph.traversal import bfs_depth_range
 from repro.models.relational.predicate import Predicate
@@ -75,10 +85,14 @@ class ShardedDatabase(Driver):
         isolation: IsolationLevel = IsolationLevel.SNAPSHOT,
         max_retries: int = 10,
         wal_sync_every_append: bool = True,
+        two_phase_commit: bool = True,
     ) -> None:
         self.n_shards = n_shards
         self.isolation = isolation
         self.max_retries = max_retries
+        self.two_phase_commit = two_phase_commit
+        self.coordinator_log = CoordinatorLog()
+        self.coordinator = TwoPhaseCoordinator(self.coordinator_log)
         self.router = ShardRouter(n_shards)
         self.shards: list[MultiModelDatabase] = []
         for i in range(n_shards):
@@ -215,10 +229,11 @@ class ShardedDatabase(Driver):
                 if session.active:
                     session.abort()
                 if session.partially_committed:
-                    # Some shard already made the writes durable: a
-                    # retry would double-apply them.  Surface the
-                    # partial commit instead (the measured best-effort
-                    # guarantee; 2PC is the ROADMAP follow-up).
+                    # Only reachable with two_phase_commit=False: some
+                    # shard already made the writes durable, so a retry
+                    # would double-apply them.  Surface the partial
+                    # commit instead (the measured best-effort guarantee
+                    # the 2PC mode exists to remove).
                     raise
                 if attempts > self.max_retries:
                     raise
@@ -226,6 +241,49 @@ class ShardedDatabase(Driver):
                 if session.active:
                     session.abort()
                 raise
+
+    # -- crash & recovery ----------------------------------------------------
+
+    def crash(self) -> "ShardedDatabase":
+        """Simulate a whole-cluster power failure and recover.
+
+        Every shard WAL and the coordinator log lose their unsynced
+        tails; each shard's in-doubt prepared transactions are resolved
+        against the coordinator log (durable commit decision → redo,
+        otherwise presumed abort); every shard is rebuilt by WAL replay.
+        Returns the recovered cluster — the original instance must not
+        be used afterwards (same contract as
+        :meth:`MultiModelDatabase.crash`).
+        """
+        self.close()
+        for shard in self.shards:
+            shard.wal.crash()
+        self.coordinator_log.crash()
+        recovered = ShardedDatabase.__new__(ShardedDatabase)
+        # Configuration carries over wholesale (attributes added to
+        # __init__ later survive recovery by default); only the rebuilt
+        # runtime state below is replaced.
+        recovered.__dict__.update(self.__dict__)
+        recovered.coordinator = TwoPhaseCoordinator(
+            self.coordinator_log, self.coordinator.stats
+        )
+        recovered._shard_locks = [threading.Lock() for _ in range(self.n_shards)]
+        recovered._pool = None
+        recovered._pool_lock = threading.Lock()
+        recovered.shards = []
+        in_doubt_resolved = 0
+        for i, shard in enumerate(self.shards):
+            resolution = resolve_in_doubt(shard.wal, self.coordinator_log)
+            in_doubt_resolved += sum(resolution.values())
+            rebuilt = MultiModelDatabase.recover(shard.wal)
+            rebuilt.name = f"shard{i}"
+            rebuilt._next_edge_id = max(
+                rebuilt._next_edge_id, 1 + i * _EDGE_ID_STRIDE
+            )
+            recovered.shards.append(rebuilt)
+        if in_doubt_resolved:
+            recovered.coordinator.stats.incr("recovered_in_doubt", in_doubt_resolved)
+        return recovered
 
     # -- queries -------------------------------------------------------------
 
@@ -304,6 +362,10 @@ class ShardedDatabase(Driver):
             f"shard_{i}": section for i, section in enumerate(per_shard)
         }
         counts["placement"] = self.router.describe()
+        counts["txn"] = dict(
+            self.coordinator.stats.as_dict(),
+            mode="2pc" if self.two_phase_commit else "best_effort",
+        )
         return counts
 
     # -- internals -----------------------------------------------------------
@@ -322,6 +384,31 @@ class ShardedDatabase(Driver):
                 session.abort()
 
 
+class _ShardParticipant:
+    """One shard's view of a 2PC transaction, for the coordinator.
+
+    Serialises every protocol step through the cluster's per-shard lock
+    — the same discipline transaction begin/finish already follows.
+    """
+
+    def __init__(self, db: ShardedDatabase, shard_id: int, session: Session) -> None:
+        self.db = db
+        self.shard_id = shard_id
+        self.session = session
+
+    def prepare(self, global_id: int) -> None:
+        with self.db._shard_locks[self.shard_id]:
+            self.session.prepare(global_id)
+
+    def commit_prepared(self) -> int:
+        with self.db._shard_locks[self.shard_id]:
+            return self.session.commit_prepared()
+
+    def abort_prepared(self) -> None:
+        with self.db._shard_locks[self.shard_id]:
+            self.session.abort_prepared()
+
+
 class ShardedSession:
     """Routes the Session API across per-shard transactions.
 
@@ -336,15 +423,23 @@ class ShardedSession:
         self.isolation = isolation
         self._sessions: dict[int, Session] = {}
         self.active = True
-        # True when a commit failed *after* at least one shard had
-        # already committed — the writes on those shards are durable, so
-        # the transaction must not be blindly retried.
+        # True when a best-effort commit failed *after* at least one
+        # shard had already committed — the writes on those shards are
+        # durable, so the transaction must not be blindly retried.
+        # Unreachable under the 2PC commit mode: a single-shard commit
+        # has one commit point and a cross-shard one aborts atomically.
         self.partially_committed = False
 
     # -- lifecycle -----------------------------------------------------------
 
     def commit(self) -> None:
-        """Commit every touched shard (per-shard atomic, best-effort global)."""
+        """Commit every touched shard.
+
+        One shard wrote → that shard's ordinary atomic commit (the fast
+        path).  Several shards wrote → two-phase commit (all-or-nothing)
+        when the cluster runs in 2PC mode, shard-by-shard best effort
+        otherwise.
+        """
         self._close(commit=True)
 
     def abort(self) -> None:
@@ -354,9 +449,32 @@ class ShardedSession:
         if not self.active:
             return
         self.active = False
+        sessions = sorted(self._sessions.items())
+        try:
+            writers = [(sid, s) for sid, s in sessions if not s.txn.is_read_only]
+            if commit and self.db.two_phase_commit and len(writers) > 1:
+                self._close_two_phase(sessions, writers)
+            else:
+                self._close_per_shard(sessions, commit)
+                if commit and self.db.two_phase_commit and writers:
+                    self.db.coordinator.stats.incr("fast_path_commits")
+        finally:
+            self._sessions.clear()
+
+    def _close_per_shard(
+        self, sessions: list[tuple[int, Session]], commit: bool
+    ) -> None:
+        """Commit/abort shard by shard.
+
+        This is both the single-writer fast path (at most one shard has
+        writes, so its ordinary commit is the only commit point and no
+        extra WAL records exist) and the ``two_phase_commit=False``
+        best-effort mode, where a late conflict after an earlier shard
+        committed leaves the transaction partially applied.
+        """
         error: BaseException | None = None
         writes_committed = 0
-        for shard_id, session in sorted(self._sessions.items()):
+        for shard_id, session in sessions:
             had_writes = not session.txn.is_read_only
             try:
                 self.db._finish_shard(shard_id, session, commit and error is None)
@@ -364,10 +482,38 @@ class ShardedSession:
                     writes_committed += 1
             except BaseException as exc:  # conflict: abort the remainder
                 error = exc
-        self._sessions.clear()
         if error is not None:
             self.partially_committed = commit and writes_committed > 0
             raise error
+
+    def _close_two_phase(
+        self,
+        sessions: list[tuple[int, Session]],
+        writers: list[tuple[int, Session]],
+    ) -> None:
+        """Cross-shard commit: prepare-all → durable decision → commit-all."""
+        # Read-only participants vote READ-ONLY and drop out: nothing to
+        # make durable, nothing to redo.
+        for shard_id, session in sessions:
+            if session.txn.is_read_only:
+                self.db._finish_shard(shard_id, session, commit=True)
+        participants = [
+            (shard_id, _ShardParticipant(self.db, shard_id, session))
+            for shard_id, session in writers
+        ]
+        try:
+            self.db.coordinator.commit(participants)
+        except SimulatedCrash:
+            # A crash mid-protocol must leave prepared participants in
+            # doubt — that is the state recovery exists to resolve.
+            raise
+        except BaseException:
+            # The coordinator already aborted every *prepared*
+            # participant; abort the still-active rest (the NO voter was
+            # aborted by its own manager during prepare).
+            for shard_id, session in writers:
+                self.db._finish_shard(shard_id, session, commit=False)
+            raise
 
     def _shard(self, shard_id: int) -> Session:
         session = self._sessions.get(shard_id)
@@ -502,14 +648,22 @@ class ShardedSession:
                 )
             # The _id no longer determines placement, so the per-shard
             # duplicate check cannot see a same-_id doc on another shard
-            # — enforce cluster-wide _id uniqueness here (single-node
-            # parity, at the cost of a broadcast read per insert).
+            # — enforce cluster-wide _id uniqueness here.  The broadcast
+            # read catches already-committed duplicates early; it is
+            # *not* atomic, so under 2PC the _id is also reserved on its
+            # hash-owner shard inside the same transaction: two
+            # concurrent same-_id inserts, wherever their shard keys
+            # route them, become a write-write conflict on the owner and
+            # the prepare round aborts one.
             if "_id" in doc and self.doc_get(collection, doc["_id"]) is not None:
                 from repro.errors import DocumentError
 
                 raise DocumentError(
                     f"duplicate _id {doc['_id']!r} in {collection!r}"
                 )
+            if "_id" in doc and self.db.two_phase_commit:
+                owner = self.db.router.id_owner_shard(doc["_id"])
+                self._shard(owner).reserve_id(collection, doc["_id"])
         return self._route(collection, key_value).doc_insert(collection, doc)
 
     def doc_get(self, collection: str, doc_id: str | int) -> dict[str, Any] | None:
@@ -557,7 +711,14 @@ class ShardedSession:
         routed = self._doc_route_value(collection, doc_id)
         if routed is not None:
             return routed.doc_delete(collection, doc_id)
-        return any(session.doc_delete(collection, doc_id) for session in self._all())
+        deleted = any(session.doc_delete(collection, doc_id) for session in self._all())
+        if deleted and self.db.two_phase_commit:
+            # Custom shard key: the insert reserved this _id on its
+            # owner shard — release it in the same transaction so the
+            # registry tracks the live id population.
+            owner = self.db.router.id_owner_shard(doc_id)
+            self._shard(owner).release_id(collection, doc_id)
+        return deleted
 
     def doc_scan(self, collection: str) -> Iterator[dict[str, Any]]:
         sessions = [self._shard(0)] if self._spec(collection).broadcast else self._all()

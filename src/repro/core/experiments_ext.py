@@ -13,6 +13,8 @@ DESIGN.md §5 calls out:
   sufficient for multi-model evaluation, run as a baseline sanity suite.
 - **E10** — the sharded cluster layer: scatter-gather scan / merge-sort
   / partial top-k versus single-shard routing across 1..N shards.
+- **E12** — distributed commit: single-shard fast path vs two-phase
+  commit by transaction span (latency, WAL and coordinator-log traffic).
 """
 
 from __future__ import annotations
@@ -452,11 +454,88 @@ def experiment_e11_aggregation(
     return table
 
 
+# ---------------------------------------------------------------------------
+# E12 — distributed commit: fast path vs two-phase commit
+# ---------------------------------------------------------------------------
+
+
+def experiment_e12_commit(
+    n_docs: int = 400,
+    n_shards: int = 4,
+    spans: tuple[int, ...] = (1, 2, 4),
+    transactions: int = 200,
+    seed: int = 42,
+) -> Table:
+    """Commit latency and WAL traffic by transaction span.
+
+    For each span (how many distinct shards a transaction writes) the
+    table compares the best-effort shard-by-shard commit against 2PC:
+    mean commit latency, WAL records appended per commit across all
+    shards, and coordinator-log records per commit.  Span 1 is the fast
+    path — both modes must produce identical WAL traffic (asserted),
+    which is the "zero extra records" guarantee; the 2PC overhead shows
+    up from span 2 as the prepare/decision records plus the coordinator
+    decision, and buys atomic cross-shard aborts and crash recovery.
+    """
+    table = Table(
+        f"E12: commit protocols ({n_shards} shards, ms per commit)",
+        ["span_shards", "best_effort_ms", "two_pc_ms", "overhead_x",
+         "wal_recs_best", "wal_recs_2pc", "coord_recs_2pc"],
+    )
+    rng = DeterministicRng(derive_seed(seed, "e12"))
+    for span in spans:
+        timings: dict[bool, float] = {}
+        wal_recs: dict[bool, float] = {}
+        coord_recs: dict[bool, float] = {}
+        for two_pc in (False, True):
+            db = ShardedDatabase(n_shards=n_shards, two_phase_commit=two_pc)
+            db.create_collection("orders")
+            with db.transaction() as s:
+                for i in range(n_docs):
+                    s.doc_insert(
+                        "orders",
+                        {"_id": f"o{i}", "v": 0, "pad": rng.random()},
+                    )
+            by_shard: dict[int, str] = {}
+            for i in range(n_docs):
+                by_shard.setdefault(db.router.shard_for("orders", f"o{i}"), f"o{i}")
+            targets = [by_shard[shard] for shard in sorted(by_shard)][:span]
+            wal_before = sum(shard.wal.appends for shard in db.shards)
+            coord_before = db.coordinator_log.appends
+            with Stopwatch() as sw:
+                for t in range(transactions):
+                    with db.transaction() as s:
+                        for doc_id in targets:
+                            s.doc_update("orders", doc_id, {"v": t + 1})
+            timings[two_pc] = sw.elapsed * 1000.0 / transactions
+            wal_recs[two_pc] = (
+                sum(shard.wal.appends for shard in db.shards) - wal_before
+            ) / transactions
+            coord_recs[two_pc] = (db.coordinator_log.appends - coord_before) / transactions
+            db.close()
+        if span == 1 and wal_recs[True] != wal_recs[False]:
+            raise AssertionError(
+                "E12: the single-shard fast path must not add WAL records "
+                f"({wal_recs[True]} vs {wal_recs[False]} per commit)"
+            )
+        table.add_row([
+            span,
+            round(timings[False], 4),
+            round(timings[True], 4),
+            round(timings[True] / timings[False], 2),
+            round(wal_recs[False], 1),
+            round(wal_recs[True], 1),
+            round(coord_recs[True], 1),
+        ])
+    return table
+
+
 EXTENSION_EXPERIMENTS = {
     "E7": experiment_e7_index_backends,
     "E8": experiment_e8_sessions,
     "E9": experiment_e9_migration_strategies,
     "E10": experiment_e10_sharding,
     "E11": experiment_e11_aggregation,
+    "E12": experiment_e12_commit,
     "YCSB": experiment_ycsb,
 }

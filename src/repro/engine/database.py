@@ -229,7 +229,7 @@ class MultiModelDatabase:
 
     def checkpoint(self) -> None:
         """Write a checkpoint record (call only with no active txns)."""
-        if self.manager.active:
+        if self.manager.active or self.manager.prepared:
             raise TransactionError("checkpoint requires a quiescent database")
         self.wal.log_checkpoint(self.manager.current_ts)
 
@@ -403,6 +403,34 @@ class Session:
 
     def abort(self) -> None:
         self.txn.abort()
+
+    # -- two-phase commit (participant surface for the cluster layer) -------
+
+    def prepare(self, global_id: int) -> None:
+        """Vote on global txn *global_id*: durable writes, pinned locks."""
+        self.txn.manager.prepare(self.txn, global_id)
+
+    def commit_prepared(self) -> int:
+        return self.txn.manager.commit_prepared(self.txn)
+
+    def abort_prepared(self) -> None:
+        self.txn.manager.abort_prepared(self.txn)
+
+    def reserve_id(self, collection: str, doc_id: Any) -> None:
+        """Stake a transactional claim on *doc_id* of *collection*.
+
+        The reservation is an ordinary buffered write (value ``True``,
+        tombstoned by :meth:`release_id`) on a :attr:`Model.SYSTEM`
+        record, so it rides the full commit/prepare/recovery machinery:
+        two transactions claiming the same id are a write-write conflict
+        and first-committer-wins (or the prepare-time validation) aborts
+        one.  The cluster layer reserves each inserted ``_id`` on its
+        hash-owner shard to make cluster-wide ``_id`` uniqueness atomic.
+        """
+        self.txn.write(RecordKey(Model.SYSTEM, collection, doc_id), True)
+
+    def release_id(self, collection: str, doc_id: Any) -> None:
+        self.txn.delete(RecordKey(Model.SYSTEM, collection, doc_id))
 
     # -- relational ----------------------------------------------------------
 

@@ -19,7 +19,14 @@ from repro.models.xml.node import XmlElement, XmlText
 
 
 class Model(enum.Enum):
-    """The five data models of Figure 1 (graph split into V and E records)."""
+    """The five data models of Figure 1 (graph split into V and E records).
+
+    ``SYSTEM`` is not a user-facing model: it addresses engine-internal
+    bookkeeping records (e.g. the cluster's ``_id`` ownership
+    reservations) that must ride the same transactional machinery —
+    MVCC, WAL, conflict detection, recovery — without ever appearing in
+    collection listings or statistics.
+    """
 
     RELATIONAL = "relational"
     DOCUMENT = "document"
@@ -27,6 +34,7 @@ class Model(enum.Enum):
     GRAPH_VERTEX = "graph_vertex"
     GRAPH_EDGE = "graph_edge"
     KEY_VALUE = "key_value"
+    SYSTEM = "system"
 
 
 class RecordKey(NamedTuple):

@@ -27,10 +27,15 @@ from __future__ import annotations
 import enum
 from typing import Any, Callable, Iterator
 
-from repro.engine.locks import LockManager, LockMode
+from repro.engine.locks import LockManager, LockMode, WouldBlock
 from repro.engine.records import Model, RecordKey, Version, VersionChain, copy_value
 from repro.engine.wal import WriteAheadLog
-from repro.errors import SerializationConflict, SimulatedCrash, TransactionError
+from repro.errors import (
+    DeadlockError,
+    SerializationConflict,
+    SimulatedCrash,
+    TransactionError,
+)
 
 
 class IsolationLevel(enum.Enum):
@@ -42,6 +47,7 @@ class IsolationLevel(enum.Enum):
 
 class TxnState(enum.Enum):
     ACTIVE = "active"
+    PREPARED = "prepared"
     COMMITTED = "committed"
     ABORTED = "aborted"
 
@@ -138,6 +144,9 @@ class Transaction:
         self.write_set: dict[RecordKey, Any] = {}
         self.read_set: set[RecordKey] = set()
         self.commit_ts: int | None = None
+        # Global (cross-shard) transaction id, set when this txn becomes
+        # a 2PC participant at prepare time.
+        self.global_id: int | None = None
 
     # -- core record operations --------------------------------------------
 
@@ -277,9 +286,13 @@ class TransactionManager:
         self.current_ts = 0
         self._next_txn_id = 1
         self.active: dict[int, Transaction] = {}
+        # 2PC participants that voted YES and await the coordinator's
+        # verdict.  Their write locks stay pinned until the decision.
+        self.prepared: dict[int, Transaction] = {}
         self.commits = 0
         self.aborts = 0
         self.conflicts = 0
+        self.prepares = 0
         # Fault injection (E6): crash after the write records are durable
         # but before the commit record — the worst possible moment.
         self.crash_before_next_commit_record = False
@@ -305,6 +318,7 @@ class TransactionManager:
             return self.current_ts
         if txn.isolation in (IsolationLevel.SNAPSHOT, IsolationLevel.SERIALIZABLE):
             self._first_committer_wins_check(txn)
+            self._prepared_overlap_check(txn)
         commit_ts = self.current_ts + 1
         for key, value in txn.write_set.items():
             self.wal.log_write(txn.txn_id, key, value)
@@ -332,6 +346,93 @@ class TransactionManager:
         txn.state = TxnState.ABORTED
         self.aborts += 1
         self._finish(txn)
+
+    # -- two-phase commit (participant side) ---------------------------------
+
+    def prepare(self, txn: Transaction, global_id: int) -> None:
+        """Phase one: validate, make the writes durable, vote YES.
+
+        On success the transaction moves to PREPARED: its writes are in
+        the WAL behind a prepare record, its write locks are pinned, and
+        only :meth:`commit_prepared` / :meth:`abort_prepared` (the
+        coordinator's verdict) can release it.  Any validation or lock
+        failure aborts the transaction — a NO vote — and raises
+        :class:`SerializationConflict`.
+        """
+        if txn.txn_id not in self.active:
+            raise TransactionError(f"transaction {txn.txn_id} is not active")
+        if txn.is_read_only:
+            raise TransactionError(
+                f"transaction {txn.txn_id} is read-only; nothing to prepare"
+            )
+        if txn.isolation in (IsolationLevel.SNAPSHOT, IsolationLevel.SERIALIZABLE):
+            self._first_committer_wins_check(txn)
+            self._prepared_overlap_check(txn)
+        # Pin exclusive locks on the write set so serializable readers
+        # and writers block on the in-doubt records until the decision.
+        for key in txn.write_set:
+            try:
+                self.locks.acquire(txn.txn_id, key, LockMode.EXCLUSIVE)
+            except (WouldBlock, DeadlockError) as exc:
+                self.conflicts += 1
+                self.abort(txn)
+                raise SerializationConflict(
+                    f"txn {txn.txn_id}: cannot pin {key} at prepare: {exc}"
+                ) from exc
+        for key, value in txn.write_set.items():
+            self.wal.log_write(txn.txn_id, key, value)
+        self.wal.log_prepare(txn.txn_id, global_id)
+        txn.state = TxnState.PREPARED
+        txn.global_id = global_id
+        self.prepared[txn.txn_id] = txn
+        del self.active[txn.txn_id]
+        self.prepares += 1
+
+    def commit_prepared(self, txn: Transaction) -> int:
+        """Phase two, COMMIT verdict: log the decision, apply the writes."""
+        if txn.txn_id not in self.prepared:
+            raise TransactionError(f"transaction {txn.txn_id} is not prepared")
+        commit_ts = self.current_ts + 1
+        self.wal.log_decision(txn.txn_id, "commit", commit_ts, txn.global_id)
+        self.current_ts = commit_ts
+        for key, value in txn.write_set.items():
+            self.store.apply_committed_write(commit_ts, key, value, txn.txn_id)
+        txn.state = TxnState.COMMITTED
+        txn.commit_ts = commit_ts
+        self.commits += 1
+        self._release_prepared(txn)
+        return commit_ts
+
+    def abort_prepared(self, txn: Transaction) -> None:
+        """Phase two, ABORT verdict: the buffered writes never apply."""
+        if txn.txn_id not in self.prepared:
+            raise TransactionError(f"transaction {txn.txn_id} is not prepared")
+        self.wal.log_decision(txn.txn_id, "abort", None, txn.global_id)
+        txn.state = TxnState.ABORTED
+        self.aborts += 1
+        self._release_prepared(txn)
+
+    def _release_prepared(self, txn: Transaction) -> None:
+        self.locks.release_all(txn.txn_id)
+        del self.prepared[txn.txn_id]
+
+    def _prepared_overlap_check(self, txn: Transaction) -> None:
+        """Conflict with an in-doubt write set: the requester loses.
+
+        A prepared transaction's writes are not in the store yet, so
+        first-committer-wins cannot see them; without this check a
+        concurrent commit could slip a version under a pinned record and
+        be silently overwritten when the verdict lands.
+        """
+        for other in self.prepared.values():
+            clash = [key for key in txn.write_set if key in other.write_set]
+            if clash:
+                self.conflicts += 1
+                self.abort(txn)
+                raise SerializationConflict(
+                    f"txn {txn.txn_id}: record {clash[0]} is pinned by "
+                    f"prepared txn {other.txn_id} (global {other.global_id})"
+                )
 
     def _finish(self, txn: Transaction) -> None:
         self.locks.release_all(txn.txn_id)

@@ -17,6 +17,24 @@ Record shapes (plain dicts so they serialise trivially):
 - ``{"type": "commit", "txn": id, "ts": commit_ts}``
 - ``{"type": "abort", "txn": id}``
 - ``{"type": "checkpoint", "ts": ts}``
+
+Two-phase commit adds participant-side records (``repro.txn`` is the
+coordinator; the shard WAL only stores the participant's view):
+
+- ``{"type": "prepare", "txn": id, "gtxn": global_id}`` — the
+  transaction's writes (logged just before) are durable and validated,
+  the participant votes YES and may no longer unilaterally abort.
+- ``{"type": "decision", "txn": id, "gtxn": global_id,
+  "decision": "commit"|"abort", "ts": commit_ts|None}`` — the
+  coordinator's verdict reached this participant (or was re-derived by
+  recovery from the coordinator log).
+
+A prepared transaction with no decision/commit/abort record is
+*in-doubt*: :meth:`replay` holds its writes back (neither redone nor
+forgotten) and :meth:`prepared_in_doubt` surfaces it so recovery can ask
+the coordinator log for the verdict.  Prepare and decision appends
+force a sync even when ``sync_every_append`` is off — the protocol is
+meaningless unless its votes and verdicts are durable.
 """
 
 from __future__ import annotations
@@ -62,6 +80,31 @@ class WriteAheadLog:
     def log_abort(self, txn_id: int) -> None:
         self.append({"type": "abort", "txn": txn_id})
 
+    def log_prepare(self, txn_id: int, global_id: int) -> None:
+        """Participant PREPARE vote; forced durable regardless of config."""
+        self.append({"type": "prepare", "txn": txn_id, "gtxn": global_id})
+        if not self.sync_every_append:
+            self.sync()
+
+    def log_decision(
+        self,
+        txn_id: int,
+        decision: str,
+        ts: int | None = None,
+        global_id: int | None = None,
+    ) -> None:
+        """Coordinator verdict for a prepared txn; forced durable."""
+        if decision not in ("commit", "abort"):
+            raise WalError(f"bad 2PC decision {decision!r}")
+        if decision == "commit" and ts is None:
+            raise WalError("a commit decision requires a commit timestamp")
+        self.append(
+            {"type": "decision", "txn": txn_id, "gtxn": global_id,
+             "decision": decision, "ts": ts}
+        )
+        if not self.sync_every_append:
+            self.sync()
+
     def log_checkpoint(self, ts: int) -> None:
         self.append({"type": "checkpoint", "ts": ts})
 
@@ -94,12 +137,40 @@ class WriteAheadLog:
         return self._durable
 
     def committed_transactions(self) -> dict[int, int]:
-        """Map txn_id -> commit_ts for every durably committed txn."""
+        """Map txn_id -> commit_ts for every durably committed txn.
+
+        A 2PC commit decision is a commit: the participant's writes were
+        made durable at prepare time, the verdict makes them real.
+        """
         out: dict[int, int] = {}
         for rec in self.records():
             if rec["type"] == "commit":
                 out[rec["txn"]] = rec["ts"]
+            elif rec["type"] == "decision" and rec["decision"] == "commit":
+                out[rec["txn"]] = rec["ts"]
         return out
+
+    def prepared_in_doubt(self) -> dict[int, int]:
+        """Map txn_id -> global txn id for every unresolved prepared txn.
+
+        A txn is in-doubt when its prepare record is durable but no
+        commit, abort, or decision record follows.  Recovery must not
+        redo its writes (the coordinator may have aborted) nor drop them
+        (the coordinator may have committed) until the coordinator log
+        settles the verdict.
+        """
+        out: dict[int, int] = {}
+        for rec in self.records():
+            if rec["type"] == "prepare":
+                out[rec["txn"]] = rec["gtxn"]
+            elif rec["type"] in ("commit", "abort", "decision"):
+                out.pop(rec["txn"], None)
+        return out
+
+    def max_commit_ts(self) -> int:
+        """The largest durable commit timestamp (0 when none)."""
+        committed = self.committed_transactions()
+        return max(committed.values(), default=0)
 
     def replay(self) -> Iterator[tuple[int, RecordKey, Any]]:
         """Yield (commit_ts, key, value) for every durably committed write.

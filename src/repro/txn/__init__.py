@@ -1,0 +1,24 @@
+"""Distributed atomic commit: the 2PC coordinator subsystem.
+
+Gives cross-shard transactions the same all-or-nothing guarantee the
+single-node engine already has, by layering a two-phase-commit
+coordinator (with its own durable decision log) over the per-shard
+write-ahead logs.  See :mod:`repro.txn.coordinator` for the protocol
+and :mod:`repro.txn.recovery` for in-doubt resolution after a crash.
+"""
+
+from repro.txn.coordinator import (
+    CommitStats,
+    CoordinatorLog,
+    Participant,
+    TwoPhaseCoordinator,
+)
+from repro.txn.recovery import resolve_in_doubt
+
+__all__ = [
+    "CommitStats",
+    "CoordinatorLog",
+    "Participant",
+    "TwoPhaseCoordinator",
+    "resolve_in_doubt",
+]

@@ -1,0 +1,255 @@
+"""The two-phase-commit coordinator and its durable decision log.
+
+Cross-shard transactions need a single commit point; per-shard WALs
+each have their own.  The coordinator supplies it: participants make
+their writes durable and vote at PREPARE, the coordinator's durable
+COMMIT decision record *is* the transaction's commit, and the commit
+fan-out merely tells each participant a verdict that can no longer
+change.  Crash anywhere and recovery re-derives every in-doubt
+participant's verdict from this log (see :mod:`repro.txn.recovery`):
+
+- decision record durable → the transaction committed; redo it
+  everywhere it prepared.
+- no decision record → presumed abort; a prepared participant that
+  never hears back rolls its writes away.
+
+The protocol objects here are deliberately cluster-agnostic: a
+*participant* is anything with ``prepare(global_id)``,
+``commit_prepared()`` and ``abort_prepared()`` (the shard adapter lives
+in :mod:`repro.cluster.sharded`).  Fault injection mirrors the engine's
+``crash_before_next_commit_record`` style: set a crash point, the
+coordinator raises :class:`~repro.errors.SimulatedCrash` at exactly
+that protocol step, and everything already durable stays durable.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator
+from typing import Any, Protocol
+
+from repro.errors import SimulatedCrash, TransactionAborted, WalError
+
+
+class Participant(Protocol):
+    """What the coordinator needs from one prepared resource manager."""
+
+    def prepare(self, global_id: int) -> None: ...
+
+    def commit_prepared(self) -> int: ...
+
+    def abort_prepared(self) -> None: ...
+
+
+class CoordinatorLog:
+    """The coordinator's append-only decision log with a durability line.
+
+    Same crash model as the shard WALs: :meth:`sync` advances the
+    durable watermark, :meth:`crash` discards the unsynced tail.
+    Decision appends always force a sync — an unsynced commit decision
+    would be a commit point that a power failure can undo.
+
+    Record shapes:
+
+    - ``{"type": "decision", "gtxn": id, "decision": "commit"|"abort",
+      "shards": [ids]}``
+    - ``{"type": "end", "gtxn": id}`` — every participant acknowledged;
+      the transaction needs no recovery work (log-truncation marker).
+    """
+
+    def __init__(self, sync_every_append: bool = True) -> None:
+        self._records: list[dict[str, Any]] = []
+        self._durable = 0
+        self.sync_every_append = sync_every_append
+        self.appends = 0
+        self.syncs = 0
+        # Unlike the per-shard WALs (whose managers are serialised by the
+        # cluster's shard locks), this log is shared by every client
+        # thread committing cross-shard transactions — appends must be
+        # atomic or record counters drift under concurrency.
+        self._lock = threading.Lock()
+
+    # -- appending -----------------------------------------------------------
+
+    def append(self, record: dict[str, Any]) -> None:
+        if "type" not in record:
+            raise WalError(f"coordinator record missing 'type': {record!r}")
+        with self._lock:
+            self._records.append(record)
+            self.appends += 1
+            if self.sync_every_append:
+                self._sync_locked()
+
+    def log_decision(self, global_id: int, decision: str, shards: list[int]) -> None:
+        if decision not in ("commit", "abort"):
+            raise WalError(f"bad coordinator decision {decision!r}")
+        self.append(
+            {"type": "decision", "gtxn": global_id, "decision": decision,
+             "shards": list(shards)}
+        )
+        if not self.sync_every_append:
+            self.sync()
+
+    def log_end(self, global_id: int) -> None:
+        self.append({"type": "end", "gtxn": global_id})
+
+    def sync(self) -> None:
+        with self._lock:
+            self._sync_locked()
+
+    def _sync_locked(self) -> None:
+        self._durable = len(self._records)
+        self.syncs += 1
+
+    # -- crash & recovery ----------------------------------------------------
+
+    def crash(self) -> int:
+        """Discard the unsynced tail; returns records lost."""
+        with self._lock:
+            lost = len(self._records) - self._durable
+            del self._records[self._durable:]
+            return lost
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        return iter(self._records[: self._durable])
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def committed_global_txns(self) -> set[int]:
+        """Global ids with a durable COMMIT decision (the commit points)."""
+        return {
+            rec["gtxn"]
+            for rec in self.records()
+            if rec["type"] == "decision" and rec["decision"] == "commit"
+        }
+
+    def max_global_txn(self) -> int:
+        """Largest global id ever logged (0 when none) — id allocation floor."""
+        return max((rec["gtxn"] for rec in self.records()), default=0)
+
+
+class CommitStats:
+    """Commit-protocol counters surfaced by ``ShardedDatabase.stats()``."""
+
+    _FIELDS = (
+        "fast_path_commits",
+        "two_phase_commits",
+        "prepares",
+        "aborts_in_prepare",
+        "recovered_in_doubt",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self._FIELDS:
+            setattr(self, name, 0)
+
+    def incr(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + by)
+
+    def as_dict(self) -> dict[str, int]:
+        with self._lock:
+            return {name: getattr(self, name) for name in self._FIELDS}
+
+
+class TwoPhaseCoordinator:
+    """Drives prepare-all → decide → commit-all over 2PC participants.
+
+    One instance per cluster; global transaction ids are allocated
+    monotonically and survive restarts via the decision log's high-water
+    mark.  The four ``crash_*`` attributes inject a simulated failure at
+    the matching protocol step (each fires once, then clears).
+    """
+
+    def __init__(self, log: CoordinatorLog, stats: CommitStats | None = None) -> None:
+        self.log = log
+        self.stats = stats if stats is not None else CommitStats()
+        self._id_lock = threading.Lock()
+        self._next_global_id = log.max_global_txn() + 1
+        # Fault injection: crash after N participants prepared (0 = before
+        # any), before/after the decision record, after N participants
+        # learned the commit verdict.
+        self.crash_after_prepares: int | None = None
+        self.crash_before_decision = False
+        self.crash_after_decision = False
+        self.crash_after_commits: int | None = None
+
+    def next_global_id(self) -> int:
+        with self._id_lock:
+            global_id = self._next_global_id
+            self._next_global_id += 1
+            return global_id
+
+    def commit(
+        self, participants: list[tuple[int, Participant]]
+    ) -> int:
+        """Atomically commit one transaction across *participants*.
+
+        ``participants`` are ``(shard_id, participant)`` pairs, each with
+        buffered writes.  Returns the global transaction id.  Raises
+        :class:`TransactionAborted` (after aborting every participant)
+        when any prepare votes NO, or :class:`SimulatedCrash` at an
+        injected fault — leaving prepared participants in doubt, exactly
+        as a real coordinator failure would.
+        """
+        global_id = self.next_global_id()
+        shard_ids = [shard_id for shard_id, _ in participants]
+        prepared: list[Participant] = []
+        try:
+            for n_done, (_, participant) in enumerate(participants):
+                self._maybe_crash_after_prepares(n_done, global_id)
+                participant.prepare(global_id)
+                prepared.append(participant)
+                self.stats.incr("prepares")
+            self._maybe_crash_after_prepares(len(participants), global_id)
+        except SimulatedCrash:
+            raise  # in-doubt on purpose: recovery must resolve
+        except BaseException as exc:
+            # A NO vote (or any participant failure): the decision is
+            # ABORT.  Log it for observability (presumed abort would
+            # let us skip this) and release every prepared participant.
+            self.stats.incr("aborts_in_prepare")
+            self.log.log_decision(global_id, "abort", shard_ids)
+            for participant in prepared:
+                participant.abort_prepared()
+            if isinstance(exc, TransactionAborted):
+                raise
+            raise TransactionAborted(
+                f"global txn {global_id}: prepare failed: {exc}"
+            ) from exc
+        if self.crash_before_decision:
+            self.crash_before_decision = False
+            raise SimulatedCrash(
+                f"global txn {global_id}: coordinator crashed before the "
+                "commit decision (presumed abort)"
+            )
+        # THE commit point: once this record is durable the transaction
+        # is committed, whatever happens to the fan-out below.
+        self.log.log_decision(global_id, "commit", shard_ids)
+        if self.crash_after_decision:
+            self.crash_after_decision = False
+            raise SimulatedCrash(
+                f"global txn {global_id}: coordinator crashed after the "
+                "commit decision (participants in doubt, must commit)"
+            )
+        for n_done, (_, participant) in enumerate(participants):
+            if self.crash_after_commits is not None and n_done == self.crash_after_commits:
+                self.crash_after_commits = None
+                raise SimulatedCrash(
+                    f"global txn {global_id}: crashed mid commit fan-out "
+                    f"after {n_done} of {len(participants)} participants"
+                )
+            participant.commit_prepared()
+        self.log.log_end(global_id)
+        self.stats.incr("two_phase_commits")
+        return global_id
+
+    def _maybe_crash_after_prepares(self, n_done: int, global_id: int) -> None:
+        if self.crash_after_prepares is not None and n_done == self.crash_after_prepares:
+            self.crash_after_prepares = None
+            raise SimulatedCrash(
+                f"global txn {global_id}: coordinator crashed after "
+                f"{n_done} prepare(s)"
+            )

@@ -1,0 +1,49 @@
+"""Crash recovery for in-doubt 2PC participants.
+
+After a crash a shard's WAL may contain prepared transactions with no
+verdict — their writes are durable but neither redone nor discarded by
+:meth:`~repro.engine.wal.WriteAheadLog.replay`.  The resolver closes
+each one by consulting the coordinator log:
+
+- durable COMMIT decision for the global txn → append a participant
+  commit-decision record (with a fresh local commit timestamp, since
+  the crashed participant never assigned one), so replay redoes it;
+- anything else → presumed abort: append an abort decision, so replay
+  keeps skipping it.
+
+Either way the WAL leaves recovery with zero in-doubt transactions, so
+no crash schedule can strand a cross-shard transaction half-applied.
+"""
+
+from __future__ import annotations
+
+from repro.engine.wal import WriteAheadLog
+from repro.txn.coordinator import CoordinatorLog
+
+
+def resolve_in_doubt(
+    wal: WriteAheadLog, coordinator_log: CoordinatorLog
+) -> dict[str, int]:
+    """Settle every in-doubt prepared txn in *wal*; returns counters.
+
+    Must run after ``wal.crash()`` (or on a freshly loaded log) and
+    before :meth:`MultiModelDatabase.recover`, which only replays
+    decided transactions.  Idempotent: a second pass finds nothing in
+    doubt.
+    """
+    committed = coordinator_log.committed_global_txns()
+    in_doubt = wal.prepared_in_doubt()
+    stats = {"recovered_commit": 0, "recovered_abort": 0}
+    next_ts = wal.max_commit_ts() + 1
+    # Local txn-id order is prepare order on this shard, which is the
+    # coordinator's participant order — a deterministic replay schedule.
+    for txn_id in sorted(in_doubt):
+        global_id = in_doubt[txn_id]
+        if global_id in committed:
+            wal.log_decision(txn_id, "commit", next_ts, global_id)
+            next_ts += 1
+            stats["recovered_commit"] += 1
+        else:
+            wal.log_decision(txn_id, "abort", None, global_id)
+            stats["recovered_abort"] += 1
+    return stats

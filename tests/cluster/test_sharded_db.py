@@ -164,18 +164,38 @@ class TestTransactions:
         # The conflicting shard was the only writer: nothing durable.
         assert not outer.partially_committed
 
-    def test_partial_cross_shard_commit_is_not_retried(self, fresh_sharded):
-        """If one shard commits and a later shard conflicts, the writes
-        on the committed shard are durable — run_transaction must raise
-        instead of re-running the body (which would double-apply them)."""
-        router = fresh_sharded.router
-        ids = [o["_id"] for o in fresh_sharded.query("FOR o IN orders RETURN o")]
+    @staticmethod
+    def _two_docs_on_distinct_shards(driver) -> tuple[str, str]:
+        router = driver.router
+        ids = [o["_id"] for o in driver.query("FOR o IN orders RETURN o")]
         by_shard: dict[int, str] = {}
         for doc_id in ids:
             by_shard.setdefault(router.shard_for("orders", doc_id), doc_id)
         assert len(by_shard) >= 2
-        low_doc = by_shard[min(by_shard)]   # commits first (shard order)
-        high_doc = by_shard[max(by_shard)]  # conflicted by the interloper
+        return by_shard[min(by_shard)], by_shard[max(by_shard)]
+
+    def test_cross_shard_conflict_aborts_atomically(self, fresh_sharded):
+        """Under 2PC a late-shard conflict rolls back *every* shard: the
+        earlier shard's write must not survive (this exact schedule used
+        to leave it durably committed in the best-effort mode)."""
+        low_doc, high_doc = self._two_docs_on_distinct_shards(fresh_sharded)
+        outer = fresh_sharded.begin()
+        outer.doc_update("orders", low_doc, {"status": "outer"})
+        outer.doc_update("orders", high_doc, {"status": "outer"})
+        interloper = fresh_sharded.begin()
+        interloper.doc_update("orders", high_doc, {"status": "interloper"})
+        interloper.commit()
+        with pytest.raises(TransactionAborted):
+            outer.commit()
+        assert not outer.partially_committed  # unreachable under 2PC
+        with fresh_sharded.transaction() as s:
+            assert s.doc_get("orders", low_doc)["status"] != "outer"
+            assert s.doc_get("orders", high_doc)["status"] == "interloper"
+
+    def test_cross_shard_conflict_retries_and_succeeds(self, fresh_sharded):
+        """Because aborts are now atomic, run_transaction can safely
+        retry a conflicted cross-shard transaction to success."""
+        low_doc, high_doc = self._two_docs_on_distinct_shards(fresh_sharded)
         attempts = 0
 
         def body(s):
@@ -183,18 +203,47 @@ class TestTransactions:
             attempts += 1
             s.doc_update("orders", low_doc, {"status": f"attempt{attempts}"})
             s.doc_update("orders", high_doc, {"status": f"attempt{attempts}"})
-            interloper = fresh_sharded.begin()
-            interloper.doc_update("orders", high_doc, {"status": "interloper"})
-            interloper.commit()
+            if attempts == 1:  # conflict the first try only
+                interloper = fresh_sharded.begin()
+                interloper.doc_update("orders", high_doc, {"status": "interloper"})
+                interloper.commit()
 
-        with pytest.raises(TransactionAborted):
-            fresh_sharded.run_transaction(body)
-        assert attempts == 1  # no blind retry after the partial commit
+        fresh_sharded.run_transaction(body)
+        assert attempts == 2
         with fresh_sharded.transaction() as s:
-            # Documented best-effort outcome: first shard's write stuck,
-            # the conflicted shard kept the interloper's.
-            assert s.doc_get("orders", low_doc)["status"] == "attempt1"
-            assert s.doc_get("orders", high_doc)["status"] == "interloper"
+            assert s.doc_get("orders", low_doc)["status"] == "attempt2"
+            assert s.doc_get("orders", high_doc)["status"] == "attempt2"
+
+    def test_best_effort_mode_partial_commit_is_not_retried(self, small_dataset):
+        """two_phase_commit=False keeps the old polyglot-grade contract:
+        if one shard commits and a later shard conflicts, the committed
+        writes are durable and run_transaction must surface the partial
+        commit instead of re-running the body (double-apply hazard)."""
+        driver = ShardedDatabase(n_shards=3, two_phase_commit=False)
+        load_dataset(driver, small_dataset)
+        try:
+            low_doc, high_doc = self._two_docs_on_distinct_shards(driver)
+            attempts = 0
+
+            def body(s):
+                nonlocal attempts
+                attempts += 1
+                s.doc_update("orders", low_doc, {"status": f"attempt{attempts}"})
+                s.doc_update("orders", high_doc, {"status": f"attempt{attempts}"})
+                interloper = driver.begin()
+                interloper.doc_update("orders", high_doc, {"status": "interloper"})
+                interloper.commit()
+
+            with pytest.raises(TransactionAborted):
+                driver.run_transaction(body)
+            assert attempts == 1  # no blind retry after the partial commit
+            with driver.transaction() as s:
+                # Documented best-effort outcome: first shard's write
+                # stuck, the conflicted shard kept the interloper's.
+                assert s.doc_get("orders", low_doc)["status"] == "attempt1"
+                assert s.doc_get("orders", high_doc)["status"] == "interloper"
+        finally:
+            driver.close()
 
 
 class TestCustomPolicies:

@@ -5,6 +5,7 @@ from repro.core.experiments_ext import (
     experiment_e7_index_backends,
     experiment_e8_sessions,
     experiment_e9_migration_strategies,
+    experiment_e12_commit,
     experiment_ycsb,
 )
 
@@ -82,6 +83,19 @@ class TestYcsbExperiment:
         assert all(r["polyglot"] > 0 for r in table.to_records())
 
 
+class TestE12:
+    def test_commit_table_shape_and_fast_path_parity(self):
+        table = experiment_e12_commit(n_docs=60, transactions=5)
+        by_span = {r["span_shards"]: r for r in table.to_records()}
+        assert sorted(by_span) == [1, 2, 4]
+        # Fast path: zero extra records, coordinator idle.
+        assert by_span[1]["wal_recs_2pc"] == by_span[1]["wal_recs_best"]
+        assert by_span[1]["coord_recs_2pc"] == 0
+        # Cross-shard spans pay the prepare/decision records.
+        assert by_span[2]["wal_recs_2pc"] > by_span[2]["wal_recs_best"]
+        assert by_span[2]["coord_recs_2pc"] == 2
+
+
 class TestRegistry:
     def test_extension_registry(self):
-        assert set(EXTENSION_EXPERIMENTS) == {"E7", "E8", "E9", "E10", "E11", "YCSB"}
+        assert set(EXTENSION_EXPERIMENTS) == {"E7", "E8", "E9", "E10", "E11", "E12", "YCSB"}

@@ -159,3 +159,55 @@ class TestWal:
         wal = WriteAheadLog()
         wal.log_begin(1)
         assert wal.truncate_before_checkpoint() == 0
+
+
+class TestPreparedRecords:
+    """2PC participant records: prepare / decision and in-doubt replay."""
+
+    def _prepared_wal(self) -> WriteAheadLog:
+        wal = WriteAheadLog()
+        wal.log_begin(1)
+        wal.log_write(1, KEY, {"status": "in-doubt"})
+        wal.log_prepare(1, global_id=7)
+        return wal
+
+    def test_in_doubt_writes_are_held_back(self):
+        wal = self._prepared_wal()
+        assert list(wal.replay()) == []  # neither redone nor dropped
+        assert wal.prepared_in_doubt() == {1: 7}
+
+    def test_commit_decision_redoes_the_writes(self):
+        wal = self._prepared_wal()
+        wal.log_decision(1, "commit", ts=3, global_id=7)
+        assert wal.prepared_in_doubt() == {}
+        assert wal.committed_transactions() == {1: 3}
+        [(ts, key, value)] = list(wal.replay())
+        assert (ts, key, value) == (3, KEY, {"status": "in-doubt"})
+
+    def test_abort_decision_drops_the_writes(self):
+        wal = self._prepared_wal()
+        wal.log_decision(1, "abort", global_id=7)
+        assert wal.prepared_in_doubt() == {}
+        assert list(wal.replay()) == []
+
+    def test_prepare_is_forced_durable_without_autosync(self):
+        wal = WriteAheadLog(sync_every_append=False)
+        wal.log_begin(1)
+        wal.log_write(1, KEY, "a")
+        wal.log_prepare(1, global_id=9)
+        wal.log_begin(2)  # unsynced tail after the prepare
+        assert wal.crash() == 1  # only the second begin is lost
+        assert wal.prepared_in_doubt() == {1: 9}
+
+    def test_decision_requires_commit_ts(self):
+        wal = self._prepared_wal()
+        with pytest.raises(WalError):
+            wal.log_decision(1, "commit")
+        with pytest.raises(WalError):
+            wal.log_decision(1, "maybe")
+
+    def test_max_commit_ts_spans_both_commit_kinds(self):
+        wal = WriteAheadLog()
+        wal.log_commit(1, 4)
+        wal.log_decision(2, "commit", ts=9, global_id=1)
+        assert wal.max_commit_ts() == 9

@@ -1,0 +1,236 @@
+"""Unit tests: coordinator log, 2PC protocol driver, participant state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import MultiModelDatabase
+from repro.engine.records import Model, RecordKey
+from repro.engine.transactions import IsolationLevel, TxnState
+from repro.errors import (
+    SerializationConflict,
+    SimulatedCrash,
+    TransactionAborted,
+    TransactionError,
+    WalError,
+)
+from repro.txn import CommitStats, CoordinatorLog, TwoPhaseCoordinator
+
+
+class TestCoordinatorLog:
+    def test_commit_decisions_are_the_commit_points(self):
+        log = CoordinatorLog()
+        log.log_decision(1, "commit", [0, 2])
+        log.log_decision(2, "abort", [1])
+        log.log_decision(5, "commit", [0, 1])
+        assert log.committed_global_txns() == {1, 5}
+        assert log.max_global_txn() == 5
+
+    def test_decisions_survive_a_crash_even_without_autosync(self):
+        log = CoordinatorLog(sync_every_append=False)
+        log.log_decision(1, "commit", [0])
+        log.log_end(1)  # end marker is allowed to be lost
+        lost = log.crash()
+        assert lost == 1
+        assert log.committed_global_txns() == {1}
+
+    def test_bad_decision_rejected(self):
+        log = CoordinatorLog()
+        with pytest.raises(WalError):
+            log.log_decision(1, "maybe", [0])
+
+    def test_global_id_allocation_resumes_above_the_log(self):
+        log = CoordinatorLog()
+        log.log_decision(41, "commit", [0])
+        coordinator = TwoPhaseCoordinator(log)
+        assert coordinator.next_global_id() == 42
+
+
+class _FakeParticipant:
+    """Scriptable participant recording the protocol steps it saw."""
+
+    def __init__(self, vote_yes: bool = True) -> None:
+        self.vote_yes = vote_yes
+        self.steps: list[str] = []
+
+    def prepare(self, global_id: int) -> None:
+        if not self.vote_yes:
+            self.steps.append("voted-no")
+            raise SerializationConflict("conflicting write at prepare")
+        self.steps.append(f"prepared:{global_id}")
+
+    def commit_prepared(self) -> int:
+        self.steps.append("committed")
+        return 1
+
+    def abort_prepared(self) -> None:
+        self.steps.append("aborted")
+
+
+class TestTwoPhaseCoordinator:
+    def test_all_yes_commits_everyone(self):
+        coordinator = TwoPhaseCoordinator(CoordinatorLog())
+        a, b = _FakeParticipant(), _FakeParticipant()
+        gid = coordinator.commit([(0, a), (1, b)])
+        assert a.steps == [f"prepared:{gid}", "committed"]
+        assert b.steps == [f"prepared:{gid}", "committed"]
+        assert coordinator.log.committed_global_txns() == {gid}
+        stats = coordinator.stats.as_dict()
+        assert stats["two_phase_commits"] == 1
+        assert stats["prepares"] == 2
+
+    def test_one_no_vote_aborts_the_prepared(self):
+        coordinator = TwoPhaseCoordinator(CoordinatorLog())
+        a, b, c = _FakeParticipant(), _FakeParticipant(vote_yes=False), _FakeParticipant()
+        with pytest.raises(TransactionAborted):
+            coordinator.commit([(0, a), (1, b), (2, c)])
+        assert a.steps == ["prepared:1", "aborted"]
+        assert b.steps == ["voted-no"]
+        assert c.steps == []  # never reached
+        assert coordinator.log.committed_global_txns() == set()
+        assert coordinator.stats.as_dict()["aborts_in_prepare"] == 1
+
+    def test_crash_mid_prepare_leaves_participants_in_doubt(self):
+        coordinator = TwoPhaseCoordinator(CoordinatorLog())
+        coordinator.crash_after_prepares = 1
+        a, b = _FakeParticipant(), _FakeParticipant()
+        with pytest.raises(SimulatedCrash):
+            coordinator.commit([(0, a), (1, b)])
+        assert a.steps == ["prepared:1"]  # in doubt: no verdict delivered
+        assert b.steps == []
+        assert coordinator.log.committed_global_txns() == set()
+
+    def test_crash_after_decision_is_a_commit(self):
+        coordinator = TwoPhaseCoordinator(CoordinatorLog())
+        coordinator.crash_after_decision = True
+        a, b = _FakeParticipant(), _FakeParticipant()
+        with pytest.raises(SimulatedCrash):
+            coordinator.commit([(0, a), (1, b)])
+        # The decision record is durable: recovery must commit both.
+        assert coordinator.log.committed_global_txns() == {1}
+        assert a.steps == ["prepared:1"]
+        assert b.steps == ["prepared:1"]
+
+    def test_stats_shared_across_instances(self):
+        stats = CommitStats()
+        log = CoordinatorLog()
+        TwoPhaseCoordinator(log, stats).commit([(0, _FakeParticipant()), (1, _FakeParticipant())])
+        TwoPhaseCoordinator(log, stats).commit([(0, _FakeParticipant()), (1, _FakeParticipant())])
+        assert stats.as_dict()["two_phase_commits"] == 2
+
+
+KEY_A = RecordKey(Model.KEY_VALUE, "kv", "a")
+
+
+class TestParticipantState:
+    """Engine-side PREPARED semantics through the Session surface."""
+
+    def _db(self) -> MultiModelDatabase:
+        db = MultiModelDatabase()
+        db.create_kv_namespace("kv")
+        return db
+
+    def test_prepare_then_commit_applies_the_writes(self):
+        db = self._db()
+        session = db.begin()
+        session.kv_put("kv", "a", 1)
+        session.prepare(global_id=11)
+        assert session.txn.state is TxnState.PREPARED
+        with db.transaction() as reader:
+            assert reader.kv_get("kv", "a") is None  # not visible while in doubt
+        session.commit_prepared()
+        with db.transaction() as reader:
+            assert reader.kv_get("kv", "a") == 1
+
+    def test_prepare_then_abort_discards_the_writes(self):
+        db = self._db()
+        session = db.begin()
+        session.kv_put("kv", "a", 1)
+        session.prepare(global_id=11)
+        session.abort_prepared()
+        with db.transaction() as reader:
+            assert reader.kv_get("kv", "a") is None
+
+    def test_prepared_txn_rejects_further_operations(self):
+        db = self._db()
+        session = db.begin()
+        session.kv_put("kv", "a", 1)
+        session.prepare(global_id=11)
+        with pytest.raises(TransactionError):
+            session.kv_put("kv", "b", 2)
+        with pytest.raises(TransactionError):
+            session.commit()
+        session.abort_prepared()
+
+    def test_read_only_txn_cannot_prepare(self):
+        db = self._db()
+        session = db.begin()
+        session.kv_get("kv", "a")
+        with pytest.raises(TransactionError):
+            session.prepare(global_id=11)
+        session.abort()
+
+    def test_prepare_validates_first_committer_wins(self):
+        db = self._db()
+        session = db.begin(IsolationLevel.SNAPSHOT)
+        session.kv_put("kv", "a", "mine")
+        with db.transaction() as interloper:
+            interloper.kv_put("kv", "a", "theirs")
+        with pytest.raises(SerializationConflict):
+            session.prepare(global_id=11)
+        assert session.txn.state is TxnState.ABORTED
+
+    def test_commit_conflicts_with_an_in_doubt_write_set(self):
+        db = self._db()
+        prepared = db.begin()
+        prepared.kv_put("kv", "a", "pinned")
+        prepared.prepare(global_id=11)
+        competitor = db.begin()
+        competitor.kv_put("kv", "a", "sneaky")
+        with pytest.raises(SerializationConflict):
+            competitor.commit()
+        prepared.commit_prepared()
+        with db.transaction() as reader:
+            assert reader.kv_get("kv", "a") == "pinned"
+
+    def test_prepare_conflicts_with_an_earlier_prepare(self):
+        db = self._db()
+        first = db.begin()
+        first.kv_put("kv", "a", 1)
+        first.prepare(global_id=11)
+        second = db.begin()
+        second.kv_put("kv", "a", 2)
+        with pytest.raises(SerializationConflict):
+            second.prepare(global_id=12)
+        first.commit_prepared()
+
+    def test_prepared_locks_block_serializable_writers(self):
+        from repro.engine.locks import WouldBlock
+
+        db = self._db()
+        prepared = db.begin()
+        prepared.kv_put("kv", "a", 1)
+        prepared.prepare(global_id=11)
+        blocked = db.begin(IsolationLevel.SERIALIZABLE)
+        with pytest.raises(WouldBlock):
+            blocked.kv_put("kv", "a", 2)
+        prepared.commit_prepared()
+
+    def test_checkpoint_requires_no_prepared_txns(self):
+        db = self._db()
+        session = db.begin()
+        session.kv_put("kv", "a", 1)
+        session.prepare(global_id=11)
+        with pytest.raises(TransactionError):
+            db.checkpoint()
+        session.commit_prepared()
+        db.checkpoint()
+
+    def test_wal_prepares_counted(self):
+        db = self._db()
+        session = db.begin()
+        session.kv_put("kv", "a", 1)
+        session.prepare(global_id=3)
+        session.commit_prepared()
+        assert db.manager.prepares == 1
+        assert db.manager.commits == 1
