@@ -8,7 +8,7 @@ Usage::
     python -m repro --out report.txt
 
 Core experiments come from :mod:`repro.core.experiments` (F1, E1-E6) and
-extensions from :mod:`repro.core.experiments_ext` (E7-E11, YCSB).
+extensions from :mod:`repro.core.experiments_ext` (E7-E13, YCSB).
 """
 
 from __future__ import annotations

@@ -31,11 +31,13 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.query.ast import Expr, SortKey
+from repro.query.compile import compile_expr, evaluator
 from repro.query.physical import (
     Binding,
     PhysicalOperator,
+    compile_sort_keys,
     render_expr,
-    sort_key,
+    sort_evaluator,
 )
 
 
@@ -47,12 +49,18 @@ class _ShardRuntime:
     context so access paths scan/probe only that shard's data.
     """
 
-    __slots__ = ("_parent", "ctx", "use_indexes", "stats", "analyze", "observed")
+    __slots__ = (
+        "_parent", "ctx", "use_indexes", "use_compiled", "stats", "analyze",
+        "observed",
+    )
 
     def __init__(self, parent: Any, ctx: Any, stats: dict[str, int]) -> None:
         self._parent = parent
         self.ctx = ctx
         self.use_indexes = parent.use_indexes
+        # Compiled closures are pure plan-time state, safe per worker;
+        # the ablation flag rides along from the parent executor.
+        self.use_compiled = getattr(parent, "use_compiled", True)
         self.stats = stats
         self.analyze = getattr(parent, "analyze", False)
         # Per-operator observation channel (EXPLAIN ANALYZE group counts).
@@ -62,6 +70,12 @@ class _ShardRuntime:
 
     def eval_expr(self, expr: Expr, binding: Binding, params: dict[str, Any]) -> Any:
         return self._parent.eval_expr(expr, binding, params)
+
+    def run_subquery(self, query: Any, binding: Binding, params: dict[str, Any]) -> Any:
+        # Subqueries are never pushed below the gather (not "cheap"),
+        # but stay correct if one ever reaches a worker: the parent
+        # executor runs it through the shared plan cache.
+        return self._parent.run_subquery(query, binding, params)
 
 
 def _fresh_stats() -> dict[str, int]:
@@ -89,6 +103,17 @@ class ShardExec(PhysicalOperator):
     range_low: Expr | None = None
     range_high: Expr | None = None
     child: PhysicalOperator | None = None  # always a leaf: the gather boundary
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_c_merge", compile_sort_keys(self.merge_keys))
+        for name, expr in (
+            ("_c_route", self.route_expr),
+            ("_c_range_low", self.range_low),
+            ("_c_range_high", self.range_high),
+        ):
+            object.__setattr__(
+                self, name, compile_expr(expr) if expr is not None else None
+            )
 
     def run(self, rt, params, seed=None):
         ctx = rt.ctx  # ShardedQueryContext
@@ -119,9 +144,8 @@ class ShardExec(PhysicalOperator):
             for key, value in srt.stats.items():
                 rt.stats[key] = rt.stats.get(key, 0) + value
         if self.merge_keys:
-            yield from heapq.merge(
-                *chunks, key=lambda b: sort_key(rt, self.merge_keys, b, params)
-            )
+            keyfn = sort_evaluator(rt, self._c_merge, self.merge_keys)
+            yield from heapq.merge(*chunks, key=lambda b: keyfn(rt, b, params))
         else:
             for chunk in chunks:
                 yield from chunk
@@ -133,15 +157,21 @@ class ShardExec(PhysicalOperator):
             # it exactly once.
             return [0]
         if self.route_expr is not None:
-            value = rt.eval_expr(self.route_expr, dict(seed or {}), params)
+            value = evaluator(rt, self._c_route, self.route_expr)(
+                rt, dict(seed or {}), params
+            )
             return [ctx.catalog.shard_for(self.collection, value)]
         if self.range_field is not None:
             low = (
-                rt.eval_expr(self.range_low, dict(seed or {}), params)
+                evaluator(rt, self._c_range_low, self.range_low)(
+                    rt, dict(seed or {}), params
+                )
                 if self.range_low is not None else None
             )
             high = (
-                rt.eval_expr(self.range_high, dict(seed or {}), params)
+                evaluator(rt, self._c_range_high, self.range_high)(
+                    rt, dict(seed or {}), params
+                )
                 if self.range_high is not None else None
             )
             pruned = ctx.catalog.shards_for_range(self.collection, low, high)

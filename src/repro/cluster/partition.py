@@ -165,6 +165,9 @@ class ShardRouter:
             raise EngineError(f"need at least one shard, got {n_shards}")
         self.n_shards = n_shards
         self._specs: dict[str, ShardSpec] = {}
+        # Shard-map version: every registration changes routing inputs,
+        # so it feeds the cluster's plan-cache epoch.
+        self.epoch = 0
 
     # -- registration (called by ShardedDatabase DDL) -----------------------
 
@@ -172,6 +175,7 @@ class ShardRouter:
         if collection in self._specs:
             raise EngineError(f"collection {collection!r} already registered")
         self._specs[collection] = spec
+        self.epoch += 1
 
     def spec(self, collection: str) -> ShardSpec:
         spec = self._specs.get(collection)

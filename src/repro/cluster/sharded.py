@@ -283,6 +283,12 @@ class ShardedDatabase(Driver):
             recovered.shards.append(rebuilt)
         if in_doubt_resolved:
             recovered.coordinator.stats.incr("recovered_in_doubt", in_doubt_resolved)
+        # Every in-doubt participant now carries a durable verdict in its
+        # own WAL (resolve_in_doubt force-syncs), so no coordinator record
+        # — ended, in-flight, or crash-resolved — can ever be consulted
+        # again.  Checkpoint the whole durable log; it stops growing
+        # across crash/recovery cycles (global-id floor preserved).
+        recovered.coordinator_log.checkpoint()
         return recovered
 
     # -- queries -------------------------------------------------------------
@@ -290,12 +296,20 @@ class ShardedDatabase(Driver):
     def query_context(self) -> "ShardedQueryContext":
         return ShardedQueryContext(self)
 
-    def explain(self, text: str) -> str:
-        """Shard-aware plan: shows routing vs scatter-gather decisions."""
-        from repro.query.parser import parse
-        from repro.query.planner import plan
+    def plan_catalog(self) -> ShardRouter:
+        """Planning catalog: EXPLAIN and the plan cache see routing."""
+        return self.router
 
-        return plan(parse(text), catalog=self.router).describe()
+    def catalog_epoch(self) -> int:
+        """Cluster plan-cache version: shard-map + per-shard index DDL.
+
+        Both components only grow, so the sum is monotonic; any shard-map
+        registration or index create on any shard invalidates cached
+        plans cluster-wide.
+        """
+        return self.router.epoch + sum(
+            shard.catalog_epoch for shard in self.shards
+        )
 
     # -- introspection -------------------------------------------------------
 

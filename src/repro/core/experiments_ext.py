@@ -15,6 +15,9 @@ DESIGN.md §5 calls out:
   / partial top-k versus single-shard routing across 1..N shards.
 - **E12** — distributed commit: single-shard fast path vs two-phase
   commit by transaction span (latency, WAL and coordinator-log traffic).
+- **E13** — the compiled hot path: closure-compiled expression
+  evaluation vs the reference interpreter (per-row and end-to-end on
+  expression-heavy E1 queries), and plan-cache hit vs cold plan latency.
 """
 
 from __future__ import annotations
@@ -530,6 +533,142 @@ def experiment_e12_commit(
     return table
 
 
+# ---------------------------------------------------------------------------
+# E13 — compiled expressions + plan cache vs pure interpretation
+# ---------------------------------------------------------------------------
+
+_E13_EXPR = (
+    "o.total_price * 1.21 + o.customer_id % 7 > @cutoff "
+    "AND o.status != 'cancelled' "
+    "AND (o.total_price - o.customer_id % 3 >= 10 OR o.status LIKE 'ship%')"
+)
+
+# Expression-heavy scan: no usable index, the predicate runs per row.
+_E13_SCAN_QUERY = f"FOR o IN orders FILTER {_E13_EXPR} RETURN o._id"
+
+_E13_QUERIES = ("Q5", "Q7")
+
+
+def experiment_e13_compile(
+    scale_factor: float = 0.05,
+    repetitions: int = 20,
+    eval_rows: int = 20_000,
+    plan_hits: int = 2_000,
+    seed: int = 42,
+) -> Table:
+    """Closure compilation and plan caching on the MMQL hot path.
+
+    Three measurement families, one row each:
+
+    - ``expr_eval``: the per-row cost of one expression-heavy predicate
+      over *eval_rows* synthetic bindings — the reference interpreter's
+      recursive isinstance walk (baseline) against the compiled
+      nested-closure evaluator (optimized).  This is the per-row metric
+      the E13 acceptance gate asserts (>= 2x at full scale, >= 1.5x in
+      the CI smoke).
+    - ``Q2``/``Q5``/``Q7`` end-to-end: expression-heavy E1 queries run
+      through the unified driver with ``use_compiled`` off vs on; the
+      speedup is smaller than the per-row ratio because scan and index
+      work is shared by both modes.
+    - ``plan cold vs cached``: parse+plan latency against a plan-cache
+      hit for the same text — the amortization the versioned LRU cache
+      buys every repeated query.
+    """
+    from repro.core.workloads import QUERY_BY_ID
+    from repro.query.compile import compile_expr
+    from repro.query.executor import Executor
+    from repro.query.parser import parse
+    from repro.query.plancache import PlanCache
+
+    table = Table(
+        f"E13: compiled hot path (SF={scale_factor}, ms)",
+        ["case", "baseline_ms", "optimized_ms", "speedup_x"],
+    )
+    rng = DeterministicRng(derive_seed(seed, "e13"))
+
+    def row(case: str, baseline_s: float, optimized_s: float) -> None:
+        table.add_row([
+            case,
+            round(baseline_s * 1000.0, 4),
+            round(optimized_s * 1000.0, 4),
+            round(baseline_s / optimized_s, 2) if optimized_s else float("inf"),
+        ])
+
+    # -- per-row expression evaluation --------------------------------------
+    expr = parse(f"RETURN {_E13_EXPR}").returning.expr
+    statuses = ("shipped", "shipping", "new", "cancelled")
+    bindings = [
+        {
+            "o": {
+                "total_price": round(rng.random() * 400.0, 2),
+                "customer_id": rng.randint(1, 500),
+                "status": statuses[rng.randint(0, len(statuses) - 1)],
+            }
+        }
+        for _ in range(eval_rows)
+    ]
+    params = {"cutoff": 120.0}
+    oracle = Executor(ctx=None)
+    compiled = compile_expr(expr)
+    # Warm both paths (regex cache, bytecode) before timing.
+    for binding in bindings[:100]:
+        assert oracle.eval_expr(expr, binding, params) == compiled(
+            oracle, binding, params
+        )
+    with Stopwatch() as sw_interp:
+        for binding in bindings:
+            oracle.eval_expr(expr, binding, params)
+    with Stopwatch() as sw_compiled:
+        for binding in bindings:
+            compiled(oracle, binding, params)
+    row(f"expr_eval ({eval_rows} rows)", sw_interp.elapsed, sw_compiled.elapsed)
+
+    # -- end-to-end expression-heavy E1 queries ------------------------------
+    dataset = DatasetGenerator(
+        GeneratorConfig(seed=seed, scale_factor=scale_factor)
+    ).generate()
+    driver = UnifiedDriver()
+    load_dataset(driver, dataset)
+    cases = [("scan_filter", _E13_SCAN_QUERY, params)]
+    cases.extend(
+        (query_id, QUERY_BY_ID[query_id].text, QUERY_BY_ID[query_id].params(dataset))
+        for query_id in _E13_QUERIES
+    )
+    for query_id, text, qparams in cases:
+        interp = driver.query(text, qparams, use_compiled=False)
+        comp = driver.query(text, qparams, use_compiled=True)
+        if repr(interp) != repr(comp):
+            raise AssertionError(
+                f"E13: {query_id} compiled/interpreted results diverge"
+            )
+        timings = {}
+        for use_compiled in (False, True):
+            for _ in range(2):  # warm caches/snapshots outside the timer
+                driver.query(text, qparams, use_compiled=use_compiled)
+            with Stopwatch() as sw:
+                for _ in range(repetitions):
+                    driver.query(text, qparams, use_compiled=use_compiled)
+            timings[use_compiled] = sw.elapsed / repetitions
+        row(query_id, timings[False], timings[True])
+
+    # -- plan cache: cold plan vs hit ----------------------------------------
+    text = QUERY_BY_ID["Q2"].text
+    with Stopwatch() as sw_cold:
+        for _ in range(repetitions):
+            PlanCache().get_or_plan(text)
+    cache = PlanCache()
+    cache.get_or_plan(text)
+    with Stopwatch() as sw_hit:
+        for _ in range(plan_hits):
+            cache.get_or_plan(text)
+    row(
+        f"plan cold vs cached ({plan_hits} hits)",
+        sw_cold.elapsed / repetitions,
+        sw_hit.elapsed / plan_hits,
+    )
+    return table
+
+
 EXTENSION_EXPERIMENTS = {
     "E7": experiment_e7_index_backends,
     "E8": experiment_e8_sessions,
@@ -537,5 +676,6 @@ EXTENSION_EXPERIMENTS = {
     "E10": experiment_e10_sharding,
     "E11": experiment_e11_aggregation,
     "E12": experiment_e12_commit,
+    "E13": experiment_e13_compile,
     "YCSB": experiment_ycsb,
 }

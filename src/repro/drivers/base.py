@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import abc
+import threading
 from typing import Any, Callable
 
 from repro.query.context import QueryContext
+from repro.query.plancache import PlanCache
 
 
 class Driver(abc.ABC):
@@ -19,9 +21,44 @@ class Driver(abc.ABC):
     - Transactions: run a multi-model read-write unit atomically (or as
       atomically as the architecture permits — the polyglot baseline's
       weaker guarantee is itself a measured result).
+
+    Every driver owns one :class:`~repro.query.plancache.PlanCache`:
+    repeated queries (and the subqueries they contain) skip parse +
+    plan, and the cache key carries :meth:`catalog_epoch` so index and
+    shard-map DDL invalidates stale plans instead of serving them.
     """
 
     name: str = "driver"
+    plan_cache_capacity: int = 128
+    # Guards lazy cache creation only (rare); shared across drivers is
+    # fine.  Without it, two threads racing a cold driver's first query
+    # would each build a cache and one would silently clobber the other.
+    _plan_cache_init_lock = threading.Lock()
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The driver's shared plan cache (created lazily — subclasses
+        need not call any base ``__init__``)."""
+        cache = self.__dict__.get("_plan_cache")
+        if cache is None:
+            with Driver._plan_cache_init_lock:
+                cache = self.__dict__.get("_plan_cache")
+                if cache is None:
+                    cache = PlanCache(self.plan_cache_capacity)
+                    self.__dict__["_plan_cache"] = cache
+        return cache
+
+    def catalog_epoch(self) -> int:
+        """Monotonic version of the planning catalog (indexes, shard map).
+
+        Drivers whose DDL changes planning inputs must bump this; the
+        default (a constant) means plans are never invalidated.
+        """
+        return 0
+
+    def plan_catalog(self) -> Any:
+        """The catalog handed to ``plan()`` (a ShardRouter, or None)."""
+        return None
 
     # -- DDL -------------------------------------------------------------
 
@@ -75,24 +112,44 @@ class Driver(abc.ABC):
         text: str,
         params: dict[str, Any] | None = None,
         use_indexes: bool = True,
+        use_compiled: bool = True,
     ) -> list[Any]:
-        """Convenience: run one MMQL query on a fresh context."""
-        from repro.query.executor import run_query
+        """Convenience: run one MMQL query on a fresh context.
+
+        The plan comes from the driver's shared cache; *use_compiled*
+        is the expression-compilation ablation switch (interpreted
+        evaluation when False).
+        """
+        from repro.query.executor import Executor
 
         ctx = self.query_context()
         try:
-            return run_query(ctx, text, params, use_indexes)
+            executor = Executor(
+                ctx,
+                use_indexes=use_indexes,
+                use_compiled=use_compiled,
+                plans=self.plan_cache,
+                epoch=self.catalog_epoch(),
+            )
+            return executor.execute(text, params)
         finally:
             close = getattr(ctx, "close", None)
             if close is not None:
                 close()
 
     def explain(self, text: str) -> str:
-        """Human-readable plan for an MMQL query (index choices, clause order)."""
-        from repro.query.parser import parse
-        from repro.query.planner import plan
+        """Human-readable plan for an MMQL query (index choices, clause order).
 
-        return plan(parse(text)).describe()
+        A plan already resident in the driver's cache renders with a
+        ``plan: cached epoch=N`` header instead of the bare ``plan:``.
+        """
+        epoch = self.catalog_epoch()
+        cached = self.plan_cache.peek(text, epoch) is not None
+        planned = self.plan_cache.get_or_plan(
+            text, self.plan_catalog(), epoch
+        )
+        header = f"plan: cached epoch={epoch}" if cached else "plan:"
+        return planned.describe(header=header)
 
     def explain_analyze(
         self,

@@ -178,6 +178,7 @@ class PolyglotDriver(Driver):
 
     def __init__(self) -> None:
         self.db = PolyglotPersistence()
+        self._ddl_epoch = 0
 
     def create_table(self, schema: Any) -> None:
         self.db.create_table(schema)
@@ -199,6 +200,10 @@ class PolyglotDriver(Driver):
     ) -> None:
         # The baseline keeps only hash indexes; range probes walk them.
         self.db.create_index(kind, collection, field)
+        self._ddl_epoch += 1
+
+    def catalog_epoch(self) -> int:
+        return self._ddl_epoch
 
     def load(self, loader: Callable[[PolyglotSession], None]) -> None:
         self.db.run_transaction(loader)

@@ -241,6 +241,9 @@ class UnifiedDriver(Driver):
     def query_context(self) -> UnifiedQueryContext:
         return UnifiedQueryContext(self.db)
 
+    def catalog_epoch(self) -> int:
+        return self.db.catalog_epoch
+
     # -- transactions ------------------------------------------------------------
 
     def run_transaction(self, body: Callable[[Session], Any]) -> Any:

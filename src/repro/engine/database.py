@@ -79,6 +79,9 @@ class MultiModelDatabase:
         self._next_edge_id = 1
         # indexes[(model, collection)][index_name] = HashIndex | SortedIndex
         self._indexes: dict[tuple[Model, str], dict[str, Any]] = {}
+        # Bumped by DDL that changes planning inputs (index create/drop);
+        # part of every plan-cache key, so cached plans go stale safely.
+        self.catalog_epoch = 0
         self.store.on_apply.append(self._maintain_indexes)
         self.store.on_apply.append(self._maintain_adjacency)
 
@@ -172,6 +175,7 @@ class MultiModelDatabase:
                     RecordKey(model, collection, raw_key), None, latest.value
                 )
         bucket[index_name] = index
+        self.catalog_epoch += 1
         self.wal.append(
             {"type": "ddl", "op": "create_index", "model": model,
              "collection": collection, "field": field, "kind": kind}

@@ -20,17 +20,21 @@ Model bridges: ``TRAVERSE(graph, start, min, max, label)`` for graphs,
 
 Public API: :func:`parse` text into a :class:`~repro.query.ast.Query`,
 lower it with :func:`~repro.query.planner.plan` to a tree of physical
-operators (:mod:`repro.query.physical`), run with
-:class:`~repro.query.executor.Executor` against any
-:class:`~repro.query.context.QueryContext`.
+operators (:mod:`repro.query.physical`) whose expressions are
+closure-compiled once (:func:`~repro.query.compile.compile_expr`), run
+with :class:`~repro.query.executor.Executor` against any
+:class:`~repro.query.context.QueryContext`; drivers resolve plans
+through a shared versioned :class:`~repro.query.plancache.PlanCache`.
 """
 
 from repro.query.aggregates import AGGREGATORS, Aggregator
 from repro.query.ast import Query
+from repro.query.compile import compile_expr
 from repro.query.context import QueryContext
 from repro.query.executor import Executor, run_query
 from repro.query.parser import parse
 from repro.query.physical import PhysicalOperator
+from repro.query.plancache import PlanCache
 from repro.query.planner import ExplainedPlan, plan
 
 __all__ = [
@@ -39,8 +43,10 @@ __all__ = [
     "ExplainedPlan",
     "Executor",
     "PhysicalOperator",
+    "PlanCache",
     "Query",
     "QueryContext",
+    "compile_expr",
     "parse",
     "plan",
     "run_query",

@@ -1,16 +1,24 @@
 """MMQL execution: expression evaluation + a thin physical-plan driver.
 
 The executor no longer interprets clauses.  :meth:`Executor.execute`
-parses, calls :func:`~repro.query.planner.plan` to obtain the physical
-operator tree, and pulls result values out of the root
+resolves the physical operator tree through a versioned
+:class:`~repro.query.plancache.PlanCache` (parse + plan happen only on
+a cache miss) and pulls result values out of the root
 :class:`~repro.query.physical.Project` iterator — all pipeline shape
-(access paths, filter placement, TopK fusion) was decided at plan time.
+(access paths, filter placement, TopK fusion) was decided at plan time,
+and every expression the plan holds was closure-compiled when the plan
+was built (:mod:`repro.query.compile`).
 
 What remains here is the *runtime* the operators call back into:
 
-- :meth:`Executor.eval_expr` — the expression evaluator (operators pass
-  the executor around as ``rt``); subqueries lower through the planner
-  too, with their physical plans cached per AST node.
+- :meth:`Executor.eval_expr` — the **reference interpreter** (operators
+  pass the executor around as ``rt``).  The compiled closures are the
+  default hot path; ``use_compiled=False`` switches every operator back
+  to this recursive walk, which is the differential-testing oracle and
+  the interpreted side of the E13 benchmark.
+- :meth:`Executor.run_subquery` — sub-pipelines lower through the same
+  plan cache, keyed by the (value-hashable) Query AST; nothing is
+  pinned by ``id()`` and equal subqueries share one plan.
 - ``stats`` — access-path counters (``index_lookups``, ``range_lookups``,
   ``scans``, ``rows_scanned``) that the benchmarks and tests assert on.
 - ``use_indexes`` — the E1 ablation switch; when off, index access paths
@@ -38,20 +46,36 @@ from repro.query.ast import (
     Unary,
     VarRef,
 )
+from repro.query.compile import arith, like_match
 from repro.query.context import QueryContext
-from repro.query.parser import parse
-from repro.query.physical import PhysicalOperator
-from repro.query.planner import plan
+from repro.query.plancache import PlanCache
 
 Binding = dict[str, Any]
 
 
 class Executor:
-    """Runs planned MMQL queries against a :class:`QueryContext`."""
+    """Runs planned MMQL queries against a :class:`QueryContext`.
 
-    def __init__(self, ctx: QueryContext, use_indexes: bool = True) -> None:
+    *plans* is the plan cache to resolve queries and subqueries through;
+    drivers pass their long-lived shared cache so repeated calls skip
+    parse + plan entirely, while a standalone executor gets a private
+    one.  *epoch* is the owning catalog's version counter — part of the
+    cache key, so index/shard-map DDL invalidates stale plans.
+    """
+
+    def __init__(
+        self,
+        ctx: QueryContext,
+        use_indexes: bool = True,
+        use_compiled: bool = True,
+        plans: PlanCache | None = None,
+        epoch: int = 0,
+    ) -> None:
         self.ctx = ctx
         self.use_indexes = use_indexes
+        # Ablation switch: compiled expression closures (default) vs the
+        # reference interpreter below.  Checked once per operator run().
+        self.use_compiled = use_compiled
         # A sharded context carries the cluster catalog; plan() then
         # inserts scatter-gather operators.  Single-node contexts don't.
         self.catalog = getattr(ctx, "catalog", None)
@@ -65,22 +89,47 @@ class Executor:
         self.stats = {
             "index_lookups": 0, "range_lookups": 0, "scans": 0, "rows_scanned": 0,
         }
-        # Physical plans for subqueries, keyed by AST node identity; the
-        # Query object is pinned alongside so ids cannot be recycled.
-        self._subplans: dict[int, tuple[Query, PhysicalOperator]] = {}
+        self.plans = plans if plans is not None else PlanCache(capacity=64)
+        self.epoch = epoch
+        # Per-executor memo in front of the shared cache for subqueries:
+        # a correlated subquery resolves once per executor instead of
+        # deep-hashing its AST per row.  Keyed by id() with the Query
+        # pinned in the value so ids cannot recycle while memoized; the
+        # plan itself stays owned by (and shared through) self.plans.
+        self._subplan_memo: dict[int, tuple[Query, Any]] = {}
 
     # -- public ---------------------------------------------------------------
 
     def execute(
         self, query: Query | str, params: dict[str, Any] | None = None
     ) -> list[Any]:
-        """Plan, run, and materialise all result values."""
-        if isinstance(query, str):
-            query = parse(query)
-        root = plan(query, self.catalog).root
+        """Plan (or fetch the cached plan), run, materialise all values."""
+        root = self.plans.get_or_plan(
+            query, self.catalog, self.epoch, self.use_indexes
+        ).root
         return list(root.run(self, params or {}))
 
-    # -- expression evaluation ------------------------------------------------
+    def run_subquery(
+        self, query: Query, binding: Binding, params: dict[str, Any]
+    ) -> list[Any]:
+        """Run a sub-pipeline seeded with the current binding; returns a list.
+
+        Subquery plans live in the same cache as top-level plans, keyed
+        by the Query value itself — the cache owns the plan outright,
+        and value-equal subqueries (even across executors) share one
+        plan.  A per-executor memo avoids re-hashing the AST on every
+        row of a correlated subquery.
+        """
+        memoized = self._subplan_memo.get(id(query))
+        if memoized is not None and memoized[0] is query:
+            return list(memoized[1].run(self, params, seed=binding))
+        root = self.plans.get_or_plan(
+            query, self.catalog, self.epoch, self.use_indexes
+        ).root
+        self._subplan_memo[id(query)] = (query, root)
+        return list(root.run(self, params, seed=binding))
+
+    # -- expression evaluation (the reference interpreter) --------------------
 
     def eval_expr(self, expr: Expr, binding: Binding, params: dict[str, Any]) -> Any:
         if isinstance(expr, Literal):
@@ -136,19 +185,8 @@ class Executor:
         if isinstance(expr, ListExpr):
             return [self.eval_expr(item, binding, params) for item in expr.items]
         if isinstance(expr, Subquery):
-            return self._eval_subquery(expr, binding, params)
+            return self.run_subquery(expr.query, binding, params)
         raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
-
-    def _eval_subquery(
-        self, expr: Subquery, binding: Binding, params: dict[str, Any]
-    ) -> list[Any]:
-        """Run a sub-pipeline seeded with the current binding; returns a list."""
-        cached = self._subplans.get(id(expr.query))
-        if cached is None:
-            cached = (expr.query, plan(expr.query, self.catalog).root)
-            self._subplans[id(expr.query)] = cached
-        _, root = cached
-        return list(root.run(self, params, seed=binding))
 
     def _eval_binary(self, expr: Binary, binding: Binding, params: dict[str, Any]) -> Any:
         op = expr.op
@@ -186,11 +224,9 @@ class Executor:
                 return left in right
             raise ExecutionError(f"IN requires a list/string, got {type(right).__name__}")
         if op == "LIKE":
-            if left is None or right is None:
-                return False
-            return str(right) in str(left)
+            return like_match(left, right)
         if op in ("+", "-", "*", "/", "%"):
-            return _arith(op, left, right)
+            return arith(op, left, right)
         raise ExecutionError(f"unknown operator {op!r}")
 
 
@@ -198,39 +234,14 @@ def _truthy(value: Any) -> bool:
     return bool(value)
 
 
-def _arith(op: str, left: Any, right: Any) -> Any:
-    if op == "+" and isinstance(left, str) and isinstance(right, str):
-        return left + right
-    if op == "+" and isinstance(left, list) and isinstance(right, list):
-        return left + right
-    if left is None or right is None:
-        return None
-    if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
-        raise ExecutionError(
-            f"arithmetic {op} on {type(left).__name__} and {type(right).__name__}"
-        )
-    if op == "+":
-        return left + right
-    if op == "-":
-        return left - right
-    if op == "*":
-        return left * right
-    if op == "/":
-        if right == 0:
-            raise ExecutionError("division by zero")
-        return left / right
-    if op == "%":
-        if right == 0:
-            raise ExecutionError("modulo by zero")
-        return left % right
-    raise ExecutionError(f"unknown arithmetic operator {op!r}")
-
-
 def run_query(
     ctx: QueryContext,
     text: str,
     params: dict[str, Any] | None = None,
     use_indexes: bool = True,
+    use_compiled: bool = True,
 ) -> list[Any]:
     """Parse, plan and execute MMQL *text* in one call."""
-    return Executor(ctx, use_indexes=use_indexes).execute(text, params)
+    return Executor(ctx, use_indexes=use_indexes, use_compiled=use_compiled).execute(
+        text, params
+    )

@@ -37,6 +37,11 @@ def call_builtin(name: str, ctx: Any, args: list[Any]) -> Any:
     return fn(ctx, args)
 
 
+def lookup_builtin(name: str) -> Builtin | None:
+    """The registered builtin, or None — lets compilation resolve it once."""
+    return _REGISTRY.get(name)
+
+
 def is_builtin(name: str) -> bool:
     return name in _REGISTRY
 

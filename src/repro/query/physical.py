@@ -31,16 +31,31 @@ Operators receive the running :class:`~repro.query.executor.Executor`
 nothing themselves: the planner always keeps the original FILTER as a
 residual predicate, so an access path may safely over-approximate (e.g.
 a latest-committed index) — correctness never depends on index choice.
+
+Every expression an operator holds is **closure-compiled once** when the
+operator is constructed (``__post_init__`` calls
+:func:`~repro.query.compile.compile_expr`), so the per-row inner loop
+runs pre-dispatched closures instead of the interpreter's recursive
+isinstance walk.  The executor's ``use_compiled`` ablation flag switches
+each ``run()`` back to the reference interpreter (``rt.eval_expr``) for
+differential testing and the E13 benchmark.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.errors import ExecutionError
 from repro.query.aggregates import AggPartial, get_aggregator, group_key, ordered_group_keys
+from repro.query.compile import (
+    CompiledExpr,
+    compile_expr,
+    evaluator,
+    interpreted,
+    use_compiled,
+)
 from repro.query.ast import (
     Binary,
     CollectClause,
@@ -172,13 +187,16 @@ class IndexEqLookup(AccessPath):
     field: str
     key_expr: Expr
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_c_key", compile_expr(self.key_expr))
+
     def items(self, rt: Any, binding: Binding, params: dict[str, Any]) -> Iterator[Any]:
         shadowed = _shadowed_list(self.collection, binding)
         if shadowed is not None:
             yield from shadowed
             return
         if rt.use_indexes:
-            key = rt.eval_expr(self.key_expr, binding, params)
+            key = evaluator(rt, self._c_key, self.key_expr)(rt, binding, params)
             matches = rt.ctx.index_lookup(self.collection, self.field, key)
             if matches is not None:
                 rt.stats["index_lookups"] += 1
@@ -213,6 +231,16 @@ class IndexRangeScan(AccessPath):
     include_low: bool = True
     include_high: bool = True
 
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_c_low",
+            compile_expr(self.low_expr) if self.low_expr is not None else None,
+        )
+        object.__setattr__(
+            self, "_c_high",
+            compile_expr(self.high_expr) if self.high_expr is not None else None,
+        )
+
     def items(self, rt: Any, binding: Binding, params: dict[str, Any]) -> Iterator[Any]:
         shadowed = _shadowed_list(self.collection, binding)
         if shadowed is not None:
@@ -221,11 +249,11 @@ class IndexRangeScan(AccessPath):
         range_lookup = getattr(rt.ctx, "range_lookup", None)
         if rt.use_indexes and range_lookup is not None:
             low = (
-                rt.eval_expr(self.low_expr, binding, params)
+                evaluator(rt, self._c_low, self.low_expr)(rt, binding, params)
                 if self.low_expr is not None else None
             )
             high = (
-                rt.eval_expr(self.high_expr, binding, params)
+                evaluator(rt, self._c_high, self.high_expr)(rt, binding, params)
                 if self.high_expr is not None else None
             )
             matches = range_lookup(
@@ -262,6 +290,11 @@ class ExpressionSource(AccessPath):
     source: Expr
     is_var: bool = False  # statically known to be a bound variable
 
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_c_source", None if self.is_var else compile_expr(self.source)
+        )
+
     def items(self, rt: Any, binding: Binding, params: dict[str, Any]) -> Iterator[Any]:
         if self.is_var:
             assert isinstance(self.source, VarRef)
@@ -270,7 +303,7 @@ class ExpressionSource(AccessPath):
                 raise ExecutionError(f"unbound variable {self.source.name!r}")
             yield from shadowed
             return
-        value = rt.eval_expr(self.source, binding, params)
+        value = evaluator(rt, self._c_source, self.source)(rt, binding, params)
         if value is None:
             return
         if not isinstance(value, list):
@@ -344,16 +377,22 @@ class Filter(PhysicalOperator):
     child: PhysicalOperator | None = None
     speculative: bool = False
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_c_condition", compile_expr(self.condition))
+
     def run(self, rt, params, seed=None):
-        for binding in self._input(rt, params, seed):
-            if self.speculative:
+        condition = evaluator(rt, self._c_condition, self.condition)
+        if self.speculative:
+            for binding in self._input(rt, params, seed):
                 try:
-                    keep = bool(rt.eval_expr(self.condition, binding, params))
+                    keep = bool(condition(rt, binding, params))
                 except ExecutionError:
                     keep = True
                 if keep:
                     yield binding
-            elif rt.eval_expr(self.condition, binding, params):
+            return
+        for binding in self._input(rt, params, seed):
+            if condition(rt, binding, params):
                 yield binding
 
     def label(self) -> str:
@@ -369,10 +408,14 @@ class Let(PhysicalOperator):
     value: Expr
     child: PhysicalOperator | None = None
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_c_value", compile_expr(self.value))
+
     def run(self, rt, params, seed=None):
+        value = evaluator(rt, self._c_value, self.value)
         for binding in self._input(rt, params, seed):
             out = dict(binding)
-            out[self.var] = rt.eval_expr(self.value, binding, params)
+            out[self.var] = value(rt, binding, params)
             yield out
 
     def label(self) -> str:
@@ -386,9 +429,13 @@ class Sort(PhysicalOperator):
     keys: tuple[SortKey, ...]
     child: PhysicalOperator | None = None
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_c_keys", compile_sort_keys(self.keys))
+
     def run(self, rt, params, seed=None):
+        keyfn = sort_evaluator(rt, self._c_keys, self.keys)
         materialised = list(self._input(rt, params, seed))
-        materialised.sort(key=lambda b: sort_key(rt, self.keys, b, params))
+        materialised.sort(key=lambda b: keyfn(rt, b, params))
         return iter(materialised)
 
     def label(self) -> str:
@@ -410,10 +457,20 @@ class TopK(PhysicalOperator):
     offset: Expr | None = None
     child: PhysicalOperator | None = None
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_c_keys", compile_sort_keys(self.keys))
+        object.__setattr__(self, "_c_count", compile_expr(self.count))
+        object.__setattr__(
+            self, "_c_offset",
+            compile_expr(self.offset) if self.offset is not None else None,
+        )
+
     def run(self, rt, params, seed=None):
-        count = rt.eval_expr(self.count, {}, params)
+        keyfn = sort_evaluator(rt, self._c_keys, self.keys)
+        count = evaluator(rt, self._c_count, self.count)(rt, {}, params)
         offset = (
-            rt.eval_expr(self.offset, {}, params) if self.offset is not None else 0
+            evaluator(rt, self._c_offset, self.offset)(rt, {}, params)
+            if self.offset is not None else 0
         )
         _check_limit_bounds(count, offset)
         k = count + offset
@@ -421,7 +478,7 @@ class TopK(PhysicalOperator):
             return
         heap: list[_HeapEntry] = []
         for seq, binding in enumerate(self._input(rt, params, seed)):
-            entry = _HeapEntry((sort_key(rt, self.keys, binding, params), seq), binding)
+            entry = _HeapEntry((keyfn(rt, binding, params), seq), binding)
             if len(heap) < k:
                 heapq.heappush(heap, entry)
             elif entry.key < heap[0].key:
@@ -458,10 +515,18 @@ class Limit(PhysicalOperator):
     offset: Expr | None = None
     child: PhysicalOperator | None = None
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_c_count", compile_expr(self.count))
+        object.__setattr__(
+            self, "_c_offset",
+            compile_expr(self.offset) if self.offset is not None else None,
+        )
+
     def run(self, rt, params, seed=None):
-        count = rt.eval_expr(self.count, {}, params)
+        count = evaluator(rt, self._c_count, self.count)(rt, {}, params)
         offset = (
-            rt.eval_expr(self.offset, {}, params) if self.offset is not None else 0
+            evaluator(rt, self._c_offset, self.offset)(rt, {}, params)
+            if self.offset is not None else 0
         )
         _check_limit_bounds(count, offset)
         emitted = 0
@@ -520,16 +585,33 @@ class HashAggregate(PhysicalOperator):
     mode: str = "single"  # "single" | "partial" | "final"
     child: PhysicalOperator | None = None
 
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_c_keys",
+            tuple((name, compile_expr(expr)) for name, expr in self.clause.keys),
+        )
+        object.__setattr__(
+            self, "_c_args",
+            tuple(compile_expr(agg.arg) for agg in self.clause.aggregations),
+        )
+
     def run(self, rt, params, seed=None):
         clause = self.clause
+        if use_compiled(rt):
+            key_evs = self._c_keys
+            arg_evs = self._c_args
+        else:
+            key_evs = tuple(
+                (name, interpreted(expr)) for name, expr in clause.keys
+            )
+            arg_evs = tuple(interpreted(agg.arg) for agg in clause.aggregations)
         aggs = [(agg, get_aggregator(agg.func)) for agg in clause.aggregations]
         groups: dict[tuple, dict[str, Any]] = {}
         rows_in = 0
         for binding in self._input(rt, params, seed):
             rows_in += 1
             key_values = [
-                (name, rt.eval_expr(expr, binding, params))
-                for name, expr in clause.keys
+                (name, ev(rt, binding, params)) for name, ev in key_evs
             ]
             marker = group_key([value for _, value in key_values])
             group = groups.get(marker)
@@ -542,7 +624,7 @@ class HashAggregate(PhysicalOperator):
                 groups[marker] = group
             states = group["states"]
             for i, (agg, aggregator) in enumerate(aggs):
-                value = rt.eval_expr(agg.arg, binding, params)
+                value = arg_evs[i](rt, binding, params)
                 if self.mode == "final":
                     states[i] = aggregator.merge(states[i], _unwrap(value, agg.func))
                 else:
@@ -598,10 +680,14 @@ class Project(PhysicalOperator):
     returning: ReturnClause
     child: PhysicalOperator | None = None
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_c_expr", compile_expr(self.returning.expr))
+
     def run(self, rt, params, seed=None):
+        project = evaluator(rt, self._c_expr, self.returning.expr)
         seen: set[str] = set()
         for binding in self._input(rt, params, seed):
-            value = rt.eval_expr(self.returning.expr, binding, params)
+            value = project(rt, binding, params)
             if self.returning.distinct:
                 marker = repr(value)
                 if marker in seen:
@@ -623,6 +709,35 @@ def sort_key(rt: Any, keys: tuple[SortKey, ...], binding: Binding, params) -> tu
     return tuple(
         Orderable(rt.eval_expr(sk.expr, binding, params), sk.ascending) for sk in keys
     )
+
+
+SortKeyFn = Callable[[Any, Binding, dict], tuple]
+
+
+def compile_sort_keys(keys: tuple[SortKey, ...]) -> SortKeyFn:
+    """One closure computing the full heterogeneous-order sort key."""
+    compiled: tuple[tuple[CompiledExpr, bool], ...] = tuple(
+        (compile_expr(sk.expr), sk.ascending) for sk in keys
+    )
+
+    def keyfn(rt: Any, binding: Binding, params: dict) -> tuple:
+        return tuple(
+            Orderable(ev(rt, binding, params), ascending)
+            for ev, ascending in compiled
+        )
+
+    return keyfn
+
+
+def sort_evaluator(rt: Any, compiled: SortKeyFn, keys: tuple[SortKey, ...]) -> SortKeyFn:
+    """The sort-key function *rt* wants: compiled or interpreter-backed."""
+    if use_compiled(rt):
+        return compiled
+
+    def keyfn(rt_: Any, binding: Binding, params: dict) -> tuple:
+        return sort_key(rt_, keys, binding, params)
+
+    return keyfn
 
 
 class Orderable:

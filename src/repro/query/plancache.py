@@ -1,0 +1,146 @@
+"""A versioned LRU cache of planned MMQL queries.
+
+``Executor.execute`` used to call ``plan()`` unconditionally, so every
+repeated query re-parsed and re-optimised its text; subquery plans were
+pinned forever in ``Executor._subplans`` keyed by ``id()`` — a leak that
+could even collide after garbage collection.  :class:`PlanCache` fixes
+both: one bounded LRU map from ``(query, catalog epoch, use_indexes)``
+to the planned operator tree, owned by the driver (shared across every
+query and subquery it runs) or privately by a standalone executor.
+
+Versioning: the *catalog epoch* is a monotonically increasing counter
+bumped by DDL that changes planning inputs — index create/drop
+(:attr:`MultiModelDatabase.catalog_epoch`) and shard-map registration
+(:attr:`ShardRouter.epoch`).  The epoch is part of the cache key, so a
+bump makes every older plan unreachable; stale entries are also purged
+eagerly the first time a newer epoch is seen, so the cache never holds
+dead plans.
+
+Plans are immutable operator trees (frozen dataclasses with compiled
+expression closures attached at construction) and are therefore safe to
+share across threads; the cache's own bookkeeping is lock-protected.
+Planning happens outside the lock — two racing threads may both plan a
+cold query, and the last insert wins, which is harmless because equal
+keys produce equivalent plans.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from repro.query.ast import Query
+from repro.query.parser import parse
+from repro.query.planner import ExplainedPlan, plan
+
+
+class PlanCache:
+    """Bounded LRU map of planned queries, invalidated by catalog epoch."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"plan cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, ExplainedPlan] = OrderedDict()
+        self._lock = threading.Lock()
+        self._epoch_seen = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get_or_plan(
+        self,
+        query: Query | str,
+        catalog: Any = None,
+        epoch: int = 0,
+        use_indexes: bool = True,
+    ) -> ExplainedPlan:
+        """The cached plan for *query*, planning (and caching) on a miss.
+
+        *query* may be MMQL text (parsed only on a miss — the cache-hit
+        path skips the parser entirely) or an already-parsed
+        :class:`Query` (subqueries cache per value-equal AST, so equal
+        sub-pipelines share one plan and nothing is keyed by ``id()``).
+        """
+        key = self._key(query, epoch, use_indexes)
+        if key is None:
+            # Unhashable literal somewhere in a constructed AST: plan
+            # uncached rather than refuse the query.
+            return plan(query if isinstance(query, Query) else parse(query), catalog)
+        with self._lock:
+            self._purge_stale(epoch)
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
+        planned = plan(query if isinstance(query, Query) else parse(query), catalog)
+        with self._lock:
+            self._entries[key] = planned
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return planned
+
+    def peek(
+        self, query: Query | str, epoch: int = 0, use_indexes: bool = True
+    ) -> ExplainedPlan | None:
+        """The cached plan if present — no planning, no LRU promotion."""
+        key = self._key(query, epoch, use_indexes)
+        if key is None:
+            return None
+        with self._lock:
+            return self._entries.get(key)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
+
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _key(query: Query | str, epoch: int, use_indexes: bool) -> Hashable | None:
+        if isinstance(query, str):
+            return ("text", query, epoch, use_indexes)
+        try:
+            hash(query)
+        except TypeError:
+            return None
+        return ("ast", query, epoch, use_indexes)
+
+    def _purge_stale(self, epoch: int) -> None:
+        """Drop every entry keyed under an older epoch (lock held).
+
+        Epoch-in-key already makes stale plans unreachable; purging
+        keeps them from occupying LRU slots until natural eviction.
+        """
+        if epoch <= self._epoch_seen:
+            return
+        self._epoch_seen = epoch
+        stale = [key for key in self._entries if key[2] != epoch]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)

@@ -85,8 +85,10 @@ class ExplainedPlan:
     notes: tuple[str, ...]
     root: PhysicalOperator
 
-    def describe(self) -> str:
-        lines = ["plan:"]
+    def describe(self, header: str = "plan:") -> str:
+        """Render the physical tree; *header* lets EXPLAIN mark cache hits
+        (``plan: cached epoch=N``)."""
+        lines = [header]
         lines.extend("  " + line for line in physical.explain_tree(self.root))
         if self.notes:
             lines.append("notes:")

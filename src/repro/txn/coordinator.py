@@ -63,6 +63,10 @@ class CoordinatorLog:
         self.sync_every_append = sync_every_append
         self.appends = 0
         self.syncs = 0
+        self.truncations = 0
+        # Global-id high-water mark preserved across truncation, so id
+        # allocation stays monotonic after ended records are dropped.
+        self._gtxn_floor = 0
         # Unlike the per-shard WALs (whose managers are serialised by the
         # cluster's shard locks), this log is shared by every client
         # thread committing cross-shard transactions — appends must be
@@ -110,6 +114,56 @@ class CoordinatorLog:
             del self._records[self._durable:]
             return lost
 
+    def truncate(self) -> int:
+        """Drop durable records of fully-acknowledged transactions.
+
+        A transaction with an ``end`` marker needs no recovery work —
+        every participant acknowledged the verdict — so its decision
+        and end records are dead weight.  Without this the log grows
+        forever (one decision + one end per cross-shard commit).
+        Called after crash recovery has resolved in-doubt participants;
+        may also be called any time as an online checkpoint.  Returns
+        the number of records dropped.  The global-id high-water mark
+        survives via an internal floor, so
+        :meth:`max_global_txn` (id-allocation) is unaffected.
+        """
+        with self._lock:
+            durable = self._records[: self._durable]
+            ended = {rec["gtxn"] for rec in durable if rec["type"] == "end"}
+            if not ended:
+                return 0
+            kept = [rec for rec in durable if rec["gtxn"] not in ended]
+            dropped = len(durable) - len(kept)
+            self._records[: self._durable] = kept
+            self._durable -= dropped
+            self._gtxn_floor = max(self._gtxn_floor, max(ended))
+            self.truncations += 1
+            return dropped
+
+    def checkpoint(self) -> int:
+        """Drop *every* durable record, preserving the global-id floor.
+
+        Only safe when the caller knows no participant anywhere can
+        still be in doubt — i.e. immediately after cluster-wide crash
+        recovery, where :func:`~repro.txn.recovery.resolve_in_doubt`
+        has appended a force-synced verdict to every prepared
+        participant's WAL.  At that point even decision records without
+        ``end`` markers (in-flight at the crash) are dead weight, which
+        plain :meth:`truncate` must conservatively keep.  Returns the
+        number of records dropped.
+        """
+        with self._lock:
+            durable = self._records[: self._durable]
+            if not durable:
+                return 0
+            self._gtxn_floor = max(
+                self._gtxn_floor, max(rec["gtxn"] for rec in durable)
+            )
+            del self._records[: self._durable]
+            self._durable = 0
+            self.truncations += 1
+            return len(durable)
+
     def records(self) -> Iterator[dict[str, Any]]:
         return iter(self._records[: self._durable])
 
@@ -125,8 +179,13 @@ class CoordinatorLog:
         }
 
     def max_global_txn(self) -> int:
-        """Largest global id ever logged (0 when none) — id allocation floor."""
-        return max((rec["gtxn"] for rec in self.records()), default=0)
+        """Largest global id ever logged (0 when none) — id allocation floor.
+
+        Truncation-safe: ids of dropped (fully-ended) transactions are
+        remembered in an internal floor.
+        """
+        highest = max((rec["gtxn"] for rec in self.records()), default=0)
+        return max(highest, self._gtxn_floor)
 
 
 class CommitStats:

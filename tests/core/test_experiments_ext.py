@@ -6,6 +6,7 @@ from repro.core.experiments_ext import (
     experiment_e8_sessions,
     experiment_e9_migration_strategies,
     experiment_e12_commit,
+    experiment_e13_compile,
     experiment_ycsb,
 )
 
@@ -96,6 +97,24 @@ class TestE12:
         assert by_span[2]["coord_recs_2pc"] == 2
 
 
+class TestE13:
+    def test_compile_table_shape_and_parity(self):
+        table = experiment_e13_compile(
+            scale_factor=0.02, repetitions=2, eval_rows=2000, plan_hits=200
+        )
+        cases = [r["case"] for r in table.to_records()]
+        assert cases[0].startswith("expr_eval")
+        assert "scan_filter" in cases and "Q5" in cases and "Q7" in cases
+        assert cases[-1].startswith("plan cold vs cached")
+        # Wall-clock ratios are asserted at benchmark scale (the CI perf
+        # smoke in benchmarks/bench_e13_compile.py); here only the shape
+        # and the experiment's internal result-parity check matter.
+        assert all(r["baseline_ms"] > 0 for r in table.to_records())
+        assert all(r["optimized_ms"] > 0 for r in table.to_records())
+
+
 class TestRegistry:
     def test_extension_registry(self):
-        assert set(EXTENSION_EXPERIMENTS) == {"E7", "E8", "E9", "E10", "E11", "E12", "YCSB"}
+        assert set(EXTENSION_EXPERIMENTS) == {
+            "E7", "E8", "E9", "E10", "E11", "E12", "E13", "YCSB"
+        }

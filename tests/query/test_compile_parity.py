@@ -1,0 +1,251 @@
+"""Differential tests: compiled expression closures vs the interpreter.
+
+The closure compiler (:mod:`repro.query.compile`) must be observationally
+equivalent to the reference interpreter (:meth:`Executor.eval_expr`) —
+same values, same errors.  Three layers of evidence:
+
+1. every query of the E1 suite (Q1-Q12) runs end-to-end in both modes
+   and must return identical results;
+2. randomized expression trees (deterministic RNG, hundreds of shapes
+   over a mixed-type binding) evaluate identically through both paths,
+   *including* raising the same error type and message;
+3. targeted error-semantics cases (unbound variables, bad arithmetic,
+   unknown functions, speculative-filter deferral) where the two
+   implementations could plausibly diverge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.workloads import EXTENDED_QUERIES, QUERIES
+from repro.errors import ExecutionError
+from repro.query.ast import (
+    Binary,
+    Expr,
+    FieldAccess,
+    FunctionCall,
+    IndexAccess,
+    ListExpr,
+    Literal,
+    ObjectExpr,
+    ParamRef,
+    Unary,
+    VarRef,
+)
+from repro.query.compile import compile_expr
+from repro.query.executor import Executor, run_query
+from repro.util.rng import DeterministicRng, derive_seed
+
+
+# ---------------------------------------------------------------------------
+# 1. E1 suite parity, end to end
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("query", QUERIES + EXTENDED_QUERIES, ids=lambda q: q.query_id)
+def test_e1_suite_compiled_matches_interpreter(query, loaded_unified, small_dataset):
+    params = query.params(small_dataset)
+    interpreted = loaded_unified.query(query.text, params, use_compiled=False)
+    compiled = loaded_unified.query(query.text, params, use_compiled=True)
+    assert repr(compiled) == repr(interpreted)
+
+
+@pytest.mark.parametrize("query", QUERIES[:5], ids=lambda q: q.query_id)
+def test_e1_suite_parity_without_indexes(query, loaded_unified, small_dataset):
+    """The ablation axes compose: scans + interpreter == scans + closures."""
+    params = query.params(small_dataset)
+    interpreted = loaded_unified.query(
+        query.text, params, use_indexes=False, use_compiled=False
+    )
+    compiled = loaded_unified.query(
+        query.text, params, use_indexes=False, use_compiled=True
+    )
+    assert repr(compiled) == repr(interpreted)
+
+
+# ---------------------------------------------------------------------------
+# 2. Randomized expression trees
+# ---------------------------------------------------------------------------
+
+_BINARY_OPS = (
+    "==", "!=", "<", "<=", ">", ">=", "AND", "OR", "IN", "LIKE",
+    "+", "-", "*", "/", "%",
+)
+
+_LEAF_VALUES = (
+    None, True, False, 0, 1, -3, 2.5, 0.0, "", "abc", "a%c", "sh_p",
+)
+
+_FIELDS = ("name", "total", "tags", "missing")
+
+
+def _random_expr(rng: DeterministicRng, depth: int) -> Expr:
+    """One random expression tree; leans on leaves as depth runs out."""
+    choices = 4 if depth <= 0 else 11
+    pick = rng.randint(0, choices - 1)
+    if pick == 0:
+        return Literal(_LEAF_VALUES[rng.randint(0, len(_LEAF_VALUES) - 1)])
+    if pick == 1:
+        # Mostly bound variables, sometimes an unbound name (error path).
+        return VarRef(("u", "xs", "n", "s", "ghost")[rng.randint(0, 4)])
+    if pick == 2:
+        return ParamRef(("p", "q", "absent")[rng.randint(0, 2)])
+    if pick == 3:
+        return FieldAccess(
+            _random_expr(rng, 0), _FIELDS[rng.randint(0, len(_FIELDS) - 1)]
+        )
+    if pick == 4:
+        return Binary(
+            _BINARY_OPS[rng.randint(0, len(_BINARY_OPS) - 1)],
+            _random_expr(rng, depth - 1),
+            _random_expr(rng, depth - 1),
+        )
+    if pick == 5:
+        return Unary(
+            "NOT" if rng.randint(0, 1) else "-", _random_expr(rng, depth - 1)
+        )
+    if pick == 6:
+        return IndexAccess(_random_expr(rng, depth - 1), _random_expr(rng, depth - 1))
+    if pick == 7:
+        name = ("LENGTH", "UPPER", "CONCAT", "NO_SUCH_FN")[rng.randint(0, 3)]
+        n_args = 1 if name in ("LENGTH", "UPPER") else rng.randint(0, 2)
+        return FunctionCall(
+            name, tuple(_random_expr(rng, depth - 1) for _ in range(n_args))
+        )
+    if pick == 8:
+        return ListExpr(
+            tuple(_random_expr(rng, depth - 1) for _ in range(rng.randint(0, 3)))
+        )
+    if pick == 9:
+        return ObjectExpr(
+            tuple(
+                (f"k{i}", _random_expr(rng, depth - 1))
+                for i in range(rng.randint(0, 2))
+            )
+        )
+    return FieldAccess(
+        _random_expr(rng, depth - 1), _FIELDS[rng.randint(0, len(_FIELDS) - 1)]
+    )
+
+
+def _outcome(fn):
+    """(value repr, None) on success, (None, error type + message) on raise.
+
+    TypeError is a comparable outcome too: a few shared-semantics edges
+    (e.g. indexing a dict with an unhashable key) raise it identically
+    from both evaluators today.
+    """
+    try:
+        return repr(fn()), None
+    except (ExecutionError, TypeError) as exc:  # incl. UnknownFunctionError
+        return None, (type(exc).__name__, str(exc))
+
+
+_BINDING = {
+    "u": {"name": "ada", "total": 42.5, "tags": ["x", "y"]},
+    "xs": [1, 2, 3],
+    "n": 7,
+    "s": "shipped",
+}
+_PARAMS = {"p": 10, "q": "sh%"}
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_trees_agree_values_and_errors(seed):
+    rng = DeterministicRng(derive_seed(42, "compile-parity", seed))
+    oracle = Executor(ctx=None)
+    for _ in range(150):
+        expr = _random_expr(rng, depth=4)
+        interpreted = _outcome(lambda: oracle.eval_expr(expr, _BINDING, _PARAMS))
+        compiled_fn = compile_expr(expr)
+        compiled = _outcome(lambda: compiled_fn(oracle, _BINDING, _PARAMS))
+        assert compiled == interpreted, f"divergence on {expr!r}"
+
+
+# ---------------------------------------------------------------------------
+# 3. Targeted error semantics
+# ---------------------------------------------------------------------------
+
+
+class _TinyContext:
+    def __init__(self, **collections):
+        self.collections = collections
+
+    def iter_collection(self, name):
+        return iter(self.collections[name])
+
+    def index_lookup(self, collection, field, value):
+        return None
+
+
+@pytest.fixture()
+def tiny_ctx():
+    return _TinyContext(
+        rows=[{"_id": 1, "v": 5, "s": "abc"}, {"_id": 2, "v": 0, "s": None}]
+    )
+
+
+_ERROR_EXPRS = [
+    "RETURN ghost",                    # unbound variable
+    "RETURN @absent",                  # missing parameter
+    "RETURN 1 / 0",                    # division by zero
+    "RETURN 1 % 0",                    # modulo by zero
+    "RETURN 'a' * 2",                  # bad arithmetic operands
+    "RETURN -'x'",                     # unary minus on a string
+    "RETURN NO_SUCH_FN(1)",            # unknown builtin
+    "RETURN LENGTH(1)",                # builtin argument type error
+    "RETURN 1 IN 2",                   # IN over a non-container
+    "RETURN [1][\"k\"]",               # non-int list index
+]
+
+
+@pytest.mark.parametrize("text", _ERROR_EXPRS)
+def test_error_parity(tiny_ctx, text):
+    modes = {}
+    for use_compiled in (False, True):
+        try:
+            run_query(tiny_ctx, text, use_compiled=use_compiled)
+            modes[use_compiled] = ("ok", None)
+        except ExecutionError as exc:
+            modes[use_compiled] = (type(exc).__name__, str(exc))
+    assert modes[True] == modes[False]
+    assert modes[True][0] != "ok"
+
+
+def test_erroring_argument_beats_unknown_function(tiny_ctx):
+    """Both modes evaluate arguments before raising unknown-function."""
+    for use_compiled in (False, True):
+        with pytest.raises(ExecutionError, match="unbound variable"):
+            run_query(
+                tiny_ctx, "RETURN NO_SUCH_FN(ghost)", use_compiled=use_compiled
+            )
+
+
+def test_speculative_filter_defers_errors_in_both_modes(tiny_ctx):
+    """A hoisted conjunct that errors must not invent failures (compiled
+    or interpreted) — the strict original still raises when reached."""
+    text = (
+        "FOR r IN rows FOR x IN [1] "
+        "FILTER x == 1 AND r.v * 2 > 4 RETURN r._id"
+    )
+    interpreted = run_query(tiny_ctx, text, use_compiled=False)
+    compiled = run_query(tiny_ctx, text, use_compiled=True)
+    assert compiled == interpreted == [1]
+
+
+def test_like_compiles_pattern_once_and_agrees(tiny_ctx):
+    text = "FOR r IN rows FILTER r.s LIKE '_b%' RETURN r._id"
+    assert run_query(tiny_ctx, text, use_compiled=True) == [1]
+    assert run_query(tiny_ctx, text, use_compiled=False) == [1]
+
+
+def test_subqueries_agree(tiny_ctx):
+    text = (
+        "FOR r IN rows "
+        "LET doubled = (FOR x IN [1, 2] RETURN x * r.v) "
+        "RETURN {id: r._id, doubled}"
+    )
+    interpreted = run_query(tiny_ctx, text, use_compiled=False)
+    compiled = run_query(tiny_ctx, text, use_compiled=True)
+    assert compiled == interpreted

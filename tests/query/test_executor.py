@@ -194,8 +194,35 @@ class TestExpressions:
     def test_in_string(self, ctx):
         assert self.run1(ctx, "'bc' IN 'abcd'") is True
 
-    def test_like(self, ctx):
-        assert self.run1(ctx, "'hello' LIKE 'ell'") is True
+    # LIKE semantics: SQL-style wildcards, whole-subject match.  '%'
+    # matches any run (including empty), '_' exactly one character,
+    # everything else is literal; no implicit substring search.
+
+    def test_like_requires_wildcards_for_substring(self, ctx):
+        assert self.run1(ctx, "'hello' LIKE 'ell'") is False
+        assert self.run1(ctx, "'hello' LIKE '%ell%'") is True
+
+    def test_like_exact_match_without_wildcards(self, ctx):
+        assert self.run1(ctx, "'hello' LIKE 'hello'") is True
+
+    def test_like_percent_matches_any_run(self, ctx):
+        assert self.run1(ctx, "'hello' LIKE 'h%'") is True
+        assert self.run1(ctx, "'hello' LIKE '%o'") is True
+        assert self.run1(ctx, "'hello' LIKE 'h%o'") is True
+        assert self.run1(ctx, "'ho' LIKE 'h%o'") is True  # % can be empty
+
+    def test_like_underscore_matches_one_char(self, ctx):
+        assert self.run1(ctx, "'hello' LIKE 'h_llo'") is True
+        assert self.run1(ctx, "'hllo' LIKE 'h_llo'") is False
+        assert self.run1(ctx, "'heello' LIKE 'h_llo'") is False
+
+    def test_like_regex_metacharacters_are_literal(self, ctx):
+        assert self.run1(ctx, "'a.c' LIKE 'a.c'") is True
+        assert self.run1(ctx, "'abc' LIKE 'a.c'") is False
+
+    def test_like_null_is_false(self, ctx):
+        assert self.run1(ctx, "NULL LIKE '%'") is False
+        assert self.run1(ctx, "'x' LIKE NULL") is False
 
     def test_logic_short_circuit(self, ctx):
         # RHS would divide by zero; AND must not evaluate it.

@@ -1,0 +1,208 @@
+"""The versioned plan cache: hits, LRU bounds, epoch invalidation.
+
+Covers the cache itself (:mod:`repro.query.plancache`), its wiring into
+the driver surface (every ``Driver.query``/``explain`` resolves plans
+through one shared cache), subquery plans keyed by AST value instead of
+the old ``id()``-pinned ``Executor._subplans`` dict, and the catalog
+epochs that make index/shard-map DDL invalidate stale plans.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.sharded import ShardedDatabase
+from repro.query.ast import ListExpr, Literal, Query, ReturnClause
+from repro.query.executor import Executor
+from repro.query.parser import parse
+from repro.query.plancache import PlanCache
+
+
+class TestPlanCache:
+    TEXT = "FOR u IN users FILTER u.age > 1 RETURN u.name"
+
+    def test_hit_returns_same_plan_object(self):
+        cache = PlanCache()
+        first = cache.get_or_plan(self.TEXT)
+        second = cache.get_or_plan(self.TEXT)
+        assert second is first
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_distinct_texts_plan_separately(self):
+        cache = PlanCache()
+        a = cache.get_or_plan(self.TEXT)
+        b = cache.get_or_plan("RETURN 1")
+        assert a is not b
+        assert len(cache) == 2
+
+    def test_use_indexes_is_part_of_the_key(self):
+        cache = PlanCache()
+        cache.get_or_plan(self.TEXT, use_indexes=True)
+        cache.get_or_plan(self.TEXT, use_indexes=False)
+        assert len(cache) == 2 and cache.stats()["hits"] == 0
+
+    def test_value_equal_queries_share_one_plan(self):
+        """Subquery caching cannot alias by id(): equal ASTs share, and
+        the cache owns the key, so recycled ids are harmless."""
+        cache = PlanCache()
+        q1 = parse(self.TEXT)
+        q2 = parse(self.TEXT)
+        assert q1 is not q2
+        assert cache.get_or_plan(q1) is cache.get_or_plan(q2)
+        assert cache.stats()["hits"] == 1
+
+    def test_epoch_change_invalidates(self):
+        cache = PlanCache()
+        old = cache.get_or_plan(self.TEXT, epoch=0)
+        new = cache.get_or_plan(self.TEXT, epoch=1)
+        assert new is not old
+        stats = cache.stats()
+        assert stats["invalidations"] == 1  # stale entry purged eagerly
+        assert len(cache) == 1
+
+    def test_lru_eviction_is_bounded(self):
+        cache = PlanCache(capacity=2)
+        cache.get_or_plan("RETURN 1")
+        cache.get_or_plan("RETURN 2")
+        cache.get_or_plan("RETURN 1")  # refresh 1
+        cache.get_or_plan("RETURN 3")  # evicts 2
+        assert len(cache) == 2
+        assert cache.peek("RETURN 2") is None
+        assert cache.peek("RETURN 1") is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_unhashable_ast_plans_uncached(self):
+        # A constructed (non-parser) AST can hold unhashable literals;
+        # the cache must degrade to plain planning, not crash.
+        query = Query((), ReturnClause(ListExpr((Literal([1, 2]),))))
+        planned = PlanCache().get_or_plan(query)
+        assert planned.root is not None
+
+    def test_peek_does_not_plan(self):
+        cache = PlanCache()
+        assert cache.peek(self.TEXT) is None
+        assert len(cache) == 0
+
+
+class TestDriverWiring:
+    def test_repeated_queries_hit_the_driver_cache(self, loaded_unified):
+        loaded_unified.plan_cache.clear()
+        text = "FOR o IN orders FILTER o.status == 'shipped' RETURN o._id"
+        first = loaded_unified.query(text)
+        again = loaded_unified.query(text)
+        assert again == first
+        assert loaded_unified.plan_cache.stats()["hits"] >= 1
+
+    def test_subquery_plans_live_in_the_shared_cache(self, loaded_unified):
+        loaded_unified.plan_cache.clear()
+        text = (
+            "FOR c IN customers LIMIT 2 "
+            "LET n = LENGTH((FOR o IN orders FILTER o.customer_id == c.id RETURN 1)) "
+            "RETURN {id: c.id, n}"
+        )
+        loaded_unified.query(text)
+        entries_after_first = len(loaded_unified.plan_cache)
+        assert entries_after_first == 2  # outer text + subquery AST
+        hits_before = loaded_unified.plan_cache.stats()["hits"]
+        loaded_unified.query(text)
+        # Outer plan hit once + subquery plan hit per outer row.
+        assert loaded_unified.plan_cache.stats()["hits"] > hits_before
+        assert len(loaded_unified.plan_cache) == entries_after_first
+
+    def test_executor_subplans_pin_is_gone(self, loaded_unified):
+        ctx = loaded_unified.query_context()
+        try:
+            assert not hasattr(Executor(ctx), "_subplans")
+        finally:
+            ctx.close()
+
+    def test_explain_marks_cached_plans(self, fresh_unified):
+        text = "FOR o IN orders FILTER o.total_price > 5 RETURN o._id"
+        cold = fresh_unified.explain(text)
+        assert cold.startswith("plan:\n")
+        warm = fresh_unified.explain(text)
+        assert warm.startswith(f"plan: cached epoch={fresh_unified.catalog_epoch()}\n")
+        # Body identical either way.
+        assert warm.split("\n", 1)[1] == cold.split("\n", 1)[1]
+
+    def test_index_ddl_invalidates_cached_plans(self, small_dataset):
+        from repro.datagen.load import load_dataset
+        from repro.drivers.unified import UnifiedDriver
+
+        driver = UnifiedDriver()
+        load_dataset(driver, small_dataset, with_indexes=False)
+        text = "FOR o IN orders FILTER o.status == 'shipped' RETURN o._id"
+        cached = driver.explain(text) and driver.explain(text)
+        assert cached.startswith("plan: cached ")
+        epoch_before = driver.catalog_epoch()
+        driver.create_index("collection", "orders", "status")
+        assert driver.catalog_epoch() > epoch_before
+        # The DDL made every cached plan stale: the next explain replans
+        # cold (no "cached" header) and the purge counter advances.
+        after = driver.explain(text)
+        assert after.startswith("plan:\n")
+        assert driver.plan_cache.stats()["invalidations"] >= 1
+        # And queries through the refreshed plan actually use the index.
+        ctx = driver.query_context()
+        try:
+            executor = Executor(
+                ctx, plans=driver.plan_cache, epoch=driver.catalog_epoch()
+            )
+            executor.execute(text)
+            assert executor.stats["index_lookups"] == 1
+            assert executor.stats["rows_scanned"] == 0
+        finally:
+            ctx.close()
+
+
+class TestShardedEpochs:
+    def test_shard_map_registration_bumps_the_epoch(self):
+        db = ShardedDatabase(n_shards=2)
+        try:
+            before = db.catalog_epoch()
+            db.create_collection("orders")
+            after = db.catalog_epoch()
+            assert after > before
+        finally:
+            db.close()
+
+    def test_sharded_explain_uses_cache_and_marks_hits(self):
+        db = ShardedDatabase(n_shards=2)
+        try:
+            db.create_collection("orders")
+            text = "FOR o IN orders RETURN o._id"
+            cold = db.explain(text)
+            assert "ShardExec" in cold and cold.startswith("plan:\n")
+            warm = db.explain(text)
+            assert warm.startswith("plan: cached epoch=")
+        finally:
+            db.close()
+
+    def test_per_shard_index_ddl_invalidates_cluster_plans(self):
+        db = ShardedDatabase(n_shards=2)
+        try:
+            db.create_collection("orders")
+            db.explain("FOR o IN orders FILTER o.status == 'x' RETURN o")
+            epoch = db.catalog_epoch()
+            db.create_index("collection", "orders", "status")
+            # Every shard bumped: epoch advances by n_shards.
+            assert db.catalog_epoch() == epoch + db.n_shards
+            plan = db.explain("FOR o IN orders FILTER o.status == 'x' RETURN o")
+            assert "IndexEqLookup" in plan
+        finally:
+            db.close()
+
+    def test_sharded_queries_reuse_cached_scatter_plans(self, small_dataset):
+        from repro.datagen.load import load_dataset
+
+        db = ShardedDatabase(n_shards=2)
+        try:
+            load_dataset(db, small_dataset)
+            db.plan_cache.clear()
+            text = "FOR o IN orders SORT o.total_price DESC LIMIT 3 RETURN o._id"
+            first = db.query(text)
+            second = db.query(text)
+            assert second == first
+            stats = db.plan_cache.stats()
+            assert stats["hits"] >= 1 and stats["misses"] == 1
+        finally:
+            db.close()

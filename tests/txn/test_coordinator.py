@@ -45,6 +45,57 @@ class TestCoordinatorLog:
         coordinator = TwoPhaseCoordinator(log)
         assert coordinator.next_global_id() == 42
 
+    def test_truncate_drops_fully_ended_transactions(self):
+        log = CoordinatorLog()
+        log.log_decision(1, "commit", [0, 1])
+        log.log_end(1)
+        log.log_decision(2, "commit", [0, 2])  # no end: still recoverable
+        log.log_decision(3, "abort", [1])
+        dropped = log.truncate()
+        assert dropped == 2  # txn 1's decision + end pair
+        assert log.committed_global_txns() == {2}
+        assert [rec["gtxn"] for rec in log.records()] == [2, 3]
+        assert log.truncations == 1
+
+    def test_truncate_without_end_markers_is_a_noop(self):
+        log = CoordinatorLog()
+        log.log_decision(1, "commit", [0])
+        assert log.truncate() == 0
+        assert list(log.records())
+
+    def test_truncate_preserves_the_global_id_floor(self):
+        log = CoordinatorLog()
+        log.log_decision(7, "commit", [0, 1])
+        log.log_end(7)
+        assert log.truncate() == 2
+        assert len(log) == 0
+        # Id allocation must not restart below the dropped high-water mark.
+        assert log.max_global_txn() == 7
+        assert TwoPhaseCoordinator(log).next_global_id() == 8
+
+    def test_checkpoint_drops_everything_durable_with_floor(self):
+        # Recovery-time variant: decision records without end markers go
+        # too (their verdicts are durable on the participants by then).
+        log = CoordinatorLog()
+        log.log_decision(3, "commit", [0, 1])
+        log.log_end(3)
+        log.log_decision(9, "commit", [0, 1])  # in-flight at the crash
+        assert log.checkpoint() == 3
+        assert len(log) == 0
+        assert log.max_global_txn() == 9
+        assert log.checkpoint() == 0  # idempotent on an empty log
+
+    def test_truncate_ignores_the_unsynced_tail(self):
+        log = CoordinatorLog(sync_every_append=False)
+        log.log_decision(1, "commit", [0])
+        log.log_end(1)
+        log.sync()
+        log.append({"type": "end", "gtxn": 99})  # unsynced: not durable yet
+        assert log.truncate() == 2
+        # The undurable tail record is untouched, and still not durable.
+        assert len(log) == 1
+        assert list(log.records()) == []
+
 
 class _FakeParticipant:
     """Scriptable participant recording the protocol steps it saw."""

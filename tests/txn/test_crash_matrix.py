@@ -147,3 +147,66 @@ class TestCrashMatrix:
             assert recovered.stats()["txn"]["recovered_in_doubt"] == 0
         finally:
             recovered.close()
+
+    def test_recovery_truncates_fully_ended_coordinator_records(self):
+        """Crash recovery drops decision/end pairs of acknowledged txns,
+        so the coordinator log stops growing across crash cycles, while
+        global-id allocation stays monotonic."""
+        db = _build(2)
+        targets = _one_doc_per_shard(db)
+        for round_no in range(5):  # 5 fully-acknowledged cross-shard txns
+            with db.transaction() as s:
+                for doc_id in targets:
+                    s.doc_update("orders", doc_id, {"status": f"r{round_no}"})
+        high_water = db.coordinator_log.max_global_txn()
+        assert len(db.coordinator_log) >= 10  # decision + end per txn
+        recovered = db.crash()
+        try:
+            assert len(recovered.coordinator_log) == 0
+            assert recovered.coordinator_log.max_global_txn() == high_water
+            # New cross-shard commits keep allocating above the floor
+            # and the cluster stays fully usable.
+            with recovered.transaction() as s:
+                for doc_id in targets:
+                    s.doc_update("orders", doc_id, {"status": "after"})
+            assert recovered.coordinator_log.max_global_txn() == high_water + 1
+            assert set(_statuses(recovered, targets)) == {"after"}
+        finally:
+            recovered.close()
+
+    def test_recovery_checkpoints_resolved_in_doubt_records(self):
+        """A crash-resolved in-doubt txn leaves no permanent coordinator
+        record: its verdict lives durably in the participant WALs, so
+        recovery checkpoints the whole log — including decision records
+        that never got their end marker — and repeated crash cycles
+        cannot grow it."""
+        db = _build(2)
+        targets = _one_doc_per_shard(db)
+        with db.transaction() as s:  # fully acknowledged: truncatable
+            for doc_id in targets:
+                s.doc_update("orders", doc_id, {"status": "done"})
+        db.coordinator.crash_after_decision = True
+        session = db.begin()
+        for doc_id in targets:
+            session.doc_update("orders", doc_id, {"status": "in-doubt"})
+        with pytest.raises(SimulatedCrash):
+            session.commit()
+        high_water = db.coordinator_log.max_global_txn()
+        recovered = db.crash()
+        # The decided-but-unacknowledged txn was redone from its durable
+        # commit decision before the log was checkpointed away.
+        assert set(_statuses(recovered, targets)) == {"in-doubt"}
+        assert len(recovered.coordinator_log) == 0
+        assert recovered.coordinator_log.max_global_txn() == high_water
+        # A second crash cycle: the redone writes survive WAL replay and
+        # nothing resurfaces as in-doubt from the emptied log.
+        again = recovered.crash()
+        try:
+            assert set(_statuses(again, targets)) == {"in-doubt"}
+            assert again.stats()["txn"]["recovered_in_doubt"] >= 2
+            with again.transaction() as s:
+                for doc_id in targets:
+                    s.doc_update("orders", doc_id, {"status": "after"})
+            assert again.coordinator_log.max_global_txn() == high_water + 1
+        finally:
+            again.close()
