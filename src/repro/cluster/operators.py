@@ -33,8 +33,11 @@ from typing import Any
 from repro.query.ast import Expr, SortKey
 from repro.query.compile import compile_expr, evaluator
 from repro.query.physical import (
+    DEFAULT_BATCH_SIZE,
     Binding,
     PhysicalOperator,
+    _chunks,
+    batch_size,
     compile_sort_keys,
     render_expr,
     sort_evaluator,
@@ -50,8 +53,9 @@ class _ShardRuntime:
     """
 
     __slots__ = (
-        "_parent", "ctx", "use_indexes", "use_compiled", "stats", "analyze",
-        "observed",
+        "_parent", "ctx", "use_indexes", "use_compiled", "use_batches",
+        "use_fusion", "batch_size", "stats", "analyze", "observed",
+        "scan_cache",
     )
 
     def __init__(self, parent: Any, ctx: Any, stats: dict[str, int]) -> None:
@@ -59,14 +63,20 @@ class _ShardRuntime:
         self.ctx = ctx
         self.use_indexes = parent.use_indexes
         # Compiled closures are pure plan-time state, safe per worker;
-        # the ablation flag rides along from the parent executor.
+        # the ablation flags ride along from the parent executor.
         self.use_compiled = getattr(parent, "use_compiled", True)
+        self.use_batches = getattr(parent, "use_batches", True)
+        self.use_fusion = getattr(parent, "use_fusion", True)
+        self.batch_size = getattr(parent, "batch_size", DEFAULT_BATCH_SIZE)
         self.stats = stats
         self.analyze = getattr(parent, "analyze", False)
         # Per-operator observation channel (EXPLAIN ANALYZE group counts).
         # Only non-None under ANALYZE, whose scatter runs sequentially —
         # so sharing the parent's dict across shard runtimes is safe.
         self.observed = getattr(parent, "observed", None)
+        # Scan blocks are shard-local: this runtime's ctx sees only one
+        # shard's data, so it must never share the parent's cache.
+        self.scan_cache: dict[str, list[Any]] = {}
 
     def eval_expr(self, expr: Expr, binding: Binding, params: dict[str, Any]) -> Any:
         return self._parent.eval_expr(expr, binding, params)
@@ -79,7 +89,10 @@ class _ShardRuntime:
 
 
 def _fresh_stats() -> dict[str, int]:
-    return {"index_lookups": 0, "range_lookups": 0, "scans": 0, "rows_scanned": 0}
+    return {
+        "index_lookups": 0, "range_lookups": 0, "scans": 0, "rows_scanned": 0,
+        "scan_cache_hits": 0,
+    }
 
 
 @dataclass(frozen=True)
@@ -149,6 +162,50 @@ class ShardExec(PhysicalOperator):
         else:
             for chunk in chunks:
                 yield from chunk
+
+    def run_batches(self, rt, params, seed=None):
+        """Batch-mode gather: whole batches cross the shard boundary.
+
+        Each shard worker drains its subplan's ``run_batches`` stream, so
+        the per-shard pipelines (fused or not) run vectorized; the gather
+        then re-chunks the merged/concatenated rows to the parent's batch
+        size.  Same routing, stats and ordering as :meth:`run`.
+        """
+        ctx = rt.ctx
+        targets = self._targets(rt, ctx, params, seed)
+        rt.stats["shard_fanout"] = rt.stats.get("shard_fanout", 0) + len(targets)
+        if len(targets) == 1:
+            shard_rt = _ShardRuntime(rt, ctx.shard_context(targets[0]), rt.stats)
+            yield from self.subplan.run_batches(shard_rt, params, seed)
+            return
+        runtimes = [
+            _ShardRuntime(rt, ctx.shard_context(i), _fresh_stats()) for i in targets
+        ]
+
+        def drain(srt: _ShardRuntime) -> list[Binding]:
+            rows: list[Binding] = []
+            for batch in self.subplan.run_batches(
+                srt, params, dict(seed) if seed else None
+            ):
+                rows.extend(batch)
+            return rows
+
+        tasks = [(lambda srt=srt: drain(srt)) for srt in runtimes]
+        if getattr(rt, "analyze", False):
+            chunks = [task() for task in tasks]
+        else:
+            chunks = ctx.run_parallel(tasks)
+        for srt in runtimes:
+            for key, value in srt.stats.items():
+                rt.stats[key] = rt.stats.get(key, 0) + value
+        size = batch_size(rt)
+        if self.merge_keys:
+            keyfn = sort_evaluator(rt, self._c_merge, self.merge_keys)
+            merged = heapq.merge(*chunks, key=lambda b: keyfn(rt, b, params))
+            yield from _chunks(merged, size)
+        else:
+            for chunk in chunks:
+                yield from _chunks(chunk, size)
 
     def _targets(self, rt, ctx, params, seed: Binding | None) -> list[int]:
         if seed and self.collection in seed:

@@ -18,6 +18,9 @@ DESIGN.md §5 calls out:
 - **E13** — the compiled hot path: closure-compiled expression
   evaluation vs the reference interpreter (per-row and end-to-end on
   expression-heavy E1 queries), and plan-cache hit vs cold plan latency.
+- **E14** — vectorized execution: batch-at-a-time operator streams and
+  fused pipeline closures vs per-row Volcano pulls, on scan / filter /
+  project shapes and the Q7 join end-to-end.
 """
 
 from __future__ import annotations
@@ -669,6 +672,110 @@ def experiment_e13_compile(
     return table
 
 
+# ---------------------------------------------------------------------------
+# E14 — vectorized batch execution + fused operator chains
+# ---------------------------------------------------------------------------
+
+_E14_SHAPES = (
+    # (case, query text) — the operator shapes the batch kernels target.
+    ("scan_project", "FOR o IN orders RETURN o._id"),
+    (
+        "scan_filter",
+        f"FOR o IN orders FILTER {_E13_EXPR} RETURN o._id",
+    ),
+    (
+        "filter_let_project",
+        "FOR o IN orders "
+        "FILTER o.total_price * 1.21 > @cutoff "
+        "LET gross = o.total_price * 1.21 "
+        "LET bucket = o.customer_id % 7 "
+        "RETURN {id: o._id, gross, bucket}",
+    ),
+)
+
+_E14_MODES = {
+    # Ablation ladder: each step adds one engine feature.
+    "interpreted": dict(use_compiled=False, use_batches=False),
+    "batched": dict(use_compiled=True, use_batches=True, use_fusion=False),
+    "fused": dict(use_compiled=True, use_batches=True, use_fusion=True),
+}
+
+
+def experiment_e14_vectorized(
+    scale_factor: float = 0.05,
+    repetitions: int = 15,
+    seed: int = 42,
+) -> Table:
+    """Batch-at-a-time execution and operator fusion vs per-row pulls.
+
+    Each row times one query shape through the execution-mode ladder:
+
+    - ``interpreted_ms``: the per-binding Volcano baseline with the
+      recursive expression interpreter (``use_compiled=False,
+      use_batches=False``) — the pre-E13 engine;
+    - ``batched_ms``: compiled kernels applied batch-at-a-time, no
+      fusion (``use_batches=True, use_fusion=False``);
+    - ``fused_ms``: the default engine — straight-line
+      bind→filter→let→project chains collapsed into one per-batch
+      closure (``FusedPipeline``);
+    - ``speedup_x``: interpreted / fused, the end-to-end win of the
+      vectorized engine over the per-row interpreter.  The acceptance
+      gate asserts >= 2x on the Q7 join (full scale; the SF=0.01 CI
+      smoke uses a lower floor to absorb host noise).
+
+    Shapes: a bare scan+project, the E13 expression-heavy filter, a
+    filter→let→let→project chain (maximum fusion depth), and Q7
+    end-to-end (multi-way join + COLLECT + TopK — the blocking
+    operators bound how much of the plan can fuse).  Every mode's
+    results are checked identical before anything is timed.
+    """
+    from repro.core.workloads import QUERY_BY_ID
+
+    table = Table(
+        f"E14: vectorized execution (SF={scale_factor}, ms)",
+        ["case", "interpreted_ms", "batched_ms", "fused_ms", "speedup_x"],
+    )
+    dataset = DatasetGenerator(
+        GeneratorConfig(seed=seed, scale_factor=scale_factor)
+    ).generate()
+    driver = UnifiedDriver()
+    load_dataset(driver, dataset)
+
+    cases = [(case, text, {"cutoff": 120.0}) for case, text in _E14_SHAPES]
+    q7 = QUERY_BY_ID["Q7"]
+    cases.append(("Q7", q7.text, q7.params(dataset)))
+
+    for case, text, params in cases:
+        results = {
+            mode: driver.query(text, params, **flags)
+            for mode, flags in _E14_MODES.items()
+        }
+        baseline = repr(results["interpreted"])
+        for mode, rows in results.items():
+            if repr(rows) != baseline:
+                raise AssertionError(
+                    f"E14: {case} diverged between interpreted and {mode}"
+                )
+        timings = {}
+        for mode, flags in _E14_MODES.items():
+            for _ in range(2):  # warm caches/snapshots outside the timer
+                driver.query(text, params, **flags)
+            with Stopwatch() as sw:
+                for _ in range(repetitions):
+                    driver.query(text, params, **flags)
+            timings[mode] = sw.elapsed / repetitions
+        table.add_row([
+            case,
+            round(timings["interpreted"] * 1000.0, 4),
+            round(timings["batched"] * 1000.0, 4),
+            round(timings["fused"] * 1000.0, 4),
+            round(timings["interpreted"] / timings["fused"], 2)
+            if timings["fused"]
+            else float("inf"),
+        ])
+    return table
+
+
 EXTENSION_EXPERIMENTS = {
     "E7": experiment_e7_index_backends,
     "E8": experiment_e8_sessions,
@@ -677,5 +784,6 @@ EXTENSION_EXPERIMENTS = {
     "E11": experiment_e11_aggregation,
     "E12": experiment_e12_commit,
     "E13": experiment_e13_compile,
+    "E14": experiment_e14_vectorized,
     "YCSB": experiment_ycsb,
 }

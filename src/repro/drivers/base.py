@@ -113,14 +113,20 @@ class Driver(abc.ABC):
         params: dict[str, Any] | None = None,
         use_indexes: bool = True,
         use_compiled: bool = True,
+        use_batches: bool = True,
+        use_fusion: bool = True,
+        batch_size: int | None = None,
     ) -> list[Any]:
         """Convenience: run one MMQL query on a fresh context.
 
-        The plan comes from the driver's shared cache; *use_compiled*
-        is the expression-compilation ablation switch (interpreted
-        evaluation when False).
+        The plan comes from the driver's shared cache.  The keyword
+        switches are the ablation axes: *use_compiled* (closures vs the
+        interpreter), *use_batches* (batch-at-a-time vs per-binding
+        streams) and *use_fusion* (fused pipeline closures vs unfused
+        batch operators); *batch_size* tunes the vectorization width.
         """
         from repro.query.executor import Executor
+        from repro.query.physical import DEFAULT_BATCH_SIZE
 
         ctx = self.query_context()
         try:
@@ -128,6 +134,9 @@ class Driver(abc.ABC):
                 ctx,
                 use_indexes=use_indexes,
                 use_compiled=use_compiled,
+                use_batches=use_batches,
+                use_fusion=use_fusion,
+                batch_size=batch_size or DEFAULT_BATCH_SIZE,
                 plans=self.plan_cache,
                 epoch=self.catalog_epoch(),
             )

@@ -33,13 +33,14 @@ from repro.query.planner import plan
 
 
 class _Counted:
-    """Transparent row-counting wrapper around one physical operator."""
+    """Transparent row- and batch-counting wrapper around one operator."""
 
-    __slots__ = ("inner", "rows")
+    __slots__ = ("inner", "rows", "batches")
 
     def __init__(self, inner: PhysicalOperator) -> None:
         self.inner = inner
         self.rows = 0
+        self.batches = 0
 
     @property
     def child(self):
@@ -49,6 +50,10 @@ class _Counted:
     def subplan(self):
         return getattr(self.inner, "subplan", None)
 
+    @property
+    def fused_ops(self):
+        return getattr(self.inner, "fused_ops", ())
+
     def label(self) -> str:
         return self.inner.label()
 
@@ -56,6 +61,12 @@ class _Counted:
         for item in self.inner.run(rt, params, seed):
             self.rows += 1
             yield item
+
+    def run_batches(self, rt, params, seed=None):
+        for batch in self.inner.run_batches(rt, params, seed):
+            self.rows += len(batch)
+            self.batches += 1
+            yield batch
 
 
 def instrument(root: PhysicalOperator) -> "_Counted":
@@ -84,12 +95,19 @@ def render_analyzed(
 
     def walk(node, depth: int) -> None:
         while node is not None:
-            actuals = [f"rows={node.rows if isinstance(node, _Counted) else '?'}"]
-            if observed is not None and isinstance(node, _Counted):
-                extra = observed.get(id(node.inner))
-                if extra:
-                    actuals.extend(f"{key}={value}" for key, value in extra.items())
+            if isinstance(node, _Counted):
+                actuals = [f"rows={node.rows}", f"batches={node.batches}"]
+                if observed is not None:
+                    extra = observed.get(id(node.inner))
+                    if extra:
+                        actuals.extend(
+                            f"{key}={value}" for key, value in extra.items()
+                        )
+            else:
+                actuals = ["rows=?"]
             lines.append("  " * depth + f"{node.label()} ({', '.join(actuals)})")
+            for op in getattr(node, "fused_ops", ()):
+                lines.append("  " * (depth + 1) + "· " + op.label())
             subplan = getattr(node, "subplan", None)
             if subplan is not None:
                 walk(subplan, depth + 1)
@@ -113,7 +131,11 @@ def explain_analyze(
     executor = Executor(ctx, use_indexes=use_indexes)
     executor.analyze = True
     executor.observed = {}
-    results = list(counted.run(executor, params or {}))
+    # Drain the batch streams: ANALYZE observes the default (vectorized)
+    # execution mode, so every operator line reports batches=N too.
+    results: list[Any] = []
+    for batch in counted.run_batches(executor, params or {}):
+        results.extend(batch)
     lines = ["plan (analyzed):"]
     lines.extend("  " + line for line in render_analyzed(counted, executor.observed))
     if planned.notes:

@@ -65,6 +65,16 @@ def use_compiled(rt: Any) -> bool:
     return getattr(rt, "use_compiled", True)
 
 
+def use_batches(rt: Any) -> bool:
+    """Batch-at-a-time execution switch (batched by default)."""
+    return getattr(rt, "use_batches", True)
+
+
+def use_fusion(rt: Any) -> bool:
+    """Fused-pipeline switch (fused by default; only read in batch mode)."""
+    return getattr(rt, "use_fusion", True)
+
+
 def interpreted(expr: Expr) -> CompiledExpr:
     """A :data:`CompiledExpr`-shaped adapter over the reference interpreter."""
 
@@ -77,6 +87,71 @@ def interpreted(expr: Expr) -> CompiledExpr:
 def evaluator(rt: Any, compiled: CompiledExpr, expr: Expr) -> CompiledExpr:
     """The evaluator *rt* wants for *expr*: compiled closure or interpreter."""
     return compiled if use_compiled(rt) else interpreted(expr)
+
+
+# ---------------------------------------------------------------------------
+# Batch kernels (the vectorized operator bodies)
+# ---------------------------------------------------------------------------
+
+# A batch kernel maps one batch of bindings to its output batch in a
+# single Python-level loop — no per-row operator re-entry.  The physical
+# operators build these once at plan time from their compiled closures
+# (and once per run from the interpreter when ``use_compiled`` is off).
+BatchKernel = Callable[[Any, list[Binding], dict[str, Any]], list[Any]]
+
+
+def filter_batch(cond: CompiledExpr, speculative: bool = False) -> BatchKernel:
+    """Keep the bindings of a batch whose predicate is truthy.
+
+    Speculative filters defer evaluation errors (the strict original
+    downstream still raises), mirroring :class:`physical.Filter`.
+    """
+    if speculative:
+
+        def kernel_spec(rt: Any, batch: list[Binding], params: dict[str, Any]) -> list[Any]:
+            out: list[Binding] = []
+            append = out.append
+            for binding in batch:
+                try:
+                    keep = bool(cond(rt, binding, params))
+                except ExecutionError:
+                    keep = True
+                if keep:
+                    append(binding)
+            return out
+
+        return kernel_spec
+
+    def kernel(rt: Any, batch: list[Binding], params: dict[str, Any]) -> list[Any]:
+        return [binding for binding in batch if cond(rt, binding, params)]
+
+    return kernel
+
+
+def let_batch(var: str, value: CompiledExpr) -> BatchKernel:
+    """Extend every binding of a batch with ``var`` = *value*."""
+
+    def kernel(rt: Any, batch: list[Binding], params: dict[str, Any]) -> list[Any]:
+        out: list[Binding] = []
+        append = out.append
+        for binding in batch:
+            computed = value(rt, binding, params)
+            extended = dict(binding)
+            extended[var] = computed
+            append(extended)
+        return out
+
+    return kernel
+
+
+def project_batch(expr: CompiledExpr) -> BatchKernel:
+    """Map a batch of bindings to their RETURN values (no DISTINCT —
+    cross-batch dedup state lives in the operator)."""
+
+    def kernel(rt: Any, batch: list[Binding], params: dict[str, Any]) -> list[Any]:
+        return [expr(rt, binding, params) for binding in batch]
+
+    return kernel
 
 
 # ---------------------------------------------------------------------------

@@ -48,6 +48,7 @@ from repro.query.ast import (
 )
 from repro.query.compile import arith, like_match
 from repro.query.context import QueryContext
+from repro.query.physical import DEFAULT_BATCH_SIZE
 from repro.query.plancache import PlanCache
 
 Binding = dict[str, Any]
@@ -68,6 +69,9 @@ class Executor:
         ctx: QueryContext,
         use_indexes: bool = True,
         use_compiled: bool = True,
+        use_batches: bool = True,
+        use_fusion: bool = True,
+        batch_size: int = DEFAULT_BATCH_SIZE,
         plans: PlanCache | None = None,
         epoch: int = 0,
     ) -> None:
@@ -76,6 +80,12 @@ class Executor:
         # Ablation switch: compiled expression closures (default) vs the
         # reference interpreter below.  Checked once per operator run().
         self.use_compiled = use_compiled
+        # Ablation switches for vectorized execution: batch-at-a-time
+        # operator streams (run_batches) and fused pipeline closures.
+        # Off = the per-binding run() streams, the E14 baselines.
+        self.use_batches = use_batches
+        self.use_fusion = use_fusion
+        self.batch_size = batch_size
         # A sharded context carries the cluster catalog; plan() then
         # inserts scatter-gather operators.  Single-node contexts don't.
         self.catalog = getattr(ctx, "catalog", None)
@@ -88,7 +98,13 @@ class Executor:
         self.observed: dict[int, dict[str, int]] | None = None
         self.stats = {
             "index_lookups": 0, "range_lookups": 0, "scans": 0, "rows_scanned": 0,
+            "scan_cache_hits": 0,
         }
+        # Batch-mode scan materialization: collection name -> the scanned
+        # block, so nested-loop inner scans re-serve one materialized
+        # pass instead of re-scanning the store per outer row.  Scoped to
+        # one top-level execute() — cleared there, shared by subqueries.
+        self.scan_cache: dict[str, list[Any]] = {}
         self.plans = plans if plans is not None else PlanCache(capacity=64)
         self.epoch = epoch
         # Per-executor memo in front of the shared cache for subqueries:
@@ -103,11 +119,23 @@ class Executor:
     def execute(
         self, query: Query | str, params: dict[str, Any] | None = None
     ) -> list[Any]:
-        """Plan (or fetch the cached plan), run, materialise all values."""
-        root = self.plans.get_or_plan(
+        """Plan (or fetch the cached plan), run, materialise all values.
+
+        Text queries resolve to a :class:`PreparedPlan`: the cached plan
+        is shared across literal-differing texts, and the extracted
+        literal vector merges under the caller's parameters here —
+        prepared-statement execution.
+        """
+        prepared = self.plans.get_or_plan(
             query, self.catalog, self.epoch, self.use_indexes
-        ).root
-        return list(root.run(self, params or {}))
+        )
+        # Scan blocks are only valid within one query's snapshot: a
+        # reused executor must not serve a previous query's scans.
+        self.scan_cache.clear()
+        run_params = dict(params) if params else {}
+        if prepared.binds:
+            run_params.update(prepared.binds)
+        return self._drain(prepared.plan.root, run_params)
 
     def run_subquery(
         self, query: Query, binding: Binding, params: dict[str, Any]
@@ -122,12 +150,23 @@ class Executor:
         """
         memoized = self._subplan_memo.get(id(query))
         if memoized is not None and memoized[0] is query:
-            return list(memoized[1].run(self, params, seed=binding))
+            return self._drain(memoized[1], params, seed=binding)
         root = self.plans.get_or_plan(
             query, self.catalog, self.epoch, self.use_indexes
         ).root
         self._subplan_memo[id(query)] = (query, root)
-        return list(root.run(self, params, seed=binding))
+        return self._drain(root, params, seed=binding)
+
+    def _drain(
+        self, root: Any, params: dict[str, Any], seed: Binding | None = None
+    ) -> list[Any]:
+        """Materialise a plan's output in the configured execution mode."""
+        if self.use_batches:
+            out: list[Any] = []
+            for batch in root.run_batches(self, params, seed=seed):
+                out.extend(batch)
+            return out
+        return list(root.run(self, params, seed=seed))
 
     # -- expression evaluation (the reference interpreter) --------------------
 
@@ -240,8 +279,16 @@ def run_query(
     params: dict[str, Any] | None = None,
     use_indexes: bool = True,
     use_compiled: bool = True,
+    use_batches: bool = True,
+    use_fusion: bool = True,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> list[Any]:
     """Parse, plan and execute MMQL *text* in one call."""
-    return Executor(ctx, use_indexes=use_indexes, use_compiled=use_compiled).execute(
-        text, params
-    )
+    return Executor(
+        ctx,
+        use_indexes=use_indexes,
+        use_compiled=use_compiled,
+        use_batches=use_batches,
+        use_fusion=use_fusion,
+        batch_size=batch_size,
+    ).execute(text, params)

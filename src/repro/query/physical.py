@@ -39,12 +39,33 @@ runs pre-dispatched closures instead of the interpreter's recursive
 isinstance walk.  The executor's ``use_compiled`` ablation flag switches
 each ``run()`` back to the reference interpreter (``rt.eval_expr``) for
 differential testing and the E13 benchmark.
+
+**Batch-at-a-time execution** (E14): every operator also implements
+``run_batches``, producing and consuming *lists* of bindings (target
+size ``rt.batch_size``, default 1024) instead of one binding per
+``next()``.  Access paths emit whole chunks directly — bulk stats
+counting, no generator hop per row — and Filter/Let/Project run the
+batch kernels of :mod:`repro.query.compile` over each batch in a single
+Python-level loop.  The fusion pass (:func:`fuse_pipelines`) then
+collapses maximal straight-line chains of NestedLoopBind/Filter/Let/
+Project into one :class:`FusedPipeline` node whose per-batch closure
+chain eliminates the remaining operator hops and intermediate dict
+churn.  The per-binding ``run()`` streams stay live behind the
+executor's ``use_batches``/``use_fusion`` ablation flags, so the
+interpreter remains the differential oracle for every new path.
+
+Laziness caveat: batch execution evaluates up to one chunk of rows
+ahead of a LIMIT's cut-off, so a predicate that *errors* on a row the
+per-binding engine would never have pulled can surface the error — the
+standard vectorized-engine trade, bounded by the batch size.  Values
+and ordering are identical in all modes.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from itertools import islice
 from typing import Any, Callable, Iterator
 
 from repro.errors import ExecutionError
@@ -53,8 +74,12 @@ from repro.query.compile import (
     CompiledExpr,
     compile_expr,
     evaluator,
+    filter_batch,
     interpreted,
+    let_batch,
+    project_batch,
     use_compiled,
+    use_fusion,
 )
 from repro.query.ast import (
     Binary,
@@ -73,6 +98,23 @@ from repro.query.ast import (
 )
 
 Binding = dict[str, Any]
+
+DEFAULT_BATCH_SIZE = 1024
+
+
+def batch_size(rt: Any) -> int:
+    """The executor's configured batch size (default 1024)."""
+    return getattr(rt, "batch_size", DEFAULT_BATCH_SIZE) or DEFAULT_BATCH_SIZE
+
+
+def _chunks(iterable: Any, size: int) -> Iterator[list[Any]]:
+    """Re-chunk any iterable into non-empty lists of at most *size*."""
+    iterator = iter(iterable)
+    while True:
+        chunk = list(islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
 
 
 # ---------------------------------------------------------------------------
@@ -137,8 +179,46 @@ class AccessPath:
     def items(self, rt: Any, binding: Binding, params: dict[str, Any]) -> Iterator[Any]:
         raise NotImplementedError
 
+    def batches(
+        self, rt: Any, binding: Binding, params: dict[str, Any], size: int
+    ) -> Iterator[list[Any]]:
+        """Items in chunks of at most *size*; paths override for bulk stats."""
+        yield from _chunks(self.items(rt, binding, params), size)
+
     def describe(self) -> str:
         raise NotImplementedError
+
+
+def _scan_batches(rt: Any, collection: str, size: int) -> Iterator[list[Any]]:
+    """Full-scan fallback emitting chunks, counting stats per chunk.
+
+    Batch mode additionally *materializes* each collection scan once per
+    query (``rt.scan_cache``) and serves repeated scans of the same
+    collection from the cached block: the inner scan of a nested loop
+    costs one pass over the store instead of one pass per outer row.
+    The snapshot is immutable for the duration of a query and MMQL
+    operators never mutate source documents, so re-serving the same
+    block (sharing, not re-copying, the document dicts) is safe.  A scan
+    abandoned early — e.g. cut off by LIMIT — is never cached.  ``scans``
+    and ``rows_scanned`` keep counting actual store traffic only;
+    ``scan_cache_hits`` counts the re-uses, so EXPLAIN ANALYZE shows the
+    saving directly.  The per-binding ``run()`` path (the E14 baseline)
+    has no cache and re-scans per pull.
+    """
+    cache = getattr(rt, "scan_cache", None)
+    docs = cache.get(collection) if cache is not None else None
+    if docs is not None:
+        rt.stats["scan_cache_hits"] = rt.stats.get("scan_cache_hits", 0) + 1
+        yield from _chunks(docs, size)
+        return
+    rt.stats["scans"] += 1
+    block: list[Any] = []
+    for chunk in _chunks(rt.ctx.iter_collection(collection), size):
+        rt.stats["rows_scanned"] += len(chunk)
+        block.extend(chunk)
+        yield chunk
+    if cache is not None:
+        cache[collection] = block
 
 
 def _shadowed_list(source_name: str, binding: Binding) -> list[Any] | None:
@@ -169,6 +249,13 @@ class CollectionScan(AccessPath):
         for item in rt.ctx.iter_collection(self.collection):
             rt.stats["rows_scanned"] += 1
             yield item
+
+    def batches(self, rt, binding, params, size):
+        shadowed = _shadowed_list(self.collection, binding)
+        if shadowed is not None:
+            yield from _chunks(shadowed, size)
+            return
+        yield from _scan_batches(rt, self.collection, size)
 
     def describe(self) -> str:
         return f"CollectionScan({self.collection}) [scan]"
@@ -206,6 +293,20 @@ class IndexEqLookup(AccessPath):
         for item in rt.ctx.iter_collection(self.collection):
             rt.stats["rows_scanned"] += 1
             yield item
+
+    def batches(self, rt, binding, params, size):
+        shadowed = _shadowed_list(self.collection, binding)
+        if shadowed is not None:
+            yield from _chunks(shadowed, size)
+            return
+        if rt.use_indexes:
+            key = evaluator(rt, self._c_key, self.key_expr)(rt, binding, params)
+            matches = rt.ctx.index_lookup(self.collection, self.field, key)
+            if matches is not None:
+                rt.stats["index_lookups"] += 1
+                yield from _chunks(matches, size)
+                return
+        yield from _scan_batches(rt, self.collection, size)
 
     def describe(self) -> str:
         return (
@@ -269,6 +370,31 @@ class IndexRangeScan(AccessPath):
             rt.stats["rows_scanned"] += 1
             yield item
 
+    def batches(self, rt, binding, params, size):
+        shadowed = _shadowed_list(self.collection, binding)
+        if shadowed is not None:
+            yield from _chunks(shadowed, size)
+            return
+        range_lookup = getattr(rt.ctx, "range_lookup", None)
+        if rt.use_indexes and range_lookup is not None:
+            low = (
+                evaluator(rt, self._c_low, self.low_expr)(rt, binding, params)
+                if self.low_expr is not None else None
+            )
+            high = (
+                evaluator(rt, self._c_high, self.high_expr)(rt, binding, params)
+                if self.high_expr is not None else None
+            )
+            matches = range_lookup(
+                self.collection, self.field,
+                low, high, self.include_low, self.include_high,
+            )
+            if matches is not None:
+                rt.stats["range_lookups"] += 1
+                yield from _chunks(matches, size)
+                return
+        yield from _scan_batches(rt, self.collection, size)
+
     def describe(self) -> str:
         bounds = []
         if self.low_expr is not None:
@@ -312,6 +438,23 @@ class ExpressionSource(AccessPath):
             )
         yield from value
 
+    def batches(self, rt, binding, params, size):
+        if self.is_var:
+            assert isinstance(self.source, VarRef)
+            shadowed = _shadowed_list(self.source.name, binding)
+            if shadowed is None:
+                raise ExecutionError(f"unbound variable {self.source.name!r}")
+            yield from _chunks(shadowed, size)
+            return
+        value = evaluator(rt, self._c_source, self.source)(rt, binding, params)
+        if value is None:
+            return
+        if not isinstance(value, list):
+            raise ExecutionError(
+                f"FOR source must evaluate to a list, got {type(value).__name__}"
+            )
+        yield from _chunks(value, size)
+
     def describe(self) -> str:
         return f"ExpressionSource({render_expr(self.source)})"
 
@@ -331,6 +474,15 @@ class PhysicalOperator:
     ) -> Iterator[Binding]:
         raise NotImplementedError
 
+    def run_batches(
+        self, rt: Any, params: dict[str, Any], seed: Binding | None = None
+    ) -> Iterator[list[Any]]:
+        """Batch-at-a-time mode: non-empty lists of bindings (or of
+        output values at the Project root).  Default bridges through the
+        per-binding stream so exotic operators stay correct; the hot
+        operators all override with native batch bodies."""
+        yield from _chunks(self.run(rt, params, seed), batch_size(rt))
+
     def label(self) -> str:
         raise NotImplementedError
 
@@ -340,6 +492,14 @@ class PhysicalOperator:
         if self.child is None:
             return iter([dict(seed) if seed else {}])
         return self.child.run(rt, params, seed)
+
+    def _input_batches(
+        self, rt: Any, params: dict[str, Any], seed: Binding | None
+    ) -> Iterator[list[Binding]]:
+        if self.child is None:
+            yield [dict(seed) if seed else {}]
+            return
+        yield from self.child.run_batches(rt, params, seed)
 
 
 @dataclass(frozen=True)
@@ -356,6 +516,26 @@ class NestedLoopBind(PhysicalOperator):
                 out = dict(binding)
                 out[self.var] = item
                 yield out
+
+    def run_batches(self, rt, params, seed=None):
+        size = batch_size(rt)
+        var = self.var
+        access = self.access
+        out: list[Binding] = []
+        append = out.append
+        for batch in self._input_batches(rt, params, seed):
+            for binding in batch:
+                for chunk in access.batches(rt, binding, params, size):
+                    for item in chunk:
+                        extended = dict(binding)
+                        extended[var] = item
+                        append(extended)
+                    if len(out) >= size:
+                        yield out
+                        out = []
+                        append = out.append
+        if out:
+            yield out
 
     def label(self) -> str:
         return f"NestedLoopBind {self.var}: {self.access.describe()}"
@@ -379,6 +559,9 @@ class Filter(PhysicalOperator):
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "_c_condition", compile_expr(self.condition))
+        object.__setattr__(
+            self, "_k_batch", filter_batch(self._c_condition, self.speculative)
+        )
 
     def run(self, rt, params, seed=None):
         condition = evaluator(rt, self._c_condition, self.condition)
@@ -395,6 +578,16 @@ class Filter(PhysicalOperator):
             if condition(rt, binding, params):
                 yield binding
 
+    def run_batches(self, rt, params, seed=None):
+        kernel = (
+            self._k_batch if use_compiled(rt)
+            else filter_batch(interpreted(self.condition), self.speculative)
+        )
+        for batch in self._input_batches(rt, params, seed):
+            kept = kernel(rt, batch, params)
+            if kept:
+                yield kept
+
     def label(self) -> str:
         tag = " (speculative)" if self.speculative else ""
         return f"Filter [{render_expr(self.condition)}]{tag}"
@@ -410,6 +603,7 @@ class Let(PhysicalOperator):
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "_c_value", compile_expr(self.value))
+        object.__setattr__(self, "_k_batch", let_batch(self.var, self._c_value))
 
     def run(self, rt, params, seed=None):
         value = evaluator(rt, self._c_value, self.value)
@@ -417,6 +611,14 @@ class Let(PhysicalOperator):
             out = dict(binding)
             out[self.var] = value(rt, binding, params)
             yield out
+
+    def run_batches(self, rt, params, seed=None):
+        kernel = (
+            self._k_batch if use_compiled(rt)
+            else let_batch(self.var, interpreted(self.value))
+        )
+        for batch in self._input_batches(rt, params, seed):
+            yield kernel(rt, batch, params)
 
     def label(self) -> str:
         return f"Let {self.var} = {render_expr(self.value)}"
@@ -437,6 +639,14 @@ class Sort(PhysicalOperator):
         materialised = list(self._input(rt, params, seed))
         materialised.sort(key=lambda b: keyfn(rt, b, params))
         return iter(materialised)
+
+    def run_batches(self, rt, params, seed=None):
+        keyfn = sort_evaluator(rt, self._c_keys, self.keys)
+        materialised: list[Binding] = []
+        for batch in self._input_batches(rt, params, seed):
+            materialised.extend(batch)
+        materialised.sort(key=lambda b: keyfn(rt, b, params))
+        yield from _chunks(materialised, batch_size(rt))
 
     def label(self) -> str:
         return f"Sort [{len(self.keys)} keys]"
@@ -486,6 +696,32 @@ class TopK(PhysicalOperator):
         kept = sorted(heap, key=lambda e: e.key)
         for entry in kept[offset:]:
             yield entry.binding
+
+    def run_batches(self, rt, params, seed=None):
+        keyfn = sort_evaluator(rt, self._c_keys, self.keys)
+        count = evaluator(rt, self._c_count, self.count)(rt, {}, params)
+        offset = (
+            evaluator(rt, self._c_offset, self.offset)(rt, {}, params)
+            if self.offset is not None else 0
+        )
+        _check_limit_bounds(count, offset)
+        k = count + offset
+        if k == 0:
+            return
+        heap: list[_HeapEntry] = []
+        seq = 0
+        for batch in self._input_batches(rt, params, seed):
+            for binding in batch:
+                entry = _HeapEntry((keyfn(rt, binding, params), seq), binding)
+                seq += 1
+                if len(heap) < k:
+                    heapq.heappush(heap, entry)
+                elif entry.key < heap[0].key:
+                    heapq.heapreplace(heap, entry)
+        kept = sorted(heap, key=lambda e: e.key)
+        yield from _chunks(
+            (entry.binding for entry in kept[offset:]), batch_size(rt)
+        )
 
     def label(self) -> str:
         window = render_expr(self.count)
@@ -539,6 +775,32 @@ class Limit(PhysicalOperator):
                 return
             emitted += 1
             yield binding
+
+    def run_batches(self, rt, params, seed=None):
+        count = evaluator(rt, self._c_count, self.count)(rt, {}, params)
+        offset = (
+            evaluator(rt, self._c_offset, self.offset)(rt, {}, params)
+            if self.offset is not None else 0
+        )
+        _check_limit_bounds(count, offset)
+        if count == 0:
+            return
+        to_skip = offset
+        remaining = count
+        # Stop pulling child batches the moment the window is filled —
+        # cross-batch laziness is what keeps LIMIT cheap in batch mode.
+        for batch in self._input_batches(rt, params, seed):
+            if to_skip:
+                if len(batch) <= to_skip:
+                    to_skip -= len(batch)
+                    continue
+                batch = batch[to_skip:]
+                to_skip = 0
+            if len(batch) >= remaining:
+                yield batch[:remaining]
+                return
+            remaining -= len(batch)
+            yield batch
 
     def label(self) -> str:
         window = render_expr(self.count)
@@ -596,6 +858,17 @@ class HashAggregate(PhysicalOperator):
         )
 
     def run(self, rt, params, seed=None):
+        return self._execute(rt, params, self._input(rt, params, seed))
+
+    def run_batches(self, rt, params, seed=None):
+        source = (
+            binding
+            for batch in self._input_batches(rt, params, seed)
+            for binding in batch
+        )
+        yield from _chunks(self._execute(rt, params, source), batch_size(rt))
+
+    def _execute(self, rt, params, source):
         clause = self.clause
         if use_compiled(rt):
             key_evs = self._c_keys
@@ -608,7 +881,7 @@ class HashAggregate(PhysicalOperator):
         aggs = [(agg, get_aggregator(agg.func)) for agg in clause.aggregations]
         groups: dict[tuple, dict[str, Any]] = {}
         rows_in = 0
-        for binding in self._input(rt, params, seed):
+        for binding in source:
             rows_in += 1
             key_values = [
                 (name, ev(rt, binding, params)) for name, ev in key_evs
@@ -682,6 +955,7 @@ class Project(PhysicalOperator):
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "_c_expr", compile_expr(self.returning.expr))
+        object.__setattr__(self, "_k_batch", project_batch(self._c_expr))
 
     def run(self, rt, params, seed=None):
         project = evaluator(rt, self._c_expr, self.returning.expr)
@@ -695,9 +969,261 @@ class Project(PhysicalOperator):
                 seen.add(marker)
             yield value
 
+    def run_batches(self, rt, params, seed=None):
+        kernel = (
+            self._k_batch if use_compiled(rt)
+            else project_batch(interpreted(self.returning.expr))
+        )
+        if not self.returning.distinct:
+            for batch in self._input_batches(rt, params, seed):
+                yield kernel(rt, batch, params)
+            return
+        seen: set[str] = set()
+        for batch in self._input_batches(rt, params, seed):
+            fresh: list[Any] = []
+            for value in kernel(rt, batch, params):
+                marker = repr(value)
+                if marker not in seen:
+                    seen.add(marker)
+                    fresh.append(value)
+            if fresh:
+                yield fresh
+
     def label(self) -> str:
         distinct = " DISTINCT" if self.returning.distinct else ""
         return f"Project [RETURN{distinct} {render_expr(self.returning.expr)}]"
+
+
+# ---------------------------------------------------------------------------
+# Operator fusion
+# ---------------------------------------------------------------------------
+
+_FUSABLE = (NestedLoopBind, Filter, Let, Project)
+
+
+def _short_label(op: PhysicalOperator) -> str:
+    if isinstance(op, NestedLoopBind):
+        return f"NestedLoopBind {op.var}"
+    if isinstance(op, Let):
+        return f"Let {op.var}"
+    if isinstance(op, Filter):
+        return "Filter"
+    return "Project"
+
+
+@dataclass(frozen=True)
+class FusedPipeline(PhysicalOperator):
+    """A maximal straight-line chain of bind/filter/let/project operators
+    compiled into one per-batch closure chain.
+
+    ``ops`` is in bottom-up (execution) order.  Each constituent becomes
+    one small closure calling the next — a continuation chain ending in
+    ``out.append`` — so a whole batch flows through the chain in a
+    single Python loop with no operator re-entry, no generator hops and
+    (for LETs over bindings the chain itself allocated) no intermediate
+    dict copies.  The per-binding ``run()`` and the unfused batch path
+    delegate to an equivalent rebuilt operator chain, keeping both
+    ablation baselines exact.
+    """
+
+    ops: tuple[PhysicalOperator, ...]
+    child: PhysicalOperator | None = None
+
+    def __post_init__(self) -> None:
+        node = self.child
+        for op in self.ops:
+            node = replace(op, child=node)
+        object.__setattr__(self, "_chain_root", node)
+
+    @property
+    def fused_ops(self) -> tuple[PhysicalOperator, ...]:
+        return self.ops
+
+    def run(self, rt, params, seed=None):
+        return self._chain_root.run(rt, params, seed)
+
+    def run_batches(self, rt, params, seed=None):
+        if not use_fusion(rt):
+            yield from self._chain_root.run_batches(rt, params, seed)
+            return
+        size = batch_size(rt)
+        out: list[Any] = []
+        bottom = self.ops[0]
+        if self.child is None and isinstance(bottom, NestedLoopBind):
+            # Drive the bottom access path chunk-at-a-time ourselves so
+            # a LIMIT above still stops the scan between chunks; the
+            # bindings this loop allocates are chain-owned, so LETs
+            # downstream may extend them in place.
+            step = _build_fused_steps(self.ops[1:], rt, params, out.append, owned=True)
+            seed_binding = dict(seed) if seed else {}
+            var = bottom.var
+            for chunk in bottom.access.batches(rt, seed_binding, params, size):
+                for item in chunk:
+                    extended = dict(seed_binding)
+                    extended[var] = item
+                    step(extended)
+                if out:
+                    yield out[:]
+                    del out[:]
+            return
+        step = _build_fused_steps(self.ops, rt, params, out.append, owned=False)
+        for batch in self._input_batches(rt, params, seed):
+            for binding in batch:
+                step(binding)
+            if out:
+                yield out[:]
+                del out[:]
+
+    def label(self) -> str:
+        return "FusedPipeline[" + "→".join(_short_label(op) for op in self.ops) + "]"
+
+
+def _build_fused_steps(
+    ops: tuple[PhysicalOperator, ...],
+    rt: Any,
+    params: dict[str, Any],
+    emit: Callable[[Any], None],
+    owned: bool,
+) -> Callable[[Any], None]:
+    """Compose the continuation chain for one fused run.
+
+    ``owned`` tracks whether bindings reaching a step were allocated
+    inside this chain (by a bind, or by a copying LET further down) —
+    only then may a LET extend its binding in place instead of copying.
+    """
+    flags: list[bool] = []
+    for op in ops:
+        flags.append(owned)
+        if isinstance(op, (NestedLoopBind, Let)):
+            owned = True
+    compiled_on = use_compiled(rt)
+    fn = emit
+    for op, owned_here in zip(reversed(ops), reversed(flags)):
+        fn = _fused_step(op, rt, params, fn, compiled_on, owned_here)
+    return fn
+
+
+def _fused_step(
+    op: PhysicalOperator,
+    rt: Any,
+    params: dict[str, Any],
+    nxt: Callable[[Any], None],
+    compiled_on: bool,
+    owned: bool,
+) -> Callable[[Any], None]:
+    """One closure of the continuation chain for a fusable operator."""
+    if isinstance(op, Filter):
+        cond = op._c_condition if compiled_on else interpreted(op.condition)
+        if op.speculative:
+
+            def spec_filter_step(binding: Binding) -> None:
+                try:
+                    keep = bool(cond(rt, binding, params))
+                except ExecutionError:
+                    keep = True
+                if keep:
+                    nxt(binding)
+
+            return spec_filter_step
+
+        def filter_step(binding: Binding) -> None:
+            if cond(rt, binding, params):
+                nxt(binding)
+
+        return filter_step
+    if isinstance(op, Let):
+        value = op._c_value if compiled_on else interpreted(op.value)
+        let_var = op.var
+        if owned:
+
+            def let_step(binding: Binding) -> None:
+                binding[let_var] = value(rt, binding, params)
+                nxt(binding)
+
+            return let_step
+
+        def let_copy_step(binding: Binding) -> None:
+            computed = value(rt, binding, params)
+            extended = dict(binding)
+            extended[let_var] = computed
+            nxt(extended)
+
+        return let_copy_step
+    if isinstance(op, NestedLoopBind):
+        access = op.access
+        bind_var = op.var
+        size = batch_size(rt)
+
+        def bind_step(binding: Binding) -> None:
+            for chunk in access.batches(rt, binding, params, size):
+                for item in chunk:
+                    extended = dict(binding)
+                    extended[bind_var] = item
+                    nxt(extended)
+
+        return bind_step
+    if isinstance(op, Project):
+        proj = op._c_expr if compiled_on else interpreted(op.returning.expr)
+        if op.returning.distinct:
+            seen: set[str] = set()
+
+            def distinct_step(binding: Binding) -> None:
+                value = proj(rt, binding, params)
+                marker = repr(value)
+                if marker not in seen:
+                    seen.add(marker)
+                    nxt(value)
+
+            return distinct_step
+
+        def project_step(binding: Binding) -> None:
+            nxt(proj(rt, binding, params))
+
+        return project_step
+    raise AssertionError(f"unfusable operator {type(op).__name__}")
+
+
+def fuse_pipelines(
+    root: PhysicalOperator | None, notes: list[str] | None = None
+) -> PhysicalOperator | None:
+    """Collapse maximal straight-line fusable chains into FusedPipeline
+    nodes, bottom-up over the child spine.
+
+    Recurses into any ``subplan`` attribute (the cluster gather's
+    per-shard pipeline), so it must run AFTER sharding — the sharding
+    rewriter pattern-matches the unfused operators.
+    """
+    if root is None:
+        return None
+    spine: list[PhysicalOperator] = []
+    node: PhysicalOperator | None = root
+    while node is not None:
+        spine.append(node)
+        node = node.child
+    pending: list[PhysicalOperator] = []
+
+    def flush(below: PhysicalOperator | None) -> PhysicalOperator | None:
+        if len(pending) >= 2:
+            fused = FusedPipeline(tuple(pending), below)
+            if notes is not None:
+                notes.append(f"fused {len(pending)}-operator chain: {fused.label()}")
+            below = fused
+        elif pending:
+            below = replace(pending[0], child=below)
+        pending.clear()
+        return below
+
+    rebuilt: PhysicalOperator | None = None
+    for op in reversed(spine):
+        if isinstance(op, _FUSABLE):
+            pending.append(op)
+            continue
+        rebuilt = flush(rebuilt)
+        subplan = getattr(op, "subplan", None)
+        if subplan is not None:
+            op = replace(op, subplan=fuse_pipelines(subplan, notes))
+        rebuilt = replace(op, child=rebuilt)
+    return flush(rebuilt)
 
 
 # ---------------------------------------------------------------------------
@@ -794,6 +1320,8 @@ def explain_tree(root: PhysicalOperator) -> list[str]:
     def walk(node: PhysicalOperator | None, depth: int) -> None:
         while node is not None:
             lines.append("  " * depth + node.label())
+            for op in getattr(node, "fused_ops", ()):
+                lines.append("  " * (depth + 1) + "· " + op.label())
             subplan = getattr(node, "subplan", None)
             if subplan is not None:
                 walk(subplan, depth + 1)

@@ -22,6 +22,15 @@ bindings through.  The contract:
    as residual filters, so over-approximating access paths stay correct.
 4. **TopK fusion** — SORT immediately followed by LIMIT becomes a single
    bounded-heap TopK operator instead of a full materialising sort.
+5. **Operator fusion** — after sharding, maximal straight-line chains of
+   bind/filter/let/project collapse into :class:`FusedPipeline` nodes
+   (:func:`repro.query.physical.fuse_pipelines`) whose per-batch closure
+   chains drop the remaining per-row operator hops.
+
+:func:`parameterize` is the prepared-statement half of the plan cache:
+it normalises literals into synthetic parameters so literal-differing
+query texts share one plan *shape* (and one cached plan), with the bound
+literal vector travelling alongside the lookup like statement arguments.
 
 ``plan()`` returns an :class:`ExplainedPlan` carrying both the annotated
 logical clauses (``.query``, with ``index_hint``/``range_hint`` on each
@@ -44,15 +53,20 @@ from repro.query.ast import (
     FieldAccess,
     FilterClause,
     ForClause,
+    FunctionCall,
+    IndexAccess,
     IndexHint,
     LetClause,
     LimitClause,
+    ListExpr,
     Literal,
+    ObjectExpr,
     ParamRef,
     Query,
     RangeHint,
     ReturnClause,
     SortClause,
+    SortKey,
     Unary,
     VarRef,
     free_variables,
@@ -73,6 +87,7 @@ from repro.query.physical import (
     Sort,
     TopK,
     field_path,
+    fuse_pipelines,
     render_expr,
 )
 
@@ -116,7 +131,100 @@ def plan(query: Query, catalog: Any = None) -> ExplainedPlan:
         from repro.cluster.planning import apply_sharding
 
         root = apply_sharding(root, catalog, notes)
+    # Fusion runs last: the sharding rewriter above pattern-matches the
+    # unfused operator spine, and fusion recurses into its subplans.
+    root = fuse_pipelines(root, notes)
     return ExplainedPlan(annotated, tuple(notes), root)
+
+
+# ---------------------------------------------------------------------------
+# Literal parameterization (prepared-statement plan sharing)
+# ---------------------------------------------------------------------------
+
+# Synthetic parameter names start with a character the parser rejects in
+# @refs, so they can never collide with user-supplied parameters.
+SHAPE_PARAM_PREFIX = "%p"
+
+
+def parameterize(query: Query) -> tuple[Query, dict[str, Any]]:
+    """Normalise literals into synthetic parameters (``@%pN``).
+
+    Returns the *shape* query plus the extracted literal vector.  Two
+    texts differing only in literals produce value-equal shapes, so the
+    plan cache stores one plan and replays it with different binds —
+    prepared-statement semantics without a PREPARE step.
+
+    Literals whose value feeds *plan-time* compilation are pinned (kept
+    inline) rather than extracted, so queries that genuinely need
+    different plans never falsely share one.  Today that is the RHS of
+    ``LIKE``: a literal pattern compiles to a cached regex inside the
+    plan's closures.  Subquery bodies are left untouched — inner queries
+    cache by AST value through the same cache.
+    """
+    binds: dict[str, Any] = {}
+
+    def fresh(value: Any) -> ParamRef:
+        name = f"{SHAPE_PARAM_PREFIX}{len(binds)}"
+        binds[name] = value
+        return ParamRef(name)
+
+    def rewrite(expr: Expr) -> Expr:
+        if isinstance(expr, Literal):
+            return fresh(expr.value)
+        if isinstance(expr, Binary):
+            if expr.op == "LIKE" and isinstance(expr.right, Literal):
+                return Binary(expr.op, rewrite(expr.left), expr.right)
+            return Binary(expr.op, rewrite(expr.left), rewrite(expr.right))
+        if isinstance(expr, Unary):
+            return Unary(expr.op, rewrite(expr.operand))
+        if isinstance(expr, FieldAccess):
+            return FieldAccess(rewrite(expr.base), expr.field)
+        if isinstance(expr, IndexAccess):
+            return IndexAccess(rewrite(expr.base), rewrite(expr.index))
+        if isinstance(expr, FunctionCall):
+            return FunctionCall(expr.name, tuple(rewrite(a) for a in expr.args))
+        if isinstance(expr, ListExpr):
+            return ListExpr(tuple(rewrite(item) for item in expr.items))
+        if isinstance(expr, ObjectExpr):
+            return ObjectExpr(
+                tuple((name, rewrite(value)) for name, value in expr.fields)
+            )
+        # VarRef, ParamRef, Subquery (cached separately by AST value).
+        return expr
+
+    def rewrite_clause(clause: Clause) -> Clause:
+        if isinstance(clause, ForClause):
+            return replace(clause, source=rewrite(clause.source))
+        if isinstance(clause, FilterClause):
+            return replace(clause, condition=rewrite(clause.condition))
+        if isinstance(clause, LetClause):
+            return replace(clause, value=rewrite(clause.value))
+        if isinstance(clause, SortClause):
+            return SortClause(
+                tuple(SortKey(rewrite(k.expr), k.ascending) for k in clause.keys)
+            )
+        if isinstance(clause, LimitClause):
+            return LimitClause(
+                rewrite(clause.count),
+                rewrite(clause.offset) if clause.offset is not None else None,
+            )
+        if isinstance(clause, CollectClause):
+            return CollectClause(
+                tuple((name, rewrite(expr)) for name, expr in clause.keys),
+                tuple(
+                    replace(agg, arg=rewrite(agg.arg))
+                    for agg in clause.aggregations
+                ),
+                clause.into,
+            )
+        return clause
+
+    shape = Query(
+        tuple(rewrite_clause(c) for c in query.clauses),
+        replace(query.returning, expr=rewrite(query.returning.expr)),
+        query.text,
+    )
+    return shape, binds
 
 
 # ---------------------------------------------------------------------------

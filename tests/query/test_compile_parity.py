@@ -1,17 +1,28 @@
-"""Differential tests: compiled expression closures vs the interpreter.
+"""Differential tests: every execution mode vs the interpreter oracle.
 
-The closure compiler (:mod:`repro.query.compile`) must be observationally
-equivalent to the reference interpreter (:meth:`Executor.eval_expr`) —
-same values, same errors.  Three layers of evidence:
+The engine has three ablation axes — ``use_compiled`` (closure-compiled
+expressions vs the recursive interpreter), ``use_batches`` (batch-at-a-
+time operator streams vs per-binding Volcano pulls) and ``use_fusion``
+(fused pipeline closures vs unfused batch operators).  Every combination
+must be observationally equivalent: same values, same order, same
+errors.  Layers of evidence:
 
-1. every query of the E1 suite (Q1-Q12) runs end-to-end in both modes
-   and must return identical results;
+1. every query of the E1 suite (Q1-Q12) runs end-to-end through the
+   full mode matrix {interpreted, compiled, batched, batched+fused} ×
+   {indexes, no-indexes} and must return identical results;
 2. randomized expression trees (deterministic RNG, hundreds of shapes
-   over a mixed-type binding) evaluate identically through both paths,
-   *including* raising the same error type and message;
-3. targeted error-semantics cases (unbound variables, bad arithmetic,
-   unknown functions, speculative-filter deferral) where the two
+   over a mixed-type binding) evaluate identically through the
+   interpreter and the compiled closures, *including* raising the same
+   error type and message;
+3. the same randomized trees embedded in tiny pipelines run end-to-end
+   through every execution mode, comparing values and errors;
+4. targeted error-semantics cases (unbound variables, bad arithmetic,
+   unknown functions, speculative-filter deferral) where the
    implementations could plausibly diverge.
+
+The 1-vs-4-shard half of the matrix lives in
+``tests/cluster/test_vectorized_parity.py`` (it needs the sharded
+fixtures).
 """
 
 from __future__ import annotations
@@ -37,31 +48,53 @@ from repro.query.compile import compile_expr
 from repro.query.executor import Executor, run_query
 from repro.util.rng import DeterministicRng, derive_seed
 
+# The execution-mode matrix: kwargs for Driver.query / run_query.
+# "interpreted" is the oracle every other mode is compared against.
+EXECUTION_MODES = {
+    "interpreted": dict(use_compiled=False, use_batches=False),
+    "compiled": dict(use_compiled=True, use_batches=False),
+    "batched": dict(use_compiled=True, use_batches=True, use_fusion=False),
+    "fused": dict(use_compiled=True, use_batches=True, use_fusion=True),
+}
+
+_VARIANT_MODES = [name for name in EXECUTION_MODES if name != "interpreted"]
+
 
 # ---------------------------------------------------------------------------
-# 1. E1 suite parity, end to end
+# 1. E1 suite parity, end to end, full mode matrix
 # ---------------------------------------------------------------------------
 
 
+@pytest.mark.parametrize("mode", _VARIANT_MODES)
 @pytest.mark.parametrize("query", QUERIES + EXTENDED_QUERIES, ids=lambda q: q.query_id)
-def test_e1_suite_compiled_matches_interpreter(query, loaded_unified, small_dataset):
+def test_e1_suite_modes_match_interpreter(query, mode, loaded_unified, small_dataset):
     params = query.params(small_dataset)
-    interpreted = loaded_unified.query(query.text, params, use_compiled=False)
-    compiled = loaded_unified.query(query.text, params, use_compiled=True)
-    assert repr(compiled) == repr(interpreted)
+    oracle = loaded_unified.query(query.text, params, **EXECUTION_MODES["interpreted"])
+    candidate = loaded_unified.query(query.text, params, **EXECUTION_MODES[mode])
+    assert repr(candidate) == repr(oracle)
+
+
+@pytest.mark.parametrize("mode", _VARIANT_MODES)
+@pytest.mark.parametrize("query", QUERIES[:5], ids=lambda q: q.query_id)
+def test_e1_suite_parity_without_indexes(query, mode, loaded_unified, small_dataset):
+    """The ablation axes compose: scans + any mode == scans + interpreter."""
+    params = query.params(small_dataset)
+    oracle = loaded_unified.query(
+        query.text, params, use_indexes=False, **EXECUTION_MODES["interpreted"]
+    )
+    candidate = loaded_unified.query(
+        query.text, params, use_indexes=False, **EXECUTION_MODES[mode]
+    )
+    assert repr(candidate) == repr(oracle)
 
 
 @pytest.mark.parametrize("query", QUERIES[:5], ids=lambda q: q.query_id)
-def test_e1_suite_parity_without_indexes(query, loaded_unified, small_dataset):
-    """The ablation axes compose: scans + interpreter == scans + closures."""
+def test_e1_suite_parity_with_tiny_batches(query, loaded_unified, small_dataset):
+    """A pathological batch size (1) exercises every flush boundary."""
     params = query.params(small_dataset)
-    interpreted = loaded_unified.query(
-        query.text, params, use_indexes=False, use_compiled=False
-    )
-    compiled = loaded_unified.query(
-        query.text, params, use_indexes=False, use_compiled=True
-    )
-    assert repr(compiled) == repr(interpreted)
+    oracle = loaded_unified.query(query.text, params, **EXECUTION_MODES["interpreted"])
+    tiny = loaded_unified.query(query.text, params, batch_size=1)
+    assert repr(tiny) == repr(oracle)
 
 
 # ---------------------------------------------------------------------------
@@ -164,7 +197,50 @@ def test_randomized_trees_agree_values_and_errors(seed):
 
 
 # ---------------------------------------------------------------------------
-# 3. Targeted error semantics
+# 3. Randomized trees embedded in pipelines, full mode matrix
+# ---------------------------------------------------------------------------
+
+
+def _pipeline_query(expr: Expr):
+    """A tiny FOR/LET pipeline binding the reference binding, then RETURN
+    *expr* — so the random tree runs through the full operator stack
+    (bind, lets, project; fused in batch mode)."""
+    from repro.query.ast import (
+        ForClause,
+        LetClause,
+        Query,
+        ReturnClause,
+    )
+
+    clauses = (
+        ForClause("row", ListExpr((Literal(0),))),
+        LetClause("u", ParamRef("__u")),
+        LetClause("xs", ParamRef("__xs")),
+        LetClause("n", ParamRef("__n")),
+        LetClause("s", ParamRef("__s")),
+    )
+    return Query(clauses, ReturnClause(expr))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_randomized_pipelines_agree_across_modes(seed):
+    rng = DeterministicRng(derive_seed(42, "vector-parity", seed))
+    run_params = dict(_PARAMS)
+    run_params.update({f"__{k}": v for k, v in _BINDING.items()})
+    for _ in range(60):
+        expr = _random_expr(rng, depth=4)
+        query = _pipeline_query(expr)
+        outcomes = {}
+        for mode, flags in EXECUTION_MODES.items():
+            executor = Executor(ctx=None, **flags)
+            outcomes[mode] = _outcome(lambda: executor.execute(query, run_params))
+        oracle = outcomes.pop("interpreted")
+        for mode, outcome in outcomes.items():
+            assert outcome == oracle, f"{mode} diverged on {expr!r}"
+
+
+# ---------------------------------------------------------------------------
+# 4. Targeted error semantics
 # ---------------------------------------------------------------------------
 
 
@@ -203,41 +279,43 @@ _ERROR_EXPRS = [
 @pytest.mark.parametrize("text", _ERROR_EXPRS)
 def test_error_parity(tiny_ctx, text):
     modes = {}
-    for use_compiled in (False, True):
+    for mode, flags in EXECUTION_MODES.items():
         try:
-            run_query(tiny_ctx, text, use_compiled=use_compiled)
-            modes[use_compiled] = ("ok", None)
+            run_query(tiny_ctx, text, **flags)
+            modes[mode] = ("ok", None)
         except ExecutionError as exc:
-            modes[use_compiled] = (type(exc).__name__, str(exc))
-    assert modes[True] == modes[False]
-    assert modes[True][0] != "ok"
+            modes[mode] = (type(exc).__name__, str(exc))
+    oracle = modes.pop("interpreted")
+    assert oracle[0] != "ok"
+    for mode, outcome in modes.items():
+        assert outcome == oracle, f"{mode} diverged"
 
 
 def test_erroring_argument_beats_unknown_function(tiny_ctx):
-    """Both modes evaluate arguments before raising unknown-function."""
-    for use_compiled in (False, True):
+    """All modes evaluate arguments before raising unknown-function."""
+    for flags in EXECUTION_MODES.values():
         with pytest.raises(ExecutionError, match="unbound variable"):
-            run_query(
-                tiny_ctx, "RETURN NO_SUCH_FN(ghost)", use_compiled=use_compiled
-            )
+            run_query(tiny_ctx, "RETURN NO_SUCH_FN(ghost)", **flags)
 
 
-def test_speculative_filter_defers_errors_in_both_modes(tiny_ctx):
-    """A hoisted conjunct that errors must not invent failures (compiled
-    or interpreted) — the strict original still raises when reached."""
+def test_speculative_filter_defers_errors_in_all_modes(tiny_ctx):
+    """A hoisted conjunct that errors must not invent failures (in any
+    execution mode) — the strict original still raises when reached."""
     text = (
         "FOR r IN rows FOR x IN [1] "
         "FILTER x == 1 AND r.v * 2 > 4 RETURN r._id"
     )
-    interpreted = run_query(tiny_ctx, text, use_compiled=False)
-    compiled = run_query(tiny_ctx, text, use_compiled=True)
-    assert compiled == interpreted == [1]
+    results = {
+        mode: run_query(tiny_ctx, text, **flags)
+        for mode, flags in EXECUTION_MODES.items()
+    }
+    assert all(result == [1] for result in results.values()), results
 
 
 def test_like_compiles_pattern_once_and_agrees(tiny_ctx):
     text = "FOR r IN rows FILTER r.s LIKE '_b%' RETURN r._id"
-    assert run_query(tiny_ctx, text, use_compiled=True) == [1]
-    assert run_query(tiny_ctx, text, use_compiled=False) == [1]
+    for flags in EXECUTION_MODES.values():
+        assert run_query(tiny_ctx, text, **flags) == [1]
 
 
 def test_subqueries_agree(tiny_ctx):
@@ -246,6 +324,21 @@ def test_subqueries_agree(tiny_ctx):
         "LET doubled = (FOR x IN [1, 2] RETURN x * r.v) "
         "RETURN {id: r._id, doubled}"
     )
-    interpreted = run_query(tiny_ctx, text, use_compiled=False)
-    compiled = run_query(tiny_ctx, text, use_compiled=True)
-    assert compiled == interpreted
+    results = {
+        mode: run_query(tiny_ctx, text, **flags)
+        for mode, flags in EXECUTION_MODES.items()
+    }
+    oracle = results.pop("interpreted")
+    for mode, result in results.items():
+        assert result == oracle, f"{mode} diverged"
+
+
+def test_distinct_dedupes_across_batch_boundaries(tiny_ctx):
+    # 5 distinct values, each repeated; batch_size=2 forces the DISTINCT
+    # seen-set to carry across many batches in every batch mode.
+    ctx = _TinyContext(rows=[{"k": i % 5} for i in range(40)])
+    text = "FOR r IN rows RETURN DISTINCT r.k"
+    oracle = run_query(ctx, text, **EXECUTION_MODES["interpreted"])
+    for mode in _VARIANT_MODES:
+        got = run_query(ctx, text, batch_size=2, **EXECUTION_MODES[mode])
+        assert got == oracle == [0, 1, 2, 3, 4]

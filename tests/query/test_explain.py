@@ -10,6 +10,7 @@ from repro.query.parser import parse
 from repro.query.physical import (
     CollectionScan,
     Filter,
+    FusedPipeline,
     HashAggregate,
     IndexEqLookup,
     IndexRangeScan,
@@ -60,31 +61,51 @@ class TestAccessPathNaming:
 
 class TestOperatorTree:
     def test_physical_chain_shape(self):
+        # The whole bind→filter→project spine fuses into one pipeline;
+        # the constituent operators stay inspectable in execution order.
         root = root_of("FOR u IN users FILTER u.age > 1 RETURN u.name")
-        assert isinstance(root, Project)
-        assert isinstance(root.child, Filter)
-        bind = root.child.child
+        assert isinstance(root, FusedPipeline)
+        assert root.child is None
+        bind, filt, project = root.ops
         assert isinstance(bind, NestedLoopBind)
         assert isinstance(bind.access, IndexRangeScan)
-        assert bind.child is None
+        assert isinstance(filt, Filter)
+        assert isinstance(project, Project)
 
     def test_residual_filter_is_kept_above_index_access(self):
         # The index may over-approximate; the predicate must re-check.
         root = root_of("FOR u IN users FILTER u.country == 'FI' RETURN u")
-        assert isinstance(root.child, Filter)
-        assert isinstance(root.child.child.access, IndexEqLookup)
+        bind, filt, _ = root.ops
+        assert isinstance(filt, Filter)
+        assert isinstance(bind.access, IndexEqLookup)
 
     def test_join_key_probe_on_inner_for(self):
         root = root_of(
             "FOR u IN users FOR o IN orders FILTER o.user == u._id RETURN o"
         )
-        inner = root.child.child
+        outer, inner, _filt, _project = root.ops
         assert isinstance(inner, NestedLoopBind) and inner.var == "o"
         assert isinstance(inner.access, IndexEqLookup)
         assert inner.access.field == "user"
-        outer = inner.child
         assert isinstance(outer, NestedLoopBind) and outer.var == "u"
         assert isinstance(outer.access, CollectionScan)
+
+    def test_fused_pipeline_renders_one_node_with_detail(self):
+        out = describe(
+            "FOR u IN users FILTER u.age > 1 LET n = u.name RETURN n"
+        )
+        assert "FusedPipeline[NestedLoopBind u→Filter→Let n→Project]" in out
+        # The access-path annotation stays visible as a detail line.
+        assert "· NestedLoopBind u: IndexRangeScan" in out
+
+    def test_blocking_operators_are_not_fused(self):
+        root = root_of(
+            "FOR o IN orders SORT o.total LIMIT 500 RETURN o._id"
+        )
+        # Project above TopK cannot fuse across it: the chain splits.
+        assert isinstance(root, Project)
+        assert isinstance(root.child, TopK)
+        assert isinstance(root.child.child, NestedLoopBind)
 
 
 class TestTopKFusion:

@@ -23,15 +23,16 @@ class TestPlanCache:
         cache = PlanCache()
         first = cache.get_or_plan(self.TEXT)
         second = cache.get_or_plan(self.TEXT)
-        assert second is first
+        assert second.plan is first.plan
+        assert second.binds == first.binds
         stats = cache.stats()
         assert stats["hits"] == 1 and stats["misses"] == 1
 
-    def test_distinct_texts_plan_separately(self):
+    def test_distinct_shapes_plan_separately(self):
         cache = PlanCache()
         a = cache.get_or_plan(self.TEXT)
-        b = cache.get_or_plan("RETURN 1")
-        assert a is not b
+        b = cache.get_or_plan("RETURN @x")
+        assert a.plan is not b.plan
         assert len(cache) == 2
 
     def test_use_indexes_is_part_of_the_key(self):
@@ -47,27 +48,28 @@ class TestPlanCache:
         q1 = parse(self.TEXT)
         q2 = parse(self.TEXT)
         assert q1 is not q2
-        assert cache.get_or_plan(q1) is cache.get_or_plan(q2)
+        assert cache.get_or_plan(q1).plan is cache.get_or_plan(q2).plan
         assert cache.stats()["hits"] == 1
 
     def test_epoch_change_invalidates(self):
         cache = PlanCache()
         old = cache.get_or_plan(self.TEXT, epoch=0)
         new = cache.get_or_plan(self.TEXT, epoch=1)
-        assert new is not old
+        assert new.plan is not old.plan
         stats = cache.stats()
-        assert stats["invalidations"] == 1  # stale entry purged eagerly
+        # Both the stale plan entry and its text memo are purged eagerly.
+        assert stats["invalidations"] == 2
         assert len(cache) == 1
 
     def test_lru_eviction_is_bounded(self):
         cache = PlanCache(capacity=2)
-        cache.get_or_plan("RETURN 1")
-        cache.get_or_plan("RETURN 2")
-        cache.get_or_plan("RETURN 1")  # refresh 1
-        cache.get_or_plan("RETURN 3")  # evicts 2
+        cache.get_or_plan("FOR a IN xs RETURN a")
+        cache.get_or_plan("FOR b IN ys RETURN b")
+        cache.get_or_plan("FOR a IN xs RETURN a")  # refresh
+        cache.get_or_plan("FOR c IN zs RETURN c")  # evicts ys
         assert len(cache) == 2
-        assert cache.peek("RETURN 2") is None
-        assert cache.peek("RETURN 1") is not None
+        assert cache.peek("FOR b IN ys RETURN b") is None
+        assert cache.peek("FOR a IN xs RETURN a") is not None
         assert cache.stats()["evictions"] == 1
 
     def test_unhashable_ast_plans_uncached(self):
@@ -81,6 +83,64 @@ class TestPlanCache:
         cache = PlanCache()
         assert cache.peek(self.TEXT) is None
         assert len(cache) == 0
+
+
+class TestParameterizedSharing:
+    """The prepared-statement behaviour: literal-insensitive plan keys."""
+
+    def test_literal_differing_texts_share_one_plan(self):
+        cache = PlanCache()
+        a = cache.get_or_plan("FOR o IN orders FILTER o.status == 'new' RETURN o")
+        b = cache.get_or_plan("FOR o IN orders FILTER o.status == 'paid' RETURN o")
+        assert b.plan is a.plan
+        assert len(cache) == 1
+        stats = cache.stats()
+        # The second text is a *hit* despite never having been seen:
+        # its shape resolved to the cached plan.
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        # Each text keeps its own literal vector.
+        assert list(a.binds.values()) == ["new"]
+        assert list(b.binds.values()) == ["paid"]
+
+    def test_binds_travel_like_statement_arguments(self, loaded_unified):
+        loaded_unified.plan_cache.clear()
+        shipped = loaded_unified.query(
+            "FOR o IN orders FILTER o.status == 'shipped' RETURN o._id"
+        )
+        pending = loaded_unified.query(
+            "FOR o IN orders FILTER o.status == 'pending' RETURN o._id"
+        )
+        # One shared plan, two different answers.
+        assert len(loaded_unified.plan_cache) == 1
+        assert loaded_unified.plan_cache.stats()["hits"] >= 1
+        assert shipped and pending and set(shipped).isdisjoint(pending)
+
+    def test_like_patterns_do_not_falsely_share(self):
+        """A literal LIKE pattern compiles to a regex inside the plan, so
+        pattern-differing queries must get separate entries."""
+        cache = PlanCache()
+        a = cache.get_or_plan("FOR u IN users FILTER u.name LIKE 'a%' RETURN u")
+        b = cache.get_or_plan("FOR u IN users FILTER u.name LIKE 'b%' RETURN u")
+        assert b.plan is not a.plan
+        assert len(cache) == 2
+        assert cache.stats()["hits"] == 0
+
+    def test_shape_params_cannot_collide_with_user_params(self):
+        prepared = PlanCache().get_or_plan("RETURN @p0 + 1")
+        # The user's @p0 stays a user parameter; the literal 1 becomes a
+        # synthetic %p0 — distinct namespaces by construction.
+        assert list(prepared.binds) == ["%p0"]
+
+    def test_epoch_invalidation_replans_shared_shapes(self):
+        cache = PlanCache()
+        old = cache.get_or_plan(
+            "FOR o IN orders FILTER o.status == 'new' RETURN o", epoch=0
+        )
+        new = cache.get_or_plan(
+            "FOR o IN orders FILTER o.status == 'paid' RETURN o", epoch=1
+        )
+        assert new.plan is not old.plan
+        assert len(cache) == 1
 
 
 class TestDriverWiring:
