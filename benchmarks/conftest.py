@@ -17,7 +17,9 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import sys
+from datetime import datetime, timezone
 
 import pytest
 
@@ -39,6 +41,23 @@ BENCH_CONFIG = BenchmarkConfig(
 
 _collected_tables: list[str] = []
 _collected_records: list[dict] = []
+# Wall-clock start of the harness session, stamped into the JSON
+# artifact so perf trajectories can be ordered without relying on mtime.
+_session_started = datetime.now(timezone.utc).isoformat()
+
+
+def _git_sha() -> str | None:
+    """The checkout's HEAD sha, or None outside a git work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except OSError:
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
 
 
 def record_table(table) -> str:
@@ -98,11 +117,15 @@ def pytest_sessionfinish(session, exitstatus):
             handle.write("\n\n".join(_collected_tables) + "\n")
     path = _json_path(session)
     if path and _collected_records:
-        # No global scale field: bench modules run at their own scales
-        # (e.g. BENCH_SHARDING_SF), which each table title records.
+        # scale_factor is the harness default; bench modules that run at
+        # their own scales (e.g. BENCH_SHARDING_SF) record the override
+        # in their table titles.
         payload = {
+            "git_sha": _git_sha(),
             "python": platform.python_version(),
             "platform": sys.platform,
+            "scale_factor": BENCH_CONFIG.generator.scale_factor,
+            "started_at": _session_started,
             "tables": _collected_records,
         }
         with open(path, "w") as handle:

@@ -6,9 +6,12 @@ Usage::
     python -m repro F1 E3a E6       # run a subset
     python -m repro --list          # show available experiment ids
     python -m repro --out report.txt
+    python -m repro metrics         # observability survey: run the query
+                                    # mix, print Prometheus metrics +
+                                    # slowest traces (see --help)
 
 Core experiments come from :mod:`repro.core.experiments` (F1, E1-E6) and
-extensions from :mod:`repro.core.experiments_ext` (E7-E13, YCSB).
+extensions from :mod:`repro.core.experiments_ext` (E7-E15, YCSB).
 """
 
 from __future__ import annotations
@@ -28,6 +31,14 @@ def _registry() -> dict[str, object]:
 
 
 def main(argv: list[str] | None = None) -> int:
+    args_in = sys.argv[1:] if argv is None else argv
+    # `metrics` is a subcommand, not an experiment id — dispatch before
+    # the experiment parser rejects it (or its own flags).
+    if args_in and args_in[0] == "metrics":
+        from repro.obs.cli import main as metrics_main
+
+        return metrics_main(args_in[1:])
+
     registry = _registry()
     parser = argparse.ArgumentParser(
         prog="python -m repro",

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any
 
 from repro.query.ast import Expr, SortKey
@@ -55,7 +56,7 @@ class _ShardRuntime:
     __slots__ = (
         "_parent", "ctx", "use_indexes", "use_compiled", "use_batches",
         "use_fusion", "batch_size", "stats", "analyze", "observed",
-        "scan_cache",
+        "scan_cache", "tracer", "obs", "trace_id",
     )
 
     def __init__(self, parent: Any, ctx: Any, stats: dict[str, int]) -> None:
@@ -77,6 +78,14 @@ class _ShardRuntime:
         # Scan blocks are shard-local: this runtime's ctx sees only one
         # shard's data, so it must never share the parent's cache.
         self.scan_cache: dict[str, list[Any]] = {}
+        # The trace id rides into the worker so shard-local events can
+        # correlate with the query's span tree; the tracer itself must
+        # not — its span stack belongs to the query thread (workers fill
+        # pre-created child spans instead), and a worker never pushes
+        # observability instruments of its own.
+        self.tracer = None
+        self.obs = None
+        self.trace_id = getattr(parent, "trace_id", None)
 
     def eval_expr(self, expr: Expr, binding: Binding, params: dict[str, Any]) -> Any:
         return self._parent.eval_expr(expr, binding, params)
@@ -93,6 +102,66 @@ def _fresh_stats() -> dict[str, int]:
         "index_lookups": 0, "range_lookups": 0, "scans": 0, "rows_scanned": 0,
         "scan_cache_hits": 0,
     }
+
+
+def _observed_task(task, scatter_span, shard_id, latencies, index):
+    """Wrap one shard worker thunk with timing + its pre-created span.
+
+    The span is created *here*, on the query thread, before the pool
+    dispatch; the worker only mutates its own span object (attrs +
+    ``finish_at``) and its own ``latencies`` slot.  Crucially the worker
+    takes **no locks**: pushing the latency histogram from inside the
+    workers made N threads contend on one instrument mutex at the exact
+    moment they all finish — the caller drains ``latencies`` into the
+    histogram sequentially after the gather instead.
+    """
+    span = (
+        scatter_span.child(f"shard-{shard_id}", shard=shard_id)
+        if scatter_span is not None else None
+    )
+
+    def run_task():
+        started = perf_counter()
+        rows = task()
+        elapsed = perf_counter() - started
+        if span is not None:
+            span.attrs["rows"] = len(rows)
+            span.finish_at(elapsed)
+        latencies[index] = elapsed
+        return rows
+
+    return run_task
+
+
+def _traced_routed_stream(stream, scatter_span, shard_id):
+    """Stream the routed single-shard path under its shard span.
+
+    The routed path never materialises, so the span's elapsed covers
+    the full pull-through (including parent consumption) — labelled
+    ``routed=True`` to distinguish it from worker-measured drains.
+    """
+    span = scatter_span.child(f"shard-{shard_id}", shard=shard_id, routed=True)
+    started = perf_counter()
+    rows = 0
+    for item in stream:
+        rows += 1
+        yield item
+    span.attrs["rows"] = rows
+    span.finish_at(perf_counter() - started)
+    scatter_span.finish()
+
+
+def _traced_routed_batches(stream, scatter_span, shard_id):
+    """Batch-mode twin of :func:`_traced_routed_stream`."""
+    span = scatter_span.child(f"shard-{shard_id}", shard=shard_id, routed=True)
+    started = perf_counter()
+    rows = 0
+    for batch in stream:
+        rows += len(batch)
+        yield batch
+    span.attrs["rows"] = rows
+    span.finish_at(perf_counter() - started)
+    scatter_span.finish()
 
 
 @dataclass(frozen=True)
@@ -132,11 +201,16 @@ class ShardExec(PhysicalOperator):
         ctx = rt.ctx  # ShardedQueryContext
         targets = self._targets(rt, ctx, params, seed)
         rt.stats["shard_fanout"] = rt.stats.get("shard_fanout", 0) + len(targets)
+        scatter_span, obs = self._observe_scatter(rt, targets)
         if len(targets) == 1:
             # Routed (or shadowed-variable) execution: stream straight
             # through the single shard, no pool and no materialisation.
             shard_rt = _ShardRuntime(rt, ctx.shard_context(targets[0]), rt.stats)
-            yield from self.subplan.run(shard_rt, params, seed)
+            stream = self.subplan.run(shard_rt, params, seed)
+            if scatter_span is None:
+                yield from stream
+            else:
+                yield from _traced_routed_stream(stream, scatter_span, targets[0])
             return
         runtimes = [
             _ShardRuntime(rt, ctx.shard_context(i), _fresh_stats()) for i in targets
@@ -147,6 +221,13 @@ class ShardExec(PhysicalOperator):
             ))
             for srt in runtimes
         ]
+        latencies = None
+        if scatter_span is not None or obs is not None:
+            latencies = [0.0] * len(tasks)
+            tasks = [
+                _observed_task(task, scatter_span, shard_id, latencies, i)
+                for i, (task, shard_id) in enumerate(zip(tasks, targets))
+            ]
         if getattr(rt, "analyze", False):
             # EXPLAIN ANALYZE shares row counters across shards; run the
             # scatter sequentially so the counts are exact.
@@ -156,12 +237,35 @@ class ShardExec(PhysicalOperator):
         for srt in runtimes:
             for key, value in srt.stats.items():
                 rt.stats[key] = rt.stats.get(key, 0) + value
+        if obs is not None and latencies is not None:
+            observe = obs.shard_seconds.observe
+            for elapsed in latencies:
+                observe(elapsed)
+        if scatter_span is None:
+            if self.merge_keys:
+                keyfn = sort_evaluator(rt, self._c_merge, self.merge_keys)
+                yield from heapq.merge(*chunks, key=lambda b: keyfn(rt, b, params))
+            else:
+                for chunk in chunks:
+                    yield from chunk
+            return
+        gather_span = scatter_span.child(
+            "gather", mode="merge" if self.merge_keys else "concat"
+        )
+        gather_started = perf_counter()
+        rows = 0
         if self.merge_keys:
             keyfn = sort_evaluator(rt, self._c_merge, self.merge_keys)
-            yield from heapq.merge(*chunks, key=lambda b: keyfn(rt, b, params))
+            for binding in heapq.merge(*chunks, key=lambda b: keyfn(rt, b, params)):
+                rows += 1
+                yield binding
         else:
             for chunk in chunks:
+                rows += len(chunk)
                 yield from chunk
+        gather_span.attrs["rows"] = rows
+        gather_span.finish_at(perf_counter() - gather_started)
+        scatter_span.finish()
 
     def run_batches(self, rt, params, seed=None):
         """Batch-mode gather: whole batches cross the shard boundary.
@@ -174,9 +278,14 @@ class ShardExec(PhysicalOperator):
         ctx = rt.ctx
         targets = self._targets(rt, ctx, params, seed)
         rt.stats["shard_fanout"] = rt.stats.get("shard_fanout", 0) + len(targets)
+        scatter_span, obs = self._observe_scatter(rt, targets)
         if len(targets) == 1:
             shard_rt = _ShardRuntime(rt, ctx.shard_context(targets[0]), rt.stats)
-            yield from self.subplan.run_batches(shard_rt, params, seed)
+            stream = self.subplan.run_batches(shard_rt, params, seed)
+            if scatter_span is None:
+                yield from stream
+            else:
+                yield from _traced_routed_batches(stream, scatter_span, targets[0])
             return
         runtimes = [
             _ShardRuntime(rt, ctx.shard_context(i), _fresh_stats()) for i in targets
@@ -191,6 +300,13 @@ class ShardExec(PhysicalOperator):
             return rows
 
         tasks = [(lambda srt=srt: drain(srt)) for srt in runtimes]
+        latencies = None
+        if scatter_span is not None or obs is not None:
+            latencies = [0.0] * len(tasks)
+            tasks = [
+                _observed_task(task, scatter_span, shard_id, latencies, i)
+                for i, (task, shard_id) in enumerate(zip(tasks, targets))
+            ]
         if getattr(rt, "analyze", False):
             chunks = [task() for task in tasks]
         else:
@@ -198,7 +314,19 @@ class ShardExec(PhysicalOperator):
         for srt in runtimes:
             for key, value in srt.stats.items():
                 rt.stats[key] = rt.stats.get(key, 0) + value
+        if obs is not None and latencies is not None:
+            observe = obs.shard_seconds.observe
+            for elapsed in latencies:
+                observe(elapsed)
         size = batch_size(rt)
+        gather_span = None
+        if scatter_span is not None:
+            gather_span = scatter_span.child(
+                "gather",
+                mode="merge" if self.merge_keys else "concat",
+                rows=sum(len(chunk) for chunk in chunks),
+            )
+            gather_started = perf_counter()
         if self.merge_keys:
             keyfn = sort_evaluator(rt, self._c_merge, self.merge_keys)
             merged = heapq.merge(*chunks, key=lambda b: keyfn(rt, b, params))
@@ -206,6 +334,31 @@ class ShardExec(PhysicalOperator):
         else:
             for chunk in chunks:
                 yield from _chunks(chunk, size)
+        if gather_span is not None:
+            gather_span.finish_at(perf_counter() - gather_started)
+            scatter_span.finish()
+
+    def _observe_scatter(self, rt, targets):
+        """This scatter's (span, obs) instrumentation pair; Nones when off.
+
+        One ``getattr`` pair per run — executors without the
+        observability channel (plain single-node runs, shard workers)
+        resolve both to None and the operator behaves exactly as before
+        instrumentation existed.
+        """
+        obs = getattr(rt, "obs", None)
+        if obs is not None:
+            obs.shard_fanout.observe(len(targets))
+        tracer = getattr(rt, "tracer", None)
+        if tracer is None:
+            return None, obs
+        span = tracer.current.child(
+            "ShardExec",
+            collection=self.collection,
+            fanout=len(targets),
+            gather="merge" if self.merge_keys else "concat",
+        )
+        return span, obs
 
     def _targets(self, rt, ctx, params, seed: Binding | None) -> list[int]:
         if seed and self.collection in seed:

@@ -267,6 +267,12 @@ class ShardedDatabase(Driver):
         recovered.coordinator = TwoPhaseCoordinator(
             self.coordinator_log, self.coordinator.stats
         )
+        # Metrics are process-local operational state, not durable data:
+        # drop the bundle so its collectors (and the coordinator hook)
+        # rebind to the recovered instance rather than the dead one.
+        # The switches survive — a cluster crashed with tracing on
+        # recovers with tracing on; the counters restart from zero.
+        old_obs = recovered.__dict__.pop("_observability", None)
         recovered._shard_locks = [threading.Lock() for _ in range(self.n_shards)]
         recovered._pool = None
         recovered._pool_lock = threading.Lock()
@@ -289,6 +295,17 @@ class ShardedDatabase(Driver):
         # again.  Checkpoint the whole durable log; it stops growing
         # across crash/recovery cycles (global-id floor preserved).
         recovered.coordinator_log.checkpoint()
+        if old_obs is not None:
+            from repro.obs.core import Observability
+
+            fresh = Observability(
+                enabled=old_obs.enabled,
+                tracing=old_obs.tracing,
+                slow_query_ms=old_obs.slow_log.threshold_ms,
+                slow_log_capacity=old_obs.slow_log.capacity,
+            )
+            recovered._register_observability(fresh)
+            recovered.__dict__["_observability"] = fresh
         return recovered
 
     # -- queries -------------------------------------------------------------
@@ -310,6 +327,49 @@ class ShardedDatabase(Driver):
         return self.router.epoch + sum(
             shard.catalog_epoch for shard in self.shards
         )
+
+    # -- observability -------------------------------------------------------
+
+    def _register_observability(self, obs) -> None:
+        """Plan cache (base) + cluster-wide sums of per-shard engine state.
+
+        WAL and lock-table collectors sum across the *current*
+        ``self.shards`` list at snapshot time, so after crash recovery
+        (which replaces the shard instances) a rebuilt bundle reads the
+        live shards.  The coordinator additionally gets the bundle
+        pushed onto it for 2PC latency/outcome instrumentation.
+        """
+        super()._register_observability(obs)
+        obs.registry.register_collector("wal", self._wal_metrics)
+        obs.registry.register_collector("locks", self._lock_metrics)
+        obs.registry.register_collector("txn", self._txn_metrics)
+        self.coordinator.obs = obs
+
+    def _sum_shard_metrics(self, metrics_of) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for shard in self.shards:
+            for key, value in metrics_of(shard).items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def _wal_metrics(self) -> dict[str, int]:
+        return self._sum_shard_metrics(lambda shard: shard.wal.metrics())
+
+    def _lock_metrics(self) -> dict[str, int]:
+        return self._sum_shard_metrics(lambda shard: shard.manager.locks.metrics())
+
+    def _txn_metrics(self) -> dict[str, Any]:
+        out = self._sum_shard_metrics(
+            lambda shard: {
+                "commits": shard.manager.commits,
+                "aborts": shard.manager.aborts,
+                "conflicts": shard.manager.conflicts,
+            }
+        )
+        out.update(self.coordinator.stats.as_dict())
+        out["coordinator_log_appends"] = self.coordinator_log.appends
+        out["coordinator_log_syncs"] = self.coordinator_log.syncs
+        return out
 
     # -- introspection -------------------------------------------------------
 
@@ -437,6 +497,15 @@ class ShardedSession:
         self.isolation = isolation
         self._sessions: dict[int, Session] = {}
         self.active = True
+        # With tracing on, each write transaction gets its own trace id,
+        # stamped onto the coordinator's 2PC decision record so a commit
+        # point can be correlated with client-side activity.  Read from
+        # the instance dict directly: a cluster that never built its
+        # observability bundle pays nothing here.
+        obs = db.__dict__.get("_observability")
+        self.trace_id: int | None = (
+            obs.next_trace_id() if obs is not None and obs.tracing else None
+        )
         # True when a best-effort commit failed *after* at least one
         # shard had already committed — the writes on those shards are
         # durable, so the transaction must not be blindly retried.
@@ -516,7 +585,7 @@ class ShardedSession:
             for shard_id, session in writers
         ]
         try:
-            self.db.coordinator.commit(participants)
+            self.db.coordinator.commit(participants, trace_id=self.trace_id)
         except SimulatedCrash:
             # A crash mid-protocol must leave prepared participants in
             # doubt — that is the state recovery exists to resolve.

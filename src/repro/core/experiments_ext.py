@@ -21,6 +21,9 @@ DESIGN.md §5 calls out:
 - **E14** — vectorized execution: batch-at-a-time operator streams and
   fused pipeline closures vs per-row Volcano pulls, on scan / filter /
   project shapes and the Q7 join end-to-end.
+- **E15** — the observability layer: metrics-only and full-tracing
+  overhead against the uninstrumented path on the sharded Q7 join,
+  plus structural verification of the per-shard span tree.
 """
 
 from __future__ import annotations
@@ -776,6 +779,108 @@ def experiment_e14_vectorized(
     return table
 
 
+# ---------------------------------------------------------------------------
+# E15 — observability overhead + span-tree verification
+# ---------------------------------------------------------------------------
+
+_E15_MODES = ("disabled", "metrics", "tracing")
+
+
+def experiment_e15_observability(
+    scale_factor: float = 0.05,
+    repetitions: int = 15,
+    seed: int = 42,
+) -> Table:
+    """Cost of the observability layer on the cluster's Q7 hot path.
+
+    One 4-shard cluster, the E14 Q7 join, three instrumentation modes:
+
+    - ``disabled``: the exact pre-observability execution path;
+    - ``metrics``: counters + latency histograms, no tracing (the
+      default production posture);
+    - ``tracing``: full per-query span trees threaded through the
+      scatter workers.
+
+    Repetitions are *interleaved* (every mode runs once per round) and
+    the table reports the per-mode minimum, so transient host noise
+    cannot brand one mode slow; ``overhead_x`` is the ratio against the
+    disabled floor — the CI smoke gates the tracing ratio at 1.05.
+
+    Before timing, the tracing mode's span tree is verified for shape:
+    a ShardExec span with one timed ``shard-N`` subspan per shard plus
+    a gather span — the structural acceptance criterion of the
+    observability layer.
+    """
+    from repro.core.workloads import QUERY_BY_ID
+
+    n_shards = 4
+    dataset = DatasetGenerator(
+        GeneratorConfig(seed=seed, scale_factor=scale_factor)
+    ).generate()
+    driver = ShardedDatabase(n_shards=n_shards)
+    load_dataset(driver, dataset)
+    q7 = QUERY_BY_ID["Q7"]
+    params = q7.params(dataset)
+    obs = driver.observability
+    obs.slow_log.threshold_ms = float("inf")  # capture cost, not entries
+
+    def set_mode(mode: str) -> None:
+        if mode == "disabled":
+            obs.disable()
+        else:
+            obs.enable(tracing=mode == "tracing")
+
+    # Correctness + span-shape gate before anything is timed.
+    results = {}
+    for mode in _E15_MODES:
+        set_mode(mode)
+        results[mode] = driver.query(q7.text, params)
+    baseline = repr(results["disabled"])
+    for mode, rows in results.items():
+        if repr(rows) != baseline:
+            raise AssertionError(f"E15: Q7 diverged under {mode}")
+    trace = obs.last_trace
+    if trace is None:
+        raise AssertionError("E15: tracing mode produced no trace")
+    scatters = [s for s in trace.root.walk() if s.name == "ShardExec"]
+    if not scatters:
+        raise AssertionError("E15: Q7 trace has no ShardExec span")
+    shard_spans = [
+        c for c in scatters[0].children if c.name.startswith("shard-")
+    ]
+    if len(shard_spans) != n_shards or any(
+        s.elapsed_ms is None for s in shard_spans
+    ):
+        raise AssertionError(
+            f"E15: expected {n_shards} timed per-shard subspans, got "
+            f"{[(s.name, s.elapsed_ms) for s in shard_spans]}"
+        )
+
+    best = {mode: float("inf") for mode in _E15_MODES}
+    for _ in range(repetitions):
+        for mode in _E15_MODES:
+            set_mode(mode)
+            with Stopwatch() as sw:
+                driver.query(q7.text, params)
+            best[mode] = min(best[mode], sw.elapsed)
+    set_mode("metrics")
+    driver.close()
+
+    table = Table(
+        f"E15: observability overhead (SF={scale_factor}, {n_shards} shards, "
+        f"Q7, min of {repetitions} interleaved reps)",
+        ["mode", "q7_ms", "overhead_x"],
+    )
+    for mode in _E15_MODES:
+        table.add_row([
+            mode,
+            round(best[mode] * 1000.0, 4),
+            round(best[mode] / best["disabled"], 3)
+            if best["disabled"] else float("inf"),
+        ])
+    return table
+
+
 EXTENSION_EXPERIMENTS = {
     "E7": experiment_e7_index_backends,
     "E8": experiment_e8_sessions,
@@ -785,5 +890,6 @@ EXTENSION_EXPERIMENTS = {
     "E12": experiment_e12_commit,
     "E13": experiment_e13_compile,
     "E14": experiment_e14_vectorized,
+    "E15": experiment_e15_observability,
     "YCSB": experiment_ycsb,
 }

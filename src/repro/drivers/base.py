@@ -26,6 +26,13 @@ class Driver(abc.ABC):
     repeated queries (and the subqueries they contain) skip parse +
     plan, and the cache key carries :meth:`catalog_epoch` so index and
     shard-map DDL invalidates stale plans instead of serving them.
+
+    Every driver also owns one :class:`~repro.obs.core.Observability`
+    (same lazy pattern): metrics registry, per-query tracing, and the
+    slow-query log, exposed through :meth:`metrics`,
+    :meth:`metrics_text` and :meth:`slow_queries`.  Subclasses hook
+    :meth:`_register_observability` to register collectors over their
+    engine internals (WAL, lock manager, 2PC coordinator).
     """
 
     name: str = "driver"
@@ -47,6 +54,51 @@ class Driver(abc.ABC):
                     cache = PlanCache(self.plan_cache_capacity)
                     self.__dict__["_plan_cache"] = cache
         return cache
+
+    @property
+    def observability(self):
+        """The driver's observability bundle (created lazily, like the
+        plan cache — subclasses need not call any base ``__init__``)."""
+        obs = self.__dict__.get("_observability")
+        if obs is None:
+            from repro.obs.core import Observability
+
+            with Driver._plan_cache_init_lock:
+                obs = self.__dict__.get("_observability")
+                if obs is None:
+                    obs = Observability()
+                    self._register_observability(obs)
+                    self.__dict__["_observability"] = obs
+        return obs
+
+    def _register_observability(self, obs) -> None:
+        """Register this driver's metric collectors into *obs*.
+
+        Called exactly once, when the lazy :attr:`observability` is
+        first built.  Collectors are zero-overhead pulls — callables
+        invoked only at snapshot time, reading counters the engine
+        already keeps.  Subclasses extend this with their engine
+        internals; the base registers the shared plan cache.
+        """
+        obs.registry.register_collector("plan_cache", self._plan_cache_metrics)
+
+    def _plan_cache_metrics(self) -> dict[str, Any]:
+        stats = self.plan_cache.stats()
+        resolved = stats["hits"] + stats["misses"]
+        stats["hit_rate"] = round(stats["hits"] / resolved, 6) if resolved else 0.0
+        return stats
+
+    def metrics(self) -> dict[str, Any]:
+        """Stable nested dict of every registered metric and collector."""
+        return self.observability.snapshot()
+
+    def metrics_text(self) -> str:
+        """The same metrics in Prometheus text exposition format."""
+        return self.observability.to_prometheus()
+
+    def slow_queries(self, n: int | None = None) -> list[dict[str, Any]]:
+        """Captured slow-query entries, slowest first (all when *n* is None)."""
+        return self.observability.slow_log.slowest(n)
 
     def catalog_epoch(self) -> int:
         """Monotonic version of the planning catalog (indexes, shard map).
@@ -124,6 +176,12 @@ class Driver(abc.ABC):
         interpreter), *use_batches* (batch-at-a-time vs per-binding
         streams) and *use_fusion* (fused pipeline closures vs unfused
         batch operators); *batch_size* tunes the vectorization width.
+
+        When the driver's observability is enabled (the default) the
+        run is timed into the metrics registry and, over the slow-query
+        threshold, captured into the slow log; with tracing on it also
+        produces a span tree.  Disabling observability restores the
+        exact pre-instrumentation path.
         """
         from repro.query.executor import Executor
         from repro.query.physical import DEFAULT_BATCH_SIZE
@@ -140,6 +198,9 @@ class Driver(abc.ABC):
                 plans=self.plan_cache,
                 epoch=self.catalog_epoch(),
             )
+            obs = self.observability
+            if obs.enabled:
+                return obs.observe_query(executor, text, params)
             return executor.execute(text, params)
         finally:
             close = getattr(ctx, "close", None)

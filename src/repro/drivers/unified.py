@@ -244,6 +244,29 @@ class UnifiedDriver(Driver):
     def catalog_epoch(self) -> int:
         return self.db.catalog_epoch
 
+    # -- observability -----------------------------------------------------------
+
+    def _register_observability(self, obs) -> None:
+        """Plan cache (base) + this engine's WAL, lock table and txn manager.
+
+        Collectors close over ``self`` (not the current ``db.wal`` etc.)
+        so they keep reading the live objects even if the database is
+        rebuilt under the driver.
+        """
+        super()._register_observability(obs)
+        obs.registry.register_collector("wal", lambda: self.db.wal.metrics())
+        obs.registry.register_collector(
+            "locks", lambda: self.db.manager.locks.metrics()
+        )
+        obs.registry.register_collector(
+            "txn",
+            lambda: {
+                "commits": self.db.manager.commits,
+                "aborts": self.db.manager.aborts,
+                "conflicts": self.db.manager.conflicts,
+            },
+        )
+
     # -- transactions ------------------------------------------------------------
 
     def run_transaction(self, body: Callable[[Session], Any]) -> Any:

@@ -259,6 +259,9 @@ class MultiModelDatabase:
         db._graphs = {}
         db._next_edge_id = 1
         db._indexes = {}
+        # Fresh planning epoch: replayed create_index DDL bumps it just
+        # like live DDL (recovery crashed on the += before this existed).
+        db.catalog_epoch = 0
         db.store.on_apply.append(db._maintain_indexes)
         db.store.on_apply.append(db._maintain_adjacency)
         max_ts = 0

@@ -139,6 +139,21 @@ class LockManager:
     def held_by(self, txn_id: int) -> list[object]:
         return [r for r, e in self._locks.items() if txn_id in e.holders]
 
+    def metrics(self) -> dict[str, int]:
+        """Counter snapshot for the observability registry's collector.
+
+        ``lock_waits`` is the number of acquire attempts that could not
+        be granted immediately (each raised WouldBlock or DeadlockError);
+        ``held_resources``/``waiting_txns`` are point-in-time gauges of
+        the table's current occupancy.
+        """
+        return {
+            "lock_waits": self.conflicts,
+            "deadlocks_detected": self.deadlocks_detected,
+            "held_resources": len(self._locks),
+            "waiting_txns": len(self._waits_for),
+        }
+
     def assert_consistent(self) -> None:
         """Invariant check used by property tests."""
         for resource, entry in self._locks.items():

@@ -54,6 +54,14 @@ class WriteAheadLog:
         self.sync_every_append = sync_every_append
         self.appends = 0
         self.syncs = 0
+        # Byte accounting for the metrics surface: appended_bytes grows
+        # per append (repr-encoded size — an approximation of what a
+        # serialised log would write), synced_bytes advances to it at
+        # each sync (what an fsync would have flushed).  Both are
+        # monotonic process-lifetime counters; crash() does not rewind
+        # them, exactly like appends/syncs.
+        self.appended_bytes = 0
+        self.synced_bytes = 0
 
     # -- appending ---------------------------------------------------------
 
@@ -63,6 +71,7 @@ class WriteAheadLog:
             raise WalError(f"WAL record missing 'type': {record!r}")
         self._records.append(record)
         self.appends += 1
+        self.appended_bytes += len(repr(record))
         if self.sync_every_append:
             self.sync()
 
@@ -112,6 +121,18 @@ class WriteAheadLog:
         """Advance the durable watermark to the end of the log."""
         self._durable = len(self._records)
         self.syncs += 1
+        self.synced_bytes = self.appended_bytes
+
+    def metrics(self) -> dict[str, int]:
+        """Counter snapshot for the observability registry's collector."""
+        return {
+            "appends": self.appends,
+            "syncs": self.syncs,
+            "appended_bytes": self.appended_bytes,
+            "synced_bytes": self.synced_bytes,
+            "durable_records": self._durable,
+            "records": len(self._records),
+        }
 
     # -- crash & recovery -----------------------------------------------------
 

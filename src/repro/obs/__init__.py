@@ -1,0 +1,36 @@
+"""End-to-end observability: metrics registry, trace spans, slow-query log.
+
+The operational substrate under the multi-model engine — see
+:mod:`repro.obs.core` for the wiring overview.  Public surface:
+
+- :class:`Observability` — per-driver bundle of everything below
+- :class:`MetricsRegistry` / :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` (+ the fixed :data:`LATENCY_BUCKETS` ladder)
+- :class:`Tracer` / :class:`Span` — per-query span trees
+- :class:`SlowQueryLog` — ring-buffered capture over a latency threshold
+"""
+
+from repro.obs.core import Observability
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "Observability",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,129 @@
+"""``python -m repro metrics`` — exercise a cluster, print its telemetry.
+
+Builds a sharded cluster at a small scale, runs the benchmark query mix
+with full observability on (tracing enabled, slow-query threshold zero
+so every query is captured), then prints:
+
+1. the Prometheus text exposition of every registered metric —
+   push instruments and engine collectors (plan cache, WAL, locks,
+   2PC) alike;
+2. the top-N slowest queries with their rendered span trees.
+
+Usage::
+
+    python -m repro metrics
+    python -m repro metrics --sf 0.05 --shards 8 --rounds 5 --top 5
+    python -m repro metrics --queries Q7,Q8 --no-tracing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro metrics",
+        description="Run the benchmark query mix on a sharded cluster "
+        "with observability on; print Prometheus metrics and the "
+        "slowest query traces.",
+    )
+    parser.add_argument(
+        "--sf", type=float, default=0.01, metavar="SCALE",
+        help="dataset scale factor (default 0.01)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, help="shard count (default 4)"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="times to run each query (default 3; round 1 is the cold plan)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=3,
+        help="slow-log entries to print with trace trees (default 3)",
+    )
+    parser.add_argument(
+        "--queries", metavar="IDS", default=None,
+        help="comma-separated query ids (default: the core Q1-Q8 mix)",
+    )
+    parser.add_argument(
+        "--no-tracing", action="store_true",
+        help="metrics only — skip span trees (the production posture)",
+    )
+    args = parser.parse_args(argv)
+
+    # Imports deferred so `--help` stays instant.
+    from repro.cluster.sharded import ShardedDatabase
+    from repro.core.workloads import QUERIES, QUERY_BY_ID
+    from repro.datagen.config import GeneratorConfig
+    from repro.datagen.generator import DatasetGenerator
+    from repro.datagen.load import load_dataset
+
+    if args.queries:
+        wanted = [q.strip() for q in args.queries.split(",") if q.strip()]
+        unknown = [q for q in wanted if q not in QUERY_BY_ID]
+        if unknown:
+            parser.error(f"unknown query id(s): {', '.join(unknown)}")
+        mix = [QUERY_BY_ID[q] for q in wanted]
+    else:
+        mix = list(QUERIES)
+
+    dataset = DatasetGenerator(
+        GeneratorConfig(seed=42, scale_factor=args.sf)
+    ).generate()
+    driver = ShardedDatabase(n_shards=args.shards)
+    load_dataset(driver, dataset)
+    obs = driver.observability
+    obs.enable(tracing=not args.no_tracing)
+    obs.slow_log.threshold_ms = 0.0  # capture every query
+
+    print(
+        f"# running {len(mix)} queries x {args.rounds} rounds on "
+        f"{args.shards} shards (SF={args.sf}, "
+        f"tracing={'off' if args.no_tracing else 'on'})",
+        file=sys.stderr,
+    )
+    for qdef in mix:
+        params = qdef.params(dataset)
+        try:
+            for _ in range(args.rounds):
+                driver.query(qdef.text, params)
+        except Exception as exc:  # noqa: BLE001 - survey tool, keep going
+            print(f"# {qdef.query_id} failed: {exc}", file=sys.stderr)
+
+    print(driver.metrics_text())
+    slowest = driver.slow_queries(args.top)
+    if slowest:
+        print(f"# -- top {len(slowest)} slowest queries " + "-" * 34)
+        for entry in slowest:
+            print(
+                f"# {entry['duration_ms']}ms rows={entry['rows']} "
+                f"shape={entry['shape']} query={entry['query']!r}"
+            )
+            trace = entry.get("trace")
+            if trace is not None:
+                for line in _render_trace_dict(trace):
+                    print(f"#   {line}")
+    driver.close()
+    return 0
+
+
+def _render_trace_dict(node: dict, depth: int = 0) -> list[str]:
+    """Render a ``Span.to_dict`` tree (the slow log stores dicts, not
+    live spans) in the same indented format as ``Tracer.render``."""
+    elapsed = node.get("elapsed_ms")
+    line = "  " * depth + node["name"]
+    line += f" {elapsed}ms" if elapsed is not None else " open"
+    attrs = " ".join(f"{k}={v!r}" for k, v in node.get("attrs", {}).items())
+    if attrs:
+        line += " " + attrs
+    lines = [line]
+    for child in node.get("children", ()):
+        lines.extend(_render_trace_dict(child, depth + 1))
+    return lines
+
+
+if __name__ == "__main__":
+    sys.exit(main())

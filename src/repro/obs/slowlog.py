@@ -1,0 +1,57 @@
+"""A ring-buffered slow-query log.
+
+Queries whose end-to-end latency crosses ``threshold_ms`` are captured
+as plain dicts — query text, the plan cache's normalized shape id (so
+literal-differing instances of one query shape aggregate), the
+executor's access-path stats, row count and, when tracing was on, the
+full span tree.  The buffer is a bounded deque: the log can run forever
+in a serving process without growing, at the cost of forgetting the
+oldest entries.  ``Driver.slow_queries()`` is the query surface.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+
+class SlowQueryLog:
+    """Bounded, thread-safe buffer of slow-query capture dicts."""
+
+    def __init__(self, capacity: int = 128, threshold_ms: float = 100.0) -> None:
+        if capacity < 1:
+            raise ValueError(f"slow-query log capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.threshold_ms = threshold_ms
+        self._entries: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.captured = 0  # lifetime total, unlike len() which is bounded
+
+    def should_capture(self, duration_ms: float) -> bool:
+        return duration_ms >= self.threshold_ms
+
+    def record(self, entry: dict[str, Any]) -> None:
+        with self._lock:
+            self._entries.append(entry)
+            self.captured += 1
+
+    def entries(self) -> list[dict[str, Any]]:
+        """Captured entries, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def slowest(self, n: int | None = None) -> list[dict[str, Any]]:
+        """Captured entries sorted by duration, slowest first."""
+        ranked = sorted(
+            self.entries(), key=lambda e: e.get("duration_ms", 0.0), reverse=True
+        )
+        return ranked if n is None else ranked[:n]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -141,6 +141,9 @@ def explain_analyze(
     if planned.notes:
         lines.append("notes:")
         lines.extend(f"  - {note}" for note in planned.notes)
-    stats = ", ".join(f"{k}={v}" for k, v in sorted(executor.stats.items()) if v)
+    # Every registered counter renders, zeros included — a dropped
+    # zero made "no index was used" indistinguishable from "index
+    # counters don't exist", and the line's shape varied per query.
+    stats = ", ".join(f"{k}={v}" for k, v in sorted(executor.stats.items()))
     lines.append(f"stats: {stats or 'none'}")
     return "\n".join(lines), results

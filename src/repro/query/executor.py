@@ -96,6 +96,15 @@ class Executor:
         # extra actuals, e.g. HashAggregate's rows_in/groups); operators
         # skip the bookkeeping entirely when it is None.
         self.observed: dict[int, dict[str, int]] | None = None
+        # The observability channel, populated by the driver when its
+        # Observability is enabled: `tracer` carries the per-query span
+        # tree (None = tracing off, the default — operators check once
+        # per run, never per row), `obs` gives scatter operators the
+        # shard-latency/fanout histograms, and `trace_id` rides into
+        # per-shard workers so cross-layer events correlate.
+        self.tracer = None
+        self.obs = None
+        self.trace_id: int | None = None
         self.stats = {
             "index_lookups": 0, "range_lookups": 0, "scans": 0, "rows_scanned": 0,
             "scan_cache_hits": 0,
@@ -125,17 +134,47 @@ class Executor:
         is shared across literal-differing texts, and the extracted
         literal vector merges under the caller's parameters here —
         prepared-statement execution.
+
+        With a tracer attached, the two pipeline stages get spans: a
+        ``plan`` span covering parse/parameterize/cache resolution (with
+        a ``cached`` attr) and an ``execute`` span covering the drain —
+        scatter operators hang their per-shard subspans below the
+        latter.
         """
-        prepared = self.plans.get_or_plan(
-            query, self.catalog, self.epoch, self.use_indexes
-        )
+        tracer = self.tracer
+        if tracer is None:
+            prepared = self.plans.get_or_plan(
+                query, self.catalog, self.epoch, self.use_indexes
+            )
+        else:
+            span = tracer.push("plan")
+            # `cached` from the miss-counter delta rather than a peek():
+            # the hot path must not pay an extra cache-lock round trip.
+            # Informational only — a concurrent thread's miss can skew it.
+            misses = self.plans.misses
+            try:
+                prepared = self.plans.get_or_plan(
+                    query, self.catalog, self.epoch, self.use_indexes
+                )
+            finally:
+                span.attrs["cached"] = self.plans.misses == misses
+                span.attrs["epoch"] = self.epoch
+                tracer.pop()
         # Scan blocks are only valid within one query's snapshot: a
         # reused executor must not serve a previous query's scans.
         self.scan_cache.clear()
         run_params = dict(params) if params else {}
         if prepared.binds:
             run_params.update(prepared.binds)
-        return self._drain(prepared.plan.root, run_params)
+        if tracer is None:
+            return self._drain(prepared.plan.root, run_params)
+        span = tracer.push("execute")
+        try:
+            result = self._drain(prepared.plan.root, run_params)
+            span.attrs["rows"] = len(result)
+        finally:
+            tracer.pop()
+        return result
 
     def run_subquery(
         self, query: Query, binding: Binding, params: dict[str, Any]

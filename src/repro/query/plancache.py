@@ -104,6 +104,10 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        # Warm-text resolutions through the parse/parameterize memo —
+        # the "no parse happened at all" wins, distinct from plan hits
+        # (a new text can plan-hit an already-cached shape cold).
+        self.memo_hits = 0
 
     # -- lookup ---------------------------------------------------------------
 
@@ -140,6 +144,7 @@ class PlanCache:
             else:
                 key, binds = memo
                 shape = None
+                self.memo_hits += 1
             with self._lock:
                 cached = self._entries.get(key)
                 if cached is not None:
@@ -215,7 +220,25 @@ class PlanCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "memo_hits": self.memo_hits,
             }
+
+    def shape_id(
+        self, text: str, epoch: int = 0, use_indexes: bool = True
+    ) -> str | None:
+        """A compact id of *text*'s normalized (literal-parameterized) shape.
+
+        Literal-differing instances of one query shape get the same id,
+        so the slow-query log can aggregate them.  Resolved through the
+        parse memo only (no parsing; ``None`` for never-executed text)
+        and derived from the shape key's hash — stable within a process,
+        not across processes (``PYTHONHASHSEED``).
+        """
+        with self._lock:
+            memo = self._texts.get(("text", text, epoch, use_indexes))
+        if memo is None:
+            return None
+        return f"{hash(memo[0]) & 0xFFFFFFFFFFFFFFFF:016x}"
 
     # -- internals ------------------------------------------------------------
 

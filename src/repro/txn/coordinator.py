@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import threading
 from collections.abc import Iterator
+from time import perf_counter
 from typing import Any, Protocol
 
 from repro.errors import SimulatedCrash, TransactionAborted, WalError
@@ -84,13 +85,25 @@ class CoordinatorLog:
             if self.sync_every_append:
                 self._sync_locked()
 
-    def log_decision(self, global_id: int, decision: str, shards: list[int]) -> None:
+    def log_decision(
+        self,
+        global_id: int,
+        decision: str,
+        shards: list[int],
+        trace_id: int | None = None,
+    ) -> None:
         if decision not in ("commit", "abort"):
             raise WalError(f"bad coordinator decision {decision!r}")
-        self.append(
-            {"type": "decision", "gtxn": global_id, "decision": decision,
-             "shards": list(shards)}
-        )
+        record: dict[str, Any] = {
+            "type": "decision", "gtxn": global_id, "decision": decision,
+            "shards": list(shards),
+        }
+        # The query/transaction trace id rides on the decision record so
+        # a span tree can be correlated with its commit point; absent
+        # entirely when tracing was off (recovery ignores it either way).
+        if trace_id is not None:
+            record["trace"] = trace_id
+        self.append(record)
         if not self.sync_every_append:
             self.sync()
 
@@ -225,6 +238,11 @@ class TwoPhaseCoordinator:
     def __init__(self, log: CoordinatorLog, stats: CommitStats | None = None) -> None:
         self.log = log
         self.stats = stats if stats is not None else CommitStats()
+        # Set by the owning cluster when its Observability is enabled:
+        # prepare/commit latencies land in histograms and every protocol
+        # outcome (commit/abort/in_doubt) is counted.  None = no
+        # instrumentation, the default for standalone use.
+        self.obs: Any = None
         self._id_lock = threading.Lock()
         self._next_global_id = log.max_global_txn() + 1
         # Fault injection: crash after N participants prepared (0 = before
@@ -242,7 +260,9 @@ class TwoPhaseCoordinator:
             return global_id
 
     def commit(
-        self, participants: list[tuple[int, Participant]]
+        self,
+        participants: list[tuple[int, Participant]],
+        trace_id: int | None = None,
     ) -> int:
         """Atomically commit one transaction across *participants*.
 
@@ -252,14 +272,48 @@ class TwoPhaseCoordinator:
         when any prepare votes NO, or :class:`SimulatedCrash` at an
         injected fault — leaving prepared participants in doubt, exactly
         as a real coordinator failure would.
+
+        *trace_id* (from the session's tracer, when tracing is on) is
+        stamped onto the decision record; with :attr:`obs` set, the
+        protocol's latencies and outcome are recorded too.
         """
+        obs = self.obs
+        if obs is not None and not obs.enabled:
+            obs = None
+        started = perf_counter()
+        try:
+            global_id = self._run_commit(participants, trace_id, obs)
+        except SimulatedCrash:
+            if obs is not None:
+                obs.observe_2pc_outcome("in_doubt")
+            raise
+        except BaseException:
+            if obs is not None:
+                obs.observe_2pc_outcome("abort")
+            raise
+        if obs is not None:
+            obs.twopc_commit_seconds.observe(perf_counter() - started)
+            obs.observe_2pc_outcome("commit")
+        return global_id
+
+    def _run_commit(
+        self,
+        participants: list[tuple[int, Participant]],
+        trace_id: int | None,
+        obs: Any,
+    ) -> int:
         global_id = self.next_global_id()
         shard_ids = [shard_id for shard_id, _ in participants]
         prepared: list[Participant] = []
         try:
             for n_done, (_, participant) in enumerate(participants):
                 self._maybe_crash_after_prepares(n_done, global_id)
+                prepare_started = perf_counter()
                 participant.prepare(global_id)
+                if obs is not None:
+                    obs.twopc_prepare_seconds.observe(
+                        perf_counter() - prepare_started
+                    )
                 prepared.append(participant)
                 self.stats.incr("prepares")
             self._maybe_crash_after_prepares(len(participants), global_id)
@@ -270,7 +324,7 @@ class TwoPhaseCoordinator:
             # ABORT.  Log it for observability (presumed abort would
             # let us skip this) and release every prepared participant.
             self.stats.incr("aborts_in_prepare")
-            self.log.log_decision(global_id, "abort", shard_ids)
+            self.log.log_decision(global_id, "abort", shard_ids, trace_id=trace_id)
             for participant in prepared:
                 participant.abort_prepared()
             if isinstance(exc, TransactionAborted):
@@ -286,7 +340,7 @@ class TwoPhaseCoordinator:
             )
         # THE commit point: once this record is durable the transaction
         # is committed, whatever happens to the fan-out below.
-        self.log.log_decision(global_id, "commit", shard_ids)
+        self.log.log_decision(global_id, "commit", shard_ids, trace_id=trace_id)
         if self.crash_after_decision:
             self.crash_after_decision = False
             raise SimulatedCrash(

@@ -59,6 +59,27 @@ class TestUnifiedAnalyze:
         assert _rows_of(report, "TopK") == 7
         assert "stats:" in report
 
+    def test_stats_line_is_complete_and_sorted(self, loaded_unified):
+        """Every registered counter renders, zeros included, in sorted
+        order — "no index was used" must read index_lookups=0, not as a
+        missing key, and the line's shape must not vary per query."""
+        report = loaded_unified.explain_analyze(
+            "FOR o IN orders SORT o.total_price DESC LIMIT 7 RETURN o._id"
+        )
+        stats_line = next(
+            line for line in report.splitlines() if line.startswith("stats:")
+        )
+        keys = [
+            pair.split("=")[0]
+            for pair in stats_line[len("stats: "):].split(", ")
+        ]
+        assert keys == sorted(keys)
+        for key in (
+            "index_lookups", "range_lookups", "scans",
+            "rows_scanned", "scan_cache_hits",
+        ):
+            assert f"{key}=" in stats_line
+
     def test_index_probe_counts_only_matches(self, loaded_unified, small_dataset):
         target = small_dataset.orders[0]["customer_id"]
         report = loaded_unified.explain_analyze(

@@ -130,8 +130,23 @@ class TestE14:
             assert record["fused_ms"] > 0
 
 
+class TestE15:
+    def test_observability_table_shape_and_gates(self):
+        from repro.core.experiments_ext import experiment_e15_observability
+
+        table = experiment_e15_observability(scale_factor=0.01, repetitions=2)
+        by_mode = {r["mode"]: r for r in table.to_records()}
+        assert sorted(by_mode) == ["disabled", "metrics", "tracing"]
+        assert by_mode["disabled"]["overhead_x"] == 1
+        # Wall-clock ratios are gated at benchmark scale (the CI smoke in
+        # benchmarks/bench_e15_observability.py); here the experiment's
+        # internal correctness + span-shape checks (result parity across
+        # modes, per-shard subspans present) already ran before timing.
+        assert all(r["q7_ms"] > 0 for r in table.to_records())
+
+
 class TestRegistry:
     def test_extension_registry(self):
         assert set(EXTENSION_EXPERIMENTS) == {
-            "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "YCSB"
+            "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "YCSB"
         }

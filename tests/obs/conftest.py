@@ -1,0 +1,31 @@
+"""Observability-layer fixtures: fresh drivers with the small dataset.
+
+Fresh (function-scoped) on purpose: these tests flip the observability
+switches and assert on exact counter values, so sharing a loaded driver
+across tests would couple their arithmetic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.sharded import ShardedDatabase
+from repro.datagen.load import load_dataset
+from repro.drivers.unified import UnifiedDriver
+
+
+@pytest.fixture()
+def obs_sharded(small_dataset) -> ShardedDatabase:
+    """A writable 4-shard cluster, freshly loaded per test."""
+    driver = ShardedDatabase(n_shards=4)
+    load_dataset(driver, small_dataset)
+    yield driver
+    driver.close()
+
+
+@pytest.fixture()
+def obs_unified(small_dataset) -> UnifiedDriver:
+    """A writable unified driver, freshly loaded per test."""
+    driver = UnifiedDriver()
+    load_dataset(driver, small_dataset)
+    return driver

@@ -1,0 +1,132 @@
+"""The exposition surface: db.metrics(), collectors, 2PC instrumentation."""
+
+from __future__ import annotations
+
+from repro.cluster.sharded import ShardedDatabase
+
+
+def _two_ids_on_distinct_shards(db: ShardedDatabase) -> tuple[str, str]:
+    by_shard: dict[int, str] = {}
+    for i in range(64):
+        oid = f"obs-{i}"
+        by_shard.setdefault(db.router.shard_for("orders", oid), oid)
+        if len(by_shard) >= 2:
+            break
+    first, second = list(by_shard.values())[:2]
+    return first, second
+
+
+class TestUnifiedMetrics:
+    def test_plan_cache_hit_rate_exposed(self, obs_unified):
+        text = "FOR o IN orders FILTER o._id == 'o1' RETURN o.status"
+        obs_unified.query(text)
+        obs_unified.query(text)
+        plan_cache = obs_unified.metrics()["collected"]["plan_cache"]
+        assert plan_cache["hits"] >= 1
+        assert plan_cache["misses"] >= 1
+        assert 0.0 < plan_cache["hit_rate"] < 1.0
+
+    def test_wal_and_lock_collectors_registered(self, obs_unified):
+        collected = obs_unified.metrics()["collected"]
+        assert collected["wal"]["appends"] > 0  # the dataset load
+        assert collected["wal"]["appended_bytes"] > 0
+        assert "lock_waits" in collected["locks"]
+        assert collected["txn"]["commits"] > 0
+
+    def test_query_counters_and_histogram(self, obs_unified):
+        obs_unified.query("FOR o IN orders FILTER o._id == 'o1' RETURN o.status")
+        snap = obs_unified.metrics()
+        assert snap["counters"]["repro_queries_total"] == 1
+        assert snap["counters"]["repro_query_rows_returned_total"] == 1
+        assert snap["histograms"]["repro_query_seconds"]["count"] == 1
+        assert snap["config"] == {"enabled": True, "tracing": False}
+
+    def test_prometheus_text_surface(self, obs_unified):
+        obs_unified.query("FOR o IN orders FILTER o._id == 'o1' RETURN o.status")
+        text = obs_unified.metrics_text()
+        assert "# TYPE repro_queries_total counter" in text
+        assert "repro_queries_total 1" in text
+        assert "repro_query_seconds_bucket" in text
+        assert "repro_plan_cache_hit_rate" in text
+        assert "repro_wal_appends" in text
+
+
+class TestClusterMetrics:
+    def test_cross_shard_commit_feeds_2pc_instruments(self, obs_sharded):
+        obs = obs_sharded.observability  # build before the txn runs
+        a, b = _two_ids_on_distinct_shards(obs_sharded)
+        with obs_sharded.transaction() as s:
+            s.doc_insert("orders", {"_id": a, "status": "new"})
+            s.doc_insert("orders", {"_id": b, "status": "new"})
+        snap = obs_sharded.metrics()
+        outcomes = snap["counters"]
+        assert outcomes['repro_txn_2pc_outcomes_total{outcome="commit"}'] == 1
+        assert outcomes['repro_txn_2pc_outcomes_total{outcome="abort"}'] == 0
+        assert snap["histograms"]["repro_txn_2pc_commit_seconds"]["count"] == 1
+        # One prepare latency per participant shard.
+        assert snap["histograms"]["repro_txn_2pc_prepare_seconds"]["count"] == 2
+        assert snap["collected"]["txn"]["two_phase_commits"] >= 1
+        assert snap["collected"]["txn"]["coordinator_log_appends"] >= 1
+
+    def test_shard_collectors_sum_over_shards(self, obs_sharded):
+        collected = obs_sharded.metrics()["collected"]
+        per_shard = [shard.wal.metrics()["appends"] for shard in obs_sharded.shards]
+        assert collected["wal"]["appends"] == sum(per_shard)
+        assert all(n > 0 for n in per_shard)
+
+    def test_decision_record_carries_trace_id(self, obs_sharded):
+        obs = obs_sharded.observability
+        obs.enable(tracing=True)
+        a, b = _two_ids_on_distinct_shards(obs_sharded)
+        with obs_sharded.transaction() as s:
+            s.doc_insert("orders", {"_id": a, "status": "new"})
+            s.doc_insert("orders", {"_id": b, "status": "new"})
+        decisions = [
+            r for r in obs_sharded.coordinator_log.records()
+            if r["type"] == "decision"
+        ]
+        assert decisions and isinstance(decisions[-1]["trace"], int)
+
+    def test_decision_record_has_no_trace_key_untraced(self, obs_sharded):
+        a, b = _two_ids_on_distinct_shards(obs_sharded)
+        with obs_sharded.transaction() as s:
+            s.doc_insert("orders", {"_id": a, "status": "new"})
+            s.doc_insert("orders", {"_id": b, "status": "new"})
+        decisions = [
+            r for r in obs_sharded.coordinator_log.records()
+            if r["type"] == "decision"
+        ]
+        assert decisions and "trace" not in decisions[-1]
+
+    def test_disabled_bundle_skips_2pc_instruments(self, obs_sharded):
+        obs = obs_sharded.observability
+        obs.disable()
+        a, b = _two_ids_on_distinct_shards(obs_sharded)
+        with obs_sharded.transaction() as s:
+            s.doc_insert("orders", {"_id": a, "status": "new"})
+            s.doc_insert("orders", {"_id": b, "status": "new"})
+        snap = obs_sharded.metrics()
+        assert snap["histograms"]["repro_txn_2pc_commit_seconds"]["count"] == 0
+        # The protocol itself still ran — only the metrics were skipped.
+        assert snap["collected"]["txn"]["two_phase_commits"] >= 1
+
+    def test_crash_recovery_rebuilds_bundle_with_same_switches(self, obs_sharded):
+        obs = obs_sharded.observability
+        obs.enable(tracing=True)
+        obs.slow_log.threshold_ms = 0.123
+        obs_sharded.query("FOR o IN orders FILTER o._id == 'x' RETURN o")
+        assert obs.queries_total.value == 1
+        recovered = obs_sharded.crash()
+        fresh = recovered.observability
+        assert fresh is not obs
+        assert fresh.enabled and fresh.tracing
+        assert fresh.slow_log.threshold_ms == 0.123
+        # Metrics are process-local, not durable: counters restart.
+        assert fresh.queries_total.value == 0
+        recovered.query("FOR o IN orders FILTER o._id == 'x' RETURN o")
+        assert fresh.queries_total.value == 1
+        assert fresh.last_trace is not None
+        # Collectors rebound to the recovered engine objects.
+        assert recovered.metrics()["collected"]["wal"]["appends"] > 0
+        assert fresh.last_trace.root.children  # plan/execute spans present
+        recovered.close()

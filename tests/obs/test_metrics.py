@@ -1,0 +1,137 @@
+"""Metrics-registry semantics: instruments, snapshots, exposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("repro_test_total")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_rejects_decrease(self):
+        c = Counter("repro_test_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("repro_test_depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13
+
+
+class TestHistogram:
+    def test_le_bucket_semantics(self):
+        """A value equal to a bound lands in that bound's bucket."""
+        h = Histogram("repro_test_seconds", buckets=(0.001, 0.01, 0.1))
+        h.observe(0.001)   # == first bound -> first bucket
+        h.observe(0.005)   # -> 0.01 bucket
+        h.observe(99.0)    # beyond the ladder -> +Inf only
+        snap = h.snapshot()
+        assert snap["buckets"]["0.001"] == 1
+        assert snap["buckets"]["0.01"] == 2
+        assert snap["buckets"]["0.1"] == 2
+        assert snap["buckets"]["+Inf"] == 3
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(99.006)
+
+    def test_cumulative_counts_are_monotone(self):
+        h = Histogram("repro_test_seconds")
+        for value in (0.0002, 0.004, 0.04, 0.4, 4.0, 40.0):
+            h.observe(value)
+        counts = list(h.snapshot()["buckets"].values())
+        assert counts == sorted(counts)
+        assert counts[-1] == 6
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("repro_test_seconds", buckets=(0.1, 0.01))
+
+    def test_fixed_ladders_are_sorted(self):
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+        assert list(COUNT_BUCKETS) == sorted(COUNT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("repro_a_total") is reg.counter("repro_a_total")
+        assert reg.gauge("repro_g") is reg.gauge("repro_g")
+        assert reg.histogram("repro_h_seconds") is reg.histogram("repro_h_seconds")
+
+    def test_labels_distinguish_instruments(self):
+        reg = MetricsRegistry()
+        commit = reg.counter("repro_outcomes_total", outcome="commit")
+        abort = reg.counter("repro_outcomes_total", outcome="abort")
+        assert commit is not abort
+        commit.inc()
+        assert abort.value == 0
+        assert commit is reg.counter("repro_outcomes_total", outcome="commit")
+
+    def test_histogram_bucket_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_h_seconds", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            reg.histogram("repro_h_seconds", buckets=(1.0, 5.0))
+
+    def test_snapshot_is_sorted_and_stable(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_b_total").inc(2)
+        reg.counter("repro_a_total").inc(1)
+        reg.gauge("repro_depth").set(7)
+        reg.histogram("repro_h_seconds").observe(0.002)
+        reg.register_collector("zeta", lambda: {"b": 2, "a": 1})
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == sorted(snap["counters"])
+        assert snap["counters"]["repro_a_total"] == 1
+        assert snap["gauges"]["repro_depth"] == 7
+        assert snap["histograms"]["repro_h_seconds"]["count"] == 1
+        # Collector output re-sorts too, whatever the callable returned.
+        assert list(snap["collected"]["zeta"]) == ["a", "b"]
+        assert snap == reg.snapshot()
+
+    def test_collector_reregistration_replaces(self):
+        reg = MetricsRegistry()
+        reg.register_collector("wal", lambda: {"appends": 1})
+        reg.register_collector("wal", lambda: {"appends": 2})
+        assert reg.snapshot()["collected"]["wal"]["appends"] == 2
+
+    def test_prometheus_rendering(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_q_total").inc(3)
+        reg.counter("repro_outcomes_total", outcome="commit").inc(1)
+        reg.histogram("repro_h_seconds", buckets=(0.01,)).observe(0.002)
+        reg.register_collector(
+            "plan_cache", lambda: {"hits": 4, "hit_rate": 0.8, "name": "x"}
+        )
+        text = reg.to_prometheus()
+        lines = text.splitlines()
+        assert "# TYPE repro_q_total counter" in lines
+        assert "repro_q_total 3" in lines
+        assert 'repro_outcomes_total{outcome="commit"} 1' in lines
+        assert "# TYPE repro_h_seconds histogram" in lines
+        assert 'repro_h_seconds_bucket{le="0.01"} 1' in lines
+        assert 'repro_h_seconds_bucket{le="+Inf"} 1' in lines
+        assert "repro_h_seconds_count 1" in lines
+        # Collector sections render as repro_<section>_<key> gauges;
+        # non-numeric values stay dict-only.
+        assert "repro_plan_cache_hits 4" in lines
+        assert "repro_plan_cache_hit_rate 0.8" in lines
+        assert not any("name" in line for line in lines if "plan_cache" in line)
+        assert text.endswith("\n")

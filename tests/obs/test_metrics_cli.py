@@ -1,0 +1,41 @@
+"""The ``python -m repro metrics`` exposition subcommand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.obs.cli import main as metrics_main
+
+TINY = ["--sf", "0.004", "--rounds", "1", "--top", "1", "--queries", "Q1,Q7"]
+
+
+def test_metrics_cli_prints_exposition_and_traces(capsys):
+    assert metrics_main(TINY) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE repro_queries_total counter" in out
+    assert "repro_query_seconds_bucket" in out
+    assert "repro_wal_appends" in out
+    assert "slowest queries" in out
+    # Tracing is on by default and Q7 scatters: the printed trace tree
+    # must reach the per-shard subspans.
+    assert "ShardExec" in out
+    assert "shard-" in out
+
+
+def test_metrics_cli_no_tracing_skips_span_trees(capsys):
+    assert metrics_main([*TINY, "--no-tracing"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE repro_queries_total counter" in out
+    assert "slowest queries" in out  # still captured, sans trace
+    assert "ShardExec" not in out
+
+
+def test_metrics_cli_rejects_unknown_query_id(capsys):
+    with pytest.raises(SystemExit):
+        metrics_main(["--queries", "Q999"])
+
+
+def test_main_dispatches_metrics_subcommand(capsys):
+    assert repro_main(["metrics", *TINY]) == 0
+    assert "repro_queries_total" in capsys.readouterr().out

@@ -1,0 +1,91 @@
+"""Slow-query log: threshold, ring bound, shape aggregation, surfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slowlog import SlowQueryLog
+
+
+class TestSlowLogUnit:
+    def test_threshold_gates_capture(self):
+        log = SlowQueryLog(capacity=8, threshold_ms=100.0)
+        assert not log.should_capture(99.9)
+        assert log.should_capture(100.0)
+        assert log.should_capture(250.0)
+
+    def test_ring_bound_forgets_oldest(self):
+        log = SlowQueryLog(capacity=4, threshold_ms=0.0)
+        for i in range(10):
+            log.record({"query": f"q{i}", "duration_ms": float(i)})
+        assert len(log) == 4
+        assert log.captured == 10  # lifetime total survives eviction
+        assert [e["query"] for e in log.entries()] == ["q6", "q7", "q8", "q9"]
+
+    def test_slowest_ranks_by_duration(self):
+        log = SlowQueryLog(capacity=8, threshold_ms=0.0)
+        for ms in (5.0, 50.0, 0.5):
+            log.record({"query": "q", "duration_ms": ms})
+        assert [e["duration_ms"] for e in log.slowest()] == [50.0, 5.0, 0.5]
+        assert [e["duration_ms"] for e in log.slowest(1)] == [50.0]
+
+    def test_clear_keeps_lifetime_counter(self):
+        log = SlowQueryLog(capacity=4, threshold_ms=0.0)
+        log.record({"duration_ms": 1.0})
+        log.clear()
+        assert len(log) == 0
+        assert log.captured == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+
+
+class TestDriverSlowLog:
+    def test_threshold_zero_captures_every_query(self, obs_unified):
+        obs = obs_unified.observability
+        obs.slow_log.threshold_ms = 0.0
+        obs_unified.query("FOR o IN orders FILTER o._id == 'o1' RETURN o.status")
+        entries = obs_unified.slow_queries()
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["query"].startswith("FOR o IN orders")
+        assert entry["rows"] == 1
+        assert entry["duration_ms"] > 0.0
+        assert entry["stats"]["index_lookups"] >= 0
+        assert entry["started_at"]  # ISO wall-clock for correlation
+
+    def test_literal_differing_queries_share_one_shape(self, obs_unified):
+        obs = obs_unified.observability
+        obs.slow_log.threshold_ms = 0.0
+        obs_unified.query("FOR o IN orders FILTER o._id == 'o1' RETURN o.status")
+        obs_unified.query("FOR o IN orders FILTER o._id == 'o2' RETURN o.status")
+        first, second = obs.slow_log.entries()
+        assert first["shape"] is not None
+        assert first["shape"] == second["shape"]
+        assert first["query"] != second["query"]
+
+    def test_infinite_threshold_captures_nothing(self, obs_unified):
+        obs = obs_unified.observability
+        obs.slow_log.threshold_ms = float("inf")
+        obs_unified.query("FOR o IN orders FILTER o._id == 'o1' RETURN o.status")
+        assert obs_unified.slow_queries() == []
+        assert obs.queries_total.value == 1  # metrics still flowed
+
+    def test_traced_slow_query_embeds_span_tree(self, obs_sharded, small_dataset):
+        obs = obs_sharded.observability
+        obs.enable(tracing=True)
+        obs.slow_log.threshold_ms = 0.0
+        text = "FOR o IN orders FILTER o.total_price >= @lo RETURN o._id"
+        obs_sharded.query(text, {"lo": 0.0})
+        (entry,) = obs_sharded.slow_queries()
+        assert entry["trace_id"] == obs.last_trace.trace_id
+        trace = entry["trace"]
+        assert trace["trace_id"] == entry["trace_id"]
+        names = {trace["name"]}
+        stack = list(trace["children"])
+        while stack:
+            node = stack.pop()
+            names.add(node["name"])
+            stack.extend(node["children"])
+        assert {"query", "plan", "execute", "ShardExec"} <= names

@@ -1,0 +1,120 @@
+"""Thread-safety of the metrics registry: no lost increments, stable reads.
+
+Plain ``+=`` on a Python int is three bytecodes and loses updates under
+contention; these tests hammer the instruments from many threads and
+assert the totals are *exact*, not approximate — the registry's whole
+contract.  The last test drives a real cluster from concurrent client
+threads (each query fans out to pool workers, so registry pushes arrive
+from both client and scatter-worker threads at once).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+
+THREADS = 8
+ROUNDS = 2_000
+
+
+def _run_all(workers) -> None:
+    threads = [threading.Thread(target=w) for w in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestInstrumentContention:
+    def test_counter_loses_no_increments(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("repro_contended_total")
+
+        def hammer():
+            for _ in range(ROUNDS):
+                counter.inc()
+
+        _run_all([hammer] * THREADS)
+        assert counter.value == THREADS * ROUNDS
+
+    def test_get_or_create_races_resolve_to_one_instrument(self):
+        reg = MetricsRegistry()
+        resolved = []
+
+        def resolve_and_inc():
+            c = reg.counter("repro_lazy_total", kind="raced")
+            resolved.append(c)
+            for _ in range(ROUNDS):
+                c.inc()
+
+        _run_all([resolve_and_inc] * THREADS)
+        assert all(c is resolved[0] for c in resolved)
+        assert resolved[0].value == THREADS * ROUNDS
+
+    def test_histogram_counts_and_sum_stay_exact(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("repro_contended_seconds")
+
+        def hammer():
+            for i in range(ROUNDS):
+                hist.observe(0.001 * (i % 7))
+
+        _run_all([hammer] * THREADS)
+        snap = hist.snapshot()
+        assert snap["count"] == THREADS * ROUNDS
+        assert snap["buckets"]["+Inf"] == THREADS * ROUNDS
+        expected = THREADS * sum(0.001 * (i % 7) for i in range(ROUNDS))
+        assert abs(snap["sum"] - expected) < 1e-6
+
+    def test_snapshot_concurrent_with_mutation(self):
+        """Snapshots taken mid-hammer are internally consistent."""
+        reg = MetricsRegistry()
+        counter = reg.counter("repro_live_total")
+        reg.register_collector("side", lambda: {"constant": 42})
+        stop = threading.Event()
+        seen: list[int] = []
+
+        def hammer():
+            for _ in range(ROUNDS):
+                counter.inc()
+
+        def watch():
+            while not stop.is_set():
+                snap = reg.snapshot()
+                seen.append(snap["counters"]["repro_live_total"])
+                assert snap["collected"]["side"]["constant"] == 42
+
+        watcher = threading.Thread(target=watch)
+        watcher.start()
+        _run_all([hammer] * THREADS)
+        stop.set()
+        watcher.join()
+        assert counter.value == THREADS * ROUNDS
+        assert seen == sorted(seen)  # counter never appears to go backwards
+
+
+class TestClusterConcurrency:
+    def test_concurrent_client_queries_count_exactly(self, obs_sharded, small_dataset):
+        obs = obs_sharded.observability
+        obs.enable(tracing=True)  # worker-filled spans ride along too
+        text = "FOR o IN orders FILTER o.total_price >= @lo RETURN o._id"
+        params = {"lo": 0.0}
+        expected = obs_sharded.query(text, params)
+        clients, per_client = 6, 8
+        failures: list[BaseException] = []
+
+        def client():
+            try:
+                for _ in range(per_client):
+                    assert obs_sharded.query(text, params) == expected
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+
+        _run_all([client] * clients)
+        assert not failures
+        total = 1 + clients * per_client
+        assert obs.queries_total.value == total
+        assert obs.query_seconds.count == total
+        # Every scatter observed one latency per shard, from pool threads.
+        assert obs.shard_seconds.count == total * obs_sharded.n_shards

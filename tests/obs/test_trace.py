@@ -1,0 +1,150 @@
+"""Span/Tracer semantics and the cluster's per-query span trees."""
+
+from __future__ import annotations
+
+from repro.core.workloads import QUERY_BY_ID
+from repro.obs.trace import Span, Tracer
+
+
+class TestSpanUnit:
+    def test_child_nesting_and_walk_order(self):
+        root = Span("query")
+        a = root.child("plan")
+        b = root.child("execute")
+        b.child("ShardExec")
+        assert [s.name for s in root.walk()] == [
+            "query", "plan", "execute", "ShardExec",
+        ]
+        assert a.elapsed_ms is None
+
+    def test_finish_is_idempotent(self):
+        span = Span("x")
+        span.finish()
+        first = span.elapsed_ms
+        span.finish()
+        assert span.elapsed_ms == first
+
+    def test_finish_at_takes_external_duration(self):
+        span = Span("worker")
+        span.finish_at(0.25)
+        assert span.elapsed_ms == 250.0
+        span.finish()  # first close wins
+        assert span.elapsed_ms == 250.0
+
+    def test_to_dict_and_render(self):
+        root = Span("query", query="FOR x IN xs RETURN x")
+        child = root.child("plan", cached=True)
+        child.finish_at(0.001)
+        root.finish_at(0.002)
+        as_dict = root.to_dict()
+        assert as_dict["name"] == "query"
+        assert as_dict["elapsed_ms"] == 2.0
+        assert as_dict["children"][0]["attrs"] == {"cached": True}
+        rendered = root.render()
+        assert rendered[0].startswith("query 2.000ms")
+        assert rendered[1].startswith("  plan 1.000ms cached=True")
+
+
+class TestTracerUnit:
+    def test_push_pop_matches_span_contextmanager(self):
+        tracer = Tracer(7)
+        with tracer.span("plan", cached=True):
+            assert tracer.current.name == "plan"
+        span = tracer.push("execute")
+        assert tracer.current is span
+        tracer.pop()
+        assert tracer.current is tracer.root
+        assert span.elapsed_ms is not None
+        tracer.finish()
+        out = tracer.to_dict()
+        assert out["trace_id"] == 7
+        assert [c["name"] for c in out["children"]] == ["plan", "execute"]
+        assert "[trace=7]" in tracer.render()
+
+
+class TestClusterTracing:
+    def test_q7_scatter_produces_per_shard_subspans(self, obs_sharded, small_dataset):
+        q7 = QUERY_BY_ID["Q7"]
+        obs = obs_sharded.observability
+        obs.enable(tracing=True)
+        obs_sharded.query(q7.text, q7.params(small_dataset))
+        trace = obs.last_trace
+        assert trace is not None
+        root = trace.root
+        assert root.name == "query"
+        assert root.elapsed_ms is not None
+        assert [c.name for c in root.children] == ["plan", "execute"]
+        scatters = [s for s in root.walk() if s.name == "ShardExec"]
+        assert scatters, "Q7 on a 4-shard cluster must scatter"
+        scatter = scatters[0]
+        assert scatter.attrs["fanout"] == 4
+        shard_spans = [
+            c for c in scatter.children if c.name.startswith("shard-")
+        ]
+        assert sorted(s.name for s in shard_spans) == [
+            "shard-0", "shard-1", "shard-2", "shard-3",
+        ]
+        for span in shard_spans:
+            assert span.elapsed_ms is not None and span.elapsed_ms >= 0.0
+            assert "rows" in span.attrs
+        gather = [c for c in scatter.children if c.name == "gather"]
+        assert len(gather) == 1 and gather[0].elapsed_ms is not None
+
+    def test_routed_point_lookup_traces_one_shard(self, obs_sharded, small_dataset):
+        obs = obs_sharded.observability
+        obs.enable(tracing=True)
+        order_id = small_dataset.orders[0]["_id"]
+        obs_sharded.query(
+            "FOR o IN orders FILTER o._id == @id RETURN o.status", {"id": order_id}
+        )
+        scatter = next(
+            s for s in obs.last_trace.root.walk() if s.name == "ShardExec"
+        )
+        assert scatter.attrs["fanout"] == 1
+        (shard_span,) = [
+            c for c in scatter.children if c.name.startswith("shard-")
+        ]
+        assert shard_span.attrs["routed"] is True
+        assert shard_span.elapsed_ms is not None
+
+    def test_plan_span_reports_cache_transition(self, obs_sharded, small_dataset):
+        obs = obs_sharded.observability
+        obs.enable(tracing=True)
+        text = "FOR o IN orders FILTER o.total_price >= @lo RETURN o._id"
+        params = {"lo": 10.0}
+
+        def plan_span():
+            return next(
+                s for s in obs.last_trace.root.walk() if s.name == "plan"
+            )
+
+        obs_sharded.query(text, params)
+        assert plan_span().attrs["cached"] is False
+        obs_sharded.query(text, params)
+        assert plan_span().attrs["cached"] is True
+
+    def test_trace_ids_are_unique_and_increasing(self, obs_sharded, small_dataset):
+        obs = obs_sharded.observability
+        obs.enable(tracing=True)
+        order_id = small_dataset.orders[0]["_id"]
+        seen = []
+        for _ in range(3):
+            obs_sharded.query(
+                "FOR o IN orders FILTER o._id == @id RETURN o.status",
+                {"id": order_id},
+            )
+            seen.append(obs.last_trace.trace_id)
+        assert seen == sorted(set(seen))
+
+    def test_disabled_observability_runs_untraced(self, obs_sharded, small_dataset):
+        q7 = QUERY_BY_ID["Q7"]
+        params = q7.params(small_dataset)
+        obs = obs_sharded.observability
+        obs.enable(tracing=True)
+        traced = obs_sharded.query(q7.text, params)
+        obs.disable()
+        before = obs.last_trace
+        untraced = obs_sharded.query(q7.text, params)
+        assert untraced == traced
+        assert obs.last_trace is before  # no new trace was built
+        assert obs.queries_total.value == 1  # only the enabled run counted
