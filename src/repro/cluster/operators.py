@@ -22,15 +22,28 @@ private stats dict (merged after the gather), bindings are copied per
 worker, and every expression the planner pushes below the gather is
 *cheap* (field paths, literals, parameters, comparisons — no builtin
 calls), so worker threads never touch the global query context.
+
+Execution of a multi-target scatter is pool-agnostic: when the cluster
+is configured with ``pool="processes"`` each shard's subplan is pickled
+once (content-addressed, cached on the plan object) and shipped to a
+worker *process* over the wire protocol in :mod:`repro.cluster.remote`;
+the coordinator's threads then only do frame I/O — blocking on the pipe
+releases the GIL — so N shards buy real wall-clock parallelism.  The
+``pool="threads"`` mode, EXPLAIN ANALYZE, and any payload that cannot
+cross a process boundary all take the in-process thread path instead;
+results, stats, spans and histogram observations are identical either
+way because every merge happens here, after the gather.
 """
 
 from __future__ import annotations
 
 import heapq
+import pickle
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Any
 
+from repro.cluster.remote import PICKLE_PROTOCOL, plan_digest
 from repro.query.ast import Expr, SortKey
 from repro.query.compile import compile_expr, evaluator
 from repro.query.physical import (
@@ -104,31 +117,46 @@ def _fresh_stats() -> dict[str, int]:
     }
 
 
-def _observed_task(task, scatter_span, shard_id, latencies, index):
-    """Wrap one shard worker thunk with timing + its pre-created span.
+def _observed_task(task, scatter_span, shard_id, latencies, waits, index):
+    """Wrap one shard task thunk with timing + its pre-created span.
 
     The span is created *here*, on the query thread, before the pool
-    dispatch; the worker only mutates its own span object (attrs +
-    ``finish_at``) and its own ``latencies`` slot.  Crucially the worker
-    takes **no locks**: pushing the latency histogram from inside the
-    workers made N threads contend on one instrument mutex at the exact
-    moment they all finish — the caller drains ``latencies`` into the
-    histogram sequentially after the gather instead.
+    dispatch; the task only mutates its own span object (attrs +
+    ``finish_at``) and its own ``latencies``/``waits`` slots.  Crucially
+    the task takes **no locks**: pushing the latency histogram from
+    inside the workers made N threads contend on one instrument mutex at
+    the exact moment they all finish — the caller drains both lists into
+    their histograms sequentially after the gather instead.
+
+    ``waits[index]`` records submit→start queue wait (how long the thunk
+    sat waiting for a pool slot) — the undersized-``pool_workers``
+    signal, exposed as the ``repro_shard_queue_seconds`` histogram.
+
+    The task yields ``(rows, stats, remote)`` where ``remote`` is the
+    :class:`~repro.cluster.remote.RemoteResult` for process-pool
+    dispatches (None for in-process runs); its worker-measured span is
+    grafted under this shard's span so traces show the process boundary.
     """
     span = (
         scatter_span.child(f"shard-{shard_id}", shard=shard_id)
         if scatter_span is not None else None
     )
+    created = perf_counter()
 
     def run_task():
         started = perf_counter()
-        rows = task()
+        waits[index] = started - created
+        rows, stats, remote = task()
         elapsed = perf_counter() - started
         if span is not None:
             span.attrs["rows"] = len(rows)
+            if remote is not None:
+                span.attrs["remote"] = True
+                if remote.span is not None:
+                    span.children.append(remote.span)
             span.finish_at(elapsed)
         latencies[index] = elapsed
-        return rows
+        return rows, stats, remote
 
     return run_task
 
@@ -212,35 +240,9 @@ class ShardExec(PhysicalOperator):
             else:
                 yield from _traced_routed_stream(stream, scatter_span, targets[0])
             return
-        runtimes = [
-            _ShardRuntime(rt, ctx.shard_context(i), _fresh_stats()) for i in targets
-        ]
-        tasks = [
-            (lambda srt=srt: list(
-                self.subplan.run(srt, params, dict(seed) if seed else None)
-            ))
-            for srt in runtimes
-        ]
-        latencies = None
-        if scatter_span is not None or obs is not None:
-            latencies = [0.0] * len(tasks)
-            tasks = [
-                _observed_task(task, scatter_span, shard_id, latencies, i)
-                for i, (task, shard_id) in enumerate(zip(tasks, targets))
-            ]
-        if getattr(rt, "analyze", False):
-            # EXPLAIN ANALYZE shares row counters across shards; run the
-            # scatter sequentially so the counts are exact.
-            chunks = [task() for task in tasks]
-        else:
-            chunks = ctx.run_parallel(tasks)
-        for srt in runtimes:
-            for key, value in srt.stats.items():
-                rt.stats[key] = rt.stats.get(key, 0) + value
-        if obs is not None and latencies is not None:
-            observe = obs.shard_seconds.observe
-            for elapsed in latencies:
-                observe(elapsed)
+        chunks = self._scatter(
+            rt, ctx, targets, params, seed, scatter_span, obs, batch_mode=False
+        )
         if scatter_span is None:
             if self.merge_keys:
                 keyfn = sort_evaluator(rt, self._c_merge, self.merge_keys)
@@ -287,37 +289,9 @@ class ShardExec(PhysicalOperator):
             else:
                 yield from _traced_routed_batches(stream, scatter_span, targets[0])
             return
-        runtimes = [
-            _ShardRuntime(rt, ctx.shard_context(i), _fresh_stats()) for i in targets
-        ]
-
-        def drain(srt: _ShardRuntime) -> list[Binding]:
-            rows: list[Binding] = []
-            for batch in self.subplan.run_batches(
-                srt, params, dict(seed) if seed else None
-            ):
-                rows.extend(batch)
-            return rows
-
-        tasks = [(lambda srt=srt: drain(srt)) for srt in runtimes]
-        latencies = None
-        if scatter_span is not None or obs is not None:
-            latencies = [0.0] * len(tasks)
-            tasks = [
-                _observed_task(task, scatter_span, shard_id, latencies, i)
-                for i, (task, shard_id) in enumerate(zip(tasks, targets))
-            ]
-        if getattr(rt, "analyze", False):
-            chunks = [task() for task in tasks]
-        else:
-            chunks = ctx.run_parallel(tasks)
-        for srt in runtimes:
-            for key, value in srt.stats.items():
-                rt.stats[key] = rt.stats.get(key, 0) + value
-        if obs is not None and latencies is not None:
-            observe = obs.shard_seconds.observe
-            for elapsed in latencies:
-                observe(elapsed)
+        chunks = self._scatter(
+            rt, ctx, targets, params, seed, scatter_span, obs, batch_mode=True
+        )
         size = batch_size(rt)
         gather_span = None
         if scatter_span is not None:
@@ -337,6 +311,139 @@ class ShardExec(PhysicalOperator):
         if gather_span is not None:
             gather_span.finish_at(perf_counter() - gather_started)
             scatter_span.finish()
+
+    def _scatter(
+        self, rt, ctx, targets, params, seed, scatter_span, obs, batch_mode
+    ):
+        """Run the subplan once per target shard; return per-shard row lists.
+
+        The dispatch seam between shard *placement* (``_targets``) and
+        shard *execution*: when the cluster carries a worker-process pool
+        (``pool="processes"``) and the run payload can cross a process
+        boundary, each shard's subplan is shipped over the wire protocol
+        and the coordinator thread blocks on the reply — frame I/O
+        releases the GIL, so worker processes compute in true parallel.
+        Otherwise every shard runs in-process on its own thread (the
+        ``pool="threads"`` mode), which is also the fallback for EXPLAIN
+        ANALYZE (its ``observed`` dict is shared and unserializable by
+        design) and for unpicklable params/seeds.  Stats merges and
+        histogram drains happen here, sequentially, after the gather —
+        shard workers never touch shared instruments.
+        """
+        analyze = getattr(rt, "analyze", False)
+        remote = None
+        if not analyze:
+            remote_pool = getattr(ctx, "remote_pool", None)
+            remote = remote_pool() if remote_pool is not None else None
+        wire = self._wire_subplan() if remote is not None else None
+        if wire is not None and (params or seed):
+            try:
+                pickle.dumps((params, seed), PICKLE_PROTOCOL)
+            except Exception:
+                wire = None  # this execution's bindings can't cross over
+        if wire is None:
+            remote = None
+
+        if remote is None:
+            tasks = [
+                self._local_task(
+                    _ShardRuntime(rt, ctx.shard_context(i), _fresh_stats()),
+                    params, seed, batch_mode,
+                )
+                for i in targets
+            ]
+        else:
+            encoded, digest = wire
+            flags = {
+                "use_indexes": getattr(rt, "use_indexes", True),
+                "use_compiled": getattr(rt, "use_compiled", True),
+                "use_batches": getattr(rt, "use_batches", True),
+                "use_fusion": getattr(rt, "use_fusion", True),
+                "batch_size": batch_size(rt),
+            }
+            tasks = [
+                self._remote_task(
+                    remote, shard_id, encoded, digest, params, seed, flags,
+                    batch_mode, trace=scatter_span is not None,
+                )
+                for shard_id in targets
+            ]
+        latencies = waits = None
+        if scatter_span is not None or obs is not None:
+            latencies = [0.0] * len(tasks)
+            waits = [0.0] * len(tasks)
+            tasks = [
+                _observed_task(task, scatter_span, shard_id, latencies, waits, i)
+                for i, (task, shard_id) in enumerate(zip(tasks, targets))
+            ]
+        if analyze:
+            # EXPLAIN ANALYZE shares row counters across shards; run the
+            # scatter sequentially so the counts are exact.
+            outcomes = [task() for task in tasks]
+        else:
+            outcomes = ctx.run_parallel(tasks)
+        for _, stats, _remote in outcomes:
+            for key, value in stats.items():
+                rt.stats[key] = rt.stats.get(key, 0) + value
+        if obs is not None and latencies is not None:
+            observe = obs.shard_seconds.observe
+            for elapsed in latencies:
+                observe(elapsed)
+            observe_wait = obs.shard_queue_seconds.observe
+            for wait in waits:
+                observe_wait(wait)
+        return [rows for rows, _, _ in outcomes]
+
+    def _local_task(self, srt, params, seed, batch_mode):
+        """In-process thunk for one shard: run the subplan on its runtime."""
+        def task():
+            if batch_mode:
+                rows: list[Binding] = []
+                for batch in self.subplan.run_batches(
+                    srt, params, dict(seed) if seed else None
+                ):
+                    rows.extend(batch)
+            else:
+                rows = list(
+                    self.subplan.run(srt, params, dict(seed) if seed else None)
+                )
+            return rows, srt.stats, None
+
+        return task
+
+    def _remote_task(
+        self, pool, shard_id, encoded, digest, params, seed, flags,
+        batch_mode, trace,
+    ):
+        """Process-pool thunk for one shard: ship the subplan, gather rows."""
+        def task():
+            result = pool.run_subplan(
+                shard_id, encoded, digest, params, seed, flags,
+                batch_mode=batch_mode, trace=trace,
+            )
+            return result.rows, result.stats, result
+
+        return task
+
+    def _wire_subplan(self):
+        """Cached ``(encoded bytes, digest)`` of the subplan; None when it
+        cannot cross a process boundary.
+
+        Computed at most once per plan object (plans are cached and
+        reused across executions), stored via ``object.__setattr__``
+        exactly like the compiled closures from ``__post_init__``;
+        ``False`` memoises "unpicklable" so the pickle attempt never
+        repeats.
+        """
+        cached = getattr(self, "_wire", None)
+        if cached is None:
+            try:
+                encoded = pickle.dumps(self.subplan, PICKLE_PROTOCOL)
+                cached = (encoded, plan_digest(encoded))
+            except Exception:
+                cached = False
+            object.__setattr__(self, "_wire", cached)
+        return cached if cached else None
 
     def _observe_scatter(self, rt, targets):
         """This scatter's (span, obs) instrumentation pair; Nones when off.

@@ -33,6 +33,18 @@ Everything above the gather still runs single-threaded against the
 the full QueryContext protocol — so joins, COLLECT, subqueries and
 builtin bridges (DOCUMENT, KVGET, TRAVERSE...) are always correct even
 when they cannot be parallelised.
+
+**Serializability contract**: the subplan handed to ShardExec must be
+a pure tree of physical operators over AST expressions — no captured
+contexts, no open snapshots, no references above the gather.  The
+``_is_cheap`` pushdown predicate enforces this implicitly (field paths,
+literals, parameters and comparisons only), which is what lets the
+process pool (``repro.cluster.remote``) pickle the subplan and ship it
+to shard worker processes byte-for-byte: the compiled closures are
+plan-time derivatives, dropped by ``__getstate__`` and rebuilt by
+``__post_init__`` on the worker.  Anything unpicklable falls back to
+the in-process thread scatter at dispatch time, never to a wrong
+answer.
 """
 
 from __future__ import annotations

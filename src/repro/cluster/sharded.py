@@ -42,6 +42,7 @@ benchmarks compare against).
 from __future__ import annotations
 
 import contextlib
+import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Iterator
@@ -59,7 +60,13 @@ from repro.drivers.unified import UnifiedQueryContext
 from repro.engine.database import MultiModelDatabase, Session
 from repro.engine.records import Model
 from repro.engine.transactions import IsolationLevel
-from repro.errors import EngineError, GraphError, SimulatedCrash, TransactionAborted
+from repro.errors import (
+    ClusterError,
+    EngineError,
+    GraphError,
+    SimulatedCrash,
+    TransactionAborted,
+)
 from repro.txn import CoordinatorLog, TwoPhaseCoordinator, resolve_in_doubt
 from repro.models.graph.property_graph import Edge, Vertex
 from repro.models.graph.traversal import bfs_depth_range
@@ -86,8 +93,25 @@ class ShardedDatabase(Driver):
         max_retries: int = 10,
         wal_sync_every_append: bool = True,
         two_phase_commit: bool = True,
+        pool: str = "threads",
+        pool_workers: int | None = None,
     ) -> None:
+        if pool not in ("threads", "processes"):
+            raise ClusterError(f"unknown pool mode {pool!r}")
         self.n_shards = n_shards
+        self.pool_mode = pool
+        # Scatter concurrency.  "threads" keeps the historical default of
+        # one thread per shard (threads only reduce *work* per shard —
+        # the GIL serialises them — so oversubscription is harmless);
+        # "processes" defaults to one worker per core, capped at the
+        # shard count, because worker processes genuinely compete for
+        # cores.  An explicit pool_workers overrides either.
+        if pool_workers is not None:
+            self.pool_workers = max(1, min(pool_workers, n_shards))
+        elif pool == "processes":
+            self.pool_workers = max(1, min(n_shards, os.cpu_count() or 1))
+        else:
+            self.pool_workers = n_shards
         self.isolation = isolation
         self.max_retries = max_retries
         self.two_phase_commit = two_phase_commit
@@ -108,25 +132,51 @@ class ShardedDatabase(Driver):
         # that shard's manager (queries from concurrent client threads).
         self._shard_locks = [threading.Lock() for _ in range(n_shards)]
         self._pool: ThreadPoolExecutor | None = None
+        self._remote_pool: Any = None  # ProcessShardPool, lazy
         self._pool_lock = threading.Lock()
 
-    # -- thread pool ---------------------------------------------------------
+    # -- scatter pools (threads always; worker processes when configured) ----
 
     def pool(self) -> ThreadPoolExecutor | None:
+        """The scatter thread pool (lazy; None for a 1-shard cluster).
+
+        Used by both modes: in ``pool="threads"`` the threads run shard
+        subplans in-process; in ``pool="processes"`` they only do frame
+        I/O to the worker processes (blocking on a pipe releases the
+        GIL), so sizing them to ``pool_workers`` matches the workers.
+        """
         if self.n_shards == 1:
             return None
         with self._pool_lock:
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
-                    max_workers=self.n_shards, thread_name_prefix="shard"
+                    max_workers=self.pool_workers, thread_name_prefix="shard"
                 )
             return self._pool
+
+    def remote_pool(self) -> Any:
+        """The worker-process pool; None unless ``pool="processes"``.
+
+        Lazy like :meth:`pool` — a process-mode cluster that only ever
+        runs routed point queries never forks a worker.
+        """
+        if self.pool_mode != "processes" or self.n_shards == 1:
+            return None
+        with self._pool_lock:
+            if self._remote_pool is None:
+                from repro.cluster.remote import ProcessShardPool
+
+                self._remote_pool = ProcessShardPool(self, self.pool_workers)
+            return self._remote_pool
 
     def close(self) -> None:
         with self._pool_lock:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
+            if self._remote_pool is not None:
+                self._remote_pool.close()
+                self._remote_pool = None
 
     # -- DDL (broadcast to every shard) -------------------------------------
 
@@ -275,6 +325,13 @@ class ShardedDatabase(Driver):
         old_obs = recovered.__dict__.pop("_observability", None)
         recovered._shard_locks = [threading.Lock() for _ in range(self.n_shards)]
         recovered._pool = None
+        # Worker processes died with close() above and must not be
+        # reused anyway: wal.crash() discards unsynced records without
+        # rewinding the monotonic appends counter, so a surviving
+        # replica's staleness fingerprint would claim it is current
+        # while still holding the discarded tail.  A fresh pool spawns
+        # lazily and resyncs every replica from the recovered shards.
+        recovered._remote_pool = None
         recovered._pool_lock = threading.Lock()
         recovered.shards = []
         in_doubt_resolved = 0
@@ -343,6 +400,8 @@ class ShardedDatabase(Driver):
         obs.registry.register_collector("wal", self._wal_metrics)
         obs.registry.register_collector("locks", self._lock_metrics)
         obs.registry.register_collector("txn", self._txn_metrics)
+        if self.pool_mode == "processes":
+            obs.registry.register_collector("procpool", self._procpool_metrics)
         self.coordinator.obs = obs
 
     def _sum_shard_metrics(self, metrics_of) -> dict[str, int]:
@@ -354,6 +413,10 @@ class ShardedDatabase(Driver):
 
     def _wal_metrics(self) -> dict[str, int]:
         return self._sum_shard_metrics(lambda shard: shard.wal.metrics())
+
+    def _procpool_metrics(self) -> dict[str, int]:
+        pool = self._remote_pool
+        return pool.metrics() if pool is not None else {"workers": 0}
 
     def _lock_metrics(self) -> dict[str, int]:
         return self._sum_shard_metrics(lambda shard: shard.manager.locks.metrics())
@@ -1009,6 +1072,14 @@ class ShardedQueryContext:
             return [task() for task in tasks]
         futures = [pool.submit(task) for task in tasks]
         return [future.result() for future in futures]
+
+    def remote_pool(self) -> Any:
+        """The cluster's worker-process pool (None in ``pool="threads"``).
+
+        ShardExec's scatter probes this to decide whether a multi-target
+        subplan ships to worker processes or runs on the thread pool.
+        """
+        return self.db.remote_pool()
 
     def close(self) -> None:
         with self._open_lock:

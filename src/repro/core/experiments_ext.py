@@ -24,9 +24,14 @@ DESIGN.md §5 calls out:
 - **E15** — the observability layer: metrics-only and full-tracing
   overhead against the uninstrumented path on the sharded Q7 join,
   plus structural verification of the per-shard span tree.
+- **E16** — process-parallel scatter: shard subplans dispatched to
+  worker processes over the wire protocol vs the GIL-bound thread
+  pool, on the communication-avoiding E10 scan mix.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.cluster.sharded import ShardedDatabase
 from repro.consistency.replication import ReplicatedStore, ReplicationConfig
@@ -881,6 +886,164 @@ def experiment_e15_observability(
     return table
 
 
+# ---------------------------------------------------------------------------
+# E16 — process-parallel scatter: worker processes vs the thread pool
+# ---------------------------------------------------------------------------
+
+# The communication-avoiding scatter shapes: each ships O(matches),
+# O(k) or O(groups) rows back per shard, so the wall-clock is dominated
+# by per-shard scan work — exactly where process parallelism should
+# show up and the GIL-bound thread pool cannot.  (Q7's join is *not*
+# here: its shard-safe segment is just the vendors scan, so the join
+# runs at the coordinator under either pool and measures nothing about
+# the scatter.)
+_E16_QUERIES = {
+    "scatter_filter": (
+        "FOR o IN orders FILTER o.total_price >= @lo RETURN o._id",
+        False,
+    ),
+    "partial_topk": (
+        "FOR o IN orders SORT o.total_price DESC LIMIT 10 "
+        "RETURN o.total_price",
+        True,
+    ),
+    "grouped_agg": (
+        "FOR o IN orders COLLECT s = o.status "
+        "AGGREGATE t = SUM(o.total_price), n = COUNT(o._id) "
+        "SORT s RETURN {s: s, t: t, n: n}",
+        True,
+    ),
+}
+
+
+def _amplified_orders(dataset, min_rows: int) -> list[dict]:
+    """The dataset's orders tiled (fresh ``_id`` per copy) to >= min_rows.
+
+    Scatter wall-clock only separates the pools when per-shard work is
+    measurable next to the per-query dispatch overhead (~1 frame round
+    trip per shard); tiling scales the scan without changing the value
+    distribution the queries see.
+    """
+    base = dataset.orders
+    rows = [dict(order) for order in base]
+    copy = 1
+    while len(rows) < min_rows:
+        for order in base:
+            clone = dict(order)
+            clone["_id"] = f"{order['_id']}~{copy}"
+            rows.append(clone)
+        copy += 1
+    return rows
+
+
+def _load_orders(driver, rows: list[dict], chunk: int = 2000) -> None:
+    driver.create_collection("orders")
+    for start in range(0, len(rows), chunk):
+        part = rows[start : start + chunk]
+
+        def body(s, part=part):
+            for order in part:
+                s.doc_insert("orders", dict(order))
+
+        driver.run_transaction(body)
+
+
+def experiment_e16_procpool(
+    scale_factor: float = 0.05,
+    repetitions: int = 5,
+    seed: int = 42,
+    n_shards: int = 4,
+    min_rows: int = 20_000,
+) -> Table:
+    """Worker-process scatter vs the thread pool on the E10 scan mix.
+
+    Three drivers over the identical amplified orders collection — the
+    unified single-node store (the correctness oracle), an N-shard
+    cluster with ``pool="threads"``, and the same topology with
+    ``pool="processes"`` — so the table isolates exactly one variable:
+    whether shard subplans run under one GIL or on real cores.
+
+    Every query's results are checked byte-identical across all three
+    drivers *before* anything is timed (sorted canonically for the
+    unordered filter shape).  Timing interleaves the two pools every
+    round and keeps per-case minima (the E14/E15 noise discipline); the
+    ``scan_mix`` row sums the minima — the figure the CI bench gates,
+    conditional on the host actually having more than one core.
+    """
+    dataset = DatasetGenerator(
+        GeneratorConfig(seed=seed, scale_factor=scale_factor)
+    ).generate()
+    rows = _amplified_orders(dataset, min_rows)
+    lo = sorted(o["total_price"] for o in rows)[int(len(rows) * 0.98)]
+    params_for = {name: {} for name in _E16_QUERIES}
+    params_for["scatter_filter"] = {"lo": lo}
+
+    unified = UnifiedDriver()
+    threads = ShardedDatabase(
+        n_shards=n_shards, pool="threads", wal_sync_every_append=False
+    )
+    processes = ShardedDatabase(
+        n_shards=n_shards, pool="processes", wal_sync_every_append=False
+    )
+    for driver in (unified, threads, processes):
+        _load_orders(driver, rows)
+
+    # Correctness gate: identical answers everywhere, before any timing.
+    for name, (text, ordered) in _E16_QUERIES.items():
+        results = [
+            driver.query(text, params_for[name])
+            for driver in (unified, threads, processes)
+        ]
+        canon = [
+            repr(r) if ordered else repr(sorted(r, key=repr)) for r in results
+        ]
+        if len(set(canon)) != 1:
+            raise AssertionError(f"E16: {name} diverged across drivers/pools")
+
+    best: dict[str, dict[str, float]] = {
+        name: {"threads": float("inf"), "processes": float("inf")}
+        for name in _E16_QUERIES
+    }
+    for _ in range(repetitions):
+        for name, (text, _ordered) in _E16_QUERIES.items():
+            for mode, driver in (("threads", threads), ("processes", processes)):
+                with Stopwatch() as sw:
+                    driver.query(text, params_for[name])
+                best[name][mode] = min(best[name][mode], sw.elapsed)
+
+    pool_metrics = processes.remote_pool().metrics()
+    threads.close()
+    processes.close()
+
+    table = Table(
+        f"E16: process-parallel scatter (SF={scale_factor}, "
+        f"{len(rows)} orders, {n_shards} shards, "
+        f"{pool_metrics['workers']} workers, {os.cpu_count()} cpus, "
+        f"min of {repetitions} interleaved reps)",
+        ["case", "threads_ms", "processes_ms", "speedup_x"],
+    )
+    mix = {"threads": 0.0, "processes": 0.0}
+    for name in _E16_QUERIES:
+        timings = best[name]
+        mix["threads"] += timings["threads"]
+        mix["processes"] += timings["processes"]
+        table.add_row([
+            name,
+            round(timings["threads"] * 1000.0, 3),
+            round(timings["processes"] * 1000.0, 3),
+            round(timings["threads"] / timings["processes"], 2)
+            if timings["processes"] else float("inf"),
+        ])
+    table.add_row([
+        "scan_mix",
+        round(mix["threads"] * 1000.0, 3),
+        round(mix["processes"] * 1000.0, 3),
+        round(mix["threads"] / mix["processes"], 2)
+        if mix["processes"] else float("inf"),
+    ])
+    return table
+
+
 EXTENSION_EXPERIMENTS = {
     "E7": experiment_e7_index_backends,
     "E8": experiment_e8_sessions,
@@ -891,5 +1054,6 @@ EXTENSION_EXPERIMENTS = {
     "E13": experiment_e13_compile,
     "E14": experiment_e14_vectorized,
     "E15": experiment_e15_observability,
+    "E16": experiment_e16_procpool,
     "YCSB": experiment_ycsb,
 }

@@ -212,6 +212,49 @@ class WriteAheadLog:
             for key, value in writes.get(txn_id, []):
                 yield ts, key, copy_value(value)
 
+    def ddl_records(self) -> list[dict[str, Any]]:
+        """Every DDL record, oldest first — the *full* log, tail included.
+
+        Replica sync (``repro.cluster.remote``) replays these on worker
+        processes; DDL is applied the moment it is logged, so a replica
+        must see it whether or not the tail is synced yet.
+        """
+        return [rec for rec in self._records if rec["type"] == "ddl"]
+
+    def committed_writes_after(
+        self, after_ts: int
+    ) -> Iterator[tuple[int, RecordKey, Any]]:
+        """(commit_ts, key, value) for committed writes with ts > *after_ts*.
+
+        The incremental replica-sync feed: unlike :meth:`replay` this
+        scans the full in-memory log *including the unsynced tail* — a
+        committed-but-unsynced write is already visible to queries on
+        this node, so a read replica serving the same queries must apply
+        it (durability is the coordinator's concern, not the replica's).
+        Writes of transactions that are uncommitted, aborted, or still
+        in doubt are excluded; commit timestamps are assigned
+        monotonically at commit, so filtering on ``ts > after_ts`` never
+        skips a transaction that commits later.  Values are *not*
+        copied: callers serialise them across a process boundary (or
+        re-copy on apply).
+        """
+        records = list(self._records)  # snapshot; appended dicts are immutable
+        committed: dict[int, int] = {}
+        for rec in records:
+            if rec["type"] == "commit":
+                committed[rec["txn"]] = rec["ts"]
+            elif rec["type"] == "decision" and rec["decision"] == "commit":
+                committed[rec["txn"]] = rec["ts"]
+        wanted = {txn for txn, ts in committed.items() if ts > after_ts}
+        writes: dict[int, list[tuple[RecordKey, Any]]] = {}
+        for rec in records:
+            if rec["type"] == "write" and rec["txn"] in wanted:
+                writes.setdefault(rec["txn"], []).append((rec["key"], rec["value"]))
+        for txn_id in sorted(wanted, key=lambda t: committed[t]):
+            ts = committed[txn_id]
+            for key, value in writes.get(txn_id, []):
+                yield ts, key, value
+
     def truncate_before_checkpoint(self) -> int:
         """Drop records preceding the last checkpoint; returns count dropped.
 

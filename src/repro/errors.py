@@ -96,6 +96,23 @@ class DuplicateCollectionError(EngineError):
 
 
 # ---------------------------------------------------------------------------
+# Cluster layer (shard worker processes, wire protocol)
+# ---------------------------------------------------------------------------
+
+
+class ClusterError(ReproError):
+    """Base class for cluster-layer failures (workers, wire protocol)."""
+
+
+class FrameError(ClusterError):
+    """A wire frame is malformed (bad length prefix, truncated payload)."""
+
+
+class WorkerDied(ClusterError):
+    """A shard worker process crashed and could not be restarted."""
+
+
+# ---------------------------------------------------------------------------
 # Query layer (MMQL)
 # ---------------------------------------------------------------------------
 

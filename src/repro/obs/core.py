@@ -72,6 +72,10 @@ class Observability:
         self.query_seconds = reg.histogram("repro_query_seconds")
         self.query_rows_total = reg.counter("repro_query_rows_returned_total")
         self.shard_seconds = reg.histogram("repro_shard_scatter_seconds")
+        # Time a scatter task spent waiting for a pool slot (thread or
+        # worker-process) before it started executing — the signal that
+        # pool_workers is undersized for the shard fanout.
+        self.shard_queue_seconds = reg.histogram("repro_shard_queue_seconds")
         self.shard_fanout = reg.histogram(
             "repro_shard_fanout", buckets=COUNT_BUCKETS
         )

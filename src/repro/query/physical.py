@@ -64,7 +64,7 @@ and ordering are identical in all modes.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 from itertools import islice
 from typing import Any, Callable, Iterator
 
@@ -173,8 +173,36 @@ def field_path(expr: Expr, var: str) -> str | None:
 # ---------------------------------------------------------------------------
 
 
+def _plan_node_state(node: Any) -> dict[str, Any]:
+    """Pickle state of a plan node: declared dataclass fields only.
+
+    Every operator's ``__post_init__`` injects compiled closures
+    (``_c_*``, ``_k_batch``, ``_chain_root``) via ``object.__setattr__``;
+    closures are process-local and unpicklable, so serialization ships
+    the declared fields and :func:`_restore_plan_node` recompiles on the
+    receiving side.  This is what lets a shard subplan cross the worker
+    process boundary byte-compactly (``repro.cluster.remote``).
+    """
+    return {f.name: getattr(node, f.name) for f in fields(node)}
+
+
+def _restore_plan_node(node: Any, state: dict[str, Any]) -> None:
+    """Rebuild a plan node from pickled fields, re-running compilation."""
+    for name, value in state.items():
+        object.__setattr__(node, name, value)
+    post_init = getattr(node, "__post_init__", None)
+    if post_init is not None:
+        post_init()
+
+
 class AccessPath:
     """Produces the items one FOR iterates, given the outer binding."""
+
+    def __getstate__(self) -> dict[str, Any]:
+        return _plan_node_state(self)
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        _restore_plan_node(self, state)
 
     def items(self, rt: Any, binding: Binding, params: dict[str, Any]) -> Iterator[Any]:
         raise NotImplementedError
@@ -468,6 +496,12 @@ class PhysicalOperator:
     """One node of the physical plan; pulls bindings from its child."""
 
     child: "PhysicalOperator | None"
+
+    def __getstate__(self) -> dict[str, Any]:
+        return _plan_node_state(self)
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        _restore_plan_node(self, state)
 
     def run(
         self, rt: Any, params: dict[str, Any], seed: Binding | None = None

@@ -62,3 +62,97 @@ def test_tiny_batches_cross_the_gather(sharded4, small_dataset, mode):
     oracle = sharded4.query(text, **EXECUTION_MODES["interpreted"])
     got = sharded4.query(text, batch_size=1, **EXECUTION_MODES[mode])
     assert got == oracle
+
+
+# -- process-pool column of the matrix ----------------------------------------
+
+
+@pytest.fixture(scope="session")
+def sharded4p(small_dataset):
+    """The 4-shard cluster again, scattering onto worker processes."""
+    from repro.cluster.sharded import ShardedDatabase
+    from repro.datagen.load import load_dataset
+
+    driver = ShardedDatabase(n_shards=4, pool="processes")
+    load_dataset(driver, small_dataset)
+    yield driver
+    driver.close()
+
+
+@pytest.mark.parametrize("mode", _VARIANT_MODES)
+@pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.query_id)
+def test_process_pool_matches_thread_pool(
+    query, mode, sharded4, sharded4p, small_dataset
+):
+    """pool="processes" is a drop-in: same rows, every query, every mode.
+
+    Shard subplans run in forked worker processes against synced
+    replicas here (with in-process fallback only for subplans that
+    cannot serialize), so this column proves the wire protocol —
+    subplan shipping, batch/AggPartial result frames, replica sync —
+    preserves the exact results of the in-process thread scatter.
+    """
+    params = query.params(small_dataset)
+    flags = EXECUTION_MODES[mode]
+    threaded = sharded4.query(query.text, params, **flags)
+    processed = sharded4p.query(query.text, params, **flags)
+    assert _canon(query, processed) == _canon(query, threaded)
+
+
+def test_routed_single_shard_forwards_batches_untouched():
+    """fanout == 1 skips the gather: batches cross by reference.
+
+    The routed path must add zero batch copies — the exact list objects
+    the shard subplan yields are the ones ShardExec yields upward.
+    """
+    from dataclasses import fields
+
+    from repro.cluster.operators import ShardExec
+    from repro.cluster.sharded import ShardedDatabase
+    from repro.query.executor import Executor
+    from repro.query.parser import parse
+    from repro.query.planner import plan as plan_query
+
+    db = ShardedDatabase(n_shards=4)
+    db.create_collection("orders")
+
+    def body(s):
+        for i in range(40):
+            s.doc_insert("orders", {"_id": i, "total_price": i * 3})
+
+    db.run_transaction(body)
+
+    def find_shard_exec(node):
+        if isinstance(node, ShardExec):
+            return node
+        for f in fields(node):
+            value = getattr(node, f.name)
+            if hasattr(value, "run_batches"):
+                found = find_shard_exec(value)
+                if found is not None:
+                    return found
+        return None
+
+    planned = plan_query(
+        parse("FOR o IN orders FILTER o._id == @id RETURN o.total_price"),
+        catalog=db.router,
+    )
+    gather = find_shard_exec(planned.root)
+    assert gather is not None and gather.route_expr is not None
+
+    produced = []
+    subplan = gather.subplan
+    inner = type(subplan).run_batches
+
+    def spy(rt, params, seed=None):
+        for batch in inner(subplan, rt, params, seed):
+            produced.append(id(batch))
+            yield batch
+
+    object.__setattr__(subplan, "run_batches", spy)
+    rt = Executor(db.query_context())
+    forwarded = [
+        id(batch) for batch in gather.run_batches(rt, {"id": 7})
+    ]
+    assert forwarded == produced and len(produced) >= 1
+    db.close()

@@ -148,5 +148,6 @@ class TestE15:
 class TestRegistry:
     def test_extension_registry(self):
         assert set(EXTENSION_EXPERIMENTS) == {
-            "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "YCSB"
+            "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15",
+            "E16", "YCSB",
         }
