@@ -1,0 +1,63 @@
+"""Replicated shards: read parity always, quorum-latency shape when asked.
+
+Regenerates the E17 table (write-ack latency vs quorum width, follower
+vs leader read throughput on 3-replica shards) and gates:
+
+- **parity**, unconditionally: the experiment itself raises before any
+  timing if the point/filter/aggregate mix diverges across leader,
+  follower and session-consistent reads — a broken shipping or
+  materialisation path fails this bench on any host;
+- **coverage**: the follower-read case must actually have served from
+  followers (``follower_reads > 0`` in the table detail) — a routing
+  regression that silently falls back to the leader is not parity;
+- **quorum shape**, optionally: with ``BENCH_REPL_GATE_LATENCY=1``,
+  per-commit latency must be monotone in the quorum width
+  (``write_acks=1 <= majority <= all``, with a 25% noise allowance).
+  Off by default — wall-clock ordering on a loaded CI host is a
+  flake-machine; the parity and coverage gates are the correctness
+  story.
+
+``BENCH_REPL_SF`` / ``BENCH_REPL_MIN_ROWS`` size the dataset (CI smoke:
+SF=0.01); ``BENCH_REPL_REPS`` controls the min-of-N timing discipline.
+"""
+
+import os
+
+from conftest import record_table
+
+from repro.core.experiments_ext import experiment_e17_replication
+
+REPL_SF = float(os.environ.get("BENCH_REPL_SF", "0.05"))
+REPL_REPS = int(os.environ.get("BENCH_REPL_REPS", "3"))
+REPL_MIN_ROWS = int(os.environ.get("BENCH_REPL_MIN_ROWS", "6000"))
+REPL_WRITE_BATCH = int(os.environ.get("BENCH_REPL_WRITE_BATCH", "100"))
+GATE_LATENCY = os.environ.get("BENCH_REPL_GATE_LATENCY", "0") == "1"
+LATENCY_SLACK = 1.25
+
+
+def bench_e17_replication_table(benchmark):
+    """Regenerate and print the E17 table; gate parity and coverage."""
+    table = benchmark.pedantic(
+        lambda: experiment_e17_replication(
+            scale_factor=REPL_SF,
+            repetitions=REPL_REPS,
+            min_rows=REPL_MIN_ROWS,
+            write_batch=REPL_WRITE_BATCH,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table)
+    by_case = {r["case"]: r for r in table.to_records()}
+
+    follower_row = by_case["reads_follower"]
+    assert follower_row["read_qps"] > 0
+    served = int(follower_row["detail"].split("follower_reads=")[1])
+    assert served > 0, "follower preference never touched a follower"
+
+    if GATE_LATENCY:
+        one = by_case["write_acks=1"]["commit_ms_per_txn"]
+        majority = by_case["write_acks=majority"]["commit_ms_per_txn"]
+        all_acks = by_case["write_acks=all"]["commit_ms_per_txn"]
+        assert majority <= all_acks * LATENCY_SLACK, (one, majority, all_acks)
+        assert one <= majority * LATENCY_SLACK, (one, majority, all_acks)

@@ -67,7 +67,14 @@ from repro.errors import (
     SimulatedCrash,
     TransactionAborted,
 )
-from repro.txn import CoordinatorLog, TwoPhaseCoordinator, resolve_in_doubt
+from repro.txn import (
+    CoordinatorLog,
+    ReplicatedCoordinatorLog,
+    TwoPhaseCoordinator,
+    resolve_in_doubt,
+)
+from repro.consistency.sessions import ClusterSessionToken
+from repro.replication.replicaset import ReplicaSet, ReplicaSetConfig
 from repro.models.graph.property_graph import Edge, Vertex
 from repro.models.graph.traversal import bfs_depth_range
 from repro.models.relational.predicate import Predicate
@@ -95,6 +102,7 @@ class ShardedDatabase(Driver):
         two_phase_commit: bool = True,
         pool: str = "threads",
         pool_workers: int | None = None,
+        replication: ReplicaSetConfig | None = None,
     ) -> None:
         if pool not in ("threads", "processes"):
             raise ClusterError(f"unknown pool mode {pool!r}")
@@ -115,7 +123,18 @@ class ShardedDatabase(Driver):
         self.isolation = isolation
         self.max_retries = max_retries
         self.two_phase_commit = two_phase_commit
-        self.coordinator_log = CoordinatorLog()
+        self.replication = replication
+        # With replica sets under the shards, the coordinator log — the
+        # commit point of every cross-shard transaction — gets its own
+        # replica copies with the same quorum knob, so a coordinator
+        # crash cannot orphan in-doubt participants.
+        if replication is not None:
+            self.coordinator_log: CoordinatorLog = ReplicatedCoordinatorLog(
+                n_replicas=replication.replicas_per_shard,
+                write_acks=replication.write_acks,
+            )
+        else:
+            self.coordinator_log = CoordinatorLog()
         self.coordinator = TwoPhaseCoordinator(self.coordinator_log)
         self.router = ShardRouter(n_shards)
         self.shards: list[MultiModelDatabase] = []
@@ -125,6 +144,15 @@ class ShardedDatabase(Driver):
             )
             shard._next_edge_id = 1 + i * _EDGE_ID_STRIDE
             self.shards.append(shard)
+        # Each shard becomes a replica set: shards[i] stays the live
+        # leader database (every existing code path keeps working) and
+        # is swapped for the promoted follower's on failover.
+        self.replica_sets: list[ReplicaSet] = []
+        if replication is not None:
+            self.replica_sets = [
+                ReplicaSet(i, shard, replication)
+                for i, shard in enumerate(self.shards)
+            ]
         self._shard_keys = dict(shard_keys or {})
         self._partitioners = dict(partitioners or {})
         self._broadcast = set(broadcast or ())
@@ -201,6 +229,7 @@ class ShardedDatabase(Driver):
         self.router.register(schema.name, spec)
         for shard in self.shards:
             shard.create_table(schema)
+        self._replicate_all()
 
     def create_collection(self, name: str) -> None:
         self.router.register(
@@ -208,16 +237,19 @@ class ShardedDatabase(Driver):
         )
         for shard in self.shards:
             shard.create_collection(name)
+        self._replicate_all()
 
     def create_xml_collection(self, name: str) -> None:
         self.router.register(name, self._spec_for(name, "xml", "_id", record_id=True))
         for shard in self.shards:
             shard.create_xml_collection(name)
+        self._replicate_all()
 
     def create_kv_namespace(self, name: str) -> None:
         self.router.register(name, self._spec_for(name, "kv", "_key", record_id=True))
         for shard in self.shards:
             shard.create_kv_namespace(name)
+        self._replicate_all()
 
     def create_graph(self, name: str) -> None:
         # Vertices broadcast; edges hash on their source vertex.
@@ -227,6 +259,7 @@ class ShardedDatabase(Driver):
         )
         for shard in self.shards:
             shard.create_graph(name)
+        self._replicate_all()
 
     def create_index(
         self, kind: str, collection: str, field: str, index_type: str = "hash"
@@ -234,33 +267,55 @@ class ShardedDatabase(Driver):
         model = Model.RELATIONAL if kind == "table" else Model.DOCUMENT
         for shard in self.shards:
             shard.create_index(model, collection, field, kind=index_type)
+        self._replicate_all()
 
     def set_table_schema(self, schema: Any) -> None:
         for shard in self.shards:
             shard.set_table_schema(schema)
+        self._replicate_all()
+
+    def _replicate_all(self) -> None:
+        """Quorum-ship every shard's outstanding WAL records (DDL path)."""
+        for replica_set in self.replica_sets:
+            replica_set.replicate()
 
     def table_schema(self, name: str) -> Any:
         return self.shards[0].table_schema(name)
 
     # -- transactions --------------------------------------------------------
 
-    def begin(self, isolation: IsolationLevel | None = None) -> "ShardedSession":
-        return ShardedSession(self, isolation or self.isolation)
+    def begin(
+        self,
+        isolation: IsolationLevel | None = None,
+        session: ClusterSessionToken | None = None,
+    ) -> "ShardedSession":
+        return ShardedSession(self, isolation or self.isolation, token=session)
+
+    def session_token(self) -> ClusterSessionToken:
+        """A read-your-writes/monotonic-reads token for follower reads.
+
+        Pass it to :meth:`begin`/:meth:`transaction` (writes raise its
+        per-shard floors) and to :meth:`query` (a follower serves a
+        shard's read only once it has applied that floor).
+        """
+        return ClusterSessionToken()
 
     @contextlib.contextmanager
     def transaction(
-        self, isolation: IsolationLevel | None = None
+        self,
+        isolation: IsolationLevel | None = None,
+        session: ClusterSessionToken | None = None,
     ) -> Iterator["ShardedSession"]:
-        session = self.begin(isolation)
+        txn = self.begin(isolation, session=session)
         try:
-            yield session
+            yield txn
         except BaseException:
-            if session.active:
-                session.abort()
+            if txn.active:
+                txn.abort()
             raise
         else:
-            if session.active:
-                session.commit()
+            if txn.active:
+                txn.commit()
 
     def load(self, loader: Callable[["ShardedSession"], None]) -> None:
         with self.transaction(IsolationLevel.SNAPSHOT) as session:
@@ -294,6 +349,62 @@ class ShardedDatabase(Driver):
 
     # -- crash & recovery ----------------------------------------------------
 
+    def kill_leader(self, shard_id: int) -> dict[str, int]:
+        """Fault hook: one shard's leader node dies; fail over in place.
+
+        The dead leader's unsynced WAL tail is lost; the most caught-up
+        live follower wins the election and is promoted (its in-doubt
+        prepares resolved against the coordinator log), ``shards[i]``
+        now points at the promoted database, and the termination
+        protocol settles any transactions left prepared on the *other*
+        shards by a coordinator that died mid-2PC.  Worker processes are
+        discarded — their replica fingerprints referenced the dead
+        leader's WAL.  Returns the resolution counters.  Must not race
+        in-flight 2PC on other threads (it is a fault drill, like the
+        ``crash_*`` injection attributes).
+        """
+        if not self.replica_sets:
+            raise ClusterError("kill_leader requires replication=ReplicaSetConfig(...)")
+        replica_set = self.replica_sets[shard_id]
+        resolution = replica_set.fail_over(self.coordinator_log)
+        self.shards[shard_id] = replica_set.leader_db
+        with self._pool_lock:
+            if self._remote_pool is not None:
+                self._remote_pool.close()
+                self._remote_pool = None
+        promoted = sum(resolution.values())
+        if promoted:
+            self.coordinator.stats.incr("recovered_in_doubt", promoted)
+        self.recover_in_doubt()  # counts its own resolutions
+        return resolution
+
+    def recover_in_doubt(self) -> int:
+        """Termination protocol: settle prepared txns on *live* shards.
+
+        After a coordinator failure (simulated crash mid-2PC), shards
+        that prepared and never heard the verdict still hold the write
+        locks pinned.  Each one asks the (replicated) coordinator log:
+        durable commit decision → commit, otherwise presumed abort.
+        Counted into ``recovered_in_doubt``; decisions are quorum-shipped
+        like any other write.  Returns the number settled.
+        """
+        committed = self.coordinator_log.committed_global_txns()
+        resolved = 0
+        for shard_id, shard in enumerate(self.shards):
+            with self._shard_locks[shard_id]:
+                in_doubt = list(shard.manager.prepared.values())
+                for txn in in_doubt:
+                    if txn.global_id in committed:
+                        shard.manager.commit_prepared(txn)
+                    else:
+                        shard.manager.abort_prepared(txn)
+                    resolved += 1
+            if in_doubt and self.replica_sets:
+                self.replica_sets[shard_id].replicate()
+        if resolved:
+            self.coordinator.stats.incr("recovered_in_doubt", resolved)
+        return resolved
+
     def crash(self) -> "ShardedDatabase":
         """Simulate a whole-cluster power failure and recover.
 
@@ -306,8 +417,12 @@ class ShardedDatabase(Driver):
         :meth:`MultiModelDatabase.crash`).
         """
         self.close()
-        for shard in self.shards:
-            shard.wal.crash()
+        if not self.replica_sets:
+            # With replication each replica set crashes its own members
+            # (every replica's WAL, not just the leader's) in
+            # recover_all below.
+            for shard in self.shards:
+                shard.wal.crash()
         self.coordinator_log.crash()
         recovered = ShardedDatabase.__new__(ShardedDatabase)
         # Configuration carries over wholesale (attributes added to
@@ -335,15 +450,26 @@ class ShardedDatabase(Driver):
         recovered._pool_lock = threading.Lock()
         recovered.shards = []
         in_doubt_resolved = 0
-        for i, shard in enumerate(self.shards):
-            resolution = resolve_in_doubt(shard.wal, self.coordinator_log)
-            in_doubt_resolved += sum(resolution.values())
-            rebuilt = MultiModelDatabase.recover(shard.wal)
-            rebuilt.name = f"shard{i}"
-            rebuilt._next_edge_id = max(
-                rebuilt._next_edge_id, 1 + i * _EDGE_ID_STRIDE
-            )
-            recovered.shards.append(rebuilt)
+        if self.replica_sets:
+            # Whole-cluster power failure with replica sets: every node
+            # of every set restarts, drops its unsynced tail, re-elects
+            # by durable log length, resolves in-doubt prepares, and
+            # resyncs its peers (replica sets mutate in place; the
+            # recovered cluster shares them via the __dict__ carry-over).
+            for replica_set in self.replica_sets:
+                resolution = replica_set.recover_all(self.coordinator_log)
+                in_doubt_resolved += sum(resolution.values())
+                recovered.shards.append(replica_set.leader_db)
+        else:
+            for i, shard in enumerate(self.shards):
+                resolution = resolve_in_doubt(shard.wal, self.coordinator_log)
+                in_doubt_resolved += sum(resolution.values())
+                rebuilt = MultiModelDatabase.recover(shard.wal)
+                rebuilt.name = f"shard{i}"
+                rebuilt._next_edge_id = max(
+                    rebuilt._next_edge_id, 1 + i * _EDGE_ID_STRIDE
+                )
+                recovered.shards.append(rebuilt)
         if in_doubt_resolved:
             recovered.coordinator.stats.incr("recovered_in_doubt", in_doubt_resolved)
         # Every in-doubt participant now carries a durable verdict in its
@@ -369,6 +495,32 @@ class ShardedDatabase(Driver):
 
     def query_context(self) -> "ShardedQueryContext":
         return ShardedQueryContext(self)
+
+    def query(
+        self,
+        text: str,
+        params: dict[str, Any] | None = None,
+        use_indexes: bool = True,
+        use_compiled: bool = True,
+        use_batches: bool = True,
+        use_fusion: bool = True,
+        batch_size: int | None = None,
+        session: ClusterSessionToken | None = None,
+    ) -> list[Any]:
+        """One MMQL query on a fresh context, optionally session-bound.
+
+        With replication, *session* upgrades the read to session
+        consistency: each shard's snapshot may come from a follower only
+        once that follower has applied the token's per-shard floor
+        (read-your-writes), and the snapshot observed raises the floor
+        (monotonic reads — this session never reads backwards, even
+        across a failover).  Without a token, reads route by the
+        cluster's configured ``read_preference``.
+        """
+        return self._execute_on(
+            ShardedQueryContext(self, session=session), text, params,
+            use_indexes, use_compiled, use_batches, use_fusion, batch_size,
+        )
 
     def plan_catalog(self) -> ShardRouter:
         """Planning catalog: EXPLAIN and the plan cache see routing."""
@@ -402,6 +554,12 @@ class ShardedDatabase(Driver):
         obs.registry.register_collector("txn", self._txn_metrics)
         if self.pool_mode == "processes":
             obs.registry.register_collector("procpool", self._procpool_metrics)
+        if self.replica_sets:
+            obs.registry.register_collector(
+                "replication", self._replication_metrics
+            )
+            for replica_set in self.replica_sets:
+                replica_set.obs = obs
         self.coordinator.obs = obs
 
     def _sum_shard_metrics(self, metrics_of) -> dict[str, int]:
@@ -420,6 +578,22 @@ class ShardedDatabase(Driver):
 
     def _lock_metrics(self) -> dict[str, int]:
         return self._sum_shard_metrics(lambda shard: shard.manager.locks.metrics())
+
+    def _replication_metrics(self) -> dict[str, Any]:
+        """Per-shard replica-set gauges plus the coordinator log's copies.
+
+        Rendered by the registry as ``repro_replication_<key>`` gauges —
+        the per-follower ``shardN_lag_records_replicaM`` /
+        ``lag_seconds`` values are the follower-freshness signal.
+        """
+        out: dict[str, Any] = {}
+        if isinstance(self.coordinator_log, ReplicatedCoordinatorLog):
+            for key, value in self.coordinator_log.replication_metrics().items():
+                out[key] = value
+        for replica_set in self.replica_sets:
+            for key, value in replica_set.metrics().items():
+                out[f"shard{replica_set.shard_id}_{key}"] = value
+        return out
 
     def _txn_metrics(self) -> dict[str, Any]:
         out = self._sum_shard_metrics(
@@ -503,6 +677,18 @@ class ShardedDatabase(Driver):
             self.coordinator.stats.as_dict(),
             mode="2pc" if self.two_phase_commit else "best_effort",
         )
+        if self.replica_sets:
+            config = self.replication
+            counts["replication"] = {
+                "replicas_per_shard": config.replicas_per_shard,
+                "write_acks": config.write_acks,
+                "read_preference": config.read_preference,
+                "max_lag_records": config.max_lag_records,
+                "shards": {
+                    f"shard_{rs.shard_id}": rs.metrics()
+                    for rs in self.replica_sets
+                },
+            }
         return counts
 
     # -- internals -----------------------------------------------------------
@@ -515,10 +701,16 @@ class ShardedDatabase(Driver):
         with self._shard_locks[shard_id]:
             if session.txn.state.value != "active":
                 return
+            had_writes = not session.txn.is_read_only
             if commit:
                 session.commit()
             else:
                 session.abort()
+        if commit and had_writes and self.replica_sets:
+            # The write-ack quorum: the commit is durable on the leader;
+            # acknowledgement additionally requires the WAL to reach
+            # acks_needed replicas (raises ClusterError when it cannot).
+            self.replica_sets[shard_id].replicate()
 
 
 class _ShardParticipant:
@@ -536,14 +728,30 @@ class _ShardParticipant:
     def prepare(self, global_id: int) -> None:
         with self.db._shard_locks[self.shard_id]:
             self.session.prepare(global_id)
+        self._replicate()
 
     def commit_prepared(self) -> int:
         with self.db._shard_locks[self.shard_id]:
-            return self.session.commit_prepared()
+            commit_ts = self.session.commit_prepared()
+        self._replicate()
+        return commit_ts
 
     def abort_prepared(self) -> None:
         with self.db._shard_locks[self.shard_id]:
             self.session.abort_prepared()
+        self._replicate()
+
+    def _replicate(self) -> None:
+        """Quorum-ship each protocol step's WAL records to the replicas.
+
+        Prepares must reach the quorum *before* the coordinator's
+        decision (a promoted follower has to know about the in-doubt
+        txn to resolve it), and the commit/abort verdict must reach it
+        before the coordinator acknowledges.
+        """
+        sets = self.db.replica_sets
+        if sets:
+            sets[self.shard_id].replicate()
 
 
 class ShardedSession:
@@ -555,9 +763,15 @@ class ShardedSession:
     gather (reads) across all shards.
     """
 
-    def __init__(self, db: ShardedDatabase, isolation: IsolationLevel) -> None:
+    def __init__(
+        self,
+        db: ShardedDatabase,
+        isolation: IsolationLevel,
+        token: ClusterSessionToken | None = None,
+    ) -> None:
         self.db = db
         self.isolation = isolation
+        self._token = token
         self._sessions: dict[int, Session] = {}
         self.active = True
         # With tracing on, each write transaction gets its own trace id,
@@ -604,6 +818,14 @@ class ShardedSession:
                 self._close_per_shard(sessions, commit)
                 if commit and self.db.two_phase_commit and writers:
                     self.db.coordinator.stats.incr("fast_path_commits")
+            if commit and self._token is not None:
+                # Raise the session's read-your-writes floors: a follower
+                # may serve this session's reads on a shard only once it
+                # has applied past the commit we just made there.
+                for shard_id, _ in writers:
+                    self._token.observe(
+                        shard_id, self.db.shards[shard_id].manager.current_ts
+                    )
         finally:
             self._sessions.clear()
 
@@ -1044,10 +1266,17 @@ class ShardedQueryContext:
     timestamps).
     """
 
-    def __init__(self, db: ShardedDatabase) -> None:
+    def __init__(
+        self, db: ShardedDatabase, session: ClusterSessionToken | None = None
+    ) -> None:
         self.db = db
         self.catalog = db.router
+        self._token = session
         self._contexts: list[UnifiedQueryContext | None] = [None] * db.n_shards
+        # The lock each open context's lifecycle is serialised under:
+        # the cluster's per-shard lock for a leader snapshot, the
+        # replica set's lock for a follower snapshot.
+        self._ctx_locks: list[threading.Lock | None] = [None] * db.n_shards
         self._open_lock = threading.Lock()
 
     @property
@@ -1060,9 +1289,48 @@ class ShardedQueryContext:
             with self._open_lock:
                 ctx = self._contexts[shard_id]
                 if ctx is None:
-                    with self.db._shard_locks[shard_id]:
-                        ctx = UnifiedQueryContext(self.db.shards[shard_id])
+                    ctx = self._open_shard_context(shard_id)
                     self._contexts[shard_id] = ctx
+        return ctx
+
+    def _open_shard_context(self, shard_id: int) -> UnifiedQueryContext:
+        """Open one shard's read snapshot, picking leader or follower.
+
+        Without replication (or with ``read_preference="leader"`` and no
+        session token) this is the classic path: a snapshot on the
+        shard's live database under the cluster's per-shard lock.  With
+        replication, :meth:`ReplicaSet.read_replica` routes by the
+        configured preference — a session token upgrades the read to
+        session consistency (the follower must have applied the token's
+        per-shard floor, else the leader serves it).
+        """
+        sets = self.db.replica_sets
+        if not sets:
+            lock = self.db._shard_locks[shard_id]
+            with lock:
+                ctx = UnifiedQueryContext(self.db.shards[shard_id])
+            self._ctx_locks[shard_id] = lock
+            return ctx
+        replica_set = sets[shard_id]
+        preference = (
+            "session" if self._token is not None
+            else replica_set.config.read_preference
+        )
+        floor = self._token.floor(shard_id) if self._token is not None else 0
+        replica = replica_set.read_replica(preference, floor)
+        if replica.db is self.db.shards[shard_id]:
+            lock = self.db._shard_locks[shard_id]
+            with lock:
+                ctx = UnifiedQueryContext(replica.db)
+            if self._token is not None:
+                self._token.observe(shard_id, replica.db.manager.current_ts)
+        else:
+            lock = replica_set._lock
+            with lock:
+                ctx = UnifiedQueryContext(replica.db)
+            if self._token is not None:
+                self._token.observe(shard_id, replica.applied_ts)
+        self._ctx_locks[shard_id] = lock
         return ctx
 
     def run_parallel(self, tasks: list[Callable[[], Any]]) -> list[Any]:
@@ -1085,9 +1353,11 @@ class ShardedQueryContext:
         with self._open_lock:
             for shard_id, ctx in enumerate(self._contexts):
                 if ctx is not None:
-                    with self.db._shard_locks[shard_id]:
+                    lock = self._ctx_locks[shard_id] or self.db._shard_locks[shard_id]
+                    with lock:
                         ctx.close()
             self._contexts = [None] * self.db.n_shards
+            self._ctx_locks = [None] * self.db.n_shards
 
     # -- placement helpers ---------------------------------------------------
 

@@ -100,6 +100,34 @@ class ClientSession:
         return obs.value
 
 
+@dataclass
+class ClusterSessionToken:
+    """Per-shard read-your-writes/monotonic-reads floor for the cluster.
+
+    The cluster-scale sibling of :class:`ClientSession`: where the
+    simulator keys its floor on per-key sequence numbers, the real
+    replica sets key it on **per-shard commit timestamps** — the one
+    monotonic quantity that survives compaction, crash recovery *and*
+    leader failover (a promoted follower's manager resumes at the
+    maximum replayed commit ts).  A follower may serve a shard's read
+    only when it has applied at least ``floor(shard_id)``; otherwise the
+    replica set falls back to the leader and counts it, same metric as
+    the simulator.  Pass a token to ``ShardedDatabase.query(...,
+    session=token)`` and ``begin(session=token)`` to tie reads and
+    writes into one session.
+    """
+
+    floors: dict[int, int] = field(default_factory=dict)
+
+    def observe(self, shard_id: int, commit_ts: int) -> None:
+        """Raise the shard's floor to *commit_ts* (never lowers it)."""
+        if commit_ts > self.floors.get(shard_id, 0):
+            self.floors[shard_id] = commit_ts
+
+    def floor(self, shard_id: int) -> int:
+        return self.floors.get(shard_id, 0)
+
+
 def quorum_freshness(
     store_factory,
     r_values: list[int],

@@ -27,6 +27,10 @@ DESIGN.md §5 calls out:
 - **E16** — process-parallel scatter: shard subplans dispatched to
   worker processes over the wire protocol vs the GIL-bound thread
   pool, on the communication-avoiding E10 scan mix.
+- **E17** — replicated shards: write-ack latency as the quorum widens
+  (1 / majority / all on 3-replica shards) and follower-read
+  throughput vs leader-only, with a leader/follower/session parity
+  gate before any timing.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ from repro.datagen.generator import DatasetGenerator
 from repro.datagen.load import load_dataset
 from repro.drivers.polyglot import PolyglotDriver
 from repro.drivers.unified import UnifiedDriver
+from repro.replication import ReplicaSetConfig
 from repro.engine.indexes import BTreeIndex, HashIndex, SortedIndex, field_extractor
 from repro.schema.evolution import AddField, NestFields, RenameField
 from repro.schema.lazy import LazyMigrator
@@ -1044,6 +1049,167 @@ def experiment_e16_procpool(
     return table
 
 
+# ---------------------------------------------------------------------------
+# E17 — replicated shards: quorum write acks and follower reads
+# ---------------------------------------------------------------------------
+
+_E17_READ_QUERIES = {
+    "point": ("FOR d IN orders FILTER d._id == @id RETURN d", True),
+    "filter": (
+        "FOR d IN orders FILTER d.total_price >= @lo RETURN d._id", False
+    ),
+    "aggregate": (
+        "FOR d IN orders COLLECT status = d.status "
+        "AGGREGATE n = COUNT(1) RETURN {status: status, n: n}",
+        False,
+    ),
+}
+
+
+def experiment_e17_replication(
+    scale_factor: float = 0.05,
+    repetitions: int = 5,
+    seed: int = 42,
+    n_shards: int = 2,
+    min_rows: int = 6_000,
+    write_batch: int = 100,
+    read_rounds: int = 30,
+) -> Table:
+    """Quorum write acks and follower reads on 3-replica shards.
+
+    Two measurements over the identical amplified orders collection:
+
+    - **write-ack latency** per single-doc commit as the quorum widens —
+      an unreplicated cluster, then ``write_acks`` 1 / majority / all on
+      3-replica shards (majority ships the WAL synchronously to one
+      follower per shard, all to two);
+    - **read throughput** of a point/filter/aggregate mix on the leader
+      vs round-robined followers vs session-consistent follower reads.
+
+    Before any timing, every read query must return identical answers
+    through the leader, the followers (``write_acks="all"`` keeps them
+    exactly current) and a session token — the parity gate the CI smoke
+    exists for.  Timing keeps per-case minima across interleaved
+    repetitions.
+    """
+    dataset = DatasetGenerator(
+        GeneratorConfig(seed=seed, scale_factor=scale_factor)
+    ).generate()
+    rows = _amplified_orders(dataset, min_rows)
+    lo = sorted(o["total_price"] for o in rows)[int(len(rows) * 0.9)]
+    ids = [o["_id"] for o in rows[: max(write_batch, read_rounds)]]
+
+    def build(replication: ReplicaSetConfig | None) -> ShardedDatabase:
+        db = ShardedDatabase(
+            n_shards=n_shards,
+            wal_sync_every_append=False,
+            replication=replication,
+        )
+        _load_orders(db, rows)
+        return db
+
+    write_modes: list[tuple[str, ReplicaSetConfig | None]] = [
+        ("unreplicated", None),
+        ("write_acks=1", ReplicaSetConfig(3, write_acks=1)),
+        ("write_acks=majority", ReplicaSetConfig(3, write_acks="majority")),
+        ("write_acks=all", ReplicaSetConfig(3, write_acks="all")),
+    ]
+    writers = {name: build(cfg) for name, cfg in write_modes}
+    # Followers stay exactly current under write_acks="all", so the
+    # same cluster serves the read comparison without a staleness
+    # asterisk; the leader-read baseline is the unreplicated cluster.
+    reader = ShardedDatabase(
+        n_shards=n_shards,
+        wal_sync_every_append=False,
+        replication=ReplicaSetConfig(
+            3, write_acks="all", read_preference="follower"
+        ),
+    )
+    _load_orders(reader, rows)
+    leader_baseline = writers["unreplicated"]
+    token = reader.session_token()
+
+    # Parity gate: leader, follower and session reads must agree on
+    # every query shape before anything is timed.
+    params_for = {"point": {"id": ids[0]}, "filter": {"lo": lo}, "aggregate": {}}
+    for name, (text, ordered) in _E17_READ_QUERIES.items():
+        results = [
+            leader_baseline.query(text, params_for[name]),
+            reader.query(text, params_for[name]),
+            reader.query(text, params_for[name], session=token),
+        ]
+        canon = [
+            repr(r) if ordered else repr(sorted(r, key=repr)) for r in results
+        ]
+        if len(set(canon)) != 1:
+            raise AssertionError(
+                f"E17: {name} diverged across leader/follower/session reads"
+            )
+
+    best_write = {name: float("inf") for name, _ in write_modes}
+    best_read = {
+        "reads_leader": float("inf"),
+        "reads_follower": float("inf"),
+        "reads_session": float("inf"),
+    }
+    n_read_queries = read_rounds * len(_E17_READ_QUERIES)
+    for _ in range(repetitions):
+        for name, _cfg in write_modes:
+            db = writers[name]
+            with Stopwatch() as sw:
+                for i in range(write_batch):
+                    with db.transaction() as s:
+                        s.doc_update("orders", ids[i], {"bumped": name})
+            best_write[name] = min(best_write[name], sw.elapsed)
+        for case, db, session in (
+            ("reads_leader", leader_baseline, None),
+            ("reads_follower", reader, None),
+            ("reads_session", reader, token),
+        ):
+            with Stopwatch() as sw:
+                for r in range(read_rounds):
+                    params_for["point"]["id"] = ids[r % len(ids)]
+                    for name, (text, _ordered) in _E17_READ_QUERIES.items():
+                        db.query(text, params_for[name], session=session)
+            best_read[case] = min(best_read[case], sw.elapsed)
+
+    follower_reads = sum(
+        rs.metrics()["follower_reads_total"] for rs in reader.replica_sets
+    )
+    fallbacks = sum(
+        rs.metrics()["session_fallbacks_total"] for rs in reader.replica_sets
+    )
+    for db in (*writers.values(), reader):
+        db.close()
+
+    table = Table(
+        f"E17: replicated shards (SF={scale_factor}, {len(rows)} orders, "
+        f"{n_shards} shards x 3 replicas, {write_batch}-txn write batch, "
+        f"min of {repetitions} reps)",
+        ["case", "commit_ms_per_txn", "read_qps", "detail"],
+    )
+    for name, cfg in write_modes:
+        table.add_row([
+            name,
+            round(best_write[name] / write_batch * 1000.0, 4),
+            "",
+            "no replica sets" if cfg is None
+            else f"acks_needed={cfg.acks_needed}/3",
+        ])
+    for case, detail in (
+        ("reads_leader", "unreplicated baseline"),
+        ("reads_follower", f"follower_reads={follower_reads}"),
+        ("reads_session", f"session_fallbacks={fallbacks}"),
+    ):
+        table.add_row([
+            case,
+            "",
+            round(n_read_queries / best_read[case], 1),
+            detail,
+        ])
+    return table
+
+
 EXTENSION_EXPERIMENTS = {
     "E7": experiment_e7_index_backends,
     "E8": experiment_e8_sessions,
@@ -1055,5 +1221,6 @@ EXTENSION_EXPERIMENTS = {
     "E14": experiment_e14_vectorized,
     "E15": experiment_e15_observability,
     "E16": experiment_e16_procpool,
+    "E17": experiment_e17_replication,
     "YCSB": experiment_ycsb,
 }

@@ -183,10 +183,32 @@ class Driver(abc.ABC):
         produces a span tree.  Disabling observability restores the
         exact pre-instrumentation path.
         """
+        return self._execute_on(
+            self.query_context(), text, params, use_indexes, use_compiled,
+            use_batches, use_fusion, batch_size,
+        )
+
+    def _execute_on(
+        self,
+        ctx: QueryContext,
+        text: str,
+        params: dict[str, Any] | None,
+        use_indexes: bool,
+        use_compiled: bool,
+        use_batches: bool,
+        use_fusion: bool,
+        batch_size: int | None,
+    ) -> list[Any]:
+        """Run one query on an already-built context (closing it after).
+
+        Split out of :meth:`query` so drivers that choose the context
+        per call — e.g. a replicated cluster routing a session token's
+        reads to followers — reuse the execution/observability path
+        without duplicating it.
+        """
         from repro.query.executor import Executor
         from repro.query.physical import DEFAULT_BATCH_SIZE
 
-        ctx = self.query_context()
         try:
             executor = Executor(
                 ctx,

@@ -152,6 +152,28 @@ class MultiModelDatabase:
 
         Returns the index name.  Existing committed records are back-filled.
         """
+        index_name = self._build_index(model, collection, field, kind, extractor)
+        self.wal.append(
+            {"type": "ddl", "op": "create_index", "model": model,
+             "collection": collection, "field": field, "kind": kind}
+        )
+        return index_name
+
+    def _build_index(
+        self,
+        model: Model,
+        collection: str,
+        field: str,
+        kind: str = "hash",
+        extractor: Callable[[Any], Any] | None = None,
+    ) -> str:
+        """Register + back-fill an index without logging DDL.
+
+        DDL replay (:meth:`_replay_ddl`) must come through here, not
+        :meth:`create_index`: replaying a logged record may never append
+        a fresh one, or recovery/promotion would duplicate the DDL tail
+        of the very log it is replaying.
+        """
         if not self.store.has_collection(model, collection):
             raise NoSuchCollectionError(f"no {model.value} collection {collection!r}")
         index_name = f"{model.value}:{collection}:{field}:{kind}"
@@ -176,10 +198,6 @@ class MultiModelDatabase:
                 )
         bucket[index_name] = index
         self.catalog_epoch += 1
-        self.wal.append(
-            {"type": "ddl", "op": "create_index", "model": model,
-             "collection": collection, "field": field, "kind": kind}
-        )
         return index_name
 
     def index(self, model: Model, collection: str, field: str, kind: str = "hash"):
@@ -307,7 +325,7 @@ class MultiModelDatabase:
             self.store.register_collection(Model.GRAPH_EDGE, rec["name"])
             self._graphs[rec["name"]] = _GraphMeta()
         elif op == "create_index":
-            self.create_index(
+            self._build_index(
                 rec["model"], rec["collection"], rec["field"], rec["kind"]
             )
         else:

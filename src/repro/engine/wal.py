@@ -255,6 +255,37 @@ class WriteAheadLog:
             for key, value in writes.get(txn_id, []):
                 yield ts, key, value
 
+    # -- log shipping (replication) -------------------------------------------
+
+    def records_from(self, start: int) -> list[dict[str, Any]]:
+        """Raw records at index >= *start* — the log-shipping feed.
+
+        Includes the unsynced tail on purpose: a follower that syncs a
+        shipped record makes it *more* durable than the leader's page
+        cache, which is exactly how a quorum ack can survive a leader
+        crash.  Record dicts are treated as immutable after append, so
+        sharing them with an in-process follower is safe; a remote
+        follower serialises them anyway.  The cursor is a plain record
+        index (``len(wal)`` after the ship), the same O(1) fingerprint
+        the appends counter gives the worker-process replicas.
+        """
+        return self._records[start:]
+
+    def truncate_to(self, length: int) -> int:
+        """Discard every record at index >= *length*; returns count dropped.
+
+        Follower-side divergence repair: a deposed leader rejoining the
+        replica set cuts its log back to the common prefix with the new
+        leader before resyncing.  The durable watermark clamps with the
+        log — records that no longer exist cannot be durable.
+        """
+        dropped = len(self._records) - length
+        if dropped <= 0:
+            return 0
+        del self._records[length:]
+        self._durable = min(self._durable, length)
+        return dropped
+
     def truncate_before_checkpoint(self) -> int:
         """Drop records preceding the last checkpoint; returns count dropped.
 

@@ -81,6 +81,19 @@ class Observability:
         )
         self.twopc_commit_seconds = reg.histogram("repro_txn_2pc_commit_seconds")
         self.twopc_prepare_seconds = reg.histogram("repro_txn_2pc_prepare_seconds")
+        # Replication (populated only by a cluster with replica sets):
+        # time a commit waited for its write-ack quorum, plus election
+        # and failover totals pushed at promotion time.  Per-follower
+        # lag gauges come from the cluster's "replication" collector.
+        self.replication_quorum_seconds = reg.histogram(
+            "repro_replication_quorum_wait_seconds"
+        )
+        self.replication_elections_total = reg.counter(
+            "repro_replication_elections_total"
+        )
+        self.replication_failovers_total = reg.counter(
+            "repro_replication_failovers_total"
+        )
         self._stat_counters = {
             stat: reg.counter(name) for stat, name in _STAT_COUNTERS.items()
         }

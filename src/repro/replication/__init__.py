@@ -1,0 +1,28 @@
+"""Per-shard replica sets: WAL shipping, quorum writes, leader election.
+
+Each shard of a :class:`~repro.cluster.sharded.ShardedDatabase` built
+with ``replication=ReplicaSetConfig(...)`` becomes a
+:class:`ReplicaSet`: one leader (the shard's live
+:class:`~repro.engine.database.MultiModelDatabase`) plus N-1 followers,
+each holding a synced copy of the leader's WAL and an incrementally
+applied materialised view.  Commits acknowledge only after the WAL has
+reached a configurable quorum; a deterministic Raft-style election
+(term + log-position voting, no real timeouts) promotes the most
+caught-up follower when the leader dies; followers absorb reads under
+stale-bounded or session-consistent guarantees.  The coordinator log's
+own replica set lives in :mod:`repro.txn.replicated_log`.
+"""
+
+from repro.replication.replicaset import (
+    Replica,
+    ReplicaSet,
+    ReplicaSetConfig,
+)
+from repro.txn.replicated_log import ReplicatedCoordinatorLog
+
+__all__ = [
+    "Replica",
+    "ReplicaSet",
+    "ReplicaSetConfig",
+    "ReplicatedCoordinatorLog",
+]

@@ -14,11 +14,13 @@ from repro.txn.coordinator import (
     TwoPhaseCoordinator,
 )
 from repro.txn.recovery import resolve_in_doubt
+from repro.txn.replicated_log import ReplicatedCoordinatorLog
 
 __all__ = [
     "CommitStats",
     "CoordinatorLog",
     "Participant",
+    "ReplicatedCoordinatorLog",
     "TwoPhaseCoordinator",
     "resolve_in_doubt",
 ]

@@ -1,0 +1,179 @@
+"""A replicated coordinator decision log.
+
+The 2PC coordinator's decision record *is* the commit point of a
+cross-shard transaction, which makes the coordinator log the single
+scariest object in the cluster: lose it and every in-doubt participant
+is stuck.  :class:`ReplicatedCoordinatorLog` removes that single point
+of failure the same way the shard replica sets do for data — every
+append is shipped synchronously to enough follower copies that a
+majority (or all, or just the primary, per ``write_acks``) holds the
+record before the append returns.  Because :meth:`CoordinatorLog.append`
+is the funnel for every record, a durable COMMIT decision has reached
+its quorum before :meth:`TwoPhaseCoordinator._run_commit` starts the
+commit fan-out — the satellite guarantee "quorum ack before commit-all".
+
+Failure model (mirrors the WAL crash simulation):
+
+- :meth:`crash` — power loss: the primary's unsynced tail vanishes, but
+  follower copies were synced on ship, so recovery adopts the longest
+  copy; a quorum-acked decision always survives.
+- :meth:`kill_primary` — the primary log *node* is lost entirely.  The
+  longest follower copy is promoted to primary (Raft-style longest-log
+  election, degenerate because follower copies are always prefixes of
+  the primary stream and therefore never conflict).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ClusterError
+from repro.txn.coordinator import CoordinatorLog
+
+
+def _acks_needed(write_acks: int | str, n_replicas: int) -> int:
+    """Resolve a ``write_acks`` knob (1 | "majority" | "all" | int)."""
+    if write_acks == "majority":
+        return n_replicas // 2 + 1
+    if write_acks == "all":
+        return n_replicas
+    try:
+        acks = int(write_acks)
+    except (TypeError, ValueError):
+        raise ClusterError(
+            f"write_acks={write_acks!r}: expected 1..{n_replicas}, "
+            '"majority" or "all"'
+        ) from None
+    if not 1 <= acks <= n_replicas:
+        raise ClusterError(
+            f"write_acks={write_acks!r} out of range 1..{n_replicas}"
+        )
+    return acks
+
+
+class ReplicatedCoordinatorLog(CoordinatorLog):
+    """CoordinatorLog whose records are mirrored onto follower copies.
+
+    The primary keeps the base-class behaviour (locking, durability
+    watermark, truncation, the global-id floor); followers are plain
+    record lists that receive every append synchronously up to the
+    quorum and are fully resynced whenever the primary truncates.
+    Follower copies model log replicas on other nodes: they are always
+    a prefix of the primary's append stream, synced on arrival.
+    """
+
+    def __init__(
+        self,
+        n_replicas: int = 3,
+        write_acks: int | str = "majority",
+        sync_every_append: bool = True,
+    ) -> None:
+        super().__init__(sync_every_append)
+        if n_replicas < 1:
+            raise ClusterError(f"coordinator log needs >= 1 replica, got {n_replicas}")
+        self.n_replicas = n_replicas
+        self.write_acks = write_acks
+        self.acks_needed = _acks_needed(write_acks, n_replicas)
+        self._followers: list[list[dict[str, Any]]] = [
+            [] for _ in range(n_replicas - 1)
+        ]
+        self.ships = 0
+        self.failovers = 0
+
+    # -- replication ---------------------------------------------------------
+
+    def _ship_locked(self, n_targets: int) -> None:
+        """Mirror the primary's record list onto the first *n_targets* copies."""
+        for follower in self._followers[:n_targets]:
+            missing = self._records[len(follower):]
+            if missing:
+                follower.extend(missing)
+                self.ships += len(missing)
+
+    def append(self, record: dict[str, Any]) -> None:
+        super().append(record)
+        with self._lock:
+            # The quorum counts the primary itself; lagging copies past
+            # the quorum catch up on the next truncate/crash resync.
+            self._ship_locked(self.acks_needed - 1)
+
+    def replica_lengths(self) -> list[int]:
+        """Record count per copy, primary first (observability surface)."""
+        with self._lock:
+            return [len(self._records)] + [len(f) for f in self._followers]
+
+    # -- crash & failover ----------------------------------------------------
+
+    def crash(self) -> int:
+        """Power failure: drop the unsynced tail, adopt the longest copy.
+
+        Follower copies are synced on ship, so a record that reached its
+        quorum outlives the primary's page cache — the replicated log's
+        entire reason to exist.
+        """
+        with self._lock:
+            lost = len(self._records) - self._durable
+            del self._records[self._durable:]
+            self._adopt_longest_locked()
+            return lost
+
+    def kill_primary(self) -> int:
+        """Lose the primary log node entirely; fail over to a follower copy.
+
+        Returns the number of records the promoted copy holds.  Raises
+        :class:`ClusterError` when there is no follower to promote (a
+        1-replica log has no failover story — that is the point of the
+        knob).
+        """
+        if not self._followers:
+            raise ClusterError("coordinator log has no follower copy to promote")
+        with self._lock:
+            self._records.clear()
+            self._durable = 0
+            self._adopt_longest_locked()
+            self.failovers += 1
+            return len(self._records)
+
+    def _adopt_longest_locked(self) -> None:
+        """Promote the longest copy (primary included) and resync the rest.
+
+        Copies are prefixes of one append stream, so "longest" is the
+        complete merge — no conflict resolution needed.
+        """
+        best = max(self._followers, key=len, default=None)
+        if best is not None and len(best) > len(self._records):
+            self._records[:] = best
+        self._durable = len(self._records)
+        for follower in self._followers:
+            follower[:] = self._records
+
+    # -- truncation (propagates to every copy) -------------------------------
+
+    def truncate(self) -> int:
+        dropped = super().truncate()
+        if dropped:
+            with self._lock:
+                for follower in self._followers:
+                    follower[:] = self._records[: self._durable]
+        return dropped
+
+    def checkpoint(self) -> int:
+        dropped = super().checkpoint()
+        if dropped:
+            with self._lock:
+                for follower in self._followers:
+                    follower.clear()
+        return dropped
+
+    # -- metrics -------------------------------------------------------------
+
+    def replication_metrics(self) -> dict[str, int]:
+        lengths = self.replica_lengths()
+        return {
+            "coordinator_log_replicas": self.n_replicas,
+            "coordinator_log_acks_needed": self.acks_needed,
+            "coordinator_log_ships": self.ships,
+            "coordinator_log_failovers": self.failovers,
+            "coordinator_log_min_copy_records": min(lengths),
+            "coordinator_log_max_copy_records": max(lengths),
+        }

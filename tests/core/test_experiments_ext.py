@@ -149,5 +149,5 @@ class TestRegistry:
     def test_extension_registry(self):
         assert set(EXTENSION_EXPERIMENTS) == {
             "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15",
-            "E16", "YCSB",
+            "E16", "E17", "YCSB",
         }

@@ -340,6 +340,21 @@ class TestCrashRecovery:
         with twice.transaction() as tx:
             assert tx.doc_get("orders", "o1")["v"] == 1
 
+    def test_double_crash_with_index(self, db):
+        """Replaying a create_index record must not log a fresh one:
+        recovery used to append the re-logged index DDL *before* the
+        compaction loop copied create_collection, so the second crash
+        replayed them out of order and blew up."""
+        db.create_index(Model.DOCUMENT, "orders", "v")
+        self._populate(db)
+        once = db.crash()
+        ddl = [r for r in once.wal.records() if r["type"] == "ddl"]
+        assert sum(1 for r in ddl if r["op"] == "create_index") == 1
+        twice = once.crash()
+        assert twice.index(Model.DOCUMENT, "orders", "v") is not None
+        with twice.transaction() as tx:
+            assert tx.doc_get("orders", "o1")["v"] == 1
+
     def test_writes_after_recovery_survive_next_crash(self, db):
         self._populate(db)
         recovered = db.crash()

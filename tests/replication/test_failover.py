@@ -1,0 +1,264 @@
+"""Failover drills on the replicated cluster: no acknowledged write lost.
+
+The acceptance drill of the replication work: on a 3-replica
+``write_acks="majority"`` cluster, killing a shard's leader — including
+mid-2PC — must lose no acknowledged write, leave no transaction torn,
+and keep the cluster serving reads and writes through the promoted
+follower.  Also covers the replicated coordinator log's own failover
+and whole-cluster crash recovery with replica sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.sharded import ShardedDatabase
+from repro.errors import ClusterError, SimulatedCrash
+from repro.replication import ReplicaSetConfig, ReplicatedCoordinatorLog
+
+
+def _fresh(n_shards: int = 2, **cfg) -> ShardedDatabase:
+    cfg.setdefault("write_acks", "majority")
+    db = ShardedDatabase(
+        n_shards=n_shards, replication=ReplicaSetConfig(**cfg)
+    )
+    db.create_collection("orders")
+    db.create_kv_namespace("audit")
+    return db
+
+
+def _ids(db: ShardedDatabase) -> list:
+    return sorted(db.query("FOR d IN orders RETURN d._id"))
+
+
+class TestLeaderDeath:
+    def test_majority_acked_writes_survive_failover(self):
+        db = _fresh()
+        with db.transaction() as s:
+            for i in range(30):
+                s.doc_insert("orders", {"_id": i, "v": i})
+        for shard_id in range(db.n_shards):
+            db.kill_leader(shard_id)
+        assert _ids(db) == list(range(30))
+
+    def test_acks_1_documents_unreplicated_loss(self):
+        # The contrast case the quorum knob exists for: with one ack the
+        # leader never ships synchronously, so its recent log dies with
+        # it.  Catch followers up past the DDL first (async replication
+        # that simply hadn't reached the latest writes).
+        db = _fresh(write_acks=1)
+        for rs in db.replica_sets:
+            rs.catch_up()
+        with db.transaction() as s:
+            for i in range(30):
+                s.doc_insert("orders", {"_id": i, "v": i})
+        db.kill_leader(0)
+        survivors = _ids(db)
+        lost = [i for i in range(30) if i not in survivors]
+        assert lost  # shard 0's share vanished with its leader
+
+    def test_promoted_leader_serves_reads_and_writes(self):
+        db = _fresh()
+        with db.transaction() as s:
+            s.doc_insert("orders", {"_id": 1, "v": 1})
+        db.kill_leader(0)
+        db.kill_leader(1)
+        with db.transaction() as s:
+            s.doc_insert("orders", {"_id": 2, "v": 2})
+            s.kv_put("audit", "last", "2")
+        assert _ids(db) == [1, 2]
+        with db.transaction() as s:
+            assert s.kv_get("audit", "last") == "2"
+
+    def test_failover_swaps_live_shard_and_counts(self):
+        db = _fresh()
+        rs = db.replica_sets[0]
+        old_leader_db = db.shards[0]
+        db.kill_leader(0)
+        assert db.shards[0] is rs.leader_db
+        assert db.shards[0] is not old_leader_db
+        m = rs.metrics()
+        assert m["failovers_total"] == 1
+        assert m["elections_total"] == 1
+        assert m["live"] == 2
+
+    def test_double_failover_exhausts_majority(self):
+        db = _fresh()
+        db.kill_leader(0)
+        with pytest.raises(ClusterError, match="no quorum"):
+            db.kill_leader(0)
+
+    def test_failover_with_index_then_follower_reads(self):
+        """Promotion must not re-log replayed DDL into the winner's WAL.
+
+        A shard whose log holds a create_index record used to grow a
+        duplicate DDL tail at promotion (``_replay_ddl`` went through
+        the logging ``create_index``), so the next ship to a lagging
+        follower double-applied the index and raised.  Drive the whole
+        path: index DDL, failover, then a bounded-staleness follower
+        read that repairs the lagging follower from the promoted log.
+        """
+        db = _fresh(read_preference="follower", max_lag_records=0)
+        db.create_index("collection", "orders", "v")
+        with db.transaction() as s:
+            for i in range(20):
+                s.doc_insert("orders", {"_id": i, "v": i})
+        wal_before = {rs.shard_id: len(rs.leader.wal) for rs in db.replica_sets}
+        for shard_id in range(db.n_shards):
+            db.kill_leader(shard_id)
+        for rs in db.replica_sets:
+            # Promotion replayed the log in place — appended nothing.
+            assert len(rs.leader.wal) == wal_before[rs.shard_id]
+        assert _ids(db) == list(range(20))  # repairs + serves followers
+        assert sorted(
+            db.query("FOR d IN orders FILTER d.v >= 10 RETURN d._id")
+        ) == list(range(10, 20))
+        for rs in db.replica_sets:
+            assert rs.follower_reads > 0
+
+    def test_old_leader_rejoins_as_follower(self):
+        db = _fresh()
+        with db.transaction() as s:
+            for i in range(10):
+                s.doc_insert("orders", {"_id": i, "v": i})
+        rs = db.replica_sets[0]
+        dead_id = rs.leader_id
+        db.kill_leader(0)
+        with db.transaction() as s:
+            s.doc_insert("orders", {"_id": 100, "v": 100})
+        rs.rejoin(dead_id)
+        assert rs.metrics()["live"] == 3
+        rs.catch_up()
+        assert rs.lag_records(rs.replicas[dead_id]) == 0
+        # And the next failover can promote it again.
+        db.kill_leader(0)
+        assert _ids(db) == list(range(10)) + [100]
+
+
+class TestMid2pcFailover:
+    """Kill a shard's leader between 2PC steps; nothing tears."""
+
+    def _cross_shard_write(self, db: ShardedDatabase, base: int):
+        # One doc per shard => a genuine cross-shard 2PC transaction.
+        with db.transaction() as s:
+            for shard in range(db.n_shards):
+                for i in range(base, base + 40):
+                    key = shard * 1000 + i
+                    if db.router.shard_for("orders", key) == shard:
+                        s.doc_insert("orders", {"_id": key, "v": key})
+                        break
+
+    def test_crash_after_decision_then_failover_commits(self):
+        db = _fresh()
+        self._cross_shard_write(db, 0)
+        before = _ids(db)
+        db.coordinator.crash_after_decision = True
+        with pytest.raises(SimulatedCrash):
+            self._cross_shard_write(db, 100)
+        db.coordinator.crash_after_decision = False
+        # Participants are prepared + in doubt; the decision is durable
+        # and quorum-replicated.  Kill a leader: the promoted follower
+        # must learn the verdict and commit, and the termination
+        # protocol settles the *other* shard's prepared txn too.
+        db.kill_leader(0)
+        after = _ids(db)
+        assert set(before) < set(after)
+        assert len(after) == len(before) + db.n_shards  # all or nothing
+        for shard in db.shards:
+            assert not shard.manager.prepared  # nothing left in doubt
+
+    def test_crash_before_decision_then_failover_aborts(self):
+        db = _fresh()
+        self._cross_shard_write(db, 0)
+        before = _ids(db)
+        db.coordinator.crash_before_decision = True
+        with pytest.raises(SimulatedCrash):
+            self._cross_shard_write(db, 100)
+        db.coordinator.crash_before_decision = False
+        db.kill_leader(0)
+        assert _ids(db) == before  # presumed abort: no partial commit
+        for shard in db.shards:
+            assert not shard.manager.prepared
+
+    def test_cluster_keeps_serving_after_mid_2pc_failover(self):
+        db = _fresh()
+        db.coordinator.crash_after_prepares = 2  # both shards prepared
+        with pytest.raises(SimulatedCrash):
+            self._cross_shard_write(db, 0)
+        db.kill_leader(1)
+        self._cross_shard_write(db, 500)
+        assert len(_ids(db)) == db.n_shards
+
+
+class TestCoordinatorLogFailover:
+    def test_primary_death_adopts_longest_copy(self):
+        db = _fresh()
+        self_log = db.coordinator_log
+        assert isinstance(self_log, ReplicatedCoordinatorLog)
+        with db.transaction() as s:  # cross-shard => coordinator records
+            s.doc_insert("orders", {"_id": 1, "v": 1})
+            s.doc_insert("orders", {"_id": 4, "v": 4})
+        before = self_log.committed_global_txns()
+        assert before
+        self_log.kill_primary()
+        assert self_log.committed_global_txns() == before
+        assert self_log.replication_metrics()["coordinator_log_failovers"] == 1
+
+    def test_replication_metrics_sections(self):
+        db = _fresh()
+        m = db.metrics()["collected"]["replication"]
+        assert m["coordinator_log_replicas"] == 3
+        assert m["coordinator_log_acks_needed"] == 2
+
+
+class TestClusterCrashWithReplication:
+    def test_crash_recovers_all_replica_sets(self):
+        db = _fresh()
+        with db.transaction() as s:
+            for i in range(20):
+                s.doc_insert("orders", {"_id": i, "v": i})
+        recovered = db.crash()
+        for rs in recovered.replica_sets:
+            m = rs.metrics()
+            assert m["live"] == 3
+            # recover_all leaves every replica fully caught up (checked
+            # before any query — leader reads log snapshot bookkeeping).
+            assert all(
+                rs.lag_records(r) == 0
+                for r in rs.replicas
+                if r.replica_id != rs.leader_id
+            )
+        assert _ids(recovered) == list(range(20))
+        # And the recovered cluster still accepts writes + failover.
+        with recovered.transaction() as s:
+            s.doc_insert("orders", {"_id": 999, "v": 999})
+        recovered.kill_leader(0)
+        assert 999 in _ids(recovered)
+
+    def test_crash_mid_2pc_resolves_in_doubt(self):
+        db = _fresh()
+        db.coordinator.crash_after_decision = True
+        with pytest.raises(SimulatedCrash):
+            with db.transaction() as s:
+                s.doc_insert("orders", {"_id": 1, "v": 1})
+                s.doc_insert("orders", {"_id": 4, "v": 4})
+        recovered = db.crash()
+        assert _ids(recovered) == [1, 4]
+        assert recovered.stats()["txn"]["recovered_in_doubt"] >= 1
+
+    def test_unsynced_tails_do_not_survive(self):
+        # wal_sync_every_append=False: commits sit in the page cache.
+        # The quorum ship *syncs the follower copies*, so with majority
+        # acks the data survives a full-cluster crash anyway — replica
+        # durability substitutes for leader fsync.
+        db = ShardedDatabase(
+            n_shards=2,
+            wal_sync_every_append=False,
+            replication=ReplicaSetConfig(write_acks="majority"),
+        )
+        db.create_collection("orders")
+        with db.transaction() as s:
+            for i in range(10):
+                s.doc_insert("orders", {"_id": i, "v": i})
+        recovered = db.crash()
+        assert _ids(recovered) == list(range(10))

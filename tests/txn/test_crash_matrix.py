@@ -7,6 +7,12 @@ it, and after each participant commit during the fan-out — on 2- and
 crash).  After :meth:`ShardedDatabase.crash` recovery the transaction
 must be either fully applied or fully absent on *every* shard, decided
 purely by whether the coordinator's commit decision was durable.
+
+``TestFailoverDrills`` replays the in-doubt schedules on a replicated
+cluster, but instead of a whole-cluster power cycle it kills one
+shard's *leader* mid-protocol: the promoted follower (holding the
+quorum-shipped prepares) plus the termination protocol must settle the
+transaction with the same all-or-nothing verdicts.
 """
 
 from __future__ import annotations
@@ -15,11 +21,18 @@ import pytest
 
 from repro.cluster.sharded import ShardedDatabase
 from repro.errors import SimulatedCrash
+from repro.replication import ReplicaSetConfig
 
 
-def _build(n_shards: int, sync_every_append: bool = True) -> ShardedDatabase:
+def _build(
+    n_shards: int,
+    sync_every_append: bool = True,
+    replication: ReplicaSetConfig | None = None,
+) -> ShardedDatabase:
     db = ShardedDatabase(
-        n_shards=n_shards, wal_sync_every_append=sync_every_append
+        n_shards=n_shards,
+        wal_sync_every_append=sync_every_append,
+        replication=replication,
     )
     db.create_collection("orders")
     with db.transaction() as s:
@@ -210,3 +223,84 @@ class TestCrashMatrix:
             assert again.coordinator_log.max_global_txn() == high_water + 1
         finally:
             again.close()
+
+
+def _failover_points(n_shards: int) -> list[tuple[str, int | None, bool]]:
+    """In-doubt schedules where every writer prepared.
+
+    (Earlier prepare crashes leave *active* — never prepared — txns on
+    some shards; those are the client's to abort and the whole-cluster
+    matrix above already covers them.)
+    """
+    return [
+        ("crash_after_prepares", n_shards, False),
+        ("crash_before_decision", None, False),
+        ("crash_after_decision", None, True),
+        *[("crash_after_commits", k, True) for k in range(n_shards)],
+    ]
+
+
+class TestFailoverDrills:
+    """Kill one leader mid-2PC on a 3-replica majority cluster."""
+
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    @pytest.mark.parametrize("victim_kind", ["first", "last"])
+    def test_no_torn_transaction_after_leader_death(
+        self, n_shards: int, victim_kind: str
+    ):
+        for attr, value, expect_commit in _failover_points(n_shards):
+            label = f"{attr}={value}"
+            db = _build(
+                n_shards, replication=ReplicaSetConfig(write_acks="majority")
+            )
+            targets = _one_doc_per_shard(db)
+            setattr(db.coordinator, attr, True if value is None else value)
+            session = db.begin()
+            for doc_id in targets:
+                session.doc_update("orders", doc_id, {"status": "updated"})
+            with pytest.raises(SimulatedCrash):
+                session.commit()
+            victim = 0 if victim_kind == "first" else n_shards - 1
+            db.kill_leader(victim)
+            try:
+                # No acknowledged write lost, nothing torn: all-or-nothing
+                # across every shard, by decision durability alone.
+                statuses = _statuses(db, targets)
+                assert len(set(statuses)) == 1, f"{label}: torn -> {statuses}"
+                expected = "updated" if expect_commit else "new"
+                assert statuses[0] == expected, label
+                # Every in-doubt participant is settled everywhere.
+                for shard in db.shards:
+                    assert not shard.manager.prepared, label
+                # The promoted follower serves reads *and* writes.
+                with db.transaction() as s:
+                    for doc_id in targets:
+                        s.doc_update("orders", doc_id, {"status": "post"})
+                assert set(_statuses(db, targets)) == {"post"}, label
+            finally:
+                db.close()
+
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    def test_leader_death_then_power_failure(self, n_shards: int):
+        """The compound schedule: coordinator crash, one leader dies and
+        fails over, then the whole cluster power-cycles.  The verdict —
+        already settled at failover — must survive the second recovery."""
+        db = _build(
+            n_shards, replication=ReplicaSetConfig(write_acks="majority")
+        )
+        targets = _one_doc_per_shard(db)
+        db.coordinator.crash_after_decision = True
+        session = db.begin()
+        for doc_id in targets:
+            session.doc_update("orders", doc_id, {"status": "updated"})
+        with pytest.raises(SimulatedCrash):
+            session.commit()
+        db.kill_leader(0)
+        assert set(_statuses(db, targets)) == {"updated"}
+        recovered = db.crash()
+        try:
+            assert set(_statuses(recovered, targets)) == {"updated"}
+            for shard in recovered.shards:
+                assert not shard.manager.prepared
+        finally:
+            recovered.close()
