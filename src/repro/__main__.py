@@ -9,6 +9,8 @@ Usage::
     python -m repro metrics         # observability survey: run the query
                                     # mix, print Prometheus metrics +
                                     # slowest traces (see --help)
+    python -m repro chaos --seed 7  # seeded chaos soak on a live
+                                    # replicated cluster (see --help)
 
 Core experiments come from :mod:`repro.core.experiments` (F1, E1-E6) and
 extensions from :mod:`repro.core.experiments_ext` (E7-E15, YCSB).
@@ -38,6 +40,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import main as metrics_main
 
         return metrics_main(args_in[1:])
+    if args_in and args_in[0] == "chaos":
+        from repro.faults.cli import main as chaos_main
+
+        return chaos_main(args_in[1:])
 
     registry = _registry()
     parser = argparse.ArgumentParser(

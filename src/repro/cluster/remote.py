@@ -59,12 +59,14 @@ import os
 import pickle
 import struct
 import threading
+import time
 import traceback
 from collections import OrderedDict
 from time import perf_counter
 from typing import Any
 
-from repro.errors import ClusterError, FrameError, WorkerDied
+from repro.errors import ClusterError, FrameError, RemoteTimeout, WorkerDied
+from repro.faults.registry import FAULTS
 
 PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 _LENGTH = struct.Struct(">I")
@@ -132,15 +134,25 @@ class FrameChannel:
         self.frames_sent += 1
         self.bytes_sent += len(frame)
 
-    def recv(self) -> Any:
+    def recv(self, timeout: float | None = None) -> Any:
+        """Receive one frame; *timeout* (seconds) bounds the wait.
+
+        A deadline miss raises :class:`~repro.errors.RemoteTimeout`
+        without consuming anything from the pipe — the caller decides
+        whether to retry against a restarted worker.
+        """
+        if timeout is not None and not self.conn.poll(timeout):
+            raise RemoteTimeout(
+                f"no reply frame within {timeout:.3f}s deadline"
+            )
         frame = self.conn.recv_bytes()
         self.frames_received += 1
         self.bytes_received += len(frame)
         return decode_frame(frame)
 
-    def request(self, message: Any) -> Any:
+    def request(self, message: Any, timeout: float | None = None) -> Any:
         self.send(message)
-        return self.recv()
+        return self.recv(timeout)
 
     def close(self) -> None:
         self.conn.close()
@@ -284,6 +296,13 @@ def _handle_run(
     plans.move_to_end(digest)
     while len(plans) > WORKER_PLAN_CACHE:
         plans.popitem(last=False)
+    inject = payload.get("inject")
+    if inject is not None:
+        # Fault shipped by the coordinator (evaluated parent-side so a
+        # one-shot rule is consumed exactly once even though forked
+        # workers inherit a copy of the registry): a wedged or slow
+        # worker is modelled as a sleep before doing the work.
+        time.sleep(inject.get("seconds") or 3600.0)
     flags = payload["flags"]
     executor = Executor(
         replica.context(),
@@ -426,11 +445,26 @@ class ProcessShardPool:
     first dispatch and are restarted (with a full resync) when their
     process dies mid-exchange; a dispatch is retried once against the
     restarted worker before :class:`~repro.errors.WorkerDied` surfaces.
+
+    Every wire request carries a deadline (``request_timeout`` seconds);
+    a worker that does not answer in time — wedged, not dead — is
+    treated exactly like a crashed one: terminated, restarted with a
+    full resync, and the dispatch retried once after an exponential
+    backoff (``retry_backoff * 2**attempt``).  Timeouts and retries are
+    counted for the metrics surface.
     """
 
-    def __init__(self, db: Any, n_workers: int) -> None:
+    def __init__(
+        self,
+        db: Any,
+        n_workers: int,
+        request_timeout: float = 30.0,
+        retry_backoff: float = 0.05,
+    ) -> None:
         self.db = db
         self.n_workers = max(1, min(n_workers, db.n_shards))
+        self.request_timeout = request_timeout
+        self.retry_backoff = retry_backoff
         methods = multiprocessing.get_all_start_methods()
         self._mp = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn"
@@ -443,6 +477,8 @@ class ProcessShardPool:
         self.sync_rounds = 0
         self.synced_writes = 0
         self.plans_shipped = 0
+        self.request_timeouts = 0
+        self.retries = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -474,8 +510,26 @@ class ProcessShardPool:
                     handle = self._workers[index] = self._spawn(index)
         return handle
 
+    @staticmethod
+    def _reap(process: Any, grace: float = 5.0) -> None:
+        """Make *process* exit, escalating: join → terminate → kill.
+
+        A plain ``join(timeout)`` can return with the process still
+        alive (a worker wedged in a handler ignores pipe EOF); each
+        escalation step is checked and the next signal only sent when
+        the previous one did not stick.  SIGKILL cannot be ignored, so
+        the final join is bounded in practice.
+        """
+        process.join(timeout=grace)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=grace)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=grace)
+
     def _restart(self, index: int) -> None:
-        """Replace a dead worker; its replicas/plans are gone with it."""
+        """Replace a dead/wedged worker; its replicas/plans go with it."""
         with self._spawn_lock:
             handle = self._workers[index]
             if handle is not None:
@@ -485,29 +539,36 @@ class ProcessShardPool:
                     pass
                 if handle.process.is_alive():
                     handle.process.terminate()
-                handle.process.join(timeout=5)
+                self._reap(handle.process)
             self._workers[index] = self._spawn(index)
             self.restarts += 1
 
     def close(self) -> None:
-        """Graceful shutdown: one ``shutdown`` frame each, then join."""
+        """Graceful shutdown: one ``shutdown`` frame each, then reap.
+
+        The shutdown handshake runs under the request deadline and the
+        join escalates terminate → kill, so a worker wedged in a
+        handler (e.g. a hang fault) cannot stall ``close()`` forever.
+        """
         self._closed = True
         for index, handle in enumerate(self._workers):
             if handle is None:
                 continue
+            graceful = True
             with handle.lock:
                 try:
-                    op, _ = handle.channel.request(("shutdown", {}))
-                except (EOFError, OSError, BrokenPipeError):
-                    pass
+                    handle.channel.request(
+                        ("shutdown", {}), timeout=self.request_timeout
+                    )
+                except (EOFError, OSError, BrokenPipeError, RemoteTimeout):
+                    graceful = False
                 try:
                     handle.channel.close()
                 except OSError:
                     pass
-            handle.process.join(timeout=5)
-            if handle.process.is_alive():
-                handle.process.terminate()
-                handle.process.join(timeout=5)
+            # A worker that missed the handshake deadline is wedged —
+            # no point granting it the polite join window.
+            self._reap(handle.process, grace=5.0 if graceful else 0.1)
             self._workers[index] = None
 
     # -- health + metrics ---------------------------------------------------
@@ -516,7 +577,9 @@ class ProcessShardPool:
         """Round-trip a health probe through shard_id's worker."""
         handle = self._worker(shard_id)
         with handle.lock:
-            op, payload = handle.channel.request(("ping", {}))
+            op, payload = handle.channel.request(
+                ("ping", {}), timeout=self.request_timeout
+            )
         if op != "pong":
             raise ClusterError(f"bad ping reply {op!r}")
         return payload
@@ -533,6 +596,8 @@ class ProcessShardPool:
             "sync_rounds": self.sync_rounds,
             "synced_writes": self.synced_writes,
             "plans_shipped": self.plans_shipped,
+            "request_timeouts_total": self.request_timeouts,
+            "retries_total": self.retries,
             "frames_sent": 0,
             "frames_received": 0,
             "bytes_sent": 0,
@@ -565,7 +630,8 @@ class ProcessShardPool:
         ddl = wal.ddl_records()[ddl_shipped:]
         writes = list(wal.committed_writes_after(synced_ts))
         op, reply = handle.channel.request(
-            ("sync", {"shard": shard_id, "ddl": ddl, "writes": writes})
+            ("sync", {"shard": shard_id, "ddl": ddl, "writes": writes}),
+            timeout=self.request_timeout,
         )
         if op == "error":
             raise rebuild_exception(reply)
@@ -592,17 +658,48 @@ class ProcessShardPool:
     ) -> RemoteResult:
         """Execute one shard subplan remotely; sync + ship plan as needed.
 
-        One retry after a worker death (restart + full resync); a second
-        failure raises :class:`~repro.errors.WorkerDied`.
+        One retry after a worker death or deadline miss (terminate +
+        restart + full resync, with exponential backoff before the
+        retry); a second failure raises
+        :class:`~repro.errors.WorkerDied`.
         """
         last_error: BaseException | None = None
         for attempt in range(2):
+            inject = None
+            if FAULTS.enabled:
+                # Worker faults are evaluated HERE, parent-side, and
+                # shipped in the payload: forked workers inherit a copy
+                # of the registry, so firing in the child would both
+                # desynchronise the seeded schedule and re-fire one-shot
+                # rules in every restarted worker (making the retry hang
+                # again).  Consuming the rule in the coordinator gives
+                # each armed fault exactly one firing, cluster-wide.
+                action = FAULTS.fire(
+                    "remote.request", shard=shard_id, attempt=attempt
+                )
+                if action is not None:
+                    if action.kind == "raise":
+                        raise action.exception()
+                    if action.kind in ("hang", "delay"):
+                        inject = {
+                            "op": action.kind,
+                            "seconds": action.seconds,
+                        }
+            if attempt > 0:
+                self.retries += 1
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
             handle = self._worker(shard_id)
             try:
                 return self._dispatch_locked(
                     handle, shard_id, encoded_plan, digest, params, seed,
-                    flags, batch_mode, trace,
+                    flags, batch_mode, trace, inject,
                 )
+            except RemoteTimeout as exc:
+                last_error = exc
+                self.request_timeouts += 1
+                if self._closed:
+                    break
+                self._restart(handle.index)
             except (EOFError, OSError, BrokenPipeError) as exc:
                 last_error = exc
                 if self._closed:
@@ -623,6 +720,7 @@ class ProcessShardPool:
         flags: dict[str, Any],
         batch_mode: bool,
         trace: bool,
+        inject: dict[str, Any] | None = None,
     ) -> RemoteResult:
         with handle.lock:
             self._sync_locked(handle, shard_id)
@@ -636,14 +734,20 @@ class ProcessShardPool:
                 "batch_mode": batch_mode,
                 "trace": trace,
             }
+            if inject is not None:
+                payload["inject"] = inject
             if payload["plan"] is not None:
                 self.plans_shipped += 1
-            op, reply = handle.channel.request(("run", payload))
+            op, reply = handle.channel.request(
+                ("run", payload), timeout=self.request_timeout
+            )
             if op == "need_plan":
                 # Worker-side LRU evicted it; resend with the plan bytes.
                 payload["plan"] = encoded_plan
                 self.plans_shipped += 1
-                op, reply = handle.channel.request(("run", payload))
+                op, reply = handle.channel.request(
+                    ("run", payload), timeout=self.request_timeout
+                )
             handle.shipped.add(digest)
         if op == "error":
             raise rebuild_exception(reply)

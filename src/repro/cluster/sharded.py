@@ -103,9 +103,11 @@ class ShardedDatabase(Driver):
         pool: str = "threads",
         pool_workers: int | None = None,
         replication: ReplicaSetConfig | None = None,
+        remote_request_timeout: float = 30.0,
     ) -> None:
         if pool not in ("threads", "processes"):
             raise ClusterError(f"unknown pool mode {pool!r}")
+        self.remote_request_timeout = remote_request_timeout
         self.n_shards = n_shards
         self.pool_mode = pool
         # Scatter concurrency.  "threads" keeps the historical default of
@@ -194,7 +196,11 @@ class ShardedDatabase(Driver):
             if self._remote_pool is None:
                 from repro.cluster.remote import ProcessShardPool
 
-                self._remote_pool = ProcessShardPool(self, self.pool_workers)
+                self._remote_pool = ProcessShardPool(
+                    self,
+                    self.pool_workers,
+                    request_timeout=self.remote_request_timeout,
+                )
             return self._remote_pool
 
     def close(self) -> None:
@@ -549,6 +555,9 @@ class ShardedDatabase(Driver):
         pushed onto it for 2PC latency/outcome instrumentation.
         """
         super()._register_observability(obs)
+        from repro.faults.registry import FAULTS
+
+        obs.registry.register_collector("faults", FAULTS.metrics)
         obs.registry.register_collector("wal", self._wal_metrics)
         obs.registry.register_collector("locks", self._lock_metrics)
         obs.registry.register_collector("txn", self._txn_metrics)
@@ -702,6 +711,17 @@ class ShardedDatabase(Driver):
             if session.txn.state.value != "active":
                 return
             had_writes = not session.txn.is_read_only
+            if commit and had_writes and self.replica_sets:
+                # Degraded fail-fast: a shard that already lost its
+                # quorum refuses the write *before* committing locally
+                # (committing first would leave a durable-but-never-
+                # acknowledged record per attempt).  The probe doubles
+                # as auto-recovery once followers are back.
+                try:
+                    self.replica_sets[shard_id].ensure_writable()
+                except ClusterError:
+                    session.abort()
+                    raise
             if commit:
                 session.commit()
             else:
@@ -726,9 +746,25 @@ class _ShardParticipant:
         self.session = session
 
     def prepare(self, global_id: int) -> None:
+        sets = self.db.replica_sets
+        if sets:
+            # Degraded fail-fast: refuse the YES vote while this
+            # shard's quorum is lost — a prepare that cannot quorum-
+            # replicate would wedge the global txn in doubt anyway.
+            sets[self.shard_id].ensure_writable()
         with self.db._shard_locks[self.shard_id]:
             self.session.prepare(global_id)
-        self._replicate()
+        try:
+            self._replicate()
+        except ClusterError:
+            # The YES vote never reached a quorum, so this shard may
+            # still abort unilaterally — and must, or the prepared txn
+            # stays pinned forever: the coordinator only releases
+            # participants whose prepare() returned.  The abort record
+            # ships to the replicas when they rejoin.
+            with self.db._shard_locks[self.shard_id]:
+                self.session.abort_prepared()
+            raise
 
     def commit_prepared(self) -> int:
         with self.db._shard_locks[self.shard_id]:

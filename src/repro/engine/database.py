@@ -73,6 +73,7 @@ class MultiModelDatabase:
         self.name = name
         self.store = Store()
         self.wal = WriteAheadLog(sync_every_append=wal_sync_every_append)
+        self.wal.tag = name
         self.manager = TransactionManager(self.store, self.wal)
         self._table_schemas: dict[str, TableSchema] = {}
         self._graphs: dict[str, _GraphMeta] = {}
@@ -266,11 +267,22 @@ class MultiModelDatabase:
 
     @classmethod
     def recover(cls, wal: WriteAheadLog) -> "MultiModelDatabase":
-        """Rebuild a database from a WAL: replay DDL, then committed writes."""
+        """Rebuild a database from a WAL: replay DDL, then committed writes.
+
+        Checksums are verified first: a torn or bit-flipped record (and
+        everything after it) is cut before replay, so corruption bounds
+        loss to the damaged suffix instead of deserialising garbage.
+        """
+        wal.truncate_corrupt()
         db = cls.__new__(cls)
         db.name = "recovered"
         db.store = Store()
         fresh_wal = WriteAheadLog(sync_every_append=wal.sync_every_append)
+        fresh_wal.tag = wal.tag
+        # Corruption counters survive recovery: the fresh WAL is the same
+        # logical log, and obs collectors re-read them after rebuild.
+        fresh_wal.corrupt_records_detected = wal.corrupt_records_detected
+        fresh_wal.corrupt_records_dropped = wal.corrupt_records_dropped
         db.wal = fresh_wal
         db.manager = TransactionManager(db.store, fresh_wal)
         db._table_schemas = {}

@@ -83,6 +83,10 @@ class WalError(EngineError):
     """The write-ahead log is corrupt or could not be replayed."""
 
 
+class WalCorruptionError(WalError):
+    """A WAL record failed its checksum (torn write, bit rot)."""
+
+
 class SimulatedCrash(EngineError):
     """Fault injection fired: the engine 'crashed' at a chosen point."""
 
@@ -110,6 +114,23 @@ class FrameError(ClusterError):
 
 class WorkerDied(ClusterError):
     """A shard worker process crashed and could not be restarted."""
+
+
+class RemoteTimeout(ClusterError):
+    """A worker did not answer a wire request within its deadline."""
+
+
+class QuorumLostError(ClusterError):
+    """A shard's replica set cannot reach its write-ack quorum.
+
+    The shard is degraded (read-only): writes fail fast with this error
+    until enough followers rejoin and catch up; leader and follower
+    reads keep serving throughout.
+    """
+
+
+class ChaosInvariantError(ReproError):
+    """The chaos soak caught an invariant violation under induced faults."""
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,28 @@
+"""Deterministic fault injection for the cluster stack.
+
+The registry (:mod:`repro.faults.registry`) is the shared failpoint
+mechanism every layer consults: the WAL's append path (torn writes and
+bit flips behind the per-record checksums), the worker-process wire
+protocol (hangs and delays behind the request deadlines), and the 2PC
+coordinator (whose PR-4 ``crash_*`` attributes are now thin shims over
+registry failpoints).  The chaos soak (:mod:`repro.faults.chaos` — kept
+out of this namespace so importing :data:`FAULTS` never drags in the
+cluster layer) drives seeded random schedules of those faults against a
+live replicated cluster and asserts the invariants that make them safe.
+"""
+
+from repro.faults.registry import (
+    ACTION_KINDS,
+    FAULTS,
+    FaultAction,
+    Failpoint,
+    FaultInjector,
+)
+
+__all__ = [
+    "ACTION_KINDS",
+    "FAULTS",
+    "FaultAction",
+    "Failpoint",
+    "FaultInjector",
+]

@@ -1,0 +1,453 @@
+"""A seeded chaos soak over a live replicated sharded cluster.
+
+The soak drives a 4-shard (by default) cluster with replica sets under
+concurrent client load, injecting one scheduled fault *drill* per round
+— coordinator crashes at every 2PC protocol step, torn WAL writes
+followed by a power failure, follower bit rot repaired on rejoin,
+leader kills, quorum loss with degraded-mode recovery, whole-cluster
+crashes, and (with ``pool="processes"``) wedged shard workers caught by
+the request deadline — and asserts the invariants that make those
+faults survivable:
+
+- **all-or-nothing**: a transfer moves both legs or neither; a
+  half-applied transfer fails the soak immediately.
+- **conservation**: the sum of all account balances never changes.
+- **oracle parity**: after every round the cluster's balances match a
+  single-process oracle ledger replaying the same committed transfers —
+  the "1 node vs N nodes" equivalence check.
+- **no hung threads**: every client thread joins; a wedged thread
+  fails the soak.
+
+Determinism: the entire fault schedule (which drill, which shard,
+which replica, which protocol step) is drawn from one
+``random.Random(seed)``; client load runs with *no* faults armed (the
+drills are stop-the-world, single-threaded), so two runs with the same
+seed produce the same event sequence and the same final ledger.
+
+Transactions interrupted mid-protocol are *ambiguous* — the client got
+an exception but the commit may or may not have happened.  The soak
+resolves each one the way a real client would: read the accounts back
+after recovery and accept exactly the pre-state or the post-state,
+anything else being an atomicity violation.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any
+
+from repro.errors import (
+    ChaosInvariantError,
+    QuorumLostError,
+    ReproError,
+    SimulatedCrash,
+)
+from repro.faults.registry import FAULTS
+
+NAMESPACE = "acct"
+DOCS = "chaos_docs"
+INITIAL_BALANCE = 100
+
+#: Fault drills (one per round, seed-scheduled).  ``worker_hang`` is
+#: appended when the cluster runs worker processes.
+DRILLS = (
+    "calm",
+    "coordinator_crash",
+    "wal_torn_crash",
+    "bitrot_rejoin",
+    "kill_leader",
+    "quorum_loss",
+    "cluster_crash",
+)
+
+TWO_PC_SITES = (
+    "txn.2pc.after_prepares",
+    "txn.2pc.before_decision",
+    "txn.2pc.after_decision",
+    "txn.2pc.commit_fanout",
+)
+
+
+class ChaosSoak:
+    """One seeded soak run; see the module docstring for the contract."""
+
+    def __init__(
+        self,
+        seed: int,
+        rounds: int = 6,
+        clients: int = 3,
+        accounts: int = 48,
+        n_shards: int = 4,
+        transfers_per_client: int = 6,
+        pool: str = "threads",
+        request_timeout: float = 1.5,
+    ) -> None:
+        from repro.cluster.sharded import ShardedDatabase
+        from repro.replication import ReplicaSetConfig
+
+        self.seed = seed
+        self.rounds = rounds
+        self.clients = clients
+        self.transfers_per_client = transfers_per_client
+        self.pool = pool
+        self.rng = random.Random(seed)
+        self.db = ShardedDatabase(
+            n_shards=n_shards,
+            pool=pool,
+            pool_workers=2 if pool == "processes" else None,
+            replication=ReplicaSetConfig(
+                replicas_per_shard=3,
+                write_acks="majority",
+                quorum_timeout_s=0.02,
+            ),
+            remote_request_timeout=request_timeout,
+        )
+        self.keys = [f"a{i:04d}" for i in range(accounts)]
+        self.oracle: dict[str, int] = {}
+        self.events: list[str] = []
+        self.committed = 0
+        self.ambiguous_applied = 0
+        self.ambiguous_dropped = 0
+        self.invariant_checks = 0
+
+    # -- cluster interaction -------------------------------------------------
+
+    def _load(self) -> None:
+        db = self.db
+        db.create_kv_namespace(NAMESPACE)
+        db.create_collection(DOCS)
+        with db.transaction() as s:
+            for key in self.keys:
+                s.kv_put(NAMESPACE, key, INITIAL_BALANCE)
+            for i in range(16):
+                s.doc_insert(DOCS, {"_id": f"d{i}", "n": i})
+        self.oracle = {key: INITIAL_BALANCE for key in self.keys}
+        for replica_set in db.replica_sets:
+            replica_set.catch_up()
+
+    def _transfer(self, src: str, dst: str, amount: int) -> None:
+        def body(session: Any) -> None:
+            a = session.kv_get(NAMESPACE, src)
+            b = session.kv_get(NAMESPACE, dst)
+            session.kv_put(NAMESPACE, src, a - amount)
+            session.kv_put(NAMESPACE, dst, b + amount)
+
+        self.db.run_transaction(body)
+
+    def _read(self, *keys: str) -> list[int]:
+        with self.db.transaction() as s:
+            return [s.kv_get(NAMESPACE, key) for key in keys]
+
+    def _keys_on_shard(self, shard_id: int) -> list[str]:
+        router = self.db.router
+        return [
+            key for key in self.keys
+            if router.shard_for(NAMESPACE, key) == shard_id
+        ]
+
+    def _cross_shard_pair(self) -> tuple[str, str]:
+        router = self.db.router
+        src = self.rng.choice(self.keys)
+        home = router.shard_for(NAMESPACE, src)
+        others = [
+            key for key in self.keys
+            if router.shard_for(NAMESPACE, key) != home
+        ]
+        return src, self.rng.choice(others)
+
+    # -- ambiguity resolution -------------------------------------------------
+
+    def _resolve(self, src: str, dst: str, amount: int) -> None:
+        """Post-recovery verdict for an interrupted transfer.
+
+        All-or-nothing is asserted here: the only legal observations
+        are both legs applied or neither.
+        """
+        actual_src, actual_dst = self._read(src, dst)
+        pre_src, pre_dst = self.oracle[src], self.oracle[dst]
+        if (actual_src, actual_dst) == (pre_src - amount, pre_dst + amount):
+            self.oracle[src] = actual_src
+            self.oracle[dst] = actual_dst
+            self.ambiguous_applied += 1
+        elif (actual_src, actual_dst) == (pre_src, pre_dst):
+            self.ambiguous_dropped += 1
+        else:
+            raise ChaosInvariantError(
+                f"seed {self.seed}: half-applied transfer {src}->{dst} "
+                f"({amount}): expected {(pre_src, pre_dst)} or "
+                f"{(pre_src - amount, pre_dst + amount)}, "
+                f"read {(actual_src, actual_dst)}"
+            )
+
+    def _check_invariants(self, where: str) -> None:
+        balances = self._read(*self.keys)
+        total = sum(balances)
+        expected_total = INITIAL_BALANCE * len(self.keys)
+        if total != expected_total:
+            raise ChaosInvariantError(
+                f"seed {self.seed} [{where}]: conservation violated — "
+                f"total {total} != {expected_total}"
+            )
+        for key, balance in zip(self.keys, balances):
+            if balance != self.oracle[key]:
+                raise ChaosInvariantError(
+                    f"seed {self.seed} [{where}]: {key} holds {balance}, "
+                    f"oracle says {self.oracle[key]} (1-vs-N parity broken)"
+                )
+        self.invariant_checks += 1
+
+    # -- concurrent load ------------------------------------------------------
+
+    def _load_round(self) -> None:
+        """Concurrent transfers on disjoint account slices, no faults armed.
+
+        Disjoint slices mean no write-write conflicts: every transfer
+        is expected to commit, and the per-thread plans (drawn from the
+        master RNG *before* the threads start) apply to the oracle in
+        plan order regardless of scheduling.
+        """
+        per_client = len(self.keys) // self.clients
+        plans: list[list[tuple[str, str, int]]] = []
+        for c in range(self.clients):
+            slice_keys = self.keys[c * per_client : (c + 1) * per_client]
+            plan = []
+            for _ in range(self.transfers_per_client):
+                src, dst = self.rng.sample(slice_keys, 2)
+                plan.append((src, dst, self.rng.randint(1, 9)))
+            plans.append(plan)
+        # stopped_at[c] = index of client c's interrupted transfer (the
+        # ambiguous one); everything before it definitely committed.
+        stopped_at: dict[int, int] = {}
+        stopped_lock = threading.Lock()
+
+        def client(c: int, plan: list[tuple[str, str, int]]) -> None:
+            for i, (src, dst, amount) in enumerate(plan):
+                try:
+                    self._transfer(src, dst, amount)
+                except ReproError:
+                    # Ambiguous; resolved single-threaded after the
+                    # join.  Stop this plan — later expected states
+                    # would build on an unknown outcome.
+                    with stopped_lock:
+                        stopped_at[c] = i
+                    return
+
+        threads = [
+            threading.Thread(target=client, args=(c, plan), daemon=True)
+            for c, plan in enumerate(plans)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        if any(thread.is_alive() for thread in threads):
+            raise ChaosInvariantError(
+                f"seed {self.seed}: client thread hung during load round"
+            )
+        for c, plan in enumerate(plans):
+            cutoff = stopped_at.get(c, len(plan))
+            for src, dst, amount in plan[:cutoff]:
+                self.oracle[src] -= amount
+                self.oracle[dst] += amount
+                self.committed += 1
+        for c, i in sorted(stopped_at.items()):
+            self._resolve(*plans[c][i])
+
+    # -- fault drills ---------------------------------------------------------
+
+    def _drill(self, name: str) -> None:
+        getattr(self, f"_drill_{name}")()
+
+    def _drill_calm(self) -> None:
+        """No fault this round — the baseline the others diff against."""
+
+    def _drill_coordinator_crash(self) -> None:
+        """SimulatedCrash at a seed-chosen 2PC protocol step."""
+        site = self.rng.choice(TWO_PC_SITES)
+        rule = FAULTS.arm(site, "raise", exc=SimulatedCrash)
+        src, dst = self._cross_shard_pair()
+        amount = self.rng.randint(1, 9)
+        try:
+            self._transfer(src, dst, amount)
+        except SimulatedCrash:
+            pass
+        finally:
+            FAULTS.disarm(rule)
+        self.db.recover_in_doubt()
+        self._resolve(src, dst, amount)
+
+    def _drill_wal_torn_crash(self) -> None:
+        """Torn write on a leader WAL + whole-cluster power failure.
+
+        The torn record models the append in flight when power died.
+        Recovery truncates the leader's log at the bad checksum; the
+        follower copies (shipped before the tear — their own appends
+        re-checksum independently) elect an intact leader, so the
+        committed prefix survives and only the in-flight transfer is
+        ambiguous.
+        """
+        shard_id = self.rng.randrange(self.db.n_shards)
+        tag = f"shard{shard_id}"
+        rule = FAULTS.arm(
+            "wal.append",
+            "torn_write",
+            when=lambda ctx: ctx["tag"] == tag and ctx["type"] == "write",
+        )
+        keys = self._keys_on_shard(shard_id)
+        src, dst = self.rng.sample(keys, 2)
+        amount = self.rng.randint(1, 9)
+        try:
+            self._transfer(src, dst, amount)
+        except ReproError:
+            pass
+        finally:
+            FAULTS.disarm(rule)
+        self.db = self.db.crash()
+        self._resolve(src, dst, amount)
+
+    def _drill_bitrot_rejoin(self) -> None:
+        """Flip a bit in one follower's log; rejoin repairs it.
+
+        The rejoining node verifies checksums, truncates at the rotten
+        record, and reships the cut suffix from the leader — detected
+        corruption, zero data loss.
+        """
+        shard_id = self.rng.randrange(self.db.n_shards)
+        replica_set = self.db.replica_sets[shard_id]
+        followers = replica_set.live_followers()
+        if not followers:
+            return
+        victim = self.rng.choice(followers)
+        if victim.wal.durable_length == 0:
+            return
+        # Only the durable prefix is checksum-verified (an unsynced
+        # tail is discarded wholesale at restart anyway).
+        victim.wal.corrupt(self.rng.randrange(victim.wal.durable_length))
+        replica_set.kill(victim.replica_id)
+        replica_set.rejoin(victim.replica_id)
+        if victim.wal.corrupt_records_detected == 0:
+            raise ChaosInvariantError(
+                f"seed {self.seed}: bit rot on shard {shard_id} follower "
+                f"{victim.replica_id} went undetected on rejoin"
+            )
+        if replica_set.lag_records(victim) != 0:
+            raise ChaosInvariantError(
+                f"seed {self.seed}: corrupted follower {victim.replica_id} "
+                "did not fully resync after rejoin"
+            )
+
+    def _drill_kill_leader(self) -> None:
+        """Shard leader dies; a follower promotes; the old leader rejoins."""
+        shard_id = self.rng.randrange(self.db.n_shards)
+        replica_set = self.db.replica_sets[shard_id]
+        old_leader = replica_set.leader_id
+        self.db.kill_leader(shard_id)
+        replica_set.rejoin(old_leader)
+
+    def _drill_quorum_loss(self) -> None:
+        """Lose the write quorum: fail fast, keep reading, auto-recover."""
+        shard_id = self.rng.randrange(self.db.n_shards)
+        replica_set = self.db.replica_sets[shard_id]
+        follower_ids = [r.replica_id for r in replica_set.live_followers()]
+        for follower_id in follower_ids:
+            replica_set.kill(follower_id)
+        keys = self._keys_on_shard(shard_id)
+        src, dst = self.rng.sample(keys, 2)
+        amount = self.rng.randint(1, 9)
+        try:
+            self._transfer(src, dst, amount)
+        except QuorumLostError:
+            pass
+        else:
+            raise ChaosInvariantError(
+                f"seed {self.seed}: write acknowledged on shard {shard_id} "
+                "with its quorum lost"
+            )
+        if not replica_set.degraded:
+            raise ChaosInvariantError(
+                f"seed {self.seed}: shard {shard_id} not marked degraded "
+                "after quorum loss"
+            )
+        # Reads must keep serving from the degraded shard.
+        self._read(src, dst)
+        for follower_id in follower_ids:
+            replica_set.rejoin(follower_id)
+        # The refused transfer was durable on the leader but never
+        # acknowledged — resolve it like any ambiguous outcome.
+        self._resolve(src, dst, amount)
+        # Writes resume (this also proves the degraded flag cleared).
+        retry_amount = self.rng.randint(1, 9)
+        self._transfer(src, dst, retry_amount)
+        self.oracle[src] -= retry_amount
+        self.oracle[dst] += retry_amount
+        self.committed += 1
+        if replica_set.degraded:
+            raise ChaosInvariantError(
+                f"seed {self.seed}: shard {shard_id} still degraded after "
+                "follower rejoin + successful write"
+            )
+
+    def _drill_cluster_crash(self) -> None:
+        """Whole-cluster power failure; every committed transfer survives."""
+        self.db = self.db.crash()
+
+    def _drill_worker_hang(self) -> None:
+        """Wedge one shard worker; the request deadline must recover."""
+        rule = FAULTS.arm("remote.request", "hang")
+        try:
+            rows = self.db.query(f"FOR d IN {DOCS} RETURN d")
+        finally:
+            FAULTS.disarm(rule)
+            FAULTS.release()
+        if len(rows) != 16:
+            raise ChaosInvariantError(
+                f"seed {self.seed}: scatter under a hung worker returned "
+                f"{len(rows)} of 16 rows"
+            )
+        pool = self.db._remote_pool
+        if pool is not None and pool.request_timeouts == 0:
+            raise ChaosInvariantError(
+                f"seed {self.seed}: hang fault armed but no request "
+                "deadline fired"
+            )
+
+    # -- the soak -------------------------------------------------------------
+
+    def run(self) -> dict[str, Any]:
+        FAULTS.reset()
+        FAULTS.seed(self.seed)
+        drills = list(DRILLS)
+        if self.pool == "processes":
+            drills.append("worker_hang")
+        injected = 0
+        try:
+            self._load()
+            self._check_invariants("load")
+            for round_no in range(self.rounds):
+                self._load_round()
+                drill = self.rng.choice(drills)
+                self.events.append(drill)
+                self._drill(drill)
+                self._check_invariants(f"round {round_no}: {drill}")
+            injected = sum(FAULTS.site_fires.values())
+        finally:
+            FAULTS.reset()
+            self.db.close()
+        return {
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "pool": self.pool,
+            "events": list(self.events),
+            "committed": self.committed,
+            "ambiguous_applied": self.ambiguous_applied,
+            "ambiguous_dropped": self.ambiguous_dropped,
+            "invariant_checks": self.invariant_checks,
+            "faults_injected": injected,
+            "ok": True,
+        }
+
+
+def run_chaos(seed: int, **kwargs: Any) -> dict[str, Any]:
+    """Run one seeded soak; returns its report (raises on violation)."""
+    return ChaosSoak(seed, **kwargs).run()

@@ -1,0 +1,76 @@
+"""``python -m repro chaos`` — run seeded chaos soaks from the shell.
+
+Usage::
+
+    python -m repro chaos --seed 7              # one soak
+    python -m repro chaos --seeds 0-19          # a seed sweep (CI smoke)
+    python -m repro chaos --seed 3 --pool processes --rounds 10
+
+Each soak prints one summary line; any invariant violation aborts the
+sweep with a non-zero exit code and the failing seed, which is all a
+bisecting developer needs to reproduce it (`--seed N` replays the
+exact schedule).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.errors import ChaosInvariantError
+from repro.faults.chaos import run_chaos
+
+
+def _parse_seeds(spec: str) -> list[int]:
+    """``"0-19"`` or ``"1,5,12"`` (ranges inclusive, mixable)."""
+    seeds: list[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if "-" in part.lstrip("-")[1:] or ("-" in part and not part.startswith("-")):
+            low, _, high = part.partition("-")
+            seeds.extend(range(int(low), int(high) + 1))
+        else:
+            seeds.append(int(part))
+    return seeds
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Seeded chaos soak over a live replicated cluster.",
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--seed", type=int, help="run one soak with this seed")
+    group.add_argument(
+        "--seeds", metavar="SPEC",
+        help='seed sweep: "0-19" (inclusive) or "1,5,12", mixable',
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=6, help="fault rounds per soak (default 6)"
+    )
+    parser.add_argument(
+        "--pool", choices=("threads", "processes"), default="threads",
+        help="shard scatter pool (processes adds the worker-hang drill)",
+    )
+    args = parser.parse_args(argv)
+
+    seeds = [args.seed] if args.seed is not None else _parse_seeds(args.seeds)
+    failed: list[int] = []
+    for seed in seeds:
+        try:
+            report = run_chaos(seed, rounds=args.rounds, pool=args.pool)
+        except ChaosInvariantError as exc:
+            failed.append(seed)
+            print(f"seed {seed}: FAIL — {exc}")
+            continue
+        print(
+            f"seed {seed}: ok — events={','.join(report['events'])} "
+            f"committed={report['committed']} "
+            f"ambiguous={report['ambiguous_applied']}+"
+            f"{report['ambiguous_dropped']} "
+            f"checks={report['invariant_checks']}"
+        )
+    if failed:
+        print(f"{len(failed)}/{len(seeds)} soak(s) failed: {failed}")
+        return 1
+    print(f"{len(seeds)}/{len(seeds)} soak(s) passed")
+    return 0

@@ -1,0 +1,309 @@
+"""A process-wide failpoint registry with deterministic seeded schedules.
+
+Fault sites are plain dotted names (``"wal.append"``,
+``"remote.request"``, ``"txn.2pc.before_decision"``) that production
+code *evaluates* at the matching point; what — if anything — happens
+there is decided by the rules armed on the registry.  The split keeps
+the disabled hot path exact: every call site guards with
+``if FAULTS.enabled:`` — a single attribute load — so a cluster with no
+armed failpoints executes the pre-instrumentation code byte for byte.
+
+Schedules (all deterministic under :meth:`FaultInjector.seed`):
+
+- **fire-on-Nth-hit** (``nth=k``): the rule fires on its k-th matching
+  evaluation, then consumes itself (unless ``count`` allows more).
+- **probability** (``probability=p``): each matching evaluation fires
+  with probability *p* drawn from the registry's seeded RNG.
+- **one-shot** is the default (``count=1``); ``count=n`` allows n
+  fires, ``count=None`` with a probability means "until disarmed".
+
+Actions:
+
+=============  ============================================================
+``raise``      raise an exception (default
+               :class:`~repro.errors.SimulatedCrash`) at the site
+``torn_write`` data fault: the caller (the WAL) records the write as
+               partially flushed — its checksum can never re-validate
+``bit_flip``   data fault: the caller flips a stored bit so the record's
+               checksum mismatches on verification
+``delay``      sleep ``seconds`` at the site
+``hang``       block at the site until :meth:`FaultInjector.release`
+               (or ``seconds`` as a safety bound) — models a wedged
+               worker or a stuck I/O
+=============  ============================================================
+
+``raise``/``delay``/``hang`` execute inline when the site is evaluated
+with :meth:`FaultInjector.hit`; the data faults are returned to the
+caller (only the WAL knows how to tear its own record).  Rules can be
+narrowed with ``when=lambda ctx: ...`` over the keyword context the
+site supplies (e.g. ``ctx["tag"]`` names the WAL's owning shard).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import threading
+import time
+from collections.abc import Callable, Iterator
+from typing import Any
+
+from repro.errors import SimulatedCrash
+
+ACTION_KINDS = ("raise", "torn_write", "bit_flip", "delay", "hang")
+
+
+class Failpoint:
+    """One armed rule: a site, an action kind, and a firing schedule."""
+
+    __slots__ = (
+        "site", "kind", "nth", "probability", "remaining", "when",
+        "exc", "seconds", "payload", "hits", "fires", "armed", "event",
+    )
+
+    def __init__(
+        self,
+        site: str,
+        kind: str,
+        *,
+        nth: int | None,
+        probability: float | None,
+        count: int | None,
+        when: Callable[[dict[str, Any]], bool] | None,
+        exc: Callable[..., BaseException] | type[BaseException] | None,
+        seconds: float,
+        payload: dict[str, Any],
+    ) -> None:
+        if kind not in ACTION_KINDS:
+            raise ValueError(f"unknown fault action {kind!r}")
+        if nth is not None and nth < 1:
+            raise ValueError(f"nth must be >= 1, got {nth}")
+        if probability is not None and not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        self.site = site
+        self.kind = kind
+        self.nth = nth
+        self.probability = probability
+        # None = unlimited fires (meaningful with a probability schedule).
+        self.remaining = count
+        self.when = when
+        self.exc = exc
+        self.seconds = seconds
+        self.payload = payload
+        self.hits = 0       # matching evaluations seen
+        self.fires = 0      # times the action actually triggered
+        self.armed = True
+        # Hang actions block on this; release() sets it.
+        self.event = threading.Event() if kind == "hang" else None
+
+    def exception(self, ctx: dict[str, Any] | None = None) -> BaseException:
+        """Build the exception a ``raise`` action throws at its site."""
+        if self.exc is None:
+            return SimulatedCrash(f"failpoint {self.site!r} fired")
+        if isinstance(self.exc, type) and issubclass(self.exc, BaseException):
+            return self.exc(f"failpoint {self.site!r} fired")
+        return self.exc(self.site, ctx or {})
+
+
+class FaultAction:
+    """What one evaluation of a site produced: the fired rule + context."""
+
+    __slots__ = ("rule", "ctx")
+
+    def __init__(self, rule: Failpoint, ctx: dict[str, Any]) -> None:
+        self.rule = rule
+        self.ctx = ctx
+
+    @property
+    def kind(self) -> str:
+        return self.rule.kind
+
+    @property
+    def seconds(self) -> float:
+        return self.rule.seconds
+
+    @property
+    def payload(self) -> dict[str, Any]:
+        return self.rule.payload
+
+    def exception(self) -> BaseException:
+        return self.rule.exception(self.ctx)
+
+
+class FaultInjector:
+    """Thread-safe failpoint registry with a seeded RNG for schedules.
+
+    One process-global instance (:data:`FAULTS`) serves the whole stack;
+    private instances exist where cross-talk must be impossible (each
+    2PC coordinator keeps one for its legacy ``crash_*`` shims).
+    ``enabled`` is maintained as a plain attribute so hot paths pay one
+    attribute load when nothing is armed.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._lock = threading.RLock()
+        self._rules: dict[str, list[Failpoint]] = {}
+        self._rng = random.Random(seed)
+        self.enabled = False
+        self.site_hits: dict[str, int] = {}
+        self.site_fires: dict[str, int] = {}
+
+    # -- arming ---------------------------------------------------------------
+
+    def seed(self, seed: int) -> None:
+        """Re-seed the probability-schedule RNG (determinism anchor)."""
+        with self._lock:
+            self._rng = random.Random(seed)
+
+    def arm(
+        self,
+        site: str,
+        kind: str = "raise",
+        *,
+        nth: int | None = None,
+        probability: float | None = None,
+        count: int | None = 1,
+        when: Callable[[dict[str, Any]], bool] | None = None,
+        exc: Callable[..., BaseException] | type[BaseException] | None = None,
+        seconds: float = 0.0,
+        **payload: Any,
+    ) -> Failpoint:
+        """Arm one rule at *site*; returns it (pass to :meth:`disarm`)."""
+        rule = Failpoint(
+            site, kind, nth=nth, probability=probability, count=count,
+            when=when, exc=exc, seconds=seconds, payload=payload,
+        )
+        with self._lock:
+            self._rules.setdefault(site, []).append(rule)
+            self.enabled = True
+        return rule
+
+    def disarm(self, target: Failpoint | str | None = None) -> None:
+        """Disarm one rule, every rule at a site, or (None) everything."""
+        with self._lock:
+            if isinstance(target, Failpoint):
+                target.armed = False
+            elif isinstance(target, str):
+                for rule in self._rules.get(target, ()):
+                    rule.armed = False
+            else:
+                for rules in self._rules.values():
+                    for rule in rules:
+                        rule.armed = False
+            self._refresh_enabled_locked()
+
+    def reset(self) -> None:
+        """Disarm everything, release hangs, zero counters, reseed to 0."""
+        with self._lock:
+            self.release()
+            self._rules.clear()
+            self.enabled = False
+            self.site_hits.clear()
+            self.site_fires.clear()
+            self._rng = random.Random(0)
+
+    def _refresh_enabled_locked(self) -> None:
+        self.enabled = any(
+            rule.armed for rules in self._rules.values() for rule in rules
+        )
+
+    @contextlib.contextmanager
+    def scoped(self, site: str, kind: str = "raise", **kw: Any) -> Iterator[Failpoint]:
+        """``with FAULTS.scoped("wal.append", "torn_write"): ...``"""
+        rule = self.arm(site, kind, **kw)
+        try:
+            yield rule
+        finally:
+            self.disarm(rule)
+
+    # -- evaluation -----------------------------------------------------------
+
+    def fire(self, site: str, **ctx: Any) -> FaultAction | None:
+        """Evaluate *site*: the first armed matching rule that is due fires.
+
+        Returns the action for the caller to apply (data faults), or
+        None.  Does *not* execute raise/delay/hang — use :meth:`hit`
+        at sites where inline execution is wanted.
+        """
+        with self._lock:
+            rules = self._rules.get(site)
+            if not rules:
+                return None
+            self.site_hits[site] = self.site_hits.get(site, 0) + 1
+            for rule in rules:
+                if not rule.armed:
+                    continue
+                if rule.when is not None and not rule.when(ctx):
+                    continue
+                rule.hits += 1
+                if rule.nth is not None and rule.hits != rule.nth:
+                    continue
+                if (
+                    rule.probability is not None
+                    and self._rng.random() >= rule.probability
+                ):
+                    continue
+                rule.fires += 1
+                self.site_fires[site] = self.site_fires.get(site, 0) + 1
+                if rule.remaining is not None:
+                    rule.remaining -= 1
+                    if rule.remaining <= 0:
+                        rule.armed = False
+                        self._refresh_enabled_locked()
+                return FaultAction(rule, ctx)
+            return None
+
+    def hit(self, site: str, **ctx: Any) -> FaultAction | None:
+        """Evaluate *site* and execute inline actions (raise/delay/hang).
+
+        Data-fault actions (torn_write/bit_flip) are returned untouched
+        for the caller to apply; sites that cannot apply them may
+        ignore the return value.
+        """
+        action = self.fire(site, **ctx)
+        if action is None:
+            return None
+        if action.kind == "raise":
+            raise action.exception()
+        if action.kind == "delay":
+            time.sleep(action.seconds)
+            return None
+        if action.kind == "hang":
+            # Block until released; `seconds` bounds the hang so an
+            # unreleased failpoint cannot wedge a test run forever.
+            action.rule.event.wait(action.seconds or None)
+            return None
+        return action
+
+    def release(self, site: str | None = None) -> int:
+        """Unblock hang actions (all sites when *site* is None)."""
+        released = 0
+        with self._lock:
+            for name, rules in self._rules.items():
+                if site is not None and name != site:
+                    continue
+                for rule in rules:
+                    if rule.event is not None and not rule.event.is_set():
+                        rule.event.set()
+                        released += 1
+        return released
+
+    # -- exposition -----------------------------------------------------------
+
+    def metrics(self) -> dict[str, int]:
+        """Flat counters for the observability registry's collector."""
+        with self._lock:
+            out: dict[str, int] = {
+                "armed": sum(
+                    1 for rules in self._rules.values()
+                    for rule in rules if rule.armed
+                ),
+                "injected_total": sum(self.site_fires.values()),
+            }
+            for site, n in sorted(self.site_fires.items()):
+                out[f"injected_{site}_total"] = n
+            return out
+
+
+#: The process-wide registry every production call site consults.
+FAULTS = FaultInjector()

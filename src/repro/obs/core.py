@@ -94,6 +94,18 @@ class Observability:
         self.replication_failovers_total = reg.counter(
             "repro_replication_failovers_total"
         )
+        # Degraded (read-only) shards: the gauge tracks how many replica
+        # sets currently cannot reach their write quorum; the entry/exit
+        # counters record every transition for alerting on flapping.
+        self.replication_degraded_shards = reg.gauge(
+            "repro_replication_degraded_shards"
+        )
+        self.replication_degraded_entries_total = reg.counter(
+            "repro_replication_degraded_entries_total"
+        )
+        self.replication_degraded_exits_total = reg.counter(
+            "repro_replication_degraded_exits_total"
+        )
         self._stat_counters = {
             stat: reg.counter(name) for stat, name in _STAT_COUNTERS.items()
         }

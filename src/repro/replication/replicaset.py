@@ -44,7 +44,7 @@ from repro.engine.database import MultiModelDatabase
 from repro.engine.records import Model, RecordKey, copy_value
 from repro.engine.transactions import Store, TransactionManager
 from repro.engine.wal import WriteAheadLog
-from repro.errors import ClusterError
+from repro.errors import ClusterError, QuorumLostError
 from repro.txn import CoordinatorLog, resolve_in_doubt
 from repro.txn.replicated_log import _acks_needed
 
@@ -72,11 +72,19 @@ class ReplicaSetConfig:
     write_acks: int | str = "majority"
     read_preference: str = "leader"
     max_lag_records: int = 0
+    # How long replicate() waits for the quorum to come back before
+    # declaring the shard degraded (read-only).  0 fails immediately —
+    # the pre-deadline behaviour, and what every unit test wants.
+    quorum_timeout_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.replicas_per_shard < 1:
             raise ClusterError(
                 f"replicas_per_shard must be >= 1, got {self.replicas_per_shard}"
+            )
+        if self.quorum_timeout_s < 0:
+            raise ClusterError(
+                f"quorum_timeout_s must be >= 0, got {self.quorum_timeout_s}"
             )
         if self.read_preference not in READ_PREFERENCES:
             raise ClusterError(
@@ -153,6 +161,17 @@ class ReplicaSet:
                     now,
                 )
             )
+        for follower in self.replicas[1:]:
+            # Tag the shipped WAL copy so wal.append failpoints can
+            # target one follower's log (the view db tags its own).
+            follower.wal.tag = f"shard{shard_id}f{follower.replica_id}"
+        # Degraded (read-only) mode: set when replicate() exhausts its
+        # quorum wait, cleared when a later replicate/rejoin/catch_up
+        # finds the quorum reachable again.  Reads keep serving
+        # throughout; only write acknowledgement is refused.
+        self.degraded = False
+        self.degraded_entries = 0
+        self.degraded_exits = 0
         # Counters (exposed via metrics(); cluster sums them per shard).
         self.elections = 0
         self.failovers = 0
@@ -245,32 +264,89 @@ class ReplicaSet:
         The leader's local durability is the first ack; the first
         ``acks_needed - 1`` live followers in id order are the sync
         targets; the rest lag until catch-up, a stale-bounded read, or
-        an election needs them.  Raises :class:`ClusterError` when too
-        few followers are alive to reach the quorum — the write is
-        durable on the leader but *not acknowledged*.
+        an election needs them.
+
+        When too few followers are alive, the call waits up to
+        ``config.quorum_timeout_s`` for the quorum to return (releasing
+        the lock between polls so a concurrent :meth:`rejoin` can get
+        in), then raises :class:`~repro.errors.QuorumLostError` and
+        marks the shard **degraded**: the write is durable on the leader
+        but *not acknowledged*, and subsequent writes fail fast through
+        :meth:`ensure_writable` while reads keep serving.  A successful
+        replicate clears the degraded flag — recovery is automatic once
+        followers rejoin and catch up.
         """
         if self.acks_needed <= 1:
             return
         started = perf_counter()
-        with self._lock:
-            need = self.acks_needed - 1
-            targets = self.live_followers()[:need]
-            if len(targets) < need:
-                raise ClusterError(
-                    f"shard {self.shard_id}: quorum unavailable "
-                    f"({1 + len(targets)}/{self.acks_needed} acks reachable)"
-                )
-            for follower in targets:
-                self._ship(follower)
-            self.quorum_writes += 1
+        deadline: float | None = None
+        while True:
+            with self._lock:
+                need = self.acks_needed - 1
+                targets = self.live_followers()[:need]
+                if len(targets) >= need:
+                    for follower in targets:
+                        self._ship(follower)
+                    self.quorum_writes += 1
+                    if self.degraded:
+                        self._exit_degraded_locked()
+                    break
+                if deadline is None:
+                    deadline = self.clock() + self.config.quorum_timeout_s
+                if self.clock() >= deadline:
+                    self._enter_degraded_locked()
+                    raise QuorumLostError(
+                        f"shard {self.shard_id}: quorum unavailable "
+                        f"({1 + len(targets)}/{self.acks_needed} acks reachable)"
+                    )
+            time.sleep(0.001)
         obs = self.obs
         if obs is not None and obs.enabled:
             obs.replication_quorum_seconds.observe(perf_counter() - started)
 
+    def ensure_writable(self) -> None:
+        """Fail fast when the shard is degraded (read-only).
+
+        The guard commits check *before* doing work: a degraded shard
+        refuses new writes immediately instead of burning the quorum
+        timeout per attempt.  The one replication probe doubles as the
+        recovery path — if the quorum is back, it clears the flag and
+        the write proceeds.
+        """
+        if not self.degraded:
+            return
+        self.replicate()
+
+    def _enter_degraded_locked(self) -> None:
+        if self.degraded:
+            return
+        self.degraded = True
+        self.degraded_entries += 1
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            obs.replication_degraded_shards.inc()
+            obs.replication_degraded_entries_total.inc()
+
+    def _exit_degraded_locked(self) -> None:
+        if not self.degraded:
+            return
+        self.degraded = False
+        self.degraded_exits += 1
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            obs.replication_degraded_shards.dec()
+            obs.replication_degraded_exits_total.inc()
+
     def catch_up(self) -> int:
         """Ship everything outstanding to every live follower."""
         with self._lock:
-            return sum(self._ship(f) for f in self.live_followers())
+            shipped = sum(self._ship(f) for f in self.live_followers())
+            if (
+                self.degraded
+                and len(self.live_followers()) >= self.acks_needed - 1
+            ):
+                self._exit_degraded_locked()
+            return shipped
 
     # -- reads ---------------------------------------------------------------
 
@@ -377,16 +453,27 @@ class ReplicaSet:
         """
         with self._lock:
             old_leader_id = self.leader_id
+            corrupt: set[int] = set()
             for replica in self.replicas:
                 replica.alive = True
                 replica.wal.crash()
+                # Restart re-reads the log from disk: checksums verify
+                # now, and a torn/bit-rotted record truncates *before*
+                # the election — shrinking this replica's durable
+                # length so an intact copy wins and reships the cut
+                # suffix (bit rot repaired by replication, zero loss).
+                if replica.wal.truncate_corrupt():
+                    corrupt.add(replica.replica_id)
             winner = self.elect_leader()
             resolution = resolve_in_doubt(winner.wal, coordinator_log)
             self._promote(winner)
             for replica in self.replicas:
                 if replica is not winner:
                     replica.role = "follower"
-                    self._reconcile(replica)
+                    self._reconcile(
+                        replica,
+                        force_rebuild=replica.replica_id in corrupt,
+                    )
                     self._ship(replica)
             if winner.replica_id != old_leader_id:
                 self.failovers += 1
@@ -407,9 +494,20 @@ class ReplicaSet:
                 return 0
             replica.alive = True
             replica.role = "follower"
-            dropped = self._reconcile(replica)
+            # A rejoining node re-reads its log from disk: verify
+            # checksums and cut any corrupt suffix before reconciling
+            # (the reship repairs it from the leader's intact copy).
+            corrupt_dropped = replica.wal.truncate_corrupt()
+            dropped = self._reconcile(
+                replica, force_rebuild=bool(corrupt_dropped)
+            )
             self._ship(replica)
-            return dropped
+            if (
+                self.degraded
+                and len(self.live_followers()) >= self.acks_needed - 1
+            ):
+                self._exit_degraded_locked()
+            return dropped + corrupt_dropped
 
     def _promote(self, winner: Replica) -> None:
         """Rebuild a leader database over the winner's own WAL.
@@ -431,7 +529,7 @@ class ReplicaSet:
         winner.caught_up_wall = self.clock()
         self.leader_id = winner.replica_id
 
-    def _reconcile(self, replica: Replica) -> int:
+    def _reconcile(self, replica: Replica, force_rebuild: bool = False) -> int:
         """Truncate *replica*'s log to its common prefix with the leader.
 
         Surviving followers are exact prefixes (they only ever received
@@ -442,7 +540,10 @@ class ReplicaSet:
         unconditionally: its database *is* the old leader database
         (recognisable because it shares the replica's WAL object), whose
         state already contains every logged write — shipping on top of
-        it would double-apply.
+        it would double-apply.  ``force_rebuild`` covers the third case:
+        a corruption truncation happened *before* this call, so the
+        prefix check sees nothing to drop but the view still holds
+        writes past the cut.
         """
         leader_records = self.leader.wal.records_from(0)
         mine = replica.wal.records_from(0)
@@ -455,15 +556,19 @@ class ReplicaSet:
                 break
         dropped = replica.wal.truncate_to(prefix)
         self.truncated_records += dropped
-        if dropped or replica.db.wal is replica.wal:
-            replica.db = MultiModelDatabase(
-                name=f"shard{self.shard_id}f{replica.replica_id}"
-            )
-            replica.pending = {}
-            replica.applied_ts = 0
-            for rec in replica.wal.records_from(0):
-                self._apply_to_view(replica, rec)
+        if dropped or force_rebuild or replica.db.wal is replica.wal:
+            self._rebuild_view(replica)
         return dropped
+
+    def _rebuild_view(self, replica: Replica) -> None:
+        """Re-materialise *replica*'s view from its surviving records."""
+        replica.db = MultiModelDatabase(
+            name=f"shard{self.shard_id}f{replica.replica_id}"
+        )
+        replica.pending = {}
+        replica.applied_ts = 0
+        for rec in replica.wal.records_from(0):
+            self._apply_to_view(replica, rec)
 
     # -- metrics -------------------------------------------------------------
 
@@ -477,6 +582,9 @@ class ReplicaSet:
                 "term": self.term,
                 "leader_id": self.leader_id,
                 "acks_needed": self.acks_needed,
+                "degraded": int(self.degraded),
+                "degraded_entries_total": self.degraded_entries,
+                "degraded_exits_total": self.degraded_exits,
                 "elections_total": self.elections,
                 "failovers_total": self.failovers,
                 "truncated_records_total": self.truncated_records,

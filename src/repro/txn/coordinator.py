@@ -16,10 +16,17 @@ participant's verdict from this log (see :mod:`repro.txn.recovery`):
 The protocol objects here are deliberately cluster-agnostic: a
 *participant* is anything with ``prepare(global_id)``,
 ``commit_prepared()`` and ``abort_prepared()`` (the shard adapter lives
-in :mod:`repro.cluster.sharded`).  Fault injection mirrors the engine's
-``crash_before_next_commit_record`` style: set a crash point, the
-coordinator raises :class:`~repro.errors.SimulatedCrash` at exactly
-that protocol step, and everything already durable stays durable.
+in :mod:`repro.cluster.sharded`).  Fault injection goes through
+failpoints (:mod:`repro.faults.registry`) evaluated at each protocol
+step — ``txn.2pc.after_prepares``, ``txn.2pc.before_decision``,
+``txn.2pc.after_decision``, ``txn.2pc.commit_fanout``.  The classic
+``crash_*`` attributes survive as shims that arm one-shot rules on a
+coordinator-**private** injector (a process-global rule would fire on
+whichever concurrent cluster commits first); the process-global
+registry is consulted too, which is how the chaos soak reaches these
+sites.  Either way the coordinator raises
+:class:`~repro.errors.SimulatedCrash` at exactly that protocol step,
+and everything already durable stays durable.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from time import perf_counter
 from typing import Any, Protocol
 
 from repro.errors import SimulatedCrash, TransactionAborted, WalError
+from repro.faults.registry import FAULTS, Failpoint, FaultInjector
 
 
 class Participant(Protocol):
@@ -232,7 +240,10 @@ class TwoPhaseCoordinator:
     One instance per cluster; global transaction ids are allocated
     monotonically and survive restarts via the decision log's high-water
     mark.  The four ``crash_*`` attributes inject a simulated failure at
-    the matching protocol step (each fires once, then clears).
+    the matching protocol step (each fires once, then clears) — they are
+    properties arming one-shot failpoints on this coordinator's private
+    injector, so concurrent clusters in one process can never trip each
+    other's crash points.
     """
 
     def __init__(self, log: CoordinatorLog, stats: CommitStats | None = None) -> None:
@@ -245,13 +256,109 @@ class TwoPhaseCoordinator:
         self.obs: Any = None
         self._id_lock = threading.Lock()
         self._next_global_id = log.max_global_txn() + 1
-        # Fault injection: crash after N participants prepared (0 = before
-        # any), before/after the decision record, after N participants
-        # learned the commit verdict.
-        self.crash_after_prepares: int | None = None
-        self.crash_before_decision = False
-        self.crash_after_decision = False
-        self.crash_after_commits: int | None = None
+        # Fault injection: the private registry behind the crash_*
+        # shims; chaos schedules additionally reach the same sites via
+        # the process-global FAULTS (see _fire).
+        self.faults = FaultInjector()
+        self._legacy: dict[str, tuple[Failpoint, Any]] = {}
+
+    # -- legacy crash-point shims ------------------------------------------
+
+    def _arm_legacy(
+        self, name: str, site: str, value: Any, when: Any, exc: Any
+    ) -> None:
+        old = self._legacy.pop(name, None)
+        if old is not None:
+            self.faults.disarm(old[0])
+        if value is None or value is False:
+            return
+        rule = self.faults.arm(site, when=when, exc=exc)
+        self._legacy[name] = (rule, value)
+
+    def _legacy_value(self, name: str, default: Any) -> Any:
+        entry = self._legacy.get(name)
+        if entry is None or not entry[0].armed:
+            return default
+        return entry[1]
+
+    @property
+    def crash_after_prepares(self) -> int | None:
+        """Crash after N participants prepared (0 = before any)."""
+        return self._legacy_value("crash_after_prepares", None)
+
+    @crash_after_prepares.setter
+    def crash_after_prepares(self, value: int | None) -> None:
+        self._arm_legacy(
+            "crash_after_prepares",
+            "txn.2pc.after_prepares",
+            value,
+            when=lambda ctx: ctx["n_done"] == value,
+            exc=lambda site, ctx: SimulatedCrash(
+                f"global txn {ctx['gtxn']}: coordinator crashed after "
+                f"{ctx['n_done']} prepare(s)"
+            ),
+        )
+
+    @property
+    def crash_before_decision(self) -> bool:
+        """Crash before the decision record (presumed abort)."""
+        return self._legacy_value("crash_before_decision", False)
+
+    @crash_before_decision.setter
+    def crash_before_decision(self, value: bool) -> None:
+        self._arm_legacy(
+            "crash_before_decision",
+            "txn.2pc.before_decision",
+            bool(value),
+            when=None,
+            exc=lambda site, ctx: SimulatedCrash(
+                f"global txn {ctx['gtxn']}: coordinator crashed before the "
+                "commit decision (presumed abort)"
+            ),
+        )
+
+    @property
+    def crash_after_decision(self) -> bool:
+        """Crash after the durable commit decision (in doubt, must commit)."""
+        return self._legacy_value("crash_after_decision", False)
+
+    @crash_after_decision.setter
+    def crash_after_decision(self, value: bool) -> None:
+        self._arm_legacy(
+            "crash_after_decision",
+            "txn.2pc.after_decision",
+            bool(value),
+            when=None,
+            exc=lambda site, ctx: SimulatedCrash(
+                f"global txn {ctx['gtxn']}: coordinator crashed after the "
+                "commit decision (participants in doubt, must commit)"
+            ),
+        )
+
+    @property
+    def crash_after_commits(self) -> int | None:
+        """Crash after N participants learned the commit verdict."""
+        return self._legacy_value("crash_after_commits", None)
+
+    @crash_after_commits.setter
+    def crash_after_commits(self, value: int | None) -> None:
+        self._arm_legacy(
+            "crash_after_commits",
+            "txn.2pc.commit_fanout",
+            value,
+            when=lambda ctx: ctx["n_done"] == value,
+            exc=lambda site, ctx: SimulatedCrash(
+                f"global txn {ctx['gtxn']}: crashed mid commit fan-out "
+                f"after {ctx['n_done']} of {ctx['n_total']} participants"
+            ),
+        )
+
+    def _fire(self, site: str, **ctx: Any) -> None:
+        """Evaluate one protocol failpoint: private shims, then global."""
+        if self.faults.enabled:
+            self.faults.hit(site, **ctx)
+        if FAULTS.enabled:
+            FAULTS.hit(site, **ctx)
 
     def next_global_id(self) -> int:
         with self._id_lock:
@@ -307,7 +414,9 @@ class TwoPhaseCoordinator:
         prepared: list[Participant] = []
         try:
             for n_done, (_, participant) in enumerate(participants):
-                self._maybe_crash_after_prepares(n_done, global_id)
+                self._fire(
+                    "txn.2pc.after_prepares", n_done=n_done, gtxn=global_id
+                )
                 prepare_started = perf_counter()
                 participant.prepare(global_id)
                 if obs is not None:
@@ -316,7 +425,11 @@ class TwoPhaseCoordinator:
                     )
                 prepared.append(participant)
                 self.stats.incr("prepares")
-            self._maybe_crash_after_prepares(len(participants), global_id)
+            self._fire(
+                "txn.2pc.after_prepares",
+                n_done=len(participants),
+                gtxn=global_id,
+            )
         except SimulatedCrash:
             raise  # in-doubt on purpose: recovery must resolve
         except BaseException as exc:
@@ -332,37 +445,19 @@ class TwoPhaseCoordinator:
             raise TransactionAborted(
                 f"global txn {global_id}: prepare failed: {exc}"
             ) from exc
-        if self.crash_before_decision:
-            self.crash_before_decision = False
-            raise SimulatedCrash(
-                f"global txn {global_id}: coordinator crashed before the "
-                "commit decision (presumed abort)"
-            )
+        self._fire("txn.2pc.before_decision", gtxn=global_id)
         # THE commit point: once this record is durable the transaction
         # is committed, whatever happens to the fan-out below.
         self.log.log_decision(global_id, "commit", shard_ids, trace_id=trace_id)
-        if self.crash_after_decision:
-            self.crash_after_decision = False
-            raise SimulatedCrash(
-                f"global txn {global_id}: coordinator crashed after the "
-                "commit decision (participants in doubt, must commit)"
-            )
+        self._fire("txn.2pc.after_decision", gtxn=global_id)
         for n_done, (_, participant) in enumerate(participants):
-            if self.crash_after_commits is not None and n_done == self.crash_after_commits:
-                self.crash_after_commits = None
-                raise SimulatedCrash(
-                    f"global txn {global_id}: crashed mid commit fan-out "
-                    f"after {n_done} of {len(participants)} participants"
-                )
+            self._fire(
+                "txn.2pc.commit_fanout",
+                n_done=n_done,
+                n_total=len(participants),
+                gtxn=global_id,
+            )
             participant.commit_prepared()
         self.log.log_end(global_id)
         self.stats.incr("two_phase_commits")
         return global_id
-
-    def _maybe_crash_after_prepares(self, n_done: int, global_id: int) -> None:
-        if self.crash_after_prepares is not None and n_done == self.crash_after_prepares:
-            self.crash_after_prepares = None
-            raise SimulatedCrash(
-                f"global txn {global_id}: coordinator crashed after "
-                f"{n_done} prepare(s)"
-            )

@@ -1,0 +1,65 @@
+"""Seeded chaos soak: the acceptance gate for the fault subsystem.
+
+Each soak drives a live 4-shard replicated cluster through concurrent
+transfer load interleaved with seeded fault drills (coordinator
+crashes, torn WAL writes, bit rot, leader kills, quorum loss, full
+cluster crashes) and asserts the invariants that matter: conservation
+of the transferred total, all-or-nothing transactions, oracle parity,
+no hung threads.  Everything derives from one seed, so any failure
+here is replayable with ``python -m repro chaos --seed N``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.chaos import DRILLS, run_chaos
+
+# The gate: 20 distinct seeded schedules, every drill reachable.
+SOAK_SEEDS = range(20)
+
+
+@pytest.mark.parametrize("seed", SOAK_SEEDS)
+def test_soak_passes(seed):
+    report = run_chaos(seed, rounds=3)
+    assert report["ok"]
+    assert report["committed"] > 0
+    # One invariant sweep after the initial load + one per round.
+    assert report["invariant_checks"] == 3 + 1
+    assert all(event in DRILLS for event in report["events"])
+
+
+def test_same_seed_same_schedule():
+    """Determinism: the whole soak — drills drawn, load plans, fault
+    schedules — replays identically from the seed."""
+    first = run_chaos(5, rounds=4)
+    second = run_chaos(5, rounds=4)
+    assert first["events"] == second["events"]
+    assert first["committed"] == second["committed"]
+    assert first["ambiguous_applied"] == second["ambiguous_applied"]
+    assert first["faults_injected"] == second["faults_injected"]
+
+
+def test_different_seeds_differ():
+    runs = [run_chaos(seed, rounds=4)["events"] for seed in (0, 1, 2)]
+    assert len({tuple(events) for events in runs}) > 1
+
+
+def test_faults_are_actually_injected():
+    """A multi-round soak is not a dry run: unless every draw lands on
+    `calm`, the report counts real injections."""
+    report = run_chaos(3, rounds=6)
+    assert report["ok"]
+    if any(event != "calm" for event in report["events"]):
+        assert report["faults_injected"] >= 1
+
+
+def test_processes_pool_soak_with_worker_hang():
+    """The processes pool adds the worker-hang drill: a wedged worker
+    is deadline-killed and the retried scatter still answers."""
+    report = run_chaos(
+        100, rounds=8, pool="processes", request_timeout=0.75
+    )
+    assert report["ok"]
+    assert report["pool"] == "processes"
+    assert "worker_hang" in report["events"]

@@ -1,0 +1,173 @@
+"""Failpoint registry semantics: schedules, actions, determinism, metrics."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import SimulatedCrash
+from repro.faults import FaultInjector
+
+
+@pytest.fixture
+def faults():
+    inj = FaultInjector()
+    yield inj
+    inj.release()
+    inj.reset()
+
+
+class TestArming:
+    def test_disabled_by_default(self, faults):
+        assert not faults.enabled
+        assert faults.fire("wal.append") is None
+
+    def test_arm_sets_enabled_disarm_clears_it(self, faults):
+        rule = faults.arm("wal.append", "torn_write")
+        assert faults.enabled
+        faults.disarm(rule)
+        assert not faults.enabled
+
+    def test_unknown_action_kind_rejected(self, faults):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            faults.arm("wal.append", "explode")
+
+    def test_bad_schedules_rejected(self, faults):
+        with pytest.raises(ValueError, match="nth must be"):
+            faults.arm("s", nth=0)
+        with pytest.raises(ValueError, match="probability must be"):
+            faults.arm("s", probability=1.5)
+
+    def test_disarm_by_site_and_all(self, faults):
+        faults.arm("a")
+        faults.arm("a")
+        faults.arm("b")
+        faults.disarm("a")
+        assert faults.enabled  # b still armed
+        faults.disarm()
+        assert not faults.enabled
+
+    def test_scoped_disarms_on_exit(self, faults):
+        with faults.scoped("wal.append", "bit_flip") as rule:
+            assert rule.armed
+            assert faults.enabled
+        assert not faults.enabled
+
+
+class TestSchedules:
+    def test_one_shot_is_default(self, faults):
+        faults.arm("s")
+        with pytest.raises(SimulatedCrash):
+            faults.hit("s")
+        # Consumed: second evaluation is a no-op and enabled dropped.
+        assert faults.hit("s") is None
+        assert not faults.enabled
+
+    def test_nth_hit_fires_exactly_on_the_nth(self, faults):
+        faults.arm("s", "torn_write", nth=3)
+        assert faults.fire("s") is None
+        assert faults.fire("s") is None
+        action = faults.fire("s")
+        assert action is not None and action.kind == "torn_write"
+        assert faults.fire("s") is None  # one-shot consumed
+
+    def test_count_allows_multiple_fires(self, faults):
+        faults.arm("s", "bit_flip", count=2)
+        assert faults.fire("s") is not None
+        assert faults.fire("s") is not None
+        assert faults.fire("s") is None
+
+    def test_probability_schedule_is_seed_deterministic(self, faults):
+        def trace(seed):
+            inj = FaultInjector(seed)
+            inj.arm("s", "torn_write", probability=0.5, count=None)
+            return [inj.fire("s") is not None for _ in range(64)]
+
+        same = trace(7)
+        assert trace(7) == same
+        assert same != trace(8)
+        assert any(same) and not all(same)
+
+    def test_when_predicate_narrows_and_gates_hit_counting(self, faults):
+        faults.arm("s", nth=2, when=lambda ctx: ctx.get("tag") == "x")
+        assert faults.fire("s", tag="y") is None  # no match, no hit
+        assert faults.fire("s", tag="x") is None  # hit 1
+        assert faults.fire("s", tag="y") is None  # still no hit
+        assert faults.fire("s", tag="x") is not None  # hit 2 -> fires
+
+    def test_first_matching_rule_wins(self, faults):
+        faults.arm("s", "torn_write", when=lambda ctx: ctx.get("n") == 1)
+        faults.arm("s", "bit_flip")
+        assert faults.fire("s", n=1).kind == "torn_write"
+        assert faults.fire("s", n=0).kind == "bit_flip"
+
+
+class TestActions:
+    def test_raise_uses_custom_exception_type(self, faults):
+        faults.arm("s", exc=TimeoutError)
+        with pytest.raises(TimeoutError, match="failpoint 's' fired"):
+            faults.hit("s")
+
+    def test_raise_uses_exception_factory_with_ctx(self, faults):
+        faults.arm(
+            "s", exc=lambda site, ctx: SimulatedCrash(f"{site}:{ctx['n']}")
+        )
+        with pytest.raises(SimulatedCrash, match="s:3"):
+            faults.hit("s", n=3)
+
+    def test_delay_sleeps_inline(self, faults):
+        faults.arm("s", "delay", seconds=0.02)
+        started = time.perf_counter()
+        assert faults.hit("s") is None
+        assert time.perf_counter() - started >= 0.015
+
+    def test_hang_blocks_until_release(self, faults):
+        faults.arm("s", "hang")
+        unblocked = threading.Event()
+
+        def worker():
+            faults.hit("s")
+            unblocked.set()
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not unblocked.is_set()
+        assert faults.release() == 1
+        thread.join(timeout=5.0)
+        assert unblocked.is_set()
+
+    def test_hang_seconds_bounds_the_block(self, faults):
+        faults.arm("s", "hang", seconds=0.02)
+        started = time.perf_counter()
+        faults.hit("s")
+        assert time.perf_counter() - started < 1.0
+
+    def test_data_faults_returned_not_executed(self, faults):
+        faults.arm("s", "torn_write", half=True)
+        action = faults.hit("s")
+        assert action.kind == "torn_write"
+        assert action.payload == {"half": True}
+
+
+class TestMetrics:
+    def test_counters_by_site(self, faults):
+        faults.arm("a", "torn_write", count=2)
+        faults.arm("b", "bit_flip")
+        faults.fire("a")
+        faults.fire("a")
+        faults.fire("b")
+        m = faults.metrics()
+        assert m["injected_total"] == 3
+        assert m["injected_a_total"] == 2
+        assert m["injected_b_total"] == 1
+        assert m["armed"] == 0  # everything consumed
+
+    def test_reset_zeroes_everything(self, faults):
+        faults.arm("a")
+        faults.fire("a")
+        faults.reset()
+        assert not faults.enabled
+        assert faults.metrics() == {"armed": 0, "injected_total": 0}

@@ -1,0 +1,88 @@
+"""Fault-subsystem instruments on the metrics surface.
+
+Every fault-tolerance mechanism the PR adds is observable: injected
+faults per site, WAL corruption detections, remote deadline/retry
+counters, and the degraded-shard gauge all flow through ``db.metrics()``
+and the Prometheus text exposition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.sharded import ShardedDatabase
+from repro.errors import QuorumLostError
+from repro.faults.registry import FAULTS
+from repro.replication import ReplicaSetConfig
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    yield
+    FAULTS.reset()
+
+
+class TestFaultsCollector:
+    def test_registered_and_quiet_by_default(self, obs_sharded):
+        faults = obs_sharded.metrics()["collected"]["faults"]
+        assert faults == {"armed": 0, "injected_total": 0}
+
+    def test_injections_counted_by_site(self, obs_sharded):
+        FAULTS.arm("wal.append", "bit_flip")
+        with obs_sharded.transaction() as s:
+            s.doc_insert("orders", {"_id": "fi-1", "status": "new"})
+        faults = obs_sharded.metrics()["collected"]["faults"]
+        assert faults["injected_total"] == 1
+        assert faults["injected_wal.append_total"] == 1
+
+    def test_prometheus_text_renders_fault_gauges(self, obs_sharded):
+        FAULTS.arm("wal.append", "bit_flip")
+        with obs_sharded.transaction() as s:
+            s.doc_insert("orders", {"_id": "fi-2", "status": "new"})
+        text = obs_sharded.metrics_text()
+        assert "repro_faults_injected_total 1" in text
+        assert "repro_wal_corrupt_records_total" in text
+
+
+class TestCorruptionCounters:
+    def test_truncation_bumps_wal_collector(self, obs_sharded):
+        shard = obs_sharded.shards[0]
+        shard.wal.corrupt(0)
+        assert shard.wal.truncate_corrupt() > 0
+        wal = obs_sharded.metrics()["collected"]["wal"]
+        assert wal["corrupt_records_total"] == 1
+        assert wal["corrupt_records_dropped_total"] > 0
+
+
+class TestDegradedGauge:
+    def test_quorum_loss_moves_the_global_gauge(self, small_dataset):
+        from repro.datagen.load import load_dataset
+
+        db = ShardedDatabase(
+            n_shards=2,
+            replication=ReplicaSetConfig(
+                replicas_per_shard=3, write_acks="majority"
+            ),
+        )
+        try:
+            load_dataset(db, small_dataset)
+            obs = db.observability
+            assert obs.replication_degraded_shards.value == 0
+
+            rs = db.replica_sets[0]
+            rs.kill(1)
+            rs.kill(2)
+            with pytest.raises(QuorumLostError):
+                rs.replicate()
+            assert obs.replication_degraded_shards.value == 1
+            assert obs.replication_degraded_entries_total.value == 1
+
+            text = db.metrics_text()
+            assert "repro_replication_degraded_shards 1" in text
+            assert "repro_replication_shard0_degraded 1" in text
+
+            rs.rejoin(1)
+            assert obs.replication_degraded_shards.value == 0
+            assert obs.replication_degraded_exits_total.value == 1
+        finally:
+            db.close()

@@ -1,0 +1,211 @@
+"""Quorum-loss degraded mode: typed error, read-only shard, auto-recovery.
+
+When a write cannot gather its ack quorum within ``quorum_timeout_s``,
+the replica set raises :class:`~repro.errors.QuorumLostError` and marks
+the shard **degraded**: subsequent writes fail fast, reads keep serving,
+and the first successful quorum (a follower rejoining) clears the flag
+without operator action.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.sharded import ShardedDatabase
+from repro.drivers.unified import UnifiedDriver
+from repro.engine.database import MultiModelDatabase
+from repro.errors import ClusterError, QuorumLostError, ReproError
+from repro.replication import ReplicaSet, ReplicaSetConfig
+
+
+def _query(db: MultiModelDatabase, text: str) -> list:
+    driver = UnifiedDriver()
+    driver.db = db
+    return driver.query(text)
+
+
+def _replica_set(write_acks="majority", replicas=3, **cfg_kwargs) -> ReplicaSet:
+    db = MultiModelDatabase(name="shard0")
+    config = ReplicaSetConfig(
+        replicas_per_shard=replicas, write_acks=write_acks, **cfg_kwargs
+    )
+    return ReplicaSet(0, db, config)
+
+
+def _write_docs(db: MultiModelDatabase, n: int, start: int = 0) -> None:
+    with db.transaction() as s:
+        for i in range(start, start + n):
+            s.doc_insert("t", {"_id": i, "v": i * 10})
+
+
+class TestQuorumLoss:
+    def test_typed_error_keeps_the_legacy_message(self):
+        assert issubclass(QuorumLostError, ClusterError)
+        rs = _replica_set(write_acks="all")
+        rs.kill(2)
+        rs.leader_db.create_collection("t")
+        with pytest.raises(QuorumLostError, match="quorum unavailable"):
+            rs.replicate()
+
+    def test_quorum_loss_enters_degraded_and_writes_fail_fast(self):
+        rs = _replica_set()
+        rs.leader_db.create_collection("t")
+        _write_docs(rs.leader_db, 3)
+        rs.replicate()
+        assert not rs.degraded
+
+        rs.kill(1)
+        rs.kill(2)
+        _write_docs(rs.leader_db, 1, start=10)
+        with pytest.raises(QuorumLostError):
+            rs.replicate()
+        assert rs.degraded
+        assert rs.degraded_entries == 1
+        with pytest.raises(QuorumLostError):
+            rs.ensure_writable()
+
+    def test_degraded_shard_keeps_serving_reads(self):
+        rs = _replica_set()
+        rs.leader_db.create_collection("t")
+        _write_docs(rs.leader_db, 5)
+        rs.replicate()
+        rs.kill(1)
+        rs.kill(2)
+        with pytest.raises(QuorumLostError):
+            rs.replicate()
+        assert rs.degraded
+        rows = _query(rs.leader_db, "FOR d IN t RETURN d")
+        assert len(rows) == 5
+
+    def test_rejoin_restores_quorum_and_clears_degraded(self):
+        rs = _replica_set()
+        rs.leader_db.create_collection("t")
+        _write_docs(rs.leader_db, 3)
+        rs.replicate()
+        rs.kill(1)
+        rs.kill(2)
+        _write_docs(rs.leader_db, 1, start=10)
+        with pytest.raises(QuorumLostError):
+            rs.replicate()
+
+        rs.rejoin(1)
+        assert not rs.degraded
+        assert rs.degraded_exits == 1
+        rs.ensure_writable()  # no raise: writes are allowed again
+        _write_docs(rs.leader_db, 1, start=11)
+        rs.replicate()
+        assert rs.quorum_writes >= 2
+
+    def test_metrics_expose_degraded_state(self):
+        rs = _replica_set()
+        rs.leader_db.create_collection("t")
+        rs.kill(1)
+        rs.kill(2)
+        with pytest.raises(QuorumLostError):
+            rs.replicate()
+        m = rs.metrics()
+        assert m["degraded"] == 1
+        assert m["degraded_entries_total"] == 1
+        assert m["degraded_exits_total"] == 0
+        rs.rejoin(1)
+        m = rs.metrics()
+        assert m["degraded"] == 0
+        assert m["degraded_exits_total"] == 1
+
+
+class TestQuorumTimeout:
+    def test_zero_timeout_fails_immediately(self):
+        rs = _replica_set()
+        rs.kill(1)
+        rs.kill(2)
+        rs.leader_db.create_collection("t")
+        started = time.perf_counter()
+        with pytest.raises(QuorumLostError):
+            rs.replicate()
+        assert time.perf_counter() - started < 1.0
+
+    def test_replicate_waits_out_a_transient_quorum_gap(self):
+        """A follower rejoining inside the window turns a would-be
+        QuorumLostError into a successful quorum write."""
+        rs = _replica_set(quorum_timeout_s=5.0)
+        rs.leader_db.create_collection("t")
+        _write_docs(rs.leader_db, 2)
+        rs.replicate()
+        rs.kill(1)
+        rs.kill(2)
+        _write_docs(rs.leader_db, 1, start=10)
+
+        def heal():
+            time.sleep(0.15)
+            rs.rejoin(1)
+
+        healer = threading.Thread(target=heal, daemon=True)
+        healer.start()
+        rs.replicate()  # blocks until the rejoin lands, then succeeds
+        healer.join(timeout=10.0)
+        assert not rs.degraded
+
+    def test_timeout_expiry_still_degrades(self):
+        rs = _replica_set(quorum_timeout_s=0.05)
+        rs.kill(1)
+        rs.kill(2)
+        rs.leader_db.create_collection("t")
+        started = time.perf_counter()
+        with pytest.raises(QuorumLostError, match="acks reachable"):
+            rs.replicate()
+        assert 0.04 <= time.perf_counter() - started < 5.0
+        assert rs.degraded
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ClusterError, match="quorum_timeout_s"):
+            ReplicaSetConfig(3, quorum_timeout_s=-1.0)
+
+
+class TestShardedIntegration:
+    def test_degraded_shard_fails_writes_but_serves_cluster_reads(self):
+        db = ShardedDatabase(
+            n_shards=2,
+            replication=ReplicaSetConfig(
+                replicas_per_shard=3, write_acks="majority"
+            ),
+        )
+        try:
+            db.create_collection("t")
+
+            def seed(s):
+                for i in range(20):
+                    s.doc_insert("t", {"_id": i, "v": i})
+
+            db.run_transaction(seed)
+            n_before = len(db.query("FOR d IN t RETURN d"))
+
+            rs = db.replica_sets[0]
+            rs.kill(1)
+            rs.kill(2)
+
+            def write(s):
+                for i in range(20, 40):
+                    s.doc_insert("t", {"_id": i, "v": i})
+
+            # The quorum failure at prepare surfaces as the 2PC abort.
+            with pytest.raises(ReproError, match="quorum unavailable"):
+                db.run_transaction(write)
+            assert rs.degraded
+            # Reads across the whole cluster keep working, and the
+            # failed write left nothing behind on any shard.
+            assert len(db.query("FOR d IN t RETURN d")) == n_before
+
+            # Degradation is surfaced through driver metrics.
+            repl = db.metrics()["collected"]["replication"]
+            assert repl["shard0_degraded"] == 1
+            assert repl["shard1_degraded"] == 0
+
+            rs.rejoin(1)
+            db.run_transaction(write)
+            assert len(db.query("FOR d IN t RETURN d")) == n_before + 20
+            assert not rs.degraded
+        finally:
+            db.close()
